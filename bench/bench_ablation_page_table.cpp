@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Extension experiment: radix vs hashed page-table formats.
+ *
+ * The paper's Discussion: overhead scales with log(footprint) because
+ * the page table is a radix *tree*; "alternative page table data
+ * structures that do not introduce a log M overhead are deserving of
+ * further study." This bench drives both formats with the same
+ * locality-profiled miss stream at growing footprints: radix walks get
+ * longer and slower as the upper levels fall out of the MMU caches and
+ * PTEs cool in the hierarchy, while hashed walks stay at ~1 access —
+ * but lose the radix format's 512-pages-per-leaf-line clustering.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "mmu/paging_structure_cache.hh"
+#include "mmu/walker.hh"
+#include "util/csv.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "vm/hashed_page_table.hh"
+#include "workloads/locality.hh"
+
+using namespace atscale;
+using namespace atscale::benchx;
+
+namespace
+{
+
+struct FormatStats
+{
+    double accessesPerWalk = 0;
+    double cyclesPerWalk = 0;
+};
+
+/** Walk `walks` locality-drawn pages of an n-page footprint. */
+void
+measureFormats(std::uint64_t pages, Count walks, FormatStats &radix,
+               FormatStats &hashed)
+{
+    const LocalityProfile profile{0.3, 0.3, 0.8, 1.0, 8192};
+
+    // Radix setup.
+    PhysicalMemory mem_r;
+    FrameAllocator alloc_r(768ull << 30);
+    CacheHierarchy hierarchy_r;
+    PageTable radix_table(mem_r, alloc_r);
+    PagingStructureCaches pscs;
+    PageWalker walker(mem_r, hierarchy_r, pscs);
+
+    // Hashed setup.
+    PhysicalMemory mem_h;
+    FrameAllocator alloc_h(768ull << 30);
+    CacheHierarchy hierarchy_h;
+    HashedPageTable hashed_table(mem_h, alloc_h, pages);
+
+    // Identical population (map on first touch) and identical draws.
+    Rng rng_r(9), rng_h(9);
+    std::vector<bool> mapped(pages, false);
+    Cycles radix_cycles = 0, hashed_cycles = 0;
+    Count radix_accesses = 0, hashed_accesses = 0;
+    std::uint64_t cursor = 0;
+
+    for (Count i = 0; i < walks; ++i) {
+        cursor = (cursor + 1) % pages;
+        std::uint64_t page = drawLocal(rng_r, cursor, pages, profile);
+        (void)rng_h.next(); // keep the generators in lockstep (unused)
+        Addr vaddr = (1ull << 30) + (page << pageShift4K);
+        if (!mapped[page]) {
+            mapped[page] = true;
+            radix_table.map(vaddr, alloc_r.allocate(pageSize4K),
+                            PageSize::Size4K);
+            hashed_table.map(vaddr, alloc_h.allocate(pageSize4K));
+        }
+        WalkResult r = walker.walk(vaddr, radix_table);
+        radix_cycles += r.cycles;
+        radix_accesses += r.ptwAccesses;
+        HashedWalkResult h = hashed_table.walk(vaddr, hierarchy_h);
+        hashed_cycles += h.cycles;
+        hashed_accesses += h.accesses;
+    }
+
+    radix.accessesPerWalk =
+        static_cast<double>(radix_accesses) / static_cast<double>(walks);
+    radix.cyclesPerWalk =
+        static_cast<double>(radix_cycles) / static_cast<double>(walks);
+    hashed.accessesPerWalk =
+        static_cast<double>(hashed_accesses) / static_cast<double>(walks);
+    hashed.cyclesPerWalk =
+        static_cast<double>(hashed_cycles) / static_cast<double>(walks);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Count walks = quick() ? 200'000 : 500'000;
+
+    TablePrinter table("Radix vs hashed page table: cost per walk on the "
+                       "same miss stream");
+    table.header({"footprint", "radix acc/walk", "radix cyc/walk",
+                  "hashed acc/walk", "hashed cyc/walk"});
+    CsvWriter csv(outputPath("ablation_page_table.csv"));
+    csv.rowv("footprint_bytes", "radix_acc", "radix_cyc", "hashed_acc",
+             "hashed_cyc");
+
+    double first_radix = 0, last_radix = 0;
+    double first_hashed = 0, last_hashed = 0;
+    bool first = true;
+    for (std::uint64_t gib : {1ull, 8ull, 64ull, 512ull}) {
+        std::uint64_t pages = (gib << 30) >> pageShift4K;
+        FormatStats radix, hashed;
+        measureFormats(pages, walks, radix, hashed);
+        table.rowv(fmtBytes(gib << 30), fmtDouble(radix.accessesPerWalk, 3),
+                   fmtDouble(radix.cyclesPerWalk, 1),
+                   fmtDouble(hashed.accessesPerWalk, 3),
+                   fmtDouble(hashed.cyclesPerWalk, 1));
+        csv.rowv(gib << 30, radix.accessesPerWalk, radix.cyclesPerWalk,
+                 hashed.accessesPerWalk, hashed.cyclesPerWalk);
+        if (first) {
+            first_radix = radix.cyclesPerWalk;
+            first_hashed = hashed.cyclesPerWalk;
+            first = false;
+        }
+        last_radix = radix.cyclesPerWalk;
+        last_hashed = hashed.cyclesPerWalk;
+    }
+    table.print(std::cout);
+
+    std::cout << "\nWalk-cost growth over the sweep: radix "
+              << fmtDouble(last_radix / first_radix, 2) << "x, hashed "
+              << fmtDouble(last_hashed / first_hashed, 2)
+              << "x  (the radix tree's log M component vs the hash "
+                 "table's flat ~1 access — the trade-off the paper's "
+                 "Discussion raises)\n";
+    std::cout << "Note the absolute latencies: hashing scatters "
+                 "translations, so it forfeits the radix leaf's "
+                 "8-adjacent-PTEs-per-line clustering and the MMU caches "
+                 "— flat asymptotics, worse constants. This is why "
+                 "hashed formats need their own translation caching to "
+                 "win (cf. Elastic Cuckoo page tables).\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 1: relative AT overhead vs memory footprint, all thirteen
+ * workloads. The paper's headline inter-workload view: a positive trend
+ * with large per-workload variation.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "bench/common.hh"
+#include "core/correlation.hh"
+#include "util/ascii_chart.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+using namespace atscale::benchx;
+
+int
+main()
+{
+    ensureCacheDir();
+    auto sweeps = sweepWorkloads(workloadNames(), footprints(),
+                                 baseRunConfig());
+
+    ScatterChart chart("Fig 1: Relative AT overhead vs memory footprint",
+                       "footprint (KB)", "relative AT overhead");
+    chart.logX(true);
+    CsvWriter csv(outputPath("fig01_overhead_vs_footprint.csv"));
+    csv.rowv("workload", "footprint_bytes", "footprint_kb",
+             "relative_overhead", "cycles_4k", "cycles_2m", "cycles_1g");
+
+    TablePrinter table("Fig 1 data: relative AT overhead by footprint");
+    table.header({"workload", "footprint", "rel. overhead"});
+
+    int series = 0;
+    for (const WorkloadSweep &sweep : sweeps) {
+        chart.addSeries(sweep.workload);
+        for (const OverheadPoint &p : sweep.points) {
+            chart.point(series, footprintKb(p.footprintBytes),
+                        p.relativeOverhead());
+            csv.rowv(p.workload, p.footprintBytes,
+                     footprintKb(p.footprintBytes),
+                     p.relativeOverhead(), p.run4k.cycles(),
+                     p.run2m.cycles(), p.run1g.cycles());
+            table.rowv(p.workload, fmtBytes(p.footprintBytes),
+                       fmtDouble(p.relativeOverhead(), 3));
+        }
+        ++series;
+    }
+
+    chart.print(std::cout);
+    std::cout << '\n';
+    table.print(std::cout);
+
+    // Paper check: positive inter-workload correlation with large spread.
+    std::vector<double> lg, overhead;
+    for (const WorkloadSweep &sweep : sweeps) {
+        for (const OverheadPoint &p : sweep.points) {
+            lg.push_back(std::log10(footprintKb(p.footprintBytes)));
+            overhead.push_back(p.relativeOverhead());
+        }
+    }
+    std::cout << "\nInter-workload Pearson(log10 footprint, overhead) = "
+              << fmtDouble(pearson(lg, overhead), 3)
+              << "  (paper: positive, with large variation)\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8: distribution of PTE access location (which cache level the
+ * page walker found its PTEs in) as a function of footprint for pr-kron,
+ * from the page_walker_loads.* counters.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "perf/derived.hh"
+#include "util/ascii_chart.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace atscale;
+using namespace atscale::benchx;
+
+int
+main()
+{
+    ensureCacheDir();
+    WorkloadSweep sweep = sweepWorkload("pr-kron", footprints(),
+                                        baseRunConfig());
+
+    BandChart chart("Fig 8: PTE access location vs footprint (pr-kron, 4K)",
+                    "footprint");
+    chart.addBand("L1");
+    chart.addBand("L2");
+    chart.addBand("L3");
+    chart.addBand("memory");
+
+    TablePrinter table("PTE location fractions (pr-kron, 4K runs)");
+    table.header({"footprint", "L1", "L2", "L3", "memory"});
+    CsvWriter csv(outputPath("fig08_pte_locations.csv"));
+    csv.rowv("footprint_kb", "l1", "l2", "l3", "memory");
+
+    for (const OverheadPoint &p : sweep.points) {
+        PteLocations loc = pteLocations(p.run4k.counters);
+        chart.column(fmtBytes(p.footprintBytes).substr(0, 5),
+                     {loc.l1, loc.l2, loc.l3, loc.memory});
+        table.rowv(fmtBytes(p.footprintBytes), fmtDouble(loc.l1, 3),
+                   fmtDouble(loc.l2, 3), fmtDouble(loc.l3, 3),
+                   fmtDouble(loc.memory, 3));
+        csv.rowv(footprintKb(p.footprintBytes), loc.l1, loc.l2, loc.l3,
+                 loc.memory);
+    }
+    chart.print(std::cout);
+    std::cout << '\n';
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): PTEs mostly near the core at "
+                 "small footprints, drifting toward L3 and a small but "
+                 "latency-dominating memory fraction at the largest "
+                 "footprints.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the cache substrates: the
+ * set-associative array under different policies and geometries, the
+ * three-level hierarchy, and the DRAM model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "mem/dram.hh"
+#include "util/random.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+void
+BM_SetAssocAccess(benchmark::State &state)
+{
+    auto policy = static_cast<ReplPolicy>(state.range(0));
+    auto ways = static_cast<std::uint32_t>(state.range(1));
+    SetAssocCache cache("bench", {256, ways, policy});
+    Rng rng(3);
+    for (auto _ : state) {
+        std::uint64_t key = rng.below(256 * ways * 2);
+        if (!cache.access(key))
+            cache.fill(key);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SetAssocAccess)
+    ->Args({static_cast<int>(ReplPolicy::Lru), 8})
+    ->Args({static_cast<int>(ReplPolicy::TreePlru), 8})
+    ->Args({static_cast<int>(ReplPolicy::Random), 8})
+    ->Args({static_cast<int>(ReplPolicy::Lru), 20});
+
+void
+BM_HierarchySequential(benchmark::State &state)
+{
+    CacheHierarchy hierarchy;
+    PhysAddr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hierarchy.access(addr, AccessKind::Data));
+        addr += 64;
+        addr &= (64ull << 20) - 1;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchySequential);
+
+void
+BM_HierarchyRandom(benchmark::State &state)
+{
+    CacheHierarchy hierarchy;
+    Rng rng(5);
+    std::uint64_t span = 1ull << state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hierarchy.access(rng.below(span), AccessKind::Data));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchyRandom)->Arg(20)->Arg(26)->Arg(32);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    Dram dram;
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dram.access(rng.below(1ull << 34)));
+}
+BENCHMARK(BM_DramAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

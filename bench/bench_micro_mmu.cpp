@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the MMU substrates: TLB lookup,
+ * paging-structure-cache probe, page-table walks, and end-to-end MMU
+ * translation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mmu/mmu.hh"
+#include "util/random.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+struct MmuRig
+{
+    MmuRig()
+        : alloc(64ull << 30), space(mem, alloc, PageSize::Size4K),
+          mmu(space, mem, hierarchy)
+    {
+        base = space.mapRegion("data", 4ull << 30);
+        // Pre-populate a window of pages.
+        for (int i = 0; i < 4096; ++i)
+            space.touch(base + static_cast<Addr>(i) * pageSize4K);
+    }
+
+    PhysicalMemory mem;
+    FrameAllocator alloc;
+    CacheHierarchy hierarchy;
+    AddressSpace space;
+    Mmu mmu;
+    Addr base = 0;
+};
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    TlbComplex tlb;
+    tlb.install(0x1000, PageSize::Size4K);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(0x1abc));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_TlbLookupMiss(benchmark::State &state)
+{
+    TlbComplex tlb;
+    Addr va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(va));
+        va += pageSize4K;
+    }
+}
+BENCHMARK(BM_TlbLookupMiss);
+
+void
+BM_PscProbe(benchmark::State &state)
+{
+    PagingStructureCaches pscs;
+    for (int i = 0; i < 32; ++i)
+        pscs.fill(static_cast<Addr>(i) << 21, 1, 0x1000);
+    Addr va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pscs.probe(va, 0x1000));
+        va += pageSize2M;
+        va &= (64ull << 21) - 1;
+    }
+}
+BENCHMARK(BM_PscProbe);
+
+void
+BM_WalkWarm(benchmark::State &state)
+{
+    MmuRig rig;
+    PageWalker &walker = rig.mmu.walker();
+    // Warm caches and PSCs.
+    for (int i = 0; i < 4096; ++i)
+        walker.walk(rig.base + static_cast<Addr>(i) * pageSize4K,
+                    rig.space.pageTable());
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(walker.walk(
+            rig.base + static_cast<Addr>(i & 4095) * pageSize4K,
+            rig.space.pageTable()));
+        ++i;
+    }
+}
+BENCHMARK(BM_WalkWarm);
+
+void
+BM_MmuTranslateRandom(benchmark::State &state)
+{
+    MmuRig rig;
+    Rng rng(1);
+    for (auto _ : state) {
+        Addr va = rig.base + (rng.below(4096) << pageShift4K);
+        benchmark::DoNotOptimize(rig.mmu.translate(va));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MmuTranslateRandom);
+
+void
+BM_MmuTranslateSequential(benchmark::State &state)
+{
+    MmuRig rig;
+    Addr va = rig.base;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rig.mmu.translate(va));
+        va += 64;
+        if (va >= rig.base + (4096ull << pageShift4K))
+            va = rig.base;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MmuTranslateSequential);
+
+} // namespace
+
+BENCHMARK_MAIN();

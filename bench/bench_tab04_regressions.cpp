@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table IV: per-workload OLS regression of
+ *   relative AT overhead = beta0 + beta1 * log10(M) + eps
+ * across the footprint sweep, with adjusted R^2, alongside the paper's
+ * published coefficients for comparison.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench/common.hh"
+#include "core/regression.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+using namespace atscale::benchx;
+
+namespace
+{
+
+struct PaperRow
+{
+    double constant;
+    double slope;
+    double adjR2;
+};
+
+const std::map<std::string, PaperRow> paperTable4 = {
+    {"bc-kron", {-0.497, 0.101, 0.982}},
+    {"bc-urand", {-0.830, 0.153, 0.959}},
+    {"bfs-kron", {-0.471, 0.097, 0.986}},
+    {"bfs-urand", {-0.797, 0.147, 0.987}},
+    {"cc-kron", {-0.442, 0.093, 0.974}},
+    {"cc-urand", {-0.695, 0.135, 0.973}},
+    {"mcf-rand", {-1.129, 0.187, 0.667}},
+    {"memcached-uniform", {-1.381, 0.207, 0.580}},
+    {"pr-kron", {-0.479, 0.099, 0.990}},
+    {"pr-urand", {-0.739, 0.139, 0.956}},
+    {"streamcluster-rand", {1.215, -0.094, 0.122}},
+    {"tc-kron", {-0.089, 0.030, 0.627}},
+    {"tc-urand", {-1.048, 0.196, 0.970}},
+};
+
+} // namespace
+
+int
+main()
+{
+    ensureCacheDir();
+    auto sweeps = sweepWorkloads(workloadNames(), footprints(),
+                                 baseRunConfig());
+
+    TablePrinter table("Table IV: relative AT overhead = b0 + b1 log10(M_KB)"
+                       " (measured vs paper)");
+    table.header({"workload", "const", "log10 M", "adj R^2", "paper const",
+                  "paper log10 M", "paper adj R^2"});
+    CsvWriter csv(outputPath("tab04_regressions.csv"));
+    csv.rowv("workload", "const", "slope", "adj_r2", "paper_const",
+             "paper_slope", "paper_adj_r2");
+
+    double slope_sum = 0;
+    int strong = 0;
+    for (const WorkloadSweep &sweep : sweeps) {
+        std::vector<double> lg, overhead;
+        for (const OverheadPoint &p : sweep.points) {
+            lg.push_back(std::log10(footprintKb(p.footprintBytes)));
+            overhead.push_back(p.relativeOverhead());
+        }
+        OlsFit fit = fitOls(lg, overhead);
+        const PaperRow &paper = paperTable4.at(sweep.workload);
+        table.rowv(sweep.workload, fmtDouble(fit.intercept),
+                   fmtDouble(fit.slope), fmtDouble(fit.adjustedR2),
+                   fmtDouble(paper.constant), fmtDouble(paper.slope),
+                   fmtDouble(paper.adjR2));
+        csv.rowv(sweep.workload, fit.intercept, fit.slope, fit.adjustedR2,
+                 paper.constant, paper.slope, paper.adjR2);
+        if (fit.adjustedR2 > 0.9) {
+            slope_sum += fit.slope;
+            ++strong;
+        }
+    }
+    table.print(std::cout);
+
+    if (strong) {
+        std::cout << "\nMean log10(M) coefficient over workloads with "
+                     "adj R^2 > 0.9: "
+                  << fmtDouble(slope_sum / strong, 3)
+                  << "  (paper: 0.13 => +13% overhead per 10x footprint)\n";
+    }
+    return 0;
+}

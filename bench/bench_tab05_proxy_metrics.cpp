@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Table V: Pearson and Spearman correlation between five AT-pressure
+ * proxy metrics (measured on the 4 KiB runs) and relative AT overhead,
+ * across all AT-sensitive workload-footprint points. The paper's result:
+ * WCPI has the strongest Pearson and near-strongest Spearman correlation.
+ *
+ * Also reproduces the paper's intra-workload Spearman analysis (V-B):
+ * the per-workload monotonicity of WCPI vs overhead.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/correlation.hh"
+#include "perf/derived.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+using namespace atscale::benchx;
+
+int
+main()
+{
+    ensureCacheDir();
+    auto sweeps = sweepWorkloads(workloadNames(), footprints(),
+                                 baseRunConfig());
+
+    // Collect proxy metrics (from the 4K run) and overhead per point.
+    // As in the paper, points with negative measured overhead are deemed
+    // not AT-sensitive and are excluded from this analysis only.
+    std::vector<double> overhead;
+    std::vector<double> mpka, mpki, wcf, wcpa, wcpi;
+    int excluded = 0;
+    for (const WorkloadSweep &sweep : sweeps) {
+        for (const OverheadPoint &p : sweep.points) {
+            if (!p.atSensitive()) {
+                ++excluded;
+                continue;
+            }
+            ProxyMetrics proxy = proxyMetrics(p.run4k.counters);
+            overhead.push_back(p.relativeOverhead());
+            mpka.push_back(proxy.tlbMissesPerKiloAccess);
+            mpki.push_back(proxy.tlbMissesPerKiloInstr);
+            wcf.push_back(proxy.walkCycleFraction);
+            wcpa.push_back(proxy.walkCyclesPerAccess);
+            wcpi.push_back(proxy.walkCyclesPerInstr);
+        }
+    }
+
+    TablePrinter table("Table V: correlation between AT pressure metric "
+                       "and relative AT overhead");
+    table.header({"AT pressure metric", "Pearson", "Spearman",
+                  "paper Pearson", "paper Spearman"});
+    CsvWriter csv(outputPath("tab05_proxy_metrics.csv"));
+    csv.rowv("metric", "pearson", "spearman");
+
+    struct Row
+    {
+        const char *name;
+        const std::vector<double> *metric;
+        const char *paperPearson;
+        const char *paperSpearman;
+    };
+    const Row rows[] = {
+        {"TLB misses per kilo access", &mpka, "0.452", "0.582"},
+        {"TLB misses per kilo instruction", &mpki, "0.364", "0.579"},
+        {"Walk cycle fraction", &wcf, "0.555", "0.688"},
+        {"Walk cycles per access", &wcpa, "0.462", "0.769"},
+        {"Walk cycles per instruction", &wcpi, "0.567", "0.768"},
+    };
+    double best_pearson = -2;
+    std::string best_name;
+    for (const Row &row : rows) {
+        double p = pearson(*row.metric, overhead);
+        double s = spearman(*row.metric, overhead);
+        table.rowv(row.name, fmtDouble(p), fmtDouble(s), row.paperPearson,
+                   row.paperSpearman);
+        csv.rowv(row.name, p, s);
+        if (p > best_pearson) {
+            best_pearson = p;
+            best_name = row.name;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExcluded " << excluded
+              << " non-AT-sensitive points (paper: 4 of 132).\n";
+    std::cout << "Best Pearson correlate: " << best_name
+              << " (paper: walk cycles per instruction)\n\n";
+
+    // Intra-workload Spearman of WCPI vs overhead (Section V-B).
+    TablePrinter intra("Intra-workload Spearman(WCPI, overhead)");
+    intra.header({"workload", "Spearman"});
+    int perfect = 0, above09 = 0;
+    for (const WorkloadSweep &sweep : sweeps) {
+        std::vector<double> w, o;
+        for (const OverheadPoint &p : sweep.points) {
+            if (!p.atSensitive())
+                continue;
+            w.push_back(proxyMetrics(p.run4k.counters).walkCyclesPerInstr);
+            o.push_back(p.relativeOverhead());
+        }
+        double s = spearman(w, o);
+        intra.rowv(sweep.workload, fmtDouble(s));
+        perfect += (s >= 0.999);
+        above09 += (s >= 0.9);
+    }
+    intra.print(std::cout);
+    std::cout << "\n" << perfect << " workloads at Spearman 1.0, " << above09
+              << " at >= 0.9 (paper: 7 at exactly 1.0, 10 at >= 0.9)\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces the paper's setup tables: Table I (workloads), Table II
+ * (input generators), and Table III (the simulated system configuration).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/platform.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+int
+main()
+{
+    TablePrinter tab1("Table I: Workloads (ST = single-threaded, "
+                      "MT = multithreaded)");
+    tab1.header({"Suite", "Program", "Generators", "Type"});
+    tab1.rowv("gapbs", "bc, bfs, cc, pr, tc", "urand, kron",
+              "graph processing (MT)");
+    tab1.rowv("ycsb", "memcached", "uniform", "key-value store (MT)");
+    tab1.rowv("spec2006", "mcf", "rand", "network simplex (ST)");
+    tab1.rowv("parsec", "streamcluster", "rand", "clustering (MT)");
+    tab1.print(std::cout);
+
+    std::cout << '\n';
+    TablePrinter tab2("Table II: Input generators");
+    tab2.header({"Generator", "Description"});
+    tab2.rowv("urand", "uniform random graph, average degree 16");
+    tab2.rowv("kron", "Kronecker/RMAT scale-free graph, average degree 16");
+    tab2.rowv("uniform", "YCSB uniform key distribution");
+    tab2.rowv("rand", "uniform random network / points");
+    tab2.print(std::cout);
+
+    std::cout << '\n';
+    PlatformParams params;
+    TablePrinter tab3("Table III: Simulated system");
+    tab3.header({"Component", "Description"});
+    tab3.rowv("CPU", strfmt("Haswell-class core @ %.1fGHz (simulated)",
+                            params.freqGHz));
+    tab3.rowv("L1D", strfmt("%s, %u-way",
+                            fmtBytes(params.hierarchy.l1.sets *
+                                     params.hierarchy.l1.ways *
+                                     params.hierarchy.lineBytes).c_str(),
+                            params.hierarchy.l1.ways));
+    tab3.rowv("L2", strfmt("%s, %u-way",
+                           fmtBytes(params.hierarchy.l2.sets *
+                                    params.hierarchy.l2.ways *
+                                    params.hierarchy.lineBytes).c_str(),
+                           params.hierarchy.l2.ways));
+    tab3.rowv("L3", strfmt("%s, %u-way (shared)",
+                           fmtBytes(static_cast<std::uint64_t>(
+                                        params.hierarchy.l3.sets) *
+                                    params.hierarchy.l3.ways *
+                                    params.hierarchy.lineBytes).c_str(),
+                           params.hierarchy.l3.ways));
+    tab3.rowv("TLB-L1D",
+              strfmt("%ux4KB, %ux2MB, %ux1GB",
+                     params.mmu.tlb.l1_4k.sets * params.mmu.tlb.l1_4k.ways,
+                     params.mmu.tlb.l1_2m.sets * params.mmu.tlb.l1_2m.ways,
+                     params.mmu.tlb.l1_1g.sets * params.mmu.tlb.l1_1g.ways));
+    tab3.rowv("TLB-L2",
+              strfmt("%ux shared 4KB/2MB pages",
+                     params.mmu.tlb.l2.sets * params.mmu.tlb.l2.ways));
+    tab3.rowv("MMU caches",
+              strfmt("PML4E:%u PDPTE:%u PDE:%u entries",
+                     params.mmu.psc.pml4eEntries,
+                     params.mmu.psc.pdpteEntries,
+                     params.mmu.psc.pdeEntries));
+    tab3.rowv("Page walkers", "1");
+    tab3.rowv("DRAM", fmtBytes(params.dramBytes));
+    tab3.print(std::cout);
+
+    std::cout << "\nRegistered workloads:";
+    for (const std::string &name : workloadNames())
+        std::cout << ' ' << name;
+    std::cout << '\n';
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/per-table bench harnesses.
+ *
+ * Knobs (environment):
+ *  - ATSCALE_QUICK=1     reduced footprint sweep and shorter windows
+ *  - ATSCALE_CACHE_DIR   run-result cache directory (benches default to
+ *                        ./atscale_cache so the whole suite shares runs)
+ *  - ATSCALE_OUT_DIR     where to drop CSV data files (optional)
+ */
+
+#ifndef ATSCALE_BENCH_COMMON_HH
+#define ATSCALE_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace atscale::benchx
+{
+
+/** Make run results shareable across bench binaries by default. */
+inline void
+ensureCacheDir()
+{
+    const char *dir = std::getenv("ATSCALE_CACHE_DIR");
+    std::string path = dir && *dir ? dir : "atscale_cache";
+    ::mkdir(path.c_str(), 0755);
+    setenv("ATSCALE_CACHE_DIR", path.c_str(), 0);
+}
+
+/** True when ATSCALE_QUICK requests a reduced run. */
+inline bool
+quick()
+{
+    const char *q = std::getenv("ATSCALE_QUICK");
+    return q && *q && *q != '0';
+}
+
+/** Measurement window sizes, quick-aware. */
+inline RunConfig
+baseRunConfig()
+{
+    RunConfig config;
+    config.warmupRefs = quick() ? 150'000 : 400'000;
+    config.measureRefs = quick() ? 400'000 : 1'200'000;
+    return config;
+}
+
+/** The footprint sweep used by every figure (quick-aware). */
+inline std::vector<std::uint64_t>
+footprints()
+{
+    return sweepFootprints();
+}
+
+/** Footprint in the paper's axis unit (KB, as in Figs 2/5/8). */
+inline double
+footprintKb(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / 1024.0;
+}
+
+} // namespace atscale::benchx
+
+#endif // ATSCALE_BENCH_COMMON_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: the memcached nonlinearity.
+ *
+ * Sweeps the memcached-uniform workload across footprints and shows how
+ * the KV hit rate (a program-level property) couples with AT pressure —
+ * the paper's explanation for memcached's complex scaling (Section V-A).
+ * Also demonstrates exec mode: the real chained-hash store is run and
+ * traced at a small footprint and compared against the model stream.
+ */
+
+#include <iostream>
+
+#include "core/sweep.hh"
+#include "perf/derived.hh"
+#include "util/table.hh"
+#include "workloads/kv/memcached_workload.hh"
+
+using namespace atscale;
+
+int
+main()
+{
+    RunConfig base;
+    base.workload = "memcached-uniform";
+    base.warmupRefs = 200'000;
+    base.measureRefs = 600'000;
+
+    auto footprints = footprintSweep(1ull << 30, 256ull << 30, 1);
+
+    TablePrinter table("memcached-uniform scaling (model mode)");
+    table.header({"footprint", "expected KV hit rate", "overhead", "WCPI",
+                  "acc/instr"});
+    for (std::uint64_t footprint : footprints) {
+        RunConfig config = base;
+        config.footprintBytes = footprint;
+        OverheadPoint p = measureOverhead(config);
+        WcpiTerms terms = wcpiTerms(p.run4k.counters);
+        double items = static_cast<double>(footprint) /
+                       (MemcachedWorkload::itemBytes + 8);
+        double hit_rate = std::min(
+            1.0, items / static_cast<double>(MemcachedWorkload::keyspace));
+        table.rowv(fmtBytes(footprint), fmtDouble(hit_rate, 3),
+                   fmtDouble(p.relativeOverhead(), 3),
+                   fmtDouble(terms.wcpi(), 4),
+                   fmtDouble(terms.accessesPerInstr, 3));
+    }
+    table.print(std::cout);
+    std::cout << "\nThe overhead curve is nonlinear because the hit rate "
+                 "changes which code path dominates — exactly why "
+                 "memcached is one of the paper's Table IV outliers "
+                 "(adj R^2 = 0.58).\n\n";
+
+    // Exec-mode cross-check at a small footprint: run the real store.
+    RunConfig exec_config = base;
+    exec_config.footprintBytes = 64ull << 20;
+    exec_config.mode = WorkloadMode::Exec;
+    RunResult exec_run = runExperiment(exec_config);
+
+    RunConfig model_config = exec_config;
+    model_config.mode = WorkloadMode::Model;
+    RunResult model_run = runExperiment(model_config);
+
+    TablePrinter compare("Exec vs model mode at 64 MiB (4K pages)");
+    compare.header({"mode", "CPI", "TLB miss/access", "acc/instr"});
+    for (const auto &[name, run] :
+         {std::pair{"exec (real store, traced)", &exec_run},
+          std::pair{"model (streaming twin)", &model_run}}) {
+        WcpiTerms terms = wcpiTerms(run->counters);
+        compare.rowv(name, fmtDouble(run->cpi(), 3),
+                     fmtDouble(terms.tlbMissesPerAccess, 4),
+                     fmtDouble(terms.accessesPerInstr, 3));
+    }
+    compare.print(std::cout);
+    return 0;
+}

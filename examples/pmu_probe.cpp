@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Example: the same analysis layer on real hardware.
+ *
+ * Probes perf_event_open, opens whatever subset of the paper's events
+ * the machine exposes, measures a pointer-chasing loop over a growing
+ * working set, and prints the derived metrics. On machines without PMU
+ * access (containers, CI) it degrades to reporting which events were
+ * unavailable — the simulator backend is the fallback for everything
+ * else in this repository.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "perf/derived.hh"
+#include "perf/linux_backend.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Chase a random cycle through `bytes` of memory. */
+std::uint64_t
+chase(std::uint64_t bytes, std::uint64_t steps)
+{
+    std::size_t slots = bytes / sizeof(std::uint64_t*);
+    std::vector<std::uint64_t*> ring(slots);
+    std::vector<std::size_t> order(slots);
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(1);
+    for (std::size_t i = slots - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+    for (std::size_t i = 0; i < slots; ++i)
+        ring[order[i]] = reinterpret_cast<std::uint64_t*>(
+            &ring[order[(i + 1) % slots]]);
+
+    auto *p = reinterpret_cast<std::uint64_t*>(ring[0]);
+    for (std::uint64_t i = 0; i < steps; ++i)
+        p = reinterpret_cast<std::uint64_t*>(*p);
+    return reinterpret_cast<std::uint64_t>(p);
+}
+
+} // namespace
+
+int
+main()
+{
+    if (!LinuxPerfBackend::available()) {
+        std::cout << "perf_event_open is not permitted in this "
+                     "environment; the simulator backend (see quickstart) "
+                     "provides all of the paper's events instead.\n";
+        return 0;
+    }
+
+    std::vector<EventId> wanted = {
+        EventId::CpuClkUnhalted,
+        EventId::InstRetired,
+        EventId::DtlbLoadMissesMissCausesAWalk,
+        EventId::DtlbLoadMissesWalkCompleted,
+        EventId::DtlbLoadMissesWalkDuration,
+        EventId::MemUopsRetiredAllLoads,
+        EventId::MemUopsRetiredStlbMissLoads,
+        EventId::PageWalkerLoadsDtlbL1,
+        EventId::PageWalkerLoadsDtlbL2,
+        EventId::PageWalkerLoadsDtlbL3,
+        EventId::PageWalkerLoadsDtlbMemory,
+    };
+
+    LinuxPerfBackend backend;
+    auto opened = backend.open(wanted);
+    std::cout << "Opened " << opened.size() << "/" << wanted.size()
+              << " events:";
+    for (EventId id : opened)
+        std::cout << ' ' << eventName(id);
+    std::cout << "\n\n";
+    if (opened.empty())
+        return 0;
+
+    TablePrinter table("Pointer chase: measured AT pressure by working set");
+    table.header({"working set", "cycles", "CPI-ish", "walks/1k chases",
+                  "WCPI"});
+    for (std::uint64_t bytes : {1ull << 20, 16ull << 20, 256ull << 20}) {
+        const std::uint64_t steps = 20'000'000;
+        backend.start();
+        chase(bytes, steps);
+        backend.stop();
+        CounterSet counters = backend.read();
+
+        double walks = static_cast<double>(
+            counters.get(EventId::DtlbLoadMissesMissCausesAWalk));
+        double instr =
+            static_cast<double>(counters.get(EventId::InstRetired));
+        double cycles =
+            static_cast<double>(counters.get(EventId::CpuClkUnhalted));
+        table.rowv(fmtBytes(bytes), static_cast<std::uint64_t>(cycles),
+                   fmtDouble(instr > 0 ? cycles / instr : 0, 2),
+                   fmtDouble(walks / (steps / 1000.0), 3),
+                   fmtDouble(proxyMetrics(counters).walkCyclesPerInstr, 5));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpect walks and WCPI to rise as the working set "
+                 "outgrows TLB reach — the paper's core mechanism, live.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: measure one workload's address-translation behaviour at one
+ * footprint, print the WCPI decomposition (Equation 1), the walk-outcome
+ * split (Table VI), and the AT overhead versus superpage baselines.
+ *
+ * Usage: quickstart [workload] [footprint-MiB]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/overhead.hh"
+#include "util/table.hh"
+
+using namespace atscale;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "bfs-urand";
+    std::uint64_t footprint_mib = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                           : 4096;
+
+    RunConfig config;
+    config.workload = workload;
+    config.footprintBytes = footprint_mib << 20;
+
+    std::cout << "Measuring " << workload << " at "
+              << fmtBytes(config.footprintBytes)
+              << " with 4K / 2M / 1G page backing...\n\n";
+
+    OverheadPoint point = measureOverhead(config);
+
+    TablePrinter runs("Runtime by page size");
+    runs.header({"page size", "cycles", "CPI", "WCPI", "TLB miss/access"});
+    for (const RunResult *run : {&point.run4k, &point.run2m, &point.run1g}) {
+        WcpiTerms terms = wcpiTerms(run->counters);
+        runs.rowv(pageSizeName(run->config.pageSize), run->cycles(),
+                  fmtDouble(run->cpi()), fmtDouble(terms.wcpi(), 4),
+                  fmtDouble(terms.tlbMissesPerAccess, 4));
+    }
+    runs.print(std::cout);
+
+    std::cout << "\nRelative AT overhead: "
+              << fmtDouble(point.relativeOverhead() * 100, 1) << "%  "
+              << "(baseline = min(t_2M, t_1G))\n\n";
+
+    WcpiTerms terms = wcpiTerms(point.run4k.counters);
+    TablePrinter eq1("Equation 1 decomposition (4K run)");
+    eq1.header({"term", "component", "value"});
+    eq1.rowv("accesses / instruction", "program",
+             fmtDouble(terms.accessesPerInstr, 4));
+    eq1.rowv("TLB misses / access", "TLB",
+             fmtDouble(terms.tlbMissesPerAccess, 5));
+    eq1.rowv("PTW accesses / walk", "MMU caches",
+             fmtDouble(terms.ptwAccessesPerWalk, 3));
+    eq1.rowv("walk cycles / PTW access", "cache hierarchy",
+             fmtDouble(terms.walkCyclesPerPtwAccess, 2));
+    eq1.rowv("walk cycles / instruction", "(product)",
+             fmtDouble(terms.wcpi(), 5));
+    eq1.print(std::cout);
+
+    WalkOutcomes outcomes = walkOutcomes(point.run4k.counters);
+    TablePrinter tab6("\nWalk outcomes (Table VI, 4K run)");
+    tab6.header({"outcome", "count", "fraction of initiated"});
+    tab6.rowv("initiated", outcomes.initiated, "1.000");
+    tab6.rowv("retired", outcomes.retired,
+              fmtDouble(static_cast<double>(outcomes.retired) /
+                        std::max<Count>(outcomes.initiated, 1), 3));
+    tab6.rowv("wrong path", outcomes.wrongPath,
+              fmtDouble(outcomes.wrongPathFraction(), 3));
+    tab6.rowv("aborted", outcomes.aborted,
+              fmtDouble(outcomes.abortedFraction(), 3));
+    tab6.print(std::cout);
+
+    PteLocations loc = pteLocations(point.run4k.counters);
+    std::cout << "\nPTE hit locations (4K run): L1 "
+              << fmtDouble(loc.l1 * 100, 1) << "%, L2 "
+              << fmtDouble(loc.l2 * 100, 1) << "%, L3 "
+              << fmtDouble(loc.l3 * 100, 1) << "%, memory "
+              << fmtDouble(loc.memory * 100, 1) << "%\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "cache/hierarchy.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1:
+        return "L1";
+      case MemLevel::L2:
+        return "L2";
+      case MemLevel::L3:
+        return "L3";
+      case MemLevel::Memory:
+        return "Memory";
+    }
+    return "?";
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params)
+    : params_(params),
+      lineShift_(static_cast<std::uint32_t>(floorLog2(params.lineBytes))),
+      l1_("L1D", params.l1, 11),
+      l2_("L2", params.l2, 22),
+      l3_("L3", params.l3, 33),
+      dram_(params.dram)
+{
+    panic_if(!isPowerOf2(params_.lineBytes), "line size must be power of 2");
+}
+
+MemAccessResult
+CacheHierarchy::access(PhysAddr paddr, AccessKind kind)
+{
+    std::uint64_t line = paddr >> lineShift_;
+    auto &kcounts = counts_[static_cast<size_t>(kind)];
+
+    MemAccessResult result;
+    if (l1_.access(line)) {
+        result.level = MemLevel::L1;
+        result.latency = params_.l1Latency;
+    } else if (l2_.access(line)) {
+        result.level = MemLevel::L2;
+        result.latency = params_.l2Latency;
+        l1_.fill(line);
+    } else if (l3_.access(line)) {
+        result.level = MemLevel::L3;
+        result.latency = params_.l3Latency;
+        l2_.fill(line);
+        l1_.fill(line);
+    } else {
+        result.level = MemLevel::Memory;
+        result.latency = params_.l3Latency + dram_.access(paddr);
+        l3_.fill(line);
+        l2_.fill(line);
+        l1_.fill(line);
+    }
+    ++kcounts[static_cast<size_t>(result.level)];
+    return result;
+}
+
+Count
+CacheHierarchy::kindCount(AccessKind kind) const
+{
+    Count total = 0;
+    for (Count c : counts_[static_cast<size_t>(kind)])
+        total += c;
+    return total;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto &kind : counts_)
+        kind.fill(0);
+    l1_.resetStats();
+    l2_.resetStats();
+    l3_.resetStats();
+    dram_.reset();
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+    l3_.flush();
+    resetStats();
+}
+
+} // namespace atscale

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The three-level data cache hierarchy shared by regular program loads and
+ * page-table-walker loads.
+ *
+ * Sharing one physical tag path between data and PTEs is what lets the
+ * paper's effects appear: PTE hotness in L1/L2/L3 vs memory (Fig 8), cache
+ * contention between PTEs and data, and mcf's "PTEs outcompete data"
+ * inversion.
+ */
+
+#ifndef ATSCALE_CACHE_HIERARCHY_HH
+#define ATSCALE_CACHE_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cache/set_assoc_cache.hh"
+#include "mem/dram.hh"
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Where an access was satisfied. */
+enum class MemLevel : std::uint8_t
+{
+    L1 = 0,
+    L2 = 1,
+    L3 = 2,
+    Memory = 3,
+};
+
+/** Number of MemLevel values. */
+constexpr int numMemLevels = 4;
+
+/** Name of a hierarchy level. */
+const char *memLevelName(MemLevel level);
+
+/** Who is performing the access (for attribution/statistics). */
+enum class AccessKind : std::uint8_t
+{
+    Data = 0,
+    PtwLoad = 1,
+};
+
+/** Result of one access through the hierarchy. */
+struct MemAccessResult
+{
+    MemLevel level = MemLevel::L1;
+    Cycles latency = 0;
+};
+
+/** Hierarchy configuration (defaults: Haswell Xeon E5-2680 v3, Table III). */
+struct HierarchyParams
+{
+    /** Cache line size in bytes. */
+    std::uint32_t lineBytes = 64;
+
+    CacheGeometry l1 = {64, 8, ReplPolicy::TreePlru};    // 32 KiB
+    CacheGeometry l2 = {512, 8, ReplPolicy::TreePlru};   // 256 KiB
+    CacheGeometry l3 = {16384, 30, ReplPolicy::Lru};     // 30 MiB
+
+    /** Load-to-use latency of each level in core cycles. */
+    Cycles l1Latency = 4;
+    Cycles l2Latency = 12;
+    Cycles l3Latency = 36;
+
+    DramParams dram;
+};
+
+/**
+ * Latency- and tag-only model of L1D/L2/L3 + DRAM. Misses at each level
+ * fill that level (non-inclusive, write-allocate, writes modelled as
+ * reads for tag purposes).
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyParams &params = {});
+
+    /** Perform one physical access and return where it hit and latency. */
+    MemAccessResult access(PhysAddr paddr, AccessKind kind);
+
+    /** Per-kind, per-level access counts. */
+    Count
+    levelCount(AccessKind kind, MemLevel level) const
+    {
+        return counts_[static_cast<size_t>(kind)][static_cast<size_t>(level)];
+    }
+
+    /** Total accesses of a kind. */
+    Count kindCount(AccessKind kind) const;
+
+    /** Reset statistics (contents retained). */
+    void resetStats();
+    /** Invalidate all cache contents and statistics. */
+    void flush();
+
+    const HierarchyParams &params() const { return params_; }
+    const Dram &dram() const { return dram_; }
+
+  private:
+    HierarchyParams params_;
+    std::uint32_t lineShift_;
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    SetAssocCache l3_;
+    Dram dram_;
+    std::array<std::array<Count, numMemLevels>, 2> counts_{};
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CACHE_HIERARCHY_HH

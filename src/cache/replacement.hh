@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Replacement policies for the set-associative caches and TLBs.
+ */
+
+#ifndef ATSCALE_CACHE_REPLACEMENT_HH
+#define ATSCALE_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+
+namespace atscale
+{
+
+/** Supported replacement policies. */
+enum class ReplPolicy : std::uint8_t
+{
+    /** True least-recently-used via per-way timestamps. */
+    Lru,
+    /** Tree pseudo-LRU (what real L1/L2 arrays typically implement). */
+    TreePlru,
+    /** Uniformly random victim. */
+    Random,
+};
+
+/** Policy name for reports. */
+const char *replPolicyName(ReplPolicy policy);
+
+} // namespace atscale
+
+#endif // ATSCALE_CACHE_REPLACEMENT_HH

@@ -1,0 +1,212 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::Lru:
+        return "LRU";
+      case ReplPolicy::TreePlru:
+        return "TreePLRU";
+      case ReplPolicy::Random:
+        return "Random";
+    }
+    return "?";
+}
+
+SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geom,
+                             std::uint64_t seed)
+    : name_(std::move(name)), geom_(geom), rng_(seed)
+{
+    panic_if(!isPowerOf2(geom_.sets), "cache '%s': sets must be a power of 2",
+             name_.c_str());
+    panic_if(geom_.ways == 0, "cache '%s': needs at least one way",
+             name_.c_str());
+    panic_if(geom_.policy == ReplPolicy::TreePlru && geom_.ways > 32,
+             "cache '%s': tree-PLRU supports at most 32 ways", name_.c_str());
+    setShift_ = static_cast<std::uint32_t>(floorLog2(geom_.sets));
+    ways_.resize(static_cast<size_t>(geom_.sets) * geom_.ways);
+    plruBits_.assign(geom_.sets, 0);
+}
+
+std::uint32_t
+SetAssocCache::setIndex(std::uint64_t key) const
+{
+    return static_cast<std::uint32_t>(key & (geom_.sets - 1));
+}
+
+std::uint64_t
+SetAssocCache::tagOf(std::uint64_t key) const
+{
+    return key >> setShift_;
+}
+
+void
+SetAssocCache::touch(std::uint32_t set, std::uint32_t way)
+{
+    Way &w = ways_[static_cast<size_t>(set) * geom_.ways + way];
+    switch (geom_.policy) {
+      case ReplPolicy::Lru:
+        w.stamp = ++clock_;
+        break;
+      case ReplPolicy::TreePlru: {
+        // Walk the implicit binary tree from root to this way, flipping
+        // each node to point away from the path taken.
+        std::uint64_t &bits = plruBits_[set];
+        std::uint32_t node = 1; // 1-based heap position in the implicit tree
+        std::uint32_t lo = 0, hi = geom_.ways;
+        while (hi - lo > 1) {
+            std::uint32_t mid = (lo + hi) / 2;
+            bool right = way >= mid;
+            if (right) {
+                bits &= ~(1ull << node);
+                lo = mid;
+            } else {
+                bits |= (1ull << node);
+                hi = mid;
+            }
+            node = node * 2 + (right ? 1 : 0);
+        }
+        break;
+      }
+      case ReplPolicy::Random:
+        break;
+    }
+}
+
+std::uint32_t
+SetAssocCache::victim(std::uint32_t set)
+{
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < geom_.ways; ++w)
+        if (!ways_[base + w].valid)
+            return w;
+
+    switch (geom_.policy) {
+      case ReplPolicy::Lru: {
+        std::uint32_t best = 0;
+        std::uint64_t oldest = ways_[base].stamp;
+        for (std::uint32_t w = 1; w < geom_.ways; ++w) {
+            if (ways_[base + w].stamp < oldest) {
+                oldest = ways_[base + w].stamp;
+                best = w;
+            }
+        }
+        return best;
+      }
+      case ReplPolicy::TreePlru: {
+        std::uint64_t bits = plruBits_[set];
+        std::uint32_t node = 1;
+        std::uint32_t lo = 0, hi = geom_.ways;
+        while (hi - lo > 1) {
+            std::uint32_t mid = (lo + hi) / 2;
+            bool right = (bits >> node) & 1;
+            if (right) {
+                lo = mid;
+                node = node * 2 + 1;
+            } else {
+                hi = mid;
+                node = node * 2;
+            }
+        }
+        return lo;
+      }
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng_.below(geom_.ways));
+    }
+    return 0;
+}
+
+bool
+SetAssocCache::access(std::uint64_t key)
+{
+    std::uint32_t set = setIndex(key);
+    std::uint64_t tag = tagOf(key);
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            touch(set, w);
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+SetAssocCache::probe(std::uint64_t key) const
+{
+    std::uint32_t set = setIndex(key);
+    std::uint64_t tag = tagOf(key);
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::fill(std::uint64_t key)
+{
+    std::uint32_t set = setIndex(key);
+    std::uint64_t tag = tagOf(key);
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            touch(set, w);
+            return;
+        }
+    }
+    std::uint32_t w = victim(set);
+    Way &way = ways_[base + w];
+    way.valid = true;
+    way.tag = tag;
+    touch(set, w);
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t key)
+{
+    std::uint32_t set = setIndex(key);
+    std::uint64_t tag = tagOf(key);
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+    std::fill(plruBits_.begin(), plruBits_.end(), 0);
+}
+
+Count
+SetAssocCache::validEntries() const
+{
+    Count n = 0;
+    for (const Way &w : ways_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace atscale

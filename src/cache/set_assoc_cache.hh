@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Generic tag-only set-associative cache.
+ *
+ * Used for every tag array in the machine: the L1D/L2/L3 data caches, the
+ * TLBs, and the paging-structure caches. Only hit/miss behaviour is
+ * modelled — no data storage — which is all the paper's counter-level
+ * metrics require.
+ */
+
+#ifndef ATSCALE_CACHE_SET_ASSOC_CACHE_HH
+#define ATSCALE_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Geometry and policy of a set-associative array. */
+struct CacheGeometry
+{
+    /** Number of sets; must be a power of two (1 = fully associative). */
+    std::uint32_t sets = 64;
+    /** Ways per set. */
+    std::uint32_t ways = 8;
+    /** Replacement policy. */
+    ReplPolicy policy = ReplPolicy::Lru;
+};
+
+/**
+ * A set-associative array of 64-bit keys. The caller is responsible for
+ * converting addresses into keys (e.g. stripping the line or page offset);
+ * the array splits the key into set index (low bits) and tag.
+ */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(std::string name, const CacheGeometry &geom,
+                  std::uint64_t seed = 1);
+
+    /**
+     * Look up a key and update replacement state on a hit.
+     * @return true on hit
+     */
+    bool access(std::uint64_t key);
+
+    /** Look up without updating any state. */
+    bool probe(std::uint64_t key) const;
+
+    /**
+     * Insert a key (does nothing if already present), evicting the
+     * policy's victim if the set is full.
+     */
+    void fill(std::uint64_t key);
+
+    /** Invalidate a key if present; @return true if it was present. */
+    bool invalidate(std::uint64_t key);
+
+    /** Invalidate everything and reset replacement state. */
+    void flush();
+
+    /** Number of valid entries. */
+    Count validEntries() const;
+
+    /** Total capacity in entries. */
+    Count
+    capacity() const
+    {
+        return static_cast<Count>(geom_.sets) * geom_.ways;
+    }
+
+    /** Lifetime hits. */
+    Count hits() const { return hits_; }
+    /** Lifetime misses. */
+    Count misses() const { return misses_; }
+    /** Reset statistics only (keeps contents). */
+    void resetStats() { hits_ = misses_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const CacheGeometry &geometry() const { return geom_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t setIndex(std::uint64_t key) const;
+    std::uint64_t tagOf(std::uint64_t key) const;
+    /** Way index of the victim in set s per the replacement policy. */
+    std::uint32_t victim(std::uint32_t set);
+    /** Update replacement metadata for a touch of (set, way). */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::uint32_t setShift_;
+    std::vector<Way> ways_;
+    /** Tree-PLRU bit vectors, one per set (ways rounded to power of two). */
+    std::vector<std::uint64_t> plruBits_;
+    std::uint64_t clock_ = 0;
+    Rng rng_;
+    Count hits_ = 0;
+    Count misses_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,67 @@
+#include "core/correlation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    panic_if(x.size() != y.size(), "correlation input size mismatch");
+    std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+    double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    double sxx = 0, syy = 0, sxy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = x[i] - mean_x;
+        double dy = y[i] - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if (sxx <= 0 || syy <= 0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+averageRanks(const std::vector<double> &values)
+{
+    std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a] < values[b];
+    });
+
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        // Average rank for the tie group [i, j] (1-based ranks).
+        double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                     1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    return pearson(averageRanks(x), averageRanks(y));
+}
+
+} // namespace atscale

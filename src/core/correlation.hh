@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Pearson and Spearman correlation, the two statistics of the paper's
+ * proxy-metric comparison (Table V).
+ */
+
+#ifndef ATSCALE_CORE_CORRELATION_HH
+#define ATSCALE_CORE_CORRELATION_HH
+
+#include <vector>
+
+namespace atscale
+{
+
+/** Pearson linear correlation coefficient; 0 for degenerate inputs. */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Spearman rank correlation: Pearson on tie-aware (average) ranks.
+ * Measures monotonicity rather than linearity.
+ */
+double spearman(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Tie-aware average ranks of the values (1-based). */
+std::vector<double> averageRanks(const std::vector<double> &values);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_CORRELATION_HH

@@ -1,0 +1,133 @@
+#include "core/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Cache-file name for a run (all knobs that affect the result). */
+std::string
+cachePath(const RunConfig &config)
+{
+    const char *dir = std::getenv("ATSCALE_CACHE_DIR");
+    if (!dir || !*dir)
+        return "";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "%s/%s_f%llu_%s_m%d_w%llu_n%llu_s%llu.run",
+                  dir, config.workload.c_str(),
+                  static_cast<unsigned long long>(config.footprintBytes),
+                  pageSizeName(config.pageSize).c_str(),
+                  static_cast<int>(config.mode),
+                  static_cast<unsigned long long>(config.warmupRefs),
+                  static_cast<unsigned long long>(config.measureRefs),
+                  static_cast<unsigned long long>(config.seed));
+    return buf;
+}
+
+bool
+loadCached(const std::string &path, RunResult &result)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string name;
+    unsigned long long value;
+    int fields = 0;
+    while (in >> name >> value) {
+        if (name == "footprint_touched") {
+            result.footprintTouched = value;
+        } else if (name == "page_table_bytes") {
+            result.pageTableBytes = value;
+        } else {
+            auto id = eventFromName(name);
+            if (!id)
+                return false;
+            result.counters.add(*id, value);
+        }
+        ++fields;
+    }
+    return fields > 0;
+}
+
+void
+storeCached(const std::string &path, const RunResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        return;
+    for (int i = 0; i < numEvents; ++i) {
+        auto id = static_cast<EventId>(i);
+        out << eventName(id) << ' ' << result.counters.get(id) << '\n';
+    }
+    out << "footprint_touched " << result.footprintTouched << '\n';
+    out << "page_table_bytes " << result.pageTableBytes << '\n';
+}
+
+} // namespace
+
+double
+RunResult::cpi() const
+{
+    auto instr = static_cast<double>(instructions());
+    return instr > 0 ? static_cast<double>(cycles()) / instr : 0.0;
+}
+
+double
+RunResult::seconds(double freqGHz) const
+{
+    return static_cast<double>(cycles()) / (freqGHz * 1e9);
+}
+
+RunResult
+runExperiment(const RunConfig &config, const PlatformParams &params)
+{
+    RunResult result;
+    result.config = config;
+
+    std::string cache_file = cachePath(config);
+    if (!cache_file.empty() && loadCached(cache_file, result))
+        return result;
+
+    std::unique_ptr<Workload> workload = createWorkload(config.workload);
+    fatal_if(!workload->supports(config.mode),
+             "workload '%s' does not support the requested mode",
+             config.workload.c_str());
+
+    Platform platform(params, config.pageSize, workload->traits(),
+                      config.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = config.footprintBytes;
+    wl_config.seed = config.seed;
+    wl_config.mode = config.mode;
+    std::unique_ptr<RefSource> stream =
+        workload->instantiate(platform.space, wl_config);
+
+    // Warm-up: populate pages, fill TLBs/caches (the paper's dry run).
+    platform.core.run(*stream, config.warmupRefs);
+
+    // Measurement window.
+    platform.core.resetCounters();
+    platform.mmu.resetStats();
+    platform.hierarchy.resetStats();
+    platform.core.run(*stream, config.measureRefs);
+
+    result.counters = platform.core.counters();
+    result.footprintTouched = platform.space.footprintBytes();
+    result.pageTableBytes = platform.space.pageTable().nodeBytes();
+
+    if (!cache_file.empty())
+        storeCached(cache_file, result);
+    return result;
+}
+
+} // namespace atscale

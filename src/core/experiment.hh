@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The single-run experiment: instantiate a workload on a fresh platform at
+ * one (footprint, page size), warm up, measure a counter window.
+ *
+ * This is the simulated analogue of one of the paper's runs: the warm-up
+ * window plays the role of the 60-second dry run, and counter deltas are
+ * taken over the measurement window only.
+ */
+
+#ifndef ATSCALE_CORE_EXPERIMENT_HH
+#define ATSCALE_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/platform.hh"
+#include "perf/counter_set.hh"
+#include "perf/derived.hh"
+#include "vm/page_size.hh"
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** Configuration of one run. */
+struct RunConfig
+{
+    std::string workload = "bfs-urand";
+    std::uint64_t footprintBytes = 1ull << 30;
+    PageSize pageSize = PageSize::Size4K;
+    WorkloadMode mode = WorkloadMode::Model;
+    /** References executed before the counter window opens. */
+    Count warmupRefs = 500'000;
+    /** References in the measured window. */
+    Count measureRefs = 2'000'000;
+    std::uint64_t seed = 1;
+};
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    RunConfig config;
+    /** Counter deltas over the measurement window. */
+    CounterSet counters;
+    /** Data bytes actually populated (pages touched x page size). */
+    std::uint64_t footprintTouched = 0;
+    /** Page-table bytes built. */
+    std::uint64_t pageTableBytes = 0;
+
+    Count cycles() const { return counters.get(EventId::CpuClkUnhalted); }
+    Count instructions() const { return counters.get(EventId::InstRetired); }
+
+    /** Cycles per instruction over the window. */
+    double cpi() const;
+
+    /** Wall-clock seconds at the platform frequency. */
+    double seconds(double freqGHz = 2.5) const;
+};
+
+/**
+ * Run one experiment on a fresh platform.
+ *
+ * Runs are memoized on disk when the environment variable
+ * ATSCALE_CACHE_DIR is set, so the per-figure benches can share the
+ * expensive sweep results.
+ */
+RunResult runExperiment(const RunConfig &config,
+                        const PlatformParams &params = {});
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_EXPERIMENT_HH

@@ -1,0 +1,60 @@
+#include "core/hugepage_advisor.hh"
+
+#include "perf/derived.hh"
+
+namespace atscale
+{
+
+HugepageAdvisor::HugepageAdvisor(const AdvisorParams &params)
+    : params_(params)
+{
+}
+
+void
+HugepageAdvisor::finishWindow(double wcpi)
+{
+    windows_.push_back(wcpi);
+    if (wcpi >= params_.promoteWcpi) {
+        ++hotStreak_;
+        coldStreak_ = 0;
+    } else if (wcpi <= params_.demoteWcpi) {
+        ++coldStreak_;
+        hotStreak_ = 0;
+    } else {
+        hotStreak_ = 0;
+        coldStreak_ = 0;
+    }
+
+    if (advice_ == HugepageAdvice::Keep4K &&
+        hotStreak_ >= params_.promoteWindows) {
+        advice_ = HugepageAdvice::Promote2M;
+    } else if (advice_ == HugepageAdvice::Promote2M &&
+               coldStreak_ >= params_.demoteWindows) {
+        advice_ = HugepageAdvice::Keep4K;
+    }
+}
+
+HugepageAdvice
+HugepageAdvisor::observe(const CounterSet &cumulative)
+{
+    // Consume as many complete windows as the snapshot delta covers.
+    while (true) {
+        CounterSet delta = cumulative.since(lastSnapshot_);
+        Count instr = delta.get(EventId::InstRetired);
+        if (instr < params_.windowInstructions)
+            break;
+        // Close one window's worth of instructions. Counter windows are
+        // only as granular as the snapshots we were given; attribute the
+        // whole delta if it spans fewer than two windows, otherwise
+        // consume it proportionally.
+        double wcpi = static_cast<double>(totalWalkCycles(delta)) /
+                      static_cast<double>(instr);
+        Count windows = instr / params_.windowInstructions;
+        for (Count w = 0; w < windows; ++w)
+            finishWindow(wcpi);
+        lastSnapshot_ = cumulative;
+    }
+    return advice_;
+}
+
+} // namespace atscale

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * WCPI-guided hugepage promotion — the application the paper proposes in
+ * its Discussion: "using WCPI as a heuristic to guide huge page
+ * allocation either in the compiler or operating system would be worthy
+ * of further investigation."
+ *
+ * The advisor watches a run's counters in fixed instruction windows,
+ * computes WCPI online, and recommends promotion to 2 MiB backing when
+ * sustained WCPI crosses a threshold (and, symmetrically, demotion when
+ * it stays negligible). The atscale Platform cannot remap live (one
+ * backing per run), so the harness applies the advice by re-running the
+ * instance with the recommended backing — the OS-level analogue of
+ * khugepaged promoting a process's heap after observing sustained AT
+ * pressure.
+ */
+
+#ifndef ATSCALE_CORE_HUGEPAGE_ADVISOR_HH
+#define ATSCALE_CORE_HUGEPAGE_ADVISOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "perf/counter_set.hh"
+#include "vm/page_size.hh"
+
+namespace atscale
+{
+
+/** Advisor policy knobs. */
+struct AdvisorParams
+{
+    /** Instructions per observation window. */
+    Count windowInstructions = 200'000;
+    /** Promote to 2 MiB when windowed WCPI exceeds this... */
+    double promoteWcpi = 0.05;
+    /** ...for at least this many consecutive windows. */
+    int promoteWindows = 3;
+    /** Demote back to 4 KiB when windowed WCPI stays below this. */
+    double demoteWcpi = 0.005;
+    int demoteWindows = 5;
+};
+
+/** What the advisor currently recommends. */
+enum class HugepageAdvice
+{
+    Keep4K,
+    Promote2M,
+};
+
+/**
+ * Online WCPI observer. Feed it counter snapshots; it segments them into
+ * instruction windows and applies the hysteresis policy.
+ */
+class HugepageAdvisor
+{
+  public:
+    explicit HugepageAdvisor(const AdvisorParams &params = {});
+
+    /**
+     * Observe the cumulative counter state (monotone snapshots of the
+     * same run). Returns the advice after incorporating any windows the
+     * new snapshot completes.
+     */
+    HugepageAdvice observe(const CounterSet &cumulative);
+
+    /** Current advice. */
+    HugepageAdvice advice() const { return advice_; }
+
+    /** Windowed WCPI values seen so far (for reporting). */
+    const std::vector<double> &windowWcpi() const { return windows_; }
+
+    /** Windows observed. */
+    std::size_t windowCount() const { return windows_.size(); }
+
+    const AdvisorParams &params() const { return params_; }
+
+  private:
+    void finishWindow(double wcpi);
+
+    AdvisorParams params_;
+    CounterSet lastSnapshot_;
+    std::vector<double> windows_;
+    int hotStreak_ = 0;
+    int coldStreak_ = 0;
+    HugepageAdvice advice_ = HugepageAdvice::Keep4K;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_HUGEPAGE_ADVISOR_HH

@@ -1,0 +1,23 @@
+#include "core/overhead.hh"
+
+namespace atscale
+{
+
+OverheadPoint
+measureOverhead(const RunConfig &base, const PlatformParams &params)
+{
+    OverheadPoint point;
+    point.workload = base.workload;
+    point.footprintBytes = base.footprintBytes;
+
+    RunConfig config = base;
+    config.pageSize = PageSize::Size4K;
+    point.run4k = runExperiment(config, params);
+    config.pageSize = PageSize::Size2M;
+    point.run2m = runExperiment(config, params);
+    config.pageSize = PageSize::Size1G;
+    point.run1g = runExperiment(config, params);
+    return point;
+}
+
+} // namespace atscale

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Address translation overhead (Section III): run a workload instance
+ * with 4 KiB, 2 MiB, and 1 GiB backing and compare runtimes against the
+ * min(t_2MB, t_1GB) baseline.
+ */
+
+#ifndef ATSCALE_CORE_OVERHEAD_HH
+#define ATSCALE_CORE_OVERHEAD_HH
+
+#include <algorithm>
+
+#include "core/experiment.hh"
+
+namespace atscale
+{
+
+/** Overhead measurement for one (workload, footprint) point. */
+struct OverheadPoint
+{
+    std::string workload;
+    std::uint64_t footprintBytes = 0;
+
+    /** The three runs (index by PageSize). */
+    RunResult run4k;
+    RunResult run2m;
+    RunResult run1g;
+
+    /** The paper's baseline: min(t_2MB, t_1GB). */
+    double
+    baselineCycles() const
+    {
+        return static_cast<double>(
+            std::min(run2m.cycles(), run1g.cycles()));
+    }
+
+    /** Absolute AT overhead in cycles. */
+    double
+    overheadCycles() const
+    {
+        return static_cast<double>(run4k.cycles()) - baselineCycles();
+    }
+
+    /** Relative AT overhead: (t_4KB - baseline) / baseline. */
+    double
+    relativeOverhead() const
+    {
+        double base = baselineCycles();
+        return base > 0 ? overheadCycles() / base : 0.0;
+    }
+
+    /** True if this point counts as AT-sensitive (overhead >= 0). */
+    bool atSensitive() const { return overheadCycles() >= 0.0; }
+};
+
+/**
+ * Measure one overhead point: three runs of the same instance (same
+ * stream seed) differing only in page-size backing.
+ */
+OverheadPoint measureOverhead(const RunConfig &base,
+                              const PlatformParams &params = {});
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_OVERHEAD_HH

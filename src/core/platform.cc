@@ -1,0 +1,17 @@
+#include "core/platform.hh"
+
+namespace atscale
+{
+
+Platform::Platform(const PlatformParams &params, PageSize backing,
+                   const WorkloadTraits &traits, std::uint64_t seed)
+    : alloc(params.dramBytes),
+      space(mem, alloc, backing),
+      hierarchy(params.hierarchy),
+      mmu(space, mem, hierarchy, params.mmu),
+      core(mmu, hierarchy, space, params.core, traits, seed),
+      params_(params)
+{
+}
+
+} // namespace atscale

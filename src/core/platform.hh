@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Assembly of one simulated machine (Table III): physical memory, address
+ * space, cache hierarchy, MMU, and timing core, built for one experiment
+ * run at a chosen page-size backing.
+ */
+
+#ifndef ATSCALE_CORE_PLATFORM_HH
+#define ATSCALE_CORE_PLATFORM_HH
+
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "mmu/mmu.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+/** Full machine configuration (defaults reproduce the paper's system). */
+struct PlatformParams
+{
+    HierarchyParams hierarchy;
+    MmuParams mmu;
+    CoreParams core;
+    /** Core frequency, for converting cycles to seconds. */
+    double freqGHz = 2.5;
+    /** Simulated DRAM capacity (2 sockets x 384 GiB). */
+    std::uint64_t dramBytes = 768ull << 30;
+};
+
+/**
+ * One simulated machine instance. Components are wired once at
+ * construction; the workload then reserves regions in `space` and the
+ * caller drives `core`.
+ */
+class Platform
+{
+  public:
+    /**
+     * @param backing page size requested for all workload data regions
+     * @param traits workload character for the timing core
+     */
+    Platform(const PlatformParams &params, PageSize backing,
+             const WorkloadTraits &traits, std::uint64_t seed = 42);
+
+    PhysicalMemory mem;
+    FrameAllocator alloc;
+    AddressSpace space;
+    CacheHierarchy hierarchy;
+    Mmu mmu;
+    Core core;
+
+    const PlatformParams &params() const { return params_; }
+
+  private:
+    PlatformParams params_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_PLATFORM_HH

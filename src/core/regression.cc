@@ -1,0 +1,55 @@
+#include "core/regression.hh"
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+OlsFit
+fitOls(const std::vector<double> &x, const std::vector<double> &y)
+{
+    panic_if(x.size() != y.size(), "regression input size mismatch");
+    OlsFit fit;
+    fit.n = x.size();
+    if (fit.n < 2)
+        return fit;
+
+    auto n = static_cast<double>(fit.n);
+    double sum_x = 0, sum_y = 0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        sum_x += x[i];
+        sum_y += y[i];
+    }
+    double mean_x = sum_x / n;
+    double mean_y = sum_y / n;
+
+    double sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        double dx = x[i] - mean_x;
+        double dy = y[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx <= 0)
+        return fit;
+
+    fit.slope = sxy / sxx;
+    fit.intercept = mean_y - fit.slope * mean_x;
+
+    double ss_res = 0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        double e = y[i] - fit.predict(x[i]);
+        ss_res += e * e;
+    }
+    fit.r2 = syy > 0 ? 1.0 - ss_res / syy : 1.0;
+    if (fit.n > 2) {
+        fit.adjustedR2 =
+            1.0 - (1.0 - fit.r2) * (n - 1.0) / (n - 2.0);
+    } else {
+        fit.adjustedR2 = fit.r2;
+    }
+    return fit;
+}
+
+} // namespace atscale

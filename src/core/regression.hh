@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ordinary least squares for the paper's scaling model (Table IV):
+ * relative AT overhead = beta0 + beta1 * log10(footprint) + eps.
+ */
+
+#ifndef ATSCALE_CORE_REGRESSION_HH
+#define ATSCALE_CORE_REGRESSION_HH
+
+#include <vector>
+
+namespace atscale
+{
+
+/** Result of a simple linear regression y = b0 + b1 x. */
+struct OlsFit
+{
+    double intercept = 0.0;   ///< beta0
+    double slope = 0.0;       ///< beta1
+    double r2 = 0.0;          ///< coefficient of determination
+    double adjustedR2 = 0.0;  ///< adjusted for the 2 parameters
+    std::size_t n = 0;        ///< samples
+
+    /** Predicted y at x. */
+    double
+    predict(double x) const
+    {
+        return intercept + slope * x;
+    }
+};
+
+/** Fit y = b0 + b1 x by ordinary least squares. Needs n >= 3 for a
+ * meaningful adjusted R^2 (returns r2 there otherwise). */
+OlsFit fitOls(const std::vector<double> &x, const std::vector<double> &y);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_REGRESSION_HH

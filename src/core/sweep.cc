@@ -1,0 +1,86 @@
+#include "core/sweep.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+std::vector<std::uint64_t>
+footprintSweep(std::uint64_t lo, std::uint64_t hi, int pointsPerDecade)
+{
+    panic_if(lo == 0 || hi < lo, "bad footprint range");
+    std::vector<std::uint64_t> sweep;
+    double log_lo = std::log10(static_cast<double>(lo));
+    double log_hi = std::log10(static_cast<double>(hi));
+    int steps = static_cast<int>(
+        std::ceil((log_hi - log_lo) * pointsPerDecade));
+    for (int i = 0; i <= steps; ++i) {
+        double lg = log_lo + (log_hi - log_lo) * i / std::max(steps, 1);
+        sweep.push_back(static_cast<std::uint64_t>(std::pow(10.0, lg)));
+    }
+    // Pin the endpoints exactly (pow/log round-tripping truncates).
+    sweep.front() = lo;
+    sweep.back() = hi;
+    return sweep;
+}
+
+std::vector<std::uint64_t>
+defaultFootprints()
+{
+    // ~250 MB to ~600 GB, 2 points per decade (the paper's Figs use
+    // ~8-12 input sizes per workload).
+    return footprintSweep(256ull << 20, 600ull << 30, 2);
+}
+
+std::vector<std::uint64_t>
+quickFootprints()
+{
+    return footprintSweep(256ull << 20, 64ull << 30, 1);
+}
+
+std::vector<std::uint64_t>
+sweepFootprints()
+{
+    const char *quick = std::getenv("ATSCALE_QUICK");
+    if (quick && *quick && *quick != '0')
+        return quickFootprints();
+    return defaultFootprints();
+}
+
+WorkloadSweep
+sweepWorkload(const std::string &workload,
+              const std::vector<std::uint64_t> &footprints,
+              const RunConfig &base, const PlatformParams &params,
+              const std::function<void(const OverheadPoint &)> &progress)
+{
+    WorkloadSweep sweep;
+    sweep.workload = workload;
+    for (std::uint64_t footprint : footprints) {
+        RunConfig config = base;
+        config.workload = workload;
+        config.footprintBytes = footprint;
+        sweep.points.push_back(measureOverhead(config, params));
+        if (progress)
+            progress(sweep.points.back());
+    }
+    return sweep;
+}
+
+std::vector<WorkloadSweep>
+sweepWorkloads(const std::vector<std::string> &workloads,
+               const std::vector<std::uint64_t> &footprints,
+               const RunConfig &base, const PlatformParams &params)
+{
+    std::vector<WorkloadSweep> sweeps;
+    for (const std::string &workload : workloads) {
+        inform("sweeping %s (%zu footprints)", workload.c_str(),
+               footprints.size());
+        sweeps.push_back(sweepWorkload(workload, footprints, base, params));
+    }
+    return sweeps;
+}
+
+} // namespace atscale

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Footprint sweeps: the paper's input-size sweeps per workload, yielding
+ * one OverheadPoint per (workload, footprint).
+ */
+
+#ifndef ATSCALE_CORE_SWEEP_HH
+#define ATSCALE_CORE_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/overhead.hh"
+
+namespace atscale
+{
+
+/**
+ * Log-spaced footprints from lo to hi (inclusive-ish), pointsPerDecade
+ * per factor of 10, mirroring the paper's ~250 MB to ~600 GB range.
+ */
+std::vector<std::uint64_t> footprintSweep(std::uint64_t lo, std::uint64_t hi,
+                                          int pointsPerDecade);
+
+/** The default sweep used by the figure benches. */
+std::vector<std::uint64_t> defaultFootprints();
+
+/** A reduced sweep for quick runs (ATSCALE_QUICK=1). */
+std::vector<std::uint64_t> quickFootprints();
+
+/** Honours ATSCALE_QUICK: quick or default footprints. */
+std::vector<std::uint64_t> sweepFootprints();
+
+/** One workload's sweep. */
+struct WorkloadSweep
+{
+    std::string workload;
+    std::vector<OverheadPoint> points;
+};
+
+/**
+ * Sweep one workload across footprints.
+ * @param progress optional callback invoked after each point
+ */
+WorkloadSweep
+sweepWorkload(const std::string &workload,
+              const std::vector<std::uint64_t> &footprints,
+              const RunConfig &base = {}, const PlatformParams &params = {},
+              const std::function<void(const OverheadPoint &)> &progress = {});
+
+/** Sweep several workloads. */
+std::vector<WorkloadSweep>
+sweepWorkloads(const std::vector<std::string> &workloads,
+               const std::vector<std::uint64_t> &footprints,
+               const RunConfig &base = {},
+               const PlatformParams &params = {});
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_SWEEP_HH

@@ -1,0 +1,253 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Stall-pressure EWMA smoothing factor. */
+constexpr double stallAlpha = 0.01;
+
+/** page_walker_loads.* events indexed by MemLevel. */
+constexpr EventId walkerLoadEvents[numMemLevels] = {
+    EventId::PageWalkerLoadsDtlbL1,
+    EventId::PageWalkerLoadsDtlbL2,
+    EventId::PageWalkerLoadsDtlbL3,
+    EventId::PageWalkerLoadsDtlbMemory,
+};
+
+} // namespace
+
+Core::Core(Mmu &mmu, CacheHierarchy &hierarchy, AddressSpace &space,
+           const CoreParams &params, const WorkloadTraits &traits,
+           std::uint64_t seed)
+    : mmu_(mmu), hierarchy_(hierarchy), space_(space), params_(params),
+      traits_(traits), rng_(seed)
+{
+    // Serial-chase workloads cannot overlap walks with useful work.
+    walkExposure_ = params_.walkExposure * (1.0 + (1.0 - traits_.mlpHint) * 0.8);
+}
+
+Count
+Core::run(RefSource &source, Count numRefs)
+{
+    Count done = 0;
+    Ref ref;
+    double flushed = static_cast<double>(cycles());
+    while (done < numRefs && source.next(ref)) {
+        executeRef(source, ref);
+        ++done;
+    }
+    // Publish accumulated fractional cycles into the counter bank.
+    auto delta = static_cast<Count>(cycleAcc_ - flushed);
+    counters_.add(EventId::CpuClkUnhalted, delta);
+    return done;
+}
+
+void
+Core::stall(double cycles)
+{
+    cycleAcc_ += cycles;
+    refStall_ += cycles;
+}
+
+void
+Core::accountWalk(const WalkResult &walk, bool isStore, bool retired)
+{
+    counters_.add(isStore ? EventId::DtlbStoreMissesMissCausesAWalk
+                          : EventId::DtlbLoadMissesMissCausesAWalk);
+    counters_.add(isStore ? EventId::DtlbStoreMissesWalkDuration
+                          : EventId::DtlbLoadMissesWalkDuration,
+                  walk.cycles);
+    for (int level = 0; level < numMemLevels; ++level) {
+        if (walk.loadsAtLevel[static_cast<size_t>(level)]) {
+            counters_.add(walkerLoadEvents[level],
+                          walk.loadsAtLevel[static_cast<size_t>(level)]);
+        }
+    }
+    if (walk.completed) {
+        counters_.add(isStore ? EventId::DtlbStoreMissesWalkCompleted
+                              : EventId::DtlbLoadMissesWalkCompleted);
+    }
+    if (retired && walk.completed && !walk.faulted) {
+        counters_.add(isStore ? EventId::MemUopsRetiredStlbMissStores
+                              : EventId::MemUopsRetiredStlbMissLoads);
+    }
+}
+
+PhysAddr
+Core::dataPaddr(Addr vaddr)
+{
+    for (const MicroTlbEntry &e : microTlb_) {
+        if (vaddr - e.base < e.size)
+            return e.frame + (vaddr - e.base);
+    }
+    const Translation &t = space_.touch(vaddr);
+    MicroTlbEntry &e = microTlb_[microPos_++ & (microTlb_.size() - 1)];
+    e.base = t.pageBase;
+    e.size = pageBytes(t.pageSize);
+    e.frame = t.frame;
+    return t.paddr(vaddr);
+}
+
+Cycles
+Core::wrongPathRef(Addr vaddr, Cycles budget)
+{
+    MmuResult t = mmu_.translate(vaddr, true, budget);
+    Cycles walker_busy = 0;
+
+    switch (t.tlbLevel) {
+      case TlbLevel::L1:
+      case TlbLevel::L2: {
+        if (t.tlbLevel == TlbLevel::L2)
+            counters_.add(EventId::DtlbLoadMissesStlbHit);
+        // The wrong-path load issues and pollutes the data hierarchy.
+        Translation tr = space_.translate(vaddr);
+        if (tr.valid)
+            hierarchy_.access(tr.paddr(vaddr), AccessKind::Data);
+        break;
+      }
+      case TlbLevel::Miss:
+        accountWalk(t.walk, false, false);
+        walker_busy = t.walk.cycles;
+        if (t.walk.completed && !t.walk.faulted) {
+            hierarchy_.access(t.walk.translation.paddr(vaddr),
+                              AccessKind::Data);
+        }
+        break;
+    }
+    return walker_busy;
+}
+
+void
+Core::wrongPathEpisode(RefSource &source)
+{
+    double depth = params_.specDepthBase + params_.specDepthCoef * stallEwma_;
+    auto draws = static_cast<std::uint64_t>(std::ceil(depth * 2.0));
+    int nrefs = 1 + static_cast<int>(rng_.below(std::max<std::uint64_t>(draws, 1)));
+    nrefs = std::min(nrefs, params_.maxWrongPathRefs);
+
+    // Under heavy stall the mispredicted branch resolves later, leaving a
+    // longer shadow for speculative walks (and more time to abort them).
+    double resolve = static_cast<double>(params_.branchResolveCycles) *
+                     (1.0 + 0.3 * stallEwma_);
+    auto budget = static_cast<Cycles>(resolve);
+
+    Cycles elapsed = 0;
+    for (int i = 0; i < nrefs && elapsed < budget; ++i) {
+        Addr addr;
+        if (recentPos_ == 0 || rng_.chance(traits_.wrongPathRandomFraction)) {
+            addr = source.wrongPathAddr(rng_);
+        } else {
+            std::uint32_t valid = std::min<std::uint32_t>(
+                recentPos_, static_cast<std::uint32_t>(recent_.size()));
+            Addr base = recent_[rng_.below(valid)];
+            addr = base + rng_.below(8192) - 4096;
+        }
+        elapsed += wrongPathRef(addr, budget - elapsed);
+        elapsed += 2; // issue slot for the wrong-path uop itself
+    }
+}
+
+void
+Core::executeRef(RefSource &source, const Ref &ref)
+{
+    const Count instr = ref.instGap + 1;
+    counters_.add(EventId::InstRetired, instr);
+    cycleAcc_ += static_cast<double>(instr) * params_.baseCpi;
+    instsSinceMiss_ += instr;
+    refStall_ = 0.0;
+
+    // --- Control flow: branches, mispredictions, machine clears --------
+    branchCarry_ += static_cast<double>(instr) * traits_.branchesPerInstr;
+    auto branches = static_cast<Count>(branchCarry_);
+    branchCarry_ -= static_cast<double>(branches);
+    if (branches) {
+        counters_.add(EventId::BrInstRetiredAllBranches, branches);
+        for (Count b = 0; b < branches; ++b) {
+            if (rng_.chance(traits_.mispredictRate)) {
+                counters_.add(EventId::BrMispRetiredAllBranches);
+                stall(static_cast<double>(params_.mispredictPenalty));
+                wrongPathEpisode(source);
+            }
+        }
+    }
+
+    double p_clear = params_.machineClearCoef * stallEwma_ *
+                     static_cast<double>(instr);
+    if (p_clear > 0.0 && rng_.chance(std::min(p_clear, 0.1))) {
+        counters_.add(EventId::MachineClearsCount);
+        stall(static_cast<double>(params_.machineClearPenalty));
+        pendingClearKill_ = true;
+        // The flush discards a ROB's worth of issued-but-unretired work;
+        // walks that complete for those instructions will never produce
+        // a retired STLB-miss uop (their re-execution TLB-hits).
+        squashInstrLeft_ = params_.squashWindow / 2 +
+                           rng_.below(params_.squashWindow);
+    }
+
+    bool squashed = squashInstrLeft_ > 0;
+    if (squashed)
+        squashInstrLeft_ -= std::min<Count>(squashInstrLeft_, instr);
+
+    // --- Address translation -------------------------------------------
+    counters_.add(ref.isStore ? EventId::MemUopsRetiredAllStores
+                              : EventId::MemUopsRetiredAllLoads);
+
+    Cycles budget = unlimitedWalkBudget;
+    if (pendingClearKill_)
+        budget = 10 + rng_.below(50);
+
+    MmuResult t = mmu_.translate(ref.vaddr, false, budget);
+    if (t.tlbLevel == TlbLevel::L2) {
+        counters_.add(ref.isStore ? EventId::DtlbStoreMissesStlbHit
+                                  : EventId::DtlbLoadMissesStlbHit);
+        stall(static_cast<double>(t.tlbExtraLatency) *
+              params_.l2TlbHitExposure);
+    } else if (t.tlbLevel == TlbLevel::Miss) {
+        pendingClearKill_ = false;
+        bool ok = t.walk.completed && !t.walk.faulted && !squashed;
+        accountWalk(t.walk, ref.isStore, ok);
+        stall(static_cast<double>(t.walk.cycles) * walkExposure_);
+        if (!t.walk.completed) {
+            // The machine clear killed the walk; after the flush the
+            // access re-executes and walks again from scratch.
+            MmuResult retry = mmu_.translate(ref.vaddr, false);
+            if (retry.tlbLevel == TlbLevel::Miss) {
+                accountWalk(retry.walk, ref.isStore,
+                            retry.walk.completed && !retry.walk.faulted);
+                stall(static_cast<double>(retry.walk.cycles) *
+                      walkExposure_);
+            }
+        }
+    }
+
+    // --- Data access ----------------------------------------------------
+    PhysAddr paddr = dataPaddr(ref.vaddr);
+    MemAccessResult mem = hierarchy_.access(paddr, AccessKind::Data);
+    if (mem.level != MemLevel::L1) {
+        if (instsSinceMiss_ > params_.robWindow)
+            windowMisses_ = 0.0;
+        windowMisses_ += 1.0;
+        instsSinceMiss_ = 0;
+        double mlp = 1.0 + traits_.mlpHint *
+                     std::min(windowMisses_ - 1.0, params_.maxMlp - 1.0);
+        stall(static_cast<double>(mem.latency) *
+              params_.dataExposure[static_cast<size_t>(mem.level)] / mlp);
+    }
+
+    recent_[recentPos_ % recent_.size()] = ref.vaddr;
+    ++recentPos_;
+
+    // --- Stall pressure update ------------------------------------------
+    double per_instr = refStall_ / static_cast<double>(instr);
+    stallEwma_ += stallAlpha * (per_instr - stallEwma_);
+}
+
+} // namespace atscale

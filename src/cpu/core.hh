@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The timing core: consumes a workload's reference stream, drives the MMU
+ * and cache hierarchy, models speculation (wrong-path references, squashed
+ * walks, machine clears), and accounts cycles and performance counters.
+ */
+
+#ifndef ATSCALE_CPU_CORE_HH
+#define ATSCALE_CPU_CORE_HH
+
+#include <array>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core_params.hh"
+#include "cpu/ref_stream.hh"
+#include "mmu/mmu.hh"
+#include "perf/counter_set.hh"
+#include "util/random.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+/**
+ * An interval-analysis timing core with a speculation model.
+ *
+ * Cycle accounting: instructions accrue at a base CPI; L2-TLB hits, data
+ * cache misses, and page walks charge the fraction of their latency the
+ * out-of-order window cannot hide, with clustered misses discounted by a
+ * memory-level-parallelism estimate. Mispredicted branches spawn
+ * wrong-path references whose translations can initiate page walks that
+ * are squashed (aborted) when the branch resolves; machine clears kill
+ * in-flight walks and force re-walks. This is what produces the paper's
+ * initiated/completed/retired walk-outcome split (Table VI).
+ */
+class Core
+{
+  public:
+    Core(Mmu &mmu, CacheHierarchy &hierarchy, AddressSpace &space,
+         const CoreParams &params, const WorkloadTraits &traits,
+         std::uint64_t seed = 42);
+
+    /**
+     * Execute up to numRefs references from the stream.
+     * @return references actually executed (less only if the stream ends)
+     */
+    Count run(RefSource &source, Count numRefs);
+
+    /** Performance counters accumulated so far. */
+    const CounterSet &counters() const { return counters_; }
+
+    /** Retired instructions so far. */
+    Count instructions() const { return counters_.get(EventId::InstRetired); }
+
+    /** Elapsed cycles so far. */
+    Cycles cycles() const { return counters_.get(EventId::CpuClkUnhalted); }
+
+    /** Zero the counters (microarchitectural state is retained, so a
+     * measurement window can follow a warm-up window). */
+    void
+    resetCounters()
+    {
+        counters_.reset();
+        cycleAcc_ = 0.0;
+    }
+
+    const CoreParams &params() const { return params_; }
+    const WorkloadTraits &traits() const { return traits_; }
+
+  private:
+    /** Execute one correct-path reference. */
+    void executeRef(RefSource &source, const Ref &ref);
+
+    /** Run the wrong-path shadow of one mispredicted branch. */
+    void wrongPathEpisode(RefSource &source);
+
+    /** Translate + access for one wrong-path reference.
+     * @return cycles the walker was busy */
+    Cycles wrongPathRef(Addr vaddr, Cycles budget);
+
+    /** Charge stall cycles and update stall pressure. */
+    void stall(double cycles);
+
+    /** Physical address of a correct-path access (via the micro-cache). */
+    PhysAddr dataPaddr(Addr vaddr);
+
+    /** Account a walk's counter events. @param isStore attribute to the
+     * store events @param retired walk belongs to a retiring access */
+    void accountWalk(const WalkResult &walk, bool isStore, bool retired);
+
+    Mmu &mmu_;
+    CacheHierarchy &hierarchy_;
+    AddressSpace &space_;
+    CoreParams params_;
+    WorkloadTraits traits_;
+    Rng rng_;
+    /** MLP-scaled effective walk exposure (see CoreParams). */
+    double walkExposure_ = 0.0;
+
+    CounterSet counters_;
+    /** Cycle accumulator (fractional stalls), flushed into counters_. */
+    double cycleAcc_ = 0.0;
+    /** Stall cycles charged by the current reference. */
+    double refStall_ = 0.0;
+    /** Fractional-branch carry for stochastic-rounding branch counts. */
+    double branchCarry_ = 0.0;
+    /** EWMA of stall cycles per instruction (stall pressure). */
+    double stallEwma_ = 0.0;
+    /** Instructions since the last data cache miss (MLP window). */
+    std::uint64_t instsSinceMiss_ = 0;
+    /** Misses in the current MLP window. */
+    double windowMisses_ = 0.0;
+    /** A machine clear is pending: the next walk gets killed mid-flight. */
+    bool pendingClearKill_ = false;
+    /** Instructions still inside a machine-clear squash window: walks
+     * completed here lose their retirement (the flushed instructions
+     * re-execute and hit the freshly installed TLB entry), which is how
+     * correct-path walks become Table VI "wrong path" walks. */
+    Count squashInstrLeft_ = 0;
+
+    /** Ring of recent correct-path addresses for wrong-path perturbation. */
+    std::array<Addr, 16> recent_{};
+    std::uint32_t recentPos_ = 0;
+
+    /** Tiny translation micro-cache for data-path paddr computation. */
+    struct MicroTlbEntry
+    {
+        Addr base = ~0ull;
+        std::uint64_t size = 0;
+        PhysAddr frame = 0;
+    };
+    std::array<MicroTlbEntry, 8> microTlb_{};
+    std::uint32_t microPos_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CPU_CORE_HH

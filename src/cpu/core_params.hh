@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Timing-core parameters.
+ *
+ * The core is an interval-analysis model (Karkhanis/Smith style): issue
+ * cycles accrue at a base CPI, miss latencies are charged only to the
+ * extent the out-of-order window cannot hide them, and memory-level
+ * parallelism discounts clustered misses. Exposure factors are calibrated
+ * so the simulated Haswell lands in the paper's overhead range; shapes are
+ * emergent.
+ */
+
+#ifndef ATSCALE_CPU_CORE_PARAMS_HH
+#define ATSCALE_CPU_CORE_PARAMS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Per-workload character hints supplied by each workload definition. */
+struct WorkloadTraits
+{
+    /** Branch instructions per instruction. */
+    double branchesPerInstr = 0.15;
+    /** Mispredictions per branch. */
+    double mispredictRate = 0.02;
+    /**
+     * Memory-level parallelism hint in [0, 1]: 1 = misses fully
+     * independent (streaming), 0 = fully dependent (pointer chasing).
+     */
+    double mlpHint = 0.6;
+    /**
+     * Probability a wrong-path reference goes to a fresh random data
+     * address (vs revisiting a recently touched line).
+     */
+    double wrongPathRandomFraction = 0.5;
+};
+
+/** Core pipeline/speculation parameters. */
+struct CoreParams
+{
+    /** CPI of the non-memory instruction mix (ILP-limited component). */
+    double baseCpi = 0.35;
+    /** Fraction of an L2-TLB-hit's extra latency that reaches the
+     * critical path (easy to hide, per the paper's argument). */
+    double l2TlbHitExposure = 0.08;
+    /**
+     * Fraction of a data access latency that reaches the critical path,
+     * per hit level (L1 hits are fully pipelined).
+     */
+    std::array<double, 4> dataExposure = {0.0, 0.15, 0.35, 0.55};
+    /**
+     * Base fraction of a page walk's latency that reaches the critical
+     * path. The effective exposure is scaled up for low-MLP workloads
+     * (serial chases leave nothing to overlap a walk with):
+     * effective = walkExposure * (1 + (1 - mlpHint) * 0.8).
+     */
+    double walkExposure = 0.25;
+    /** Instructions over which clustered misses can overlap (ROB reach). */
+    std::uint32_t robWindow = 192;
+    /** Maximum overlapping misses (MSHR-limited). */
+    double maxMlp = 10.0;
+    /** Pipeline refill penalty for a branch misprediction. */
+    Cycles mispredictPenalty = 15;
+    /** Pipeline flush penalty for a machine clear. */
+    Cycles machineClearPenalty = 35;
+    /** Cycles from wrong-path entry until the mispredicted branch
+     * resolves and squashes (budget for speculative walks). */
+    Cycles branchResolveCycles = 40;
+    /** Cap on wrong-path references issued per misprediction episode. */
+    int maxWrongPathRefs = 12;
+    /** Machine clears per retired reference per unit of stall pressure
+     * (memory-order/disambiguation clears grow with outstanding work). */
+    double machineClearCoef = 8e-4;
+    /** Instructions a machine clear squashes and re-executes (walks
+     * completed inside this window lose their retired STLB-miss uop). */
+    Count squashWindow = 160;
+    /** Baseline speculation depth at zero stall pressure. */
+    double specDepthBase = 0.3;
+    /** Speculation-depth growth per cycle of average stall (long stalls
+     * let the frontend run further ahead — the mechanism behind the
+     * paper's growing wrong-path walk fraction). */
+    double specDepthCoef = 1.5;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CPU_CORE_PARAMS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The instruction/reference stream abstraction between workloads and the
+ * timing core.
+ *
+ * A workload is consumed as a stream of retired memory references, each
+ * carrying the number of non-memory instructions issued since the previous
+ * reference. This is the standard trace-driven decoupling: the core never
+ * needs opcodes, only the memory behaviour and instruction mix.
+ */
+
+#ifndef ATSCALE_CPU_REF_STREAM_HH
+#define ATSCALE_CPU_REF_STREAM_HH
+
+#include <cstdint>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** One correct-path memory reference. */
+struct Ref
+{
+    /** Virtual address accessed. */
+    Addr vaddr = 0;
+    /** Non-memory instructions retired since the previous reference. */
+    std::uint32_t instGap = 0;
+    /** Store (vs load). */
+    bool isStore = false;
+};
+
+/**
+ * A restartable source of memory references. Implementations are the
+ * exec-mode instrumented algorithms and the model-mode streaming
+ * generators in src/workloads.
+ */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @return false when the workload instance is exhausted (the driver
+     *         may then rewind or stop)
+     */
+    virtual bool next(Ref &ref) = 0;
+
+    /**
+     * A plausible wrong-path data address: an address a control-divergent
+     * speculative path through the same code might touch. Divergent paths
+     * share the program's locality, so implementations draw near their
+     * current cursors using the *caller's* rng (never their own, which
+     * must stay deterministic regardless of speculation). Must fall
+     * inside the workload's mapped regions.
+     */
+    virtual Addr wrongPathAddr(Rng &rng) = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_CPU_REF_STREAM_HH

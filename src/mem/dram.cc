@@ -1,0 +1,41 @@
+#include "mem/dram.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+Dram::Dram(const DramParams &params)
+    : params_(params),
+      openRow_(static_cast<size_t>(params.banks), -1)
+{
+    panic_if(params_.banks <= 0, "DRAM needs at least one bank");
+    panic_if(!isPowerOf2(params_.rowBytes), "row size must be a power of two");
+}
+
+Cycles
+Dram::access(PhysAddr paddr)
+{
+    std::uint64_t row = paddr / params_.rowBytes;
+    // Interleave consecutive rows across banks.
+    auto bank = static_cast<size_t>(row % static_cast<std::uint64_t>(params_.banks));
+    auto srow = static_cast<std::int64_t>(row);
+    if (openRow_[bank] == srow) {
+        ++rowHits_;
+        return params_.rowHitLatency;
+    }
+    ++rowConflicts_;
+    openRow_[bank] = srow;
+    return params_.rowHitLatency + params_.rowConflictExtra;
+}
+
+void
+Dram::reset()
+{
+    std::fill(openRow_.begin(), openRow_.end(), -1);
+    rowHits_ = 0;
+    rowConflicts_ = 0;
+}
+
+} // namespace atscale

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Open-page DRAM latency model.
+ *
+ * A deliberately small model: per-bank open-row tracking with a row-hit /
+ * row-conflict latency split, calibrated to the paper's DDR4-1600 parts as
+ * seen from a 2.5 GHz core. The cache hierarchy adds its own lookup
+ * latencies on the way down, so this class only accounts for the DRAM
+ * device + controller portion of a miss.
+ */
+
+#ifndef ATSCALE_MEM_DRAM_HH
+#define ATSCALE_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Tunable DRAM timing/geometry parameters. */
+struct DramParams
+{
+    /** Number of banks across all channels/ranks. */
+    int banks = 32;
+    /** Bytes per DRAM row (page). */
+    std::uint64_t rowBytes = 8192;
+    /** Core cycles for a row-buffer hit (CAS + controller + link). */
+    Cycles rowHitLatency = 140;
+    /** Extra core cycles for precharge + activate on a row conflict. */
+    Cycles rowConflictExtra = 60;
+};
+
+/**
+ * Latency-only DRAM model with per-bank open rows.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params = {});
+
+    /** Access paddr; returns the device latency and updates row state. */
+    Cycles access(PhysAddr paddr);
+
+    /** Row-buffer hits observed. */
+    Count rowHits() const { return rowHits_; }
+    /** Row-buffer conflicts observed. */
+    Count rowConflicts() const { return rowConflicts_; }
+    /** Close all rows and clear statistics. */
+    void reset();
+
+    const DramParams &params() const { return params_; }
+
+  private:
+    DramParams params_;
+    std::vector<std::int64_t> openRow_;
+    Count rowHits_ = 0;
+    Count rowConflicts_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MEM_DRAM_HH

@@ -1,0 +1,52 @@
+#include "mem/frame_alloc.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+FrameAllocator::FrameAllocator(std::uint64_t capacityBytes, PhysAddr baseAddr)
+    : capacity_(capacityBytes), base_(baseAddr), next_(baseAddr)
+{
+}
+
+PhysAddr
+FrameAllocator::allocate(std::uint64_t bytes)
+{
+    panic_if(!isPowerOf2(bytes), "allocation size %#lx not a power of two",
+             bytes);
+
+    Arena &arena = arenas_[bytes];
+    if (arena.cursor + bytes > arena.end) {
+        // Carve a fresh slab for this size class. Slabs amortize the
+        // alignment padding across many allocations; their size is
+        // capped so small-capacity allocators still exhaust gracefully.
+        std::uint64_t slab = std::max(
+            bytes, std::min<std::uint64_t>(1ull << 30, capacity_ / 8));
+        PhysAddr slab_base = alignUp(next_, bytes);
+        fatal_if(slab_base + bytes - base_ > capacity_,
+                 "simulated DRAM exhausted: %#lx bytes requested beyond "
+                 "%#lx capacity", slab_base + bytes - base_, capacity_);
+        // Trim the slab to the remaining capacity (but keep >= bytes).
+        slab = std::min(slab, capacity_ - (slab_base - base_));
+        arena.cursor = slab_base;
+        arena.end = slab_base + slab;
+        next_ = arena.end;
+    }
+
+    PhysAddr addr = arena.cursor;
+    arena.cursor += bytes;
+    return addr;
+}
+
+void
+FrameAllocator::reset()
+{
+    next_ = base_;
+    arenas_.clear();
+}
+
+} // namespace atscale

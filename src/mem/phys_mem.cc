@@ -1,0 +1,29 @@
+#include "mem/phys_mem.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+std::uint64_t
+PhysicalMemory::read64(PhysAddr paddr) const
+{
+    panic_if(!isAligned(paddr, 8), "misaligned 64-bit read at %#lx", paddr);
+    auto it = frames_.find(paddr >> pageShift4K);
+    if (it == frames_.end())
+        return 0;
+    return (*it->second)[(paddr & (pageSize4K - 1)) >> 3];
+}
+
+void
+PhysicalMemory::write64(PhysAddr paddr, std::uint64_t value)
+{
+    panic_if(!isAligned(paddr, 8), "misaligned 64-bit write at %#lx", paddr);
+    auto &frame = frames_[paddr >> pageShift4K];
+    if (!frame)
+        frame = std::make_unique<Frame>();
+    (*frame)[(paddr & (pageSize4K - 1)) >> 3] = value;
+}
+
+} // namespace atscale

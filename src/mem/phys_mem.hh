@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sparse simulated physical memory.
+ *
+ * Only page-table frames have actual backing storage (the walker reads real
+ * PTE words from them); data frames exist purely as addresses, so a 600 GB
+ * simulated footprint costs host memory proportional to the number of
+ * page-table nodes touched, not the footprint.
+ */
+
+#ifndef ATSCALE_MEM_PHYS_MEM_HH
+#define ATSCALE_MEM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/**
+ * Word-addressable sparse physical memory. Frames are materialized lazily
+ * on first write; reads of never-written locations return zero (an x86
+ * not-present PTE).
+ */
+class PhysicalMemory
+{
+  public:
+    /** Read the aligned 64-bit word at paddr. */
+    std::uint64_t read64(PhysAddr paddr) const;
+
+    /** Write the aligned 64-bit word at paddr, materializing the frame. */
+    void write64(PhysAddr paddr, std::uint64_t value);
+
+    /** Number of frames with backing storage (page-table nodes). */
+    std::size_t materializedFrames() const { return frames_.size(); }
+
+    /** Drop all backing storage. */
+    void clear() { frames_.clear(); }
+
+  private:
+    using Frame = std::array<std::uint64_t, pageSize4K / sizeof(std::uint64_t)>;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MEM_PHYS_MEM_HH

@@ -1,0 +1,56 @@
+#include "mmu/mmu.hh"
+
+namespace atscale
+{
+
+Mmu::Mmu(AddressSpace &space, PhysicalMemory &mem, CacheHierarchy &hierarchy,
+         const MmuParams &params)
+    : space_(space), tlb_(params.tlb), pscs_(params.psc),
+      walker_(mem, hierarchy, pscs_, params.walker)
+{
+}
+
+MmuResult
+Mmu::translate(Addr vaddr, bool speculative, Cycles walkBudget)
+{
+    MmuResult result;
+    TlbLookupResult tlb_result = tlb_.lookup(vaddr);
+    result.tlbLevel = tlb_result.level;
+    result.tlbExtraLatency = tlb_result.extraLatency;
+
+    if (tlb_result.level != TlbLevel::Miss) {
+        result.pageSize = tlb_result.pageSize;
+        return result;
+    }
+
+    // Correct-path misses to not-yet-populated pages take the OS demand
+    // paging path first, so the hardware walk below finds a present leaf.
+    // Speculative requests must not page anything in.
+    if (!speculative && space_.findVma(vaddr))
+        space_.touch(vaddr);
+
+    result.walk = walker_.walk(vaddr, space_.pageTable(), walkBudget);
+
+    if (result.walk.completed && !result.walk.faulted) {
+        result.pageSize = result.walk.translation.pageSize;
+        tlb_.install(vaddr, result.pageSize);
+    }
+    return result;
+}
+
+void
+Mmu::resetStats()
+{
+    tlb_.resetStats();
+    pscs_.resetStats();
+    walker_.resetStats();
+}
+
+void
+Mmu::flushAll()
+{
+    tlb_.flush();
+    pscs_.flush();
+}
+
+} // namespace atscale

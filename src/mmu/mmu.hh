@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The memory management unit facade: TLB complex + paging-structure caches
+ * + page-table walker, fronting one address space.
+ */
+
+#ifndef ATSCALE_MMU_MMU_HH
+#define ATSCALE_MMU_MMU_HH
+
+#include "cache/hierarchy.hh"
+#include "mmu/paging_structure_cache.hh"
+#include "mmu/tlb_complex.hh"
+#include "mmu/walker.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+/** MMU configuration. */
+struct MmuParams
+{
+    TlbParams tlb;
+    PscParams psc;
+    WalkerParams walker;
+};
+
+/** Result of one translation request. */
+struct MmuResult
+{
+    /** Where the TLB lookup was satisfied (Miss => a walk happened). */
+    TlbLevel tlbLevel = TlbLevel::Miss;
+    /** Extra cycles on the TLB lookup path (L2 TLB hits). */
+    Cycles tlbExtraLatency = 0;
+    /** Page size of the translation (valid unless the walk aborted). */
+    PageSize pageSize = PageSize::Size4K;
+    /** Walk details when tlbLevel == Miss. */
+    WalkResult walk;
+};
+
+/**
+ * The per-core MMU. Demand-populates the address space on correct-path
+ * misses (the OS page-fault handler analogue), walks the real page table
+ * for every TLB miss, and installs completed translations.
+ */
+class Mmu
+{
+  public:
+    /**
+     * @param space the address space being translated
+     * @param mem physical memory (PTE storage)
+     * @param hierarchy cache hierarchy shared with data accesses
+     */
+    Mmu(AddressSpace &space, PhysicalMemory &mem, CacheHierarchy &hierarchy,
+        const MmuParams &params = {});
+
+    /**
+     * Translate vaddr.
+     *
+     * @param speculative the request is from a speculative (possibly
+     *        wrong) path: no demand paging, and aborted walks are normal
+     * @param walkBudget cycles after which an initiated walk is squashed
+     */
+    MmuResult translate(Addr vaddr, bool speculative = false,
+                        Cycles walkBudget = unlimitedWalkBudget);
+
+    TlbComplex &tlb() { return tlb_; }
+    PagingStructureCaches &pscs() { return pscs_; }
+    PageWalker &walker() { return walker_; }
+    const TlbComplex &tlb() const { return tlb_; }
+    const PagingStructureCaches &pscs() const { return pscs_; }
+    const PageWalker &walker() const { return walker_; }
+
+    /** Reset all statistics (contents retained). */
+    void resetStats();
+    /** Flush all translation state (TLBs + PSCs). */
+    void flushAll();
+
+  private:
+    AddressSpace &space_;
+    TlbComplex tlb_;
+    PagingStructureCaches pscs_;
+    PageWalker walker_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_MMU_HH

@@ -1,0 +1,125 @@
+#include "mmu/paging_structure_cache.hh"
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+PagingStructureCaches::PagingStructureCaches(const PscParams &params)
+    : params_(params)
+{
+    arrays_[0].entries.resize(params.pdeEntries);
+    arrays_[1].entries.resize(params.pdpteEntries);
+    arrays_[2].entries.resize(params.pml4eEntries);
+}
+
+bool
+PagingStructureCaches::Array::lookup(std::uint64_t tag, PhysAddr &node,
+                                     std::uint64_t now)
+{
+    for (Entry &e : entries) {
+        if (e.valid && e.tag == tag) {
+            e.stamp = now;
+            node = e.node;
+            ++hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+PagingStructureCaches::Array::fill(std::uint64_t tag, PhysAddr node,
+                                   std::uint64_t now)
+{
+    if (entries.empty())
+        return;
+    Entry *victim = &entries[0];
+    for (Entry &e : entries) {
+        if (e.valid && e.tag == tag) {
+            e.node = node;
+            e.stamp = now;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->node = node;
+    victim->stamp = now;
+}
+
+void
+PagingStructureCaches::Array::flush()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+    hits = 0;
+}
+
+PscProbeResult
+PagingStructureCaches::probe(Addr vaddr, PhysAddr cr3)
+{
+    PscProbeResult result;
+    result.startLevel = ptLevels - 1;
+    result.node = cr3;
+    if (!params_.enabled)
+        return result;
+
+    ++clock_;
+    // Probe lowest level first: a PDE-cache hit skips the most accesses.
+    for (int entry_level = 1; entry_level <= 3; ++entry_level) {
+        Array &array = arrays_[static_cast<size_t>(entry_level - 1)];
+        PhysAddr node = 0;
+        if (array.lookup(tagFor(vaddr, entry_level), node, clock_)) {
+            result.startLevel = entry_level - 1;
+            result.node = node;
+            ++hits_;
+            return result;
+        }
+    }
+    ++misses_;
+    return result;
+}
+
+void
+PagingStructureCaches::fill(Addr vaddr, int level, PhysAddr node)
+{
+    if (!params_.enabled)
+        return;
+    panic_if(level < 1 || level > 3, "PSC fill at bad level %d", level);
+    ++clock_;
+    arrays_[static_cast<size_t>(level - 1)].fill(tagFor(vaddr, level), node,
+                                                 clock_);
+}
+
+void
+PagingStructureCaches::flush()
+{
+    for (Array &a : arrays_)
+        a.flush();
+    resetStats();
+}
+
+void
+PagingStructureCaches::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    for (Array &a : arrays_)
+        a.hits = 0;
+}
+
+Count
+PagingStructureCaches::levelHits(int level) const
+{
+    panic_if(level < 1 || level > 3, "PSC level %d out of range", level);
+    return arrays_[static_cast<size_t>(level - 1)].hits;
+}
+
+} // namespace atscale

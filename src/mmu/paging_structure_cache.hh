@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Intel-style paging-structure caches (MMU caches).
+ *
+ * Three small fully-associative arrays cache PML4E, PDPTE, and PDE entries
+ * by virtual-address prefix, letting the walker skip accesses at or near
+ * the top of the radix tree ("skip, don't walk" translation caching).
+ * Entry payloads are the physical address of the next-level node, read
+ * straight out of the cached entry.
+ */
+
+#ifndef ATSCALE_MMU_PAGING_STRUCTURE_CACHE_HH
+#define ATSCALE_MMU_PAGING_STRUCTURE_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Geometry of the three paging-structure caches. */
+struct PscParams
+{
+    /** PML4E cache entries (tags bits 47:39). */
+    std::uint32_t pml4eEntries = 4;
+    /** PDPTE cache entries (tags bits 47:30). */
+    std::uint32_t pdpteEntries = 4;
+    /** PDE cache entries (tags bits 47:21). */
+    std::uint32_t pdeEntries = 32;
+    /** Globally disable the caches (ablation). */
+    bool enabled = true;
+};
+
+/** Outcome of a PSC probe: the level to start walking at. */
+struct PscProbeResult
+{
+    /**
+     * Radix level of the first node the walker must access: 3 = PML4
+     * (no PSC hit), 2 = PDPT, 1 = PD, 0 = PT (PDE cache hit).
+     */
+    int startLevel = ptLevels - 1;
+    /** Physical address of that node (CR3 when startLevel == 3). */
+    PhysAddr node = 0;
+};
+
+/**
+ * The three-level paging-structure cache complex. Each array is fully
+ * associative with true-LRU replacement, matching what reverse engineering
+ * reports for Intel parts.
+ */
+class PagingStructureCaches
+{
+  public:
+    explicit PagingStructureCaches(const PscParams &params = {});
+
+    /**
+     * Probe all arrays for vaddr and return the lowest-level hit, i.e.
+     * the latest possible walk entry point.
+     * @param cr3 physical address of the page-table root
+     */
+    PscProbeResult probe(Addr vaddr, PhysAddr cr3);
+
+    /**
+     * Record that the walker read the entry at the given level for vaddr
+     * and it pointed to next-level node `node`. Level uses radix-tree
+     * numbering: 3 = PML4E, 2 = PDPTE, 1 = PDE. Leaf (level 0) entries
+     * are cached in the TLBs, not here.
+     */
+    void fill(Addr vaddr, int level, PhysAddr node);
+
+    /** Invalidate everything. */
+    void flush();
+    /** Reset statistics. */
+    void resetStats();
+
+    /** Probes that hit some array. */
+    Count hits() const { return hits_; }
+    /** Probes that missed every array. */
+    Count misses() const { return misses_; }
+    /** Per-array hit counts indexed by entry level (1, 2, 3). */
+    Count levelHits(int level) const;
+
+    const PscParams &params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        PhysAddr node = 0;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    /** One fully associative array. */
+    struct Array
+    {
+        std::vector<Entry> entries;
+        Count hits = 0;
+
+        bool lookup(std::uint64_t tag, PhysAddr &node, std::uint64_t now);
+        void fill(std::uint64_t tag, PhysAddr node, std::uint64_t now);
+        void flush();
+    };
+
+    /** Tag for the array caching entries at the given radix level. */
+    static std::uint64_t
+    tagFor(Addr vaddr, int level)
+    {
+        return vaddr >> (pageShift4K + level * ptIndexBits);
+    }
+
+    PscParams params_;
+    /** Index 0 -> PDE cache (level 1), 1 -> PDPTE (2), 2 -> PML4E (3). */
+    std::array<Array, 3> arrays_;
+    std::uint64_t clock_ = 0;
+    Count hits_ = 0;
+    Count misses_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_PAGING_STRUCTURE_CACHE_HH

@@ -1,0 +1,44 @@
+#include "mmu/tlb.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+Tlb::Tlb(std::string name, const CacheGeometry &geom,
+         std::initializer_list<PageSize> sizes)
+    : array_(std::move(name), geom), sizes_(sizes)
+{
+    panic_if(sizes_.empty(), "TLB must support at least one page size");
+}
+
+bool
+Tlb::holds(PageSize size) const
+{
+    return std::find(sizes_.begin(), sizes_.end(), size) != sizes_.end();
+}
+
+bool
+Tlb::lookup(Addr vaddr, PageSize &size_out)
+{
+    for (PageSize size : sizes_) {
+        if (array_.access(key(vaddr, size))) {
+            size_out = size;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Tlb::insert(Addr vaddr, PageSize size)
+{
+    panic_if(!holds(size), "TLB '%s' cannot hold %s pages",
+             array_.name().c_str(), pageSizeName(size).c_str());
+    array_.fill(key(vaddr, size));
+}
+
+} // namespace atscale

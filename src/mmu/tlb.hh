@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A translation lookaside buffer: a set-associative array of page-number
+ * tags for one or more page sizes.
+ */
+
+#ifndef ATSCALE_MMU_TLB_HH
+#define ATSCALE_MMU_TLB_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "vm/page_size.hh"
+
+namespace atscale
+{
+
+/**
+ * A TLB array. Each entry tags a (virtual page number, page size) pair;
+ * lookups probe every page size the array supports, mirroring how a
+ * unified second-level TLB holds both 4 KiB and 2 MiB translations.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param name array name for reports
+     * @param geom geometry (sets x ways)
+     * @param sizes page sizes this array can hold
+     */
+    Tlb(std::string name, const CacheGeometry &geom,
+        std::initializer_list<PageSize> sizes);
+
+    /**
+     * Look up vaddr; on a hit, returns true and reports the entry's page
+     * size through size_out.
+     */
+    bool lookup(Addr vaddr, PageSize &size_out);
+
+    /** Insert a translation for the page containing vaddr. */
+    void insert(Addr vaddr, PageSize size);
+
+    /** True iff this array can hold the given page size. */
+    bool holds(PageSize size) const;
+
+    /** Invalidate all entries. */
+    void flush() { array_.flush(); }
+
+    /** Lifetime hits. */
+    Count hits() const { return array_.hits(); }
+    /** Lifetime misses (every probe set that missed counts once). */
+    Count misses() const { return misses_; }
+    /** Reset statistics. */
+    void
+    resetStats()
+    {
+        array_.resetStats();
+        misses_ = 0;
+    }
+
+    const std::string &name() const { return array_.name(); }
+    Count capacity() const { return array_.capacity(); }
+
+  private:
+    /**
+     * Key encoding: virtual page number in the low bits (so the set
+     * index uses VPN bits), page size tagged in the high bits (VPNs use
+     * at most 36 bits of a 48-bit address space).
+     */
+    static std::uint64_t
+    key(Addr vaddr, PageSize size)
+    {
+        return (static_cast<std::uint64_t>(size) << 56) |
+               (vaddr >> pageShift(size));
+    }
+
+    SetAssocCache array_;
+    std::vector<PageSize> sizes_;
+    Count misses_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_TLB_HH

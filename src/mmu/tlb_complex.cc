@@ -1,0 +1,90 @@
+#include "mmu/tlb_complex.hh"
+
+namespace atscale
+{
+
+TlbComplex::TlbComplex(const TlbParams &params)
+    : params_(params),
+      l1_4k_("dTLB-L1-4K", params.l1_4k, {PageSize::Size4K}),
+      l1_2m_("dTLB-L1-2M", params.l1_2m, {PageSize::Size2M}),
+      l1_1g_("dTLB-L1-1G", params.l1_1g, {PageSize::Size1G}),
+      l2_("STLB", params.l2, {PageSize::Size4K, PageSize::Size2M})
+{
+}
+
+Tlb &
+TlbComplex::l1For(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K:
+        return l1_4k_;
+      case PageSize::Size2M:
+        return l1_2m_;
+      case PageSize::Size1G:
+        return l1_1g_;
+    }
+    return l1_4k_;
+}
+
+TlbLookupResult
+TlbComplex::lookup(Addr vaddr)
+{
+    ++lookups_;
+    TlbLookupResult result;
+
+    // All first-level arrays are probed in parallel in hardware.
+    for (Tlb *tlb : {&l1_4k_, &l1_2m_, &l1_1g_}) {
+        if (tlb->lookup(vaddr, result.pageSize)) {
+            result.level = TlbLevel::L1;
+            return result;
+        }
+    }
+
+    if (l2_.lookup(vaddr, result.pageSize)) {
+        result.level = TlbLevel::L2;
+        result.extraLatency = params_.l2HitExtraLatency;
+        // Refill the first level on the way back.
+        l1For(result.pageSize).insert(vaddr, result.pageSize);
+        return result;
+    }
+
+    ++misses_;
+    result.level = TlbLevel::Miss;
+    return result;
+}
+
+void
+TlbComplex::install(Addr vaddr, PageSize size)
+{
+    l1For(size).insert(vaddr, size);
+    if (l2_.holds(size))
+        l2_.insert(vaddr, size);
+}
+
+void
+TlbComplex::flush()
+{
+    l1_4k_.flush();
+    l1_2m_.flush();
+    l1_1g_.flush();
+    l2_.flush();
+}
+
+void
+TlbComplex::resetStats()
+{
+    l1_4k_.resetStats();
+    l1_2m_.resetStats();
+    l1_1g_.resetStats();
+    l2_.resetStats();
+    lookups_ = 0;
+    misses_ = 0;
+}
+
+Count
+TlbComplex::l1Hits() const
+{
+    return l1_4k_.hits() + l1_2m_.hits() + l1_1g_.hits();
+}
+
+} // namespace atscale

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The two-level TLB organization of the paper's Haswell system (Table III):
+ * split first-level arrays per page size and a unified 1024-entry second
+ * level shared by 4 KiB and 2 MiB pages (1 GiB translations are not cached
+ * in the second level on this microarchitecture).
+ */
+
+#ifndef ATSCALE_MMU_TLB_COMPLEX_HH
+#define ATSCALE_MMU_TLB_COMPLEX_HH
+
+#include <cstdint>
+
+#include "mmu/tlb.hh"
+
+namespace atscale
+{
+
+/** Where a TLB lookup was satisfied. */
+enum class TlbLevel : std::uint8_t
+{
+    L1 = 0,
+    L2 = 1,
+    Miss = 2,
+};
+
+/** TLB organization parameters (defaults: Haswell, Table III). */
+struct TlbParams
+{
+    CacheGeometry l1_4k = {16, 4, ReplPolicy::Lru};  // 64 entries
+    CacheGeometry l1_2m = {8, 4, ReplPolicy::Lru};   // 32 entries
+    CacheGeometry l1_1g = {1, 4, ReplPolicy::Lru};   // 4 entries, fully assoc
+    CacheGeometry l2 = {128, 8, ReplPolicy::Lru};    // 1024 entries
+    /** Additional cycles for an L2 TLB hit vs an L1 hit (7-cpu: 8). */
+    Cycles l2HitExtraLatency = 8;
+};
+
+/** Result of a TLB complex lookup. */
+struct TlbLookupResult
+{
+    TlbLevel level = TlbLevel::Miss;
+    PageSize pageSize = PageSize::Size4K;
+    /** Extra cycles beyond the pipelined L1 path. */
+    Cycles extraLatency = 0;
+};
+
+/**
+ * The full first+second level dTLB complex.
+ */
+class TlbComplex
+{
+  public:
+    explicit TlbComplex(const TlbParams &params = {});
+
+    /** Look up vaddr; L2 hits refill the appropriate L1 array. */
+    TlbLookupResult lookup(Addr vaddr);
+
+    /** Install a completed walk's translation into L1 (and L2 if held). */
+    void install(Addr vaddr, PageSize size);
+
+    /** Invalidate everything. */
+    void flush();
+    /** Reset statistics. */
+    void resetStats();
+
+    /** First-level hits across all arrays. */
+    Count l1Hits() const;
+    /** Second-level hits. */
+    Count l2Hits() const { return l2_.hits(); }
+    /** Lookups that missed both levels. */
+    Count misses() const { return misses_; }
+    /** Total lookups. */
+    Count lookups() const { return lookups_; }
+
+    const TlbParams &params() const { return params_; }
+
+  private:
+    Tlb &l1For(PageSize size);
+
+    TlbParams params_;
+    Tlb l1_4k_;
+    Tlb l1_2m_;
+    Tlb l1_1g_;
+    Tlb l2_;
+    Count lookups_ = 0;
+    Count misses_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_TLB_COMPLEX_HH

@@ -1,0 +1,95 @@
+#include "mmu/walker.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "vm/pte.hh"
+
+namespace atscale
+{
+
+PageWalker::PageWalker(PhysicalMemory &mem, CacheHierarchy &hierarchy,
+                       PagingStructureCaches &pscs,
+                       const WalkerParams &params)
+    : mem_(mem), hierarchy_(hierarchy), pscs_(pscs), params_(params)
+{
+}
+
+WalkResult
+PageWalker::walk(Addr vaddr, const PageTable &table, Cycles budget)
+{
+    ++initiated_;
+
+    WalkResult result;
+    PscProbeResult start = pscs_.probe(vaddr, table.root());
+    result.startLevel = start.startLevel;
+    result.cycles = params_.startupCycles;
+
+    PhysAddr node = start.node;
+    int level = start.startLevel;
+
+    while (true) {
+        if (result.cycles >= budget) {
+            // Squashed before this PTE load could issue.
+            result.cycles = budget;
+            ++aborted_;
+            walkCycles_ += result.cycles;
+            return result;
+        }
+
+        PhysAddr entry_addr =
+            node + static_cast<PhysAddr>(ptIndex(vaddr, level)) * pteBytes;
+        MemAccessResult mem_access =
+            hierarchy_.access(entry_addr, AccessKind::PtwLoad);
+        ++result.ptwAccesses;
+        ++result.loadsAtLevel[static_cast<size_t>(mem_access.level)];
+        result.cycles += mem_access.latency + params_.perStepCycles;
+
+        if (result.cycles > budget) {
+            // Squashed while this load was in flight.
+            result.cycles = budget;
+            ++aborted_;
+            walkCycles_ += result.cycles;
+            return result;
+        }
+
+        Pte pte = Pte::unpack(mem_.read64(entry_addr));
+        if (!pte.present) {
+            result.completed = true;
+            result.faulted = true;
+            break;
+        }
+
+        bool is_leaf = (level == 0) || pte.pageSize;
+        if (is_leaf) {
+            result.completed = true;
+            result.translation.valid = true;
+            result.translation.pageSize = static_cast<PageSize>(level);
+            result.translation.frame = pte.addr;
+            result.translation.pageBase =
+                alignDown(vaddr, pageBytes(result.translation.pageSize));
+            break;
+        }
+
+        // A non-leaf entry was read: cache it in the PSC for later walks.
+        pscs_.fill(vaddr, level, pte.addr);
+        node = pte.addr;
+        --level;
+        panic_if(level < 0, "walked past the leaf level at vaddr %#lx",
+                 vaddr);
+    }
+
+    ++completed_;
+    walkCycles_ += result.cycles;
+    return result;
+}
+
+void
+PageWalker::resetStats()
+{
+    initiated_ = 0;
+    completed_ = 0;
+    aborted_ = 0;
+    walkCycles_ = 0;
+}
+
+} // namespace atscale

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The hardware page-table walker.
+ *
+ * Walks the radix tree in simulated physical memory, starting from the
+ * deepest paging-structure-cache hit, issuing each PTE load through the
+ * shared cache hierarchy. Walks can be aborted part-way by a cycle budget,
+ * modelling pipeline squashes that kill in-flight speculative walks.
+ */
+
+#ifndef ATSCALE_MMU_WALKER_HH
+#define ATSCALE_MMU_WALKER_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "cache/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "mmu/paging_structure_cache.hh"
+#include "vm/page_table.hh"
+
+namespace atscale
+{
+
+/** Walker timing parameters. */
+struct WalkerParams
+{
+    /** Fixed per-step cycles beyond the PTE load latency (walker FSM). */
+    Cycles perStepCycles = 2;
+    /** Fixed cycles to start a walk (miss queue, walker arbitration). */
+    Cycles startupCycles = 5;
+};
+
+/** No budget: the walk runs to completion. */
+constexpr Cycles unlimitedWalkBudget = std::numeric_limits<Cycles>::max();
+
+/** Everything a single walk did. */
+struct WalkResult
+{
+    /** The walk reached a terminal entry (leaf or not-present). */
+    bool completed = false;
+    /** Terminal entry was not present (page fault if on correct path). */
+    bool faulted = false;
+    /** The translation, valid iff completed && !faulted. */
+    Translation translation;
+    /** Cycles the walk occupied the walker (capped at the budget). */
+    Cycles cycles = 0;
+    /** PTE loads issued into the cache hierarchy. */
+    Count ptwAccesses = 0;
+    /** Radix level the walk started at after PSC probing (3 = root). */
+    int startLevel = ptLevels - 1;
+    /** PTE loads satisfied at each memory level (page_walker_loads.*). */
+    std::array<Count, numMemLevels> loadsAtLevel{};
+};
+
+/**
+ * A single hardware page-table walker (the paper's system has exactly one,
+ * Table III).
+ */
+class PageWalker
+{
+  public:
+    /**
+     * @param mem physical memory holding PTE words
+     * @param hierarchy shared cache hierarchy for PTE loads
+     * @param pscs paging-structure caches consulted and filled by walks
+     */
+    PageWalker(PhysicalMemory &mem, CacheHierarchy &hierarchy,
+               PagingStructureCaches &pscs, const WalkerParams &params = {});
+
+    /**
+     * Walk the page table for vaddr.
+     *
+     * @param table the page table to walk
+     * @param budget abort the walk once this many cycles are consumed
+     */
+    WalkResult walk(Addr vaddr, const PageTable &table,
+                    Cycles budget = unlimitedWalkBudget);
+
+    /** Walks started. */
+    Count walksInitiated() const { return initiated_; }
+    /** Walks that reached a terminal entry. */
+    Count walksCompleted() const { return completed_; }
+    /** Walks cut short by their budget. */
+    Count walksAborted() const { return aborted_; }
+    /** Total cycles across all walks. */
+    Cycles totalWalkCycles() const { return walkCycles_; }
+    /** Reset statistics. */
+    void resetStats();
+
+    const WalkerParams &params() const { return params_; }
+
+  private:
+    PhysicalMemory &mem_;
+    CacheHierarchy &hierarchy_;
+    PagingStructureCaches &pscs_;
+    WalkerParams params_;
+
+    Count initiated_ = 0;
+    Count completed_ = 0;
+    Count aborted_ = 0;
+    Cycles walkCycles_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_WALKER_HH

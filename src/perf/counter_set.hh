@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A bank of performance counters, one per EventId.
+ */
+
+#ifndef ATSCALE_PERF_COUNTER_SET_HH
+#define ATSCALE_PERF_COUNTER_SET_HH
+
+#include <array>
+#include <cstdint>
+
+#include "perf/event.hh"
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/**
+ * Fixed-size counter bank. Supports snapshot/delta so a measurement
+ * window can be carved out of a longer run (warm-up exclusion).
+ */
+class CounterSet
+{
+  public:
+    /** Increment an event by n. */
+    void
+    add(EventId id, Count n = 1)
+    {
+        counts_[static_cast<size_t>(id)] += n;
+    }
+
+    /** Read an event. */
+    Count
+    get(EventId id) const
+    {
+        return counts_[static_cast<size_t>(id)];
+    }
+
+    /** Zero all counters. */
+    void reset() { counts_.fill(0); }
+
+    /** Element-wise difference (this - earlier snapshot). */
+    CounterSet
+    since(const CounterSet &snapshot) const
+    {
+        CounterSet delta;
+        for (size_t i = 0; i < counts_.size(); ++i)
+            delta.counts_[i] = counts_[i] - snapshot.counts_[i];
+        return delta;
+    }
+
+    /** Element-wise sum. */
+    CounterSet &
+    operator+=(const CounterSet &other)
+    {
+        for (size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        return *this;
+    }
+
+  private:
+    std::array<Count, numEvents> counts_{};
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_PERF_COUNTER_SET_HH

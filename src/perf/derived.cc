@@ -1,0 +1,148 @@
+#include "perf/derived.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+double
+ratio(double num, double den)
+{
+    return den > 0 ? num / den : 0.0;
+}
+
+} // namespace
+
+double
+WalkOutcomes::abortedFraction() const
+{
+    return ratio(static_cast<double>(aborted),
+                 static_cast<double>(initiated));
+}
+
+double
+WalkOutcomes::wrongPathFraction() const
+{
+    return ratio(static_cast<double>(wrongPath),
+                 static_cast<double>(initiated));
+}
+
+double
+WalkOutcomes::nonRetiredFraction() const
+{
+    return ratio(static_cast<double>(aborted + wrongPath),
+                 static_cast<double>(initiated));
+}
+
+WalkOutcomes
+walkOutcomes(const CounterSet &c)
+{
+    WalkOutcomes outcomes;
+    outcomes.initiated =
+        c.get(EventId::DtlbLoadMissesMissCausesAWalk) +
+        c.get(EventId::DtlbStoreMissesMissCausesAWalk);
+    outcomes.completed =
+        c.get(EventId::DtlbLoadMissesWalkCompleted) +
+        c.get(EventId::DtlbStoreMissesWalkCompleted);
+    outcomes.retired =
+        c.get(EventId::MemUopsRetiredStlbMissLoads) +
+        c.get(EventId::MemUopsRetiredStlbMissStores);
+    outcomes.aborted = outcomes.initiated - outcomes.completed;
+    outcomes.wrongPath = outcomes.completed - outcomes.retired;
+    return outcomes;
+}
+
+Count
+totalAccesses(const CounterSet &c)
+{
+    return c.get(EventId::MemUopsRetiredAllLoads) +
+           c.get(EventId::MemUopsRetiredAllStores);
+}
+
+Count
+totalWalkCycles(const CounterSet &c)
+{
+    return c.get(EventId::DtlbLoadMissesWalkDuration) +
+           c.get(EventId::DtlbStoreMissesWalkDuration);
+}
+
+Count
+totalWalksInitiated(const CounterSet &c)
+{
+    return c.get(EventId::DtlbLoadMissesMissCausesAWalk) +
+           c.get(EventId::DtlbStoreMissesMissCausesAWalk);
+}
+
+double
+WcpiTerms::wcpi() const
+{
+    return accessesPerInstr * tlbMissesPerAccess * ptwAccessesPerWalk *
+           walkCyclesPerPtwAccess;
+}
+
+WcpiTerms
+wcpiTerms(const CounterSet &c)
+{
+    auto instr = static_cast<double>(c.get(EventId::InstRetired));
+    auto accesses = static_cast<double>(totalAccesses(c));
+    auto walks = static_cast<double>(totalWalksInitiated(c));
+    auto ptw_accesses = static_cast<double>(
+        c.get(EventId::PageWalkerLoadsDtlbL1) +
+        c.get(EventId::PageWalkerLoadsDtlbL2) +
+        c.get(EventId::PageWalkerLoadsDtlbL3) +
+        c.get(EventId::PageWalkerLoadsDtlbMemory));
+    auto walk_cycles = static_cast<double>(totalWalkCycles(c));
+
+    WcpiTerms terms;
+    terms.accessesPerInstr = ratio(accesses, instr);
+    terms.tlbMissesPerAccess = ratio(walks, accesses);
+    terms.ptwAccessesPerWalk = ratio(ptw_accesses, walks);
+    terms.walkCyclesPerPtwAccess = ratio(walk_cycles, ptw_accesses);
+    return terms;
+}
+
+ProxyMetrics
+proxyMetrics(const CounterSet &c)
+{
+    auto instr = static_cast<double>(c.get(EventId::InstRetired));
+    auto cycles = static_cast<double>(c.get(EventId::CpuClkUnhalted));
+    auto accesses = static_cast<double>(totalAccesses(c));
+    auto walks = static_cast<double>(totalWalksInitiated(c));
+    auto walk_cycles = static_cast<double>(totalWalkCycles(c));
+
+    ProxyMetrics proxy;
+    proxy.tlbMissesPerKiloAccess = 1000.0 * ratio(walks, accesses);
+    proxy.tlbMissesPerKiloInstr = 1000.0 * ratio(walks, instr);
+    proxy.walkCycleFraction = ratio(walk_cycles, cycles);
+    proxy.walkCyclesPerAccess = ratio(walk_cycles, accesses);
+    proxy.walkCyclesPerInstr = ratio(walk_cycles, instr);
+    return proxy;
+}
+
+PteLocations
+pteLocations(const CounterSet &c)
+{
+    auto l1 = static_cast<double>(c.get(EventId::PageWalkerLoadsDtlbL1));
+    auto l2 = static_cast<double>(c.get(EventId::PageWalkerLoadsDtlbL2));
+    auto l3 = static_cast<double>(c.get(EventId::PageWalkerLoadsDtlbL3));
+    auto mem = static_cast<double>(c.get(EventId::PageWalkerLoadsDtlbMemory));
+    double total = l1 + l2 + l3 + mem;
+
+    PteLocations loc;
+    loc.l1 = ratio(l1, total);
+    loc.l2 = ratio(l2, total);
+    loc.l3 = ratio(l3, total);
+    loc.memory = ratio(mem, total);
+    return loc;
+}
+
+double
+machineClearsPerKiloInstr(const CounterSet &c)
+{
+    return 1000.0 *
+           ratio(static_cast<double>(c.get(EventId::MachineClearsCount)),
+                 static_cast<double>(c.get(EventId::InstRetired)));
+}
+
+} // namespace atscale

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Derived metrics: the paper's counter arithmetic.
+ *
+ * Implements Table VI (walk outcome counts), Equation 1 (the WCPI
+ * decomposition), the five AT-pressure proxy metrics compared in Table V,
+ * and the PTE access-location distribution of Fig 8 — all as pure
+ * functions of a CounterSet, so they work identically on simulated and
+ * real PMU data.
+ */
+
+#ifndef ATSCALE_PERF_DERIVED_HH
+#define ATSCALE_PERF_DERIVED_HH
+
+#include "perf/counter_set.hh"
+
+namespace atscale
+{
+
+/** Table VI: outcomes of initiated page-table walks. */
+struct WalkOutcomes
+{
+    Count initiated = 0;  ///< dtlb_{load,store}_misses.miss_causes_a_walk
+    Count completed = 0;  ///< dtlb_{load,store}_misses.walk_completed
+    Count retired = 0;    ///< mem_uops_retired.stlb_miss_{loads,stores}
+    Count aborted = 0;    ///< initiated - completed
+    Count wrongPath = 0;  ///< completed - retired
+
+    /** Fraction of initiated walks that were aborted. */
+    double abortedFraction() const;
+    /** Fraction of initiated walks that completed on a wrong path. */
+    double wrongPathFraction() const;
+    /** Aborted + wrong-path fraction (the paper's headline 57%). */
+    double nonRetiredFraction() const;
+};
+
+/** Compute Table VI outcome counts from a counter bank. */
+WalkOutcomes walkOutcomes(const CounterSet &counters);
+
+/** Equation 1: the multiplicative WCPI decomposition. */
+struct WcpiTerms
+{
+    /** Accesses / instruction — the program term. */
+    double accessesPerInstr = 0;
+    /** TLB misses (walks) / access — the TLB term. */
+    double tlbMissesPerAccess = 0;
+    /** PTW accesses / walk — the MMU cache term. */
+    double ptwAccessesPerWalk = 0;
+    /** Walk cycles / PTW access — the cache hierarchy term. */
+    double walkCyclesPerPtwAccess = 0;
+
+    /** The product of the four terms (== walk cycles / instruction). */
+    double wcpi() const;
+};
+
+/** Compute the Equation-1 terms from a counter bank. */
+WcpiTerms wcpiTerms(const CounterSet &counters);
+
+/** The five AT-pressure proxy metrics of Table V. */
+struct ProxyMetrics
+{
+    double tlbMissesPerKiloAccess = 0;
+    double tlbMissesPerKiloInstr = 0;
+    /** Fraction of cycles with an outstanding walk. */
+    double walkCycleFraction = 0;
+    double walkCyclesPerAccess = 0;
+    double walkCyclesPerInstr = 0;
+};
+
+/** Compute the Table-V proxy metrics from a counter bank. */
+ProxyMetrics proxyMetrics(const CounterSet &counters);
+
+/** Fig 8: where the walker found PTEs, as fractions of all PTW loads. */
+struct PteLocations
+{
+    double l1 = 0;
+    double l2 = 0;
+    double l3 = 0;
+    double memory = 0;
+};
+
+/** Compute the PTE-location distribution from a counter bank. */
+PteLocations pteLocations(const CounterSet &counters);
+
+/** Convenience: total retired memory accesses (loads + stores). */
+Count totalAccesses(const CounterSet &counters);
+
+/** Convenience: total walk cycles (load + store walks). */
+Count totalWalkCycles(const CounterSet &counters);
+
+/** Convenience: total initiated walks. */
+Count totalWalksInitiated(const CounterSet &counters);
+
+/** Machine clears per (kilo) instruction, for Fig 9. */
+double machineClearsPerKiloInstr(const CounterSet &counters);
+
+} // namespace atscale
+
+#endif // ATSCALE_PERF_DERIVED_HH

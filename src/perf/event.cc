@@ -1,0 +1,56 @@
+#include "perf/event.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+const std::array<const char *, numEvents> names = {
+    "cpu_clk_unhalted.thread",
+    "inst_retired.any",
+    "mem_uops_retired.all_loads",
+    "mem_uops_retired.all_stores",
+    "mem_uops_retired.stlb_miss_loads",
+    "mem_uops_retired.stlb_miss_stores",
+    "dtlb_load_misses.miss_causes_a_walk",
+    "dtlb_store_misses.miss_causes_a_walk",
+    "dtlb_load_misses.walk_completed",
+    "dtlb_store_misses.walk_completed",
+    "dtlb_load_misses.walk_duration",
+    "dtlb_store_misses.walk_duration",
+    "dtlb_load_misses.stlb_hit",
+    "dtlb_store_misses.stlb_hit",
+    "page_walker_loads.dtlb_l1",
+    "page_walker_loads.dtlb_l2",
+    "page_walker_loads.dtlb_l3",
+    "page_walker_loads.dtlb_memory",
+    "machine_clears.count",
+    "br_inst_retired.all_branches",
+    "br_misp_retired.all_branches",
+};
+
+} // namespace
+
+const char *
+eventName(EventId id)
+{
+    auto idx = static_cast<size_t>(id);
+    panic_if(idx >= names.size(), "bad event id %zu", idx);
+    return names[idx];
+}
+
+std::optional<EventId>
+eventFromName(const std::string &name)
+{
+    for (size_t i = 0; i < names.size(); ++i)
+        if (name == names[i])
+            return static_cast<EventId>(i);
+    return std::nullopt;
+}
+
+} // namespace atscale

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Performance event identifiers.
+ *
+ * The vocabulary mirrors the Intel Haswell events the paper reads (Table
+ * VI and Section V): dTLB miss/walk events split by load/store, the
+ * page_walker_loads hit-location events, retired-uop STLB-miss events,
+ * machine clears, and branch mispredictions. Keeping the hardware names
+ * makes the analysis layer identical whether counters come from the
+ * bundled simulator or from a real PMU.
+ */
+
+#ifndef ATSCALE_PERF_EVENT_HH
+#define ATSCALE_PERF_EVENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace atscale
+{
+
+/** Every performance event the harness knows about. */
+enum class EventId : std::uint8_t
+{
+    CpuClkUnhalted = 0,              ///< cpu_clk_unhalted.thread
+    InstRetired,                     ///< inst_retired.any
+
+    MemUopsRetiredAllLoads,          ///< mem_uops_retired.all_loads
+    MemUopsRetiredAllStores,         ///< mem_uops_retired.all_stores
+    MemUopsRetiredStlbMissLoads,     ///< mem_uops_retired.stlb_miss_loads
+    MemUopsRetiredStlbMissStores,    ///< mem_uops_retired.stlb_miss_stores
+
+    DtlbLoadMissesMissCausesAWalk,   ///< dtlb_load_misses.miss_causes_a_walk
+    DtlbStoreMissesMissCausesAWalk,  ///< dtlb_store_misses.miss_causes_a_walk
+    DtlbLoadMissesWalkCompleted,     ///< dtlb_load_misses.walk_completed
+    DtlbStoreMissesWalkCompleted,    ///< dtlb_store_misses.walk_completed
+    DtlbLoadMissesWalkDuration,      ///< dtlb_load_misses.walk_duration
+    DtlbStoreMissesWalkDuration,     ///< dtlb_store_misses.walk_duration
+    DtlbLoadMissesStlbHit,           ///< dtlb_load_misses.stlb_hit
+    DtlbStoreMissesStlbHit,          ///< dtlb_store_misses.stlb_hit
+
+    PageWalkerLoadsDtlbL1,           ///< page_walker_loads.dtlb_l1
+    PageWalkerLoadsDtlbL2,           ///< page_walker_loads.dtlb_l2
+    PageWalkerLoadsDtlbL3,           ///< page_walker_loads.dtlb_l3
+    PageWalkerLoadsDtlbMemory,       ///< page_walker_loads.dtlb_memory
+
+    MachineClearsCount,              ///< machine_clears.count
+    BrInstRetiredAllBranches,        ///< br_inst_retired.all_branches
+    BrMispRetiredAllBranches,        ///< br_misp_retired.all_branches
+
+    NumEvents,
+};
+
+/** Number of distinct events. */
+constexpr int numEvents = static_cast<int>(EventId::NumEvents);
+
+/** Hardware-style event name (e.g. "dtlb_load_misses.walk_duration"). */
+const char *eventName(EventId id);
+
+/** Reverse lookup from a hardware-style name. */
+std::optional<EventId> eventFromName(const std::string &name);
+
+} // namespace atscale
+
+#endif // ATSCALE_PERF_EVENT_HH

@@ -1,0 +1,223 @@
+#include "perf/linux_backend.hh"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+#ifdef __linux__
+
+namespace
+{
+
+struct EventEncoding
+{
+    EventId id;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t
+hwCache(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+// Portable encodings first; raw Haswell (06_3F) encodings for the rest.
+// Raw format: event | (umask << 8).
+constexpr std::uint64_t
+rawEvent(std::uint64_t event, std::uint64_t umask)
+{
+    return event | (umask << 8);
+}
+
+const EventEncoding encodings[] = {
+    {EventId::CpuClkUnhalted, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {EventId::InstRetired, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {EventId::BrInstRetiredAllBranches, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {EventId::BrMispRetiredAllBranches, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_MISSES},
+    {EventId::DtlbLoadMissesMissCausesAWalk, PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+             PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {EventId::DtlbStoreMissesMissCausesAWalk, PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_WRITE,
+             PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    // Raw Haswell encodings (Intel SDM / perfmon events).
+    {EventId::DtlbLoadMissesWalkCompleted, PERF_TYPE_RAW, rawEvent(0x08, 0x0e)},
+    {EventId::DtlbStoreMissesWalkCompleted, PERF_TYPE_RAW, rawEvent(0x49, 0x0e)},
+    {EventId::DtlbLoadMissesWalkDuration, PERF_TYPE_RAW, rawEvent(0x08, 0x10)},
+    {EventId::DtlbStoreMissesWalkDuration, PERF_TYPE_RAW, rawEvent(0x49, 0x10)},
+    {EventId::DtlbLoadMissesStlbHit, PERF_TYPE_RAW, rawEvent(0x08, 0x60)},
+    {EventId::DtlbStoreMissesStlbHit, PERF_TYPE_RAW, rawEvent(0x49, 0x60)},
+    {EventId::MemUopsRetiredAllLoads, PERF_TYPE_RAW, rawEvent(0xd0, 0x81)},
+    {EventId::MemUopsRetiredAllStores, PERF_TYPE_RAW, rawEvent(0xd0, 0x82)},
+    {EventId::MemUopsRetiredStlbMissLoads, PERF_TYPE_RAW, rawEvent(0xd0, 0x11)},
+    {EventId::MemUopsRetiredStlbMissStores, PERF_TYPE_RAW,
+     rawEvent(0xd0, 0x12)},
+    {EventId::PageWalkerLoadsDtlbL1, PERF_TYPE_RAW, rawEvent(0xbc, 0x11)},
+    {EventId::PageWalkerLoadsDtlbL2, PERF_TYPE_RAW, rawEvent(0xbc, 0x12)},
+    {EventId::PageWalkerLoadsDtlbL3, PERF_TYPE_RAW, rawEvent(0xbc, 0x14)},
+    {EventId::PageWalkerLoadsDtlbMemory, PERF_TYPE_RAW, rawEvent(0xbc, 0x18)},
+    {EventId::MachineClearsCount, PERF_TYPE_RAW, rawEvent(0xc3, 0x01)},
+};
+
+const EventEncoding *
+findEncoding(EventId id)
+{
+    for (const auto &e : encodings)
+        if (e.id == id)
+            return &e;
+    return nullptr;
+}
+
+int
+openCounter(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+} // namespace
+
+bool
+LinuxPerfBackend::available()
+{
+    int fd = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
+}
+
+std::vector<EventId>
+LinuxPerfBackend::open(const std::vector<EventId> &events)
+{
+    for (EventId id : events) {
+        const EventEncoding *enc = findEncoding(id);
+        if (!enc)
+            continue;
+        int fd = openCounter(enc->type, enc->config);
+        if (fd < 0)
+            continue;
+        fds_.push_back(fd);
+        openedIds_.push_back(id);
+    }
+    return openedIds_;
+}
+
+void
+LinuxPerfBackend::start()
+{
+    for (int fd : fds_) {
+        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+void
+LinuxPerfBackend::stop()
+{
+    for (int fd : fds_)
+        ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+CounterSet
+LinuxPerfBackend::read() const
+{
+    CounterSet counters;
+    for (size_t i = 0; i < fds_.size(); ++i) {
+        struct
+        {
+            std::uint64_t value;
+            std::uint64_t enabled;
+            std::uint64_t running;
+        } data{};
+        if (::read(fds_[i], &data, sizeof(data)) != sizeof(data))
+            continue;
+        std::uint64_t value = data.value;
+        if (data.running && data.running < data.enabled) {
+            // Multiplex scaling.
+            value = static_cast<std::uint64_t>(
+                static_cast<double>(value) *
+                (static_cast<double>(data.enabled) /
+                 static_cast<double>(data.running)));
+        }
+        counters.add(openedIds_[i], value);
+    }
+    return counters;
+}
+
+void
+LinuxPerfBackend::close()
+{
+    for (int fd : fds_)
+        ::close(fd);
+    fds_.clear();
+    openedIds_.clear();
+}
+
+#else // !__linux__
+
+bool
+LinuxPerfBackend::available()
+{
+    return false;
+}
+
+std::vector<EventId>
+LinuxPerfBackend::open(const std::vector<EventId> &)
+{
+    return {};
+}
+
+void
+LinuxPerfBackend::start()
+{
+}
+
+void
+LinuxPerfBackend::stop()
+{
+}
+
+CounterSet
+LinuxPerfBackend::read() const
+{
+    return {};
+}
+
+void
+LinuxPerfBackend::close()
+{
+}
+
+#endif // __linux__
+
+LinuxPerfBackend::~LinuxPerfBackend()
+{
+    close();
+}
+
+} // namespace atscale

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Optional real-PMU backend via perf_event_open(2).
+ *
+ * The paper's harness reads Haswell PMU events on live machines; this
+ * backend lets the same analysis layer run on real hardware when the
+ * kernel and CPU allow it. Generic events (cycles, instructions, branch
+ * and dTLB misses) use portable PERF_TYPE_HARDWARE/HW_CACHE encodings;
+ * the walk-duration and page_walker_loads events use best-effort raw
+ * Haswell encodings. Counters are opened unscheduled-grouped so the
+ * kernel may multiplex; reads are scaled by time_enabled/time_running.
+ *
+ * Everything degrades gracefully: on non-Linux builds, in containers
+ * without perf access, or on CPUs without the raw events, the backend
+ * reports unavailable events and the caller falls back to the simulator.
+ */
+
+#ifndef ATSCALE_PERF_LINUX_BACKEND_HH
+#define ATSCALE_PERF_LINUX_BACKEND_HH
+
+#include <vector>
+
+#include "perf/counter_set.hh"
+
+namespace atscale
+{
+
+/**
+ * A set of opened perf file descriptors, one per requested EventId.
+ */
+class LinuxPerfBackend
+{
+  public:
+    LinuxPerfBackend() = default;
+    ~LinuxPerfBackend();
+
+    LinuxPerfBackend(const LinuxPerfBackend &) = delete;
+    LinuxPerfBackend &operator=(const LinuxPerfBackend &) = delete;
+
+    /** True when perf_event_open is usable at all in this environment. */
+    static bool available();
+
+    /**
+     * Try to open counters for the given events on the calling thread.
+     * @return the subset that opened successfully
+     */
+    std::vector<EventId> open(const std::vector<EventId> &events);
+
+    /** Zero and enable all opened counters. */
+    void start();
+
+    /** Disable all opened counters. */
+    void stop();
+
+    /**
+     * Read all opened counters (multiplex-scaled) into a CounterSet.
+     * Unopened events read as zero.
+     */
+    CounterSet read() const;
+
+    /** Events successfully opened. */
+    const std::vector<EventId> &opened() const { return openedIds_; }
+
+    /** Close everything. */
+    void close();
+
+  private:
+    std::vector<int> fds_;
+    std::vector<EventId> openedIds_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_PERF_LINUX_BACKEND_HH

@@ -1,0 +1,172 @@
+#include "util/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+const char seriesGlyphs[] = "ox+*#@%&ABCDEFGH";
+const char bandGlyphs[] = ".:=#%@ox";
+
+} // namespace
+
+char
+ScatterChart::addSeries(const std::string &name)
+{
+    char glyph = seriesGlyphs[series_.size() % (sizeof(seriesGlyphs) - 1)];
+    series_.push_back({name, glyph, {}});
+    return glyph;
+}
+
+void
+ScatterChart::point(int s, double x, double y)
+{
+    panic_if(s < 0 || s >= static_cast<int>(series_.size()),
+             "bad series index %d", s);
+    series_[static_cast<size_t>(s)].pts.emplace_back(x, y);
+}
+
+void
+ScatterChart::print(std::ostream &os) const
+{
+    os << title_ << '\n';
+    bool any = false;
+    double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+    for (const auto &s : series_) {
+        for (auto [x, y] : s.pts) {
+            double px = logX_ ? std::log10(std::max(x, 1e-300)) : x;
+            if (!any) {
+                xmin = xmax = px;
+                ymin = ymax = y;
+                any = true;
+            } else {
+                xmin = std::min(xmin, px);
+                xmax = std::max(xmax, px);
+                ymin = std::min(ymin, y);
+                ymax = std::max(ymax, y);
+            }
+        }
+    }
+    if (!any) {
+        os << "  (no data)\n";
+        return;
+    }
+    if (xmax - xmin < 1e-12)
+        xmax = xmin + 1.0;
+    if (ymax - ymin < 1e-12)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(static_cast<size_t>(height_),
+                                  std::string(static_cast<size_t>(width_), ' '));
+    for (const auto &s : series_) {
+        for (auto [x, y] : s.pts) {
+            double px = logX_ ? std::log10(std::max(x, 1e-300)) : x;
+            int col = static_cast<int>(
+                std::lround((px - xmin) / (xmax - xmin) * (width_ - 1)));
+            int row = static_cast<int>(
+                std::lround((y - ymin) / (ymax - ymin) * (height_ - 1)));
+            row = height_ - 1 - row;
+            grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = s.glyph;
+        }
+    }
+
+    for (int r = 0; r < height_; ++r) {
+        double yval = ymax - (ymax - ymin) * r / (height_ - 1);
+        os << strfmt("%10.3g |", yval) << grid[static_cast<size_t>(r)] << '\n';
+    }
+    os << std::string(11, ' ') << '+' << std::string(static_cast<size_t>(width_), '-')
+       << '\n';
+    double xlo = logX_ ? std::pow(10.0, xmin) : xmin;
+    double xhi = logX_ ? std::pow(10.0, xmax) : xmax;
+    os << std::string(12, ' ')
+       << strfmt("%-20.4g%*s%.4g", xlo, width_ - 28, "", xhi) << '\n';
+    os << std::string(12, ' ') << xlabel_ << (logX_ ? " (log scale)" : "")
+       << "   [y: " << ylabel_ << "]\n";
+    os << "  legend:";
+    for (const auto &s : series_)
+        os << "  " << s.glyph << "=" << s.name;
+    os << '\n';
+}
+
+void
+BandChart::addBand(const std::string &name)
+{
+    bands_.push_back(name);
+}
+
+void
+BandChart::column(const std::string &label, const std::vector<double> &fracs)
+{
+    panic_if(fracs.size() != bands_.size(),
+             "band chart column has %zu fractions for %zu bands",
+             fracs.size(), bands_.size());
+    columns_.emplace_back(label, fracs);
+}
+
+void
+BandChart::print(std::ostream &os) const
+{
+    os << title_ << '\n';
+    if (columns_.empty() || bands_.empty()) {
+        os << "  (no data)\n";
+        return;
+    }
+    const int colWidth = 6;
+    int width = colWidth * static_cast<int>(columns_.size());
+    std::vector<std::string> grid(static_cast<size_t>(height_),
+                                  std::string(static_cast<size_t>(width), ' '));
+
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        const auto &fracs = columns_[c].second;
+        double total = 0;
+        for (double f : fracs)
+            total += f;
+        if (total <= 0)
+            total = 1;
+        // Fill rows bottom-up, band by band.
+        double cum = 0;
+        for (size_t b = 0; b < bands_.size(); ++b) {
+            double lo = cum / total;
+            cum += fracs[b];
+            double hi = cum / total;
+            int rlo = static_cast<int>(std::lround(lo * height_));
+            int rhi = static_cast<int>(std::lround(hi * height_));
+            char glyph = bandGlyphs[b % (sizeof(bandGlyphs) - 1)];
+            for (int r = rlo; r < rhi; ++r) {
+                int row = height_ - 1 - r;
+                for (int k = 0; k < colWidth - 1; ++k) {
+                    grid[static_cast<size_t>(row)]
+                        [c * colWidth + static_cast<size_t>(k)] = glyph;
+                }
+            }
+        }
+    }
+
+    for (int r = 0; r < height_; ++r) {
+        double frac = 1.0 - static_cast<double>(r) / height_;
+        os << strfmt("%5.2f |", frac) << grid[static_cast<size_t>(r)] << '\n';
+    }
+    os << std::string(6, ' ') << '+' << std::string(static_cast<size_t>(width), '-')
+       << '\n';
+    os << std::string(7, ' ');
+    for (const auto &[label, fracs] : columns_) {
+        (void)fracs;
+        std::string cell = label.substr(0, colWidth - 1);
+        os << cell << std::string(static_cast<size_t>(colWidth) - cell.size(), ' ');
+    }
+    os << '\n' << std::string(7, ' ') << xlabel_ << '\n';
+    os << "  bands (bottom to top):";
+    for (size_t b = 0; b < bands_.size(); ++b)
+        os << "  " << bandGlyphs[b % (sizeof(bandGlyphs) - 1)] << "=" << bands_[b];
+    os << '\n';
+}
+
+} // namespace atscale

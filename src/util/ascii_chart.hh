@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Terminal plotting for figure reproduction: multi-series scatter/line
+ * charts (optionally log-scaled x) and stacked band charts (for walk
+ * outcome and PTE-location distributions).
+ */
+
+#ifndef ATSCALE_UTIL_ASCII_CHART_HH
+#define ATSCALE_UTIL_ASCII_CHART_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atscale
+{
+
+/**
+ * A multi-series scatter chart rendered with one glyph per series.
+ * X may be plotted on a log10 scale (the paper's footprint axes are
+ * logarithmic).
+ */
+class ScatterChart
+{
+  public:
+    ScatterChart(std::string title, std::string xlabel, std::string ylabel,
+                 int width = 72, int height = 20)
+        : title_(std::move(title)), xlabel_(std::move(xlabel)),
+          ylabel_(std::move(ylabel)), width_(width), height_(height)
+    {}
+
+    /** Use log10(x) for the horizontal axis. */
+    void logX(bool enable) { logX_ = enable; }
+
+    /** Add a named series; returns its glyph. */
+    char addSeries(const std::string &name);
+
+    /** Add a point to series index s (in addSeries order). */
+    void point(int s, double x, double y);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        char glyph;
+        std::vector<std::pair<double, double>> pts;
+    };
+
+    std::string title_, xlabel_, ylabel_;
+    int width_, height_;
+    bool logX_ = false;
+    std::vector<Series> series_;
+};
+
+/**
+ * A stacked band chart: at each x position the named bands sum to 1.0 and
+ * are rendered as vertical runs of per-band glyphs, mirroring the paper's
+ * walk-outcome and PTE-location figures.
+ */
+class BandChart
+{
+  public:
+    BandChart(std::string title, std::string xlabel,
+              int height = 20)
+        : title_(std::move(title)), xlabel_(std::move(xlabel)),
+          height_(height)
+    {}
+
+    /** Add a named band (stacking order = call order, bottom first). */
+    void addBand(const std::string &name);
+
+    /**
+     * Add one column: label (e.g. footprint) and the per-band fractions
+     * (will be normalized; must match the number of bands).
+     */
+    void column(const std::string &label, const std::vector<double> &fracs);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_, xlabel_;
+    int height_;
+    std::vector<std::string> bands_;
+    std::vector<std::pair<std::string, std::vector<double>>> columns_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_ASCII_CHART_HH

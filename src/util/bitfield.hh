@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the address-translation stack.
+ */
+
+#ifndef ATSCALE_UTIL_BITFIELD_HH
+#define ATSCALE_UTIL_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/**
+ * Extract the bit field [hi:lo] (inclusive) from val.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, int hi, int lo)
+{
+    std::uint64_t mask = (hi - lo >= 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1);
+    return (val >> lo) & mask;
+}
+
+/** Extract a single bit. */
+constexpr std::uint64_t
+bit(std::uint64_t val, int n)
+{
+    return (val >> n) & 1ull;
+}
+
+/** Insert the low bits of field into [hi:lo] of val. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, int hi, int lo, std::uint64_t field)
+{
+    std::uint64_t mask = (hi - lo >= 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1);
+    return (val & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** True iff val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Floor of log2(val); val must be non-zero. */
+constexpr int
+floorLog2(std::uint64_t val)
+{
+    assert(val != 0);
+    int result = 0;
+    while (val >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of log2(val); val must be non-zero. */
+constexpr int
+ceilLog2(std::uint64_t val)
+{
+    return isPowerOf2(val) ? floorLog2(val) : floorLog2(val) + 1;
+}
+
+/** Round addr down to a multiple of align (align must be a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round addr up to a multiple of align (align must be a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True iff addr is aligned to align (a power of two). */
+constexpr bool
+isAligned(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/**
+ * Radix-tree index of a virtual address at a given level.
+ *
+ * Level 3 is the root (PML4), level 0 the leaf page table, matching the
+ * x86-64 numbering used in the MMU code.
+ */
+constexpr int
+ptIndex(Addr vaddr, int level)
+{
+    int lo = pageShift4K + level * ptIndexBits;
+    return static_cast<int>(bits(vaddr, lo + ptIndexBits - 1, lo));
+}
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_BITFIELD_HH

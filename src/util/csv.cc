@@ -1,0 +1,55 @@
+#include "util/csv.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+{
+    if (path.empty())
+        return;
+    out_.open(path);
+    fatal_if(!out_, "cannot open CSV output file '%s'", path.c_str());
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (!active())
+        return;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+outputPath(const std::string &name)
+{
+    const char *dir = std::getenv("ATSCALE_OUT_DIR");
+    if (!dir || !*dir)
+        return "";
+    return std::string(dir) + "/" + name;
+}
+
+} // namespace atscale

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tiny CSV emitter used by benches and examples to dump figure/table data.
+ */
+
+#ifndef ATSCALE_UTIL_CSV_HH
+#define ATSCALE_UTIL_CSV_HH
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace atscale
+{
+
+/**
+ * Writes rows of comma-separated values to a file. Values are escaped if
+ * they contain commas or quotes. A writer with an empty path is a no-op,
+ * so callers can unconditionally emit rows.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter() = default;
+
+    /** Open path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** True when the writer is connected to a file. */
+    bool active() const { return out_.is_open(); }
+
+    /** Write one row from pre-formatted cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Write one row from heterogeneous values via operator<<. */
+    template <typename... Ts>
+    void
+    rowv(const Ts &...vals)
+    {
+        if (!active())
+            return;
+        std::vector<std::string> cells;
+        (cells.push_back(toCell(vals)), ...);
+        row(cells);
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T &v)
+    {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    }
+
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+/**
+ * Resolve the output path for a named data file: if the environment
+ * variable ATSCALE_OUT_DIR is set, returns "<dir>/<name>"; otherwise an
+ * empty string (callers then construct inactive CsvWriters).
+ */
+std::string outputPath(const std::string &name);
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_CSV_HH

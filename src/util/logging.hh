@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging and error handling.
+ *
+ * panic() is for internal invariant violations (aborts, may dump core);
+ * fatal() is for user/configuration errors (clean exit(1)); warn() and
+ * inform() are advisory.
+ */
+
+#ifndef ATSCALE_UTIL_LOGGING_HH
+#define ATSCALE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace atscale
+{
+
+/** Print a formatted message and abort(). Internal bugs only. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message and exit(1). User errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted informational message to stderr. */
+void informImpl(const char *fmt, ...);
+
+/** printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...);
+
+} // namespace atscale
+
+#define panic(...) ::atscale::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::atscale::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::atscale::warnImpl(__VA_ARGS__)
+#define inform(...) ::atscale::informImpl(__VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+/** fatal() if the condition holds. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // ATSCALE_UTIL_LOGGING_HH

@@ -1,0 +1,28 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+namespace atscale
+{
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    double u = real();
+    if (s == 1.0) {
+        // CDF(x) ~ ln(x+1)/ln(n+1)
+        double x = std::exp(u * std::log(static_cast<double>(n))) - 1.0;
+        std::uint64_t r = static_cast<std::uint64_t>(x);
+        return r >= n ? n - 1 : r;
+    }
+    // Bounded Pareto inverse CDF over [1, n].
+    double one_minus_s = 1.0 - s;
+    double hi = std::pow(static_cast<double>(n), one_minus_s);
+    double x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus_s);
+    std::uint64_t r = static_cast<std::uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+}
+
+} // namespace atscale

@@ -1,0 +1,60 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, int nbuckets)
+    : lo_(lo), width_((hi - lo) / nbuckets),
+      buckets_(static_cast<size_t>(nbuckets), 0)
+{
+    panic_if(nbuckets <= 0, "histogram needs at least one bucket");
+    panic_if(hi <= lo, "histogram range is empty");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    auto idx = static_cast<size_t>((x - lo_) / width_);
+    if (idx >= buckets_.size()) {
+        overflow_ += weight;
+        return;
+    }
+    buckets_[idx] += weight;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    double target = p * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target)
+        return lo_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            double frac = (target - cum) / static_cast<double>(buckets_[i]);
+            return bucketLo(static_cast<int>(i)) + frac * width_;
+        }
+        cum = next;
+    }
+    return lo_ + width_ * static_cast<double>(buckets_.size());
+}
+
+} // namespace atscale

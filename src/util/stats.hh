@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Small statistics accumulators used by the simulator and the analysis
+ * layer: streaming mean/variance and fixed-bucket histograms.
+ */
+
+#ifndef ATSCALE_UTIL_STATS_HH
+#define ATSCALE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atscale
+{
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_)
+            min_ = x;
+        if (n_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n_; }
+    /** Sample mean (0 if empty). */
+    double mean() const { return mean_; }
+    /** Sample variance (unbiased; 0 if fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Smallest sample (0 if empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+    /** Largest sample (0 if empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Reset to the empty state. */
+    void reset() { *this = RunningStat(); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over fixed-width buckets [lo, hi) with overflow/underflow
+ * buckets at the ends.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first regular bucket
+     * @param hi upper bound of the last regular bucket
+     * @param nbuckets number of regular buckets
+     */
+    Histogram(double lo, double hi, int nbuckets);
+
+    /** Add one sample. */
+    void add(double x, std::uint64_t weight = 1);
+
+    /** Total weight added. */
+    std::uint64_t total() const { return total_; }
+    /** Weight in regular bucket i. */
+    std::uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+    /** Number of regular buckets. */
+    int numBuckets() const { return static_cast<int>(buckets_.size()); }
+    /** Weight below lo. */
+    std::uint64_t underflow() const { return underflow_; }
+    /** Weight at or above hi. */
+    std::uint64_t overflow() const { return overflow_; }
+    /** Lower edge of bucket i. */
+    double bucketLo(int i) const { return lo_ + width_ * i; }
+    /** Approximate p-quantile (linear interpolation within buckets). */
+    double quantile(double p) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_STATS_HH

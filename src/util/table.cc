@@ -1,0 +1,77 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+namespace atscale
+{
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    // Compute column widths over header and all rows.
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> widths(ncols, 0);
+    auto account = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < ncols)
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    total += 2 * (ncols > 0 ? ncols - 1 : 0);
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        os << std::string(std::max(title_.size(), total), '=') << '\n';
+    }
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    static const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int s = 0;
+    while (v >= 1024.0 && s < 4) {
+        v /= 1024.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix[s]);
+    return buf;
+}
+
+} // namespace atscale

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-width text table printer for reproducing the paper's tables on
+ * stdout.
+ */
+
+#ifndef ATSCALE_UTIL_TABLE_HH
+#define ATSCALE_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace atscale
+{
+
+/**
+ * Accumulates rows of cells and renders them with per-column widths,
+ * a header separator, and an optional title.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(const std::vector<std::string> &cells) { header_ = cells; }
+
+    /** Append a data row from pre-formatted cells. */
+    void row(const std::vector<std::string> &cells) { rows_.push_back(cells); }
+
+    /** Append a data row from heterogeneous values via operator<<. */
+    template <typename... Ts>
+    void
+    rowv(const Ts &...vals)
+    {
+        std::vector<std::string> cells;
+        (cells.push_back(toCell(vals)), ...);
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T &v)
+    {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    }
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format a byte count with a binary-scaled suffix (KiB/MiB/GiB/TiB). */
+std::string fmtBytes(std::uint64_t bytes);
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_TABLE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental type aliases and architectural constants shared by every
+ * atscale library.
+ *
+ * We model a 48-bit x86-64 virtual address space translated through a
+ * 4-level radix page table, exactly as on the Haswell systems used in the
+ * paper.
+ */
+
+#ifndef ATSCALE_UTIL_TYPES_HH
+#define ATSCALE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace atscale
+{
+
+/** A virtual address. 48 significant bits on x86-64 4-level paging. */
+using Addr = std::uint64_t;
+
+/** A physical address in the simulated machine. */
+using PhysAddr = std::uint64_t;
+
+/** A count of clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of instructions, references, events, ... */
+using Count = std::uint64_t;
+
+/** Number of significant virtual address bits (x86-64, 4-level). */
+constexpr int vaddrBits = 48;
+
+/** log2 of the base page size (4 KiB). */
+constexpr int pageShift4K = 12;
+/** log2 of the 2 MiB superpage size. */
+constexpr int pageShift2M = 21;
+/** log2 of the 1 GiB superpage size. */
+constexpr int pageShift1G = 30;
+
+/** Base page size in bytes. */
+constexpr std::uint64_t pageSize4K = 1ull << pageShift4K;
+/** 2 MiB superpage size in bytes. */
+constexpr std::uint64_t pageSize2M = 1ull << pageShift2M;
+/** 1 GiB superpage size in bytes. */
+constexpr std::uint64_t pageSize1G = 1ull << pageShift1G;
+
+/** Bits of virtual address consumed per radix-tree level. */
+constexpr int ptIndexBits = 9;
+/** Entries per page-table node (one 4 KiB frame of 8-byte PTEs). */
+constexpr int ptEntriesPerNode = 1 << ptIndexBits;
+/** Size of one page-table entry in bytes. */
+constexpr int pteBytes = 8;
+/** Number of radix-tree levels (PML4, PDPT, PD, PT). */
+constexpr int ptLevels = 4;
+
+/** Convenience byte-size literals. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_TYPES_HH

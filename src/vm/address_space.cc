@@ -1,0 +1,101 @@
+#include "vm/address_space.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Start of the simulated heap, clear of the (unmodelled) text segment. */
+constexpr Addr heapBase = 1ull << 30;
+/** Unmapped guard gap between regions. */
+constexpr std::uint64_t guardGap = 2ull << 20;
+
+} // namespace
+
+AddressSpace::AddressSpace(PhysicalMemory &mem, FrameAllocator &alloc,
+                           PageSize backing)
+    : mem_(mem), alloc_(alloc), table_(mem, alloc), backing_(backing),
+      cursor_(heapBase)
+{
+}
+
+PageSize
+AddressSpace::effectiveBacking(PageSize requested, std::uint64_t bytes)
+{
+    // hugetlbfs cannot back a region with pages larger than the region:
+    // fall back, 1G -> 2M -> 4K, as the paper describes for sub-1GiB
+    // regions in the 1 GiB configuration.
+    if (requested == PageSize::Size1G && bytes < pageSize1G)
+        requested = PageSize::Size2M;
+    if (requested == PageSize::Size2M && bytes < pageSize2M)
+        requested = PageSize::Size4K;
+    return requested;
+}
+
+Addr
+AddressSpace::mapRegion(const std::string &name, std::uint64_t bytes)
+{
+    fatal_if(bytes == 0, "region '%s' has zero size", name.c_str());
+
+    Vma vma;
+    vma.name = name;
+    vma.size = bytes;
+    vma.requested = backing_;
+    vma.effective = effectiveBacking(backing_, bytes);
+    vma.base = alignUp(cursor_, pageBytes(vma.effective));
+
+    fatal_if(vma.base + bytes >= (1ull << vaddrBits),
+             "virtual address space exhausted by region '%s'", name.c_str());
+
+    // Advance past the region's final (super)page so the next region can
+    // never share a leaf mapping with this one.
+    cursor_ = alignUp(vma.base + bytes, pageBytes(vma.effective)) + guardGap;
+    reserved_ += bytes;
+    vmas_.push_back(vma);
+    return vma.base;
+}
+
+const Vma *
+AddressSpace::findVma(Addr vaddr) const
+{
+    // Regions are allocated in ascending order; binary search on base.
+    auto it = std::upper_bound(
+        vmas_.begin(), vmas_.end(), vaddr,
+        [](Addr a, const Vma &v) { return a < v.base; });
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    return it->contains(vaddr) ? &*it : nullptr;
+}
+
+const Translation &
+AddressSpace::touch(Addr vaddr)
+{
+    const Vma *vma = findVma(vaddr);
+    fatal_if(!vma, "access to unmapped virtual address %#lx", vaddr);
+
+    Addr page_base = alignDown(vaddr, pageBytes(vma->effective));
+    auto it = pages_.find(page_base);
+    if (it != pages_.end())
+        return it->second;
+
+    std::uint64_t page = pageBytes(vma->effective);
+    PhysAddr frame = alloc_.allocate(page);
+    table_.map(page_base, frame, vma->effective);
+    footprint_ += page;
+
+    Translation t;
+    t.valid = true;
+    t.pageSize = vma->effective;
+    t.frame = frame;
+    t.pageBase = page_base;
+    return pages_.emplace(page_base, t).first->second;
+}
+
+} // namespace atscale

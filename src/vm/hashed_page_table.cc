@@ -1,0 +1,112 @@
+#include "vm/hashed_page_table.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace atscale
+{
+
+HashedPageTable::HashedPageTable(PhysicalMemory &mem, FrameAllocator &alloc,
+                                 std::uint64_t capacityPages)
+    : mem_(mem)
+{
+    fatal_if(capacityPages == 0, "hashed page table needs capacity");
+    std::uint64_t entries = 1ull << ceilLog2(capacityPages * 3 / 2 + 1);
+    buckets_ = std::max<std::uint64_t>(entries / entriesPerBucket, 1);
+
+    // The table is one physically contiguous allocation, as an inverted
+    // page table would be.
+    base_ = alloc.allocate(1ull << ceilLog2(tableBytes()));
+}
+
+std::uint64_t
+HashedPageTable::bucketOf(std::uint64_t vpn) const
+{
+    return mix64(vpn) & (buckets_ - 1);
+}
+
+PhysAddr
+HashedPageTable::entryAddr(std::uint64_t bucket, int slot) const
+{
+    return base_ + bucket * bucketBytes +
+           static_cast<PhysAddr>(slot) * 16;
+}
+
+void
+HashedPageTable::map(Addr vaddr, PhysAddr frame)
+{
+    std::uint64_t vpn = vaddr >> pageShift4K;
+    std::uint64_t bucket = bucketOf(vpn);
+    for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
+        std::uint64_t b = (bucket + probe) & (buckets_ - 1);
+        for (int slot = 0; slot < entriesPerBucket; ++slot) {
+            PhysAddr addr = entryAddr(b, slot);
+            std::uint64_t tag = mem_.read64(addr);
+            if (tag == 0) {
+                // Tag stores vpn+1 so vpn 0 is representable.
+                mem_.write64(addr, vpn + 1);
+                mem_.write64(addr + 8, frame);
+                ++size_;
+                return;
+            }
+            panic_if(tag == vpn + 1, "double map of vaddr %#lx", vaddr);
+        }
+    }
+    fatal("hashed page table full (%llu mappings)",
+          static_cast<unsigned long long>(size_));
+}
+
+bool
+HashedPageTable::lookup(Addr vaddr, PhysAddr &frame) const
+{
+    std::uint64_t vpn = vaddr >> pageShift4K;
+    std::uint64_t bucket = bucketOf(vpn);
+    for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
+        std::uint64_t b = (bucket + probe) & (buckets_ - 1);
+        for (int slot = 0; slot < entriesPerBucket; ++slot) {
+            PhysAddr addr = entryAddr(b, slot);
+            std::uint64_t tag = mem_.read64(addr);
+            if (tag == 0)
+                return false;
+            if (tag == vpn + 1) {
+                frame = mem_.read64(addr + 8);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+HashedWalkResult
+HashedPageTable::walk(Addr vaddr, CacheHierarchy &hierarchy,
+                      Cycles perStepCycles) const
+{
+    std::uint64_t vpn = vaddr >> pageShift4K;
+    std::uint64_t bucket = bucketOf(vpn);
+
+    HashedWalkResult result;
+    for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
+        std::uint64_t b = (bucket + probe) & (buckets_ - 1);
+        // One cache-line load covers the whole bucket.
+        MemAccessResult mem_access =
+            hierarchy.access(entryAddr(b, 0), AccessKind::PtwLoad);
+        ++result.accesses;
+        result.cycles += mem_access.latency + perStepCycles;
+
+        for (int slot = 0; slot < entriesPerBucket; ++slot) {
+            std::uint64_t tag = mem_.read64(entryAddr(b, slot));
+            if (tag == 0)
+                return result; // not mapped
+            if (tag == vpn + 1) {
+                result.found = true;
+                result.frame = mem_.read64(entryAddr(b, slot) + 8);
+                return result;
+            }
+        }
+        // Bucket full of other tags: spill to the next line.
+    }
+    return result;
+}
+
+} // namespace atscale

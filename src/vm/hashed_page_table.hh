@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A hashed (inverted) page table — the alternative page-table format the
+ * paper's Discussion calls for study: "alternative page table data
+ * structures that do not introduce a log M overhead are deserving of
+ * further study."
+ *
+ * Translations live in an open-addressing hash table in simulated
+ * physical memory. Each bucket is one 64-byte cache line holding four
+ * 16-byte (VPN, PFN) entries; a walk hashes the VPN, loads the bucket
+ * line (one memory access), and probes its entries, spilling to the next
+ * line on collision. Walk length is therefore ~1 access independent of
+ * footprint — at the cost of losing the radix tree's spatial clustering
+ * of translations for neighbouring pages (no MMU-cache skipping, poorer
+ * PTE cache locality), the classic trade-off.
+ */
+
+#ifndef ATSCALE_VM_HASHED_PAGE_TABLE_HH
+#define ATSCALE_VM_HASHED_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Timing/result of one hashed walk. */
+struct HashedWalkResult
+{
+    bool found = false;
+    PhysAddr frame = 0;
+    /** Bucket-line loads performed (1 + collision spills). */
+    Count accesses = 0;
+    Cycles cycles = 0;
+};
+
+/**
+ * Open-addressing hashed page table over 4 KiB pages.
+ */
+class HashedPageTable
+{
+  public:
+    /**
+     * @param mem simulated physical memory backing the table
+     * @param alloc frame allocator for the table's storage
+     * @param capacityPages table capacity in mappings (sized up to the
+     *        next power of two of ~1.5x this value)
+     */
+    HashedPageTable(PhysicalMemory &mem, FrameAllocator &alloc,
+                    std::uint64_t capacityPages);
+
+    /** Insert a VPN -> frame mapping. fatal() when the table is full. */
+    void map(Addr vaddr, PhysAddr frame);
+
+    /** Functional lookup (no timing). */
+    bool lookup(Addr vaddr, PhysAddr &frame) const;
+
+    /**
+     * Hardware walk: hash the VPN and load bucket lines through the
+     * shared hierarchy until the entry (or an empty slot) is found.
+     *
+     * @param perStepCycles fixed walker cycles per bucket load
+     */
+    HashedWalkResult walk(Addr vaddr, CacheHierarchy &hierarchy,
+                          Cycles perStepCycles = 2) const;
+
+    /** Mappings stored. */
+    Count size() const { return size_; }
+    /** Bucket count (4 entries each). */
+    std::uint64_t buckets() const { return buckets_; }
+    /** Bytes of physical memory the table occupies. */
+    std::uint64_t tableBytes() const { return buckets_ * bucketBytes; }
+
+    /** Entries per bucket line. */
+    static constexpr int entriesPerBucket = 4;
+    /** Bytes per bucket (one cache line). */
+    static constexpr std::uint64_t bucketBytes = 64;
+
+  private:
+    std::uint64_t bucketOf(std::uint64_t vpn) const;
+    PhysAddr entryAddr(std::uint64_t bucket, int slot) const;
+
+    PhysicalMemory &mem_;
+    PhysAddr base_;
+    std::uint64_t buckets_;
+    Count size_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_HASHED_PAGE_TABLE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Page size enumeration and helpers for x86-64 4 KiB / 2 MiB / 1 GiB pages.
+ */
+
+#ifndef ATSCALE_VM_PAGE_SIZE_HH
+#define ATSCALE_VM_PAGE_SIZE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** The three x86-64 translation granularities. */
+enum class PageSize : std::uint8_t
+{
+    Size4K = 0,
+    Size2M = 1,
+    Size1G = 2,
+};
+
+/** Number of distinct page sizes. */
+constexpr int numPageSizes = 3;
+
+/** log2 of the page size in bytes. */
+constexpr int
+pageShift(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K:
+        return pageShift4K;
+      case PageSize::Size2M:
+        return pageShift2M;
+      case PageSize::Size1G:
+        return pageShift1G;
+    }
+    return pageShift4K;
+}
+
+/** Page size in bytes. */
+constexpr std::uint64_t
+pageBytes(PageSize size)
+{
+    return 1ull << pageShift(size);
+}
+
+/**
+ * Radix-tree level at which this page size's leaf PTE lives:
+ * 0 = PT (4 KiB), 1 = PD (2 MiB), 2 = PDPT (1 GiB).
+ */
+constexpr int
+leafLevel(PageSize size)
+{
+    return static_cast<int>(size);
+}
+
+/** Human-readable name ("4K", "2M", "1G"). */
+inline std::string
+pageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K:
+        return "4K";
+      case PageSize::Size2M:
+        return "2M";
+      case PageSize::Size1G:
+        return "1G";
+    }
+    return "?";
+}
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_PAGE_SIZE_HH

@@ -1,0 +1,103 @@
+#include "vm/page_table.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+PageTable::PageTable(PhysicalMemory &mem, FrameAllocator &alloc)
+    : mem_(mem), alloc_(alloc)
+{
+    root_ = alloc_.allocate(pageSize4K);
+    // Touch the root so it is materialized even before the first map().
+    mem_.write64(root_, 0);
+    ++nodes_;
+}
+
+PhysAddr
+PageTable::walkOrCreate(PhysAddr nodeBase, int index)
+{
+    PhysAddr entry_addr = nodeBase + static_cast<PhysAddr>(index) * pteBytes;
+    Pte pte = Pte::unpack(mem_.read64(entry_addr));
+    if (pte.present) {
+        panic_if(pte.pageSize,
+                 "mapping conflict: intermediate node needed where a "
+                 "superpage leaf exists (entry %#lx)", entry_addr);
+        return pte.addr;
+    }
+    PhysAddr node = alloc_.allocate(pageSize4K);
+    ++nodes_;
+    Pte fresh;
+    fresh.present = true;
+    fresh.addr = node;
+    mem_.write64(entry_addr, fresh.pack());
+    return node;
+}
+
+void
+PageTable::map(Addr vaddr, PhysAddr frame, PageSize size)
+{
+    std::uint64_t page = pageBytes(size);
+    panic_if(!isAligned(vaddr, page), "unaligned vaddr %#lx for %s page",
+             vaddr, pageSizeName(size).c_str());
+    panic_if(!isAligned(frame, page), "unaligned frame %#lx for %s page",
+             frame, pageSizeName(size).c_str());
+
+    int leaf = leafLevel(size);
+    PhysAddr node = root_;
+    for (int level = ptLevels - 1; level > leaf; --level)
+        node = walkOrCreate(node, ptIndex(vaddr, level));
+
+    PhysAddr entry_addr =
+        node + static_cast<PhysAddr>(ptIndex(vaddr, leaf)) * pteBytes;
+    Pte existing = Pte::unpack(mem_.read64(entry_addr));
+    panic_if(existing.present, "double map of vaddr %#lx", vaddr);
+
+    Pte pte;
+    pte.present = true;
+    pte.pageSize = (size != PageSize::Size4K);
+    pte.addr = frame;
+    mem_.write64(entry_addr, pte.pack());
+}
+
+Translation
+PageTable::translate(Addr vaddr) const
+{
+    PhysAddr node = root_;
+    for (int level = ptLevels - 1; level >= 0; --level) {
+        PhysAddr entry_addr =
+            node + static_cast<PhysAddr>(ptIndex(vaddr, level)) * pteBytes;
+        Pte pte = Pte::unpack(mem_.read64(entry_addr));
+        if (!pte.present)
+            return {};
+        bool is_leaf = (level == 0) || pte.pageSize;
+        if (is_leaf) {
+            Translation result;
+            result.valid = true;
+            result.pageSize = static_cast<PageSize>(level);
+            result.frame = pte.addr;
+            result.pageBase = alignDown(vaddr, pageBytes(result.pageSize));
+            return result;
+        }
+        node = pte.addr;
+    }
+    return {};
+}
+
+PhysAddr
+PageTable::entryAddr(Addr vaddr, int level) const
+{
+    PhysAddr node = root_;
+    for (int l = ptLevels - 1; l > level; --l) {
+        PhysAddr entry_addr =
+            node + static_cast<PhysAddr>(ptIndex(vaddr, l)) * pteBytes;
+        Pte pte = Pte::unpack(mem_.read64(entry_addr));
+        if (!pte.present || pte.pageSize)
+            return 0;
+        node = pte.addr;
+    }
+    return node + static_cast<PhysAddr>(ptIndex(vaddr, level)) * pteBytes;
+}
+
+} // namespace atscale

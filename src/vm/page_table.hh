@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The x86-64 4-level radix page table, built out of real PTE words in
+ * simulated physical memory so the hardware page-table walker can read it
+ * exactly as a Haswell walker would.
+ */
+
+#ifndef ATSCALE_VM_PAGE_TABLE_HH
+#define ATSCALE_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "vm/page_size.hh"
+#include "vm/pte.hh"
+
+namespace atscale
+{
+
+/** Result of a functional (software) page-table walk. */
+struct Translation
+{
+    bool valid = false;
+    /** Size of the mapping's leaf page. */
+    PageSize pageSize = PageSize::Size4K;
+    /** Physical address of the mapped frame (page-aligned). */
+    PhysAddr frame = 0;
+    /** Virtual base of the mapped page. */
+    Addr pageBase = 0;
+
+    /** Translate an address within this page. */
+    PhysAddr
+    paddr(Addr vaddr) const
+    {
+        return frame + (vaddr - pageBase);
+    }
+};
+
+/**
+ * A 4-level x86-64 page table. Intermediate nodes are 4 KiB frames of 512
+ * 8-byte entries allocated from the shared FrameAllocator; superpage leaves
+ * use the PS bit at the PD (2 MiB) or PDPT (1 GiB) level.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param mem simulated physical memory holding the PTE words
+     * @param alloc allocator for page-table node frames
+     */
+    PageTable(PhysicalMemory &mem, FrameAllocator &alloc);
+
+    /**
+     * Install a mapping: vaddr's page of the given size maps to frame.
+     * vaddr and frame must be aligned to the page size. Intermediate
+     * nodes are created on demand. panic() if the mapping conflicts with
+     * an existing one.
+     */
+    void map(Addr vaddr, PhysAddr frame, PageSize size);
+
+    /** Functional lookup (no timing, no caches). */
+    Translation translate(Addr vaddr) const;
+
+    /** Physical address of the root (PML4) node, i.e. CR3. */
+    PhysAddr root() const { return root_; }
+
+    /**
+     * Physical address of the PTE word consulted at the given level for
+     * vaddr, assuming all intermediate nodes exist. Level 3 is the PML4.
+     * Returns 0 if an intermediate node is missing.
+     */
+    PhysAddr entryAddr(Addr vaddr, int level) const;
+
+    /** Number of node frames allocated (radix-tree size). */
+    Count nodeCount() const { return nodes_; }
+
+    /** Bytes of physical memory consumed by page-table nodes. */
+    std::uint64_t
+    nodeBytes() const
+    {
+        return nodes_ * pageSize4K;
+    }
+
+  private:
+    /** Return the node the entry at (nodeBase, index) points to, creating
+     * it if absent. */
+    PhysAddr walkOrCreate(PhysAddr nodeBase, int index);
+
+    PhysicalMemory &mem_;
+    FrameAllocator &alloc_;
+    PhysAddr root_;
+    Count nodes_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_PAGE_TABLE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * x86-64 page-table entry encoding.
+ *
+ * We model the architecturally relevant bits only: Present (bit 0),
+ * Accessed (bit 5), Dirty (bit 6), PS (bit 7, marks a superpage leaf in a
+ * PDE/PDPTE), and the frame address field (bits 51:12).
+ */
+
+#ifndef ATSCALE_VM_PTE_HH
+#define ATSCALE_VM_PTE_HH
+
+#include <cstdint>
+
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/** Decoded view of a page-table entry. */
+struct Pte
+{
+    bool present = false;
+    bool accessed = false;
+    bool dirty = false;
+    /** Page-size bit: this PDE/PDPTE maps a superpage directly. */
+    bool pageSize = false;
+    /** Physical address of the next-level node or the mapped frame. */
+    PhysAddr addr = 0;
+
+    /** Encode into the architectural 64-bit format. */
+    std::uint64_t
+    pack() const
+    {
+        std::uint64_t raw = 0;
+        raw |= present ? 1ull << 0 : 0;
+        raw |= accessed ? 1ull << 5 : 0;
+        raw |= dirty ? 1ull << 6 : 0;
+        raw |= pageSize ? 1ull << 7 : 0;
+        raw = insertBits(raw, 51, 12, addr >> 12);
+        return raw;
+    }
+
+    /** Decode from the architectural 64-bit format. */
+    static Pte
+    unpack(std::uint64_t raw)
+    {
+        Pte pte;
+        pte.present = bit(raw, 0);
+        pte.accessed = bit(raw, 5);
+        pte.dirty = bit(raw, 6);
+        pte.pageSize = bit(raw, 7);
+        pte.addr = bits(raw, 51, 12) << 12;
+        return pte;
+    }
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_PTE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Virtual memory area descriptor.
+ */
+
+#ifndef ATSCALE_VM_VMA_HH
+#define ATSCALE_VM_VMA_HH
+
+#include <string>
+
+#include "vm/page_size.hh"
+
+namespace atscale
+{
+
+/**
+ * One contiguous virtual region with a page-size backing decision, the
+ * analogue of a hugetlbfs-backed glibc heap segment in the paper's setup.
+ */
+struct Vma
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t size = 0;
+    /** Page size the experiment asked for. */
+    PageSize requested = PageSize::Size4K;
+    /** Page size the allocator could actually provide (fallback rule). */
+    PageSize effective = PageSize::Size4K;
+
+    /** True iff vaddr falls inside this region. */
+    bool
+    contains(Addr vaddr) const
+    {
+        return vaddr >= base && vaddr - base < size;
+    }
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_VMA_HH

@@ -1,0 +1,28 @@
+#include "workloads/graph/csr.hh"
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+CsrGraph::CsrGraph(const GraphSpec &spec) : spec_(spec)
+{
+    const std::uint64_t n = spec.numVertices;
+    fatal_if(n == 0, "graph needs at least one vertex");
+
+    offsets_.resize(n + 1);
+    offsets_[0] = 0;
+    for (std::uint64_t v = 0; v < n; ++v)
+        offsets_[v + 1] = offsets_[v] + spec.degreeOf(v);
+
+    neighbors_.resize(offsets_[n]);
+    for (std::uint64_t v = 0; v < n; ++v) {
+        std::uint32_t deg = spec.degreeOf(v);
+        for (std::uint32_t j = 0; j < deg; ++j) {
+            neighbors_[offsets_[v] + j] =
+                static_cast<std::uint32_t>(spec.neighbor(v, j));
+        }
+    }
+}
+
+} // namespace atscale

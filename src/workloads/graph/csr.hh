@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compressed-sparse-row graph built from a GraphSpec's hash-defined
+ * topology, so exec-mode runs and model-mode streams see the same graph.
+ */
+
+#ifndef ATSCALE_WORKLOADS_GRAPH_CSR_HH
+#define ATSCALE_WORKLOADS_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph/graph_spec.hh"
+
+namespace atscale
+{
+
+/**
+ * A host-resident CSR graph. Vertex ids are 32-bit, as in GAPBS.
+ */
+class CsrGraph
+{
+  public:
+    /** Materialize the graph described by spec (exec mode only). */
+    explicit CsrGraph(const GraphSpec &spec);
+
+    std::uint64_t numVertices() const { return offsets_.size() - 1; }
+    std::uint64_t numEdges() const { return neighbors_.size(); }
+
+    /** Degree of vertex v. */
+    std::uint32_t
+    degree(std::uint64_t v) const
+    {
+        return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    }
+
+    /** Start index of v's neighbour list in the packed array. */
+    std::uint64_t offset(std::uint64_t v) const { return offsets_[v]; }
+
+    /** j-th neighbour of v. */
+    std::uint32_t
+    neighbor(std::uint64_t v, std::uint32_t j) const
+    {
+        return neighbors_[offsets_[v] + j];
+    }
+
+    const std::vector<std::uint64_t> &offsets() const { return offsets_; }
+    const std::vector<std::uint32_t> &neighbors() const { return neighbors_; }
+
+    const GraphSpec &spec() const { return spec_; }
+
+  private:
+    GraphSpec spec_;
+    std::vector<std::uint64_t> offsets_;
+    std::vector<std::uint32_t> neighbors_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_GRAPH_CSR_HH

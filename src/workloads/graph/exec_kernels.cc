@@ -1,0 +1,238 @@
+#include "workloads/graph/exec_kernels.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Traced read of offsets[v]. */
+std::uint64_t
+readOffset(ExecGraphContext &ctx, std::uint64_t v, std::uint32_t gap = 1)
+{
+    ctx.sink.load(ctx.layout.offsets + v * 8, gap);
+    return ctx.graph.offset(v);
+}
+
+/** Traced read of the j-th packed neighbour of v. */
+std::uint32_t
+readNeighbor(ExecGraphContext &ctx, std::uint64_t v, std::uint32_t j,
+             std::uint32_t gap = 1)
+{
+    ctx.sink.load(ctx.layout.neighbors + (ctx.graph.offset(v) + j) * 4, gap);
+    return ctx.graph.neighbor(v, j);
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+execBfs(ExecGraphContext &ctx, std::uint64_t source)
+{
+    const std::uint64_t n = ctx.graph.numVertices();
+    TracedArray<std::int64_t> parent(ctx.sink, ctx.layout.props, n, -1);
+    std::deque<std::uint64_t> queue;
+
+    parent.set(source, static_cast<std::int64_t>(source));
+    queue.push_back(source);
+    while (!queue.empty()) {
+        std::uint64_t v = queue.front();
+        queue.pop_front();
+        readOffset(ctx, v);
+        std::uint32_t deg = ctx.graph.degree(v);
+        for (std::uint32_t j = 0; j < deg; ++j) {
+            std::uint32_t u = readNeighbor(ctx, v, j);
+            if (parent.get(u) < 0) {
+                parent.set(u, static_cast<std::int64_t>(v));
+                queue.push_back(u);
+            }
+        }
+    }
+
+    std::vector<std::int64_t> result(n);
+    for (std::uint64_t v = 0; v < n; ++v)
+        result[v] = parent.raw(v);
+    return result;
+}
+
+std::vector<double>
+execPr(ExecGraphContext &ctx, int iterations)
+{
+    const std::uint64_t n = ctx.graph.numVertices();
+    const double damping = 0.85;
+    TracedArray<double> score(ctx.sink, ctx.layout.props, n,
+                              1.0 / static_cast<double>(n));
+    TracedArray<double> next(ctx.sink, ctx.layout.props + n * 8, n, 0.0);
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        for (std::uint64_t v = 0; v < n; ++v)
+            next.raw(v) = (1.0 - damping) / static_cast<double>(n);
+        for (std::uint64_t v = 0; v < n; ++v) {
+            readOffset(ctx, v, 2);
+            std::uint32_t deg = ctx.graph.degree(v);
+            if (deg == 0)
+                continue;
+            double share = damping * score.get(v) / deg;
+            for (std::uint32_t j = 0; j < deg; ++j) {
+                std::uint32_t u = readNeighbor(ctx, v, j);
+                next.set(u, next.get(u, 2) + share, 2);
+            }
+        }
+        for (std::uint64_t v = 0; v < n; ++v)
+            score.raw(v) = next.raw(v);
+    }
+
+    std::vector<double> result(n);
+    for (std::uint64_t v = 0; v < n; ++v)
+        result[v] = score.raw(v);
+    return result;
+}
+
+std::vector<std::uint32_t>
+execCc(ExecGraphContext &ctx)
+{
+    const std::uint64_t n = ctx.graph.numVertices();
+    TracedArray<std::uint32_t> comp(ctx.sink, ctx.layout.props, n, 0);
+    for (std::uint64_t v = 0; v < n; ++v)
+        comp.raw(v) = static_cast<std::uint32_t>(v);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint64_t v = 0; v < n; ++v) {
+            readOffset(ctx, v);
+            std::uint32_t deg = ctx.graph.degree(v);
+            std::uint32_t cv = comp.get(v);
+            for (std::uint32_t j = 0; j < deg; ++j) {
+                std::uint32_t u = readNeighbor(ctx, v, j);
+                std::uint32_t cu = comp.get(u);
+                if (cu < cv) {
+                    comp.set(v, cu);
+                    cv = cu;
+                    changed = true;
+                } else if (cv < cu) {
+                    comp.set(u, cv);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> result(n);
+    for (std::uint64_t v = 0; v < n; ++v)
+        result[v] = comp.raw(v);
+    return result;
+}
+
+std::uint64_t
+execTc(ExecGraphContext &ctx)
+{
+    const std::uint64_t n = ctx.graph.numVertices();
+    // Orientation preprocessing (untraced, as GAPBS does it once):
+    // keep only neighbours with a larger id, sorted.
+    std::vector<std::vector<std::uint32_t>> oriented(n);
+    for (std::uint64_t v = 0; v < n; ++v) {
+        std::uint32_t deg = ctx.graph.degree(v);
+        for (std::uint32_t j = 0; j < deg; ++j) {
+            std::uint32_t u = ctx.graph.neighbor(v, j);
+            if (u > v)
+                oriented[v].push_back(u);
+        }
+        std::sort(oriented[v].begin(), oriented[v].end());
+        oriented[v].erase(
+            std::unique(oriented[v].begin(), oriented[v].end()),
+            oriented[v].end());
+    }
+
+    std::uint64_t triangles = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+        readOffset(ctx, v, 2);
+        const auto &adj_v = oriented[v];
+        for (std::size_t j = 0; j < adj_v.size(); ++j) {
+            ctx.sink.load(ctx.layout.neighbors +
+                              (ctx.graph.offset(v) + j) * 4,
+                          2);
+            std::uint32_t w = adj_v[j];
+            readOffset(ctx, w, 2);
+            const auto &adj_w = oriented[w];
+            // Sorted merge-intersection, traced on both lists.
+            std::size_t a = j + 1, b = 0;
+            while (a < adj_v.size() && b < adj_w.size()) {
+                ctx.sink.load(ctx.layout.neighbors +
+                                  (ctx.graph.offset(v) + a) * 4,
+                              2);
+                ctx.sink.load(ctx.layout.neighbors +
+                                  (ctx.graph.offset(w) + b) * 4,
+                              2);
+                if (adj_v[a] == adj_w[b]) {
+                    ++triangles;
+                    ++a;
+                    ++b;
+                } else if (adj_v[a] < adj_w[b]) {
+                    ++a;
+                } else {
+                    ++b;
+                }
+            }
+        }
+    }
+    return triangles;
+}
+
+std::vector<double>
+execBc(ExecGraphContext &ctx, std::uint64_t source)
+{
+    const std::uint64_t n = ctx.graph.numVertices();
+    TracedArray<std::int64_t> depth(ctx.sink, ctx.layout.props, n, -1);
+    TracedArray<double> sigma(ctx.sink, ctx.layout.props + n * 8, n, 0.0);
+    TracedArray<double> delta(ctx.sink, ctx.layout.props + n * 16, n, 0.0);
+
+    std::vector<std::uint64_t> order;
+    order.reserve(n);
+
+    depth.set(source, 0);
+    sigma.set(source, 1.0);
+    std::deque<std::uint64_t> queue{source};
+    while (!queue.empty()) {
+        std::uint64_t v = queue.front();
+        queue.pop_front();
+        order.push_back(v);
+        readOffset(ctx, v);
+        std::uint32_t deg = ctx.graph.degree(v);
+        std::int64_t dv = depth.get(v);
+        for (std::uint32_t j = 0; j < deg; ++j) {
+            std::uint32_t u = readNeighbor(ctx, v, j);
+            if (depth.get(u) < 0) {
+                depth.set(u, dv + 1);
+                queue.push_back(u);
+            }
+            if (depth.raw(u) == dv + 1)
+                sigma.set(u, sigma.get(u) + sigma.get(v));
+        }
+    }
+
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        std::uint64_t v = *it;
+        readOffset(ctx, v);
+        std::uint32_t deg = ctx.graph.degree(v);
+        std::int64_t dv = depth.get(v);
+        for (std::uint32_t j = 0; j < deg; ++j) {
+            std::uint32_t u = readNeighbor(ctx, v, j);
+            if (depth.get(u) == dv + 1 && sigma.raw(u) > 0.0) {
+                double contribution = sigma.get(v) / sigma.get(u) *
+                                      (1.0 + delta.get(u));
+                delta.set(v, delta.get(v) + contribution);
+            }
+        }
+    }
+
+    std::vector<double> result(n);
+    for (std::uint64_t v = 0; v < n; ++v)
+        result[v] = delta.raw(v);
+    return result;
+}
+
+} // namespace atscale

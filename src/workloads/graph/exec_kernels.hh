@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exec-mode GAP kernels: real algorithm implementations over a
+ * materialized CSR graph, with every major-structure access traced at its
+ * simulated address. Each kernel returns an algorithmic result so tests
+ * can verify correctness independently of the tracing.
+ */
+
+#ifndef ATSCALE_WORKLOADS_GRAPH_EXEC_KERNELS_HH
+#define ATSCALE_WORKLOADS_GRAPH_EXEC_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph/csr.hh"
+#include "workloads/graph/model_stream.hh"
+#include "workloads/trace.hh"
+
+namespace atscale
+{
+
+/** Everything an exec kernel needs. */
+struct ExecGraphContext
+{
+    const CsrGraph &graph;
+    TraceSink &sink;
+    GraphLayout layout;
+};
+
+/** Breadth-first search from `source`; returns per-vertex parent
+ * (-1 = unreached, source's parent is itself). */
+std::vector<std::int64_t> execBfs(ExecGraphContext &ctx,
+                                  std::uint64_t source);
+
+/** Push-style PageRank; returns final scores (sum ~ 1). */
+std::vector<double> execPr(ExecGraphContext &ctx, int iterations);
+
+/** Label-propagation connected components; returns per-vertex labels. */
+std::vector<std::uint32_t> execCc(ExecGraphContext &ctx);
+
+/** Degree-oriented triangle counting; returns the triangle count. */
+std::uint64_t execTc(ExecGraphContext &ctx);
+
+/** Single-source Brandes betweenness contribution; returns deltas. */
+std::vector<double> execBc(ExecGraphContext &ctx, std::uint64_t source);
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_GRAPH_EXEC_KERNELS_HH

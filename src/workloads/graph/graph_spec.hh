@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Synthetic graph parameterization shared by the exec-mode builders and
+ * the model-mode streams.
+ *
+ * Mirrors the GAP benchmark suite's embedded generators (Table II):
+ *  - urand: Erdos-Renyi-style uniform random edges, average degree 16
+ *  - kron:  Kronecker/RMAT-style scale-free graphs, average degree 16
+ *
+ * Topology is a pure function of (seed, vertex, slot) via 64-bit mixing,
+ * so the model-mode streams can ask "who is neighbour j of vertex v?"
+ * without storing the graph.
+ */
+
+#ifndef ATSCALE_WORKLOADS_GRAPH_GRAPH_SPEC_HH
+#define ATSCALE_WORKLOADS_GRAPH_GRAPH_SPEC_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/random.hh"
+
+namespace atscale
+{
+
+/** Input generator family. */
+enum class GraphKind
+{
+    Urand,
+    Kron,
+};
+
+/** Generator name as the paper writes it. */
+inline std::string
+graphKindName(GraphKind kind)
+{
+    return kind == GraphKind::Urand ? "urand" : "kron";
+}
+
+/** Map a uniform [0,1) value to a Zipf-like index in [0, n). */
+inline std::uint64_t
+zipfIndex(double u, std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    double x;
+    if (s == 1.0) {
+        x = std::exp(u * std::log(static_cast<double>(n)));
+    } else {
+        double one_minus_s = 1.0 - s;
+        double hi = std::pow(static_cast<double>(n), one_minus_s);
+        x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus_s);
+    }
+    auto r = static_cast<std::uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+}
+
+/**
+ * A synthetic graph described by (kind, vertex count, seed). Average
+ * degree is fixed at 16 as in the GAP generators' defaults.
+ */
+struct GraphSpec
+{
+    GraphKind kind = GraphKind::Urand;
+    std::uint64_t numVertices = 1 << 20;
+    std::uint64_t seed = 1;
+
+    /** GAP default average degree. */
+    static constexpr std::uint32_t avgDegree = 16;
+    /** Kron skew exponent (scale-free hub concentration; > 1 puts a
+     * large constant fraction of all edge endpoints on the hubs). */
+    static constexpr double kronSkew = 1.1;
+
+    /** Out-degree of vertex v (urand: ~Poisson around 16; kron: skewed). */
+    std::uint32_t
+    degreeOf(std::uint64_t v) const
+    {
+        std::uint64_t h = mix64(seed ^ (v * 0x9e3779b97f4a7c15ull));
+        if (kind == GraphKind::Urand)
+            return 12 + static_cast<std::uint32_t>(h % 9); // 12..20, mean 16
+        // Scale-free: a few hubs with huge degree, a long tail of small
+        // ones. Hubs are the lowest-numbered vertices (degree-sorted
+        // relabelling, as GAP's builder does for tc).
+        if (v < numVertices / 1024 + 1) {
+            return static_cast<std::uint32_t>(
+                256 + h % (avgDegree * 64)); // hubs
+        }
+        return 1 + static_cast<std::uint32_t>(h % 16); // tail, mean ~8
+    }
+
+    /** Neighbour j of vertex v. */
+    std::uint64_t
+    neighbor(std::uint64_t v, std::uint32_t j) const
+    {
+        std::uint64_t h = mix64(seed ^ (v * 0x2545f4914f6cdd1dull) ^
+                                (static_cast<std::uint64_t>(j) << 40));
+        if (kind == GraphKind::Urand)
+            return h % numVertices;
+        // Kron edges preferentially attach to hubs.
+        double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return zipfIndex(u, numVertices, kronSkew);
+    }
+
+    /** Total directed edges (approximate for model mode). */
+    std::uint64_t
+    numEdges() const
+    {
+        return numVertices * avgDegree;
+    }
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_GRAPH_GRAPH_SPEC_HH

@@ -1,0 +1,115 @@
+#include "workloads/graph/graph_workload.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "workloads/graph/csr.hh"
+#include "workloads/graph/exec_kernels.hh"
+#include "workloads/trace.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Exec mode materializes the graph in host memory; cap it. */
+constexpr std::uint64_t execFootprintCap = 2ull << 30;
+
+} // namespace
+
+WorkloadTraits
+GraphWorkload::traits() const
+{
+    WorkloadTraits t;
+    switch (kernel_) {
+      case GraphKernel::Bfs:
+        t = {0.20, 0.030, 0.60, 0.5};
+        break;
+      case GraphKernel::Pr:
+        t = {0.12, 0.010, 0.80, 0.5};
+        break;
+      case GraphKernel::Cc:
+        t = {0.15, 0.020, 0.70, 0.5};
+        break;
+      case GraphKernel::Bc:
+        t = {0.18, 0.025, 0.60, 0.5};
+        break;
+      case GraphKernel::Tc:
+        t = {0.25, 0.040, 0.70, 0.4};
+        break;
+    }
+    return t;
+}
+
+std::uint64_t
+GraphWorkload::verticesForFootprint(std::uint64_t footprintBytes) const
+{
+    std::uint64_t bytes_per_vertex =
+        8 + 4ull * GraphSpec::avgDegree + kernelPropBytes(kernel_);
+    return std::max<std::uint64_t>(footprintBytes / bytes_per_vertex, 1024);
+}
+
+std::unique_ptr<RefSource>
+GraphWorkload::instantiate(AddressSpace &space, const WorkloadConfig &config)
+{
+    GraphSpec spec;
+    spec.kind = kind_;
+    spec.numVertices = verticesForFootprint(config.footprintBytes);
+    spec.seed = config.seed;
+
+    const std::uint32_t prop_bytes = kernelPropBytes(kernel_);
+
+    if (config.mode == WorkloadMode::Model) {
+        GraphLayout layout;
+        layout.offsets = space.mapRegion("offsets", (spec.numVertices + 1) * 8);
+        layout.neighborsBytes = spec.numEdges() * 4;
+        layout.neighbors = space.mapRegion("neighbors", layout.neighborsBytes);
+        if (prop_bytes) {
+            layout.propsBytes = spec.numVertices * prop_bytes;
+            layout.props = space.mapRegion("props", layout.propsBytes);
+        }
+        return std::make_unique<GraphModelStream>(kernel_, spec, layout,
+                                                  config.seed ^ 0xabcd);
+    }
+
+    // Exec mode: build the CSR and trace one real kernel run.
+    fatal_if(config.footprintBytes > execFootprintCap,
+             "exec-mode graph footprint %llu exceeds the %llu cap; "
+             "use model mode for large sweeps",
+             static_cast<unsigned long long>(config.footprintBytes),
+             static_cast<unsigned long long>(execFootprintCap));
+
+    CsrGraph graph(spec);
+    GraphLayout layout;
+    layout.offsets = space.mapRegion("offsets", (spec.numVertices + 1) * 8);
+    layout.neighborsBytes = std::max<std::uint64_t>(graph.numEdges(), 1) * 4;
+    layout.neighbors = space.mapRegion("neighbors", layout.neighborsBytes);
+    // Exec kernels lay out up to three 8-byte property arrays.
+    layout.propsBytes = spec.numVertices * std::max<std::uint32_t>(
+        prop_bytes, 8);
+    layout.props = space.mapRegion("props", layout.propsBytes);
+
+    TraceSink sink;
+    ExecGraphContext ctx{graph, sink, layout};
+    switch (kernel_) {
+      case GraphKernel::Bfs:
+        execBfs(ctx, 0);
+        break;
+      case GraphKernel::Pr:
+        execPr(ctx, 3);
+        break;
+      case GraphKernel::Cc:
+        execCc(ctx);
+        break;
+      case GraphKernel::Bc:
+        execBc(ctx, 0);
+        break;
+      case GraphKernel::Tc:
+        execTc(ctx);
+        break;
+    }
+    return std::make_unique<TraceReplaySource>(sink.takeTrace());
+}
+
+} // namespace atscale

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The ten GAP workloads of Table I: {bc, bfs, cc, pr, tc} x {urand, kron}.
+ */
+
+#ifndef ATSCALE_WORKLOADS_GRAPH_GRAPH_WORKLOAD_HH
+#define ATSCALE_WORKLOADS_GRAPH_GRAPH_WORKLOAD_HH
+
+#include "workloads/graph/model_stream.hh"
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/**
+ * One GAP kernel + input generator pair. Supports both exec mode (real
+ * kernel over a materialized CSR, traced) and model mode (streaming
+ * grammar over the same hash-defined topology).
+ */
+class GraphWorkload : public Workload
+{
+  public:
+    GraphWorkload(GraphKernel kernel, GraphKind kind)
+        : kernel_(kernel), kind_(kind)
+    {
+    }
+
+    std::string program() const override { return graphKernelName(kernel_); }
+    std::string generator() const override { return graphKindName(kind_); }
+    WorkloadTraits traits() const override;
+    bool supports(WorkloadMode) const override { return true; }
+
+    std::unique_ptr<RefSource>
+    instantiate(AddressSpace &space, const WorkloadConfig &config) override;
+
+    GraphKernel kernel() const { return kernel_; }
+    GraphKind kind() const { return kind_; }
+
+    /** Vertex count an instantiation at this footprint will use. */
+    std::uint64_t verticesForFootprint(std::uint64_t footprintBytes) const;
+
+  private:
+    GraphKernel kernel_;
+    GraphKind kind_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_GRAPH_GRAPH_WORKLOAD_HH

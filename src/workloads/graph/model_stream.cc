@@ -1,0 +1,304 @@
+#include "workloads/graph/model_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "workloads/locality.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Cap on per-batch work so scale-free hubs don't stall the stream. */
+constexpr std::uint32_t hubCap = 128;
+
+} // namespace
+
+const char *
+graphKernelName(GraphKernel kernel)
+{
+    switch (kernel) {
+      case GraphKernel::Bc:
+        return "bc";
+      case GraphKernel::Bfs:
+        return "bfs";
+      case GraphKernel::Cc:
+        return "cc";
+      case GraphKernel::Pr:
+        return "pr";
+      case GraphKernel::Tc:
+        return "tc";
+    }
+    return "?";
+}
+
+std::uint32_t
+kernelPropBytes(GraphKernel kernel)
+{
+    switch (kernel) {
+      case GraphKernel::Bc:
+        return 40; // parent, sigma, delta, depth, queue slot
+      case GraphKernel::Bfs:
+        return 16; // parent, queue slot
+      case GraphKernel::Cc:
+        return 8; // component id
+      case GraphKernel::Pr:
+        return 16; // score, next score
+      case GraphKernel::Tc:
+        return 0; // operates on the CSR alone
+    }
+    return 0;
+}
+
+GraphModelStream::GraphModelStream(GraphKernel kernel, const GraphSpec &spec,
+                                   const GraphLayout &layout,
+                                   std::uint64_t seed)
+    : kernel_(kernel), spec_(spec), layout_(layout),
+      propStride_(kernelPropBytes(kernel)), rng_(seed)
+{
+    batch_.reserve(1024);
+}
+
+void
+GraphModelStream::push(Addr vaddr, std::uint32_t gap, bool store)
+{
+    batch_.push_back({vaddr, gap, store});
+}
+
+Addr
+GraphModelStream::offsetAddr(std::uint64_t v) const
+{
+    return layout_.offsets + v * 8;
+}
+
+Addr
+GraphModelStream::neighborAddr(std::uint64_t v, std::uint32_t j) const
+{
+    // Neighbour lists are packed at average-degree granularity.
+    std::uint64_t slot = v * GraphSpec::avgDegree + j;
+    return layout_.neighbors + (slot * 4) % layout_.neighborsBytes;
+}
+
+Addr
+GraphModelStream::propAddr(std::uint64_t v, std::uint32_t slot) const
+{
+    return layout_.props + v * propStride_ + slot * 8;
+}
+
+std::uint64_t
+GraphModelStream::targetVertex(std::uint64_t v, std::uint32_t j)
+{
+    const std::uint64_t n = spec_.numVertices;
+    if (spec_.kind == GraphKind::Kron) {
+        // Scale-free inputs: most endpoints are hubs (naturally warm),
+        // a slice tracks the frontier working set, and a thin Zipf tail
+        // reaches across the graph. Net effect: lower, flatter AT
+        // pressure than urand (Table IV kron slopes ~0.10 vs ~0.15).
+        double u = rng_.real();
+        if (u < 0.80) {
+            double h = rng_.real();
+            return zipfIndex(h, std::min<std::uint64_t>(n, 65536), 1.1);
+        }
+        if (u < 0.92) {
+            auto window = static_cast<std::uint64_t>(
+                std::pow(static_cast<double>(n), 0.75));
+            window = std::min(std::max<std::uint64_t>(window, 32768), n);
+            return (v + n - 1 - rng_.below(window)) % n;
+        }
+        return zipfIndex(rng_.real(), n, 1.05);
+    }
+    // Uniform-random inputs: frontier/community reuse layered as a hot
+    // core + sublinear working set + power-law tail.
+    static const LocalityProfile urandProfile{0.70, 0.20, 0.75, 1.0, 32768};
+    (void)j;
+    return drawLocal(rng_, v, n, urandProfile);
+}
+
+bool
+GraphModelStream::next(Ref &ref)
+{
+    while (pos_ >= batch_.size()) {
+        batch_.clear();
+        pos_ = 0;
+        generate();
+    }
+    ref = batch_[pos_++];
+    return true;
+}
+
+Addr
+GraphModelStream::wrongPathAddr(Rng &rng)
+{
+    // Divergent paths through graph code touch the adjacency array or a
+    // property array of some other vertex, with the same locality the
+    // correct path has (draws use the caller's rng only, so the stream
+    // itself stays identical across page-size runs).
+    const std::uint64_t n = spec_.numVertices;
+    std::uint64_t u;
+    if (spec_.kind == GraphKind::Kron) {
+        if (rng.chance(0.8)) {
+            u = zipfIndex(rng.real(), std::min<std::uint64_t>(n, 65536),
+                          1.1);
+        } else {
+            u = zipfIndex(rng.real(), n, 1.05);
+        }
+    } else {
+        static const LocalityProfile profile{0.70, 0.20, 0.75, 1.0, 32768};
+        u = drawLocal(rng, vertex_, n, profile);
+    }
+    if (layout_.propsBytes == 0 || rng.chance(0.10)) {
+        return neighborAddr(
+            u, static_cast<std::uint32_t>(rng.below(GraphSpec::avgDegree)));
+    }
+    return propAddr(u, 0);
+}
+
+void
+GraphModelStream::generate()
+{
+    switch (kernel_) {
+      case GraphKernel::Pr:
+        generatePr();
+        break;
+      case GraphKernel::Bfs:
+        generateBfs();
+        break;
+      case GraphKernel::Cc:
+        generateCc();
+        break;
+      case GraphKernel::Bc:
+        generateBc();
+        break;
+      case GraphKernel::Tc:
+        generateTc();
+        break;
+    }
+    vertex_ = (vertex_ + 1) % spec_.numVertices;
+}
+
+void
+GraphModelStream::generatePr()
+{
+    // Pull-style PageRank: contributions are gathered from random
+    // in-neighbours into the sequential destination vertex.
+    std::uint64_t v = vertex_;
+    push(offsetAddr(v), 2);
+    std::uint32_t deg = std::min(spec_.degreeOf(v), hubCap);
+    for (std::uint32_t j = 0; j < deg; ++j) {
+        push(neighborAddr(v, j), 2);
+        std::uint64_t u = targetVertex(v, j);
+        push(propAddr(u, 0), 3);
+    }
+    push(propAddr(v, 1), 2, true);
+}
+
+void
+GraphModelStream::generateBfs()
+{
+    // Top-down step: pop a frontier vertex (sequential queue), check and
+    // claim unvisited neighbours.
+    push(propAddr(queuePos_ % spec_.numVertices, 1), 2);
+    ++queuePos_;
+    // Direction-optimizing BFS does the bulk of its edge work in
+    // bottom-up passes that scan vertices sequentially; top-down steps
+    // pop unordered frontier vertices.
+    std::uint64_t v =
+        rng_.chance(0.7) ? vertex_ : targetVertex(vertex_, 0);
+    push(offsetAddr(v), 2);
+    std::uint32_t deg = std::min(spec_.degreeOf(v), hubCap);
+    for (std::uint32_t j = 0; j < deg; ++j) {
+        push(neighborAddr(v, j), 2);
+        std::uint64_t u = targetVertex(vertex_, j);
+        push(propAddr(u, 0), 2); // visited/parent check
+        if (rng_.below(std::max(deg, 1u)) == 0) {
+            push(propAddr(u, 0), 1, true); // claim parent
+            push(propAddr(queuePos_ % spec_.numVertices, 1), 1, true);
+        }
+    }
+}
+
+void
+GraphModelStream::generateCc()
+{
+    // Label-propagation over edges with pointer-jumping shortcuts.
+    std::uint64_t v = vertex_;
+    push(offsetAddr(v), 2);
+    std::uint32_t deg = std::min(spec_.degreeOf(v), hubCap);
+    for (std::uint32_t j = 0; j < deg; ++j) {
+        push(neighborAddr(v, j), 2);
+        std::uint64_t u = targetVertex(v, j);
+        push(propAddr(u, 0), 2);
+        if (rng_.chance(0.3)) {
+            // comp[comp[u]]: a dependent random read.
+            std::uint64_t u2 = targetVertex(u, j + 1);
+            push(propAddr(u2, 0), 2);
+        }
+        if (rng_.chance(0.25))
+            push(propAddr(std::min(u, v), 0), 2, true);
+    }
+}
+
+void
+GraphModelStream::generateBc()
+{
+    // Brandes: a bfs-like sweep that also reads path counts (sigma) and
+    // accumulates dependencies (delta) per edge.
+    push(propAddr(queuePos_ % spec_.numVertices, 4), 1);
+    ++queuePos_;
+    // bc's sweeps are bfs-shaped: mostly sequential passes, with
+    // unordered frontier pops in between.
+    std::uint64_t v =
+        rng_.chance(0.6) ? vertex_ : targetVertex(vertex_, 0);
+    push(offsetAddr(v), 1);
+    std::uint32_t deg = std::min(spec_.degreeOf(v), hubCap);
+    for (std::uint32_t j = 0; j < deg; ++j) {
+        push(neighborAddr(v, j), 1);
+        std::uint64_t u = targetVertex(vertex_, j);
+        push(propAddr(u, 3), 2);       // depth check
+        push(propAddr(u, 1), 2);       // sigma read
+        push(propAddr(v, 2), 2, true); // delta accumulate
+        if (rng_.below(std::max(deg, 1u)) == 0) {
+            push(propAddr(u, 0), 1, true);
+            push(propAddr(queuePos_ % spec_.numVertices, 4), 1, true);
+        }
+    }
+}
+
+void
+GraphModelStream::generateTc()
+{
+    // Degree-oriented triangle counting: intersect adj(u) with adj(w) for
+    // each edge (u, w). Larger hub lists mean more compare instructions
+    // per access (galloping), which shifts the instruction mix with scale.
+    std::uint64_t u = vertex_;
+    push(offsetAddr(u), 2);
+    std::uint32_t deg_u = std::min(spec_.degreeOf(u), hubCap / 4);
+    std::uint32_t gap = 2;
+    if (spec_.kind == GraphKind::Kron) {
+        gap += static_cast<std::uint32_t>(
+            std::log2(static_cast<double>(spec_.numVertices)) / 6.0);
+    }
+    for (std::uint32_t j = 0; j < deg_u; ++j) {
+        push(neighborAddr(u, j), gap);
+        std::uint64_t w = spec_.neighbor(u, j);
+        if (spec_.kind == GraphKind::Urand && rng_.chance(0.70)) {
+            // Recently intersected lists are still cached (the sorted
+            // relabelled CSR clusters co-counted vertices).
+            w = (u + spec_.numVertices - 1 - rng_.below(16384)) %
+                spec_.numVertices;
+        }
+        push(offsetAddr(w), gap);
+        std::uint32_t len = std::min(
+            {spec_.degreeOf(w), spec_.degreeOf(u), hubCap / 4});
+        for (std::uint32_t k = 0; k < len; ++k) {
+            push(neighborAddr(w, k), gap);
+            if (k % 2 == 0)
+                push(neighborAddr(u, k), gap);
+        }
+    }
+}
+
+} // namespace atscale

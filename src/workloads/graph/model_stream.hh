@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Model-mode reference streams for the five GAP kernels.
+ *
+ * Each kernel is modelled as its characteristic per-vertex/per-edge access
+ * grammar over the CSR layout (offsets array, packed neighbour array,
+ * per-vertex property arrays), with topology coming from GraphSpec's hash
+ * functions. Nothing is materialized, so footprints can reach the paper's
+ * ~600 GB.
+ *
+ * Kernel grammars (all emit one Ref per dynamic load/store of a major
+ * data structure; instGap carries the surrounding non-memory work):
+ *  - pr:  sequential vertex scan; per edge a sequential neighbour-id read
+ *         plus a random read of the source vertex's score (pull).
+ *  - bfs: frontier pops (sequential queue), random offset reads, a
+ *         sequential neighbour burst, random parent/visited checks and
+ *         occasional parent writes + queue pushes.
+ *  - cc:  edge scan with random component reads, pointer-jumping chains
+ *         (dependent random reads), and occasional writes.
+ *  - bc:  bfs plus per-edge sigma reads and delta accumulations (the most
+ *         random references per edge of the suite).
+ *  - tc:  degree-oriented set intersection: sequential bursts over two
+ *         adjacency lists. With kron inputs the second list belongs to a
+ *         Zipf-chosen hub, whose pages stay hot — the paper's explanation
+ *         for tc-kron's graceful AT scaling.
+ */
+
+#ifndef ATSCALE_WORKLOADS_GRAPH_MODEL_STREAM_HH
+#define ATSCALE_WORKLOADS_GRAPH_MODEL_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/ref_stream.hh"
+#include "workloads/graph/graph_spec.hh"
+
+namespace atscale
+{
+
+/** The five GAP kernels (Table I). */
+enum class GraphKernel
+{
+    Bc,
+    Bfs,
+    Cc,
+    Pr,
+    Tc,
+};
+
+/** Kernel name ("bc", "bfs", ...). */
+const char *graphKernelName(GraphKernel kernel);
+
+/** Bytes of per-vertex property state the kernel keeps. */
+std::uint32_t kernelPropBytes(GraphKernel kernel);
+
+/** Simulated virtual placement of the CSR structures. */
+struct GraphLayout
+{
+    Addr offsets = 0;       ///< 8 B per vertex (+1)
+    Addr neighbors = 0;     ///< 4 B per directed edge
+    Addr props = 0;         ///< kernelPropBytes per vertex (may be 0)
+    std::uint64_t neighborsBytes = 0;
+    std::uint64_t propsBytes = 0;
+};
+
+/**
+ * Endless reference stream for one (kernel, graph) pair.
+ */
+class GraphModelStream : public RefSource
+{
+  public:
+    GraphModelStream(GraphKernel kernel, const GraphSpec &spec,
+                     const GraphLayout &layout, std::uint64_t seed);
+
+    bool next(Ref &ref) override;
+    Addr wrongPathAddr(Rng &rng) override;
+
+  private:
+    /** Refill batch_ with the next vertex/edge-group's references. */
+    void generate();
+
+    void push(Addr vaddr, std::uint32_t gap, bool store = false);
+
+    Addr offsetAddr(std::uint64_t v) const;
+    Addr neighborAddr(std::uint64_t v, std::uint32_t j) const;
+    Addr propAddr(std::uint64_t v, std::uint32_t slot) const;
+
+    /**
+     * The vertex whose per-vertex state edge (v, j) touches. Kron inputs
+     * hit Zipf-distributed hubs; urand inputs are uniform in topology but
+     * exhibit power-law reuse at runtime (frontier/community locality),
+     * modelled as a stack-distance draw anchored at v.
+     */
+    std::uint64_t targetVertex(std::uint64_t v, std::uint32_t j);
+
+    void generatePr();
+    void generateBfs();
+    void generateCc();
+    void generateBc();
+    void generateTc();
+
+    GraphKernel kernel_;
+    GraphSpec spec_;
+    GraphLayout layout_;
+    std::uint32_t propStride_;
+    Rng rng_;
+
+    std::vector<Ref> batch_;
+    std::size_t pos_ = 0;
+    /** Sequential vertex cursor. */
+    std::uint64_t vertex_ = 0;
+    /** Sequential queue cursor (bfs/bc frontier). */
+    std::uint64_t queuePos_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_GRAPH_MODEL_STREAM_HH

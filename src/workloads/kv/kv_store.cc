@@ -1,0 +1,143 @@
+#include "workloads/kv/kv_store.hh"
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+KvStore::KvStore(const KvStoreParams &params, TraceSink &sink,
+                 Addr bucketBase, Addr slabBase)
+    : params_(params), sink_(sink), bucketBase_(bucketBase),
+      slabBase_(slabBase),
+      bucketHeads_(params.buckets, invalidSlot),
+      items_(params.capacity)
+{
+    panic_if(params_.capacity == 0, "KV store needs capacity");
+    panic_if(params_.buckets == 0, "KV store needs buckets");
+}
+
+std::uint64_t
+KvStore::bucketOf(std::uint64_t key) const
+{
+    return mix64(key) % params_.buckets;
+}
+
+std::uint32_t
+KvStore::readBucket(std::uint64_t bucket)
+{
+    sink_.load(bucketBase_ + bucket * 8, 3);
+    return bucketHeads_[bucket];
+}
+
+void
+KvStore::writeBucket(std::uint64_t bucket, std::uint32_t slot)
+{
+    sink_.store(bucketBase_ + bucket * 8, 1);
+    bucketHeads_[bucket] = slot;
+}
+
+Addr
+KvStore::itemAddr(std::uint32_t slot) const
+{
+    return slabBase_ + static_cast<Addr>(slot) * params_.itemBytes;
+}
+
+bool
+KvStore::get(std::uint64_t key)
+{
+    std::uint64_t bucket = bucketOf(key);
+    std::uint32_t slot = readBucket(bucket);
+    while (slot != invalidSlot) {
+        sink_.load(itemAddr(slot), 2); // key + next pointer in one line
+        Item &item = items_[slot];
+        if (item.key == key) {
+            item.referenced = true;
+            // Touch the value payload (second line of the item).
+            sink_.load(itemAddr(slot) + 64, 2);
+            ++hits_;
+            return true;
+        }
+        slot = item.next;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+KvStore::unlink(std::uint32_t slot)
+{
+    std::uint64_t bucket = bucketOf(items_[slot].key);
+    std::uint32_t cur = readBucket(bucket);
+    if (cur == slot) {
+        writeBucket(bucket, items_[slot].next);
+        return;
+    }
+    while (cur != invalidSlot) {
+        sink_.load(itemAddr(cur), 1);
+        std::uint32_t next = items_[cur].next;
+        if (next == slot) {
+            sink_.store(itemAddr(cur), 1);
+            items_[cur].next = items_[slot].next;
+            return;
+        }
+        cur = next;
+    }
+}
+
+std::uint32_t
+KvStore::allocateSlot()
+{
+    if (used_ < params_.capacity) {
+        // Slab bump allocation while there is room.
+        auto slot = static_cast<std::uint32_t>(used_);
+        ++used_;
+        return slot;
+    }
+    // Clock eviction: find an unreferenced victim.
+    while (true) {
+        Item &cand = items_[clockHand_];
+        sink_.load(itemAddr(clockHand_), 1);
+        std::uint32_t slot = clockHand_;
+        clockHand_ = (clockHand_ + 1) %
+                     static_cast<std::uint32_t>(params_.capacity);
+        if (!cand.valid)
+            return slot;
+        if (cand.referenced) {
+            sink_.store(itemAddr(slot), 1);
+            cand.referenced = false;
+            continue;
+        }
+        unlink(slot);
+        cand.valid = false;
+        return slot;
+    }
+}
+
+void
+KvStore::set(std::uint64_t key)
+{
+    std::uint64_t bucket = bucketOf(key);
+    // Overwrite in place if present.
+    std::uint32_t slot = readBucket(bucket);
+    while (slot != invalidSlot) {
+        sink_.load(itemAddr(slot), 2);
+        if (items_[slot].key == key) {
+            sink_.store(itemAddr(slot) + 64, 2);
+            items_[slot].referenced = true;
+            return;
+        }
+        slot = items_[slot].next;
+    }
+
+    std::uint32_t fresh = allocateSlot();
+    Item &item = items_[fresh];
+    item.key = key;
+    item.valid = true;
+    item.referenced = true;
+    item.next = bucketHeads_[bucket];
+    sink_.store(itemAddr(fresh), 2);
+    sink_.store(itemAddr(fresh) + 64, 1); // value payload
+    writeBucket(bucket, fresh);
+}
+
+} // namespace atscale

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A slab-allocated chained-hash key-value store (the memcached stand-in
+ * for exec mode), with traced bucket and item accesses.
+ */
+
+#ifndef ATSCALE_WORKLOADS_KV_KV_STORE_HH
+#define ATSCALE_WORKLOADS_KV_KV_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/trace.hh"
+
+namespace atscale
+{
+
+/** KV store geometry. */
+struct KvStoreParams
+{
+    /** Capacity in items (slab slots). */
+    std::uint64_t capacity = 1 << 16;
+    /** Bytes per item slot (key + links + value), memcached-ish. */
+    std::uint32_t itemBytes = 128;
+    /** Hash buckets (one 8-byte head per bucket). */
+    std::uint64_t buckets = 1 << 16;
+};
+
+/**
+ * Real chained-hash store with clock eviction. All bucket-head and item
+ * accesses are traced at simulated addresses.
+ */
+class KvStore
+{
+  public:
+    /**
+     * @param sink trace destination
+     * @param bucketBase simulated base of the bucket-head array
+     * @param slabBase simulated base of the item slab
+     */
+    KvStore(const KvStoreParams &params, TraceSink &sink, Addr bucketBase,
+            Addr slabBase);
+
+    /** Look up a key. @return true on hit (value touched). */
+    bool get(std::uint64_t key);
+
+    /** Insert/overwrite a key, evicting via clock when full. */
+    void set(std::uint64_t key);
+
+    /** Items currently stored. */
+    std::uint64_t size() const { return used_; }
+
+    /** Lifetime get() hits. */
+    Count hits() const { return hits_; }
+    /** Lifetime get() misses. */
+    Count misses() const { return misses_; }
+
+  private:
+    static constexpr std::uint32_t invalidSlot = ~0u;
+
+    struct Item
+    {
+        std::uint64_t key = 0;
+        std::uint32_t next = invalidSlot;
+        bool valid = false;
+        bool referenced = false;
+    };
+
+    std::uint64_t bucketOf(std::uint64_t key) const;
+    /** Traced read of a bucket head. */
+    std::uint32_t readBucket(std::uint64_t bucket);
+    /** Traced write of a bucket head. */
+    void writeBucket(std::uint64_t bucket, std::uint32_t slot);
+    /** Simulated address of an item slot. */
+    Addr itemAddr(std::uint32_t slot) const;
+    /** Find a free slot, evicting with the clock hand if needed. */
+    std::uint32_t allocateSlot();
+    /** Unlink slot from its bucket chain (traced). */
+    void unlink(std::uint32_t slot);
+
+    KvStoreParams params_;
+    TraceSink &sink_;
+    Addr bucketBase_;
+    Addr slabBase_;
+    std::vector<std::uint32_t> bucketHeads_;
+    std::vector<Item> items_;
+    std::uint64_t used_ = 0;
+    std::uint32_t clockHand_ = 0;
+    Count hits_ = 0;
+    Count misses_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_KV_KV_STORE_HH

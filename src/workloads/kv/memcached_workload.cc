@@ -1,0 +1,191 @@
+#include "workloads/kv/memcached_workload.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "workloads/kv/kv_store.hh"
+#include "workloads/trace.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/**
+ * Model-mode stream: the statistical twin of KvStore under a uniform
+ * driver, with the request parsing/response instruction overhead that
+ * makes memcached's accesses-per-instruction low.
+ */
+class MemcachedModelStream : public RefSource
+{
+  public:
+    MemcachedModelStream(Addr buckets, std::uint64_t numBuckets, Addr slab,
+                         std::uint64_t items, Addr scratch, double hitRate,
+                         std::uint64_t seed)
+        : buckets_(buckets), numBuckets_(numBuckets), slab_(slab),
+          items_(items), scratch_(scratch), hitRate_(hitRate), rng_(seed)
+    {
+        batch_.reserve(32);
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        while (pos_ >= batch_.size()) {
+            batch_.clear();
+            pos_ = 0;
+            generate();
+        }
+        ref = batch_[pos_++];
+        return true;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        // Divergent request handling touches some other bucket or a
+        // (recency-clustered) item, like the correct path does.
+        if (rng.chance(0.4))
+            return buckets_ + rng.below(numBuckets_) * 8;
+        std::uint64_t n = std::max<std::uint64_t>(items_, 1);
+        std::uint64_t slot =
+            rng.chance(0.7)
+                ? (slabCursor_ + n - 1 -
+                   rng.below(std::min<std::uint64_t>(n, 16384))) % n
+                : rng.below(n);
+        return itemAddr(slot);
+    }
+
+  private:
+    void
+    push(Addr a, std::uint32_t gap, bool store = false)
+    {
+        batch_.push_back({a, gap, store});
+    }
+
+    Addr
+    itemAddr(std::uint64_t slot) const
+    {
+        return slab_ + slot * MemcachedWorkload::itemBytes;
+    }
+
+    /** A recently touched item slot (slab allocation clusters recency). */
+    std::uint64_t
+    itemTarget()
+    {
+        std::uint64_t n = std::max<std::uint64_t>(items_, 1);
+        if (rng_.chance(0.7))
+            return (slabCursor_ + n - 1 - rng_.below(std::min<std::uint64_t>(
+                                            n, 16384))) % n;
+        return rng_.below(n);
+    }
+
+    void
+    generate()
+    {
+        // Request parsing and connection handling: a burst of warm
+        // accesses to the per-connection buffers (most of memcached's
+        // instructions and accesses live here, not in the table).
+        for (int i = 0; i < 8; ++i)
+            push(scratch_ + ((scratchPos_ + i * 64) & (scratchBytes - 1)), 6);
+        scratchPos_ = (scratchPos_ + 512) & (scratchBytes - 1);
+
+        // Hash + bucket probe (uniform keys hash to uniform buckets).
+        push(buckets_ + rng_.below(numBuckets_) * 8, 20);
+
+        // Chain walk: geometric number of item probes.
+        std::uint64_t slot = itemTarget();
+        push(itemAddr(slot), 3);
+        while (rng_.chance(0.30)) {
+            slot = itemTarget();
+            push(itemAddr(slot), 2);
+        }
+
+        if (rng_.chance(hitRate_)) {
+            // Hit: touch the value payload and build the response.
+            push(itemAddr(slot) + 64, 4);
+            push(itemAddr(slot) + 64, 30);
+        } else {
+            // Miss: the client refills with a SET — allocate at the slab
+            // cursor, write the item, relink the bucket, occasionally
+            // advance the eviction clock.
+            std::uint64_t n = std::max<std::uint64_t>(items_, 1);
+            slabCursor_ = (slabCursor_ + 1) % n;
+            push(itemAddr(slabCursor_), 12, true);
+            push(itemAddr(slabCursor_) + 64, 2, true);
+            push(buckets_ + rng_.below(numBuckets_) * 8, 2, true);
+            if (rng_.chance(0.5))
+                push(itemAddr((slabCursor_ + 1) % n), 2); // clock hand
+        }
+    }
+
+    static constexpr std::uint64_t scratchBytes = 1 << 20;
+
+    Addr buckets_;
+    std::uint64_t numBuckets_;
+    Addr slab_;
+    std::uint64_t items_;
+    Addr scratch_;
+    double hitRate_;
+    Rng rng_;
+    std::uint64_t slabCursor_ = 0;
+    std::uint64_t scratchPos_ = 0;
+    std::vector<Ref> batch_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+WorkloadTraits
+MemcachedWorkload::traits() const
+{
+    // Request handling is branchy protocol code; chains give little MLP.
+    return {0.18, 0.015, 0.40, 0.6};
+}
+
+std::unique_ptr<RefSource>
+MemcachedWorkload::instantiate(AddressSpace &space,
+                               const WorkloadConfig &config)
+{
+    // Footprint = item slab + one 8-byte bucket head per item.
+    std::uint64_t items = std::max<std::uint64_t>(
+        config.footprintBytes / (itemBytes + 8), 1024);
+    std::uint64_t buckets = items;
+
+    Addr bucket_base = space.mapRegion("buckets", buckets * 8);
+    Addr slab_base = space.mapRegion("slab", items * itemBytes);
+
+    if (config.mode == WorkloadMode::Model) {
+        Addr scratch_base = space.mapRegion("conn-buffers", 1 << 20);
+        double hit_rate = std::min(
+            1.0, static_cast<double>(items) / static_cast<double>(keyspace));
+        return std::make_unique<MemcachedModelStream>(
+            bucket_base, buckets, slab_base, items, scratch_base, hit_rate,
+            config.seed ^ 0x77);
+    }
+
+    // Exec mode: drive the real store with a uniform YCSB-style mix.
+    fatal_if(config.footprintBytes > (1ull << 31),
+             "exec-mode memcached footprint too large; use model mode");
+    KvStoreParams params;
+    params.capacity = items;
+    params.buckets = buckets;
+    params.itemBytes = itemBytes;
+
+    TraceSink sink;
+    KvStore store(params, sink, bucket_base, slab_base);
+    Rng rng(config.seed ^ 0x88);
+    // Uniform GETs over a keyspace scaled to the store (exec instances
+    // are small); misses refill with SETs, as YCSB's read-mostly mix.
+    std::uint64_t eff_keyspace = items * 4;
+    std::uint64_t ops = std::min<std::uint64_t>(items * 8, 2'000'000);
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        std::uint64_t key = rng.below(eff_keyspace);
+        if (!store.get(key))
+            store.set(key);
+    }
+    return std::make_unique<TraceReplaySource>(sink.takeTrace());
+}
+
+} // namespace atscale

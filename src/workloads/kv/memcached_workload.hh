@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The memcached-uniform workload (Table I: YCSB with a uniform key
+ * distribution).
+ *
+ * The server's footprint is the item slab + hash table; the YCSB driver
+ * draws keys uniformly from a fixed keyspace, so the KV hit rate grows
+ * with the instantiated footprint — the mechanism behind the paper's
+ * complex, nonlinear memcached scaling (V-A): at small footprints most
+ * operations run the miss/insert path, at large footprints the hit path.
+ */
+
+#ifndef ATSCALE_WORKLOADS_KV_MEMCACHED_WORKLOAD_HH
+#define ATSCALE_WORKLOADS_KV_MEMCACHED_WORKLOAD_HH
+
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** memcached + uniform YCSB driver. */
+class MemcachedWorkload : public Workload
+{
+  public:
+    std::string program() const override { return "memcached"; }
+    std::string generator() const override { return "uniform"; }
+    WorkloadTraits traits() const override;
+    bool supports(WorkloadMode) const override { return true; }
+
+    std::unique_ptr<RefSource>
+    instantiate(AddressSpace &space, const WorkloadConfig &config) override;
+
+    /** Fixed keyspace the uniform driver draws from (items). */
+    static constexpr std::uint64_t keyspace = 500'000'000;
+    /** Item slot size in bytes. */
+    static constexpr std::uint32_t itemBytes = 128;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_KV_MEMCACHED_WORKLOAD_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Temporal-locality modelling for the streaming workloads.
+ *
+ * Real programs' reuse distances follow heavy-tailed (approximately
+ * power-law) distributions: most references revisit recently used data,
+ * but a slowly decaying tail reaches arbitrarily far. Model-mode streams
+ * draw their "random" targets at a power-law-distributed distance from a
+ * moving anchor, which is what makes TLB/cache miss rates grow smoothly
+ * with the logarithm of the footprint instead of saturating at the first
+ * footprint that exceeds TLB reach — the central scaling behaviour the
+ * paper measures. It also concentrates page-table-entry reuse, keeping
+ * hot PTEs high in the cache hierarchy (Fig 8).
+ */
+
+#ifndef ATSCALE_WORKLOADS_LOCALITY_HH
+#define ATSCALE_WORKLOADS_LOCALITY_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/random.hh"
+
+namespace atscale
+{
+
+/**
+ * Draw a reuse distance in [1, n] with P(r) ~ r^-s.
+ *
+ * s = 1 gives the classic log-uniform stack-distance profile (miss ratio
+ * of an LRU cache of size C over a footprint of size N ~ ln(N/C)/ln(N));
+ * s > 1 is more local, s < 1 closer to uniform.
+ */
+inline std::uint64_t
+reuseDistance(Rng &rng, std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 1;
+    double u = rng.real();
+    double r;
+    if (s == 1.0) {
+        r = std::exp(u * std::log(static_cast<double>(n)));
+    } else {
+        double oms = 1.0 - s;
+        double hi = std::pow(static_cast<double>(n), oms);
+        r = std::pow(u * (hi - 1.0) + 1.0, 1.0 / oms);
+    }
+    auto dist = static_cast<std::uint64_t>(r);
+    if (dist < 1)
+        dist = 1;
+    if (dist > n)
+        dist = n;
+    return dist;
+}
+
+/**
+ * A "random" element index with power-law temporal locality: at distance
+ * reuseDistance(s) behind the moving anchor (mod n).
+ */
+inline std::uint64_t
+localTarget(Rng &rng, std::uint64_t anchor, std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    std::uint64_t r = reuseDistance(rng, n, s);
+    return (anchor + n - r) % n;
+}
+
+/**
+ * Composite temporal-locality profile.
+ *
+ * Real working sets are layered: a small hot core (top of the reuse
+ * stack — frontier tips, allocator metadata) that any TLB covers; an
+ * algorithmic working set that grows sublinearly with the instance
+ * (frontier width, active tree) and produces the paper's TLB miss-rate
+ * "cliffs" when it crosses a structure's reach; and a heavy power-law
+ * tail that keeps a trickle of arbitrarily-far references, giving the
+ * smooth log component. Each workload tunes the three weights.
+ */
+struct LocalityProfile
+{
+    /** Probability a draw lands in the hot core. */
+    double hotWeight = 0.7;
+    /** Probability a draw is uniform over the working-set window. */
+    double wsWeight = 0.2;
+    /** Working-set window size = n^wsExponent elements. */
+    double wsExponent = 0.75;
+    /** Stack-distance exponent of the remaining tail draws. */
+    double tailS = 1.0;
+    /** Hot-core size in elements. */
+    std::uint64_t hotSize = 32768;
+};
+
+/** Draw an element in [0, n) according to a LocalityProfile, anchored at
+ * a moving cursor (recent elements are behind the cursor). */
+inline std::uint64_t
+drawLocal(Rng &rng, std::uint64_t cursor, std::uint64_t n,
+          const LocalityProfile &profile)
+{
+    if (n <= 1)
+        return 0;
+    double u = rng.real();
+    if (u < profile.hotWeight) {
+        std::uint64_t hot = std::min(profile.hotSize, n);
+        return (cursor + n - 1 - rng.below(hot)) % n;
+    }
+    if (u < profile.hotWeight + profile.wsWeight) {
+        auto window = static_cast<std::uint64_t>(
+            std::pow(static_cast<double>(n), profile.wsExponent));
+        window = std::min(std::max(window, profile.hotSize), n);
+        return (cursor + n - 1 - rng.below(window)) % n;
+    }
+    return localTarget(rng, cursor, n, profile.tailS);
+}
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_LOCALITY_HH

@@ -1,0 +1,159 @@
+#include "workloads/mcf/mcf_workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+#include "workloads/locality.hh"
+#include "workloads/mcf/mcf_exec.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** mcf's node reuse: a modest hot core (active tree around the current
+ * pivot), a working set that grows almost linearly with the network —
+ * the source of mcf's late, steep overhead growth — and a log tail. */
+constexpr LocalityProfile mcfProfile{0.60, 0.25, 0.90, 1.0, 16384};
+
+} // namespace
+
+namespace
+{
+
+/** Model stream for the network-simplex inner loops. */
+class McfModelStream : public RefSource
+{
+  public:
+    McfModelStream(Addr nodes, std::uint64_t numNodes, Addr arcs,
+                   std::uint64_t numArcs, std::uint64_t seed)
+        : nodes_(nodes), numNodes_(numNodes), arcs_(arcs), numArcs_(numArcs),
+          rng_(seed)
+    {
+        batch_.reserve(64);
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        while (pos_ >= batch_.size()) {
+            batch_.clear();
+            pos_ = 0;
+            generate();
+        }
+        ref = batch_[pos_++];
+        return true;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        // Speculative paths price other arcs near the scan cursor and
+        // poke reuse-correlated nodes.
+        if (rng.chance(0.6)) {
+            std::uint64_t v = drawLocal(rng, arcCursor_ % numNodes_,
+                                        numNodes_, mcfProfile);
+            return nodes_ + v * McfWorkload::nodeBytes;
+        }
+        std::uint64_t a = (arcCursor_ + rng.below(1024)) % numArcs_;
+        return arcs_ + a * McfWorkload::arcBytes;
+    }
+
+  private:
+    void
+    push(Addr a, std::uint32_t gap, bool store = false)
+    {
+        batch_.push_back({a, gap, store});
+    }
+
+    Addr
+    nodeAddr(std::uint64_t v, std::uint32_t off = 0) const
+    {
+        return nodes_ + v * McfWorkload::nodeBytes + off;
+    }
+
+    void
+    generate()
+    {
+        // Pricing: a sequential burst over the arc array; each arc's
+        // reduced cost needs its tail and head node potentials — two
+        // random node reads per arc.
+        for (int i = 0; i < 8; ++i) {
+            push(arcs_ + arcCursor_ * McfWorkload::arcBytes, 1);
+            arcCursor_ = (arcCursor_ + 1) % numArcs_;
+            std::uint64_t anchor = arcCursor_ % numNodes_;
+            std::uint64_t tail =
+                drawLocal(rng_, anchor, numNodes_, mcfProfile);
+            std::uint64_t head =
+                drawLocal(rng_, anchor, numNodes_, mcfProfile);
+            push(nodeAddr(tail), 1);
+            push(nodeAddr(head), 2);
+        }
+
+        // Occasionally an arc enters the basis: walk the spanning tree
+        // from both endpoints to the join node and update flows — a
+        // dependent pointer chase with writes.
+        if (rng_.chance(0.12)) {
+            std::uint64_t v =
+                drawLocal(rng_, arcCursor_ % numNodes_, numNodes_,
+                          mcfProfile);
+            int depth = 8 + static_cast<int>(rng_.below(10));
+            for (int d = 0; d < depth; ++d) {
+                // next = v->parent (dependent chase up the spanning tree;
+                // tree edges connect reuse-correlated nodes).
+                v = drawLocal(rng_, v, numNodes_, mcfProfile);
+                push(nodeAddr(v, 8), 1);
+                if (d % 3 == 0)
+                    push(nodeAddr(v, 64), 1, true); // flow update
+            }
+        }
+    }
+
+    Addr nodes_;
+    std::uint64_t numNodes_;
+    Addr arcs_;
+    std::uint64_t numArcs_;
+    Rng rng_;
+    std::uint64_t arcCursor_ = 0;
+    std::vector<Ref> batch_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+WorkloadTraits
+McfWorkload::traits() const
+{
+    // Data-dependent branches mispredict often; chases kill MLP.
+    return {0.22, 0.05, 0.15, 0.7};
+}
+
+std::unique_ptr<RefSource>
+McfWorkload::instantiate(AddressSpace &space, const WorkloadConfig &config)
+{
+    std::uint64_t bytes_per_node =
+        nodeBytes + static_cast<std::uint64_t>(arcsPerNode) * arcBytes;
+    std::uint64_t nodes = std::max<std::uint64_t>(
+        config.footprintBytes / bytes_per_node, 1024);
+    std::uint64_t arcs = nodes * arcsPerNode;
+
+    Addr node_base = space.mapRegion("nodes", nodes * nodeBytes);
+    Addr arc_base = space.mapRegion("arcs", arcs * arcBytes);
+
+    if (config.mode == WorkloadMode::Exec) {
+        fatal_if(config.footprintBytes > (1ull << 31),
+                 "exec-mode mcf footprint too large; use model mode");
+        McfInstance instance(nodes, arcsPerNode, config.seed);
+        TraceSink sink;
+        runNetworkSimplex(instance, sink, node_base, arc_base,
+                          /*maxRounds=*/8);
+        return std::make_unique<TraceReplaySource>(sink.takeTrace());
+    }
+
+    return std::make_unique<McfModelStream>(node_base, nodes, arc_base, arcs,
+                                            config.seed ^ 0x3cf0);
+}
+
+} // namespace atscale

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The mcf-rand workload (Table I: SPEC 2006 429.mcf, network simplex,
+ * with the paper's own `rand` instance generator).
+ *
+ * Network simplex alternates sequential arc-array pricing scans with
+ * dependent pointer chases over node structures (spanning-tree walks).
+ * The two random node reads per priced arc over an ever-growing node
+ * array are what give mcf its very high TLB miss rate (~20% of accesses
+ * at the largest footprints) and its superlinear overhead growth; the
+ * dependent chases give it almost no memory-level parallelism.
+ */
+
+#ifndef ATSCALE_WORKLOADS_MCF_MCF_WORKLOAD_HH
+#define ATSCALE_WORKLOADS_MCF_MCF_WORKLOAD_HH
+
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** mcf + rand generator. */
+class McfWorkload : public Workload
+{
+  public:
+    std::string program() const override { return "mcf"; }
+    std::string generator() const override { return "rand"; }
+    WorkloadTraits traits() const override;
+    bool supports(WorkloadMode) const override { return true; }
+
+    std::unique_ptr<RefSource>
+    instantiate(AddressSpace &space, const WorkloadConfig &config) override;
+
+    /** Node structure size (SPEC mcf nodes are ~120 B; padded). */
+    static constexpr std::uint32_t nodeBytes = 128;
+    /** Arc structure size. */
+    static constexpr std::uint32_t arcBytes = 64;
+    /** Arcs per node in the rand instances. */
+    static constexpr std::uint32_t arcsPerNode = 6;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_MCF_MCF_WORKLOAD_HH

@@ -1,0 +1,69 @@
+#include "workloads/registry.hh"
+
+#include "util/logging.hh"
+#include "workloads/graph/graph_workload.hh"
+#include "workloads/kv/memcached_workload.hh"
+#include "workloads/mcf/mcf_workload.hh"
+#include "workloads/sc/streamcluster_workload.hh"
+
+namespace atscale
+{
+
+std::vector<std::string>
+workloadNames()
+{
+    return {
+        "bc-kron",        "bc-urand", "bfs-kron", "bfs-urand",
+        "cc-kron",        "cc-urand", "mcf-rand", "memcached-uniform",
+        "pr-kron",        "pr-urand", "streamcluster-rand",
+        "tc-kron",        "tc-urand",
+    };
+}
+
+std::unique_ptr<Workload>
+createWorkload(const std::string &name)
+{
+    auto graph = [](GraphKernel kernel, GraphKind kind) {
+        return std::make_unique<GraphWorkload>(kernel, kind);
+    };
+
+    if (name == "bc-urand")
+        return graph(GraphKernel::Bc, GraphKind::Urand);
+    if (name == "bc-kron")
+        return graph(GraphKernel::Bc, GraphKind::Kron);
+    if (name == "bfs-urand")
+        return graph(GraphKernel::Bfs, GraphKind::Urand);
+    if (name == "bfs-kron")
+        return graph(GraphKernel::Bfs, GraphKind::Kron);
+    if (name == "cc-urand")
+        return graph(GraphKernel::Cc, GraphKind::Urand);
+    if (name == "cc-kron")
+        return graph(GraphKernel::Cc, GraphKind::Kron);
+    if (name == "pr-urand")
+        return graph(GraphKernel::Pr, GraphKind::Urand);
+    if (name == "pr-kron")
+        return graph(GraphKernel::Pr, GraphKind::Kron);
+    if (name == "tc-urand")
+        return graph(GraphKernel::Tc, GraphKind::Urand);
+    if (name == "tc-kron")
+        return graph(GraphKernel::Tc, GraphKind::Kron);
+    if (name == "mcf-rand")
+        return std::make_unique<McfWorkload>();
+    if (name == "memcached-uniform")
+        return std::make_unique<MemcachedWorkload>();
+    if (name == "streamcluster-rand")
+        return std::make_unique<StreamclusterWorkload>();
+
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::unique_ptr<Workload>>
+createAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    for (const std::string &name : workloadNames())
+        all.push_back(createWorkload(name));
+    return all;
+}
+
+} // namespace atscale

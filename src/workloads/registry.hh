@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Workload registry: the paper's thirteen program-generator pairs by name.
+ */
+
+#ifndef ATSCALE_WORKLOADS_REGISTRY_HH
+#define ATSCALE_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** Names of all thirteen workloads, in the paper's Table IV order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Create a workload by its paper name (e.g. "bc-urand", "mcf-rand",
+ * "memcached-uniform"). fatal() on unknown names.
+ */
+std::unique_ptr<Workload> createWorkload(const std::string &name);
+
+/** Create all thirteen workloads. */
+std::vector<std::unique_ptr<Workload>> createAllWorkloads();
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,125 @@
+#include "workloads/sc/streamcluster_exec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Traced squared-Euclidean distance between a point and a centre. */
+double
+distance(const std::vector<float> &a, std::size_t a_off,
+         const std::vector<float> &b, std::size_t b_off, std::uint32_t dims,
+         TraceSink &sink, Addr a_addr, Addr b_addr)
+{
+    double sum = 0;
+    for (std::uint32_t d = 0; d < dims; ++d) {
+        // One traced access per 16 floats (a 64 B line), as the hardware
+        // counters would see it.
+        if (d % 16 == 0) {
+            sink.load(a_addr + d * 4, 3);
+            sink.load(b_addr + d * 4, 3);
+        }
+        double diff = static_cast<double>(a[a_off + d]) -
+                      static_cast<double>(b[b_off + d]);
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+} // namespace
+
+StreamclusterResult
+runStreamcluster(std::uint64_t numPoints, std::uint32_t dims,
+                 std::uint64_t chunkPoints, std::uint64_t seed,
+                 TraceSink &sink, Addr pointBase, Addr centerBase,
+                 std::uint32_t pointBytes)
+{
+    Rng rng(seed);
+    std::vector<float> points(numPoints * dims);
+    for (float &x : points)
+        x = static_cast<float>(rng.real());
+
+    // Centre table: up to 256 centres, stored apart from the points.
+    std::vector<float> centers;
+    std::vector<std::uint64_t> center_ids;
+    const std::size_t max_centers = 256;
+    double open_cost = 0.15 * dims; // facility cost
+
+    StreamclusterResult result;
+    std::vector<std::uint32_t> assignment(numPoints, 0);
+
+    for (std::uint64_t chunk = 0; chunk * chunkPoints < numPoints; ++chunk) {
+        std::uint64_t begin = chunk * chunkPoints;
+        std::uint64_t end = std::min(begin + chunkPoints, numPoints);
+
+        // First centre of the stream.
+        if (centers.empty()) {
+            centers.insert(centers.end(), points.begin() + begin * dims,
+                           points.begin() + (begin + 1) * dims);
+            center_ids.push_back(begin);
+        }
+
+        double chunk_cost = 0;
+        for (std::uint64_t p = begin; p < end; ++p) {
+            Addr p_addr = pointBase + p * pointBytes;
+            // Assign to the nearest centre.
+            double best = -1;
+            std::uint32_t best_c = 0;
+            for (std::size_t c = 0; c < center_ids.size(); ++c) {
+                double dist = distance(points, p * dims, centers, c * dims,
+                                       dims, sink, p_addr,
+                                       centerBase + c * 64);
+                if (best < 0 || dist < best) {
+                    best = dist;
+                    best_c = static_cast<std::uint32_t>(c);
+                }
+            }
+            assignment[p] = best_c;
+            // Online facility location: open a centre here with
+            // probability proportional to the assignment cost.
+            if (center_ids.size() < max_centers &&
+                rng.real() < best / open_cost) {
+                sink.store(centerBase + center_ids.size() * 64, 5);
+                centers.insert(centers.end(), points.begin() + p * dims,
+                               points.begin() + (p + 1) * dims);
+                center_ids.push_back(p);
+                assignment[p] =
+                    static_cast<std::uint32_t>(center_ids.size() - 1);
+                best = 0;
+            }
+            chunk_cost += best;
+        }
+
+        // One improving local-search pass over the chunk: move a point
+        // to a random other centre if that reduces its cost.
+        for (std::uint64_t p = begin; p < end; ++p) {
+            if (center_ids.size() < 2)
+                break;
+            Addr p_addr = pointBase + p * pointBytes;
+            auto cand = static_cast<std::uint32_t>(
+                rng.below(center_ids.size()));
+            double current = distance(points, p * dims, centers,
+                                      assignment[p] * dims, dims, sink,
+                                      p_addr,
+                                      centerBase + assignment[p] * 64);
+            double moved = distance(points, p * dims, centers,
+                                    cand * dims, dims, sink, p_addr,
+                                    centerBase + cand * 64);
+            if (moved < current) {
+                chunk_cost -= (current - moved);
+                assignment[p] = cand;
+            }
+        }
+        result.costTrace.push_back(chunk_cost);
+    }
+    result.centers = center_ids.size();
+    return result;
+}
+
+} // namespace atscale

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Exec-mode streamcluster: a real online k-median local search over
+ * random points, processed in chunks as PARSEC's streamcluster does,
+ * with every point/centre access traced at simulated addresses.
+ */
+
+#ifndef ATSCALE_WORKLOADS_SC_STREAMCLUSTER_EXEC_HH
+#define ATSCALE_WORKLOADS_SC_STREAMCLUSTER_EXEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/trace.hh"
+
+namespace atscale
+{
+
+/** Result of a clustering run, for correctness checks. */
+struct StreamclusterResult
+{
+    /** Final number of open centres. */
+    std::size_t centers = 0;
+    /** Total assignment cost after each chunk (non-increasing per chunk
+     * as the local search accepts only improving moves). */
+    std::vector<double> costTrace;
+};
+
+/**
+ * Cluster `numPoints` random points of `dims` dimensions, streamed in
+ * chunks of `chunkPoints`, opening centres with the online-facility-
+ * location rule and applying improving reassignments.
+ *
+ * @param sink trace destination
+ * @param pointBase simulated base of the point array (pointBytes apart)
+ * @param centerBase simulated base of the centre table
+ * @param pointBytes bytes per stored point
+ */
+StreamclusterResult
+runStreamcluster(std::uint64_t numPoints, std::uint32_t dims,
+                 std::uint64_t chunkPoints, std::uint64_t seed,
+                 TraceSink &sink, Addr pointBase, Addr centerBase,
+                 std::uint32_t pointBytes);
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_SC_STREAMCLUSTER_EXEC_HH

@@ -1,0 +1,159 @@
+#include "workloads/sc/streamcluster_workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+#include "workloads/sc/streamcluster_exec.hh"
+#include "workloads/trace.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+class StreamclusterModelStream : public RefSource
+{
+  public:
+    StreamclusterModelStream(Addr points, std::uint64_t numPoints,
+                             Addr centers, std::uint64_t numCenters,
+                             std::uint64_t seed)
+        : points_(points), numPoints_(numPoints), centers_(centers),
+          numCenters_(numCenters), rng_(seed)
+    {
+        batch_.reserve(64);
+        // Instance-dependent chunk size and pass count: clustering
+        // effort and the resident block vary with the random instance,
+        // the source of the paper's footprint-uncorrelated scatter.
+        passesPerChunk_ = 6 + mix64(seed) % 12;
+        chunkPoints_ = 8192 + mix64(seed ^ 0xc1u) % 57344;
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        while (pos_ >= batch_.size()) {
+            batch_.clear();
+            pos_ = 0;
+            generate();
+        }
+        ref = batch_[pos_++];
+        return true;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        // Mispredicted distance comparisons speculate into other chunk
+        // points, sometimes far-away candidate points, or the centre
+        // table — streamcluster's correct-path walks are so rare that
+        // these dominate its initiated-walk mix (the paper's 57%).
+        double u = rng.real();
+        if (u < 0.5) {
+            std::uint64_t chunk_len = std::min(chunkPoints_, numPoints_);
+            std::uint64_t pt = (chunkBase_ + rng.below(chunk_len)) %
+                               numPoints_;
+            return points_ + pt * StreamclusterWorkload::pointBytes +
+                   rng.below(8) * 64;
+        }
+        if (u < 0.8) {
+            return points_ +
+                   rng.below(numPoints_) * StreamclusterWorkload::pointBytes;
+        }
+        return centers_ + rng.below(numCenters_) * 64;
+    }
+
+  private:
+    void
+    push(Addr a, std::uint32_t gap, bool store = false)
+    {
+        batch_.push_back({a, gap, store});
+    }
+
+    void
+    generate()
+    {
+        // Distance evaluation for one point of the current chunk.
+        // Points are reached through a shuffled pointer array, so the
+        // order within a chunk is random; whether that hurts depends on
+        // how the instance's chunk size compares with TLB reach — the
+        // source of streamcluster's large but footprint-uncorrelated AT
+        // overhead (Table IV: R^2 = 0.12).
+        std::uint64_t chunk_len = std::min(chunkPoints_, numPoints_);
+        std::uint64_t point = chunkBase_ + rng_.below(chunk_len);
+        Addr base = points_ + (point % numPoints_) *
+                                  StreamclusterWorkload::pointBytes;
+        for (std::uint32_t off = 0;
+             off < StreamclusterWorkload::pointBytes; off += 64) {
+            push(base + off, 3); // coordinate block, fused multiply-adds
+        }
+        push(centers_ + rng_.below(numCenters_) * 64, 2);
+        if (rng_.chance(0.05))
+            push(centers_ + rng_.below(numCenters_) * 64, 2, true);
+
+        ++cursor_;
+        if (cursor_ >= chunk_len) {
+            cursor_ = 0;
+            ++pass_;
+            if (pass_ >= passesPerChunk_) {
+                pass_ = 0;
+                // Stream in the next chunk (cold sequential pages).
+                chunkBase_ = (chunkBase_ + chunk_len) % numPoints_;
+            }
+        }
+    }
+
+    Addr points_;
+    std::uint64_t numPoints_;
+    Addr centers_;
+    std::uint64_t numCenters_;
+    Rng rng_;
+    std::uint64_t chunkBase_ = 0;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t pass_ = 0;
+    std::uint64_t passesPerChunk_;
+    std::uint64_t chunkPoints_;
+    std::vector<Ref> batch_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+WorkloadTraits
+StreamclusterWorkload::traits() const
+{
+    // Dense FP loops: few branches, high MLP; but distance-comparison
+    // branches that do mispredict speculate into far-away points.
+    return {0.10, 0.015, 0.90, 0.8};
+}
+
+std::unique_ptr<RefSource>
+StreamclusterWorkload::instantiate(AddressSpace &space,
+                                   const WorkloadConfig &config)
+{
+    std::uint64_t points = std::max<std::uint64_t>(
+        config.footprintBytes / pointBytes, 1024);
+    std::uint64_t centers = 64 + mix64(config.seed ^ points) % 192;
+
+    Addr point_base = space.mapRegion("points", points * pointBytes);
+    Addr center_base = space.mapRegion("centers", centers * 64);
+
+    if (config.mode == WorkloadMode::Exec) {
+        fatal_if(config.footprintBytes > (1ull << 30),
+                 "exec-mode streamcluster footprint too large; "
+                 "use model mode");
+        TraceSink sink;
+        runStreamcluster(points, /*dims=*/128,
+                         std::min<std::uint64_t>(points, 4096),
+                         config.seed, sink, point_base, center_base,
+                         pointBytes);
+        return std::make_unique<TraceReplaySource>(sink.takeTrace());
+    }
+
+    return std::make_unique<StreamclusterModelStream>(
+        point_base, points, center_base, centers,
+        config.seed ^ mix64(points));
+}
+
+} // namespace atscale

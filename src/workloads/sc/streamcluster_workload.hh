@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The streamcluster-rand workload (Table I: PARSEC streamcluster, online
+ * k-median clustering over uniformly random points).
+ *
+ * streamcluster processes its input in fixed-size chunks: the working set
+ * is one chunk plus a small centre table regardless of the total input
+ * size. That is why the paper finds no clear relationship between its
+ * memory footprint and AT overhead (Table IV: R^2 = 0.12) — the footprint
+ * grows but the hot pages do not. Its wrong-path/aborted walk fraction is
+ * nevertheless large (up to 57%): correct-path walks are rare (dense
+ * sequential scans), so the speculative walks from mispredicted distance
+ * comparisons dominate the initiated-walk mix.
+ */
+
+#ifndef ATSCALE_WORKLOADS_SC_STREAMCLUSTER_WORKLOAD_HH
+#define ATSCALE_WORKLOADS_SC_STREAMCLUSTER_WORKLOAD_HH
+
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** streamcluster + rand generator. */
+class StreamclusterWorkload : public Workload
+{
+  public:
+    std::string program() const override { return "streamcluster"; }
+    std::string generator() const override { return "rand"; }
+    WorkloadTraits traits() const override;
+    bool supports(WorkloadMode) const override { return true; }
+
+    std::unique_ptr<RefSource>
+    instantiate(AddressSpace &space, const WorkloadConfig &config) override;
+
+    /** Bytes per point (PARSEC default: 128-dim float). */
+    static constexpr std::uint32_t pointBytes = 512;
+    /** Points processed per chunk (fixed working set). */
+    static constexpr std::uint64_t chunkPoints = 32768;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_SC_STREAMCLUSTER_WORKLOAD_HH

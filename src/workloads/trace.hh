@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tracing support for exec-mode workloads: a bounded trace sink, a
+ * replaying RefSource, and a traced-array wrapper that records every
+ * element access of a real data structure at its simulated virtual
+ * address.
+ */
+
+#ifndef ATSCALE_WORKLOADS_TRACE_HH
+#define ATSCALE_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/ref_stream.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+/**
+ * Collects references emitted by an instrumented algorithm, up to a cap
+ * (the algorithm keeps running; excess references are dropped, which
+ * simply shortens the recorded window).
+ */
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::size_t maxRefs = 4u << 20) : maxRefs_(maxRefs)
+    {
+        trace_.reserve(std::min<std::size_t>(maxRefs_, 1u << 20));
+    }
+
+    /** Record a load of vaddr after `gap` non-memory instructions. */
+    void
+    load(Addr vaddr, std::uint32_t gap = 1)
+    {
+        record(vaddr, gap, false);
+    }
+
+    /** Record a store of vaddr after `gap` non-memory instructions. */
+    void
+    store(Addr vaddr, std::uint32_t gap = 1)
+    {
+        record(vaddr, gap, true);
+    }
+
+    /** The recorded trace. */
+    const std::vector<Ref> &trace() const { return trace_; }
+    std::vector<Ref> &&takeTrace() { return std::move(trace_); }
+
+  private:
+    void
+    record(Addr vaddr, std::uint32_t gap, bool store)
+    {
+        if (trace_.size() < maxRefs_)
+            trace_.push_back({vaddr, gap, store});
+    }
+
+    std::size_t maxRefs_;
+    std::vector<Ref> trace_;
+};
+
+/**
+ * Replays a recorded trace as an endless stream (wrapping around), with
+ * wrong-path addresses drawn from the trace itself.
+ */
+class TraceReplaySource : public RefSource
+{
+  public:
+    explicit TraceReplaySource(std::vector<Ref> trace)
+        : trace_(std::move(trace))
+    {
+        fatal_if(trace_.empty(), "cannot replay an empty trace");
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        ref = trace_[pos_];
+        pos_ = (pos_ + 1) % trace_.size();
+        return true;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        // Sample near the replay cursor: divergent paths touch what the
+        // program is touching around now.
+        std::size_t window = std::min<std::size_t>(trace_.size(), 4096);
+        std::size_t idx =
+            (pos_ + trace_.size() - rng.below(window)) % trace_.size();
+        return trace_[idx].vaddr;
+    }
+
+    std::size_t traceLength() const { return trace_.size(); }
+
+  private:
+    std::vector<Ref> trace_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * A host-resident array whose element accesses are traced at simulated
+ * addresses. The instrumentation records one reference per element load
+ * or store, the granularity the paper's mem_uops counters see.
+ */
+template <typename T>
+class TracedArray
+{
+  public:
+    TracedArray() = default;
+
+    /**
+     * @param sink trace destination
+     * @param simBase the array's base in the simulated address space
+     * @param size element count
+     */
+    TracedArray(TraceSink &sink, Addr simBase, std::size_t size,
+                T init = T())
+        : sink_(&sink), base_(simBase), data_(size, init)
+    {
+    }
+
+    /** Traced element read. */
+    T
+    get(std::size_t i, std::uint32_t gap = 1) const
+    {
+        sink_->load(base_ + i * sizeof(T), gap);
+        return data_[i];
+    }
+
+    /** Traced element write. */
+    void
+    set(std::size_t i, const T &value, std::uint32_t gap = 1)
+    {
+        sink_->store(base_ + i * sizeof(T), gap);
+        data_[i] = value;
+    }
+
+    /** Untraced access (initialization, verification). */
+    T &raw(std::size_t i) { return data_[i]; }
+    const T &raw(std::size_t i) const { return data_[i]; }
+
+    std::size_t size() const { return data_.size(); }
+
+  private:
+    TraceSink *sink_ = nullptr;
+    Addr base_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_TRACE_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload interface.
+ *
+ * A workload pairs a program with an input generator (the paper's
+ * program-inputgenerator naming, Tables I & II) and can instantiate
+ * itself at any target memory footprint. Instantiation reserves the
+ * program's data regions in an AddressSpace and returns a reference
+ * stream for the timing core.
+ *
+ * Two instantiation modes:
+ *  - Exec: the real algorithm runs on real (host) data structures and its
+ *    memory accesses are traced. Faithful, but footprint-limited by host
+ *    RAM.
+ *  - Model: a streaming generator statistically equivalent to the
+ *    algorithm's access pattern, with topology derived from hash
+ *    functions, materializing nothing. This is the substitution that
+ *    lets the sweep reach the paper's ~600 GB footprints.
+ */
+
+#ifndef ATSCALE_WORKLOADS_WORKLOAD_HH
+#define ATSCALE_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/core_params.hh"
+#include "cpu/ref_stream.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+/** How a workload instance produces its reference stream. */
+enum class WorkloadMode
+{
+    /** Streaming access-pattern generator (any footprint). */
+    Model,
+    /** Real algorithm on host data structures, traced (small footprints). */
+    Exec,
+};
+
+/** Parameters of one workload instantiation. */
+struct WorkloadConfig
+{
+    /** Target data footprint in bytes (as measured in the 4 KiB config). */
+    std::uint64_t footprintBytes = 256ull << 20;
+    /** Instance seed (graph topology, key sequence, ...). */
+    std::uint64_t seed = 1;
+    WorkloadMode mode = WorkloadMode::Model;
+};
+
+/**
+ * A benchmark program + input generator pair.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Program name (e.g. "bc", "mcf"). */
+    virtual std::string program() const = 0;
+
+    /** Input generator name (e.g. "urand", "kron", "rand"). */
+    virtual std::string generator() const = 0;
+
+    /** The paper's program-generator workload name (e.g. "bc-urand"). */
+    std::string
+    name() const
+    {
+        return program() + "-" + generator();
+    }
+
+    /** Pipeline/speculation character of the program's code. */
+    virtual WorkloadTraits traits() const = 0;
+
+    /** True if the workload supports the given mode. */
+    virtual bool supports(WorkloadMode mode) const = 0;
+
+    /**
+     * Reserve the workload's data regions in the address space and
+     * return an endless reference stream over them.
+     */
+    virtual std::unique_ptr<RefSource>
+    instantiate(AddressSpace &space, const WorkloadConfig &config) = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the address space and its hugetlbfs-like backing policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+
+using namespace atscale;
+
+class AddressSpaceTest : public ::testing::Test
+{
+  protected:
+    PhysicalMemory mem;
+    FrameAllocator alloc{64ull << 30};
+};
+
+TEST_F(AddressSpaceTest, TouchPopulatesLazily)
+{
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    Addr base = space.mapRegion("data", 1 << 20);
+    EXPECT_EQ(space.footprintBytes(), 0u);
+
+    const Translation &t = space.touch(base + 0x1234);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.pageSize, PageSize::Size4K);
+    EXPECT_EQ(t.pageBase, base + 0x1000);
+    EXPECT_EQ(space.footprintBytes(), pageSize4K);
+
+    // Same page: idempotent.
+    const Translation &again = space.touch(base + 0x1ff8);
+    EXPECT_EQ(again.frame, t.frame);
+    EXPECT_EQ(space.footprintBytes(), pageSize4K);
+
+    // The page table agrees.
+    Translation via_table = space.translate(base + 0x1234);
+    ASSERT_TRUE(via_table.valid);
+    EXPECT_EQ(via_table.frame, t.frame);
+}
+
+TEST_F(AddressSpaceTest, DistinctPagesGetDistinctFrames)
+{
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    Addr base = space.mapRegion("data", 1 << 20);
+    PhysAddr f1 = space.touch(base).frame;
+    PhysAddr f2 = space.touch(base + pageSize4K).frame;
+    EXPECT_NE(f1, f2);
+    EXPECT_EQ(space.footprintBytes(), 2 * pageSize4K);
+}
+
+TEST_F(AddressSpaceTest, FindVmaAndGuards)
+{
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    Addr a = space.mapRegion("a", 1 << 20);
+    Addr b = space.mapRegion("b", 1 << 20);
+    ASSERT_NE(space.findVma(a), nullptr);
+    EXPECT_EQ(space.findVma(a)->name, "a");
+    EXPECT_EQ(space.findVma(b)->name, "b");
+    EXPECT_EQ(space.findVma(b - 1), nullptr); // guard gap
+    EXPECT_EQ(space.findVma(0), nullptr);
+    EXPECT_GT(b, a + (1 << 20));
+}
+
+TEST_F(AddressSpaceTest, ReservedBytesAccumulate)
+{
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    space.mapRegion("a", 123);
+    space.mapRegion("b", 1 << 20);
+    EXPECT_EQ(space.reservedBytes(), 123u + (1 << 20));
+}
+
+TEST_F(AddressSpaceTest, SuperpageRegionsAreAlignedAndIsolated)
+{
+    AddressSpace space(mem, alloc, PageSize::Size1G);
+    // Mixed sizes: big region gets 1G pages, small ones fall back.
+    Addr small = space.mapRegion("small", 300 << 20);
+    Addr big = space.mapRegion("big", 3ull << 30);
+    Addr tail = space.mapRegion("tail", 100 << 20);
+
+    EXPECT_EQ(space.findVma(small)->effective, PageSize::Size2M);
+    EXPECT_EQ(space.findVma(big)->effective, PageSize::Size1G);
+    EXPECT_EQ(space.findVma(tail)->effective, PageSize::Size2M);
+    EXPECT_TRUE(isAligned(big, pageSize1G));
+
+    // Touching the big region's last byte must not collide with tail:
+    // its final 1G page extends past the region end, but the next
+    // region starts beyond it.
+    space.touch(big + (3ull << 30) - 1);
+    space.touch(tail);
+    EXPECT_EQ(space.translate(tail).pageSize, PageSize::Size2M);
+}
+
+TEST_F(AddressSpaceTest, FootprintCountsEffectivePageSize)
+{
+    AddressSpace space(mem, alloc, PageSize::Size2M);
+    Addr base = space.mapRegion("data", 64ull << 20);
+    space.touch(base + 1);
+    EXPECT_EQ(space.footprintBytes(), pageSize2M);
+}
+
+TEST_F(AddressSpaceTest, TouchOutsideRegionsIsFatal)
+{
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    space.mapRegion("data", 1 << 20);
+    EXPECT_DEATH(space.touch(0x10), "unmapped");
+}
+
+TEST_F(AddressSpaceTest, ZeroSizeRegionIsFatal)
+{
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    EXPECT_DEATH(space.mapRegion("empty", 0), "zero size");
+}
+
+/**
+ * Parameterized sweep of the backing fallback rule (Section III-B):
+ * requested size x region size -> effective size.
+ */
+struct BackingCase
+{
+    PageSize requested;
+    std::uint64_t bytes;
+    PageSize expected;
+};
+
+class BackingPolicy : public ::testing::TestWithParam<BackingCase>
+{
+};
+
+TEST_P(BackingPolicy, FallbackRule)
+{
+    const BackingCase &c = GetParam();
+    EXPECT_EQ(AddressSpace::effectiveBacking(c.requested, c.bytes),
+              c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, BackingPolicy,
+    ::testing::Values(
+        // 4K requests are always honoured.
+        BackingCase{PageSize::Size4K, 100, PageSize::Size4K},
+        BackingCase{PageSize::Size4K, 10ull << 30, PageSize::Size4K},
+        // 2M requests fall back below 2 MiB.
+        BackingCase{PageSize::Size2M, pageSize2M - 1, PageSize::Size4K},
+        BackingCase{PageSize::Size2M, pageSize2M, PageSize::Size2M},
+        BackingCase{PageSize::Size2M, 10ull << 30, PageSize::Size2M},
+        // 1G requests fall back below 1 GiB (the paper's anomaly), and
+        // all the way to 4K for tiny regions.
+        BackingCase{PageSize::Size1G, pageSize1G - 1, PageSize::Size2M},
+        BackingCase{PageSize::Size1G, pageSize1G, PageSize::Size1G},
+        BackingCase{PageSize::Size1G, pageSize2M - 1, PageSize::Size4K}));

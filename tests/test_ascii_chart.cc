@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the terminal chart renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_chart.hh"
+
+using namespace atscale;
+
+TEST(ScatterChart, RendersSeriesAndLegend)
+{
+    ScatterChart chart("T", "x", "y");
+    int a = 0;
+    chart.addSeries("alpha");
+    chart.addSeries("beta");
+    chart.point(a, 1.0, 1.0);
+    chart.point(a, 10.0, 2.0);
+    chart.point(1, 5.0, 1.5);
+    std::ostringstream os;
+    chart.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("T"), std::string::npos);
+    // Both glyphs appear in the grid.
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(ScatterChart, EmptyChartSaysNoData)
+{
+    ScatterChart chart("empty", "x", "y");
+    chart.addSeries("s");
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_NE(os.str().find("no data"), std::string::npos);
+}
+
+TEST(ScatterChart, LogXHandlesWideRanges)
+{
+    ScatterChart chart("log", "footprint", "overhead");
+    chart.logX(true);
+    chart.addSeries("w");
+    chart.point(0, 256e6, 0.1);
+    chart.point(0, 600e9, 0.5);
+    std::ostringstream os;
+    chart.print(os); // must not crash or produce inf
+    EXPECT_EQ(os.str().find("inf"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(ScatterChart, SinglePointDoesNotDivideByZero)
+{
+    ScatterChart chart("one", "x", "y");
+    chart.addSeries("s");
+    chart.point(0, 3.0, 4.0);
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(BandChart, ColumnsNormalizeAndRender)
+{
+    BandChart chart("bands", "footprint");
+    chart.addBand("retired");
+    chart.addBand("wrong-path");
+    chart.addBand("aborted");
+    chart.column("1G", {0.8, 0.1, 0.1});
+    chart.column("16G", {2.0, 1.0, 1.0}); // unnormalized on purpose
+    std::ostringstream os;
+    chart.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("retired"), std::string::npos);
+    EXPECT_NE(out.find("aborted"), std::string::npos);
+    EXPECT_NE(out.find("16G"), std::string::npos);
+}
+
+TEST(BandChart, MismatchedFractionCountDies)
+{
+    BandChart chart("bad", "x");
+    chart.addBand("a");
+    chart.addBand("b");
+    EXPECT_DEATH(chart.column("c", {1.0}), "fractions");
+}
+
+TEST(BandChart, EmptyRendersNoData)
+{
+    BandChart chart("empty", "x");
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_NE(os.str().find("no data"), std::string::npos);
+}

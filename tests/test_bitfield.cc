@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for util/bitfield.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+
+using namespace atscale;
+
+TEST(Bitfield, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xff00ull, 15, 8), 0xffull);
+    EXPECT_EQ(bits(0xdeadbeefull, 31, 16), 0xdeadull);
+    EXPECT_EQ(bits(0xdeadbeefull, 15, 0), 0xbeefull);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+    EXPECT_EQ(bits(0b1010ull, 3, 3), 1ull);
+}
+
+TEST(Bitfield, BitExtractsSingleBit)
+{
+    EXPECT_EQ(bit(0b100ull, 2), 1ull);
+    EXPECT_EQ(bit(0b100ull, 1), 0ull);
+    EXPECT_EQ(bit(1ull << 63, 63), 1ull);
+}
+
+TEST(Bitfield, InsertBitsRoundTripsWithBits)
+{
+    std::uint64_t v = insertBits(0, 51, 12, 0xabcdeull);
+    EXPECT_EQ(bits(v, 51, 12), 0xabcdeull);
+    // Other bits untouched.
+    std::uint64_t w = insertBits(~0ull, 15, 8, 0);
+    EXPECT_EQ(bits(w, 7, 0), 0xffull);
+    EXPECT_EQ(bits(w, 15, 8), 0ull);
+    EXPECT_EQ(bits(w, 63, 16), bits(~0ull, 63, 16));
+}
+
+TEST(Bitfield, PowerOfTwoPredicates)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Bitfield, Logarithms)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(4096), 12);
+    EXPECT_EQ(floorLog2(4097), 12);
+    EXPECT_EQ(ceilLog2(4096), 12);
+    EXPECT_EQ(ceilLog2(4097), 13);
+    EXPECT_EQ(floorLog2(~0ull), 63);
+}
+
+TEST(Bitfield, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_TRUE(isAligned(0x200000, pageSize2M));
+    EXPECT_FALSE(isAligned(0x201000, pageSize2M));
+}
+
+TEST(Bitfield, PtIndexMatchesX86Layout)
+{
+    // Bits 20:12 are the PT index, 29:21 the PD index, 38:30 the PDPT
+    // index, 47:39 the PML4 index.
+    Addr va = (0x1a5ull << 39) | (0x0f3ull << 30) | (0x123ull << 21) |
+              (0x0abull << 12) | 0x567;
+    EXPECT_EQ(ptIndex(va, 3), 0x1a5);
+    EXPECT_EQ(ptIndex(va, 2), 0x0f3);
+    EXPECT_EQ(ptIndex(va, 1), 0x123);
+    EXPECT_EQ(ptIndex(va, 0), 0x0ab);
+}
+
+/** Property sweep: alignUp/alignDown bracket the value for many inputs. */
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignProperty, BracketsValue)
+{
+    std::uint64_t align = GetParam();
+    for (std::uint64_t v = 0; v < 4 * align; v += align / 4 + 1) {
+        EXPECT_LE(alignDown(v, align), v);
+        EXPECT_GE(alignUp(v, align), v);
+        EXPECT_TRUE(isAligned(alignDown(v, align), align));
+        EXPECT_TRUE(isAligned(alignUp(v, align), align));
+        EXPECT_LT(v - alignDown(v, align), align);
+        EXPECT_LT(alignUp(v, align) - v, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignProperty,
+                         ::testing::Values(1ull << 3, 1ull << 12, 1ull << 21,
+                                           1ull << 30));

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit and invariant tests for the timing core, including the Table VI
+ * walk-outcome identities on live counter data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hh"
+#include "perf/derived.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** A controllable synthetic stream over one mapped region. */
+class SyntheticStream : public RefSource
+{
+  public:
+    SyntheticStream(Addr base, std::uint64_t bytes, double randomFraction,
+                    std::uint64_t seed = 9)
+        : base_(base), bytes_(bytes), randomFraction_(randomFraction),
+          rng_(seed)
+    {
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        Addr offset;
+        if (rng_.chance(randomFraction_)) {
+            offset = rng_.below(bytes_) & ~7ull;
+        } else {
+            cursor_ = (cursor_ + 64) % bytes_;
+            offset = cursor_;
+        }
+        ref.vaddr = base_ + offset;
+        ref.instGap = 2;
+        ref.isStore = rng_.chance(0.25);
+        return true;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        return base_ + (rng.below(bytes_) & ~7ull);
+    }
+
+  private:
+    Addr base_;
+    std::uint64_t bytes_;
+    double randomFraction_;
+    Rng rng_;
+    std::uint64_t cursor_ = 0;
+};
+
+struct Rig
+{
+    explicit Rig(PageSize backing, std::uint64_t bytes = 256ull << 20,
+                 double random_fraction = 0.5, std::uint64_t seed = 42)
+        : platform(PlatformParams{}, backing, WorkloadTraits{}, seed)
+    {
+        base = platform.space.mapRegion("data", bytes);
+        stream = std::make_unique<SyntheticStream>(base, bytes,
+                                                   random_fraction);
+    }
+
+    Platform platform;
+    Addr base = 0;
+    std::unique_ptr<SyntheticStream> stream;
+};
+
+} // namespace
+
+TEST(Core, CountsInstructionsAndAccesses)
+{
+    Rig rig(PageSize::Size4K);
+    Count done = rig.platform.core.run(*rig.stream, 10'000);
+    EXPECT_EQ(done, 10'000u);
+    const CounterSet &c = rig.platform.core.counters();
+    EXPECT_EQ(totalAccesses(c), 10'000u);
+    // Every ref carries instGap 2 + itself.
+    EXPECT_EQ(c.get(EventId::InstRetired), 30'000u);
+    EXPECT_GT(c.get(EventId::CpuClkUnhalted), 0u);
+}
+
+TEST(Core, TableVIInvariantsHold)
+{
+    Rig rig(PageSize::Size4K);
+    rig.platform.core.run(*rig.stream, 200'000);
+    WalkOutcomes o = walkOutcomes(rig.platform.core.counters());
+    EXPECT_GT(o.initiated, 0u);
+    EXPECT_LE(o.completed, o.initiated);
+    EXPECT_LE(o.retired, o.completed);
+    // aborted and wrongPath are the (non-negative) differences.
+    EXPECT_EQ(o.aborted + o.completed, o.initiated);
+    EXPECT_EQ(o.wrongPath + o.retired, o.completed);
+}
+
+TEST(Core, WalkCountersAreConsistent)
+{
+    Rig rig(PageSize::Size4K);
+    rig.platform.core.run(*rig.stream, 100'000);
+    const CounterSet &c = rig.platform.core.counters();
+    // Walk durations only exist if walks happened, and imply PTW loads.
+    Count walks = totalWalksInitiated(c);
+    Count ptw_loads = c.get(EventId::PageWalkerLoadsDtlbL1) +
+                      c.get(EventId::PageWalkerLoadsDtlbL2) +
+                      c.get(EventId::PageWalkerLoadsDtlbL3) +
+                      c.get(EventId::PageWalkerLoadsDtlbMemory);
+    EXPECT_GT(walks, 0u);
+    EXPECT_GE(ptw_loads, walks / 2); // aborted walks may do 0 loads
+    EXPECT_LE(ptw_loads, walks * 4); // a 4K walk loads at most 4 PTEs
+    EXPECT_GT(totalWalkCycles(c), 0u);
+    // The walker agrees with the counter bank.
+    EXPECT_EQ(rig.platform.mmu.walker().walksInitiated(), walks);
+}
+
+TEST(Core, DeterministicForSameSeed)
+{
+    Rig a(PageSize::Size4K);
+    Rig b(PageSize::Size4K);
+    a.platform.core.run(*a.stream, 50'000);
+    b.platform.core.run(*b.stream, 50'000);
+    for (int i = 0; i < numEvents; ++i) {
+        auto id = static_cast<EventId>(i);
+        EXPECT_EQ(a.platform.core.counters().get(id),
+                  b.platform.core.counters().get(id))
+            << eventName(id);
+    }
+}
+
+TEST(Core, SuperpagesReduceWalksAndCycles)
+{
+    Rig small(PageSize::Size4K);
+    Rig big(PageSize::Size2M);
+    small.platform.core.run(*small.stream, 300'000);
+    big.platform.core.run(*big.stream, 300'000);
+
+    const CounterSet &c4k = small.platform.core.counters();
+    const CounterSet &c2m = big.platform.core.counters();
+    EXPECT_LT(totalWalksInitiated(c2m), totalWalksInitiated(c4k) / 4);
+    EXPECT_LT(c2m.get(EventId::CpuClkUnhalted),
+              c4k.get(EventId::CpuClkUnhalted));
+    // Identical instruction streams.
+    EXPECT_EQ(c2m.get(EventId::InstRetired), c4k.get(EventId::InstRetired));
+}
+
+TEST(Core, ResetCountersKeepsWarmState)
+{
+    Rig rig(PageSize::Size4K, 64ull << 20, 0.0); // purely sequential
+    rig.platform.core.run(*rig.stream, 50'000);
+    rig.platform.core.resetCounters();
+    EXPECT_EQ(rig.platform.core.cycles(), 0u);
+    rig.platform.core.run(*rig.stream, 50'000);
+    // Second window over already-touched pages: mostly TLB hits, few
+    // walks compared to accesses.
+    const CounterSet &c = rig.platform.core.counters();
+    EXPECT_LT(totalWalksInitiated(c), totalAccesses(c) / 10);
+}
+
+TEST(Core, SpeculationProducesWrongPathWalks)
+{
+    WorkloadTraits spicy;
+    spicy.branchesPerInstr = 0.2;
+    spicy.mispredictRate = 0.05;
+    Platform platform(PlatformParams{}, PageSize::Size4K, spicy, 1);
+    Addr base = platform.space.mapRegion("data", 512ull << 20);
+    SyntheticStream stream(base, 512ull << 20, 0.8);
+    platform.core.run(stream, 300'000);
+
+    WalkOutcomes o = walkOutcomes(platform.core.counters());
+    EXPECT_GT(o.wrongPath + o.aborted, 0u);
+    EXPECT_GT(platform.core.counters().get(
+                  EventId::BrMispRetiredAllBranches),
+              0u);
+}
+
+TEST(Core, MachineClearsOccurUnderPressure)
+{
+    Rig rig(PageSize::Size4K, 2ull << 30, 0.95);
+    rig.platform.core.run(*rig.stream, 500'000);
+    EXPECT_GT(rig.platform.core.counters().get(EventId::MachineClearsCount),
+              0u);
+}
+
+TEST(Core, BranchCountTracksDensity)
+{
+    Rig rig(PageSize::Size4K);
+    rig.platform.core.run(*rig.stream, 100'000);
+    const CounterSet &c = rig.platform.core.counters();
+    double per_instr =
+        static_cast<double>(c.get(EventId::BrInstRetiredAllBranches)) /
+        static_cast<double>(c.get(EventId::InstRetired));
+    EXPECT_NEAR(per_instr, WorkloadTraits{}.branchesPerInstr, 0.01);
+}

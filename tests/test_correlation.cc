@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for Pearson and Spearman correlation (Table V statistics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/correlation.hh"
+
+using namespace atscale;
+
+TEST(Pearson, PerfectLinearCorrelation)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> neg{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValue)
+{
+    // Hand-computed example.
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{1, 3, 2, 4};
+    // cov = 2.5/3..., direct formula: r = 0.8
+    EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsReturnZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1.0}, {1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Ranks, SimpleOrdering)
+{
+    std::vector<double> ranks = averageRanks({30, 10, 20});
+    EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+    EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+    EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(Ranks, TiesGetAverageRank)
+{
+    std::vector<double> ranks = averageRanks({1, 2, 2, 3});
+    EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+    EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+    EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+    EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransforms)
+{
+    std::vector<double> x{1, 2, 3, 4, 5, 6};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(std::exp(v)); // nonlinear but monotone
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    // Pearson is NOT 1 for this pair — that is the whole point of using
+    // Spearman in Table V.
+    EXPECT_LT(pearson(x, y), 0.95);
+}
+
+TEST(Spearman, PerfectInversion)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{9, 7, 5, 3};
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, KnownValueWithTies)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{1, 1, 2, 3};
+    double rho = spearman(x, y);
+    EXPECT_GT(rho, 0.9);
+    EXPECT_LT(rho, 1.0);
+}
+
+TEST(CorrelationDeathTest, SizeMismatch)
+{
+    EXPECT_DEATH(pearson({1.0}, {1.0, 2.0}), "mismatch");
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the CSV writer and table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(Csv, InactiveWriterIsNoOp)
+{
+    CsvWriter w;
+    EXPECT_FALSE(w.active());
+    w.rowv("a", 1, 2.5); // must not crash
+}
+
+TEST(Csv, WritesRowsAndEscapes)
+{
+    std::string path = ::testing::TempDir() + "/atscale_csv_test.csv";
+    {
+        CsvWriter w(path);
+        ASSERT_TRUE(w.active());
+        w.rowv("workload", "footprint", "overhead");
+        w.rowv("bc-urand", 1024, 0.25);
+        w.row({"has,comma", "has\"quote", "plain"});
+    }
+    std::string content = slurp(path);
+    EXPECT_NE(content.find("workload,footprint,overhead\n"),
+              std::string::npos);
+    EXPECT_NE(content.find("bc-urand,1024,0.25\n"), std::string::npos);
+    EXPECT_NE(content.find("\"has,comma\",\"has\"\"quote\",plain\n"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, OutputPathHonoursEnvironment)
+{
+    unsetenv("ATSCALE_OUT_DIR");
+    EXPECT_EQ(outputPath("x.csv"), "");
+    setenv("ATSCALE_OUT_DIR", "/tmp/somewhere", 1);
+    EXPECT_EQ(outputPath("x.csv"), "/tmp/somewhere/x.csv");
+    unsetenv("ATSCALE_OUT_DIR");
+}
+
+TEST(Table, RendersHeaderSeparatorAndAlignment)
+{
+    TablePrinter t("Title");
+    t.header({"col", "value"});
+    t.rowv("short", 1);
+    t.rowv("a-much-longer-cell", 123456);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("col"), std::string::npos);
+    EXPECT_NE(out.find("a-much-longer-cell"), std::string::npos);
+    EXPECT_NE(out.find("123456"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    TablePrinter t;
+    t.header({"a", "b", "c"});
+    t.rowv("only-one");
+    std::ostringstream os;
+    t.print(os); // must not crash
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(-0.5, 3), "-0.500");
+}
+
+TEST(Format, FmtBytes)
+{
+    EXPECT_EQ(fmtBytes(512), "512.0B");
+    EXPECT_EQ(fmtBytes(1024), "1.0KiB");
+    EXPECT_EQ(fmtBytes(1536), "1.5KiB");
+    EXPECT_EQ(fmtBytes(1ull << 20), "1.0MiB");
+    EXPECT_EQ(fmtBytes(1ull << 30), "1.0GiB");
+    EXPECT_EQ(fmtBytes(600ull << 30), "600.0GiB");
+    EXPECT_EQ(fmtBytes(2ull << 40), "2.0TiB");
+}

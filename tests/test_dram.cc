@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the open-page DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace atscale;
+
+TEST(Dram, FirstAccessConflictsThenHits)
+{
+    Dram dram;
+    Cycles first = dram.access(0x1000);
+    Cycles second = dram.access(0x1040); // same row
+    EXPECT_EQ(first,
+              dram.params().rowHitLatency + dram.params().rowConflictExtra);
+    EXPECT_EQ(second, dram.params().rowHitLatency);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_EQ(dram.rowConflicts(), 1u);
+}
+
+TEST(Dram, DifferentRowsSameBankConflict)
+{
+    DramParams params;
+    Dram dram(params);
+    std::uint64_t stride =
+        params.rowBytes * static_cast<std::uint64_t>(params.banks);
+    dram.access(0x0);
+    // Same bank (row number differs by banks), different row.
+    Cycles lat = dram.access(stride);
+    EXPECT_EQ(lat, params.rowHitLatency + params.rowConflictExtra);
+}
+
+TEST(Dram, AdjacentRowsLandInDifferentBanks)
+{
+    DramParams params;
+    Dram dram(params);
+    dram.access(0x0);
+    dram.access(params.rowBytes);     // next row, next bank
+    dram.access(0x40);                // back to bank 0, same row: hit
+    EXPECT_EQ(dram.rowHits(), 1u);
+}
+
+TEST(Dram, ResetClosesRows)
+{
+    Dram dram;
+    dram.access(0x1000);
+    dram.access(0x1000);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    dram.reset();
+    EXPECT_EQ(dram.rowHits(), 0u);
+    Cycles lat = dram.access(0x1000);
+    EXPECT_EQ(lat,
+              dram.params().rowHitLatency + dram.params().rowConflictExtra);
+}
+
+TEST(Dram, StreamingIsMostlyRowHits)
+{
+    Dram dram;
+    Count accesses = 0;
+    for (PhysAddr a = 0; a < 1 << 20; a += 64) {
+        dram.access(a);
+        ++accesses;
+    }
+    // One conflict per row touched, the rest hits.
+    EXPECT_GT(dram.rowHits(), accesses * 9 / 10);
+}
+
+TEST(DramDeathTest, BadGeometry)
+{
+    DramParams params;
+    params.banks = 0;
+    EXPECT_DEATH(Dram{params}, "bank");
+    DramParams bad_row;
+    bad_row.rowBytes = 3000;
+    EXPECT_DEATH(Dram{bad_row}, "power of two");
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Correctness tests for the exec-mode mcf network simplex and
+ * streamcluster k-median solvers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workloads/mcf/mcf_exec.hh"
+#include "workloads/mcf/mcf_workload.hh"
+#include "workloads/sc/streamcluster_exec.hh"
+#include "workloads/sc/streamcluster_workload.hh"
+
+using namespace atscale;
+
+TEST(McfExec, InstanceIsConnectedAndSized)
+{
+    McfInstance instance(100, 6, 3);
+    EXPECT_EQ(instance.numNodes, 100u);
+    EXPECT_EQ(instance.arcs.size(), 600u);
+    // Ring backbone present.
+    for (std::uint32_t v = 0; v < 100; ++v) {
+        EXPECT_EQ(instance.arcs[v].tail, v);
+        EXPECT_EQ(instance.arcs[v].head, (v + 1) % 100);
+    }
+    for (const auto &arc : instance.arcs) {
+        EXPECT_LT(arc.tail, 100u);
+        EXPECT_LT(arc.head, 100u);
+    }
+}
+
+TEST(McfExec, PivotsKeepPricingStable)
+{
+    McfInstance instance(500, 6, 7);
+    TraceSink sink;
+    McfResult result = runNetworkSimplex(instance, sink, 1ull << 30,
+                                         2ull << 30, 20);
+    ASSERT_FALSE(result.objectiveTrace.empty());
+    EXPECT_GT(result.pivots, 0u);
+    // Each pivot prices its entering arc to zero; with this simplified
+    // (path- rather than subtree-updating) simplex the total negative
+    // reduced cost is not monotone, but it must stay bounded rather
+    // than diverge.
+    double first = std::abs(result.objectiveTrace.front());
+    double last = std::abs(result.objectiveTrace.back());
+    EXPECT_LT(last, 2.0 * first + 1.0);
+    EXPECT_TRUE(std::isfinite(result.residual));
+    // Trace recorded both arc-scan and node accesses.
+    EXPECT_GT(sink.trace().size(), instance.arcs.size());
+}
+
+TEST(McfExec, DeterministicForSeed)
+{
+    McfInstance a(300, 6, 11), b(300, 6, 11);
+    TraceSink sa, sb;
+    McfResult ra = runNetworkSimplex(a, sa, 1ull << 30, 2ull << 30, 5);
+    McfResult rb = runNetworkSimplex(b, sb, 1ull << 30, 2ull << 30, 5);
+    EXPECT_EQ(ra.pivots, rb.pivots);
+    EXPECT_EQ(ra.objectiveTrace, rb.objectiveTrace);
+    EXPECT_EQ(sa.trace().size(), sb.trace().size());
+}
+
+TEST(McfExec, WorkloadInstantiatesInExecMode)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(16ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    McfWorkload workload;
+    ASSERT_TRUE(workload.supports(WorkloadMode::Exec));
+
+    WorkloadConfig config;
+    config.footprintBytes = 4ull << 20;
+    config.mode = WorkloadMode::Exec;
+    auto stream = workload.instantiate(space, config);
+    Ref ref;
+    for (int i = 0; i < 20'000; ++i) {
+        ASSERT_TRUE(stream->next(ref));
+        ASSERT_NE(space.findVma(ref.vaddr), nullptr) << std::hex << ref.vaddr;
+    }
+}
+
+TEST(StreamclusterExec, OpensBoundedCenters)
+{
+    TraceSink sink;
+    StreamclusterResult result = runStreamcluster(
+        2000, 32, 512, 5, sink, 1ull << 30, 2ull << 30, 512);
+    EXPECT_GE(result.centers, 1u);
+    EXPECT_LE(result.centers, 256u);
+    EXPECT_EQ(result.costTrace.size(), 4u); // 2000 points / 512 chunks
+    for (double cost : result.costTrace)
+        EXPECT_GE(cost, 0.0);
+    EXPECT_FALSE(sink.trace().empty());
+}
+
+TEST(StreamclusterExec, MoreSpreadOutPointsCostMore)
+{
+    // With a single centre forced (huge open cost via tiny dims), cost
+    // grows with point count.
+    TraceSink s1, s2;
+    StreamclusterResult small = runStreamcluster(500, 16, 250, 9, s1,
+                                                 1ull << 30, 2ull << 30, 512);
+    StreamclusterResult large = runStreamcluster(2000, 16, 250, 9, s2,
+                                                 1ull << 30, 2ull << 30, 512);
+    double small_total = 0, large_total = 0;
+    for (double c : small.costTrace)
+        small_total += c;
+    for (double c : large.costTrace)
+        large_total += c;
+    EXPECT_GT(large_total, small_total * 0.5);
+}
+
+TEST(StreamclusterExec, WorkloadInstantiatesInExecMode)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(16ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    StreamclusterWorkload workload;
+    ASSERT_TRUE(workload.supports(WorkloadMode::Exec));
+
+    WorkloadConfig config;
+    config.footprintBytes = 8ull << 20;
+    config.mode = WorkloadMode::Exec;
+    auto stream = workload.instantiate(space, config);
+    Ref ref;
+    for (int i = 0; i < 20'000; ++i) {
+        ASSERT_TRUE(stream->next(ref));
+        ASSERT_NE(space.findVma(ref.vaddr), nullptr);
+    }
+}

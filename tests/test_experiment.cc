@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Integration tests: full experiment runs through the public API, the
+ * overhead measurement, result caching, and the sweep helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/overhead.hh"
+#include "core/sweep.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+RunConfig
+quickConfig(const std::string &workload = "bfs-urand",
+            std::uint64_t footprint = 512ull << 20)
+{
+    RunConfig config;
+    config.workload = workload;
+    config.footprintBytes = footprint;
+    config.warmupRefs = 50'000;
+    config.measureRefs = 150'000;
+    return config;
+}
+
+} // namespace
+
+TEST(Experiment, ProducesConsistentCounters)
+{
+    RunResult result = runExperiment(quickConfig());
+    EXPECT_GT(result.cycles(), 0u);
+    EXPECT_GT(result.instructions(), 0u);
+    EXPECT_GT(result.cpi(), 0.1);
+    EXPECT_LT(result.cpi(), 50.0);
+    EXPECT_EQ(totalAccesses(result.counters), 150'000u);
+    EXPECT_GT(result.footprintTouched, 0u);
+    EXPECT_GT(result.pageTableBytes, 0u);
+    EXPECT_GT(result.seconds(), 0.0);
+
+    // Equation 1 holds on live data: product of terms == WCPI directly.
+    WcpiTerms terms = wcpiTerms(result.counters);
+    double direct =
+        static_cast<double>(totalWalkCycles(result.counters)) /
+        static_cast<double>(result.instructions());
+    EXPECT_NEAR(terms.wcpi(), direct, 1e-9);
+}
+
+TEST(Experiment, DeterministicAcrossCalls)
+{
+    RunResult a = runExperiment(quickConfig());
+    RunResult b = runExperiment(quickConfig());
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(totalWalksInitiated(a.counters),
+              totalWalksInitiated(b.counters));
+}
+
+TEST(Experiment, PageSizeChangesOnlyTranslationBehaviour)
+{
+    RunConfig config = quickConfig();
+    RunResult r4k = runExperiment(config);
+    config.pageSize = PageSize::Size2M;
+    RunResult r2m = runExperiment(config);
+    // Same instruction stream...
+    EXPECT_EQ(r4k.instructions(), r2m.instructions());
+    // ...less translation pressure with superpages.
+    EXPECT_LT(totalWalksInitiated(r2m.counters),
+              totalWalksInitiated(r4k.counters));
+    EXPECT_LE(r2m.cycles(), r4k.cycles());
+}
+
+TEST(Experiment, DiskCacheRoundTrips)
+{
+    std::string dir = ::testing::TempDir() + "/atscale_cache_test";
+    std::filesystem::create_directories(dir);
+    setenv("ATSCALE_CACHE_DIR", dir.c_str(), 1);
+
+    RunConfig config = quickConfig("cc-urand");
+    RunResult first = runExperiment(config);
+    // The second call must come from disk and be bit-identical.
+    RunResult second = runExperiment(config);
+    unsetenv("ATSCALE_CACHE_DIR");
+
+    EXPECT_EQ(first.cycles(), second.cycles());
+    EXPECT_EQ(first.footprintTouched, second.footprintTouched);
+    for (int i = 0; i < numEvents; ++i) {
+        auto id = static_cast<EventId>(i);
+        EXPECT_EQ(first.counters.get(id), second.counters.get(id));
+    }
+    // A cache file exists for this run.
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, ExecModeFootprintCapIsFatal)
+{
+    RunConfig config = quickConfig("mcf-rand", 1ull << 40);
+    config.mode = WorkloadMode::Exec;
+    EXPECT_DEATH(runExperiment(config), "too large");
+}
+
+TEST(Overhead, BaselineIsMinOfSuperpageRuns)
+{
+    OverheadPoint point = measureOverhead(quickConfig());
+    double base = point.baselineCycles();
+    EXPECT_EQ(base, std::min<double>(point.run2m.cycles(),
+                                     point.run1g.cycles()));
+    EXPECT_GT(point.run4k.cycles(), 0u);
+    // AT-intensive workload at 512 MiB: 4K should be slower.
+    EXPECT_TRUE(point.atSensitive());
+    EXPECT_GT(point.relativeOverhead(), 0.0);
+    EXPECT_LT(point.relativeOverhead(), 3.0);
+}
+
+TEST(Sweep, FootprintsAreLogSpacedAndOrdered)
+{
+    auto sweep = footprintSweep(1ull << 28, 1ull << 34, 2);
+    ASSERT_GE(sweep.size(), 4u);
+    EXPECT_EQ(sweep.front(), 1ull << 28);
+    for (size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GT(sweep[i], sweep[i - 1]);
+        double ratio = static_cast<double>(sweep[i]) /
+                       static_cast<double>(sweep[i - 1]);
+        EXPECT_LT(ratio, 10.0);
+    }
+    EXPECT_NEAR(static_cast<double>(sweep.back()),
+                static_cast<double>(1ull << 34),
+                static_cast<double>(1ull << 30));
+}
+
+TEST(Sweep, DefaultRangeMatchesThePaper)
+{
+    auto footprints = defaultFootprints();
+    EXPECT_GE(footprints.front(), 200ull << 20);
+    EXPECT_LE(footprints.front(), 300ull << 20);
+    EXPECT_GE(footprints.back(), 500ull << 30);
+}
+
+TEST(Sweep, QuickEnvSelectsReducedSweep)
+{
+    setenv("ATSCALE_QUICK", "1", 1);
+    EXPECT_EQ(sweepFootprints().size(), quickFootprints().size());
+    unsetenv("ATSCALE_QUICK");
+    EXPECT_EQ(sweepFootprints().size(), defaultFootprints().size());
+}
+
+TEST(Sweep, SweepWorkloadCollectsPointsInOrder)
+{
+    std::vector<std::uint64_t> footprints{256ull << 20, 1ull << 30};
+    RunConfig base;
+    base.warmupRefs = 20'000;
+    base.measureRefs = 50'000;
+    int calls = 0;
+    WorkloadSweep sweep = sweepWorkload(
+        "pr-kron", footprints, base, {},
+        [&](const OverheadPoint &) { ++calls; });
+    EXPECT_EQ(sweep.workload, "pr-kron");
+    ASSERT_EQ(sweep.points.size(), 2u);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(sweep.points[0].footprintBytes, 256ull << 20);
+    EXPECT_EQ(sweep.points[1].footprintBytes, 1ull << 30);
+}

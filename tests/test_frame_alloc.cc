@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the physical frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/frame_alloc.hh"
+#include "util/bitfield.hh"
+
+using namespace atscale;
+
+TEST(FrameAlloc, AllocationsAreAlignedAndDisjoint)
+{
+    FrameAllocator alloc(1ull << 30);
+    PhysAddr a = alloc.allocate(pageSize4K);
+    PhysAddr b = alloc.allocate(pageSize4K);
+    EXPECT_TRUE(isAligned(a, pageSize4K));
+    EXPECT_TRUE(isAligned(b, pageSize4K));
+    EXPECT_GE(b, a + pageSize4K);
+}
+
+TEST(FrameAlloc, SuperpageAlignment)
+{
+    FrameAllocator alloc(8ull << 30);
+    alloc.allocate(pageSize4K); // misalign the cursor
+    PhysAddr two_meg = alloc.allocate(pageSize2M);
+    EXPECT_TRUE(isAligned(two_meg, pageSize2M));
+    PhysAddr one_gig = alloc.allocate(pageSize1G);
+    EXPECT_TRUE(isAligned(one_gig, pageSize1G));
+}
+
+TEST(FrameAlloc, TracksAllocatedBytes)
+{
+    FrameAllocator alloc(1ull << 30);
+    EXPECT_EQ(alloc.allocatedBytes(), 0u);
+    alloc.allocate(pageSize4K);
+    EXPECT_GE(alloc.allocatedBytes(), pageSize4K);
+}
+
+TEST(FrameAlloc, ResetReleases)
+{
+    FrameAllocator alloc(1ull << 30);
+    PhysAddr first = alloc.allocate(pageSize4K);
+    alloc.allocate(pageSize4K);
+    alloc.reset();
+    EXPECT_EQ(alloc.allocatedBytes(), 0u);
+    EXPECT_EQ(alloc.allocate(pageSize4K), first);
+}
+
+TEST(FrameAlloc, CapacityAccessor)
+{
+    FrameAllocator alloc(42ull << 20);
+    EXPECT_EQ(alloc.capacityBytes(), 42ull << 20);
+}
+
+TEST(FrameAllocDeathTest, ExhaustionIsFatal)
+{
+    FrameAllocator alloc(1ull << 20); // 1 MiB
+    for (int i = 0; i < 256; ++i)
+        alloc.allocate(pageSize4K);
+    EXPECT_DEATH(alloc.allocate(pageSize4K), "exhausted");
+}
+
+TEST(FrameAllocDeathTest, NonPowerOfTwoPanics)
+{
+    FrameAllocator alloc(1ull << 20);
+    EXPECT_DEATH(alloc.allocate(3 * pageSize4K), "power of two");
+}

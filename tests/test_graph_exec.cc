@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Correctness tests for the exec-mode graph kernels: algorithmic results
+ * are validated against independent reference computations, and the
+ * traces they emit are checked for region discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "workloads/graph/csr.hh"
+#include "workloads/graph/exec_kernels.hh"
+#include "workloads/graph/graph_workload.hh"
+#include "workloads/trace.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+GraphSpec
+smallSpec(GraphKind kind = GraphKind::Urand, std::uint64_t n = 2000)
+{
+    GraphSpec spec;
+    spec.kind = kind;
+    spec.numVertices = n;
+    spec.seed = 11;
+    return spec;
+}
+
+struct ExecRig
+{
+    explicit ExecRig(const GraphSpec &spec) : graph(spec)
+    {
+        layout.offsets = 1ull << 30;
+        layout.neighbors = 2ull << 30;
+        layout.neighborsBytes = graph.numEdges() * 4;
+        layout.props = 3ull << 30;
+        layout.propsBytes = spec.numVertices * 40;
+    }
+
+    CsrGraph graph;
+    TraceSink sink;
+    GraphLayout layout;
+
+    ExecGraphContext
+    ctx()
+    {
+        return {graph, sink, layout};
+    }
+};
+
+/** Reference union-find for component checking. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent[x] != x)
+            x = parent[x] = parent[parent[x]];
+        return x;
+    }
+
+    void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+
+  private:
+    std::vector<std::size_t> parent;
+};
+
+} // namespace
+
+TEST(CsrGraph, MatchesSpecTopology)
+{
+    GraphSpec spec = smallSpec();
+    CsrGraph graph(spec);
+    EXPECT_EQ(graph.numVertices(), spec.numVertices);
+    for (std::uint64_t v = 0; v < spec.numVertices; v += 97) {
+        ASSERT_EQ(graph.degree(v), spec.degreeOf(v));
+        for (std::uint32_t j = 0; j < graph.degree(v); ++j)
+            EXPECT_EQ(graph.neighbor(v, j), spec.neighbor(v, j));
+    }
+    EXPECT_EQ(graph.numEdges(), graph.offsets().back());
+}
+
+TEST(ExecBfs, ParentsFormValidTree)
+{
+    ExecRig rig(smallSpec());
+    auto ctx = rig.ctx();
+    auto parent = execBfs(ctx, 0);
+
+    ASSERT_EQ(parent.size(), rig.graph.numVertices());
+    EXPECT_EQ(parent[0], 0);
+    Count reached = 0;
+    for (std::uint64_t v = 0; v < parent.size(); ++v) {
+        if (parent[v] < 0)
+            continue;
+        ++reached;
+        if (v == 0)
+            continue;
+        // parent[v] must actually have v as a neighbour.
+        auto p = static_cast<std::uint64_t>(parent[v]);
+        bool is_edge = false;
+        for (std::uint32_t j = 0; j < rig.graph.degree(p); ++j)
+            is_edge |= (rig.graph.neighbor(p, j) == v);
+        EXPECT_TRUE(is_edge) << "bad parent for vertex " << v;
+    }
+    // A 2000-vertex graph with average degree 16 is connected w.h.p.
+    EXPECT_GT(reached, rig.graph.numVertices() * 9 / 10);
+    EXPECT_FALSE(rig.sink.trace().empty());
+}
+
+TEST(ExecPr, ScoresSumToOne)
+{
+    ExecRig rig(smallSpec());
+    auto ctx = rig.ctx();
+    auto scores = execPr(ctx, 5);
+    double sum = std::accumulate(scores.begin(), scores.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 0.05);
+    for (double s : scores)
+        EXPECT_GE(s, 0.0);
+}
+
+TEST(ExecCc, LabelsMatchUnionFind)
+{
+    // A deliberately sparse graph so multiple components exist.
+    GraphSpec spec = smallSpec(GraphKind::Urand, 400);
+    ExecRig rig(spec);
+    auto ctx = rig.ctx();
+    auto labels = execCc(ctx);
+
+    UnionFind reference(spec.numVertices);
+    for (std::uint64_t v = 0; v < spec.numVertices; ++v)
+        for (std::uint32_t j = 0; j < rig.graph.degree(v); ++j)
+            reference.unite(v, rig.graph.neighbor(v, j));
+
+    // Same-component iff same-label.
+    for (std::uint64_t v = 0; v < spec.numVertices; v += 7) {
+        for (std::uint64_t u = v + 1; u < spec.numVertices; u += 13) {
+            bool same_ref = reference.find(u) == reference.find(v);
+            bool same_label = labels[u] == labels[v];
+            EXPECT_EQ(same_ref, same_label)
+                << "vertices " << u << ", " << v;
+        }
+    }
+}
+
+TEST(ExecTc, MatchesBruteForceOnTinyGraph)
+{
+    GraphSpec spec = smallSpec(GraphKind::Urand, 120);
+    ExecRig rig(spec);
+    auto ctx = rig.ctx();
+    std::uint64_t counted = execTc(ctx);
+
+    // Brute force on the symmetrized, deduplicated adjacency.
+    std::uint64_t n = spec.numVertices;
+    std::vector<std::set<std::uint32_t>> adj(n);
+    for (std::uint64_t v = 0; v < n; ++v) {
+        for (std::uint32_t j = 0; j < rig.graph.degree(v); ++j) {
+            std::uint32_t u = rig.graph.neighbor(v, j);
+            if (u > v)
+                adj[v].insert(u);
+        }
+    }
+    std::uint64_t expected = 0;
+    for (std::uint64_t a = 0; a < n; ++a) {
+        for (std::uint32_t b : adj[a]) {
+            for (std::uint32_t c : adj[b]) {
+                expected += adj[a].count(c);
+            }
+        }
+    }
+    EXPECT_EQ(counted, expected);
+}
+
+TEST(ExecBc, DeltasAreNonNegativeAndSourceful)
+{
+    ExecRig rig(smallSpec(GraphKind::Urand, 1000));
+    auto ctx = rig.ctx();
+    auto deltas = execBc(ctx, 0);
+    double total = 0;
+    for (double d : deltas) {
+        EXPECT_GE(d, 0.0);
+        total += d;
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(ExecTrace, AddressesRespectTheLayout)
+{
+    ExecRig rig(smallSpec(GraphKind::Kron, 1500));
+    auto ctx = rig.ctx();
+    execPr(ctx, 2);
+    ASSERT_FALSE(rig.sink.trace().empty());
+    for (const Ref &ref : rig.sink.trace()) {
+        bool in_offsets = ref.vaddr >= rig.layout.offsets &&
+                          ref.vaddr < rig.layout.offsets +
+                                          (rig.graph.numVertices() + 1) * 8;
+        bool in_neighbors =
+            ref.vaddr >= rig.layout.neighbors &&
+            ref.vaddr < rig.layout.neighbors + rig.layout.neighborsBytes;
+        bool in_props = ref.vaddr >= rig.layout.props &&
+                        ref.vaddr < rig.layout.props + rig.layout.propsBytes;
+        ASSERT_TRUE(in_offsets || in_neighbors || in_props)
+            << std::hex << ref.vaddr;
+    }
+}
+
+TEST(ExecWorkload, InstantiateProducesReplayableTrace)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(16ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+
+    GraphWorkload workload(GraphKernel::Bfs, GraphKind::Urand);
+    WorkloadConfig config;
+    config.footprintBytes = 8ull << 20;
+    config.mode = WorkloadMode::Exec;
+    auto stream = workload.instantiate(space, config);
+
+    Ref ref;
+    for (int i = 0; i < 20'000; ++i) {
+        ASSERT_TRUE(stream->next(ref));
+        ASSERT_NE(space.findVma(ref.vaddr), nullptr);
+    }
+}
+
+TEST(ExecWorkload, OversizedExecFootprintIsFatal)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(16ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    GraphWorkload workload(GraphKernel::Pr, GraphKind::Urand);
+    WorkloadConfig config;
+    config.footprintBytes = 1ull << 40;
+    config.mode = WorkloadMode::Exec;
+    EXPECT_DEATH(workload.instantiate(space, config), "exec-mode");
+}
+
+TEST(TraceReplay, WrapsAround)
+{
+    std::vector<Ref> trace{{0x1000, 1, false}, {0x2000, 2, true}};
+    TraceReplaySource replay(trace);
+    Ref ref;
+    replay.next(ref);
+    EXPECT_EQ(ref.vaddr, 0x1000u);
+    replay.next(ref);
+    EXPECT_EQ(ref.vaddr, 0x2000u);
+    EXPECT_TRUE(ref.isStore);
+    replay.next(ref);
+    EXPECT_EQ(ref.vaddr, 0x1000u); // wrapped
+}
+
+TEST(TraceSink, CapsRecordedRefs)
+{
+    TraceSink sink(10);
+    for (int i = 0; i < 100; ++i)
+        sink.load(0x1000 + i * 8);
+    EXPECT_EQ(sink.trace().size(), 10u);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the hashed (inverted) page table alternative.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/hashed_page_table.hh"
+
+using namespace atscale;
+
+class HashedPtTest : public ::testing::Test
+{
+  protected:
+    PhysicalMemory mem;
+    FrameAllocator alloc{4ull << 30};
+};
+
+TEST_F(HashedPtTest, MapLookupRoundTrip)
+{
+    HashedPageTable table(mem, alloc, 1024);
+    table.map(0x12345000, 0xabc000);
+    PhysAddr frame = 0;
+    ASSERT_TRUE(table.lookup(0x12345000, frame));
+    EXPECT_EQ(frame, 0xabc000u);
+    ASSERT_TRUE(table.lookup(0x12345fff, frame)) << "same page";
+    EXPECT_FALSE(table.lookup(0x12346000, frame)) << "next page";
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST_F(HashedPtTest, Vpn0IsMappable)
+{
+    HashedPageTable table(mem, alloc, 64);
+    table.map(0x0, 0x7000);
+    PhysAddr frame = 0;
+    ASSERT_TRUE(table.lookup(0x123, frame));
+    EXPECT_EQ(frame, 0x7000u);
+}
+
+TEST_F(HashedPtTest, ManyMappingsSurviveCollisions)
+{
+    HashedPageTable table(mem, alloc, 4096);
+    for (std::uint64_t p = 0; p < 4000; ++p)
+        table.map(p << pageShift4K, (p + 100) << pageShift4K);
+    for (std::uint64_t p = 0; p < 4000; ++p) {
+        PhysAddr frame = 0;
+        ASSERT_TRUE(table.lookup(p << pageShift4K, frame)) << p;
+        EXPECT_EQ(frame, (p + 100) << pageShift4K);
+    }
+    EXPECT_EQ(table.size(), 4000u);
+}
+
+TEST_F(HashedPtTest, WalkFindsEntriesInOneOrFewAccesses)
+{
+    HashedPageTable table(mem, alloc, 4096);
+    CacheHierarchy hierarchy;
+    for (std::uint64_t p = 0; p < 2048; ++p)
+        table.map(p << pageShift4K, p << pageShift4K);
+
+    double total_accesses = 0;
+    for (std::uint64_t p = 0; p < 2048; ++p) {
+        HashedWalkResult r = table.walk(p << pageShift4K, hierarchy);
+        ASSERT_TRUE(r.found);
+        EXPECT_EQ(r.frame, p << pageShift4K);
+        EXPECT_GE(r.accesses, 1u);
+        total_accesses += static_cast<double>(r.accesses);
+    }
+    // At ~0.33 load factor the vast majority of walks are single-line.
+    EXPECT_LT(total_accesses / 2048, 1.2);
+}
+
+TEST_F(HashedPtTest, WalkOfUnmappedTerminates)
+{
+    HashedPageTable table(mem, alloc, 256);
+    CacheHierarchy hierarchy;
+    HashedWalkResult r = table.walk(0x99999000, hierarchy);
+    EXPECT_FALSE(r.found);
+    EXPECT_GE(r.accesses, 1u);
+}
+
+TEST_F(HashedPtTest, DoubleMapPanics)
+{
+    HashedPageTable table(mem, alloc, 64);
+    table.map(0x1000, 0x2000);
+    EXPECT_DEATH(table.map(0x1000, 0x3000), "double map");
+}
+
+TEST_F(HashedPtTest, FullTableIsFatal)
+{
+    HashedPageTable table(mem, alloc, 4);
+    // Capacity rounds up; fill beyond any slack.
+    EXPECT_DEATH(
+        {
+            for (std::uint64_t p = 0; p < 1000; ++p)
+                table.map(p << pageShift4K, p << pageShift4K);
+        },
+        "full");
+}
+
+TEST_F(HashedPtTest, WalkLengthIsFootprintIndependent)
+{
+    // The headline property vs the radix tree: walks stay ~1 access no
+    // matter how many translations the table holds.
+    CacheHierarchy hierarchy;
+    double avg_small, avg_large;
+    {
+        HashedPageTable table(mem, alloc, 1 << 12);
+        for (std::uint64_t p = 0; p < (1 << 11); ++p)
+            table.map(p << pageShift4K, p << pageShift4K);
+        Count acc = 0;
+        for (std::uint64_t p = 0; p < (1 << 11); ++p)
+            acc += table.walk(p << pageShift4K, hierarchy).accesses;
+        avg_small = static_cast<double>(acc) / (1 << 11);
+    }
+    {
+        HashedPageTable table(mem, alloc, 1 << 18);
+        for (std::uint64_t p = 0; p < (1 << 17); ++p)
+            table.map(p << pageShift4K, p << pageShift4K);
+        Count acc = 0;
+        for (std::uint64_t p = 0; p < (1 << 17); ++p)
+            acc += table.walk(p << pageShift4K, hierarchy).accesses;
+        avg_large = static_cast<double>(acc) / (1 << 17);
+    }
+    EXPECT_NEAR(avg_small, avg_large, 0.1);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the shared cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+using namespace atscale;
+
+TEST(Hierarchy, ColdAccessGoesToMemoryThenWarmsEveryLevel)
+{
+    CacheHierarchy h;
+    MemAccessResult cold = h.access(0x100000, AccessKind::Data);
+    EXPECT_EQ(cold.level, MemLevel::Memory);
+    EXPECT_GT(cold.latency, h.params().l3Latency);
+
+    MemAccessResult warm = h.access(0x100000, AccessKind::Data);
+    EXPECT_EQ(warm.level, MemLevel::L1);
+    EXPECT_EQ(warm.latency, h.params().l1Latency);
+}
+
+TEST(Hierarchy, SameLineDifferentWordHits)
+{
+    CacheHierarchy h;
+    h.access(0x100000, AccessKind::Data);
+    MemAccessResult r = h.access(0x100038, AccessKind::Data);
+    EXPECT_EQ(r.level, MemLevel::L1);
+}
+
+TEST(Hierarchy, L1EvictionFallsBackToL2)
+{
+    CacheHierarchy h;
+    // Fill one L1 set (64 sets, 8 ways; stride = 64 sets * 64 B).
+    const std::uint64_t set_stride = 64 * 64;
+    h.access(0x0, AccessKind::Data);
+    for (int i = 1; i <= 8; ++i)
+        h.access(i * set_stride, AccessKind::Data);
+    // 0x0 has been evicted from L1 but not from the (bigger) L2.
+    MemAccessResult r = h.access(0x0, AccessKind::Data);
+    EXPECT_EQ(r.level, MemLevel::L2);
+    EXPECT_EQ(r.latency, h.params().l2Latency);
+}
+
+TEST(Hierarchy, KindsAreAttributedSeparately)
+{
+    CacheHierarchy h;
+    h.access(0x1000, AccessKind::Data);
+    h.access(0x2000, AccessKind::PtwLoad);
+    h.access(0x2000, AccessKind::PtwLoad);
+    EXPECT_EQ(h.kindCount(AccessKind::Data), 1u);
+    EXPECT_EQ(h.kindCount(AccessKind::PtwLoad), 2u);
+    EXPECT_EQ(h.levelCount(AccessKind::PtwLoad, MemLevel::Memory), 1u);
+    EXPECT_EQ(h.levelCount(AccessKind::PtwLoad, MemLevel::L1), 1u);
+}
+
+TEST(Hierarchy, DataAndPtwShareTheArrays)
+{
+    CacheHierarchy h;
+    h.access(0x5000, AccessKind::PtwLoad);
+    // A data access to the same line hits what the walker brought in.
+    MemAccessResult r = h.access(0x5000, AccessKind::Data);
+    EXPECT_EQ(r.level, MemLevel::L1);
+}
+
+TEST(Hierarchy, ResetStatsKeepsContents)
+{
+    CacheHierarchy h;
+    h.access(0x1000, AccessKind::Data);
+    h.resetStats();
+    EXPECT_EQ(h.kindCount(AccessKind::Data), 0u);
+    EXPECT_EQ(h.access(0x1000, AccessKind::Data).level, MemLevel::L1);
+}
+
+TEST(Hierarchy, FlushDropsContents)
+{
+    CacheHierarchy h;
+    h.access(0x1000, AccessKind::Data);
+    h.flush();
+    EXPECT_EQ(h.access(0x1000, AccessKind::Data).level, MemLevel::Memory);
+}
+
+TEST(Hierarchy, LatenciesAreMonotoneAcrossLevels)
+{
+    HierarchyParams p;
+    EXPECT_LT(p.l1Latency, p.l2Latency);
+    EXPECT_LT(p.l2Latency, p.l3Latency);
+    CacheHierarchy h(p);
+    MemAccessResult mem = h.access(0x42000, AccessKind::Data);
+    EXPECT_GT(mem.latency, p.l3Latency);
+}
+
+TEST(Hierarchy, DefaultGeometryMatchesTableIII)
+{
+    HierarchyParams p;
+    // 32 KiB L1D, 256 KiB L2, 30 MiB L3 at 64 B lines.
+    EXPECT_EQ(p.l1.sets * p.l1.ways * p.lineBytes, 32u << 10);
+    EXPECT_EQ(p.l2.sets * p.l2.ways * p.lineBytes, 256u << 10);
+    EXPECT_EQ(static_cast<std::uint64_t>(p.l3.sets) * p.l3.ways * p.lineBytes,
+              30ull << 20);
+}
+
+TEST(Hierarchy, MemLevelNames)
+{
+    EXPECT_STREQ(memLevelName(MemLevel::L1), "L1");
+    EXPECT_STREQ(memLevelName(MemLevel::Memory), "Memory");
+}

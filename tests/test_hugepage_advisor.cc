@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the WCPI-guided hugepage advisor (the paper's proposed
+ * application), on synthetic counter streams and on a live simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hugepage_advisor.hh"
+#include "core/platform.hh"
+#include "perf/derived.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Feed the advisor a window with a chosen WCPI. */
+void
+feedWindow(HugepageAdvisor &advisor, CounterSet &cumulative, double wcpi)
+{
+    Count instr = advisor.params().windowInstructions;
+    cumulative.add(EventId::InstRetired, instr);
+    cumulative.add(EventId::DtlbLoadMissesWalkDuration,
+                   static_cast<Count>(wcpi * static_cast<double>(instr)));
+    advisor.observe(cumulative);
+}
+
+} // namespace
+
+TEST(HugepageAdvisor, StartsAt4K)
+{
+    HugepageAdvisor advisor;
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Keep4K);
+    EXPECT_EQ(advisor.windowCount(), 0u);
+}
+
+TEST(HugepageAdvisor, PromotesAfterSustainedPressure)
+{
+    AdvisorParams params;
+    params.promoteWcpi = 0.05;
+    params.promoteWindows = 3;
+    HugepageAdvisor advisor(params);
+    CounterSet c;
+
+    feedWindow(advisor, c, 0.2);
+    feedWindow(advisor, c, 0.2);
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Keep4K) << "needs 3 windows";
+    feedWindow(advisor, c, 0.2);
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Promote2M);
+    EXPECT_EQ(advisor.windowCount(), 3u);
+}
+
+TEST(HugepageAdvisor, BriefSpikesDoNotPromote)
+{
+    HugepageAdvisor advisor;
+    CounterSet c;
+    for (int i = 0; i < 10; ++i) {
+        feedWindow(advisor, c, 0.2);   // hot
+        feedWindow(advisor, c, 0.02);  // neutral resets the streak
+    }
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Keep4K);
+}
+
+TEST(HugepageAdvisor, DemotesWithHysteresis)
+{
+    AdvisorParams params;
+    params.promoteWindows = 2;
+    params.demoteWindows = 4;
+    HugepageAdvisor advisor(params);
+    CounterSet c;
+    feedWindow(advisor, c, 0.3);
+    feedWindow(advisor, c, 0.3);
+    ASSERT_EQ(advisor.advice(), HugepageAdvice::Promote2M);
+
+    for (int i = 0; i < 3; ++i)
+        feedWindow(advisor, c, 0.0);
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Promote2M)
+        << "demotion needs 4 cold windows";
+    feedWindow(advisor, c, 0.0);
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Keep4K);
+}
+
+TEST(HugepageAdvisor, PartialWindowsAreBuffered)
+{
+    HugepageAdvisor advisor;
+    CounterSet c;
+    c.add(EventId::InstRetired, advisor.params().windowInstructions / 2);
+    advisor.observe(c);
+    EXPECT_EQ(advisor.windowCount(), 0u);
+    c.add(EventId::InstRetired, advisor.params().windowInstructions / 2);
+    advisor.observe(c);
+    EXPECT_EQ(advisor.windowCount(), 1u);
+}
+
+TEST(HugepageAdvisor, LiveRunPromotesAnAtIntensiveWorkload)
+{
+    // bfs-urand at 8 GiB with 4K pages has WCPI well above threshold.
+    auto workload = createWorkload("bfs-urand");
+    Platform platform(PlatformParams{}, PageSize::Size4K,
+                      workload->traits(), 3);
+    WorkloadConfig config;
+    config.footprintBytes = 8ull << 30;
+    auto stream = workload->instantiate(platform.space, config);
+
+    HugepageAdvisor advisor;
+    for (int slice = 0; slice < 20; ++slice) {
+        platform.core.run(*stream, 60'000);
+        if (advisor.observe(platform.core.counters()) ==
+            HugepageAdvice::Promote2M) {
+            break;
+        }
+    }
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Promote2M);
+}
+
+TEST(HugepageAdvisor, LiveRunKeepsLowPressureWorkloadAt4K)
+{
+    // A 2M-backed run has almost no walk cycles: the advisor, observing
+    // it, must not promote further.
+    auto workload = createWorkload("pr-urand");
+    Platform platform(PlatformParams{}, PageSize::Size2M,
+                      workload->traits(), 3);
+    WorkloadConfig config;
+    config.footprintBytes = 1ull << 30;
+    auto stream = workload->instantiate(platform.space, config);
+
+    HugepageAdvisor advisor;
+    for (int slice = 0; slice < 12; ++slice) {
+        platform.core.run(*stream, 60'000);
+        advisor.observe(platform.core.counters());
+    }
+    EXPECT_EQ(advisor.advice(), HugepageAdvice::Keep4K);
+}

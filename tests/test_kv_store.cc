@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Correctness tests for the exec-mode key-value store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/kv/kv_store.hh"
+#include "workloads/kv/memcached_workload.hh"
+#include "workloads/trace.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+struct StoreRig
+{
+    explicit StoreRig(std::uint64_t capacity = 64, std::uint64_t buckets = 16)
+        : store({capacity, 128, buckets}, sink, 1ull << 30, 2ull << 30)
+    {
+    }
+
+    TraceSink sink;
+    KvStore store;
+};
+
+} // namespace
+
+TEST(KvStore, GetMissesOnEmpty)
+{
+    StoreRig rig;
+    EXPECT_FALSE(rig.store.get(42));
+    EXPECT_EQ(rig.store.misses(), 1u);
+    EXPECT_EQ(rig.store.hits(), 0u);
+}
+
+TEST(KvStore, SetThenGetHits)
+{
+    StoreRig rig;
+    rig.store.set(42);
+    EXPECT_TRUE(rig.store.get(42));
+    EXPECT_EQ(rig.store.hits(), 1u);
+    EXPECT_EQ(rig.store.size(), 1u);
+}
+
+TEST(KvStore, OverwriteDoesNotGrow)
+{
+    StoreRig rig;
+    rig.store.set(7);
+    rig.store.set(7);
+    EXPECT_EQ(rig.store.size(), 1u);
+    EXPECT_TRUE(rig.store.get(7));
+}
+
+TEST(KvStore, ChainsHandleBucketCollisions)
+{
+    // 1 bucket: every key chains.
+    StoreRig rig(16, 1);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        rig.store.set(k);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        EXPECT_TRUE(rig.store.get(k)) << k;
+    EXPECT_FALSE(rig.store.get(999));
+}
+
+TEST(KvStore, EvictionKeepsCapacityBound)
+{
+    StoreRig rig(32, 8);
+    for (std::uint64_t k = 0; k < 200; ++k)
+        rig.store.set(k);
+    EXPECT_LE(rig.store.size(), 32u);
+    // Recently inserted keys should still be resident.
+    Count recent_hits = 0;
+    for (std::uint64_t k = 190; k < 200; ++k)
+        recent_hits += rig.store.get(k);
+    EXPECT_GT(recent_hits, 5u);
+    // Ancient keys must be gone (store holds at most 32).
+    Count ancient_hits = 0;
+    for (std::uint64_t k = 0; k < 10; ++k)
+        ancient_hits += rig.store.get(k);
+    EXPECT_EQ(ancient_hits, 0u);
+}
+
+TEST(KvStore, EvictedKeysAreUnlinkedFromChains)
+{
+    // Tiny store with a single bucket: eviction must repair the chain.
+    StoreRig rig(4, 1);
+    for (std::uint64_t k = 0; k < 12; ++k)
+        rig.store.set(k);
+    // Every surviving key must still be reachable (chain not corrupted).
+    Count live = 0;
+    for (std::uint64_t k = 0; k < 12; ++k)
+        live += rig.store.get(k);
+    EXPECT_LE(live, 4u);
+    EXPECT_GT(live, 0u);
+}
+
+TEST(KvStore, TraceRecordsBucketAndItemAccesses)
+{
+    StoreRig rig;
+    rig.store.set(1);
+    rig.store.get(1);
+    bool touched_bucket = false, touched_item = false;
+    for (const Ref &ref : rig.sink.trace()) {
+        touched_bucket |= ref.vaddr >= (1ull << 30) &&
+                          ref.vaddr < (1ull << 30) + (16 * 8);
+        touched_item |= ref.vaddr >= (2ull << 30);
+    }
+    EXPECT_TRUE(touched_bucket);
+    EXPECT_TRUE(touched_item);
+}
+
+TEST(MemcachedExec, UniformDriverHitRateTracksKeyspace)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(16ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+
+    MemcachedWorkload workload;
+    WorkloadConfig config;
+    config.footprintBytes = 4ull << 20;
+    config.mode = WorkloadMode::Exec;
+    auto stream = workload.instantiate(space, config);
+    Ref ref;
+    for (int i = 0; i < 10'000; ++i) {
+        ASSERT_TRUE(stream->next(ref));
+        ASSERT_NE(space.findVma(ref.vaddr), nullptr);
+    }
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property tests for the temporal-locality layer that drives the
+ * paper-shaped scaling behaviour of the model-mode workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "workloads/locality.hh"
+
+using namespace atscale;
+
+TEST(ReuseDistance, StaysInRange)
+{
+    Rng rng(1);
+    for (std::uint64_t n : {1ull, 2ull, 100ull, 1ull << 30}) {
+        for (int i = 0; i < 1000; ++i) {
+            std::uint64_t r = reuseDistance(rng, n, 1.0);
+            EXPECT_GE(r, 1u);
+            EXPECT_LE(r, n);
+        }
+    }
+}
+
+TEST(ReuseDistance, LogUniformTailMass)
+{
+    // For s = 1 the distance is log-uniform: P(r > sqrt(n)) ~ 0.5.
+    Rng rng(2);
+    const std::uint64_t n = 1ull << 30;
+    const std::uint64_t root = 1ull << 15;
+    int beyond = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        beyond += (reuseDistance(rng, n, 1.0) > root);
+    EXPECT_NEAR(static_cast<double>(beyond) / draws, 0.5, 0.02);
+}
+
+TEST(ReuseDistance, HigherExponentIsMoreLocal)
+{
+    Rng rng(3);
+    const std::uint64_t n = 1ull << 24;
+    const std::uint64_t cut = 1 << 12;
+    auto tail_fraction = [&](double s) {
+        int beyond = 0;
+        for (int i = 0; i < 20000; ++i)
+            beyond += (reuseDistance(rng, n, s) > cut);
+        return static_cast<double>(beyond) / 20000;
+    };
+    double flat = tail_fraction(0.8);
+    double mid = tail_fraction(1.0);
+    double local = tail_fraction(1.3);
+    EXPECT_GT(flat, mid);
+    EXPECT_GT(mid, local);
+}
+
+TEST(DrawLocal, RespectsComponentWindows)
+{
+    // Hot-only profile: every draw within hotSize of the cursor.
+    Rng rng(4);
+    LocalityProfile hot_only{1.0, 0.0, 0.75, 1.0, 1000};
+    const std::uint64_t n = 1ull << 20;
+    const std::uint64_t cursor = 500'000;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t t = drawLocal(rng, cursor, n, hot_only);
+        std::uint64_t dist = (cursor + n - t) % n;
+        EXPECT_GE(dist, 1u);
+        EXPECT_LE(dist, 1000u);
+    }
+}
+
+TEST(DrawLocal, WorkingSetWindowScalesSublinearly)
+{
+    Rng rng(5);
+    LocalityProfile ws_only{0.0, 1.0, 0.75, 1.0, 100};
+    const std::uint64_t n = 1ull << 24;
+    auto window = static_cast<std::uint64_t>(
+        std::pow(static_cast<double>(n), 0.75));
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t t = drawLocal(rng, 0, n, ws_only);
+        std::uint64_t dist = (0 + n - t) % n;
+        EXPECT_LE(dist, window);
+    }
+}
+
+TEST(DrawLocal, HandlesDegenerateSizes)
+{
+    Rng rng(6);
+    EXPECT_EQ(drawLocal(rng, 0, 0, {}), 0u);
+    EXPECT_EQ(drawLocal(rng, 0, 1, {}), 0u);
+    // n smaller than hotSize: still in range.
+    LocalityProfile p{1.0, 0.0, 0.75, 1.0, 1 << 20};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(drawLocal(rng, 3, 10, p), 10u);
+}
+
+TEST(DrawLocal, TailReachesTheWholeRange)
+{
+    Rng rng(7);
+    LocalityProfile tail_only{0.0, 0.0, 0.75, 1.0, 100};
+    const std::uint64_t n = 1 << 20;
+    std::uint64_t max_dist = 0;
+    for (int i = 0; i < 50000; ++i) {
+        std::uint64_t t = drawLocal(rng, 0, n, tail_only);
+        max_dist = std::max(max_dist, (n - t) % n);
+    }
+    EXPECT_GT(max_dist, n / 2);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the MMU facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/mmu.hh"
+
+using namespace atscale;
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest()
+        : alloc(1ull << 34), space(mem, alloc, PageSize::Size4K),
+          mmu(space, mem, hierarchy)
+    {
+        base = space.mapRegion("data", 64ull << 20);
+    }
+
+    PhysicalMemory mem;
+    FrameAllocator alloc;
+    CacheHierarchy hierarchy;
+    AddressSpace space;
+    Mmu mmu;
+    Addr base;
+};
+
+TEST_F(MmuTest, MissWalksThenInstalls)
+{
+    MmuResult first = mmu.translate(base);
+    EXPECT_EQ(first.tlbLevel, TlbLevel::Miss);
+    EXPECT_TRUE(first.walk.completed);
+    EXPECT_FALSE(first.walk.faulted);
+    EXPECT_EQ(first.pageSize, PageSize::Size4K);
+
+    MmuResult second = mmu.translate(base + 0x800);
+    EXPECT_EQ(second.tlbLevel, TlbLevel::L1);
+}
+
+TEST_F(MmuTest, DemandPagingHappensOnCorrectPathOnly)
+{
+    // Correct path: the page gets populated.
+    mmu.translate(base + pageSize4K);
+    EXPECT_TRUE(space.translate(base + pageSize4K).valid);
+
+    // Speculative path to an untouched page: walk faults, no population,
+    // no TLB install.
+    Addr fresh = base + 10 * pageSize4K;
+    MmuResult spec = mmu.translate(fresh, /*speculative=*/true);
+    EXPECT_EQ(spec.tlbLevel, TlbLevel::Miss);
+    EXPECT_TRUE(spec.walk.faulted);
+    EXPECT_FALSE(space.translate(fresh).valid);
+    EXPECT_EQ(mmu.translate(fresh, true).tlbLevel, TlbLevel::Miss);
+}
+
+TEST_F(MmuTest, SpeculativeToUnmappedRegionIsHarmless)
+{
+    MmuResult r = mmu.translate(0x10, /*speculative=*/true);
+    EXPECT_EQ(r.tlbLevel, TlbLevel::Miss);
+    EXPECT_TRUE(r.walk.completed);
+    EXPECT_TRUE(r.walk.faulted);
+}
+
+TEST_F(MmuTest, AbortedWalkDoesNotInstall)
+{
+    MmuResult aborted = mmu.translate(base, false, /*walkBudget=*/1);
+    EXPECT_FALSE(aborted.walk.completed);
+    // Not installed: the next lookup misses again.
+    MmuResult retry = mmu.translate(base);
+    EXPECT_EQ(retry.tlbLevel, TlbLevel::Miss);
+}
+
+TEST_F(MmuTest, WalkLoadsGoThroughSharedHierarchy)
+{
+    Count before = hierarchy.kindCount(AccessKind::PtwLoad);
+    mmu.translate(base);
+    EXPECT_GT(hierarchy.kindCount(AccessKind::PtwLoad), before);
+}
+
+TEST_F(MmuTest, SpeculativeCompletedWalkInstalls)
+{
+    // Populate via a correct-path touch first, flush the TLB, then a
+    // speculative access to the same page: the walk completes and may
+    // install (as real hardware does).
+    mmu.translate(base);
+    mmu.tlb().flush();
+    MmuResult spec = mmu.translate(base, true);
+    EXPECT_EQ(spec.tlbLevel, TlbLevel::Miss);
+    EXPECT_TRUE(spec.walk.completed);
+    EXPECT_FALSE(spec.walk.faulted);
+    EXPECT_EQ(mmu.translate(base).tlbLevel, TlbLevel::L1);
+}
+
+TEST_F(MmuTest, ResetStatsClearsEverything)
+{
+    mmu.translate(base);
+    mmu.resetStats();
+    EXPECT_EQ(mmu.tlb().lookups(), 0u);
+    EXPECT_EQ(mmu.walker().walksInitiated(), 0u);
+    EXPECT_EQ(mmu.pscs().hits() + mmu.pscs().misses(), 0u);
+}
+
+TEST_F(MmuTest, FlushAllForcesFullWalkAgain)
+{
+    mmu.translate(base);
+    mmu.flushAll();
+    MmuResult r = mmu.translate(base);
+    EXPECT_EQ(r.tlbLevel, TlbLevel::Miss);
+    EXPECT_EQ(r.walk.startLevel, 3);
+}
+
+TEST_F(MmuTest, SuperpageBackingPropagates)
+{
+    PhysicalMemory mem2;
+    FrameAllocator alloc2(1ull << 34);
+    AddressSpace space2(mem2, alloc2, PageSize::Size2M);
+    CacheHierarchy hierarchy2;
+    Mmu mmu2(space2, mem2, hierarchy2);
+    Addr b = space2.mapRegion("data", 64ull << 20);
+    MmuResult r = mmu2.translate(b + 12345);
+    EXPECT_EQ(r.tlbLevel, TlbLevel::Miss);
+    EXPECT_EQ(r.pageSize, PageSize::Size2M);
+    EXPECT_EQ(r.walk.ptwAccesses, 3u);
+    EXPECT_EQ(mmu2.translate(b + 99999).tlbLevel, TlbLevel::L1);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cross-validation: at footprints small enough to run the real
+ * algorithms, exec mode (real code, traced) and model mode (streaming
+ * statistical twin) must agree on the first-order AT characteristics.
+ * These are deliberately loose envelopes — the model is a statistical
+ * twin, not a replay — but they catch the model drifting into a
+ * different regime entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+RunResult
+runMode(const std::string &workload, WorkloadMode mode)
+{
+    RunConfig config;
+    config.workload = workload;
+    config.footprintBytes = 96ull << 20;
+    config.warmupRefs = 80'000;
+    config.measureRefs = 250'000;
+    config.mode = mode;
+    return runExperiment(config);
+}
+
+} // namespace
+
+class ModelExecCross : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelExecCross, FirstOrderMetricsAgree)
+{
+    RunResult exec_run = runMode(GetParam(), WorkloadMode::Exec);
+    RunResult model_run = runMode(GetParam(), WorkloadMode::Model);
+
+    WcpiTerms exec_terms = wcpiTerms(exec_run.counters);
+    WcpiTerms model_terms = wcpiTerms(model_run.counters);
+
+    // Same regime of AT pressure per access. (A single exec traversal
+    // like BFS visits each vertex once and so misses more than the
+    // steady-state mixture the model represents; the envelope allows
+    // for that.)
+    double exec_miss = std::max(exec_terms.tlbMissesPerAccess, 1e-4);
+    double model_miss = std::max(model_terms.tlbMissesPerAccess, 1e-4);
+    EXPECT_LT(model_miss / exec_miss, 25.0) << GetParam();
+    EXPECT_GT(model_miss / exec_miss, 1.0 / 25.0) << GetParam();
+
+    // Walks stay radix-bounded in both.
+    EXPECT_GE(exec_terms.ptwAccessesPerWalk, 0.9);
+    EXPECT_LE(exec_terms.ptwAccessesPerWalk, 4.1);
+    EXPECT_GE(model_terms.ptwAccessesPerWalk, 0.9);
+    EXPECT_LE(model_terms.ptwAccessesPerWalk, 4.1);
+
+    // CPIs within a workload-scale envelope.
+    EXPECT_LT(model_run.cpi() / exec_run.cpi(), 8.0) << GetParam();
+    EXPECT_GT(model_run.cpi() / exec_run.cpi(), 1.0 / 8.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedModes, ModelExecCross,
+                         ::testing::Values("bfs-urand", "pr-kron",
+                                           "cc-urand", "memcached-uniform",
+                                           "mcf-rand"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });

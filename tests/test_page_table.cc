@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for PTE encoding and the 4-level radix page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "vm/page_table.hh"
+#include "vm/pte.hh"
+
+using namespace atscale;
+
+TEST(Pte, PackUnpackRoundTrip)
+{
+    Pte pte;
+    pte.present = true;
+    pte.accessed = true;
+    pte.dirty = false;
+    pte.pageSize = true;
+    pte.addr = 0x123456789000ull;
+    Pte copy = Pte::unpack(pte.pack());
+    EXPECT_EQ(copy.present, pte.present);
+    EXPECT_EQ(copy.accessed, pte.accessed);
+    EXPECT_EQ(copy.dirty, pte.dirty);
+    EXPECT_EQ(copy.pageSize, pte.pageSize);
+    EXPECT_EQ(copy.addr, pte.addr);
+}
+
+TEST(Pte, ZeroIsNotPresent)
+{
+    EXPECT_FALSE(Pte::unpack(0).present);
+}
+
+TEST(Pte, ArchitecturalBitPositions)
+{
+    Pte pte;
+    pte.present = true;
+    pte.pageSize = true;
+    pte.addr = 0xabc000;
+    std::uint64_t raw = pte.pack();
+    EXPECT_EQ(raw & 1, 1u);            // P is bit 0
+    EXPECT_EQ((raw >> 7) & 1, 1u);     // PS is bit 7
+    EXPECT_EQ((raw >> 12) & 0xabcull, 0xabcull);
+}
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PhysicalMemory mem;
+    FrameAllocator alloc{1ull << 30};
+    PageTable table{mem, alloc};
+};
+
+TEST_F(PageTableTest, UnmappedTranslatesInvalid)
+{
+    EXPECT_FALSE(table.translate(0x1234000).valid);
+}
+
+TEST_F(PageTableTest, Map4KTranslates)
+{
+    table.map(0x7f0000123000ull, 0xabc000, PageSize::Size4K);
+    Translation t = table.translate(0x7f0000123456ull);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.pageSize, PageSize::Size4K);
+    EXPECT_EQ(t.frame, 0xabc000u);
+    EXPECT_EQ(t.pageBase, 0x7f0000123000ull);
+    EXPECT_EQ(t.paddr(0x7f0000123456ull), 0xabc456u);
+    // Sibling page still unmapped.
+    EXPECT_FALSE(table.translate(0x7f0000124000ull).valid);
+}
+
+TEST_F(PageTableTest, MapSuperpages)
+{
+    table.map(0x40000000ull, 0x80000000ull, PageSize::Size1G);
+    table.map(0x80200000ull, 0x10200000ull, PageSize::Size2M);
+
+    Translation gig = table.translate(0x40000000ull + 123456789);
+    ASSERT_TRUE(gig.valid);
+    EXPECT_EQ(gig.pageSize, PageSize::Size1G);
+    EXPECT_EQ(gig.paddr(0x40000000ull + 123456789),
+              0x80000000ull + 123456789);
+
+    Translation two = table.translate(0x80200000ull + 0x12345);
+    ASSERT_TRUE(two.valid);
+    EXPECT_EQ(two.pageSize, PageSize::Size2M);
+    EXPECT_EQ(two.frame, 0x10200000u);
+}
+
+TEST_F(PageTableTest, NodeCountGrowsAsExpected)
+{
+    // Root only at first.
+    EXPECT_EQ(table.nodeCount(), 1u);
+    // One 4K mapping needs PML4 -> PDPT -> PD -> PT: 3 new nodes.
+    table.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_EQ(table.nodeCount(), 4u);
+    // A second mapping in the same PT adds nothing.
+    table.map(0x2000, 0x3000, PageSize::Size4K);
+    EXPECT_EQ(table.nodeCount(), 4u);
+    // A mapping 2 MiB away needs a new PT only.
+    table.map(0x200000, 0x4000, PageSize::Size4K);
+    EXPECT_EQ(table.nodeCount(), 5u);
+    // A 1G mapping in a fresh PML4 slot needs nothing below the PDPT.
+    table.map(1ull << 39, 1ull << 30, PageSize::Size1G);
+    EXPECT_EQ(table.nodeCount(), 6u);
+    EXPECT_EQ(table.nodeBytes(), 6 * pageSize4K);
+}
+
+TEST_F(PageTableTest, EntryAddrWalksTheRadixTree)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    // The PML4 entry lives in the root frame at the PML4 index.
+    PhysAddr pml4e = table.entryAddr(va, 3);
+    EXPECT_EQ(pml4e, table.root() + ptIndex(va, 3) * pteBytes);
+    // Each level's entry must be present and point to the next node.
+    for (int level = 3; level > 0; --level) {
+        PhysAddr entry = table.entryAddr(va, level);
+        ASSERT_NE(entry, 0u);
+        Pte pte = Pte::unpack(mem.read64(entry));
+        EXPECT_TRUE(pte.present);
+    }
+    // Leaf PTE holds the frame.
+    Pte leaf = Pte::unpack(mem.read64(table.entryAddr(va, 0)));
+    EXPECT_TRUE(leaf.present);
+    EXPECT_EQ(leaf.addr, 0xabc000u);
+    // entryAddr below a missing path returns 0.
+    EXPECT_EQ(table.entryAddr(0x5000000000ull, 0), 0u);
+}
+
+using PageTableDeathTest = PageTableTest;
+
+TEST_F(PageTableDeathTest, DoubleMapPanics)
+{
+    table.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_DEATH(table.map(0x1000, 0x9000, PageSize::Size4K), "double map");
+}
+
+TEST_F(PageTableDeathTest, MisalignedMapPanics)
+{
+    EXPECT_DEATH(table.map(0x1234, 0x2000, PageSize::Size4K), "unaligned");
+    EXPECT_DEATH(table.map(0x200000, 0x1000, PageSize::Size2M), "unaligned");
+}
+
+TEST_F(PageTableDeathTest, SuperpageOverIntermediatePanics)
+{
+    // 4K mapping creates a PD/PT under the 1G-aligned region...
+    table.map(0x40000000ull, 0x1000, PageSize::Size4K);
+    // ...so a 1G leaf over the same region must conflict.
+    EXPECT_DEATH(table.map(0x40000000ull, 0x80000000ull, PageSize::Size1G),
+                 "double map|conflict");
+}
+
+/** Property sweep: map/translate round-trips at every page size. */
+class PageSizeRoundTrip : public ::testing::TestWithParam<PageSize>
+{
+};
+
+TEST_P(PageSizeRoundTrip, MapTranslateRoundTrip)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(1ull << 38);
+    PageTable table(mem, alloc);
+    PageSize size = GetParam();
+    std::uint64_t page = pageBytes(size);
+
+    for (int i = 0; i < 8; ++i) {
+        Addr va = (1ull << 40) + static_cast<Addr>(i) * 3 * page;
+        PhysAddr frame = alloc.allocate(page);
+        table.map(va, frame, size);
+        Translation t = table.translate(va + page / 2);
+        ASSERT_TRUE(t.valid);
+        EXPECT_EQ(t.pageSize, size);
+        EXPECT_EQ(t.paddr(va + page / 2), frame + page / 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PageSizeRoundTrip,
+                         ::testing::Values(PageSize::Size4K, PageSize::Size2M,
+                                           PageSize::Size1G));

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the perf event registry, counter sets, and the paper's
+ * derived-metric arithmetic (Table VI, Equation 1, Table V proxies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/counter_set.hh"
+#include "perf/derived.hh"
+#include "perf/event.hh"
+
+using namespace atscale;
+
+TEST(Events, NamesRoundTrip)
+{
+    for (int i = 0; i < numEvents; ++i) {
+        auto id = static_cast<EventId>(i);
+        auto back = eventFromName(eventName(id));
+        ASSERT_TRUE(back.has_value()) << eventName(id);
+        EXPECT_EQ(*back, id);
+    }
+}
+
+TEST(Events, UnknownNameIsNullopt)
+{
+    EXPECT_FALSE(eventFromName("not.an.event").has_value());
+}
+
+TEST(Events, HaswellNames)
+{
+    EXPECT_STREQ(eventName(EventId::DtlbLoadMissesMissCausesAWalk),
+                 "dtlb_load_misses.miss_causes_a_walk");
+    EXPECT_STREQ(eventName(EventId::PageWalkerLoadsDtlbL3),
+                 "page_walker_loads.dtlb_l3");
+    EXPECT_STREQ(eventName(EventId::MemUopsRetiredStlbMissStores),
+                 "mem_uops_retired.stlb_miss_stores");
+}
+
+TEST(CounterSet, AddGetResetSince)
+{
+    CounterSet c;
+    c.add(EventId::InstRetired, 100);
+    c.add(EventId::InstRetired);
+    EXPECT_EQ(c.get(EventId::InstRetired), 101u);
+
+    CounterSet snapshot = c;
+    c.add(EventId::InstRetired, 9);
+    EXPECT_EQ(c.since(snapshot).get(EventId::InstRetired), 9u);
+
+    CounterSet sum;
+    sum += c;
+    sum += c;
+    EXPECT_EQ(sum.get(EventId::InstRetired), 220u);
+
+    c.reset();
+    EXPECT_EQ(c.get(EventId::InstRetired), 0u);
+}
+
+namespace
+{
+
+/** A synthetic counter bank with known, self-consistent values. */
+CounterSet
+syntheticCounters()
+{
+    CounterSet c;
+    c.add(EventId::CpuClkUnhalted, 1'000'000);
+    c.add(EventId::InstRetired, 500'000);
+    c.add(EventId::MemUopsRetiredAllLoads, 150'000);
+    c.add(EventId::MemUopsRetiredAllStores, 50'000);
+    c.add(EventId::DtlbLoadMissesMissCausesAWalk, 8'000);
+    c.add(EventId::DtlbStoreMissesMissCausesAWalk, 2'000);
+    c.add(EventId::DtlbLoadMissesWalkCompleted, 7'000);
+    c.add(EventId::DtlbStoreMissesWalkCompleted, 1'500);
+    c.add(EventId::MemUopsRetiredStlbMissLoads, 6'000);
+    c.add(EventId::MemUopsRetiredStlbMissStores, 1'000);
+    c.add(EventId::DtlbLoadMissesWalkDuration, 320'000);
+    c.add(EventId::DtlbStoreMissesWalkDuration, 80'000);
+    c.add(EventId::PageWalkerLoadsDtlbL1, 6'000);
+    c.add(EventId::PageWalkerLoadsDtlbL2, 4'000);
+    c.add(EventId::PageWalkerLoadsDtlbL3, 3'000);
+    c.add(EventId::PageWalkerLoadsDtlbMemory, 2'000);
+    c.add(EventId::MachineClearsCount, 50);
+    return c;
+}
+
+} // namespace
+
+TEST(Derived, TableVIOutcomes)
+{
+    WalkOutcomes o = walkOutcomes(syntheticCounters());
+    EXPECT_EQ(o.initiated, 10'000u);
+    EXPECT_EQ(o.completed, 8'500u);
+    EXPECT_EQ(o.retired, 7'000u);
+    EXPECT_EQ(o.aborted, 1'500u);
+    EXPECT_EQ(o.wrongPath, 1'500u);
+    EXPECT_DOUBLE_EQ(o.abortedFraction(), 0.15);
+    EXPECT_DOUBLE_EQ(o.wrongPathFraction(), 0.15);
+    EXPECT_DOUBLE_EQ(o.nonRetiredFraction(), 0.30);
+}
+
+TEST(Derived, EquationOneTermsAndProduct)
+{
+    WcpiTerms terms = wcpiTerms(syntheticCounters());
+    EXPECT_DOUBLE_EQ(terms.accessesPerInstr, 200'000.0 / 500'000.0);
+    EXPECT_DOUBLE_EQ(terms.tlbMissesPerAccess, 10'000.0 / 200'000.0);
+    EXPECT_DOUBLE_EQ(terms.ptwAccessesPerWalk, 15'000.0 / 10'000.0);
+    EXPECT_DOUBLE_EQ(terms.walkCyclesPerPtwAccess, 400'000.0 / 15'000.0);
+    // The Equation-1 identity: the product of the four terms IS walk
+    // cycles per instruction.
+    EXPECT_NEAR(terms.wcpi(), 400'000.0 / 500'000.0, 1e-12);
+}
+
+TEST(Derived, ProxyMetrics)
+{
+    ProxyMetrics proxy = proxyMetrics(syntheticCounters());
+    EXPECT_DOUBLE_EQ(proxy.tlbMissesPerKiloAccess, 50.0);
+    EXPECT_DOUBLE_EQ(proxy.tlbMissesPerKiloInstr, 20.0);
+    EXPECT_DOUBLE_EQ(proxy.walkCycleFraction, 0.4);
+    EXPECT_DOUBLE_EQ(proxy.walkCyclesPerAccess, 2.0);
+    EXPECT_DOUBLE_EQ(proxy.walkCyclesPerInstr, 0.8);
+}
+
+TEST(Derived, PteLocationsSumToOne)
+{
+    PteLocations loc = pteLocations(syntheticCounters());
+    EXPECT_NEAR(loc.l1 + loc.l2 + loc.l3 + loc.memory, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(loc.l1, 0.4);
+    EXPECT_DOUBLE_EQ(loc.memory, 2.0 / 15.0);
+}
+
+TEST(Derived, MachineClears)
+{
+    EXPECT_DOUBLE_EQ(machineClearsPerKiloInstr(syntheticCounters()), 0.1);
+}
+
+TEST(Derived, EmptyCountersDoNotDivideByZero)
+{
+    CounterSet empty;
+    WcpiTerms terms = wcpiTerms(empty);
+    EXPECT_DOUBLE_EQ(terms.wcpi(), 0.0);
+    ProxyMetrics proxy = proxyMetrics(empty);
+    EXPECT_DOUBLE_EQ(proxy.walkCycleFraction, 0.0);
+    PteLocations loc = pteLocations(empty);
+    EXPECT_DOUBLE_EQ(loc.l1 + loc.l2 + loc.l3 + loc.memory, 0.0);
+    WalkOutcomes o = walkOutcomes(empty);
+    EXPECT_DOUBLE_EQ(o.nonRetiredFraction(), 0.0);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the sparse simulated physical memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hh"
+
+using namespace atscale;
+
+TEST(PhysMem, UnwrittenReadsAreZero)
+{
+    PhysicalMemory mem;
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+    EXPECT_EQ(mem.read64(0xdeadb000), 0u);
+    EXPECT_EQ(mem.materializedFrames(), 0u);
+}
+
+TEST(PhysMem, WriteThenRead)
+{
+    PhysicalMemory mem;
+    mem.write64(0x2008, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(0x2008), 0x1122334455667788ull);
+    // Neighbouring words still zero.
+    EXPECT_EQ(mem.read64(0x2000), 0u);
+    EXPECT_EQ(mem.read64(0x2010), 0u);
+    EXPECT_EQ(mem.materializedFrames(), 1u);
+}
+
+TEST(PhysMem, FramesAreSparse)
+{
+    PhysicalMemory mem;
+    mem.write64(0x0, 1);
+    mem.write64(1ull << 40, 2); // 1 TiB away
+    EXPECT_EQ(mem.materializedFrames(), 2u);
+    EXPECT_EQ(mem.read64(0x0), 1u);
+    EXPECT_EQ(mem.read64(1ull << 40), 2u);
+}
+
+TEST(PhysMem, FrameBoundaries)
+{
+    PhysicalMemory mem;
+    // Last word of one frame and first of the next.
+    mem.write64(0x1ff8, 0xa);
+    mem.write64(0x2000, 0xb);
+    EXPECT_EQ(mem.read64(0x1ff8), 0xau);
+    EXPECT_EQ(mem.read64(0x2000), 0xbu);
+    EXPECT_EQ(mem.materializedFrames(), 2u);
+}
+
+TEST(PhysMem, OverwriteInPlace)
+{
+    PhysicalMemory mem;
+    mem.write64(0x3000, 1);
+    mem.write64(0x3000, 2);
+    EXPECT_EQ(mem.read64(0x3000), 2u);
+    EXPECT_EQ(mem.materializedFrames(), 1u);
+}
+
+TEST(PhysMem, ClearDropsEverything)
+{
+    PhysicalMemory mem;
+    mem.write64(0x1000, 7);
+    mem.clear();
+    EXPECT_EQ(mem.materializedFrames(), 0u);
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+}
+
+TEST(PhysMemDeathTest, MisalignedAccessPanics)
+{
+    PhysicalMemory mem;
+    EXPECT_DEATH(mem.read64(0x1001), "misaligned");
+    EXPECT_DEATH(mem.write64(0x1004 | 1, 0), "misaligned");
+}

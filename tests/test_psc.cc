@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the paging-structure caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/paging_structure_cache.hh"
+
+using namespace atscale;
+
+namespace
+{
+constexpr PhysAddr cr3 = 0x1000;
+} // namespace
+
+TEST(Psc, ColdProbeStartsAtRoot)
+{
+    PagingStructureCaches pscs;
+    PscProbeResult r = pscs.probe(0x12345678000ull, cr3);
+    EXPECT_EQ(r.startLevel, 3);
+    EXPECT_EQ(r.node, cr3);
+    EXPECT_EQ(pscs.misses(), 1u);
+}
+
+TEST(Psc, DeepestHitWins)
+{
+    PagingStructureCaches pscs;
+    Addr va = 0x7f8000200000ull;
+    pscs.fill(va, 3, 0xaaaa000); // PML4E -> PDPT node
+    pscs.fill(va, 2, 0xbbbb000); // PDPTE -> PD node
+    pscs.fill(va, 1, 0xcccc000); // PDE   -> PT node
+
+    PscProbeResult r = pscs.probe(va, cr3);
+    EXPECT_EQ(r.startLevel, 0); // PDE cache hit: only the leaf remains
+    EXPECT_EQ(r.node, 0xcccc000u);
+    EXPECT_EQ(pscs.levelHits(1), 1u);
+}
+
+TEST(Psc, PrefixSharingMatchesRegionSizes)
+{
+    PagingStructureCaches pscs;
+    Addr va = 0x7f8000200000ull;
+    pscs.fill(va, 1, 0xcccc000);
+
+    // Same 2 MiB region: hits the PDE cache.
+    EXPECT_EQ(pscs.probe(va + 0x1fffff, cr3).startLevel, 0);
+    // Next 2 MiB region: PDE tag differs, full walk.
+    EXPECT_EQ(pscs.probe(va + pageSize2M, cr3).startLevel, 3);
+
+    pscs.fill(va, 2, 0xbbbb000);
+    // Next 2 MiB region now hits the PDPTE cache (same 1 GiB region).
+    PscProbeResult r = pscs.probe(va + pageSize2M, cr3);
+    EXPECT_EQ(r.startLevel, 1);
+    EXPECT_EQ(r.node, 0xbbbb000u);
+}
+
+TEST(Psc, LruWithinArray)
+{
+    PscParams params;
+    params.pdeEntries = 2;
+    PagingStructureCaches pscs(params);
+    pscs.fill(0x0ull, 1, 0x1000);
+    pscs.fill(1ull << 21, 1, 0x2000);
+    // Touch the first, then insert a third: the second is the victim.
+    pscs.probe(0x0ull, cr3);
+    pscs.fill(2ull << 21, 1, 0x3000);
+    EXPECT_EQ(pscs.probe(0x0ull, cr3).startLevel, 0);
+    EXPECT_EQ(pscs.probe(1ull << 21, cr3).startLevel, 3);
+    EXPECT_EQ(pscs.probe(2ull << 21, cr3).startLevel, 0);
+}
+
+TEST(Psc, FillUpdatesExistingEntry)
+{
+    PagingStructureCaches pscs;
+    pscs.fill(0x0ull, 1, 0x1000);
+    pscs.fill(0x0ull, 1, 0x9000); // remap
+    EXPECT_EQ(pscs.probe(0x0ull, cr3).node, 0x9000u);
+}
+
+TEST(Psc, DisabledCachesNeverHit)
+{
+    PscParams params;
+    params.enabled = false;
+    PagingStructureCaches pscs(params);
+    pscs.fill(0x0ull, 1, 0x1000);
+    PscProbeResult r = pscs.probe(0x0ull, cr3);
+    EXPECT_EQ(r.startLevel, 3);
+    EXPECT_EQ(pscs.hits(), 0u);
+    EXPECT_EQ(pscs.misses(), 0u);
+}
+
+TEST(Psc, FlushAndStats)
+{
+    PagingStructureCaches pscs;
+    pscs.fill(0x0ull, 2, 0x1000);
+    pscs.probe(0x0ull, cr3);
+    EXPECT_EQ(pscs.hits(), 1u);
+    pscs.flush();
+    EXPECT_EQ(pscs.hits(), 0u);
+    EXPECT_EQ(pscs.probe(0x0ull, cr3).startLevel, 3);
+}
+
+TEST(PscDeathTest, BadLevels)
+{
+    PagingStructureCaches pscs;
+    EXPECT_DEATH(pscs.fill(0, 0, 0x1000), "bad level");
+    EXPECT_DEATH(pscs.fill(0, 4, 0x1000), "bad level");
+    EXPECT_DEATH(pscs.levelHits(0), "out of range");
+}

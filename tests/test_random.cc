@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for util/random.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+using namespace atscale;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Random, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    const int buckets = 16;
+    const int draws = 160000;
+    int counts[buckets] = {};
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(buckets)];
+    for (int b = 0; b < buckets; ++b) {
+        EXPECT_GT(counts[b], draws / buckets * 0.9);
+        EXPECT_LT(counts[b], draws / buckets * 1.1);
+    }
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 100000; ++i) {
+        double r = rng.real();
+        ASSERT_GE(r, 0.0);
+        ASSERT_LT(r, 1.0);
+        sum += r;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ZipfInRangeAndSkewed)
+{
+    Rng rng(13);
+    const std::uint64_t n = 1000;
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        std::uint64_t z = rng.zipf(n, 0.9);
+        ASSERT_LT(z, n);
+        low += (z < n / 10);
+    }
+    // A Zipf draw concentrates well over 10% of its mass on the first
+    // decile of ranks.
+    EXPECT_GT(low, total / 5);
+}
+
+TEST(Random, Mix64AvalanchesSingleBitFlips)
+{
+    // Flipping one input bit should flip roughly half the output bits.
+    for (int b = 0; b < 64; b += 7) {
+        std::uint64_t x = 0x0123456789abcdefull;
+        int diff = __builtin_popcountll(mix64(x) ^ mix64(x ^ (1ull << b)));
+        EXPECT_GT(diff, 16);
+        EXPECT_LT(diff, 48);
+    }
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the OLS regression used in Table IV.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/regression.hh"
+#include "util/random.hh"
+
+using namespace atscale;
+
+TEST(Regression, RecoversExactLine)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 10; ++i) {
+        x.push_back(i);
+        y.push_back(3.5 - 0.25 * i);
+    }
+    OlsFit fit = fitOls(x, y);
+    EXPECT_NEAR(fit.intercept, 3.5, 1e-12);
+    EXPECT_NEAR(fit.slope, -0.25, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.adjustedR2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.predict(20.0), -1.5, 1e-12);
+}
+
+TEST(Regression, NoisyLineRecoversSlopeApproximately)
+{
+    Rng rng(3);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        double xv = i / 10.0;
+        x.push_back(xv);
+        y.push_back(0.13 * xv - 0.8 + (rng.real() - 0.5) * 0.05);
+    }
+    OlsFit fit = fitOls(x, y);
+    EXPECT_NEAR(fit.slope, 0.13, 0.01);
+    EXPECT_NEAR(fit.intercept, -0.8, 0.05);
+    EXPECT_GT(fit.adjustedR2, 0.95);
+}
+
+TEST(Regression, PureNoiseHasLowR2)
+{
+    Rng rng(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(i);
+        y.push_back(rng.real());
+    }
+    OlsFit fit = fitOls(x, y);
+    EXPECT_LT(fit.adjustedR2, 0.1);
+}
+
+TEST(Regression, AdjustedBelowPlainR2)
+{
+    std::vector<double> x{1, 2, 3, 4}, y{1.0, 2.2, 2.8, 4.1};
+    OlsFit fit = fitOls(x, y);
+    EXPECT_LT(fit.adjustedR2, fit.r2);
+    EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(Regression, DegenerateInputs)
+{
+    EXPECT_EQ(fitOls({}, {}).n, 0u);
+    OlsFit one = fitOls({1.0}, {2.0});
+    EXPECT_DOUBLE_EQ(one.slope, 0.0);
+    // Constant x: no slope recoverable.
+    OlsFit flat = fitOls({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+}
+
+TEST(RegressionDeathTest, SizeMismatch)
+{
+    EXPECT_DEATH(fitOls({1.0, 2.0}, {1.0}), "mismatch");
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit and property tests for the generic set-associative array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/set_assoc_cache.hh"
+
+using namespace atscale;
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache cache("t", {4, 2, ReplPolicy::Lru});
+    EXPECT_FALSE(cache.access(0x10));
+    cache.fill(0x10);
+    EXPECT_TRUE(cache.access(0x10));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEvictsOldest)
+{
+    // 1 set, 2 ways.
+    SetAssocCache cache("t", {1, 2, ReplPolicy::Lru});
+    cache.fill(1);
+    cache.fill(2);
+    cache.access(1);   // 1 is now MRU
+    cache.fill(3);     // must evict 2
+    EXPECT_TRUE(cache.probe(1));
+    EXPECT_FALSE(cache.probe(2));
+    EXPECT_TRUE(cache.probe(3));
+}
+
+TEST(SetAssocCache, SetIndexingIsolatesSets)
+{
+    SetAssocCache cache("t", {4, 1, ReplPolicy::Lru});
+    cache.fill(0); // set 0
+    cache.fill(1); // set 1
+    cache.fill(4); // set 0 again: evicts key 0 (1-way)
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(1));
+    EXPECT_TRUE(cache.probe(4));
+}
+
+TEST(SetAssocCache, ProbeDoesNotTouchLru)
+{
+    SetAssocCache cache("t", {1, 2, ReplPolicy::Lru});
+    cache.fill(1);
+    cache.fill(2);
+    cache.probe(1); // must NOT refresh 1
+    cache.fill(3);  // evicts LRU = 1
+    EXPECT_FALSE(cache.probe(1));
+    EXPECT_TRUE(cache.probe(2));
+}
+
+TEST(SetAssocCache, FillIsIdempotentForPresentKeys)
+{
+    SetAssocCache cache("t", {1, 2, ReplPolicy::Lru});
+    cache.fill(1);
+    cache.fill(1);
+    cache.fill(2);
+    EXPECT_EQ(cache.validEntries(), 2u);
+    EXPECT_TRUE(cache.probe(1));
+}
+
+TEST(SetAssocCache, InvalidateAndFlush)
+{
+    SetAssocCache cache("t", {2, 2, ReplPolicy::Lru});
+    cache.fill(1);
+    cache.fill(2);
+    EXPECT_TRUE(cache.invalidate(1));
+    EXPECT_FALSE(cache.invalidate(1));
+    EXPECT_FALSE(cache.probe(1));
+    cache.flush();
+    EXPECT_EQ(cache.validEntries(), 0u);
+    EXPECT_FALSE(cache.probe(2));
+}
+
+TEST(SetAssocCache, TreePlruNeverEvictsJustTouched)
+{
+    SetAssocCache cache("t", {1, 8, ReplPolicy::TreePlru});
+    for (std::uint64_t k = 0; k < 8; ++k)
+        cache.fill(k);
+    for (int round = 0; round < 100; ++round) {
+        std::uint64_t hot = round % 8;
+        if (!cache.probe(hot))
+            cache.fill(hot);
+        cache.access(hot);
+        cache.fill(1000 + round); // evicts someone, never `hot`
+        EXPECT_TRUE(cache.probe(hot)) << "round " << round;
+    }
+}
+
+TEST(SetAssocCache, RandomPolicyStillCachesWorkingSet)
+{
+    SetAssocCache cache("t", {16, 4, ReplPolicy::Random}, 99);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        cache.fill(k);
+    // All 64 keys fit exactly; every one must be present.
+    for (std::uint64_t k = 0; k < 64; ++k)
+        EXPECT_TRUE(cache.probe(k));
+}
+
+TEST(SetAssocCacheDeathTest, BadGeometry)
+{
+    EXPECT_DEATH(SetAssocCache("t", {3, 2, ReplPolicy::Lru}), "power of 2");
+    EXPECT_DEATH(SetAssocCache("t", {4, 0, ReplPolicy::Lru}), "way");
+    EXPECT_DEATH(SetAssocCache("t", {1, 64, ReplPolicy::TreePlru}),
+                 "at most 32");
+}
+
+TEST(ReplPolicy, Names)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::Lru), "LRU");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::TreePlru), "TreePLRU");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::Random), "Random");
+}
+
+/**
+ * Property sweep across geometries and policies: a working set no larger
+ * than the capacity, accessed repeatedly, eventually stays resident
+ * (no thrashing for any policy), and validEntries never exceeds capacity.
+ */
+struct GeometryCase
+{
+    CacheGeometry geom;
+};
+
+class CacheProperty : public ::testing::TestWithParam<GeometryCase>
+{
+};
+
+TEST_P(CacheProperty, WorkingSetWithinCapacityConverges)
+{
+    const CacheGeometry &geom = GetParam().geom;
+    SetAssocCache cache("p", geom, 7);
+    // Keys chosen to spread uniformly across sets.
+    Count capacity = cache.capacity();
+    for (int round = 0; round < 4; ++round) {
+        for (Count k = 0; k < capacity; ++k) {
+            if (!cache.access(k))
+                cache.fill(k);
+        }
+    }
+    EXPECT_LE(cache.validEntries(), capacity);
+    // After convergence every key hits.
+    cache.resetStats();
+    for (Count k = 0; k < capacity; ++k)
+        EXPECT_TRUE(cache.access(k)) << "key " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(GeometryCase{{1, 4, ReplPolicy::Lru}},
+                      GeometryCase{{16, 4, ReplPolicy::Lru}},
+                      GeometryCase{{64, 8, ReplPolicy::TreePlru}},
+                      GeometryCase{{8, 20, ReplPolicy::Lru}},
+                      GeometryCase{{128, 8, ReplPolicy::Lru}},
+                      GeometryCase{{1, 32, ReplPolicy::TreePlru}}));

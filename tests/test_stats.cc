@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for util/stats.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using namespace atscale;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased sample variance of this classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1);
+    s.add(2);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, WeightedAdds)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.bucket(1), 10u);
+}
+
+TEST(Histogram, QuantileOfUniformFill)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+}
+
+TEST(Histogram, BucketLoEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(4), 18.0);
+}

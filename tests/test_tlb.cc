@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the single TLB array and the two-level TLB complex.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/tlb.hh"
+#include "mmu/tlb_complex.hh"
+
+using namespace atscale;
+
+TEST(Tlb, HitReportsPageSize)
+{
+    Tlb tlb("t", {16, 4, ReplPolicy::Lru}, {PageSize::Size4K});
+    Addr va = 0x12345678;
+    tlb.insert(va, PageSize::Size4K);
+
+    PageSize size;
+    EXPECT_TRUE(tlb.lookup(va, size));
+    EXPECT_EQ(size, PageSize::Size4K);
+    // Anywhere in the same page hits; the next page misses.
+    EXPECT_TRUE(tlb.lookup((va & ~0xfffull) | 0xabc, size));
+    EXPECT_FALSE(tlb.lookup(va + pageSize4K, size));
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, MixedSizesCoexist)
+{
+    Tlb tlb("t", {16, 4, ReplPolicy::Lru},
+            {PageSize::Size4K, PageSize::Size2M});
+    tlb.insert(0x200000, PageSize::Size2M);
+    tlb.insert(0x1000, PageSize::Size4K);
+
+    PageSize size;
+    ASSERT_TRUE(tlb.lookup(0x200000 + 0x54321, size));
+    EXPECT_EQ(size, PageSize::Size2M);
+    ASSERT_TRUE(tlb.lookup(0x1fff, size));
+    EXPECT_EQ(size, PageSize::Size4K);
+}
+
+TEST(Tlb, SetIndexUsesVpnBits)
+{
+    // Regression test: with 128 sets, consecutive pages must land in
+    // consecutive sets (the original bug packed the size tag into the
+    // index bits and collapsed the array to a quarter of its sets).
+    Tlb tlb("stlb", {128, 8, ReplPolicy::Lru}, {PageSize::Size4K});
+    // Insert exactly capacity-many consecutive pages: all must fit.
+    for (std::uint64_t p = 0; p < 1024; ++p)
+        tlb.insert(p << 12, PageSize::Size4K);
+    PageSize size;
+    Count resident = 0;
+    for (std::uint64_t p = 0; p < 1024; ++p)
+        resident += tlb.lookup(p << 12, size);
+    EXPECT_EQ(resident, 1024u);
+}
+
+TEST(Tlb, HoldsChecksSizes)
+{
+    Tlb tlb("t", {1, 4, ReplPolicy::Lru}, {PageSize::Size1G});
+    EXPECT_TRUE(tlb.holds(PageSize::Size1G));
+    EXPECT_FALSE(tlb.holds(PageSize::Size4K));
+    EXPECT_DEATH(tlb.insert(0, PageSize::Size4K), "cannot hold");
+}
+
+class TlbComplexTest : public ::testing::Test
+{
+  protected:
+    TlbComplex tlb;
+};
+
+TEST_F(TlbComplexTest, MissOnEmpty)
+{
+    TlbLookupResult r = tlb.lookup(0x1000);
+    EXPECT_EQ(r.level, TlbLevel::Miss);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST_F(TlbComplexTest, InstallThenL1Hit)
+{
+    tlb.install(0x5000, PageSize::Size4K);
+    TlbLookupResult r = tlb.lookup(0x5abc);
+    EXPECT_EQ(r.level, TlbLevel::L1);
+    EXPECT_EQ(r.pageSize, PageSize::Size4K);
+    EXPECT_EQ(r.extraLatency, 0u);
+}
+
+TEST_F(TlbComplexTest, L2HitRefillsL1)
+{
+    // Fill the 64-entry 4K L1 far beyond capacity; early pages fall to L2.
+    for (std::uint64_t p = 0; p < 256; ++p)
+        tlb.install(p << 12, PageSize::Size4K);
+    TlbLookupResult r = tlb.lookup(0x0);
+    EXPECT_EQ(r.level, TlbLevel::L2);
+    EXPECT_EQ(r.extraLatency, tlb.params().l2HitExtraLatency);
+    // Refilled into L1 on the way back.
+    TlbLookupResult again = tlb.lookup(0x0);
+    EXPECT_EQ(again.level, TlbLevel::L1);
+}
+
+TEST_F(TlbComplexTest, OneGigEntriesSkipTheL2)
+{
+    // 4-entry 1G L1; the 5th insert evicts one, and since the L2 does
+    // not hold 1G entries the evictee misses entirely.
+    for (std::uint64_t p = 0; p < 5; ++p)
+        tlb.install(p << 30, PageSize::Size1G);
+    int resident = 0;
+    for (std::uint64_t p = 0; p < 5; ++p) {
+        TlbLookupResult r = tlb.lookup(p << 30);
+        resident += (r.level == TlbLevel::L1);
+        EXPECT_NE(r.level, TlbLevel::L2);
+    }
+    EXPECT_EQ(resident, 4);
+}
+
+TEST_F(TlbComplexTest, TwoMegEntriesUseTheSharedL2)
+{
+    for (std::uint64_t p = 0; p < 64; ++p)
+        tlb.install(p << 21, PageSize::Size2M);
+    // 32-entry 2M L1: half must have fallen to the shared L2.
+    int l2_hits = 0;
+    for (std::uint64_t p = 0; p < 64; ++p) {
+        TlbLookupResult r = tlb.lookup(p << 21);
+        l2_hits += (r.level == TlbLevel::L2);
+    }
+    EXPECT_GT(l2_hits, 0);
+}
+
+TEST_F(TlbComplexTest, StatsAndFlush)
+{
+    tlb.install(0x1000, PageSize::Size4K);
+    tlb.lookup(0x1000);
+    tlb.lookup(0x999000);
+    EXPECT_EQ(tlb.lookups(), 2u);
+    EXPECT_EQ(tlb.l1Hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+
+    tlb.resetStats();
+    EXPECT_EQ(tlb.lookups(), 0u);
+
+    tlb.flush();
+    EXPECT_EQ(tlb.lookup(0x1000).level, TlbLevel::Miss);
+}
+
+TEST_F(TlbComplexTest, DefaultGeometryMatchesTableIII)
+{
+    TlbParams p;
+    EXPECT_EQ(p.l1_4k.sets * p.l1_4k.ways, 64u);
+    EXPECT_EQ(p.l1_2m.sets * p.l1_2m.ways, 32u);
+    EXPECT_EQ(p.l1_1g.sets * p.l1_1g.ways, 4u);
+    EXPECT_EQ(p.l2.sets * p.l2.ways, 1024u);
+}

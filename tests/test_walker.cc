@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the hardware page-table walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "mmu/walker.hh"
+
+using namespace atscale;
+
+class WalkerTest : public ::testing::Test
+{
+  protected:
+    WalkerTest()
+        : alloc(1ull << 34), table(mem, alloc), pscs(),
+          walker(mem, hierarchy, pscs, {})
+    {
+    }
+
+    PhysicalMemory mem;
+    FrameAllocator alloc;
+    CacheHierarchy hierarchy;
+    PageTable table;
+    PagingStructureCaches pscs;
+    PageWalker walker;
+};
+
+TEST_F(WalkerTest, FullWalkTakesFourAccesses)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    WalkResult r = walker.walk(va, table);
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.faulted);
+    EXPECT_EQ(r.ptwAccesses, 4u);
+    EXPECT_EQ(r.startLevel, 3);
+    EXPECT_TRUE(r.translation.valid);
+    EXPECT_EQ(r.translation.frame, 0xabc000u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(WalkerTest, PscShortensSubsequentWalks)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    table.map(va + pageSize4K, 0xdef000, PageSize::Size4K);
+
+    walker.walk(va, table); // fills the PSCs
+    WalkResult r = walker.walk(va + pageSize4K, table);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.ptwAccesses, 1u); // PDE cache hit: only the PTE load
+    EXPECT_EQ(r.startLevel, 0);
+}
+
+TEST_F(WalkerTest, SuperpageWalksAreShorter)
+{
+    table.map(0x40000000ull, 0x80000000ull, PageSize::Size1G);
+    WalkResult gig = walker.walk(0x40000000ull + 5, table);
+    ASSERT_TRUE(gig.completed);
+    EXPECT_EQ(gig.ptwAccesses, 2u); // PML4E + PDPTE(leaf)
+    EXPECT_EQ(gig.translation.pageSize, PageSize::Size1G);
+
+    table.map(0x80200000ull, 0x10200000ull, PageSize::Size2M);
+    pscs.flush();
+    WalkResult two = walker.walk(0x80200000ull, table);
+    ASSERT_TRUE(two.completed);
+    EXPECT_EQ(two.ptwAccesses, 3u); // PML4E + PDPTE + PDE(leaf)
+    EXPECT_EQ(two.translation.pageSize, PageSize::Size2M);
+}
+
+TEST_F(WalkerTest, NonPresentTerminatesAsFault)
+{
+    // Nothing mapped: the root entry is not present.
+    WalkResult r = walker.walk(0x1234000, table);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_FALSE(r.translation.valid);
+    EXPECT_EQ(r.ptwAccesses, 1u);
+}
+
+TEST_F(WalkerTest, PartiallyPresentPathFaultsDeeper)
+{
+    table.map(0x1000, 0x2000, PageSize::Size4K);
+    // Same PT node exists; sibling entry not present -> 4 accesses then
+    // fault at the leaf.
+    pscs.flush();
+    WalkResult r = walker.walk(0x3000, table);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.ptwAccesses, 4u);
+}
+
+TEST_F(WalkerTest, BudgetAbortsWalk)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    WalkResult r = walker.walk(va, table, /*budget=*/10);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.cycles, 10u);
+    EXPECT_EQ(walker.walksAborted(), 1u);
+    EXPECT_EQ(walker.walksCompleted(), 0u);
+    // A later unconstrained walk still succeeds.
+    WalkResult full = walker.walk(va, table);
+    EXPECT_TRUE(full.completed);
+}
+
+TEST_F(WalkerTest, ZeroBudgetAbortsBeforeAnyAccess)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    WalkResult r = walker.walk(va, table, 0);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.ptwAccesses, 0u);
+}
+
+TEST_F(WalkerTest, LoadsAtLevelSumToAccesses)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    WalkResult r = walker.walk(va, table);
+    Count total = 0;
+    for (Count c : r.loadsAtLevel)
+        total += c;
+    EXPECT_EQ(total, r.ptwAccesses);
+    // Cold caches: everything came from memory.
+    EXPECT_EQ(r.loadsAtLevel[static_cast<size_t>(MemLevel::Memory)], 4u);
+}
+
+TEST_F(WalkerTest, RepeatWalksHitPteInCaches)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    walker.walk(va, table);
+    pscs.flush(); // force a full-length walk with warm data caches
+    WalkResult r = walker.walk(va, table);
+    EXPECT_EQ(r.loadsAtLevel[static_cast<size_t>(MemLevel::L1)], 4u);
+    EXPECT_LT(r.cycles, 40u);
+}
+
+TEST_F(WalkerTest, StatsAccumulateAndReset)
+{
+    Addr va = 0x7f0000123000ull;
+    table.map(va, 0xabc000, PageSize::Size4K);
+    walker.walk(va, table);
+    walker.walk(va, table, 1);
+    EXPECT_EQ(walker.walksInitiated(), 2u);
+    EXPECT_EQ(walker.walksCompleted(), 1u);
+    EXPECT_EQ(walker.walksAborted(), 1u);
+    EXPECT_GT(walker.totalWalkCycles(), 0u);
+    walker.resetStats();
+    EXPECT_EQ(walker.walksInitiated(), 0u);
+    EXPECT_EQ(walker.totalWalkCycles(), 0u);
+}

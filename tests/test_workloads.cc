@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the workload registry and property tests over every model
+ * stream: references stay inside mapped regions, streams are
+ * deterministic, and wrong-path addresses are valid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+TEST(Registry, ThirteenWorkloads)
+{
+    auto names = workloadNames();
+    EXPECT_EQ(names.size(), 13u);
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 13u);
+}
+
+TEST(Registry, NamesRoundTripThroughFactories)
+{
+    for (const std::string &name : workloadNames()) {
+        auto workload = createWorkload(name);
+        ASSERT_NE(workload, nullptr);
+        EXPECT_EQ(workload->name(), name);
+        EXPECT_TRUE(workload->supports(WorkloadMode::Model)) << name;
+    }
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(createWorkload("quake-3"), "unknown workload");
+}
+
+TEST(Registry, CreateAllMatchesNames)
+{
+    auto all = createAllWorkloads();
+    auto names = workloadNames();
+    ASSERT_EQ(all.size(), names.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->name(), names[i]);
+}
+
+TEST(Registry, TraitsAreSane)
+{
+    for (auto &workload : createAllWorkloads()) {
+        WorkloadTraits t = workload->traits();
+        EXPECT_GT(t.branchesPerInstr, 0.0);
+        EXPECT_LT(t.branchesPerInstr, 0.5);
+        EXPECT_GT(t.mispredictRate, 0.0);
+        EXPECT_LT(t.mispredictRate, 0.2);
+        EXPECT_GE(t.mlpHint, 0.0);
+        EXPECT_LE(t.mlpHint, 1.0);
+    }
+}
+
+/** Per-workload property suite. */
+class WorkloadProperty : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static constexpr std::uint64_t footprint = 512ull << 20;
+};
+
+TEST_P(WorkloadProperty, RefsStayInsideMappedRegions)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(64ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+
+    auto workload = createWorkload(GetParam());
+    WorkloadConfig config;
+    config.footprintBytes = footprint;
+    auto stream = workload->instantiate(space, config);
+
+    Ref ref;
+    for (int i = 0; i < 50'000; ++i) {
+        ASSERT_TRUE(stream->next(ref));
+        const Vma *vma = space.findVma(ref.vaddr);
+        ASSERT_NE(vma, nullptr)
+            << GetParam() << " emitted out-of-region address " << std::hex
+            << ref.vaddr;
+    }
+}
+
+TEST_P(WorkloadProperty, WrongPathAddrsAreMapped)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(64ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+
+    auto workload = createWorkload(GetParam());
+    WorkloadConfig config;
+    config.footprintBytes = footprint;
+    auto stream = workload->instantiate(space, config);
+
+    Rng rng(77);
+    for (int i = 0; i < 5'000; ++i) {
+        Addr addr = stream->wrongPathAddr(rng);
+        EXPECT_NE(space.findVma(addr), nullptr) << GetParam();
+    }
+}
+
+TEST_P(WorkloadProperty, StreamsAreDeterministic)
+{
+    auto make_refs = [&](std::uint64_t seed) {
+        PhysicalMemory mem;
+        FrameAllocator alloc(64ull << 30);
+        AddressSpace space(mem, alloc, PageSize::Size4K);
+        auto workload = createWorkload(GetParam());
+        WorkloadConfig config;
+        config.footprintBytes = footprint;
+        config.seed = seed;
+        auto stream = workload->instantiate(space, config);
+        std::vector<Addr> addrs;
+        Ref ref;
+        for (int i = 0; i < 5'000; ++i) {
+            stream->next(ref);
+            addrs.push_back(ref.vaddr);
+        }
+        return addrs;
+    };
+    EXPECT_EQ(make_refs(1), make_refs(1));
+    EXPECT_NE(make_refs(1), make_refs(2));
+}
+
+TEST_P(WorkloadProperty, MixContainsLoadsStoresAndGaps)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(64ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    auto workload = createWorkload(GetParam());
+    WorkloadConfig config;
+    config.footprintBytes = footprint;
+    auto stream = workload->instantiate(space, config);
+
+    Count stores = 0, gaps = 0;
+    Ref ref;
+    for (int i = 0; i < 50'000; ++i) {
+        stream->next(ref);
+        stores += ref.isStore;
+        gaps += ref.instGap;
+    }
+    // tc reads the CSR only; every other program writes its results.
+    if (GetParam().substr(0, 3) != "tc-") {
+        EXPECT_GT(stores, 0u) << GetParam();
+    }
+    EXPECT_LT(stores, 40'000u) << GetParam();
+    // Real instruction mixes have non-memory instructions.
+    EXPECT_GT(gaps, 50'000u) << GetParam();
+}
+
+TEST_P(WorkloadProperty, FootprintScalesRegionSizes)
+{
+    auto reserved_at = [&](std::uint64_t footprint_bytes) {
+        PhysicalMemory mem;
+        FrameAllocator alloc(64ull << 30);
+        AddressSpace space(mem, alloc, PageSize::Size4K);
+        auto workload = createWorkload(GetParam());
+        WorkloadConfig config;
+        config.footprintBytes = footprint_bytes;
+        workload->instantiate(space, config);
+        return space.reservedBytes();
+    };
+    std::uint64_t small = reserved_at(256ull << 20);
+    std::uint64_t large = reserved_at(4ull << 30);
+    // Reserved bytes should be within 2x of the requested footprint and
+    // scale with it.
+    EXPECT_GT(small, 128ull << 20);
+    EXPECT_LT(small, 512ull << 20);
+    EXPECT_GT(large, 6 * small);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadProperty,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
