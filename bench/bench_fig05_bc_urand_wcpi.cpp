@@ -18,8 +18,9 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsOptions obs_options = obsFromArgs(argc, argv);
     ensureCacheDir();
     WorkloadSweep sweep = sweepWorkload("bc-urand", footprints(),
                                         baseRunConfig());
@@ -52,5 +53,14 @@ main()
               << fmtDouble(spearman(wcpis, overheads), 3)
               << "  (paper: monotonically increasing, i.e. ~1.0, with a "
                  "nonlinear shape)\n";
+
+    // With observability flags, re-run the largest sweep point fully
+    // instrumented (per-window WCPI series, walk traces, JSON).
+    if (obs_options.any() && !sweep.points.empty()) {
+        RunConfig config = baseRunConfig();
+        config.workload = "bc-urand";
+        config.footprintBytes = sweep.points.back().footprintBytes;
+        observeRun(config, obs_options);
+    }
     return 0;
 }

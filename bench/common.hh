@@ -12,12 +12,16 @@
 #ifndef ATSCALE_BENCH_COMMON_HH
 #define ATSCALE_BENCH_COMMON_HH
 
+#include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <sys/stat.h>
 #include <vector>
 
+#include "core/run_export.hh"
 #include "core/sweep.hh"
+#include "obs/session.hh"
 
 namespace atscale::benchx
 {
@@ -62,6 +66,48 @@ inline double
 footprintKb(std::uint64_t bytes)
 {
     return static_cast<double>(bytes) / 1024.0;
+}
+
+/**
+ * Parse the shared observability flags (--sample-window=, --trace=,
+ * --json-out=, --trace-capacity=; see obs/session.hh) out of argv.
+ * Malformed flags print the error and exit(2); unrelated arguments are
+ * compacted in place for the harness to parse.
+ */
+inline ObsOptions
+obsFromArgs(int &argc, char **argv)
+{
+    ObsOptions options;
+    std::string error;
+    if (!extractObsFlags(argc, argv, options, error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        std::exit(2);
+    }
+    return options;
+}
+
+/**
+ * Run one observed 4 KiB run of `config` and write every enabled
+ * output (RunResult JSON, per-window WCPI JSONL, walk traces). Used by
+ * benches to make one sweep point fully observable without perturbing
+ * the cached sweep itself.
+ */
+inline void
+observeRun(RunConfig config, const ObsOptions &options,
+           const PlatformParams &params = {})
+{
+    if (!options.any())
+        return;
+    config.pageSize = PageSize::Size4K;
+    ObsSession session(options);
+    RunResult run = runExperiment(config, params, &session);
+    if (!options.jsonOut.empty()) {
+        writeRunResultJsonFile(options.jsonOut, run,
+                               &session.statsSnapshot(), params.freqGHz);
+        std::cout << "wrote " << options.jsonOut << "\n";
+    }
+    for (const std::string &path : session.writeOutputs(params.freqGHz))
+        std::cout << "wrote " << path << "\n";
 }
 
 } // namespace atscale::benchx

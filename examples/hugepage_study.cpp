@@ -8,12 +8,21 @@
  * that motivates min(t_2MB, t_1GB) as the baseline.
  *
  * Usage: hugepage_study [workload] [footprint-MiB]
+ *                       [--sample-window=N] [--trace=PREFIX]
+ *                       [--json-out=PATH]
+ *
+ * With --sample-window the 4 KiB run is additionally fed, window by
+ * window, into the online HugepageAdvisor — the khugepaged-style
+ * consumer of the same per-window counter deltas the sampler exports.
  */
 
 #include <cstdlib>
 #include <iostream>
 
+#include "core/hugepage_advisor.hh"
 #include "core/overhead.hh"
+#include "core/run_export.hh"
+#include "obs/session.hh"
 #include "util/table.hh"
 
 using namespace atscale;
@@ -21,6 +30,13 @@ using namespace atscale;
 int
 main(int argc, char **argv)
 {
+    ObsOptions obs_options;
+    std::string obs_error;
+    if (!extractObsFlags(argc, argv, obs_options, obs_error)) {
+        std::cerr << "hugepage_study: " << obs_error << "\n";
+        return 2;
+    }
+
     std::string workload = argc > 1 ? argv[1] : "cc-urand";
     std::uint64_t mib = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 768;
 
@@ -32,7 +48,18 @@ main(int argc, char **argv)
 
     std::cout << "Page-size study for " << workload << " at "
               << fmtBytes(config.footprintBytes) << "\n\n";
-    OverheadPoint point = measureOverhead(config);
+
+    ObsSession session(obs_options);
+    HugepageAdvisor advisor;
+    if (session.sampling()) {
+        // The advisor consumes the sampler's windows as they close —
+        // the same data path that feeds the JSONL export.
+        session.sampler()->addSink([&advisor](const WindowSample &w) {
+            advisor.observeDelta(w.delta);
+        });
+    }
+
+    OverheadPoint point = measureOverhead(config, {}, &session);
 
     TablePrinter table("Runtime and AT pressure by page backing");
     table.header({"backing", "cycles", "vs 4K", "TLB miss/acc", "WCPI",
@@ -61,6 +88,23 @@ main(int argc, char **argv)
                      "under 1 GiB cannot be 1G-backed (hugetlbfs "
                      "fallback), exactly the anomaly the paper describes "
                      "in Section III-B.\n";
+    }
+
+    if (session.sampling()) {
+        std::cout << "\nOnline advisor (fed per-window from the 4K run): "
+                  << (advisor.advice() == HugepageAdvice::Promote2M
+                          ? "promote to 2M"
+                          : "keep 4K")
+                  << " after " << advisor.windowCount() << " windows\n";
+    }
+    if (session.enabled()) {
+        if (!obs_options.jsonOut.empty()) {
+            writeRunResultJsonFile(obs_options.jsonOut, point.run4k,
+                                   &session.statsSnapshot());
+            std::cout << "wrote " << obs_options.jsonOut << "\n";
+        }
+        for (const std::string &path : session.writeOutputs())
+            std::cout << "wrote " << path << "\n";
     }
     return 0;
 }

@@ -8,13 +8,27 @@
  * access (containers, CI) it degrades to reporting which events were
  * unavailable — the simulator backend is the fallback for everything
  * else in this repository.
+ *
+ * Usage: pmu_probe [--sample-window=N] [--json-out=PATH]
+ *
+ * --sample-window feeds the measured counters through the same
+ * WindowSampler the simulator uses and prints per-window derived
+ * metrics (CPI, WCPI and its Equation-1 factors). --json-out writes the
+ * cumulative counters and derived metrics as JSON (and, when sampling,
+ * the windows as JSONL next to it). Per-walk tracing (--trace=) is
+ * simulator-only: real PMUs expose no per-walk records. Malformed or
+ * unknown arguments exit with status 2.
  */
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <numeric>
 #include <vector>
 
+#include "obs/json.hh"
+#include "obs/session.hh"
 #include "perf/derived.hh"
 #include "perf/linux_backend.hh"
 #include "util/random.hh"
@@ -46,11 +60,67 @@ chase(std::uint64_t bytes, std::uint64_t steps)
     return reinterpret_cast<std::uint64_t>(p);
 }
 
+/** Dump the cumulative counters and derived metrics as JSON. */
+void
+writeJson(const std::string &path, const CounterSet &counters)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "pmu_probe: cannot open '" << path << "'\n";
+        std::exit(2);
+    }
+    JsonWriter json(out, true);
+    json.beginObject();
+
+    WcpiTerms terms = wcpiTerms(counters);
+    json.key("wcpi").beginObject();
+    json.kv("wcpi", terms.wcpi());
+    json.kv("accesses_per_instr", terms.accessesPerInstr);
+    json.kv("tlb_misses_per_access", terms.tlbMissesPerAccess);
+    json.kv("ptw_accesses_per_walk", terms.ptwAccessesPerWalk);
+    json.kv("walk_cycles_per_ptw_access", terms.walkCyclesPerPtwAccess);
+    json.endObject();
+
+    ProxyMetrics proxy = proxyMetrics(counters);
+    json.key("proxies").beginObject();
+    json.kv("tlb_misses_per_kilo_instr", proxy.tlbMissesPerKiloInstr);
+    json.kv("walk_cycle_fraction", proxy.walkCycleFraction);
+    json.kv("walk_cycles_per_instr", proxy.walkCyclesPerInstr);
+    json.endObject();
+
+    json.key("counters").beginObject();
+    counters.forEach([&json](EventId, const char *name, Count value) {
+        json.kv(name, value);
+    });
+    json.endObject();
+
+    json.endObject();
+    out << '\n';
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsOptions options;
+    std::string error;
+    if (!extractObsFlags(argc, argv, options, error)) {
+        std::cerr << "pmu_probe: " << error << "\n";
+        return 2;
+    }
+    if (argc > 1) {
+        std::cerr << "pmu_probe: unknown argument '" << argv[1]
+                  << "'\nusage: pmu_probe [--sample-window=N]"
+                     " [--json-out=PATH]\n";
+        return 2;
+    }
+    if (!options.tracePrefix.empty()) {
+        std::cerr << "pmu_probe: --trace is simulator-only (real PMUs "
+                     "expose no per-walk records); see quickstart\n";
+        return 2;
+    }
+
     if (!LinuxPerfBackend::available()) {
         std::cout << "perf_event_open is not permitted in this "
                      "environment; the simulator backend (see quickstart) "
@@ -82,6 +152,10 @@ main()
     if (opened.empty())
         return 0;
 
+    ObsSession session(options);
+    CounterSet cumulative;
+    session.beginMeasurement(cumulative);
+
     TablePrinter table("Pointer chase: measured AT pressure by working set");
     table.header({"working set", "cycles", "CPI-ish", "walks/1k chases",
                   "WCPI"});
@@ -91,6 +165,10 @@ main()
         chase(bytes, steps);
         backend.stop();
         CounterSet counters = backend.read();
+        counters.forEach([&](EventId id, const char *, Count value) {
+            cumulative.add(id, value);
+        });
+        session.observe(cumulative);
 
         double walks = static_cast<double>(
             counters.get(EventId::DtlbLoadMissesMissCausesAWalk));
@@ -104,6 +182,29 @@ main()
                    fmtDouble(proxyMetrics(counters).walkCyclesPerInstr, 5));
     }
     table.print(std::cout);
+
+    if (session.sampling() && !session.sampler()->windows().empty()) {
+        TablePrinter windows("\nPer-window derived metrics (Equation 1)");
+        windows.header({"window", "instructions", "CPI", "WCPI",
+                        "acc/instr", "miss/acc", "ptw/walk", "cyc/ptw"});
+        for (const WindowSample &w : session.sampler()->windows()) {
+            windows.rowv(w.index, w.instructions(), fmtDouble(w.cpi(), 2),
+                         fmtDouble(w.wcpi.wcpi(), 5),
+                         fmtDouble(w.wcpi.accessesPerInstr, 4),
+                         fmtDouble(w.wcpi.tlbMissesPerAccess, 5),
+                         fmtDouble(w.wcpi.ptwAccessesPerWalk, 3),
+                         fmtDouble(w.wcpi.walkCyclesPerPtwAccess, 2));
+        }
+        windows.print(std::cout);
+    }
+
+    if (!options.jsonOut.empty()) {
+        writeJson(options.jsonOut, cumulative);
+        std::cout << "\nwrote " << options.jsonOut << "\n";
+    }
+    for (const std::string &path : session.writeOutputs())
+        std::cout << "wrote " << path << "\n";
+
     std::cout << "\nExpect walks and WCPI to rise as the working set "
                  "outgrows TLB reach — the paper's core mechanism, live.\n";
     return 0;

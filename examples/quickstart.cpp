@@ -5,12 +5,21 @@
  * split (Table VI), and the AT overhead versus superpage baselines.
  *
  * Usage: quickstart [workload] [footprint-MiB]
+ *                   [--sample-window=N] [--trace=PREFIX]
+ *                   [--json-out=PATH] [--trace-capacity=N]
+ *
+ * The observability flags apply to the 4 KiB run: --json-out writes its
+ * RunResult (plus component stats) as JSON, --sample-window emits
+ * per-window WCPI JSONL, and --trace emits per-walk JSONL plus a Chrome
+ * trace_event file loadable in Perfetto.
  */
 
 #include <cstdlib>
 #include <iostream>
 
 #include "core/overhead.hh"
+#include "core/run_export.hh"
+#include "obs/session.hh"
 #include "util/table.hh"
 
 using namespace atscale;
@@ -18,6 +27,13 @@ using namespace atscale;
 int
 main(int argc, char **argv)
 {
+    ObsOptions obs_options;
+    std::string obs_error;
+    if (!extractObsFlags(argc, argv, obs_options, obs_error)) {
+        std::cerr << "quickstart: " << obs_error << "\n";
+        return 2;
+    }
+
     std::string workload = argc > 1 ? argv[1] : "bfs-urand";
     std::uint64_t footprint_mib = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                                            : 4096;
@@ -30,7 +46,8 @@ main(int argc, char **argv)
               << fmtBytes(config.footprintBytes)
               << " with 4K / 2M / 1G page backing...\n\n";
 
-    OverheadPoint point = measureOverhead(config);
+    ObsSession session(obs_options);
+    OverheadPoint point = measureOverhead(config, {}, &session);
 
     TablePrinter runs("Runtime by page size");
     runs.header({"page size", "cycles", "CPI", "WCPI", "TLB miss/access"});
@@ -80,5 +97,21 @@ main(int argc, char **argv)
               << fmtDouble(loc.l2 * 100, 1) << "%, L3 "
               << fmtDouble(loc.l3 * 100, 1) << "%, memory "
               << fmtDouble(loc.memory * 100, 1) << "%\n";
+
+    if (session.enabled()) {
+        std::cout << "\n";
+        if (!obs_options.jsonOut.empty()) {
+            writeRunResultJsonFile(obs_options.jsonOut, point.run4k,
+                                   &session.statsSnapshot());
+            std::cout << "wrote " << obs_options.jsonOut << "\n";
+        }
+        for (const std::string &path : session.writeOutputs())
+            std::cout << "wrote " << path << "\n";
+        if (session.tracing()) {
+            std::cout << "traced " << session.tracer()->recorded()
+                      << " walks (" << session.tracer()->size()
+                      << " in the ring)\n";
+        }
+    }
     return 0;
 }

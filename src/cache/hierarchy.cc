@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hh"
 
+#include "obs/stats_registry.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -90,6 +91,29 @@ CacheHierarchy::flush()
     l2_.flush();
     l3_.flush();
     resetStats();
+}
+
+void
+CacheHierarchy::registerStats(StatsRegistry &registry,
+                              const std::string &prefix) const
+{
+    const char *kindNames[] = {"data", "ptw"};
+    for (int kind = 0; kind < 2; ++kind) {
+        auto k = static_cast<AccessKind>(kind);
+        std::string base = prefix + "." + kindNames[kind];
+        for (int level = 0; level < numMemLevels; ++level) {
+            auto l = static_cast<MemLevel>(level);
+            registry.addScalar(
+                base + ".hits_" + memLevelName(l),
+                [this, k, l] {
+                    return static_cast<double>(levelCount(k, l));
+                },
+                "accesses satisfied at this level");
+        }
+        registry.addScalar(base + ".total", [this, k] {
+            return static_cast<double>(kindCount(k));
+        }, "total accesses of this kind");
+    }
 }
 
 } // namespace atscale

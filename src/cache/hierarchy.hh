@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "cache/set_assoc_cache.hh"
 #include "mem/dram.hh"
@@ -21,6 +22,8 @@
 
 namespace atscale
 {
+
+class StatsRegistry;
 
 /** Where an access was satisfied. */
 enum class MemLevel : std::uint8_t
@@ -96,6 +99,10 @@ class CacheHierarchy
     void resetStats();
     /** Invalidate all cache contents and statistics. */
     void flush();
+
+    /** Register per-kind, per-level access counts under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
 
     const HierarchyParams &params() const { return params_; }
     const Dram &dram() const { return dram_; }

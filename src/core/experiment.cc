@@ -1,10 +1,12 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "obs/session.hh"
 #include "util/logging.hh"
 #include "workloads/registry.hh"
 
@@ -64,10 +66,9 @@ storeCached(const std::string &path, const RunResult &result)
     std::ofstream out(path);
     if (!out)
         return;
-    for (int i = 0; i < numEvents; ++i) {
-        auto id = static_cast<EventId>(i);
-        out << eventName(id) << ' ' << result.counters.get(id) << '\n';
-    }
+    result.counters.forEach([&out](EventId, const char *name, Count value) {
+        out << name << ' ' << value << '\n';
+    });
     out << "footprint_touched " << result.footprintTouched << '\n';
     out << "page_table_bytes " << result.pageTableBytes << '\n';
 }
@@ -90,10 +91,24 @@ RunResult::seconds(double freqGHz) const
 RunResult
 runExperiment(const RunConfig &config, const PlatformParams &params)
 {
+    return runExperiment(config, params, nullptr);
+}
+
+RunResult
+runExperiment(const RunConfig &config, const PlatformParams &params,
+              ObsSession *obs)
+{
+    const bool observing = obs && obs->enabled();
+
     RunResult result;
     result.config = config;
 
-    std::string cache_file = cachePath(config);
+    // Observed runs bypass the memoization cache in both directions: a
+    // cached result carries no windows, traces, or registry samples, and
+    // a chunked run publishes CpuClkUnhalted with different fractional
+    // rounding than a single run, so storing it would perturb later
+    // unobserved replays of the same config.
+    std::string cache_file = observing ? std::string() : cachePath(config);
     if (!cache_file.empty() && loadCached(cache_file, result))
         return result;
 
@@ -112,6 +127,12 @@ runExperiment(const RunConfig &config, const PlatformParams &params)
     std::unique_ptr<RefSource> stream =
         workload->instantiate(platform.space, wl_config);
 
+    if (observing) {
+        platform.registerStats(obs->registry());
+        stream->registerStats(obs->registry(), "workload");
+        platform.core.attachTracer(obs->tracer());
+    }
+
     // Warm-up: populate pages, fill TLBs/caches (the paper's dry run).
     platform.core.run(*stream, config.warmupRefs);
 
@@ -119,11 +140,36 @@ runExperiment(const RunConfig &config, const PlatformParams &params)
     platform.core.resetCounters();
     platform.mmu.resetStats();
     platform.hierarchy.resetStats();
-    platform.core.run(*stream, config.measureRefs);
+    if (observing)
+        obs->beginMeasurement(platform.core.counters());
+
+    Count chunk = observing ? obs->chunkRefs() : 0;
+    if (chunk == 0) {
+        platform.core.run(*stream, config.measureRefs);
+    } else {
+        // Chunked execution so the sampler sees periodic snapshots.
+        Count done = 0;
+        while (done < config.measureRefs) {
+            Count n = std::min(chunk, config.measureRefs - done);
+            Count ran = platform.core.run(*stream, n);
+            obs->observe(platform.core.counters());
+            done += ran;
+            if (ran < n)
+                break; // stream exhausted
+        }
+    }
 
     result.counters = platform.core.counters();
     result.footprintTouched = platform.space.footprintBytes();
     result.pageTableBytes = platform.space.pageTable().nodeBytes();
+
+    if (observing) {
+        // Materialize registry values before the platform is destroyed,
+        // and detach the tracer (it outlives this frame; the core does
+        // not).
+        obs->finishRun();
+        platform.core.attachTracer(nullptr);
+    }
 
     if (!cache_file.empty())
         storeCached(cache_file, result);

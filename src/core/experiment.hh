@@ -22,6 +22,8 @@
 namespace atscale
 {
 
+class ObsSession;
+
 /** Configuration of one run. */
 struct RunConfig
 {
@@ -66,6 +68,20 @@ struct RunResult
  */
 RunResult runExperiment(const RunConfig &config,
                         const PlatformParams &params = {});
+
+/**
+ * Run one experiment with observability attached. When `obs` is null or
+ * has nothing enabled this is identical to the two-argument overload.
+ * Otherwise component/workload statistics are registered into the
+ * session's registry, the session's tracer (if any) is attached to the
+ * core, the measurement window is executed in chunks so the sampler sees
+ * periodic counter snapshots, and the disk memoization cache is bypassed
+ * in both directions (cached results carry no windows or traces, and
+ * chunked runs publish cycles with slightly different rounding than a
+ * single run, so they must not poison the cache).
+ */
+RunResult runExperiment(const RunConfig &config, const PlatformParams &params,
+                        ObsSession *obs);
 
 } // namespace atscale
 

@@ -57,4 +57,15 @@ HugepageAdvisor::observe(const CounterSet &cumulative)
     return advice_;
 }
 
+HugepageAdvice
+HugepageAdvisor::observeDelta(const CounterSet &delta)
+{
+    Count instr = delta.get(EventId::InstRetired);
+    if (instr == 0)
+        return advice_;
+    finishWindow(static_cast<double>(totalWalkCycles(delta)) /
+                 static_cast<double>(instr));
+    return advice_;
+}
+
 } // namespace atscale

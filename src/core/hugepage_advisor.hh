@@ -64,6 +64,15 @@ class HugepageAdvisor
      */
     HugepageAdvice observe(const CounterSet &cumulative);
 
+    /**
+     * Observe one pre-segmented window delta — the form the obs
+     * WindowSampler hands to its sinks. The delta is scored as exactly
+     * one window regardless of its instruction count (the sampler has
+     * already done the segmentation), so a sampler window feeds the same
+     * hysteresis policy observe() applies to cumulative snapshots.
+     */
+    HugepageAdvice observeDelta(const CounterSet &delta);
+
     /** Current advice. */
     HugepageAdvice advice() const { return advice_; }
 

@@ -6,13 +6,20 @@ namespace atscale
 OverheadPoint
 measureOverhead(const RunConfig &base, const PlatformParams &params)
 {
+    return measureOverhead(base, params, nullptr);
+}
+
+OverheadPoint
+measureOverhead(const RunConfig &base, const PlatformParams &params,
+                ObsSession *obs4k)
+{
     OverheadPoint point;
     point.workload = base.workload;
     point.footprintBytes = base.footprintBytes;
 
     RunConfig config = base;
     config.pageSize = PageSize::Size4K;
-    point.run4k = runExperiment(config, params);
+    point.run4k = runExperiment(config, params, obs4k);
     config.pageSize = PageSize::Size2M;
     point.run2m = runExperiment(config, params);
     config.pageSize = PageSize::Size1G;

@@ -60,6 +60,15 @@ struct OverheadPoint
 OverheadPoint measureOverhead(const RunConfig &base,
                               const PlatformParams &params = {});
 
+/**
+ * As above, with observability attached to the 4 KiB run (the run whose
+ * AT behaviour the paper dissects); the superpage baselines stay
+ * unobserved so they can come from the memoization cache.
+ */
+OverheadPoint measureOverhead(const RunConfig &base,
+                              const PlatformParams &params,
+                              ObsSession *obs4k);
+
 } // namespace atscale
 
 #endif // ATSCALE_CORE_OVERHEAD_HH

@@ -1,5 +1,7 @@
 #include "core/platform.hh"
 
+#include "obs/stats_registry.hh"
+
 namespace atscale
 {
 
@@ -12,6 +14,20 @@ Platform::Platform(const PlatformParams &params, PageSize backing,
       core(mmu, hierarchy, space, params.core, traits, seed),
       params_(params)
 {
+}
+
+void
+Platform::registerStats(StatsRegistry &registry,
+                        const std::string &prefix) const
+{
+    mmu.registerStats(registry, prefix + ".mmu");
+    hierarchy.registerStats(registry, prefix + ".cache");
+    registry.addScalar(prefix + ".vm.footprint_bytes", [this] {
+        return static_cast<double>(space.footprintBytes());
+    }, "data bytes populated (pages touched x page size)");
+    registry.addScalar(prefix + ".vm.page_table_bytes", [this] {
+        return static_cast<double>(space.pageTable().nodeBytes());
+    }, "bytes of page-table nodes built");
 }
 
 } // namespace atscale

@@ -54,6 +54,13 @@ class Platform
     Mmu mmu;
     Core core;
 
+    /**
+     * Register the machine's component statistics (MMU, cache hierarchy,
+     * address-space footprint) under "<prefix>.".
+     */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix = "platform") const;
+
     const PlatformParams &params() const { return params_; }
 
   private:

@@ -1,0 +1,128 @@
+#include "core/run_export.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+#include "perf/derived.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+const char *
+modeName(WorkloadMode mode)
+{
+    return mode == WorkloadMode::Exec ? "exec" : "model";
+}
+
+/** Body of one RunResult object (writer already inside the object). */
+void
+writeRunResultBody(JsonWriter &json, const RunResult &result,
+                   const std::vector<StatsRegistry::Sample> *stats,
+                   double freqGHz)
+{
+    const RunConfig &config = result.config;
+    json.key("config").beginObject();
+    json.kv("workload", config.workload);
+    json.kv("footprint_bytes", config.footprintBytes);
+    json.kv("page_size", pageSizeName(config.pageSize));
+    json.kv("mode", modeName(config.mode));
+    json.kv("warmup_refs", config.warmupRefs);
+    json.kv("measure_refs", config.measureRefs);
+    json.kv("seed", config.seed);
+    json.endObject();
+
+    json.kv("footprint_touched", result.footprintTouched);
+    json.kv("page_table_bytes", result.pageTableBytes);
+    json.kv("instructions", result.instructions());
+    json.kv("cycles", result.cycles());
+    json.kv("cpi", result.cpi());
+    json.kv("seconds", result.seconds(freqGHz));
+
+    WcpiTerms wcpi = wcpiTerms(result.counters);
+    json.key("wcpi").beginObject();
+    json.kv("wcpi", wcpi.wcpi());
+    json.kv("accesses_per_instr", wcpi.accessesPerInstr);
+    json.kv("tlb_misses_per_access", wcpi.tlbMissesPerAccess);
+    json.kv("ptw_accesses_per_walk", wcpi.ptwAccessesPerWalk);
+    json.kv("walk_cycles_per_ptw_access", wcpi.walkCyclesPerPtwAccess);
+    json.endObject();
+
+    WalkOutcomes outcomes = walkOutcomes(result.counters);
+    json.key("walk_outcomes").beginObject();
+    json.kv("initiated", outcomes.initiated);
+    json.kv("completed", outcomes.completed);
+    json.kv("retired", outcomes.retired);
+    json.kv("aborted", outcomes.aborted);
+    json.kv("wrong_path", outcomes.wrongPath);
+    json.kv("aborted_fraction", outcomes.abortedFraction());
+    json.kv("wrong_path_fraction", outcomes.wrongPathFraction());
+    json.kv("non_retired_fraction", outcomes.nonRetiredFraction());
+    json.endObject();
+
+    PteLocations pte = pteLocations(result.counters);
+    json.key("pte_locations").beginObject();
+    json.kv("l1", pte.l1);
+    json.kv("l2", pte.l2);
+    json.kv("l3", pte.l3);
+    json.kv("memory", pte.memory);
+    json.endObject();
+
+    json.key("counters").beginObject();
+    result.counters.forEach([&json](EventId, const char *name, Count value) {
+        json.kv(name, value);
+    });
+    json.endObject();
+
+    if (stats) {
+        json.key("stats").beginObject();
+        for (const StatsRegistry::Sample &sample : *stats)
+            json.kv(sample.name, sample.value);
+        json.endObject();
+    }
+}
+
+} // namespace
+
+void
+writeRunResultJson(std::ostream &os, const RunResult &result,
+                   const std::vector<StatsRegistry::Sample> *stats,
+                   double freqGHz)
+{
+    JsonWriter json(os, true);
+    json.beginObject();
+    writeRunResultBody(json, result, stats, freqGHz);
+    json.endObject();
+    os << '\n';
+}
+
+void
+writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &results,
+                    double freqGHz)
+{
+    JsonWriter json(os, true);
+    json.beginArray();
+    for (const RunResult &result : results) {
+        json.beginObject();
+        writeRunResultBody(json, result, nullptr, freqGHz);
+        json.endObject();
+    }
+    json.endArray();
+    os << '\n';
+}
+
+void
+writeRunResultJsonFile(const std::string &path, const RunResult &result,
+                       const std::vector<StatsRegistry::Sample> *stats,
+                       double freqGHz)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open JSON output file '%s'", path.c_str());
+    writeRunResultJson(out, result, stats, freqGHz);
+}
+
+} // namespace atscale

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JSON export of experiment results: one RunResult (config + raw
+ * counters + the paper's derived metrics + an optional stats-registry
+ * snapshot) or a whole sweep as a JSON array. Lives in core rather than
+ * obs because it needs RunResult; obs stays below core in the link
+ * graph.
+ */
+
+#ifndef ATSCALE_CORE_RUN_EXPORT_HH
+#define ATSCALE_CORE_RUN_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "obs/stats_registry.hh"
+
+namespace atscale
+{
+
+/**
+ * Write one RunResult as a JSON object: config, derived metrics (CPI,
+ * WCPI and its Equation-1 factors, Table-VI walk outcomes, Fig-8 PTE
+ * locations), every raw counter, and — when non-null — a stats-registry
+ * snapshot captured by ObsSession::finishRun().
+ *
+ * @param freqGHz cycle-to-seconds scale for the "seconds" field
+ */
+void writeRunResultJson(std::ostream &os, const RunResult &result,
+                        const std::vector<StatsRegistry::Sample> *stats =
+                            nullptr,
+                        double freqGHz = 2.5);
+
+/** Write several RunResults as a JSON array (a sweep export). */
+void writeRunResultsJson(std::ostream &os,
+                         const std::vector<RunResult> &results,
+                         double freqGHz = 2.5);
+
+/**
+ * Write one RunResult (plus optional registry snapshot) to a file.
+ * fatal() if the file cannot be opened.
+ */
+void writeRunResultJsonFile(const std::string &path, const RunResult &result,
+                            const std::vector<StatsRegistry::Sample> *stats =
+                                nullptr,
+                            double freqGHz = 2.5);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_RUN_EXPORT_HH

@@ -58,8 +58,20 @@ Core::stall(double cycles)
 }
 
 void
-Core::accountWalk(const WalkResult &walk, bool isStore, bool retired)
+Core::accountWalk(Addr vaddr, const WalkResult &walk, bool isStore,
+                  bool retired)
 {
+    if (tracer_) {
+        WalkTrace trace;
+        trace.vaddr = vaddr;
+        trace.startCycle = static_cast<Cycles>(cycleAcc_);
+        trace.cycles = walk.cycles;
+        trace.startLevel = static_cast<std::int8_t>(walk.startLevel);
+        trace.hitLevel = walk.hitLevelAt;
+        trace.outcome = classifyWalk(walk, retired);
+        trace.isStore = isStore;
+        tracer_->record(trace);
+    }
     counters_.add(isStore ? EventId::DtlbStoreMissesMissCausesAWalk
                           : EventId::DtlbLoadMissesMissCausesAWalk);
     counters_.add(isStore ? EventId::DtlbStoreMissesWalkDuration
@@ -114,7 +126,7 @@ Core::wrongPathRef(Addr vaddr, Cycles budget)
         break;
       }
       case TlbLevel::Miss:
-        accountWalk(t.walk, false, false);
+        accountWalk(vaddr, t.walk, false, false);
         walker_busy = t.walk.cycles;
         if (t.walk.completed && !t.walk.faulted) {
             hierarchy_.access(t.walk.translation.paddr(vaddr),
@@ -213,14 +225,14 @@ Core::executeRef(RefSource &source, const Ref &ref)
     } else if (t.tlbLevel == TlbLevel::Miss) {
         pendingClearKill_ = false;
         bool ok = t.walk.completed && !t.walk.faulted && !squashed;
-        accountWalk(t.walk, ref.isStore, ok);
+        accountWalk(ref.vaddr, t.walk, ref.isStore, ok);
         stall(static_cast<double>(t.walk.cycles) * walkExposure_);
         if (!t.walk.completed) {
             // The machine clear killed the walk; after the flush the
             // access re-executes and walks again from scratch.
             MmuResult retry = mmu_.translate(ref.vaddr, false);
             if (retry.tlbLevel == TlbLevel::Miss) {
-                accountWalk(retry.walk, ref.isStore,
+                accountWalk(ref.vaddr, retry.walk, ref.isStore,
                             retry.walk.completed && !retry.walk.faulted);
                 stall(static_cast<double>(retry.walk.cycles) *
                       walkExposure_);

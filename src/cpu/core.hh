@@ -14,6 +14,7 @@
 #include "cpu/core_params.hh"
 #include "cpu/ref_stream.hh"
 #include "mmu/mmu.hh"
+#include "obs/walk_trace.hh"
 #include "perf/counter_set.hh"
 #include "util/random.hh"
 #include "vm/address_space.hh"
@@ -67,6 +68,14 @@ class Core
     const CoreParams &params() const { return params_; }
     const WorkloadTraits &traits() const { return traits_; }
 
+    /**
+     * Attach (or detach, with nullptr) a per-walk tracer. Every page
+     * walk the core accounts — correct-path, wrong-path, and post-clear
+     * re-walks — is recorded with its outcome label. With no tracer
+     * attached the hook is one never-taken branch.
+     */
+    void attachTracer(WalkTracer *tracer) { tracer_ = tracer; }
+
   private:
     /** Execute one correct-path reference. */
     void executeRef(RefSource &source, const Ref &ref);
@@ -84,9 +93,11 @@ class Core
     /** Physical address of a correct-path access (via the micro-cache). */
     PhysAddr dataPaddr(Addr vaddr);
 
-    /** Account a walk's counter events. @param isStore attribute to the
-     * store events @param retired walk belongs to a retiring access */
-    void accountWalk(const WalkResult &walk, bool isStore, bool retired);
+    /** Account a walk's counter events and trace it. @param isStore
+     * attribute to the store events @param retired walk belongs to a
+     * retiring access */
+    void accountWalk(Addr vaddr, const WalkResult &walk, bool isStore,
+                     bool retired);
 
     Mmu &mmu_;
     CacheHierarchy &hierarchy_;
@@ -96,6 +107,8 @@ class Core
     Rng rng_;
     /** MLP-scaled effective walk exposure (see CoreParams). */
     double walkExposure_ = 0.0;
+    /** Optional per-walk trace sink (null = tracing disabled). */
+    WalkTracer *tracer_ = nullptr;
 
     CounterSet counters_;
     /** Cycle accumulator (fractional stalls), flushed into counters_. */

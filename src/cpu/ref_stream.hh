@@ -13,12 +13,15 @@
 #define ATSCALE_CPU_REF_STREAM_HH
 
 #include <cstdint>
+#include <string>
 
 #include "util/random.hh"
 #include "util/types.hh"
 
 namespace atscale
 {
+
+class StatsRegistry;
 
 /** One correct-path memory reference. */
 struct Ref
@@ -57,6 +60,18 @@ class RefSource
      * inside the workload's mapped regions.
      */
     virtual Addr wrongPathAddr(Rng &rng) = 0;
+
+    /**
+     * Register workload-side statistics under "<prefix>.". The default
+     * registers nothing; streams with interesting internal state (KV hit
+     * rates, graph cursors) override it.
+     */
+    virtual void
+    registerStats(StatsRegistry &registry, const std::string &prefix) const
+    {
+        (void)registry;
+        (void)prefix;
+    }
 };
 
 } // namespace atscale

@@ -53,4 +53,12 @@ Mmu::flushAll()
     pscs_.flush();
 }
 
+void
+Mmu::registerStats(StatsRegistry &registry, const std::string &prefix) const
+{
+    tlb_.registerStats(registry, prefix + ".tlb");
+    pscs_.registerStats(registry, prefix + ".psc");
+    walker_.registerStats(registry, prefix + ".walker");
+}
+
 } // namespace atscale

@@ -75,6 +75,10 @@ class Mmu
     /** Flush all translation state (TLBs + PSCs). */
     void flushAll();
 
+    /** Register TLB/PSC/walker statistics under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
+
   private:
     AddressSpace &space_;
     TlbComplex tlb_;

@@ -1,5 +1,6 @@
 #include "mmu/paging_structure_cache.hh"
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -120,6 +121,25 @@ PagingStructureCaches::levelHits(int level) const
 {
     panic_if(level < 1 || level > 3, "PSC level %d out of range", level);
     return arrays_[static_cast<size_t>(level - 1)].hits;
+}
+
+void
+PagingStructureCaches::registerStats(StatsRegistry &registry,
+                                     const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".hits", [this] {
+        return static_cast<double>(hits());
+    }, "probes that hit some array");
+    registry.addScalar(prefix + ".misses", [this] {
+        return static_cast<double>(misses());
+    }, "probes that missed every array");
+    const char *names[] = {"pde", "pdpte", "pml4e"};
+    for (int level = 1; level <= 3; ++level) {
+        registry.addScalar(
+            prefix + "." + names[level - 1] + "_hits",
+            [this, level] { return static_cast<double>(levelHits(level)); },
+            "probes satisfied by this array");
+    }
 }
 
 } // namespace atscale

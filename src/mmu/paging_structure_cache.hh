@@ -14,12 +14,15 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
 
 namespace atscale
 {
+
+class StatsRegistry;
 
 /** Geometry of the three paging-structure caches. */
 struct PscParams
@@ -82,6 +85,10 @@ class PagingStructureCaches
     Count misses() const { return misses_; }
     /** Per-array hit counts indexed by entry level (1, 2, 3). */
     Count levelHits(int level) const;
+
+    /** Register probe and per-array hit statistics under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
 
     const PscParams &params() const { return params_; }
 

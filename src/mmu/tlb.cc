@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -31,6 +32,17 @@ Tlb::lookup(Addr vaddr, PageSize &size_out)
     }
     ++misses_;
     return false;
+}
+
+void
+Tlb::registerStats(StatsRegistry &registry, const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".hits", [this] {
+        return static_cast<double>(hits());
+    }, "lookups satisfied by this array");
+    registry.addScalar(prefix + ".misses", [this] {
+        return static_cast<double>(misses());
+    }, "lookups this array missed");
 }
 
 void

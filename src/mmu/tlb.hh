@@ -18,6 +18,8 @@
 namespace atscale
 {
 
+class StatsRegistry;
+
 /**
  * A TLB array. Each entry tags a (virtual page number, page size) pair;
  * lookups probe every page size the array supports, mirroring how a
@@ -63,6 +65,10 @@ class Tlb
 
     const std::string &name() const { return array_.name(); }
     Count capacity() const { return array_.capacity(); }
+
+    /** Register this array's statistics under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     /**

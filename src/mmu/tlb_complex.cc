@@ -1,5 +1,7 @@
 #include "mmu/tlb_complex.hh"
 
+#include "obs/stats_registry.hh"
+
 namespace atscale
 {
 
@@ -85,6 +87,26 @@ Count
 TlbComplex::l1Hits() const
 {
     return l1_4k_.hits() + l1_2m_.hits() + l1_1g_.hits();
+}
+
+void
+TlbComplex::registerStats(StatsRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".lookups", [this] {
+        return static_cast<double>(lookups());
+    }, "translation requests");
+    registry.addScalar(prefix + ".l1_hits", [this] {
+        return static_cast<double>(l1Hits());
+    }, "hits across the first-level arrays");
+    registry.addScalar(prefix + ".l2_hits", [this] {
+        return static_cast<double>(l2Hits());
+    }, "second-level (STLB) hits");
+    registry.addScalar(prefix + ".misses", [this] {
+        return static_cast<double>(misses());
+    }, "lookups that missed both levels");
+    for (const Tlb *tlb : {&l1_4k_, &l1_2m_, &l1_1g_, &l2_})
+        tlb->registerStats(registry, prefix + "." + tlb->name());
 }
 
 } // namespace atscale

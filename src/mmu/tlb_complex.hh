@@ -72,6 +72,10 @@ class TlbComplex
     /** Total lookups. */
     Count lookups() const { return lookups_; }
 
+    /** Register complex-level and per-array statistics under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
+
     const TlbParams &params() const { return params_; }
 
   private:

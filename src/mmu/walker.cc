@@ -1,5 +1,6 @@
 #include "mmu/walker.hh"
 
+#include "obs/stats_registry.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 #include "vm/pte.hh"
@@ -42,6 +43,8 @@ PageWalker::walk(Addr vaddr, const PageTable &table, Cycles budget)
             hierarchy_.access(entry_addr, AccessKind::PtwLoad);
         ++result.ptwAccesses;
         ++result.loadsAtLevel[static_cast<size_t>(mem_access.level)];
+        result.hitLevelAt[static_cast<size_t>(level)] =
+            static_cast<std::int8_t>(mem_access.level);
         result.cycles += mem_access.latency + params_.perStepCycles;
 
         if (result.cycles > budget) {
@@ -90,6 +93,24 @@ PageWalker::resetStats()
     completed_ = 0;
     aborted_ = 0;
     walkCycles_ = 0;
+}
+
+void
+PageWalker::registerStats(StatsRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".initiated", [this] {
+        return static_cast<double>(walksInitiated());
+    }, "walks started");
+    registry.addScalar(prefix + ".completed", [this] {
+        return static_cast<double>(walksCompleted());
+    }, "walks that reached a terminal entry");
+    registry.addScalar(prefix + ".aborted", [this] {
+        return static_cast<double>(walksAborted());
+    }, "walks cut short by their cycle budget");
+    registry.addScalar(prefix + ".walk_cycles", [this] {
+        return static_cast<double>(totalWalkCycles());
+    }, "total cycles across all walks");
 }
 
 } // namespace atscale

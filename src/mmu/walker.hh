@@ -23,6 +23,8 @@
 namespace atscale
 {
 
+class StatsRegistry;
+
 /** Walker timing parameters. */
 struct WalkerParams
 {
@@ -52,6 +54,12 @@ struct WalkResult
     int startLevel = ptLevels - 1;
     /** PTE loads satisfied at each memory level (page_walker_loads.*). */
     std::array<Count, numMemLevels> loadsAtLevel{};
+    /**
+     * Cache-hierarchy level (MemLevel as int) that served the PTE load at
+     * each radix level, indexed 0 (PT) .. 3 (PML4); -1 where the walk
+     * issued no load (skipped by the PSC, or cut short by the budget).
+     */
+    std::array<std::int8_t, ptLevels> hitLevelAt{-1, -1, -1, -1};
 };
 
 /**
@@ -88,6 +96,10 @@ class PageWalker
     Cycles totalWalkCycles() const { return walkCycles_; }
     /** Reset statistics. */
     void resetStats();
+
+    /** Register walk-outcome statistics under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
 
     const WalkerParams &params() const { return params_; }
 

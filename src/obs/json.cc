@@ -1,0 +1,189 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    panic_if(!stack_.empty(), "JsonWriter destroyed with %zu open scopes",
+             stack_.size());
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeItem(bool isKey)
+{
+    if (keyPending_) {
+        panic_if(isKey, "JSON key written while a key was pending");
+        keyPending_ = false;
+        return;
+    }
+    panic_if(!stack_.empty() && stack_.back() == Scope::Object && !isKey,
+             "JSON value written inside an object without a key");
+    if (!stack_.empty()) {
+        if (!first_)
+            os_ << ',';
+        indent();
+    }
+    first_ = false;
+}
+
+void
+JsonWriter::beforeScopeEnd()
+{
+    panic_if(stack_.empty(), "JSON scope closed with none open");
+    panic_if(keyPending_, "JSON scope closed with a dangling key");
+    bool wasEmpty = first_;
+    stack_.pop_back();
+    first_ = false;
+    if (!wasEmpty)
+        indent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeItem(false);
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    beforeScopeEnd();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeItem(false);
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    beforeScopeEnd();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    panic_if(stack_.empty() || stack_.back() == Scope::Array,
+             "JSON key '%s' written outside an object", k.c_str());
+    beforeItem(true);
+    os_ << '"' << jsonEscape(k) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeItem(false);
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeItem(false);
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeItem(false);
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeItem(false);
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeItem(false);
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace atscale

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A tiny streaming JSON writer: enough to emit run results, window
+ * series, and Chrome trace_event files without any external dependency.
+ * Commas, quoting, and nesting are managed by an explicit object/array
+ * stack; misuse (value without a key inside an object, unclosed scopes)
+ * panics rather than emitting malformed output.
+ */
+
+#ifndef ATSCALE_OBS_JSON_HH
+#define ATSCALE_OBS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atscale
+{
+
+/** Escape a string for inclusion in a JSON document (no outer quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming writer. Pretty-prints with 2-space indentation when
+ * constructed with pretty=true, otherwise emits compact single-line JSON
+ * (the right choice for JSONL records).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+    ~JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a key inside an object; must be followed by a value/scope. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(bool v);
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** All opened scopes are closed. */
+    bool done() const { return stack_.empty(); }
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void beforeItem(bool isKey);
+    void beforeScopeEnd();
+    void indent();
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<Scope> stack_;
+    /** First item not yet written in the innermost scope. */
+    bool first_ = true;
+    /** A key was just written; the next item is its value. */
+    bool keyPending_ = false;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_OBS_JSON_HH

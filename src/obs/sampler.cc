@@ -1,0 +1,89 @@
+#include "obs/sampler.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+double
+WindowSample::cpi() const
+{
+    Count instr = instructions();
+    return instr ? static_cast<double>(delta.get(EventId::CpuClkUnhalted)) /
+                       static_cast<double>(instr)
+                 : 0.0;
+}
+
+WindowSampler::WindowSampler(Count windowInstructions)
+    : window_(windowInstructions)
+{
+    fatal_if(window_ == 0, "sampler window must be at least 1 instruction");
+}
+
+void
+WindowSampler::reset(const CounterSet &baseline)
+{
+    baseline_ = baseline;
+    lastClose_ = baseline;
+    lastCloseInstr_ = 0;
+    windows_.clear();
+}
+
+void
+WindowSampler::observe(const CounterSet &cumulative)
+{
+    Count instr = cumulative.since(baseline_).get(EventId::InstRetired);
+    if (instr - lastCloseInstr_ < window_)
+        return;
+
+    WindowSample sample;
+    sample.index = windows_.size();
+    sample.instrStart = lastCloseInstr_;
+    sample.instrEnd = instr;
+    sample.delta = cumulative.since(lastClose_);
+    sample.wcpi = wcpiTerms(sample.delta);
+    sample.outcomes = walkOutcomes(sample.delta);
+    windows_.push_back(sample);
+
+    lastClose_ = cumulative;
+    lastCloseInstr_ = instr;
+
+    for (const Sink &sink : sinks_)
+        sink(windows_.back());
+}
+
+std::string
+windowSampleToJsonl(const WindowSample &w)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "{\"window\":" << w.index
+       << ",\"instr_start\":" << w.instrStart
+       << ",\"instr_end\":" << w.instrEnd
+       << ",\"cycles\":" << w.delta.get(EventId::CpuClkUnhalted)
+       << ",\"cpi\":" << w.cpi()
+       << ",\"wcpi\":" << w.wcpi.wcpi()
+       << ",\"accesses_per_instr\":" << w.wcpi.accessesPerInstr
+       << ",\"tlb_misses_per_access\":" << w.wcpi.tlbMissesPerAccess
+       << ",\"ptw_accesses_per_walk\":" << w.wcpi.ptwAccessesPerWalk
+       << ",\"walk_cycles_per_ptw_access\":" << w.wcpi.walkCyclesPerPtwAccess
+       << ",\"walks_initiated\":" << w.outcomes.initiated
+       << ",\"walks_completed\":" << w.outcomes.completed
+       << ",\"walks_retired\":" << w.outcomes.retired
+       << ",\"aborted_fraction\":" << w.outcomes.abortedFraction()
+       << ",\"wrong_path_fraction\":" << w.outcomes.wrongPathFraction()
+       << "}";
+    return os.str();
+}
+
+void
+WindowSampler::exportJsonl(std::ostream &os) const
+{
+    for (const WindowSample &w : windows_)
+        os << windowSampleToJsonl(w) << '\n';
+}
+
+} // namespace atscale

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Windowed counter sampling: carve a run's cumulative CounterSet into
+ * fixed instruction windows and derive per-window metrics (the Equation-1
+ * WCPI decomposition and the Table-VI walk-outcome mix), enabling
+ * time-resolved plots (the paper's Fig. 5 trajectories) and online
+ * consumers such as the hugepage advisor.
+ *
+ * Semantics match CounterSet::since(): the sampler is reset with a
+ * baseline snapshot at the start of the measurement window (excluding
+ * warm-up), then observes monotone cumulative snapshots of the same
+ * counters. A window closes at the first observation at or past the next
+ * window boundary, and the whole delta since the previous close is
+ * attributed to it — windows are only as granular as the observations,
+ * so each covers at least windowInstructions instructions.
+ */
+
+#ifndef ATSCALE_OBS_SAMPLER_HH
+#define ATSCALE_OBS_SAMPLER_HH
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "perf/counter_set.hh"
+#include "perf/derived.hh"
+
+namespace atscale
+{
+
+/** One completed sampling window. */
+struct WindowSample
+{
+    /** Window ordinal, 0-based from the baseline. */
+    std::uint64_t index = 0;
+    /** Instructions retired since baseline at the window's open/close. */
+    Count instrStart = 0;
+    Count instrEnd = 0;
+    /** Counter deltas over the window. */
+    CounterSet delta;
+    /** Equation-1 terms of the window. */
+    WcpiTerms wcpi;
+    /** Table-VI walk-outcome mix of the window. */
+    WalkOutcomes outcomes;
+
+    /** Cycles per instruction over the window. */
+    double cpi() const;
+    /** Instructions in the window. */
+    Count instructions() const { return instrEnd - instrStart; }
+};
+
+/**
+ * The sampler. Construct with a window size, reset() with the baseline
+ * snapshot, then observe() cumulative snapshots as the run progresses.
+ */
+class WindowSampler
+{
+  public:
+    using Sink = std::function<void(const WindowSample &)>;
+
+    /** @param windowInstructions window size; must be > 0 */
+    explicit WindowSampler(Count windowInstructions);
+
+    /**
+     * Start a measurement: remember `baseline` as instruction zero and
+     * drop previously collected windows. Deltas are computed with
+     * CounterSet::since(), so warm-up activity before the baseline never
+     * leaks into any window.
+     */
+    void reset(const CounterSet &baseline);
+
+    /**
+     * Observe a cumulative snapshot; closes at most one window (whole
+     * delta attributed). Snapshots must be monotone over one run.
+     */
+    void observe(const CounterSet &cumulative);
+
+    /** Register a callback invoked as each window closes. */
+    void addSink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+    /** Completed windows, oldest first. */
+    const std::vector<WindowSample> &windows() const { return windows_; }
+
+    Count windowInstructions() const { return window_; }
+
+    /** One JSONL line per completed window (schema in OBSERVABILITY.md). */
+    void exportJsonl(std::ostream &os) const;
+
+  private:
+    Count window_;
+    CounterSet baseline_;
+    /** Snapshot at the last window close (initially the baseline). */
+    CounterSet lastClose_;
+    /** Instructions since baseline at the last window close. */
+    Count lastCloseInstr_ = 0;
+    std::vector<WindowSample> windows_;
+    std::vector<Sink> sinks_;
+};
+
+/** Serialize one window as a single JSONL line (no trailing newline). */
+std::string windowSampleToJsonl(const WindowSample &window);
+
+} // namespace atscale
+
+#endif // ATSCALE_OBS_SAMPLER_HH

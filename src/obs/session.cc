@@ -1,0 +1,211 @@
+#include "obs/session.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Parse the value of a --flag=value argument as a positive integer. */
+bool
+parseCount(const std::string &value, std::uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    return *end == '\0' && out > 0;
+}
+
+/** Strip a trailing ".json" so derived outputs sit next to the JSON. */
+std::string
+stem(const std::string &path)
+{
+    const std::string suffix = ".json";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0)
+        return path.substr(0, path.size() - suffix.size());
+    return path;
+}
+
+} // namespace
+
+bool
+parseObsFlag(const std::string &arg, ObsOptions &options, std::string &error)
+{
+    error.clear();
+    auto valueOf = [&](const char *prefix, std::string &out) {
+        std::size_t n = std::string(prefix).size();
+        if (arg.compare(0, n, prefix) != 0)
+            return false;
+        out = arg.substr(n);
+        return true;
+    };
+
+    std::string value;
+    if (valueOf("--sample-window=", value)) {
+        if (!parseCount(value, options.sampleWindow)) {
+            error = "--sample-window expects a positive instruction count";
+            return false;
+        }
+        return true;
+    }
+    if (valueOf("--trace=", value)) {
+        if (value.empty()) {
+            error = "--trace expects a non-empty output prefix";
+            return false;
+        }
+        options.tracePrefix = value;
+        return true;
+    }
+    if (valueOf("--json-out=", value)) {
+        if (value.empty()) {
+            error = "--json-out expects a non-empty output path";
+            return false;
+        }
+        options.jsonOut = value;
+        return true;
+    }
+    if (valueOf("--trace-capacity=", value)) {
+        std::uint64_t n = 0;
+        if (!parseCount(value, n)) {
+            error = "--trace-capacity expects a positive record count";
+            return false;
+        }
+        options.traceCapacity = static_cast<std::size_t>(n);
+        return true;
+    }
+    // Malformed spellings of our flags (e.g. "--trace" without '=') are
+    // errors, not silently unrelated arguments.
+    for (const char *name :
+         {"--sample-window", "--trace-capacity", "--trace", "--json-out"}) {
+        if (arg.compare(0, std::string(name).size(), name) == 0) {
+            error = std::string(name) + " requires =<value>";
+            return false;
+        }
+    }
+    return false;
+}
+
+bool
+extractObsFlags(int &argc, char **argv, ObsOptions &options,
+                std::string &error)
+{
+    error.clear();
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string err;
+        if (parseObsFlag(argv[i], options, err))
+            continue;
+        if (!err.empty()) {
+            if (error.empty())
+                error = err;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return error.empty();
+}
+
+ObsSession::ObsSession(const ObsOptions &options)
+    : options_(options)
+{
+    if (options_.sampleWindow > 0)
+        sampler_ = std::make_unique<WindowSampler>(options_.sampleWindow);
+    if (!options_.tracePrefix.empty())
+        tracer_ = std::make_unique<WalkTracer>(options_.traceCapacity);
+}
+
+void
+ObsSession::beginMeasurement(const CounterSet &baseline)
+{
+    if (sampler_)
+        sampler_->reset(baseline);
+    if (tracer_)
+        tracer_->clear();
+}
+
+void
+ObsSession::observe(const CounterSet &cumulative)
+{
+    if (sampler_)
+        sampler_->observe(cumulative);
+}
+
+Count
+ObsSession::chunkRefs() const
+{
+    if (!sampler_)
+        return 0;
+    // Observe a few times per window so boundaries land close to the
+    // target without measurably slowing the run. References retire at
+    // least one instruction each, so window/4 refs never skips a window.
+    return std::clamp<Count>(options_.sampleWindow / 4, 256, 1 << 16);
+}
+
+void
+ObsSession::finishRun()
+{
+    statsSnapshot_ = registry_.snapshot();
+    registry_.clear();
+}
+
+std::string
+ObsSession::windowsPath() const
+{
+    if (!sampling())
+        return "";
+    if (!options_.jsonOut.empty())
+        return stem(options_.jsonOut) + ".windows.jsonl";
+    if (!options_.tracePrefix.empty())
+        return options_.tracePrefix + ".windows.jsonl";
+    return "";
+}
+
+std::string
+ObsSession::walksJsonlPath() const
+{
+    return tracing() ? options_.tracePrefix + ".walks.jsonl" : "";
+}
+
+std::string
+ObsSession::chromeTracePath() const
+{
+    return tracing() ? options_.tracePrefix + ".trace.json" : "";
+}
+
+std::vector<std::string>
+ObsSession::writeOutputs(double freqGHz) const
+{
+    std::vector<std::string> written;
+    auto open = [&](const std::string &path) {
+        std::ofstream out(path);
+        fatal_if(!out, "cannot open observability output '%s'", path.c_str());
+        return out;
+    };
+
+    if (std::string path = windowsPath(); !path.empty()) {
+        std::ofstream out = open(path);
+        sampler_->exportJsonl(out);
+        written.push_back(path);
+    }
+    if (tracing()) {
+        std::ofstream walks = open(walksJsonlPath());
+        tracer_->exportJsonl(walks);
+        written.push_back(walksJsonlPath());
+
+        std::ofstream chrome = open(chromeTracePath());
+        tracer_->exportChromeTrace(chrome, freqGHz);
+        written.push_back(chromeTracePath());
+    }
+    return written;
+}
+
+} // namespace atscale

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * One run's observability bundle: options parsed from --trace= /
+ * --sample-window= / --json-out= flags, plus the stats registry, window
+ * sampler, and walk tracer those options enable. The experiment driver
+ * owns the simulation; it attaches the session's tracer to the core,
+ * registers component stats, feeds the sampler cumulative counter
+ * snapshots, and finally snapshots the registry before the platform is
+ * torn down. Everything here is passive — the session never touches the
+ * simulator, so an absent session costs the hot path nothing.
+ */
+
+#ifndef ATSCALE_OBS_SESSION_HH
+#define ATSCALE_OBS_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.hh"
+#include "obs/stats_registry.hh"
+#include "obs/walk_trace.hh"
+
+namespace atscale
+{
+
+/** What to observe, usually parsed from command-line flags. */
+struct ObsOptions
+{
+    /** Instructions per sampling window (0 = sampling off). */
+    Count sampleWindow = 0;
+    /** Output prefix for walk traces (empty = tracing off). */
+    std::string tracePrefix;
+    /** Path for the RunResult JSON (empty = off). */
+    std::string jsonOut;
+    /** Walk-trace ring capacity. */
+    std::size_t traceCapacity = 1 << 16;
+
+    /** Any observability requested at all. */
+    bool
+    any() const
+    {
+        return sampleWindow > 0 || !tracePrefix.empty() || !jsonOut.empty();
+    }
+};
+
+/**
+ * Parse one command-line argument against the observability flags
+ * (--sample-window=N, --trace=PREFIX, --json-out=PATH,
+ * --trace-capacity=N).
+ *
+ * @return true when the argument was a well-formed observability flag.
+ *         On false, `error` distinguishes a malformed observability flag
+ *         (non-empty message) from an unrelated argument (empty).
+ */
+bool parseObsFlag(const std::string &arg, ObsOptions &options,
+                  std::string &error);
+
+/**
+ * Extract every observability flag from argv (argv[0] is untouched),
+ * compacting the remaining arguments in place and shrinking argc, so a
+ * harness can parse its own arguments afterwards.
+ *
+ * @return false when any observability flag was malformed; `error`
+ *         carries the first parse error. Unrelated arguments are never
+ *         errors here — they are left for the caller.
+ */
+bool extractObsFlags(int &argc, char **argv, ObsOptions &options,
+                     std::string &error);
+
+/** The observability state for one run. */
+class ObsSession
+{
+  public:
+    explicit ObsSession(const ObsOptions &options);
+
+    const ObsOptions &options() const { return options_; }
+
+    /** Any instrumentation enabled. */
+    bool enabled() const { return options_.any(); }
+    bool sampling() const { return sampler_ != nullptr; }
+    bool tracing() const { return tracer_ != nullptr; }
+
+    StatsRegistry &registry() { return registry_; }
+    /** Null when sampling is off. */
+    WindowSampler *sampler() { return sampler_.get(); }
+    /** Null when tracing is off. */
+    WalkTracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Start the measurement window: baseline the sampler on the
+     * post-warm-up counter snapshot and clear the tracer.
+     */
+    void beginMeasurement(const CounterSet &baseline);
+
+    /** Feed the sampler one cumulative snapshot (no-op if not sampling). */
+    void observe(const CounterSet &cumulative);
+
+    /**
+     * Reference-stream chunk size the experiment driver should use
+     * between observations (0 = no chunking needed).
+     */
+    Count chunkRefs() const;
+
+    /**
+     * Materialize registry values (call before the registered components
+     * are destroyed) and drop the registrations.
+     */
+    void finishRun();
+
+    /** Stats captured by finishRun(). */
+    const std::vector<StatsRegistry::Sample> &
+    statsSnapshot() const
+    {
+        return statsSnapshot_;
+    }
+
+    /** Derived output paths (empty when the corresponding output is off). */
+    std::string windowsPath() const;
+    std::string walksJsonlPath() const;
+    std::string chromeTracePath() const;
+
+    /**
+     * Write the window JSONL and the two trace files (whichever are
+     * enabled). fatal() if a file cannot be opened.
+     * @param freqGHz cycle-to-microsecond scale for the Chrome trace
+     * @return the paths written
+     */
+    std::vector<std::string> writeOutputs(double freqGHz = 2.5) const;
+
+  private:
+    ObsOptions options_;
+    StatsRegistry registry_;
+    std::unique_ptr<WindowSampler> sampler_;
+    std::unique_ptr<WalkTracer> tracer_;
+    std::vector<StatsRegistry::Sample> statsSnapshot_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_OBS_SESSION_HH

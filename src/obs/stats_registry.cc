@@ -1,0 +1,120 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+bool
+StatsRegistry::taken(const std::string &name) const
+{
+    for (const ScalarEntry &e : scalars_)
+        if (e.name == name)
+            return true;
+    for (const HistEntry &e : hists_)
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+void
+StatsRegistry::addScalar(const std::string &name, Getter get,
+                         const std::string &desc)
+{
+    fatal_if(name.empty(), "statistic must have a name");
+    fatal_if(!get, "statistic '%s' has no getter", name.c_str());
+    fatal_if(taken(name), "duplicate statistic '%s'", name.c_str());
+    scalars_.push_back({name, std::move(get), desc});
+}
+
+void
+StatsRegistry::addHistogram(const std::string &name, const Histogram *hist,
+                            const std::string &desc)
+{
+    fatal_if(name.empty(), "statistic must have a name");
+    fatal_if(!hist, "histogram statistic '%s' is null", name.c_str());
+    fatal_if(taken(name), "duplicate statistic '%s'", name.c_str());
+    hists_.push_back({name, hist, desc});
+}
+
+std::vector<StatsRegistry::Sample>
+StatsRegistry::snapshot() const
+{
+    std::vector<Sample> out;
+    out.reserve(scalars_.size() + hists_.size() * 4);
+    for (const ScalarEntry &e : scalars_)
+        out.push_back({e.name, e.get(), e.desc});
+    for (const HistEntry &e : hists_) {
+        out.push_back({e.name + ".count",
+                       static_cast<double>(e.hist->total()), e.desc});
+        if (e.hist->total() > 0) {
+            out.push_back({e.name + ".p50", e.hist->quantile(0.50), ""});
+            out.push_back({e.name + ".p90", e.hist->quantile(0.90), ""});
+            out.push_back({e.name + ".p99", e.hist->quantile(0.99), ""});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample &a, const Sample &b) { return a.name < b.name; });
+    return out;
+}
+
+namespace
+{
+
+/** Number of leading dot-separated components `a` and `b` share. */
+std::size_t
+sharedComponents(const std::string &a, const std::string &b)
+{
+    std::size_t shared = 0, start = 0;
+    while (true) {
+        std::size_t ea = a.find('.', start);
+        std::size_t eb = b.find('.', start);
+        if (ea == std::string::npos || eb != ea ||
+            a.compare(start, ea - start, b, start, eb - start) != 0) {
+            return shared;
+        }
+        ++shared;
+        start = ea + 1;
+    }
+}
+
+} // namespace
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    std::vector<Sample> samples = snapshot();
+    std::string prev;
+    for (const Sample &s : samples) {
+        // Print any group headers this name opens relative to the last.
+        std::size_t depth = sharedComponents(prev, s.name);
+        std::size_t start = 0;
+        for (std::size_t d = 0; d < depth; ++d)
+            start = s.name.find('.', start) + 1;
+        std::size_t dot;
+        while ((dot = s.name.find('.', start)) != std::string::npos) {
+            os << std::string(depth * 2, ' ')
+               << s.name.substr(start, dot - start) << '\n';
+            ++depth;
+            start = dot + 1;
+        }
+        os << std::string(depth * 2, ' ') << s.name.substr(start) << ' '
+           << s.value;
+        if (!s.desc.empty())
+            os << "  # " << s.desc;
+        os << '\n';
+        prev = s.name;
+    }
+}
+
+void
+StatsRegistry::clear()
+{
+    scalars_.clear();
+    hists_.clear();
+}
+
+} // namespace atscale

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A gem5-style statistics registry: components register named scalars and
+ * distributions under dotted hierarchical names ("mmu.tlb.l2.hits"), and
+ * the registry renders them as a tree or materializes a flat snapshot at
+ * end of run.
+ *
+ * Scalars are registered as callbacks reading the component's existing
+ * counters, so registration costs nothing on the simulation hot path;
+ * values are only pulled when the registry is dumped or snapshotted.
+ * Because callbacks capture component pointers, a registry must not be
+ * read after the registered components are destroyed — callers that need
+ * the values to outlive the run take a snapshot() first.
+ */
+
+#ifndef ATSCALE_OBS_STATS_REGISTRY_HH
+#define ATSCALE_OBS_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace atscale
+{
+
+/**
+ * The registry. Names are dotted paths; registration order is free, the
+ * dump sorts lexicographically and indents by path component.
+ */
+class StatsRegistry
+{
+  public:
+    /** Callback producing the current value of a scalar statistic. */
+    using Getter = std::function<double()>;
+
+    /** Register a scalar statistic. fatal() on duplicate names. */
+    void addScalar(const std::string &name, Getter get,
+                   const std::string &desc = "");
+
+    /**
+     * Register a distribution. The histogram is observed by pointer and
+     * expands to <name>.count / .p50 / .p90 / .p99 in dumps/snapshots.
+     */
+    void addHistogram(const std::string &name, const Histogram *hist,
+                      const std::string &desc = "");
+
+    /** One materialized (name, value) pair. */
+    struct Sample
+    {
+        std::string name;
+        double value = 0.0;
+        std::string desc;
+    };
+
+    /** Pull every statistic's current value, sorted by name. */
+    std::vector<Sample> snapshot() const;
+
+    /** Render the current values as an indented tree. */
+    void dump(std::ostream &os) const;
+
+    /** Registered statistics (histograms count once). */
+    std::size_t size() const { return scalars_.size() + hists_.size(); }
+    bool empty() const { return size() == 0; }
+
+    /** Drop all registrations (callbacks may dangle past their source). */
+    void clear();
+
+  private:
+    struct ScalarEntry
+    {
+        std::string name;
+        Getter get;
+        std::string desc;
+    };
+
+    struct HistEntry
+    {
+        std::string name;
+        const Histogram *hist;
+        std::string desc;
+    };
+
+    bool taken(const std::string &name) const;
+
+    std::vector<ScalarEntry> scalars_;
+    std::vector<HistEntry> hists_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_OBS_STATS_REGISTRY_HH

@@ -1,0 +1,238 @@
+#include "obs/walk_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+constexpr const char *outcomeNames[] = {
+    "completed", "faulted", "aborted", "wrong_path"};
+
+/** MemLevel names, local so obs does not link against the cache lib. */
+constexpr const char *hitLevelNames[] = {"L1", "L2", "L3", "memory"};
+
+/**
+ * Find `"key":` in a JSONL line and return the character offset of the
+ * value, or npos.
+ */
+std::size_t
+valueOffset(const std::string &line, const char *key)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    std::size_t pos = line.find(needle);
+    return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+bool
+parseU64(const std::string &line, const char *key, std::uint64_t &out,
+         int base = 10)
+{
+    std::size_t pos = valueOffset(line, key);
+    if (pos == std::string::npos)
+        return false;
+    if (line[pos] == '"')
+        ++pos;
+    char *end = nullptr;
+    out = std::strtoull(line.c_str() + pos, &end, base);
+    return end != line.c_str() + pos;
+}
+
+bool
+parseString(const std::string &line, const char *key, std::string &out)
+{
+    std::size_t pos = valueOffset(line, key);
+    if (pos == std::string::npos || line[pos] != '"')
+        return false;
+    std::size_t close = line.find('"', pos + 1);
+    if (close == std::string::npos)
+        return false;
+    out = line.substr(pos + 1, close - pos - 1);
+    return true;
+}
+
+} // namespace
+
+const char *
+walkOutcomeName(WalkOutcome outcome)
+{
+    return outcomeNames[static_cast<std::size_t>(outcome)];
+}
+
+std::optional<WalkOutcome>
+walkOutcomeFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        if (name == outcomeNames[i])
+            return static_cast<WalkOutcome>(i);
+    return std::nullopt;
+}
+
+WalkOutcome
+classifyWalk(const WalkResult &walk, bool retired)
+{
+    if (!walk.completed)
+        return WalkOutcome::Aborted;
+    if (walk.faulted)
+        return WalkOutcome::Faulted;
+    return retired ? WalkOutcome::Completed : WalkOutcome::WrongPath;
+}
+
+WalkTracer::WalkTracer(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+const WalkTrace &
+WalkTracer::at(std::size_t i) const
+{
+    panic_if(i >= size(), "walk trace index %zu out of range", i);
+    std::size_t start = recorded_ < ring_.size() ? 0 : head_;
+    return ring_[(start + i) % ring_.size()];
+}
+
+void
+WalkTracer::clear()
+{
+    head_ = 0;
+    recorded_ = 0;
+}
+
+std::string
+walkTraceToJsonl(const WalkTrace &trace, std::uint64_t seq)
+{
+    char va[32];
+    std::snprintf(va, sizeof(va), "0x%llx",
+                  static_cast<unsigned long long>(trace.vaddr));
+    std::ostringstream os;
+    os << "{\"seq\":" << seq << ",\"va\":\"" << va << "\",\"store\":"
+       << (trace.isStore ? "true" : "false")
+       << ",\"start_level\":" << static_cast<int>(trace.startLevel)
+       << ",\"outcome\":\"" << walkOutcomeName(trace.outcome)
+       << "\",\"cycles\":" << trace.cycles
+       << ",\"start_cycle\":" << trace.startCycle << ",\"pte_hit\":[";
+    for (int i = 0; i < ptLevels; ++i) {
+        if (i)
+            os << ',';
+        os << static_cast<int>(trace.hitLevel[static_cast<std::size_t>(i)]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::optional<WalkTrace>
+walkTraceFromJsonl(const std::string &line)
+{
+    WalkTrace t;
+    std::uint64_t u;
+    std::string s;
+
+    if (!parseU64(line, "va", u, 16))
+        return std::nullopt;
+    t.vaddr = u;
+    if (!parseString(line, "outcome", s))
+        return std::nullopt;
+    auto outcome = walkOutcomeFromName(s);
+    if (!outcome)
+        return std::nullopt;
+    t.outcome = *outcome;
+    if (!parseU64(line, "cycles", u))
+        return std::nullopt;
+    t.cycles = u;
+    if (!parseU64(line, "start_cycle", u))
+        return std::nullopt;
+    t.startCycle = u;
+    if (!parseU64(line, "start_level", u))
+        return std::nullopt;
+    t.startLevel = static_cast<std::int8_t>(u);
+
+    std::size_t pos = valueOffset(line, "store");
+    if (pos == std::string::npos)
+        return std::nullopt;
+    t.isStore = line.compare(pos, 4, "true") == 0;
+
+    pos = valueOffset(line, "pte_hit");
+    if (pos == std::string::npos || line[pos] != '[')
+        return std::nullopt;
+    ++pos;
+    for (int i = 0; i < ptLevels; ++i) {
+        char *end = nullptr;
+        long v = std::strtol(line.c_str() + pos, &end, 10);
+        if (end == line.c_str() + pos)
+            return std::nullopt;
+        t.hitLevel[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(v);
+        pos = static_cast<std::size_t>(end - line.c_str());
+        if (i + 1 < ptLevels) {
+            if (line[pos] != ',')
+                return std::nullopt;
+            ++pos;
+        }
+    }
+    return t;
+}
+
+void
+WalkTracer::exportJsonl(std::ostream &os) const
+{
+    std::uint64_t seq = firstSeq();
+    for (std::size_t i = 0; i < size(); ++i)
+        os << walkTraceToJsonl(at(i), seq + i) << '\n';
+}
+
+void
+WalkTracer::exportChromeTrace(std::ostream &os, double freqGHz) const
+{
+    // Cycles -> microseconds at the platform frequency.
+    const double usPerCycle = 1.0 / (freqGHz * 1e3);
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (std::size_t i = 0; i < size(); ++i) {
+        const WalkTrace &t = at(i);
+        char va[32];
+        std::snprintf(va, sizeof(va), "0x%llx",
+                      static_cast<unsigned long long>(t.vaddr));
+        os << '\n';
+        w.beginObject();
+        w.kv("name", std::string("walk ") + walkOutcomeName(t.outcome));
+        w.kv("cat", "ptw");
+        w.kv("ph", "X");
+        w.kv("ts", static_cast<double>(t.startCycle) * usPerCycle);
+        // Perfetto drops zero-duration complete events; floor at 1 ns.
+        w.kv("dur",
+             std::max(static_cast<double>(t.cycles) * usPerCycle, 1e-3));
+        w.kv("pid", std::uint64_t{1});
+        w.kv("tid", std::uint64_t{1});
+        w.key("args").beginObject();
+        w.kv("va", va);
+        w.kv("store", t.isStore);
+        w.kv("start_level", static_cast<int>(t.startLevel));
+        w.kv("cycles", t.cycles);
+        w.key("pte_hit").beginArray();
+        for (int lvl = 0; lvl < ptLevels; ++lvl) {
+            std::int8_t h = t.hitLevel[static_cast<std::size_t>(lvl)];
+            w.value(h == walkLevelNotVisited
+                        ? "-"
+                        : hitLevelNames[static_cast<std::size_t>(h)]);
+        }
+        w.endArray();
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("displayTimeUnit", "ns");
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace atscale

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Per-walk tracing: a bounded ring buffer of WalkTrace records capturing
+ * everything one page-table walk did — virtual address, the radix level
+ * the walk started at after PSC probing, where in the cache hierarchy
+ * each visited level's PTE was found, cycles, and the walk's fate
+ * (completed / faulted / aborted / wrong-path).
+ *
+ * Records export to JSONL (one record per line, machine-readable) and to
+ * Chrome trace_event JSON loadable in Perfetto / chrome://tracing. The
+ * tracer is attached to a Core by pointer; when no tracer is attached the
+ * hook is a single never-taken branch, so tracing costs nothing when
+ * disabled.
+ */
+
+#ifndef ATSCALE_OBS_WALK_TRACE_HH
+#define ATSCALE_OBS_WALK_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mmu/walker.hh"
+
+namespace atscale
+{
+
+/** Fate of one traced walk (the trace-level view of Table VI). */
+enum class WalkOutcome : std::uint8_t
+{
+    /** Completed with a present leaf and the access retired. */
+    Completed = 0,
+    /** Completed at a not-present entry (page fault on a correct path). */
+    Faulted = 1,
+    /** Squashed by its cycle budget before reaching a terminal entry. */
+    Aborted = 2,
+    /** Completed but the access never retired (speculative or flushed). */
+    WrongPath = 3,
+};
+
+/** Outcome name ("completed", "faulted", "aborted", "wrong_path"). */
+const char *walkOutcomeName(WalkOutcome outcome);
+
+/** Reverse lookup from an outcome name. */
+std::optional<WalkOutcome> walkOutcomeFromName(const std::string &name);
+
+/**
+ * Classify a finished walk. `retired` is whether the triggering access
+ * retired on the correct path (false for speculative walks and walks
+ * inside a machine-clear squash window).
+ */
+WalkOutcome classifyWalk(const WalkResult &walk, bool retired);
+
+/** Sentinel for "radix level not visited" in WalkTrace::hitLevel. */
+constexpr std::int8_t walkLevelNotVisited = -1;
+
+/** One traced walk. */
+struct WalkTrace
+{
+    /** Virtual address whose translation triggered the walk. */
+    Addr vaddr = 0;
+    /** Core cycle at which the walk was accounted. */
+    Cycles startCycle = 0;
+    /** Cycles the walk occupied the walker. */
+    Cycles cycles = 0;
+    /** Radix level the walk started at after PSC probing (3 = root). */
+    std::int8_t startLevel = ptLevels - 1;
+    /**
+     * Cache-hierarchy level (MemLevel as int) that served the PTE load
+     * at each radix level, indexed 0 (PT) .. 3 (PML4);
+     * walkLevelNotVisited where the walk never issued a load.
+     */
+    std::array<std::int8_t, ptLevels> hitLevel{
+        walkLevelNotVisited, walkLevelNotVisited,
+        walkLevelNotVisited, walkLevelNotVisited};
+    WalkOutcome outcome = WalkOutcome::Completed;
+    /** The triggering access was a store. */
+    bool isStore = false;
+
+    bool operator==(const WalkTrace &) const = default;
+};
+
+/**
+ * Bounded ring buffer of walk records. When full, new records overwrite
+ * the oldest; recorded() vs size() exposes how many were dropped.
+ */
+class WalkTracer
+{
+  public:
+    explicit WalkTracer(std::size_t capacity = 1 << 16);
+
+    /** Append one record (overwrites the oldest when full). */
+    void
+    record(const WalkTrace &trace)
+    {
+        ring_[head_] = trace;
+        head_ = (head_ + 1) % ring_.size();
+        ++recorded_;
+    }
+
+    /** Records currently held (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                        : ring_.size();
+    }
+
+    /** Records ever recorded (monotone). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Records lost to ring wraparound. */
+    std::uint64_t dropped() const { return recorded_ - size(); }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** The i-th held record, oldest first (0 <= i < size()). */
+    const WalkTrace &at(std::size_t i) const;
+
+    /** Sequence number of the oldest held record (0-based). */
+    std::uint64_t firstSeq() const { return dropped(); }
+
+    /** Forget all records. */
+    void clear();
+
+    /** One JSONL line per held record, oldest first. */
+    void exportJsonl(std::ostream &os) const;
+
+    /**
+     * Chrome trace_event JSON ("traceEvents" array of complete events,
+     * one per walk, timestamped in microseconds at freqGHz). Loadable in
+     * Perfetto and chrome://tracing.
+     */
+    void exportChromeTrace(std::ostream &os, double freqGHz = 2.5) const;
+
+  private:
+    std::vector<WalkTrace> ring_;
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+/** Serialize one record as a single JSONL line (no trailing newline). */
+std::string walkTraceToJsonl(const WalkTrace &trace, std::uint64_t seq);
+
+/**
+ * Parse a line produced by walkTraceToJsonl / WalkTracer::exportJsonl.
+ * Returns nullopt on malformed input.
+ */
+std::optional<WalkTrace> walkTraceFromJsonl(const std::string &line);
+
+} // namespace atscale
+
+#endif // ATSCALE_OBS_WALK_TRACE_HH

@@ -39,6 +39,20 @@ class CounterSet
     /** Zero all counters. */
     void reset() { counts_.fill(0); }
 
+    /**
+     * Invoke fn(id, name, value) for every event in EventId order, so
+     * exporters and dumpers never hand-enumerate the event vocabulary.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (int i = 0; i < numEvents; ++i) {
+            auto id = static_cast<EventId>(i);
+            fn(id, eventName(id), counts_[static_cast<size_t>(i)]);
+        }
+    }
+
     /** Element-wise difference (this - earlier snapshot). */
     CounterSet
     since(const CounterSet &snapshot) const

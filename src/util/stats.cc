@@ -1,6 +1,7 @@
 #include "util/stats.hh"
 
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -41,7 +42,7 @@ double
 Histogram::quantile(double p) const
 {
     if (total_ == 0)
-        return lo_;
+        return std::numeric_limits<double>::quiet_NaN();
     double target = p * static_cast<double>(total_);
     double cum = static_cast<double>(underflow_);
     if (cum >= target)
@@ -55,6 +56,29 @@ Histogram::quantile(double p) const
         cum = next;
     }
     return lo_ + width_ * static_cast<double>(buckets_.size());
+}
+
+std::vector<double>
+Histogram::percentiles(const std::vector<double> &ps) const
+{
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps)
+        out.push_back(quantile(p));
+    return out;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(buckets_.size() != other.buckets_.size() ||
+                 lo_ != other.lo_ || width_ != other.width_,
+             "cannot merge histograms with different geometry");
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
 }
 
 } // namespace atscale

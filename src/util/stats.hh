@@ -90,8 +90,25 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     /** Lower edge of bucket i. */
     double bucketLo(int i) const { return lo_ + width_ * i; }
-    /** Approximate p-quantile (linear interpolation within buckets). */
+
+    /**
+     * Approximate p-quantile (linear interpolation within buckets).
+     * An empty histogram has no quantiles: returns NaN.
+     */
     double quantile(double p) const;
+
+    /**
+     * Several quantiles at once (each NaN when the histogram is empty).
+     * @param ps probabilities in [0, 1], in any order
+     */
+    std::vector<double> percentiles(const std::vector<double> &ps) const;
+
+    /**
+     * Accumulate another histogram's contents into this one. The two
+     * must have identical geometry (lo, width, bucket count); panics
+     * otherwise.
+     */
+    void merge(const Histogram &other);
 
   private:
     double lo_;

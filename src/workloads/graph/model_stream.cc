@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 #include "workloads/locality.hh"
 
@@ -126,7 +127,20 @@ GraphModelStream::next(Ref &ref)
         generate();
     }
     ref = batch_[pos_++];
+    ++refsEmitted_;
     return true;
+}
+
+void
+GraphModelStream::registerStats(StatsRegistry &registry,
+                                const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".vertices_visited", [this] {
+        return static_cast<double>(vertex_);
+    }, "sequential vertex-cursor position");
+    registry.addScalar(prefix + ".refs_emitted", [this] {
+        return static_cast<double>(refsEmitted_);
+    }, "memory references emitted to the core");
 }
 
 Addr

@@ -74,6 +74,8 @@ class GraphModelStream : public RefSource
 
     bool next(Ref &ref) override;
     Addr wrongPathAddr(Rng &rng) override;
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const override;
 
   private:
     /** Refill batch_ with the next vertex/edge-group's references. */
@@ -111,6 +113,8 @@ class GraphModelStream : public RefSource
     std::uint64_t vertex_ = 0;
     /** Sequential queue cursor (bfs/bc frontier). */
     std::uint64_t queuePos_ = 0;
+    /** References emitted (for workload stats). */
+    Count refsEmitted_ = 0;
 };
 
 } // namespace atscale

@@ -1,5 +1,6 @@
 #include "workloads/kv/kv_store.hh"
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -138,6 +139,21 @@ KvStore::set(std::uint64_t key)
     sink_.store(itemAddr(fresh), 2);
     sink_.store(itemAddr(fresh) + 64, 1); // value payload
     writeBucket(bucket, fresh);
+}
+
+void
+KvStore::registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".items", [this] {
+        return static_cast<double>(size());
+    }, "items currently stored");
+    registry.addScalar(prefix + ".get_hits", [this] {
+        return static_cast<double>(hits());
+    }, "lifetime get() hits");
+    registry.addScalar(prefix + ".get_misses", [this] {
+        return static_cast<double>(misses());
+    }, "lifetime get() misses");
 }
 
 } // namespace atscale

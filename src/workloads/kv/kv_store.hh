@@ -8,6 +8,7 @@
 #define ATSCALE_WORKLOADS_KV_KV_STORE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/random.hh"
@@ -15,6 +16,8 @@
 
 namespace atscale
 {
+
+class StatsRegistry;
 
 /** KV store geometry. */
 struct KvStoreParams
@@ -55,6 +58,10 @@ class KvStore
     Count hits() const { return hits_; }
     /** Lifetime get() misses. */
     Count misses() const { return misses_; }
+
+    /** Register occupancy and hit/miss counts under "<prefix>.". */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     static constexpr std::uint32_t invalidSlot = ~0u;

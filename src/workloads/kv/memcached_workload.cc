@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats_registry.hh"
 #include "util/logging.hh"
 #include "workloads/kv/kv_store.hh"
 #include "workloads/trace.hh"
@@ -57,6 +58,21 @@ class MemcachedModelStream : public RefSource
         return itemAddr(slot);
     }
 
+    void
+    registerStats(StatsRegistry &registry,
+                  const std::string &prefix) const override
+    {
+        registry.addScalar(prefix + ".requests", [this] {
+            return static_cast<double>(requests_);
+        }, "GET requests generated");
+        registry.addScalar(prefix + ".get_hits", [this] {
+            return static_cast<double>(getHits_);
+        }, "GET requests that hit");
+        registry.addScalar(prefix + ".get_misses", [this] {
+            return static_cast<double>(getMisses_);
+        }, "GET requests that missed (refilled via SET)");
+    }
+
   private:
     void
     push(Addr a, std::uint32_t gap, bool store = false)
@@ -102,14 +118,17 @@ class MemcachedModelStream : public RefSource
             push(itemAddr(slot), 2);
         }
 
+        ++requests_;
         if (rng_.chance(hitRate_)) {
             // Hit: touch the value payload and build the response.
+            ++getHits_;
             push(itemAddr(slot) + 64, 4);
             push(itemAddr(slot) + 64, 30);
         } else {
             // Miss: the client refills with a SET — allocate at the slab
             // cursor, write the item, relink the bucket, occasionally
             // advance the eviction clock.
+            ++getMisses_;
             std::uint64_t n = std::max<std::uint64_t>(items_, 1);
             slabCursor_ = (slabCursor_ + 1) % n;
             push(itemAddr(slabCursor_), 12, true);
@@ -131,6 +150,9 @@ class MemcachedModelStream : public RefSource
     Rng rng_;
     std::uint64_t slabCursor_ = 0;
     std::uint64_t scratchPos_ = 0;
+    Count requests_ = 0;
+    Count getHits_ = 0;
+    Count getMisses_ = 0;
     std::vector<Ref> batch_;
     std::size_t pos_ = 0;
 };

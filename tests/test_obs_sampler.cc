@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the windowed counter sampler and the observability flag
+ * parsing in obs/session.hh.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/sampler.hh"
+#include "obs/session.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** A cumulative snapshot with the given instruction/cycle counts. */
+CounterSet
+snapshot(Count instr, Count cycles)
+{
+    CounterSet c;
+    c.add(EventId::InstRetired, instr);
+    c.add(EventId::CpuClkUnhalted, cycles);
+    return c;
+}
+
+} // namespace
+
+TEST(WindowSampler, NoWindowBeforeBoundary)
+{
+    WindowSampler sampler(1000);
+    sampler.reset(CounterSet{});
+    sampler.observe(snapshot(999, 2000));
+    EXPECT_TRUE(sampler.windows().empty());
+}
+
+TEST(WindowSampler, ClosesAtBoundary)
+{
+    WindowSampler sampler(1000);
+    sampler.reset(CounterSet{});
+    sampler.observe(snapshot(1000, 2000));
+    ASSERT_EQ(sampler.windows().size(), 1u);
+    const WindowSample &w = sampler.windows()[0];
+    EXPECT_EQ(w.index, 0u);
+    EXPECT_EQ(w.instrStart, 0u);
+    EXPECT_EQ(w.instrEnd, 1000u);
+    EXPECT_EQ(w.instructions(), 1000u);
+    EXPECT_DOUBLE_EQ(w.cpi(), 2.0);
+}
+
+TEST(WindowSampler, WholeDeltaAttributedToOneWindow)
+{
+    // An observation far past the boundary closes exactly one window
+    // covering the whole delta: windows are only as granular as the
+    // snapshots.
+    WindowSampler sampler(1000);
+    sampler.reset(CounterSet{});
+    sampler.observe(snapshot(3500, 7000));
+    ASSERT_EQ(sampler.windows().size(), 1u);
+    EXPECT_EQ(sampler.windows()[0].instructions(), 3500u);
+
+    // The next boundary is relative to the close, not a multiple of the
+    // window size.
+    sampler.observe(snapshot(4499, 9000));
+    EXPECT_EQ(sampler.windows().size(), 1u);
+    sampler.observe(snapshot(4500, 9000));
+    ASSERT_EQ(sampler.windows().size(), 2u);
+    EXPECT_EQ(sampler.windows()[1].instrStart, 3500u);
+    EXPECT_EQ(sampler.windows()[1].instrEnd, 4500u);
+}
+
+TEST(WindowSampler, WarmupExcludedLikeCounterSetSince)
+{
+    // The baseline carries warm-up counts; every window delta must match
+    // what CounterSet::since() would report against the same snapshots.
+    CounterSet warmup = snapshot(50'000, 120'000);
+    warmup.add(EventId::DtlbLoadMissesMissCausesAWalk, 777);
+
+    WindowSampler sampler(1000);
+    sampler.reset(warmup);
+
+    CounterSet later = warmup;
+    later.add(EventId::InstRetired, 1500);
+    later.add(EventId::CpuClkUnhalted, 3000);
+    later.add(EventId::DtlbLoadMissesMissCausesAWalk, 5);
+    sampler.observe(later);
+
+    ASSERT_EQ(sampler.windows().size(), 1u);
+    const WindowSample &w = sampler.windows()[0];
+    EXPECT_EQ(w.instructions(), 1500u);
+    CounterSet expect = later.since(warmup);
+    EXPECT_EQ(w.delta.get(EventId::InstRetired),
+              expect.get(EventId::InstRetired));
+    EXPECT_EQ(w.delta.get(EventId::DtlbLoadMissesMissCausesAWalk), 5u);
+    // None of the 777 warm-up walks leak into the window.
+    EXPECT_EQ(w.outcomes.initiated, 5u);
+}
+
+TEST(WindowSampler, ResetDropsCollectedWindows)
+{
+    WindowSampler sampler(100);
+    sampler.reset(CounterSet{});
+    sampler.observe(snapshot(100, 100));
+    ASSERT_EQ(sampler.windows().size(), 1u);
+    sampler.reset(snapshot(100, 100));
+    EXPECT_TRUE(sampler.windows().empty());
+    sampler.observe(snapshot(200, 300));
+    ASSERT_EQ(sampler.windows().size(), 1u);
+    EXPECT_EQ(sampler.windows()[0].instructions(), 100u);
+    EXPECT_DOUBLE_EQ(sampler.windows()[0].cpi(), 2.0);
+}
+
+TEST(WindowSampler, SinksSeeEachWindowOnce)
+{
+    WindowSampler sampler(100);
+    sampler.reset(CounterSet{});
+    int calls = 0;
+    Count last_end = 0;
+    sampler.addSink([&](const WindowSample &w) {
+        ++calls;
+        last_end = w.instrEnd;
+    });
+    sampler.observe(snapshot(150, 100));
+    sampler.observe(snapshot(180, 120));
+    sampler.observe(snapshot(260, 200));
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(last_end, 260u);
+}
+
+TEST(WindowSampler, JsonlHasOneLinePerWindow)
+{
+    WindowSampler sampler(100);
+    sampler.reset(CounterSet{});
+    sampler.observe(snapshot(100, 250));
+    sampler.observe(snapshot(200, 450));
+    std::ostringstream os;
+    sampler.exportJsonl(os);
+    std::istringstream in(os.str());
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"window\":" + std::to_string(lines)),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"cpi\":"), std::string::npos);
+        EXPECT_NE(line.find("\"wcpi\":"), std::string::npos);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2);
+}
+
+TEST(WindowSamplerDeathTest, ZeroWindowIsFatal)
+{
+    EXPECT_DEATH(WindowSampler sampler(0), "window");
+}
+
+TEST(ObsFlags, ParsesAllFlags)
+{
+    ObsOptions options;
+    std::string error;
+    EXPECT_TRUE(parseObsFlag("--sample-window=200000", options, error));
+    EXPECT_TRUE(parseObsFlag("--trace=/tmp/run1", options, error));
+    EXPECT_TRUE(parseObsFlag("--json-out=/tmp/run1.json", options, error));
+    EXPECT_TRUE(parseObsFlag("--trace-capacity=4096", options, error));
+    EXPECT_EQ(options.sampleWindow, 200'000u);
+    EXPECT_EQ(options.tracePrefix, "/tmp/run1");
+    EXPECT_EQ(options.jsonOut, "/tmp/run1.json");
+    EXPECT_EQ(options.traceCapacity, 4096u);
+    EXPECT_TRUE(options.any());
+}
+
+TEST(ObsFlags, MalformedFlagSetsError)
+{
+    ObsOptions options;
+    std::string error;
+    EXPECT_FALSE(parseObsFlag("--sample-window=abc", options, error));
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(parseObsFlag("--sample-window", options, error));
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(parseObsFlag("--trace=", options, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsFlags, UnrelatedArgumentLeavesErrorEmpty)
+{
+    ObsOptions options;
+    std::string error;
+    EXPECT_FALSE(parseObsFlag("--footprint=1G", options, error));
+    EXPECT_TRUE(error.empty());
+    EXPECT_FALSE(options.any());
+}
+
+TEST(ObsSession, DisabledSessionHasNoInstruments)
+{
+    ObsSession session(ObsOptions{});
+    EXPECT_FALSE(session.enabled());
+    EXPECT_FALSE(session.sampling());
+    EXPECT_FALSE(session.tracing());
+    EXPECT_EQ(session.sampler(), nullptr);
+    EXPECT_EQ(session.tracer(), nullptr);
+    EXPECT_EQ(session.chunkRefs(), 0u);
+}
+
+TEST(ObsSession, SamplingSessionChunksTheRun)
+{
+    ObsOptions options;
+    options.sampleWindow = 100'000;
+    ObsSession session(options);
+    EXPECT_TRUE(session.sampling());
+    ASSERT_NE(session.sampler(), nullptr);
+    Count chunk = session.chunkRefs();
+    EXPECT_GT(chunk, 0u);
+    EXPECT_LE(chunk, 100'000u);
+}

@@ -3,6 +3,8 @@
  * Unit tests for util/stats.hh.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "util/stats.hh"
@@ -90,4 +92,65 @@ TEST(Histogram, BucketLoEdges)
     Histogram h(10.0, 20.0, 5);
     EXPECT_DOUBLE_EQ(h.bucketLo(0), 10.0);
     EXPECT_DOUBLE_EQ(h.bucketLo(4), 18.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsNaN)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+}
+
+TEST(Histogram, PercentilesMatchQuantiles)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    std::vector<double> ps = h.percentiles({0.1, 0.5, 0.9});
+    ASSERT_EQ(ps.size(), 3u);
+    EXPECT_DOUBLE_EQ(ps[0], h.quantile(0.1));
+    EXPECT_DOUBLE_EQ(ps[1], h.quantile(0.5));
+    EXPECT_DOUBLE_EQ(ps[2], h.quantile(0.9));
+}
+
+TEST(Histogram, PercentilesOfEmptyAreNaN)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (double p : h.percentiles({0.5, 0.99}))
+        EXPECT_TRUE(std::isnan(p));
+}
+
+TEST(Histogram, MergeAccumulatesAllBuckets)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(-1.0);
+    a.add(2.5, 3);
+    b.add(2.5, 2);
+    b.add(7.5);
+    b.add(42.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 8u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.bucket(2), 5u);
+    EXPECT_EQ(a.bucket(7), 1u);
+}
+
+TEST(Histogram, MergeOfEmptyIsIdentity)
+{
+    Histogram a(0.0, 4.0, 4);
+    a.add(1.5, 10);
+    Histogram b(0.0, 4.0, 4);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 10u);
+    EXPECT_EQ(a.bucket(1), 10u);
+}
+
+TEST(HistogramDeathTest, MergeRejectsDifferentGeometry)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 5);
+    EXPECT_DEATH(a.merge(b), "geometry");
 }

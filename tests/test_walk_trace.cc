@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the per-walk tracer: outcome classification, ring
+ * wraparound, JSONL round-trips, the Chrome trace export, and
+ * end-to-end determinism of traced runs.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "obs/session.hh"
+#include "obs/walk_trace.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+WalkTrace
+sampleTrace(std::uint64_t i)
+{
+    WalkTrace trace;
+    trace.vaddr = 0x7f0000000000ull + i * 4096;
+    trace.startCycle = 100 * i;
+    trace.cycles = 35 + i;
+    trace.startLevel = static_cast<std::int8_t>(i % 4);
+    trace.hitLevel = {0, 1, walkLevelNotVisited, 3};
+    trace.outcome = static_cast<WalkOutcome>(i % 4);
+    trace.isStore = (i % 2) == 1;
+    return trace;
+}
+
+} // namespace
+
+TEST(ClassifyWalk, OutcomeLabelsAgreeWithWalkResultFlags)
+{
+    WalkResult walk;
+
+    // Budget-killed walk: aborted, whatever the retired flag says.
+    walk.completed = false;
+    EXPECT_EQ(classifyWalk(walk, false), WalkOutcome::Aborted);
+    EXPECT_EQ(classifyWalk(walk, true), WalkOutcome::Aborted);
+
+    // Completed at a not-present entry: faulted.
+    walk.completed = true;
+    walk.faulted = true;
+    EXPECT_EQ(classifyWalk(walk, false), WalkOutcome::Faulted);
+
+    // Completed with a present leaf: retired vs wrong-path.
+    walk.faulted = false;
+    EXPECT_EQ(classifyWalk(walk, true), WalkOutcome::Completed);
+    EXPECT_EQ(classifyWalk(walk, false), WalkOutcome::WrongPath);
+}
+
+TEST(WalkOutcomeNames, RoundTrip)
+{
+    for (WalkOutcome outcome :
+         {WalkOutcome::Completed, WalkOutcome::Faulted, WalkOutcome::Aborted,
+          WalkOutcome::WrongPath}) {
+        auto back = walkOutcomeFromName(walkOutcomeName(outcome));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, outcome);
+    }
+    EXPECT_FALSE(walkOutcomeFromName("bogus").has_value());
+}
+
+TEST(WalkTracer, FillsWithoutWraparound)
+{
+    WalkTracer tracer(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        tracer.record(sampleTrace(i));
+    EXPECT_EQ(tracer.size(), 5u);
+    EXPECT_EQ(tracer.recorded(), 5u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    EXPECT_EQ(tracer.firstSeq(), 0u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(tracer.at(i), sampleTrace(i));
+}
+
+TEST(WalkTracer, WraparoundKeepsNewestOldestFirst)
+{
+    WalkTracer tracer(4);
+    for (std::uint64_t i = 0; i < 11; ++i)
+        tracer.record(sampleTrace(i));
+    EXPECT_EQ(tracer.size(), 4u);
+    EXPECT_EQ(tracer.recorded(), 11u);
+    EXPECT_EQ(tracer.dropped(), 7u);
+    EXPECT_EQ(tracer.firstSeq(), 7u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(tracer.at(i), sampleTrace(7 + i));
+}
+
+TEST(WalkTracer, ClearForgetsEverything)
+{
+    WalkTracer tracer(4);
+    tracer.record(sampleTrace(0));
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.recorded(), 0u);
+    tracer.record(sampleTrace(3));
+    EXPECT_EQ(tracer.at(0), sampleTrace(3));
+}
+
+TEST(WalkTraceJsonl, RoundTripsEveryField)
+{
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        WalkTrace trace = sampleTrace(i);
+        std::string line = walkTraceToJsonl(trace, i);
+        auto parsed = walkTraceFromJsonl(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        EXPECT_EQ(*parsed, trace) << line;
+    }
+}
+
+TEST(WalkTraceJsonl, RejectsMalformedLines)
+{
+    EXPECT_FALSE(walkTraceFromJsonl("").has_value());
+    EXPECT_FALSE(walkTraceFromJsonl("not json").has_value());
+    EXPECT_FALSE(walkTraceFromJsonl("{\"seq\":0}").has_value());
+}
+
+TEST(WalkTraceJsonl, OutcomeLabelsAreTheTableViNames)
+{
+    WalkTrace trace;
+    trace.outcome = WalkOutcome::WrongPath;
+    EXPECT_NE(walkTraceToJsonl(trace, 0).find("\"wrong_path\""),
+              std::string::npos);
+    trace.outcome = WalkOutcome::Aborted;
+    EXPECT_NE(walkTraceToJsonl(trace, 0).find("\"aborted\""),
+              std::string::npos);
+}
+
+TEST(WalkTracer, ChromeTraceIsWellFormed)
+{
+    WalkTracer tracer(8);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        tracer.record(sampleTrace(i));
+    std::ostringstream os;
+    tracer.exportChromeTrace(os, 2.5);
+    std::string trace = os.str();
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+namespace
+{
+
+/** One observed run; returns (walks JSONL, windows JSONL). */
+std::pair<std::string, std::string>
+observedRun()
+{
+    ObsOptions options;
+    options.sampleWindow = 50'000;
+    options.tracePrefix = "unused"; // enables the tracer; no files written
+    ObsSession session(options);
+
+    RunConfig config;
+    config.workload = "bfs-urand";
+    config.footprintBytes = 1ull << 24;
+    config.warmupRefs = 20'000;
+    config.measureRefs = 60'000;
+    config.seed = 7;
+    runExperiment(config, {}, &session);
+
+    std::ostringstream walks, windows;
+    session.tracer()->exportJsonl(walks);
+    session.sampler()->exportJsonl(windows);
+    return {walks.str(), windows.str()};
+}
+
+} // namespace
+
+TEST(ObservedRun, TracesAreDeterministic)
+{
+    auto [walks1, windows1] = observedRun();
+    auto [walks2, windows2] = observedRun();
+    EXPECT_FALSE(walks1.empty());
+    EXPECT_FALSE(windows1.empty());
+    EXPECT_EQ(walks1, walks2);
+    EXPECT_EQ(windows1, windows2);
+}
+
+TEST(ObservedRun, MatchesUnobservedCountersExceptCycles)
+{
+    // Observation must not perturb the simulation: every counter except
+    // the chunk-rounded cycle count is identical with and without it.
+    RunConfig config;
+    config.workload = "bfs-urand";
+    config.footprintBytes = 1ull << 24;
+    config.warmupRefs = 20'000;
+    config.measureRefs = 60'000;
+    config.seed = 7;
+
+    RunResult plain = runExperiment(config);
+
+    ObsOptions options;
+    options.sampleWindow = 50'000;
+    ObsSession session(options);
+    RunResult observed = runExperiment(config, {}, &session);
+
+    plain.counters.forEach([&](EventId id, const char *name, Count value) {
+        if (id == EventId::CpuClkUnhalted) {
+            // Chunked runs publish cycles with different fractional
+            // rounding; the drift is bounded by one cycle per chunk.
+            double diff = std::abs(
+                static_cast<double>(observed.counters.get(id)) -
+                static_cast<double>(value));
+            EXPECT_LE(diff, 64.0) << name;
+        } else {
+            EXPECT_EQ(observed.counters.get(id), value) << name;
+        }
+    });
+}
