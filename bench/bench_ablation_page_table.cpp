@@ -95,8 +95,9 @@ measureFormats(std::uint64_t pages, Count walks, FormatStats &radix,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     const Count walks = quick() ? 200'000 : 500'000;
 
     TablePrinter table("Radix vs hashed page table: cost per walk on the "
@@ -107,13 +108,24 @@ main()
     csv.rowv("footprint_bytes", "radix_acc", "radix_cyc", "hashed_acc",
              "hashed_cyc");
 
+    // Each footprint's format comparison is task-local (own tables,
+    // memories, RNGs); run them on the engine pool, emit in order.
+    const std::uint64_t gibs[] = {1ull, 8ull, 64ull, 512ull};
+    std::vector<FormatStats> radixes(std::size(gibs));
+    std::vector<FormatStats> hasheds(std::size(gibs));
+    SweepEngine engine;
+    engine.forEachTask(std::size(gibs), [&](std::size_t i) {
+        std::uint64_t pages = (gibs[i] << 30) >> pageShift4K;
+        measureFormats(pages, walks, radixes[i], hasheds[i]);
+    });
+
     double first_radix = 0, last_radix = 0;
     double first_hashed = 0, last_hashed = 0;
     bool first = true;
-    for (std::uint64_t gib : {1ull, 8ull, 64ull, 512ull}) {
-        std::uint64_t pages = (gib << 30) >> pageShift4K;
-        FormatStats radix, hashed;
-        measureFormats(pages, walks, radix, hashed);
+    for (std::size_t i = 0; i < std::size(gibs); ++i) {
+        const std::uint64_t gib = gibs[i];
+        const FormatStats &radix = radixes[i];
+        const FormatStats &hashed = hasheds[i];
         table.rowv(fmtBytes(gib << 30), fmtDouble(radix.accessesPerWalk, 3),
                    fmtDouble(radix.cyclesPerWalk, 1),
                    fmtDouble(hashed.accessesPerWalk, 3),

@@ -19,36 +19,49 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
-    // No shared cache: each variant has different platform params.
-    RunConfig config = baseRunConfig();
-    config.workload = "pr-urand";
-    config.footprintBytes = quick() ? 4ull << 30 : 32ull << 30;
+    initBench(argc, argv);
+    RunSpec base = baseRunConfig();
+    base.workload = "pr-urand";
+    base.footprintBytes = quick() ? 4ull << 30 : 32ull << 30;
 
     struct Variant
     {
         const char *name;
+        const char *tag;
         PscParams psc;
     };
     const Variant variants[] = {
-        {"PSC off", {4, 4, 32, false}},
-        {"PDE only x8", {0, 0, 8, true}},
-        {"default (4/4/32)", {4, 4, 32, true}},
-        {"oversized (16/16/128)", {16, 16, 128, true}},
+        {"PSC off", "pscoff", {4, 4, 32, false}},
+        {"PDE only x8", "pscpde8", {0, 0, 8, true}},
+        {"default (4/4/32)", "pscdef", {4, 4, 32, true}},
+        {"oversized (16/16/128)", "pscbig", {16, 16, 128, true}},
     };
 
+    // Each variant changes the platform, so each carries its own
+    // platformTag — distinct cache entries, no single-flight collapse.
+    std::vector<SweepJob> jobs;
+    for (const Variant &v : variants) {
+        SweepJob job;
+        job.spec = base;
+        job.spec.platformTag = v.tag;
+        job.params.mmu.psc = v.psc;
+        jobs.push_back(std::move(job));
+    }
+    SweepEngine engine;
+    std::vector<RunResult> results = engine.run(jobs);
+
     TablePrinter table("Ablation: paging-structure caches (pr-urand, " +
-                       fmtBytes(config.footprintBytes) + ", 4K pages)");
+                       fmtBytes(base.footprintBytes) + ", 4K pages)");
     table.header({"variant", "PTW acc/walk", "WCPI", "CPI",
                   "PSC hit rate"});
     CsvWriter csv(outputPath("ablation_psc.csv"));
     csv.rowv("variant", "ptw_accesses_per_walk", "wcpi", "cpi");
 
-    for (const Variant &v : variants) {
-        PlatformParams params;
-        params.mmu.psc = v.psc;
-        RunResult result = runExperiment(config, params);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Variant &v = variants[i];
+        const RunResult &result = results[i];
         WcpiTerms terms = wcpiTerms(result.counters);
         table.rowv(v.name, fmtDouble(terms.ptwAccessesPerWalk, 3),
                    fmtDouble(terms.wcpi(), 4), fmtDouble(result.cpi(), 3),

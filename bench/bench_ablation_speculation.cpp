@@ -46,8 +46,9 @@ runVariant(const std::string &name, std::uint64_t footprint,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     const std::uint64_t footprint = quick() ? 4ull << 30 : 32ull << 30;
     const Count refs = quick() ? 400'000 : 1'200'000;
 
@@ -72,9 +73,19 @@ main()
         {"full (default)", true, 2e-4},
     };
 
-    for (const Variant &v : variants) {
-        WalkOutcomes o = runVariant("bc-urand", footprint, v.speculation,
-                                    v.clearCoef, refs);
+    // The variants mutate workload traits, so they are not RunSpec-shaped;
+    // run them as opaque engine tasks, collect by index, emit in order.
+    std::vector<WalkOutcomes> outcomes(std::size(variants));
+    SweepEngine engine;
+    engine.forEachTask(outcomes.size(), [&](std::size_t i) {
+        outcomes[i] = runVariant("bc-urand", footprint,
+                                 variants[i].speculation,
+                                 variants[i].clearCoef, refs);
+    });
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const Variant &v = variants[i];
+        const WalkOutcomes &o = outcomes[i];
         double retired = 1.0 - o.nonRetiredFraction();
         table.rowv(v.name, o.initiated, fmtDouble(retired, 3),
                    fmtDouble(o.wrongPathFraction(), 3),

@@ -24,25 +24,39 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunConfig config = baseRunConfig();
-    config.workload = "bfs-urand";
-    config.footprintBytes = quick() ? 4ull << 30 : 32ull << 30;
+    initBench(argc, argv);
+    RunSpec base = baseRunConfig();
+    base.workload = "bfs-urand";
+    base.footprintBytes = quick() ? 4ull << 30 : 32ull << 30;
 
     TablePrinter table("Ablation: STLB capacity (bfs-urand, " +
-                       fmtBytes(config.footprintBytes) + ", 4K pages)");
+                       fmtBytes(base.footprintBytes) + ", 4K pages)");
     table.header({"STLB entries", "TLB miss/access", "PTW acc/walk",
                   "cyc/PTW acc", "WCPI", "CPI"});
     CsvWriter csv(outputPath("ablation_tlb.csv"));
     csv.rowv("stlb_entries", "miss_per_access", "ptw_acc_per_walk",
              "cycles_per_ptw_access", "wcpi", "cpi");
 
+    // Declare all variants as jobs; platformTag keeps each variant's
+    // cache entry (and single-flight identity) distinct.
+    const std::uint32_t set_counts[] = {16u, 64u, 128u, 512u, 2048u};
+    std::vector<SweepJob> jobs;
+    for (std::uint32_t sets : set_counts) {
+        SweepJob job;
+        job.spec = base;
+        job.spec.platformTag = "stlb" + std::to_string(sets * 8);
+        job.params.mmu.tlb.l2.sets = sets; // x 8 ways
+        jobs.push_back(std::move(job));
+    }
+    SweepEngine engine;
+    std::vector<RunResult> results = engine.run(jobs);
+
     std::vector<double> hit_rate, acc_per_walk;
-    for (std::uint32_t sets : {16u, 64u, 128u, 512u, 2048u}) {
-        PlatformParams params;
-        params.mmu.tlb.l2.sets = sets; // x 8 ways
-        RunResult result = runExperiment(config, params);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &result = results[i];
+        std::uint32_t sets = set_counts[i];
         WcpiTerms terms = wcpiTerms(result.counters);
         table.rowv(sets * 8, fmtDouble(terms.tlbMissesPerAccess, 4),
                    fmtDouble(terms.ptwAccessesPerWalk, 3),

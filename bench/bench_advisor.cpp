@@ -93,8 +93,9 @@ runPolicy(const std::string &name, std::uint64_t footprint, Count refs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     const std::uint64_t footprint = quick() ? 4ull << 30 : 16ull << 30;
     const Count refs = quick() ? 600'000 : 1'600'000;
 
@@ -106,8 +107,18 @@ main()
     csv.rowv("workload", "advice", "peak_window_wcpi", "cycles_4k",
              "cycles_2m", "cycles_adaptive");
 
-    for (const std::string &name : workloadNames()) {
-        PolicyOutcome o = runPolicy(name, footprint, refs);
+    // The adaptive policy is a stateful slice loop, not a RunSpec, so
+    // each workload's policy run is an opaque engine task; emit after.
+    const std::vector<std::string> names = workloadNames();
+    std::vector<PolicyOutcome> outcomes(names.size());
+    SweepEngine engine;
+    engine.forEachTask(names.size(), [&](std::size_t i) {
+        outcomes[i] = runPolicy(names[i], footprint, refs);
+    });
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const PolicyOutcome &o = outcomes[i];
         double speedup = static_cast<double>(o.cycles4k) /
                          static_cast<double>(o.adaptiveCycles);
         table.rowv(name,

@@ -20,9 +20,34 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
-    ensureCacheDir();
+    initBench(argc, argv);
+
+    // --jobs-dry-run: print the expanded job list (workload x footprint
+    // x page size) with each spec's cache status, without executing.
+    bool dry_run = false;
+    for (int i = 1; i < argc; ++i)
+        dry_run = dry_run || std::string(argv[i]) == "--jobs-dry-run";
+    if (dry_run) {
+        SweepEngine engine;
+        auto jobs = overheadSweepJobs(workloadNames(), footprints(),
+                                      baseRunConfig());
+        std::size_t cached = 0, duplicates = 0;
+        for (const SweepPlanEntry &entry : engine.plan(jobs)) {
+            const char *status = entry.duplicate ? "duplicate"
+                                 : entry.cached  ? "cached"
+                                                 : "pending";
+            std::cout << entry.spec.describe() << "  [" << status << "]\n";
+            cached += entry.cached && !entry.duplicate;
+            duplicates += entry.duplicate;
+        }
+        std::cout << jobs.size() << " jobs (" << jobs.size() - duplicates
+                  << " unique, " << cached << " cached) on "
+                  << engine.threads() << " thread(s)\n";
+        return 0;
+    }
+
     auto sweeps = sweepWorkloads(workloadNames(), footprints(),
                                  baseRunConfig());
 

@@ -18,9 +18,9 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
-    ensureCacheDir();
+    initBench(argc, argv);
     auto sweeps = sweepWorkloads(workloadNames(), footprints(),
                                  baseRunConfig());
 

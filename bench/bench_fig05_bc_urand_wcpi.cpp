@@ -20,8 +20,8 @@ using namespace atscale::benchx;
 int
 main(int argc, char **argv)
 {
+    initBench(argc, argv);
     ObsOptions obs_options = obsFromArgs(argc, argv);
-    ensureCacheDir();
     WorkloadSweep sweep = sweepWorkload("bc-urand", footprints(),
                                         baseRunConfig());
 

@@ -23,9 +23,9 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
-    ensureCacheDir();
+    initBench(argc, argv);
     const std::vector<std::string> picks = {"bfs-urand", "mcf-rand",
                                             "pr-kron", "tc-kron"};
 

@@ -19,9 +19,9 @@ using namespace atscale;
 using namespace atscale::benchx;
 
 int
-main()
+main(int argc, char **argv)
 {
-    ensureCacheDir();
+    initBench(argc, argv);
     WorkloadSweep sweep = sweepWorkload("bc-urand", footprints(),
                                         baseRunConfig());
 

@@ -48,9 +48,9 @@ const std::map<std::string, PaperRow> paperTable4 = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    ensureCacheDir();
+    initBench(argc, argv);
     auto sweeps = sweepWorkloads(workloadNames(), footprints(),
                                  baseRunConfig());
 

@@ -15,8 +15,9 @@
 using namespace atscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::initBench(argc, argv);
     TablePrinter tab1("Table I: Workloads (ST = single-threaded, "
                       "MT = multithreaded)");
     tab1.header({"Suite", "Program", "Generators", "Type"});

@@ -7,6 +7,7 @@
  *  - ATSCALE_CACHE_DIR   run-result cache directory (benches default to
  *                        ./atscale_cache so the whole suite shares runs)
  *  - ATSCALE_OUT_DIR     where to drop CSV data files (optional)
+ *  - ATSCALE_THREADS=N   sweep-engine worker threads (--threads=N wins)
  */
 
 #ifndef ATSCALE_BENCH_COMMON_HH
@@ -34,6 +35,23 @@ ensureCacheDir()
     std::string path = dir && *dir ? dir : "atscale_cache";
     ::mkdir(path.c_str(), 0755);
     setenv("ATSCALE_CACHE_DIR", path.c_str(), 0);
+}
+
+/**
+ * Standard bench start-up: make the cache shareable and consume the
+ * sweep-engine flags (--threads=N; see core/sweep.hh). Malformed flags
+ * print the error and exit(2); the remaining argv is compacted in place
+ * for the bench's own parsing. Call first in every bench main().
+ */
+inline void
+initBench(int &argc, char **argv)
+{
+    ensureCacheDir();
+    std::string error;
+    if (!extractSweepFlags(argc, argv, error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        std::exit(2);
+    }
 }
 
 /** True when ATSCALE_QUICK requests a reduced run. */

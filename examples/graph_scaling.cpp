@@ -4,7 +4,7 @@
  * the Equation-1 components evolve — a minimal version of the paper's
  * Fig 6 methodology using the public API.
  *
- * Usage: graph_scaling [workload] [points]
+ * Usage: graph_scaling [workload] [points] [--threads=N]
  */
 
 #include <cstdlib>
@@ -19,6 +19,11 @@ using namespace atscale;
 int
 main(int argc, char **argv)
 {
+    std::string error;
+    if (!extractSweepFlags(argc, argv, error)) {
+        std::cerr << "graph_scaling: " << error << "\n";
+        return 2;
+    }
     std::string workload = argc > 1 ? argv[1] : "pr-urand";
     int points = argc > 2 ? std::atoi(argv[2]) : 5;
 

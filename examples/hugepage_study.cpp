@@ -7,7 +7,7 @@
  * decomposition, and show the small-footprint 1 GiB fallback anomaly
  * that motivates min(t_2MB, t_1GB) as the baseline.
  *
- * Usage: hugepage_study [workload] [footprint-MiB]
+ * Usage: hugepage_study [workload] [footprint-MiB] [--threads=N]
  *                       [--sample-window=N] [--trace=PREFIX]
  *                       [--json-out=PATH]
  *
@@ -22,6 +22,7 @@
 #include "core/hugepage_advisor.hh"
 #include "core/overhead.hh"
 #include "core/run_export.hh"
+#include "core/sweep.hh"
 #include "obs/session.hh"
 #include "util/table.hh"
 
@@ -31,23 +32,24 @@ int
 main(int argc, char **argv)
 {
     ObsOptions obs_options;
-    std::string obs_error;
-    if (!extractObsFlags(argc, argv, obs_options, obs_error)) {
-        std::cerr << "hugepage_study: " << obs_error << "\n";
+    std::string error;
+    if (!extractSweepFlags(argc, argv, error) ||
+        !extractObsFlags(argc, argv, obs_options, error)) {
+        std::cerr << "hugepage_study: " << error << "\n";
         return 2;
     }
 
     std::string workload = argc > 1 ? argv[1] : "cc-urand";
     std::uint64_t mib = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 768;
 
-    RunConfig config;
-    config.workload = workload;
-    config.footprintBytes = mib << 20;
-    config.warmupRefs = 200'000;
-    config.measureRefs = 600'000;
+    RunSpec base;
+    base.workload = workload;
+    base.footprintBytes = mib << 20;
+    base.warmupRefs = 200'000;
+    base.measureRefs = 600'000;
 
     std::cout << "Page-size study for " << workload << " at "
-              << fmtBytes(config.footprintBytes) << "\n\n";
+              << fmtBytes(base.footprintBytes) << "\n\n";
 
     ObsSession session(obs_options);
     HugepageAdvisor advisor;
@@ -59,7 +61,21 @@ main(int argc, char **argv)
         });
     }
 
-    OverheadPoint point = measureOverhead(config, {}, &session);
+    // The unobserved superpage baselines go through the sweep engine
+    // (cacheable, parallel under --threads); the 4 KiB run stays direct
+    // because this session's sampler sinks must see its live windows.
+    RunSpec spec2m = base, spec1g = base;
+    spec2m.pageSize = PageSize::Size2M;
+    spec1g.pageSize = PageSize::Size1G;
+    SweepEngine engine;
+    std::vector<RunResult> baselines = engine.run({spec2m, spec1g});
+
+    OverheadPoint point;
+    point.workload = base.workload;
+    point.footprintBytes = base.footprintBytes;
+    point.run4k = runExperiment(base, {}, &session);
+    point.run2m = baselines[0];
+    point.run1g = baselines[1];
 
     TablePrinter table("Runtime and AT pressure by page backing");
     table.header({"backing", "cycles", "vs 4K", "TLB miss/acc", "WCPI",
@@ -68,7 +84,7 @@ main(int argc, char **argv)
         WcpiTerms terms = wcpiTerms(run->counters);
         double speedup = static_cast<double>(point.run4k.cycles()) /
                          static_cast<double>(run->cycles());
-        table.rowv(pageSizeName(run->config.pageSize), run->cycles(),
+        table.rowv(pageSizeName(run->spec.pageSize), run->cycles(),
                    fmtDouble(speedup, 2) + "x",
                    fmtDouble(terms.tlbMissesPerAccess, 4),
                    fmtDouble(terms.wcpi(), 4),

@@ -19,28 +19,32 @@
 using namespace atscale;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunConfig base;
+    std::string error;
+    if (!extractSweepFlags(argc, argv, error)) {
+        std::cerr << "kv_cache_study: " << error << "\n";
+        return 2;
+    }
+
+    RunSpec base;
     base.workload = "memcached-uniform";
     base.warmupRefs = 200'000;
     base.measureRefs = 600'000;
 
     auto footprints = footprintSweep(1ull << 30, 256ull << 30, 1);
+    WorkloadSweep sweep = sweepWorkload(base.workload, footprints, base);
 
     TablePrinter table("memcached-uniform scaling (model mode)");
     table.header({"footprint", "expected KV hit rate", "overhead", "WCPI",
                   "acc/instr"});
-    for (std::uint64_t footprint : footprints) {
-        RunConfig config = base;
-        config.footprintBytes = footprint;
-        OverheadPoint p = measureOverhead(config);
+    for (const OverheadPoint &p : sweep.points) {
         WcpiTerms terms = wcpiTerms(p.run4k.counters);
-        double items = static_cast<double>(footprint) /
+        double items = static_cast<double>(p.footprintBytes) /
                        (MemcachedWorkload::itemBytes + 8);
         double hit_rate = std::min(
             1.0, items / static_cast<double>(MemcachedWorkload::keyspace));
-        table.rowv(fmtBytes(footprint), fmtDouble(hit_rate, 3),
+        table.rowv(fmtBytes(p.footprintBytes), fmtDouble(hit_rate, 3),
                    fmtDouble(p.relativeOverhead(), 3),
                    fmtDouble(terms.wcpi(), 4),
                    fmtDouble(terms.accessesPerInstr, 3));
@@ -52,14 +56,17 @@ main()
                  "(adj R^2 = 0.58).\n\n";
 
     // Exec-mode cross-check at a small footprint: run the real store.
-    RunConfig exec_config = base;
-    exec_config.footprintBytes = 64ull << 20;
-    exec_config.mode = WorkloadMode::Exec;
-    RunResult exec_run = runExperiment(exec_config);
+    // Both modes are one engine job set (mode is part of the spec).
+    RunSpec exec_spec = base;
+    exec_spec.footprintBytes = 64ull << 20;
+    exec_spec.mode = WorkloadMode::Exec;
+    RunSpec model_spec = exec_spec;
+    model_spec.mode = WorkloadMode::Model;
 
-    RunConfig model_config = exec_config;
-    model_config.mode = WorkloadMode::Model;
-    RunResult model_run = runExperiment(model_config);
+    SweepEngine engine;
+    std::vector<RunResult> pair = engine.run({exec_spec, model_spec});
+    RunResult exec_run = pair[0];
+    RunResult model_run = pair[1];
 
     TablePrinter compare("Exec vs model mode at 64 MiB (4K pages)");
     compare.header({"mode", "CPI", "TLB miss/access", "acc/instr"});

@@ -53,7 +53,7 @@ main(int argc, char **argv)
     runs.header({"page size", "cycles", "CPI", "WCPI", "TLB miss/access"});
     for (const RunResult *run : {&point.run4k, &point.run2m, &point.run1g}) {
         WcpiTerms terms = wcpiTerms(run->counters);
-        runs.rowv(pageSizeName(run->config.pageSize), run->cycles(),
+        runs.rowv(pageSizeName(run->spec.pageSize), run->cycles(),
                   fmtDouble(run->cpi()), fmtDouble(terms.wcpi(), 4),
                   fmtDouble(terms.tlbMissesPerAccess, 4));
     }

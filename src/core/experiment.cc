@@ -1,79 +1,14 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 
+#include "core/run_cache.hh"
 #include "obs/session.hh"
 #include "util/logging.hh"
 #include "workloads/registry.hh"
 
 namespace atscale
 {
-
-namespace
-{
-
-/** Cache-file name for a run (all knobs that affect the result). */
-std::string
-cachePath(const RunConfig &config)
-{
-    const char *dir = std::getenv("ATSCALE_CACHE_DIR");
-    if (!dir || !*dir)
-        return "";
-    char buf[512];
-    std::snprintf(buf, sizeof(buf), "%s/%s_f%llu_%s_m%d_w%llu_n%llu_s%llu.run",
-                  dir, config.workload.c_str(),
-                  static_cast<unsigned long long>(config.footprintBytes),
-                  pageSizeName(config.pageSize).c_str(),
-                  static_cast<int>(config.mode),
-                  static_cast<unsigned long long>(config.warmupRefs),
-                  static_cast<unsigned long long>(config.measureRefs),
-                  static_cast<unsigned long long>(config.seed));
-    return buf;
-}
-
-bool
-loadCached(const std::string &path, RunResult &result)
-{
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::string name;
-    unsigned long long value;
-    int fields = 0;
-    while (in >> name >> value) {
-        if (name == "footprint_touched") {
-            result.footprintTouched = value;
-        } else if (name == "page_table_bytes") {
-            result.pageTableBytes = value;
-        } else {
-            auto id = eventFromName(name);
-            if (!id)
-                return false;
-            result.counters.add(*id, value);
-        }
-        ++fields;
-    }
-    return fields > 0;
-}
-
-void
-storeCached(const std::string &path, const RunResult &result)
-{
-    std::ofstream out(path);
-    if (!out)
-        return;
-    result.counters.forEach([&out](EventId, const char *name, Count value) {
-        out << name << ' ' << value << '\n';
-    });
-    out << "footprint_touched " << result.footprintTouched << '\n';
-    out << "page_table_bytes " << result.pageTableBytes << '\n';
-}
-
-} // namespace
 
 double
 RunResult::cpi() const
@@ -89,41 +24,40 @@ RunResult::seconds(double freqGHz) const
 }
 
 RunResult
-runExperiment(const RunConfig &config, const PlatformParams &params)
+runExperiment(const RunSpec &spec, const PlatformParams &params)
 {
-    return runExperiment(config, params, nullptr);
+    return runExperiment(spec, params, nullptr);
 }
 
 RunResult
-runExperiment(const RunConfig &config, const PlatformParams &params,
+runExperiment(const RunSpec &spec, const PlatformParams &params,
               ObsSession *obs)
 {
     const bool observing = obs && obs->enabled();
 
     RunResult result;
-    result.config = config;
+    result.spec = spec;
 
     // Observed runs bypass the memoization cache in both directions: a
     // cached result carries no windows, traces, or registry samples, and
     // a chunked run publishes CpuClkUnhalted with different fractional
     // rounding than a single run, so storing it would perturb later
-    // unobserved replays of the same config.
-    std::string cache_file = observing ? std::string() : cachePath(config);
-    if (!cache_file.empty() && loadCached(cache_file, result))
+    // unobserved replays of the same spec.
+    if (!observing && loadCachedRun(spec, result))
         return result;
 
-    std::unique_ptr<Workload> workload = createWorkload(config.workload);
-    fatal_if(!workload->supports(config.mode),
+    std::unique_ptr<Workload> workload = createWorkload(spec.workload);
+    fatal_if(!workload->supports(spec.mode),
              "workload '%s' does not support the requested mode",
-             config.workload.c_str());
+             spec.workload.c_str());
 
-    Platform platform(params, config.pageSize, workload->traits(),
-                      config.seed * 0x9e37 + 7);
+    Platform platform(params, spec.pageSize, workload->traits(),
+                      spec.seed * 0x9e37 + 7);
 
     WorkloadConfig wl_config;
-    wl_config.footprintBytes = config.footprintBytes;
-    wl_config.seed = config.seed;
-    wl_config.mode = config.mode;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
     std::unique_ptr<RefSource> stream =
         workload->instantiate(platform.space, wl_config);
 
@@ -134,7 +68,7 @@ runExperiment(const RunConfig &config, const PlatformParams &params,
     }
 
     // Warm-up: populate pages, fill TLBs/caches (the paper's dry run).
-    platform.core.run(*stream, config.warmupRefs);
+    platform.core.run(*stream, spec.warmupRefs);
 
     // Measurement window.
     platform.core.resetCounters();
@@ -145,12 +79,12 @@ runExperiment(const RunConfig &config, const PlatformParams &params,
 
     Count chunk = observing ? obs->chunkRefs() : 0;
     if (chunk == 0) {
-        platform.core.run(*stream, config.measureRefs);
+        platform.core.run(*stream, spec.measureRefs);
     } else {
         // Chunked execution so the sampler sees periodic snapshots.
         Count done = 0;
-        while (done < config.measureRefs) {
-            Count n = std::min(chunk, config.measureRefs - done);
+        while (done < spec.measureRefs) {
+            Count n = std::min(chunk, spec.measureRefs - done);
             Count ran = platform.core.run(*stream, n);
             obs->observe(platform.core.counters());
             done += ran;
@@ -171,8 +105,8 @@ runExperiment(const RunConfig &config, const PlatformParams &params,
         platform.core.attachTracer(nullptr);
     }
 
-    if (!cache_file.empty())
-        storeCached(cache_file, result);
+    if (!observing)
+        storeCachedRun(spec, result);
     return result;
 }
 

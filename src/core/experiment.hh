@@ -6,6 +6,13 @@
  * This is the simulated analogue of one of the paper's runs: the warm-up
  * window plays the role of the 60-second dry run, and counter deltas are
  * taken over the measurement window only.
+ *
+ * Each run is fully self-contained: the workload instance, its reference
+ * stream, and the whole simulated platform (with RNG state seeded from
+ * the spec) are constructed inside runExperiment() and torn down before
+ * it returns. No mutable state is shared between runs, which is the
+ * invariant that lets SweepEngine (core/sweep.hh) execute many specs
+ * concurrently.
  */
 
 #ifndef ATSCALE_CORE_EXPERIMENT_HH
@@ -14,6 +21,7 @@
 #include <string>
 
 #include "core/platform.hh"
+#include "core/run_spec.hh"
 #include "perf/counter_set.hh"
 #include "perf/derived.hh"
 #include "vm/page_size.hh"
@@ -24,24 +32,10 @@ namespace atscale
 
 class ObsSession;
 
-/** Configuration of one run. */
-struct RunConfig
-{
-    std::string workload = "bfs-urand";
-    std::uint64_t footprintBytes = 1ull << 30;
-    PageSize pageSize = PageSize::Size4K;
-    WorkloadMode mode = WorkloadMode::Model;
-    /** References executed before the counter window opens. */
-    Count warmupRefs = 500'000;
-    /** References in the measured window. */
-    Count measureRefs = 2'000'000;
-    std::uint64_t seed = 1;
-};
-
 /** Everything measured in one run. */
 struct RunResult
 {
-    RunConfig config;
+    RunSpec spec;
     /** Counter deltas over the measurement window. */
     CounterSet counters;
     /** Data bytes actually populated (pages touched x page size). */
@@ -63,10 +57,10 @@ struct RunResult
  * Run one experiment on a fresh platform.
  *
  * Runs are memoized on disk when the environment variable
- * ATSCALE_CACHE_DIR is set, so the per-figure benches can share the
- * expensive sweep results.
+ * ATSCALE_CACHE_DIR is set (see core/run_cache.hh), so the per-figure
+ * benches can share the expensive sweep results.
  */
-RunResult runExperiment(const RunConfig &config,
+RunResult runExperiment(const RunSpec &spec,
                         const PlatformParams &params = {});
 
 /**
@@ -80,7 +74,7 @@ RunResult runExperiment(const RunConfig &config,
  * chunked runs publish cycles with slightly different rounding than a
  * single run, so they must not poison the cache).
  */
-RunResult runExperiment(const RunConfig &config, const PlatformParams &params,
+RunResult runExperiment(const RunSpec &spec, const PlatformParams &params,
                         ObsSession *obs);
 
 } // namespace atscale

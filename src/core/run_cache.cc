@@ -1,0 +1,101 @@
+#include "core/run_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace atscale
+{
+
+std::string
+runCacheDir()
+{
+    const char *dir = std::getenv("ATSCALE_CACHE_DIR");
+    return dir && *dir ? dir : "";
+}
+
+std::string
+runCachePath(const RunSpec &spec)
+{
+    std::string dir = runCacheDir();
+    if (dir.empty())
+        return "";
+    return dir + "/" + spec.cacheFileName();
+}
+
+bool
+cachedRunExists(const RunSpec &spec)
+{
+    std::string path = runCachePath(spec);
+    if (path.empty())
+        return false;
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
+loadCachedRun(const RunSpec &spec, RunResult &result)
+{
+    std::string path = runCachePath(spec);
+    if (path.empty())
+        return false;
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    result.spec = spec;
+    std::string name;
+    unsigned long long value;
+    int fields = 0;
+    while (in >> name >> value) {
+        if (name == "footprint_touched") {
+            result.footprintTouched = value;
+        } else if (name == "page_table_bytes") {
+            result.pageTableBytes = value;
+        } else {
+            auto id = eventFromName(name);
+            if (!id)
+                return false;
+            result.counters.add(*id, value);
+        }
+        ++fields;
+    }
+    return fields > 0;
+}
+
+void
+storeCachedRun(const RunSpec &spec, const RunResult &result)
+{
+    std::string path = runCachePath(spec);
+    if (path.empty())
+        return;
+
+    // Unique temp name in the same directory (rename is only atomic
+    // within a filesystem): pid + a process-local counter covers both
+    // concurrent processes and concurrent engine workers.
+    static std::atomic<unsigned> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        result.counters.forEach(
+            [&out](EventId, const char *name, Count value) {
+                out << name << ' ' << value << '\n';
+            });
+        out << "footprint_touched " << result.footprintTouched << '\n';
+        out << "page_table_bytes " << result.pageTableBytes << '\n';
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
+} // namespace atscale

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * On-disk memoization of run results, keyed by RunSpec.
+ *
+ * Enabled by the ATSCALE_CACHE_DIR environment variable (the benches
+ * default it to ./atscale_cache so the whole suite shares runs). Entries
+ * are tiny "name value" text files named by RunSpec::cacheFileName().
+ *
+ * Writes are crash- and race-safe: each writer emits to a private temp
+ * file in the cache directory and atomically rename()s it into place, so
+ * a killed process or two racing jobs can never leave a truncated entry
+ * that later deserializes garbage — readers only ever see absent or
+ * complete files.
+ */
+
+#ifndef ATSCALE_CORE_RUN_CACHE_HH
+#define ATSCALE_CORE_RUN_CACHE_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace atscale
+{
+
+/** Cache directory from ATSCALE_CACHE_DIR, or "" when caching is off. */
+std::string runCacheDir();
+
+/** Full path of the cache entry for a spec, or "" when caching is off. */
+std::string runCachePath(const RunSpec &spec);
+
+/** True when a (possibly stale-format) cache entry exists for the spec. */
+bool cachedRunExists(const RunSpec &spec);
+
+/**
+ * Load a cached result. Returns false (leaving `result` unspecified)
+ * when caching is off, the entry is absent, or it fails to parse.
+ * On success result.spec is set to `spec`.
+ */
+bool loadCachedRun(const RunSpec &spec, RunResult &result);
+
+/**
+ * Store a result under its spec (no-op when caching is off). Writes to a
+ * temp file and atomically renames; concurrent writers of the same spec
+ * are deterministic-identical, so last-rename-wins is safe.
+ */
+void storeCachedRun(const RunSpec &spec, const RunResult &result);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_RUN_CACHE_HH

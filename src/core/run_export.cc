@@ -25,15 +25,15 @@ writeRunResultBody(JsonWriter &json, const RunResult &result,
                    const std::vector<StatsRegistry::Sample> *stats,
                    double freqGHz)
 {
-    const RunConfig &config = result.config;
+    const RunSpec &spec = result.spec;
     json.key("config").beginObject();
-    json.kv("workload", config.workload);
-    json.kv("footprint_bytes", config.footprintBytes);
-    json.kv("page_size", pageSizeName(config.pageSize));
-    json.kv("mode", modeName(config.mode));
-    json.kv("warmup_refs", config.warmupRefs);
-    json.kv("measure_refs", config.measureRefs);
-    json.kv("seed", config.seed);
+    json.kv("workload", spec.workload);
+    json.kv("footprint_bytes", spec.footprintBytes);
+    json.kv("page_size", pageSizeName(spec.pageSize));
+    json.kv("mode", modeName(spec.mode));
+    json.kv("warmup_refs", spec.warmupRefs);
+    json.kv("measure_refs", spec.measureRefs);
+    json.kv("seed", spec.seed);
     json.endObject();
 
     json.kv("footprint_touched", result.footprintTouched);
@@ -113,6 +113,15 @@ writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &results,
     }
     json.endArray();
     os << '\n';
+}
+
+void
+writeRunResultsJsonFile(const std::string &path,
+                        const std::vector<RunResult> &results, double freqGHz)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open JSON output file '%s'", path.c_str());
+    writeRunResultsJson(out, results, freqGHz);
 }
 
 void

@@ -39,6 +39,14 @@ void writeRunResultsJson(std::ostream &os,
                          double freqGHz = 2.5);
 
 /**
+ * Write a whole sweep as a JSON array to a file (declared order; used by
+ * SweepEngine's aggregate export). fatal() if the file cannot be opened.
+ */
+void writeRunResultsJsonFile(const std::string &path,
+                             const std::vector<RunResult> &results,
+                             double freqGHz = 2.5);
+
+/**
  * Write one RunResult (plus optional registry snapshot) to a file.
  * fatal() if the file cannot be opened.
  */

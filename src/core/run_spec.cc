@@ -1,0 +1,65 @@
+#include "core/run_spec.hh"
+
+#include <cstdio>
+
+#include "util/hash.hh"
+#include "util/table.hh"
+
+namespace atscale
+{
+
+std::string
+RunSpec::cacheKey() const
+{
+    char buf[384];
+    std::snprintf(buf, sizeof(buf), "%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
+                  workload.c_str(),
+                  static_cast<unsigned long long>(footprintBytes),
+                  pageSizeName(pageSize).c_str(), static_cast<int>(mode),
+                  static_cast<unsigned long long>(warmupRefs),
+                  static_cast<unsigned long long>(measureRefs),
+                  static_cast<unsigned long long>(seed));
+    std::string key = buf;
+    if (!platformTag.empty())
+        key += "_p" + platformTag;
+    return key;
+}
+
+std::string
+RunSpec::fileTag() const
+{
+    std::string tag = workload + "_f" + std::to_string(footprintBytes) +
+                      "_" + pageSizeName(pageSize) + "_s" +
+                      std::to_string(seed);
+    if (!platformTag.empty())
+        tag += "_" + platformTag;
+    return tag;
+}
+
+std::string
+RunSpec::describe() const
+{
+    std::string text = workload + " " + fmtBytes(footprintBytes) + " " +
+                       pageSizeName(pageSize) +
+                       (mode == WorkloadMode::Exec ? " exec" : " model") +
+                       " seed=" + std::to_string(seed);
+    if (!platformTag.empty())
+        text += " platform=" + platformTag;
+    return text;
+}
+
+std::uint64_t
+RunSpec::hash() const
+{
+    std::uint64_t h = fnv1a(workload);
+    h = hashCombine(h, footprintBytes);
+    h = hashCombine(h, static_cast<std::uint64_t>(pageSize));
+    h = hashCombine(h, static_cast<std::uint64_t>(mode));
+    h = hashCombine(h, warmupRefs);
+    h = hashCombine(h, measureRefs);
+    h = hashCombine(h, seed);
+    h = fnv1a(platformTag, hashCombine(h, platformTag.size()));
+    return h;
+}
+
+} // namespace atscale

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * RunSpec: the complete, self-contained identity of one experiment run.
+ *
+ * A RunSpec carries every knob that can change a RunResult — workload,
+ * footprint, page-size backing, instantiation mode, window sizes, seed,
+ * and (when a caller varies PlatformParams between runs) an explicit
+ * platform tag. Two runs with equal specs are guaranteed bit-identical,
+ * which is what lets the sweep engine deduplicate work (single-flight)
+ * and the on-disk cache key results by spec alone.
+ *
+ * The engine and cache treat specs as immutable values: callers build a
+ * spec (aggregate-style), hand it over, and every consumer copies it.
+ * Equality and hash() cover all fields; hash() is process-stable
+ * (FNV-1a, not std::hash) so it can key on-disk artifacts.
+ */
+
+#ifndef ATSCALE_CORE_RUN_SPEC_HH
+#define ATSCALE_CORE_RUN_SPEC_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hh"
+#include "vm/page_size.hh"
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** Immutable identity of one run (all knobs that affect the result). */
+struct RunSpec
+{
+    std::string workload = "bfs-urand";
+    std::uint64_t footprintBytes = 1ull << 30;
+    PageSize pageSize = PageSize::Size4K;
+    WorkloadMode mode = WorkloadMode::Model;
+    /** References executed before the counter window opens. */
+    Count warmupRefs = 500'000;
+    /** References in the measured window. */
+    Count measureRefs = 2'000'000;
+    std::uint64_t seed = 1;
+    /**
+     * Distinguishes runs made under non-default PlatformParams. The
+     * params themselves are not part of the spec (they are not hashable
+     * and rarely vary); any caller that runs the same (workload,
+     * footprint, ...) under different platform geometries MUST give each
+     * variant a distinct tag, or the cache and the engine's single-flight
+     * dedup will conflate them. Empty for the default platform.
+     */
+    std::string platformTag;
+
+    bool operator==(const RunSpec &) const = default;
+
+    /**
+     * Canonical key string encoding every field. This is the on-disk
+     * cache-file stem (with ".run" appended) and the basis of hash();
+     * the format is stable — default-platform keys are unchanged from
+     * the pre-engine cache layout, so existing caches stay valid.
+     */
+    std::string cacheKey() const;
+
+    /** Cache file name: cacheKey() + ".run". */
+    std::string cacheFileName() const { return cacheKey() + ".run"; }
+
+    /**
+     * Short filesystem-safe tag for per-job output files
+     * (workload_f<bytes>_<pagesize>_s<seed>[_<platformTag>]); unlike
+     * cacheKey() it omits window sizes and mode for readability.
+     */
+    std::string fileTag() const;
+
+    /** One-line human description for progress and dry-run listings. */
+    std::string describe() const;
+
+    /** Process-stable value hash over all fields (FNV-1a based). */
+    std::uint64_t hash() const;
+};
+
+/** Hasher for unordered containers keyed by RunSpec. */
+struct RunSpecHash
+{
+    std::size_t
+    operator()(const RunSpec &spec) const
+    {
+        return static_cast<std::size_t>(spec.hash());
+    }
+};
+
+/**
+ * Transitional alias: RunConfig was split into this immutable spec; the
+ * old name remains valid for callers that build specs field by field.
+ */
+using RunConfig = RunSpec;
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_RUN_SPEC_HH

@@ -1,12 +1,35 @@
 #include "core/sweep.hh"
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
 
+#include "core/run_cache.hh"
+#include "core/run_export.hh"
 #include "util/logging.hh"
 
 namespace atscale
 {
+
+namespace
+{
+
+/** Serializes progress counters and observability file emission. */
+std::mutex engineMutex;
+
+bool
+stderrIsTty()
+{
+    static const bool tty = ::isatty(::fileno(stderr)) != 0;
+    return tty;
+}
+
+} // namespace
 
 std::vector<std::uint64_t>
 footprintSweep(std::uint64_t lo, std::uint64_t hi, int pointsPerDecade)
@@ -50,21 +73,321 @@ sweepFootprints()
     return defaultFootprints();
 }
 
+int
+resolveThreads(int requested)
+{
+    int threads = requested;
+    if (threads <= 0) {
+        if (const char *env = std::getenv("ATSCALE_THREADS"))
+            threads = std::atoi(env);
+    }
+    if (threads <= 0)
+        threads = 1;
+    return std::min(threads, 512);
+}
+
+bool
+extractSweepFlags(int &argc, char **argv, std::string &error)
+{
+    error.clear();
+    const std::string prefix = "--threads=";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.compare(0, prefix.size(), prefix) == 0) {
+            char *end = nullptr;
+            long value = std::strtol(arg.c_str() + prefix.size(), &end, 10);
+            if (*end != '\0' || value <= 0 || value > 512) {
+                if (error.empty())
+                    error = "--threads expects an integer in [1, 512]";
+                continue;
+            }
+            // Store into the environment so every engine constructed in
+            // this process (including ones inside library helpers like
+            // sweepWorkloads) sees the request.
+            setenv("ATSCALE_THREADS", std::to_string(value).c_str(), 1);
+            continue;
+        }
+        if (arg.rfind("--threads", 0) == 0) {
+            if (error.empty())
+                error = "--threads requires =<count>";
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return error.empty();
+}
+
+SweepEngine::SweepEngine(SweepOptions options)
+    : options_(std::move(options)), threads_(resolveThreads(options_.threads))
+{
+}
+
+std::vector<SweepPlanEntry>
+SweepEngine::plan(const std::vector<SweepJob> &jobs) const
+{
+    std::unordered_map<RunSpec, std::size_t, RunSpecHash> seen;
+    std::vector<SweepPlanEntry> entries;
+    entries.reserve(jobs.size());
+    for (const SweepJob &job : jobs) {
+        SweepPlanEntry entry;
+        entry.spec = job.spec;
+        entry.duplicate = !seen.try_emplace(job.spec, entries.size()).second;
+        entry.cached = cachedRunExists(job.spec);
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+void
+SweepEngine::noteRunning()
+{
+    std::lock_guard<std::mutex> lock(engineMutex);
+    ++progress_.running;
+    if (options_.onProgress)
+        options_.onProgress(progress_);
+}
+
+void
+SweepEngine::noteFinished(bool cached)
+{
+    std::lock_guard<std::mutex> lock(engineMutex);
+    if (cached) {
+        ++progress_.cached;
+    } else {
+        --progress_.running;
+        ++progress_.completed;
+    }
+    if (options_.onProgress) {
+        options_.onProgress(progress_);
+    } else if (stderrIsTty()) {
+        std::fprintf(stderr,
+                     "\rsweep: %zu/%zu executed (%zu cached, %zu running) ",
+                     progress_.completed,
+                     progress_.total - progress_.cached, progress_.cached,
+                     progress_.running);
+        std::fflush(stderr);
+    }
+}
+
+void
+SweepEngine::executeJob(const SweepJob &job, RunResult &result)
+{
+    if (!options_.obs.any()) {
+        result = runExperiment(job.spec, job.params);
+        return;
+    }
+
+    // Per-job observability: a private session, outputs under per-job
+    // names. Emission is serialized so concurrent jobs never interleave
+    // writes or stdout "wrote ..." lines.
+    ObsOptions job_obs = options_.obs.forJob(job.spec.fileTag());
+    ObsSession session(job_obs);
+    result = runExperiment(job.spec, job.params, &session);
+
+    std::lock_guard<std::mutex> lock(engineMutex);
+    if (!job_obs.jsonOut.empty()) {
+        writeRunResultJsonFile(job_obs.jsonOut, result,
+                               &session.statsSnapshot(),
+                               job.params.freqGHz);
+        written_.push_back(job_obs.jsonOut);
+    }
+    for (const std::string &path : session.writeOutputs(job.params.freqGHz))
+        written_.push_back(path);
+}
+
+std::vector<RunResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs)
+{
+    written_.clear();
+    progress_ = SweepProgress{};
+
+    // Single-flight: duplicate specs collapse onto the first occurrence.
+    std::unordered_map<RunSpec, std::size_t, RunSpecHash> index;
+    std::vector<std::size_t> owner(jobs.size());
+    std::vector<std::size_t> uniq;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        auto [it, inserted] = index.try_emplace(jobs[i].spec, uniq.size());
+        if (inserted)
+            uniq.push_back(i);
+        owner[i] = it->second;
+    }
+    progress_.total = uniq.size();
+
+    // Check the cache before dispatch. Observed sweeps execute every
+    // job: cached entries carry no windows or traces, so serving them
+    // would silently drop the requested outputs.
+    std::vector<RunResult> results(uniq.size());
+    std::vector<std::size_t> pending;
+    const bool observing = options_.obs.any();
+    for (std::size_t u = 0; u < uniq.size(); ++u) {
+        if (!observing && loadCachedRun(jobs[uniq[u]].spec, results[u]))
+            noteFinished(true);
+        else
+            pending.push_back(u);
+    }
+
+    if (!jobs.empty()) {
+        inform("sweep: %zu jobs (%zu unique, %zu cached) on %d thread(s)",
+               jobs.size(), uniq.size(), progress_.cached, threads_);
+    }
+
+    if (!pending.empty()) {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= pending.size())
+                    return;
+                std::size_t u = pending[i];
+                noteRunning();
+                executeJob(jobs[uniq[u]], results[u]);
+                noteFinished(false);
+            }
+        };
+        int pool_size = static_cast<int>(
+            std::min<std::size_t>(threads_, pending.size()));
+        if (pool_size <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(pool_size);
+            for (int t = 0; t < pool_size; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &thread : pool)
+                thread.join();
+        }
+        if (!options_.onProgress && stderrIsTty())
+            std::fputc('\n', stderr);
+    }
+
+    // Results in declared order, duplicates sharing their owner's run.
+    std::vector<RunResult> out;
+    out.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out.push_back(results[owner[i]]);
+
+    // Whole-sweep JSON aggregate, in declared order (deterministic for
+    // any thread count).
+    if (observing && !options_.obs.jsonOut.empty()) {
+        double freq = jobs.empty() ? PlatformParams{}.freqGHz
+                                   : jobs.front().params.freqGHz;
+        writeRunResultsJsonFile(options_.obs.jsonOut, out, freq);
+        written_.push_back(options_.obs.jsonOut);
+    }
+    return out;
+}
+
+std::vector<RunResult>
+SweepEngine::run(const std::vector<RunSpec> &specs,
+                 const PlatformParams &params)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size());
+    for (const RunSpec &spec : specs)
+        jobs.push_back(SweepJob{spec, params});
+    return run(jobs);
+}
+
+void
+SweepEngine::forEachTask(std::size_t count,
+                         const std::function<void(std::size_t)> &task)
+{
+    if (count == 0)
+        return;
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            task(i);
+        }
+    };
+    int pool_size =
+        static_cast<int>(std::min<std::size_t>(threads_, count));
+    if (pool_size <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (int t = 0; t < pool_size; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &thread : pool)
+        thread.join();
+}
+
+std::vector<SweepJob>
+overheadSweepJobs(const std::vector<std::string> &workloads,
+                  const std::vector<std::uint64_t> &footprints,
+                  const RunSpec &base, const PlatformParams &params)
+{
+    static constexpr PageSize kSizes[] = {PageSize::Size4K, PageSize::Size2M,
+                                          PageSize::Size1G};
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size() * footprints.size() * 3);
+    for (const std::string &workload : workloads) {
+        for (std::uint64_t footprint : footprints) {
+            for (PageSize size : kSizes) {
+                RunSpec spec = base;
+                spec.workload = workload;
+                spec.footprintBytes = footprint;
+                spec.pageSize = size;
+                jobs.push_back(SweepJob{std::move(spec), params});
+            }
+        }
+    }
+    return jobs;
+}
+
+namespace
+{
+
+/** Reassemble engine results (overheadSweepJobs order) into sweeps. */
+std::vector<WorkloadSweep>
+assembleSweeps(const std::vector<std::string> &workloads,
+               const std::vector<std::uint64_t> &footprints,
+               const std::vector<RunResult> &results)
+{
+    std::vector<WorkloadSweep> sweeps;
+    sweeps.reserve(workloads.size());
+    std::size_t next = 0;
+    for (const std::string &workload : workloads) {
+        WorkloadSweep sweep;
+        sweep.workload = workload;
+        sweep.points.reserve(footprints.size());
+        for (std::uint64_t footprint : footprints) {
+            OverheadPoint point;
+            point.workload = workload;
+            point.footprintBytes = footprint;
+            point.run4k = results[next++];
+            point.run2m = results[next++];
+            point.run1g = results[next++];
+            sweep.points.push_back(std::move(point));
+        }
+        sweeps.push_back(std::move(sweep));
+    }
+    return sweeps;
+}
+
+} // namespace
+
 WorkloadSweep
 sweepWorkload(const std::string &workload,
               const std::vector<std::uint64_t> &footprints,
-              const RunConfig &base, const PlatformParams &params,
+              const RunSpec &base, const PlatformParams &params,
               const std::function<void(const OverheadPoint &)> &progress)
 {
-    WorkloadSweep sweep;
-    sweep.workload = workload;
-    for (std::uint64_t footprint : footprints) {
-        RunConfig config = base;
-        config.workload = workload;
-        config.footprintBytes = footprint;
-        sweep.points.push_back(measureOverhead(config, params));
-        if (progress)
-            progress(sweep.points.back());
+    SweepEngine engine;
+    auto results =
+        engine.run(overheadSweepJobs({workload}, footprints, base, params));
+    WorkloadSweep sweep =
+        std::move(assembleSweeps({workload}, footprints, results).front());
+    if (progress) {
+        for (const OverheadPoint &point : sweep.points)
+            progress(point);
     }
     return sweep;
 }
@@ -72,15 +395,12 @@ sweepWorkload(const std::string &workload,
 std::vector<WorkloadSweep>
 sweepWorkloads(const std::vector<std::string> &workloads,
                const std::vector<std::uint64_t> &footprints,
-               const RunConfig &base, const PlatformParams &params)
+               const RunSpec &base, const PlatformParams &params)
 {
-    std::vector<WorkloadSweep> sweeps;
-    for (const std::string &workload : workloads) {
-        inform("sweeping %s (%zu footprints)", workload.c_str(),
-               footprints.size());
-        sweeps.push_back(sweepWorkload(workload, footprints, base, params));
-    }
-    return sweeps;
+    SweepEngine engine;
+    auto results =
+        engine.run(overheadSweepJobs(workloads, footprints, base, params));
+    return assembleSweeps(workloads, footprints, results);
 }
 
 } // namespace atscale

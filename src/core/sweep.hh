@@ -1,7 +1,23 @@
 /**
  * @file
- * Footprint sweeps: the paper's input-size sweeps per workload, yielding
- * one OverheadPoint per (workload, footprint).
+ * The sweep engine: declared sets of RunSpecs executed as schedulable
+ * jobs on a fixed thread pool, plus the paper's footprint-sweep helpers.
+ *
+ * The paper's headline artifacts are dozens of independent (workload,
+ * footprint, page size) runs whose results only meet at the analysis
+ * stage — on real Haswell the sweeps took up to 3 days. SweepEngine
+ * turns that shape into a first-class object: callers declare the full
+ * job list up front, the engine deduplicates equal specs (single-flight),
+ * satisfies what it can from the on-disk result cache, executes the rest
+ * on --threads=N / ATSCALE_THREADS worker threads, and returns results
+ * in declared order — so every downstream CSV/report/chart emission is
+ * byte-identical regardless of thread count.
+ *
+ * Determinism contract: runExperiment() is a pure function of
+ * (RunSpec, PlatformParams) — each job builds its own platform, workload
+ * instance, and RNG state from the spec (see core/experiment.hh) — so
+ * parallel execution can only change *when* a result is computed, never
+ * its value.
  */
 
 #ifndef ATSCALE_CORE_SWEEP_HH
@@ -12,6 +28,7 @@
 #include <vector>
 
 #include "core/overhead.hh"
+#include "obs/session.hh"
 
 namespace atscale
 {
@@ -32,6 +49,125 @@ std::vector<std::uint64_t> quickFootprints();
 /** Honours ATSCALE_QUICK: quick or default footprints. */
 std::vector<std::uint64_t> sweepFootprints();
 
+/**
+ * Resolve the worker-thread count for a sweep: an explicit positive
+ * request wins; otherwise the ATSCALE_THREADS environment variable;
+ * otherwise 1 (serial — the pre-engine behaviour).
+ */
+int resolveThreads(int requested = 0);
+
+/**
+ * Extract engine flags (--threads=N) from argv, compacting the remaining
+ * arguments in place as extractObsFlags does. --threads wins over the
+ * ATSCALE_THREADS environment variable (it is stored back into it, so
+ * engines constructed anywhere in the process see it).
+ *
+ * @return false with `error` set when a flag is malformed.
+ */
+bool extractSweepFlags(int &argc, char **argv, std::string &error);
+
+/** One schedulable job: a spec plus the platform to run it on. */
+struct SweepJob
+{
+    RunSpec spec;
+    PlatformParams params{};
+};
+
+/** Progress counts for a running sweep (totals are unique jobs). */
+struct SweepProgress
+{
+    std::size_t total = 0;     ///< unique jobs in the sweep
+    std::size_t cached = 0;    ///< satisfied from the disk cache
+    std::size_t completed = 0; ///< executed to completion (excl. cached)
+    std::size_t running = 0;   ///< currently executing
+};
+
+/** Pre-execution view of one declared job (for --jobs-dry-run). */
+struct SweepPlanEntry
+{
+    RunSpec spec;
+    bool cached = false;    ///< a disk-cache entry already exists
+    bool duplicate = false; ///< same spec declared earlier in the list
+};
+
+/** Engine configuration. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = resolveThreads() (env, default serial). */
+    int threads = 0;
+    /**
+     * Per-job observability. When any() is set, every *executed* job
+     * (cached jobs carry no windows/traces) runs with its own ObsSession
+     * and writes its outputs under per-job names derived via
+     * ObsOptions::forJob(); file emission is serialized on an internal
+     * mutex. When obs.jsonOut is set the engine additionally writes the
+     * whole sweep, in declared order, as a JSON array at that path.
+     */
+    ObsOptions obs;
+    /** Optional progress callback; invoked under the engine's mutex. */
+    std::function<void(const SweepProgress &)> onProgress;
+};
+
+/**
+ * Executes declared sets of RunSpecs. Stateless between run() calls
+ * apart from options and the written-output log; one engine can be
+ * reused for several sweeps.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions options = {});
+
+    /** The resolved worker-thread count. */
+    int threads() const { return threads_; }
+
+    /**
+     * Classify each declared job without executing anything: which specs
+     * are cache hits, which are duplicates of earlier entries.
+     */
+    std::vector<SweepPlanEntry> plan(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Execute all jobs; results are returned in declared order.
+     * Duplicate specs are run once (single-flight) and their result is
+     * shared. Jobs with equal specs must carry equal params — give
+     * variants distinct RunSpec::platformTag values.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &jobs);
+
+    /** Convenience: all specs on one shared platform configuration. */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs,
+                               const PlatformParams &params = {});
+
+    /**
+     * Run `count` opaque independent tasks on the worker pool (used by
+     * benches whose per-variant measurement is not RunSpec-shaped).
+     * task(i) must touch only task-local state; ordering across tasks is
+     * unspecified, so collect results by index and emit after returning.
+     */
+    void forEachTask(std::size_t count,
+                     const std::function<void(std::size_t)> &task);
+
+    /** Files written by per-job observability in run(), in write order. */
+    const std::vector<std::string> &writtenOutputs() const
+    {
+        return written_;
+    }
+
+    /** Progress counts of the most recent run(). */
+    const SweepProgress &progress() const { return progress_; }
+
+  private:
+    void executeJob(const SweepJob &job, RunResult &result);
+    void noteRunning();
+    void noteFinished(bool cached);
+
+    SweepOptions options_;
+    int threads_ = 1;
+    SweepProgress progress_;
+    std::vector<std::string> written_;
+};
+
 /** One workload's sweep. */
 struct WorkloadSweep
 {
@@ -40,20 +176,32 @@ struct WorkloadSweep
 };
 
 /**
- * Sweep one workload across footprints.
- * @param progress optional callback invoked after each point
+ * Expand the overhead-measurement job list for workloads x footprints:
+ * for every point the three page-size runs (4K, 2M, 1G) the paper's
+ * min(t_2MB, t_1GB) baseline needs. Declared order is workload-major,
+ * then footprint, then page size — the order the serial loops used.
+ */
+std::vector<SweepJob>
+overheadSweepJobs(const std::vector<std::string> &workloads,
+                  const std::vector<std::uint64_t> &footprints,
+                  const RunSpec &base = {},
+                  const PlatformParams &params = {});
+
+/**
+ * Sweep one workload across footprints through the engine.
+ * @param progress optional callback invoked per point in declared order
  */
 WorkloadSweep
 sweepWorkload(const std::string &workload,
               const std::vector<std::uint64_t> &footprints,
-              const RunConfig &base = {}, const PlatformParams &params = {},
+              const RunSpec &base = {}, const PlatformParams &params = {},
               const std::function<void(const OverheadPoint &)> &progress = {});
 
-/** Sweep several workloads. */
+/** Sweep several workloads through one engine-scheduled job set. */
 std::vector<WorkloadSweep>
 sweepWorkloads(const std::vector<std::string> &workloads,
                const std::vector<std::uint64_t> &footprints,
-               const RunConfig &base = {},
+               const RunSpec &base = {},
                const PlatformParams &params = {});
 
 } // namespace atscale

@@ -36,6 +36,17 @@ stem(const std::string &path)
 
 } // namespace
 
+ObsOptions
+ObsOptions::forJob(const std::string &tag) const
+{
+    ObsOptions options = *this;
+    if (!options.jsonOut.empty())
+        options.jsonOut = stem(options.jsonOut) + "." + tag + ".json";
+    if (!options.tracePrefix.empty())
+        options.tracePrefix += "." + tag;
+    return options;
+}
+
 bool
 parseObsFlag(const std::string &arg, ObsOptions &options, std::string &error)
 {

@@ -42,6 +42,14 @@ struct ObsOptions
     {
         return sampleWindow > 0 || !tracePrefix.empty() || !jsonOut.empty();
     }
+
+    /**
+     * Derive per-job options for one run of a sweep: output paths gain
+     * the job's tag ("out.json" -> "out.<tag>.json", trace prefix "p" ->
+     * "p.<tag>") so concurrently executing jobs never collide on files.
+     * Sampling/trace-capacity knobs are inherited unchanged.
+     */
+    ObsOptions forJob(const std::string &tag) const;
 };
 
 /**

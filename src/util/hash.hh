@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small deterministic hashing helpers.
+ *
+ * Used for value-identity hashing of experiment specs (core/run_spec.hh):
+ * the hashes must be stable across processes and platforms so they can
+ * key on-disk artifacts and deduplicate work between runs, which rules
+ * out std::hash (unspecified, per-implementation).
+ */
+
+#ifndef ATSCALE_UTIL_HASH_HH
+#define ATSCALE_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace atscale
+{
+
+/** FNV-1a offset basis / prime (64-bit). */
+inline constexpr std::uint64_t fnv1aBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t fnv1aPrime = 0x00000100000001b3ull;
+
+/** FNV-1a over a byte string, continuing from `h`. */
+constexpr std::uint64_t
+fnv1a(std::string_view bytes, std::uint64_t h = fnv1aBasis)
+{
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= fnv1aPrime;
+    }
+    return h;
+}
+
+/**
+ * Fold one 64-bit value into a running hash. Mixes with FNV-1a over the
+ * value's 8 bytes so field order matters and adjacent small integers do
+ * not collide.
+ */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (8 * i)) & 0xff;
+        h *= fnv1aPrime;
+    }
+    return h;
+}
+
+} // namespace atscale
+
+#endif // ATSCALE_UTIL_HASH_HH

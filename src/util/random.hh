@@ -7,6 +7,13 @@
  * stateless mixing function (splitMix64) is used by the model-mode workload
  * generators to derive, e.g., the neighbour list of graph vertex v without
  * materializing the graph.
+ *
+ * Concurrency invariant (relied on by core/sweep.hh's parallel engine):
+ * there is NO global or static RNG state anywhere in this module — every
+ * generator is an Rng instance owned by exactly one platform, workload
+ * stream, or bench rig, seeded from its job's RunSpec. mix64() is pure.
+ * Keep it that way: a hidden shared generator would make results depend
+ * on job interleaving and break the engine's determinism guarantee.
  */
 
 #ifndef ATSCALE_UTIL_RANDOM_HH

@@ -1,3 +1,11 @@
+// Thread-safety invariant (relied on by core/sweep.hh's parallel
+// engine): this registry holds no mutable state. workloadNames() returns
+// a fresh vector and createWorkload() constructs a brand-new Workload
+// from constants, so any number of concurrent jobs may call them; each
+// job owns its workload instance outright. Do not add caches or shared
+// singletons here without making them thread-safe AND
+// interleaving-independent.
+
 #include "workloads/registry.hh"
 
 #include "util/logging.hh"

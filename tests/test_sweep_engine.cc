@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Sweep engine tests: RunSpec value identity (equality, hashing, cache
+ * keys), single-flight deduplication, plan() classification, atomic
+ * cache writes, --threads flag parsing, and the engine's headline
+ * guarantee — byte-identical sweep output regardless of thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "core/run_cache.hh"
+#include "core/run_export.hh"
+#include "core/sweep.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+RunSpec
+quickSpec(const std::string &workload = "bfs-urand",
+          std::uint64_t footprint = 256ull << 20)
+{
+    RunSpec spec;
+    spec.workload = workload;
+    spec.footprintBytes = footprint;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 50'000;
+    return spec;
+}
+
+/** Scoped private cache directory (empty name disables the cache). */
+class ScopedCacheDir
+{
+  public:
+    explicit ScopedCacheDir(const std::string &name)
+    {
+        if (!name.empty()) {
+            path_ = ::testing::TempDir() + "/" + name;
+            std::filesystem::remove_all(path_);
+            std::filesystem::create_directories(path_);
+            setenv("ATSCALE_CACHE_DIR", path_.c_str(), 1);
+        } else {
+            unsetenv("ATSCALE_CACHE_DIR");
+        }
+    }
+
+    ~ScopedCacheDir()
+    {
+        unsetenv("ATSCALE_CACHE_DIR");
+        if (!path_.empty())
+            std::filesystem::remove_all(path_);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Serialize a sweep the way downstream consumers do (JSON aggregate). */
+std::string
+sweepBytes(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeRunResultsJson(os, results);
+    return os.str();
+}
+
+/** Serialize a sweep the way the figure CSVs do (one row per run). */
+std::string
+csvBytes(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    os << "workload,footprint_bytes,page_size,cycles,instructions\n";
+    for (const RunResult &r : results) {
+        os << r.spec.workload << ',' << r.spec.footprintBytes << ','
+           << pageSizeName(r.spec.pageSize) << ',' << r.cycles() << ','
+           << r.instructions() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(RunSpec, EqualityCoversEveryField)
+{
+    const RunSpec base = quickSpec();
+    EXPECT_EQ(base, quickSpec());
+
+    auto differs = [&](auto mutate) {
+        RunSpec other = base;
+        mutate(other);
+        return other != base;
+    };
+    EXPECT_TRUE(differs([](RunSpec &s) { s.workload = "cc-kron"; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.footprintBytes *= 2; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.pageSize = PageSize::Size2M; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.mode = WorkloadMode::Exec; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.warmupRefs += 1; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.measureRefs += 1; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.seed += 1; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.platformTag = "stlb4096"; }));
+}
+
+TEST(RunSpec, HashAndCacheKeySeparateDistinctSpecs)
+{
+    const RunSpec base = quickSpec();
+    std::vector<RunSpec> variants{base};
+    for (auto mutate : std::initializer_list<void (*)(RunSpec &)>{
+             [](RunSpec &s) { s.workload = "cc-kron"; },
+             [](RunSpec &s) { s.footprintBytes *= 2; },
+             [](RunSpec &s) { s.pageSize = PageSize::Size1G; },
+             [](RunSpec &s) { s.mode = WorkloadMode::Exec; },
+             [](RunSpec &s) { s.warmupRefs += 1; },
+             [](RunSpec &s) { s.measureRefs += 1; },
+             [](RunSpec &s) { s.seed = 99; },
+             [](RunSpec &s) { s.platformTag = "pscoff"; }}) {
+        RunSpec other = base;
+        mutate(other);
+        variants.push_back(other);
+    }
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        for (std::size_t j = i + 1; j < variants.size(); ++j) {
+            EXPECT_NE(variants[i].hash(), variants[j].hash())
+                << variants[i].describe() << " vs "
+                << variants[j].describe();
+            EXPECT_NE(variants[i].cacheKey(), variants[j].cacheKey());
+        }
+    }
+
+    // Equal specs hash equal, and the hash is process-stable (FNV-1a
+    // over the field bytes), so on-disk artifacts can rely on it.
+    EXPECT_EQ(base.hash(), quickSpec().hash());
+    EXPECT_EQ(RunSpecHash{}(base), static_cast<std::size_t>(base.hash()));
+}
+
+TEST(RunSpec, CacheKeyPreservesPreTagFormat)
+{
+    // The platformTag suffix must only appear for non-default platforms;
+    // untagged specs keep the original file-name format so existing
+    // caches stay valid.
+    RunSpec spec = quickSpec();
+    EXPECT_EQ(spec.cacheKey(),
+              "bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
+    EXPECT_EQ(spec.cacheFileName(),
+              "bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
+    spec.platformTag = "stlb128";
+    EXPECT_EQ(spec.cacheKey(),
+              "bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
+}
+
+TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial)
+{
+    const std::vector<std::string> workloads{"pr-kron", "cc-urand"};
+    const std::vector<std::uint64_t> footprints{256ull << 20, 1ull << 30};
+    auto jobs = overheadSweepJobs(workloads, footprints, quickSpec());
+
+    std::vector<RunResult> serial, parallel;
+    {
+        ScopedCacheDir cache("sweep_serial_cache");
+        SweepOptions options;
+        options.threads = 1;
+        serial = SweepEngine(options).run(jobs);
+    }
+    {
+        ScopedCacheDir cache("sweep_parallel_cache");
+        SweepOptions options;
+        options.threads = 4;
+        SweepEngine engine(options);
+        EXPECT_EQ(engine.threads(), 4);
+        parallel = engine.run(jobs);
+    }
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    // Every downstream consumer reads the declared-order result list, so
+    // byte-compare the two serializations they derive from it.
+    EXPECT_EQ(sweepBytes(serial), sweepBytes(parallel));
+    EXPECT_EQ(csvBytes(serial), csvBytes(parallel));
+}
+
+TEST(SweepEngine, SingleFlightCollapsesDuplicateSpecs)
+{
+    ScopedCacheDir cache("");
+    RunSpec spec = quickSpec("pr-kron");
+    SweepOptions options;
+    options.threads = 2;
+    SweepEngine engine(options);
+    std::vector<RunResult> results =
+        engine.run(std::vector<RunSpec>{spec, spec, spec});
+
+    ASSERT_EQ(results.size(), 3u);
+    // One execution, shared by all three declared slots.
+    EXPECT_EQ(engine.progress().total, 1u);
+    EXPECT_EQ(engine.progress().completed, 1u);
+    for (const RunResult &r : results) {
+        EXPECT_EQ(r.cycles(), results[0].cycles());
+        EXPECT_EQ(r.spec, spec);
+    }
+}
+
+TEST(SweepEngine, PlanClassifiesCachedAndDuplicateJobs)
+{
+    ScopedCacheDir cache("sweep_plan_cache");
+    RunSpec done = quickSpec("pr-kron");
+    RunSpec fresh = quickSpec("bc-urand");
+
+    SweepEngine engine;
+    engine.run(std::vector<RunSpec>{done});
+
+    auto entries = engine.plan(
+        {SweepJob{done}, SweepJob{fresh}, SweepJob{done}});
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_TRUE(entries[0].cached);
+    EXPECT_FALSE(entries[0].duplicate);
+    EXPECT_FALSE(entries[1].cached);
+    EXPECT_FALSE(entries[1].duplicate);
+    EXPECT_TRUE(entries[2].duplicate);
+}
+
+TEST(SweepEngine, CachePrePassSkipsExecution)
+{
+    ScopedCacheDir cache("sweep_prepass_cache");
+    RunSpec spec = quickSpec("cc-urand");
+
+    SweepEngine first;
+    std::vector<RunResult> cold = first.run(std::vector<RunSpec>{spec});
+    EXPECT_EQ(first.progress().completed, 1u);
+    EXPECT_EQ(first.progress().cached, 0u);
+
+    SweepEngine second;
+    std::vector<RunResult> warm = second.run(std::vector<RunSpec>{spec});
+    EXPECT_EQ(second.progress().completed, 0u);
+    EXPECT_EQ(second.progress().cached, 1u);
+    EXPECT_EQ(sweepBytes(cold), sweepBytes(warm));
+}
+
+TEST(RunCache, WritesAreAtomicAndRoundTrip)
+{
+    ScopedCacheDir cache("atomic_cache");
+    RunSpec spec = quickSpec("mcf-rand");
+    RunResult result = runExperiment(spec);
+
+    // The store must leave exactly the final file — no .tmp leftovers
+    // (a crashed or racing job must never be visible as a truncated
+    // entry; storeCachedRun writes a temp file and rename()s it in).
+    std::size_t entries = 0;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        EXPECT_EQ(it.path().extension(), ".run") << it.path();
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    EXPECT_TRUE(cachedRunExists(spec));
+
+    RunResult reloaded;
+    ASSERT_TRUE(loadCachedRun(spec, reloaded));
+    EXPECT_EQ(reloaded.spec, spec);
+    for (int i = 0; i < numEvents; ++i) {
+        auto id = static_cast<EventId>(i);
+        EXPECT_EQ(result.counters.get(id), reloaded.counters.get(id));
+    }
+
+    // A torn write (simulated: truncated file) must read as a miss, not
+    // a corrupt result.
+    std::filesystem::resize_file(runCachePath(spec), 10);
+    RunResult torn;
+    EXPECT_FALSE(loadCachedRun(spec, torn));
+}
+
+TEST(SweepFlags, ThreadsFlagParsesAndStripsArgv)
+{
+    unsetenv("ATSCALE_THREADS");
+    EXPECT_EQ(resolveThreads(), 1);
+    EXPECT_EQ(resolveThreads(7), 7);
+
+    char prog[] = "bench";
+    char flag[] = "--threads=3";
+    char other[] = "positional";
+    char *argv[] = {prog, flag, other, nullptr};
+    int argc = 3;
+    std::string error;
+    EXPECT_TRUE(extractSweepFlags(argc, argv, error));
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "positional");
+    EXPECT_EQ(resolveThreads(), 3);
+    unsetenv("ATSCALE_THREADS");
+
+    char bad[] = "--threads=zoo";
+    char *badv[] = {prog, bad, nullptr};
+    int badc = 2;
+    EXPECT_FALSE(extractSweepFlags(badc, badv, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SweepEngine, ObservedSweepWritesPerJobAndAggregateOutputs)
+{
+    ScopedCacheDir cache("sweep_obs_cache");
+    std::string dir = ::testing::TempDir() + "/sweep_obs_out";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    RunSpec a = quickSpec("pr-kron");
+    RunSpec b = quickSpec("cc-urand");
+
+    SweepOptions options;
+    options.threads = 2;
+    options.obs.sampleWindow = 20'000;
+    options.obs.jsonOut = dir + "/sweep.json";
+    SweepEngine engine(options);
+    std::vector<RunResult> results =
+        engine.run(std::vector<RunSpec>{a, b});
+    ASSERT_EQ(results.size(), 2u);
+
+    // Per-job RunResult JSON and window series under forJob() names,
+    // plus the declared-order aggregate at the original path.
+    for (const RunSpec &spec : {a, b}) {
+        std::string stem = dir + "/sweep." + spec.fileTag();
+        EXPECT_TRUE(std::filesystem::exists(stem + ".json")) << stem;
+        EXPECT_TRUE(std::filesystem::exists(stem + ".windows.jsonl"))
+            << stem;
+    }
+    EXPECT_TRUE(std::filesystem::exists(dir + "/sweep.json"));
+    EXPECT_EQ(engine.writtenOutputs().back(), dir + "/sweep.json");
+
+    // Observed sweeps execute every job even with a warm cache: cached
+    // entries carry no windows.
+    SweepEngine{}.run(std::vector<RunSpec>{a, b}); // populates the cache
+    ASSERT_TRUE(cachedRunExists(a));
+    SweepEngine again(options);
+    again.run(std::vector<RunSpec>{a, b});
+    EXPECT_EQ(again.progress().cached, 0u);
+    EXPECT_EQ(again.progress().completed, 2u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsOptions, ForJobDerivesPerJobOutputNames)
+{
+    ObsOptions options;
+    options.jsonOut = "sweep.json";
+    options.tracePrefix = "walks";
+    ObsOptions job = options.forJob(quickSpec().fileTag());
+    EXPECT_EQ(job.jsonOut, "sweep.bfs-urand_f268435456_4K_s1.json");
+    EXPECT_EQ(job.tracePrefix, "walks.bfs-urand_f268435456_4K_s1");
+}
