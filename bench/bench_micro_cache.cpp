@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.hh"
 #include "cache/hierarchy.hh"
 #include "mem/dram.hh"
 #include "util/random.hh"
@@ -76,4 +77,8 @@ BENCHMARK(BM_DramAccess);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return atscale::benchx::gbenchMain(argc, argv);
+}

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.hh"
 #include "mmu/mmu.hh"
 #include "util/random.hh"
 
@@ -15,11 +16,19 @@ using namespace atscale;
 namespace
 {
 
+MmuParams
+rigParams(bool fastPath)
+{
+    MmuParams params;
+    params.fastPath = fastPath;
+    return params;
+}
+
 struct MmuRig
 {
-    MmuRig()
+    explicit MmuRig(bool fastPath = true)
         : alloc(64ull << 30), space(mem, alloc, PageSize::Size4K),
-          mmu(space, mem, hierarchy)
+          mmu(space, mem, hierarchy, rigParams(fastPath))
     {
         base = space.mapRegion("data", 4ull << 30);
         // Pre-populate a window of pages.
@@ -91,10 +100,15 @@ BM_WalkWarm(benchmark::State &state)
 }
 BENCHMARK(BM_WalkWarm);
 
+/**
+ * A/B pair: identical access pattern with the software fast path on and
+ * off, so the fast path's speedup (and any regression of it) is visible
+ * directly in one benchmark report. range(0) != 0 enables the fast path.
+ */
 void
 BM_MmuTranslateRandom(benchmark::State &state)
 {
-    MmuRig rig;
+    MmuRig rig(state.range(0) != 0);
     Rng rng(1);
     for (auto _ : state) {
         Addr va = rig.base + (rng.below(4096) << pageShift4K);
@@ -102,12 +116,12 @@ BM_MmuTranslateRandom(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_MmuTranslateRandom);
+BENCHMARK(BM_MmuTranslateRandom)->ArgName("fastpath")->Arg(1)->Arg(0);
 
 void
 BM_MmuTranslateSequential(benchmark::State &state)
 {
-    MmuRig rig;
+    MmuRig rig(state.range(0) != 0);
     Addr va = rig.base;
     for (auto _ : state) {
         benchmark::DoNotOptimize(rig.mmu.translate(va));
@@ -117,8 +131,12 @@ BM_MmuTranslateSequential(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_MmuTranslateSequential);
+BENCHMARK(BM_MmuTranslateSequential)->ArgName("fastpath")->Arg(1)->Arg(0);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return atscale::benchx::gbenchMain(argc, argv);
+}

@@ -8,6 +8,9 @@
  *                        ./atscale_cache so the whole suite shares runs)
  *  - ATSCALE_OUT_DIR     where to drop CSV data files (optional)
  *  - ATSCALE_THREADS=N   sweep-engine worker threads (--threads=N wins)
+ *  - ATSCALE_NO_FASTPATH=1  disable the software translation fast path
+ *                        (--no-fastpath; results are bit-identical, see
+ *                        docs/PERF.md)
  */
 
 #ifndef ATSCALE_BENCH_COMMON_HH
@@ -39,7 +42,8 @@ ensureCacheDir()
 
 /**
  * Standard bench start-up: make the cache shareable and consume the
- * sweep-engine flags (--threads=N; see core/sweep.hh). Malformed flags
+ * sweep-engine flags (--threads=N, --no-fastpath; see core/sweep.hh).
+ * Malformed flags
  * print the error and exit(2); the remaining argv is compacted in place
  * for the bench's own parsing. Call first in every bench main().
  */
@@ -62,13 +66,14 @@ quick()
     return q && *q && *q != '0';
 }
 
-/** Measurement window sizes, quick-aware. */
+/** Measurement window sizes, quick-aware; honours --no-fastpath. */
 inline RunConfig
 baseRunConfig()
 {
     RunConfig config;
     config.warmupRefs = quick() ? 150'000 : 400'000;
     config.measureRefs = quick() ? 400'000 : 1'200'000;
+    config.fastPath = fastPathDefault();
     return config;
 }
 

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared main() helper for the google-benchmark micro suites.
+ *
+ * Adds one extra flag on top of the stock benchmark driver:
+ *
+ *   --quick   rewrite to --benchmark_min_time=0.01, so a full binary run
+ *             finishes in a couple of seconds. This is what the ctest
+ *             `smoke` label uses: the point is "does every benchmark
+ *             still construct its rig and execute", not stable timing.
+ *
+ * Everything else is passed through to benchmark::Initialize untouched,
+ * so the usual --benchmark_filter / --benchmark_format flags keep
+ * working alongside --quick.
+ */
+
+#ifndef ATSCALE_BENCH_GBENCH_MAIN_HH
+#define ATSCALE_BENCH_GBENCH_MAIN_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace atscale::benchx
+{
+
+inline int
+gbenchMain(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    for (std::string &arg : args) {
+        if (arg == "--quick")
+            arg = "--benchmark_min_time=0.01";
+    }
+    std::vector<char *> raw;
+    raw.reserve(args.size());
+    for (std::string &arg : args)
+        raw.push_back(arg.data());
+    int raw_argc = static_cast<int>(raw.size());
+
+    benchmark::Initialize(&raw_argc, raw.data());
+    if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace atscale::benchx
+
+#endif // ATSCALE_BENCH_GBENCH_MAIN_HH

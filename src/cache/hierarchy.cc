@@ -2,6 +2,7 @@
 
 #include "obs/stats_registry.hh"
 #include "util/bitfield.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -35,30 +36,33 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params)
 }
 
 MemAccessResult
-CacheHierarchy::access(PhysAddr paddr, AccessKind kind)
+CacheHierarchy::accessMiss(PhysAddr paddr, std::uint64_t line,
+                           AccessKind kind)
 {
-    std::uint64_t line = paddr >> lineShift_;
     auto &kcounts = counts_[static_cast<size_t>(kind)];
 
+    // Overlap the (almost always host-cold) L3 set row with the L2 scan;
+    // stamps included because an L3 miss immediately LRU-victim-scans.
+    l3_.prefetchSet(line, true);
+
+    // Every fill below follows a just-observed miss of the same line in
+    // that array, so the presence re-scan of fill() can be skipped.
     MemAccessResult result;
-    if (l1_.access(line)) {
-        result.level = MemLevel::L1;
-        result.latency = params_.l1Latency;
-    } else if (l2_.access(line)) {
+    if (l2_.access(line)) {
         result.level = MemLevel::L2;
         result.latency = params_.l2Latency;
-        l1_.fill(line);
+        l1_.fillMissed(line);
     } else if (l3_.access(line)) {
         result.level = MemLevel::L3;
         result.latency = params_.l3Latency;
-        l2_.fill(line);
-        l1_.fill(line);
+        l2_.fillMissed(line);
+        l1_.fillMissed(line);
     } else {
         result.level = MemLevel::Memory;
         result.latency = params_.l3Latency + dram_.access(paddr);
-        l3_.fill(line);
-        l2_.fill(line);
-        l1_.fill(line);
+        l3_.fillMissed(line);
+        l2_.fillMissed(line);
+        l1_.fillMissed(line);
     }
     ++kcounts[static_cast<size_t>(result.level)];
     return result;
@@ -91,6 +95,18 @@ CacheHierarchy::flush()
     l2_.flush();
     l3_.flush();
     resetStats();
+}
+
+std::uint64_t
+CacheHierarchy::stateHash() const
+{
+    std::uint64_t h = l1_.stateHash();
+    h = hashCombine(h, l2_.stateHash());
+    h = hashCombine(h, l3_.stateHash());
+    for (const auto &kind : counts_)
+        for (Count c : kind)
+            h = hashCombine(h, c);
+    return h;
 }
 
 void

@@ -82,8 +82,26 @@ class CacheHierarchy
   public:
     explicit CacheHierarchy(const HierarchyParams &params = {});
 
-    /** Perform one physical access and return where it hit and latency. */
-    MemAccessResult access(PhysAddr paddr, AccessKind kind);
+    /**
+     * Perform one physical access and return where it hit and latency.
+     * The L1D hit path — the overwhelmingly common case — is fully
+     * inline; misses take the out-of-line fill path.
+     */
+    MemAccessResult
+    access(PhysAddr paddr, AccessKind kind)
+    {
+        std::uint64_t line = paddr >> lineShift_;
+        // Start the L2 set row early: misses are common enough (the
+        // workloads of interest stress the hierarchy) that overlapping
+        // the L2 scan with the L1 one is a net win.
+        l2_.prefetchSet(line);
+        if (l1_.access(line)) {
+            ++counts_[static_cast<size_t>(kind)]
+                     [static_cast<size_t>(MemLevel::L1)];
+            return {MemLevel::L1, params_.l1Latency};
+        }
+        return accessMiss(paddr, line, kind);
+    }
 
     /** Per-kind, per-level access counts. */
     Count
@@ -107,7 +125,14 @@ class CacheHierarchy
     const HierarchyParams &params() const { return params_; }
     const Dram &dram() const { return dram_; }
 
+    /** Process-stable digest of cache contents, recency, and counts. */
+    std::uint64_t stateHash() const;
+
   private:
+    /** L1 missed: probe/fill L2, L3, memory. */
+    MemAccessResult accessMiss(PhysAddr paddr, std::uint64_t line,
+                               AccessKind kind);
+
     HierarchyParams params_;
     std::uint32_t lineShift_;
     SetAssocCache l1_;

@@ -1,6 +1,7 @@
 #include "cache/set_assoc_cache.hh"
 
 #include "util/bitfield.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -28,74 +29,37 @@ SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geom,
              name_.c_str());
     panic_if(geom_.ways == 0, "cache '%s': needs at least one way",
              name_.c_str());
+    panic_if(geom_.ways > 64,
+             "cache '%s': at most 64 ways (one valid-mask word per set)",
+             name_.c_str());
     panic_if(geom_.policy == ReplPolicy::TreePlru && geom_.ways > 32,
              "cache '%s': tree-PLRU supports at most 32 ways", name_.c_str());
     setShift_ = static_cast<std::uint32_t>(floorLog2(geom_.sets));
-    ways_.resize(static_cast<size_t>(geom_.sets) * geom_.ways);
+    const std::size_t entries = static_cast<std::size_t>(geom_.sets) *
+                                geom_.ways;
+    tags_.assign(entries, emptyTag);
+    stamps_.assign(entries, 0);
+    valid_.assign(geom_.sets, 0);
     plruBits_.assign(geom_.sets, 0);
-}
-
-std::uint32_t
-SetAssocCache::setIndex(std::uint64_t key) const
-{
-    return static_cast<std::uint32_t>(key & (geom_.sets - 1));
-}
-
-std::uint64_t
-SetAssocCache::tagOf(std::uint64_t key) const
-{
-    return key >> setShift_;
-}
-
-void
-SetAssocCache::touch(std::uint32_t set, std::uint32_t way)
-{
-    Way &w = ways_[static_cast<size_t>(set) * geom_.ways + way];
-    switch (geom_.policy) {
-      case ReplPolicy::Lru:
-        w.stamp = ++clock_;
-        break;
-      case ReplPolicy::TreePlru: {
-        // Walk the implicit binary tree from root to this way, flipping
-        // each node to point away from the path taken.
-        std::uint64_t &bits = plruBits_[set];
-        std::uint32_t node = 1; // 1-based heap position in the implicit tree
-        std::uint32_t lo = 0, hi = geom_.ways;
-        while (hi - lo > 1) {
-            std::uint32_t mid = (lo + hi) / 2;
-            bool right = way >= mid;
-            if (right) {
-                bits &= ~(1ull << node);
-                lo = mid;
-            } else {
-                bits |= (1ull << node);
-                hi = mid;
-            }
-            node = node * 2 + (right ? 1 : 0);
-        }
-        break;
-      }
-      case ReplPolicy::Random:
-        break;
-    }
 }
 
 std::uint32_t
 SetAssocCache::victim(std::uint32_t set)
 {
-    const size_t base = static_cast<size_t>(set) * geom_.ways;
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < geom_.ways; ++w)
-        if (!ways_[base + w].valid)
-            return w;
+    // Prefer the lowest-index invalid way; the policy only decides among
+    // full sets.
+    const std::uint64_t free = ~valid_[set] & fullMask();
+    if (free != 0)
+        return static_cast<std::uint32_t>(std::countr_zero(free));
 
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.ways;
     switch (geom_.policy) {
       case ReplPolicy::Lru: {
         std::uint32_t best = 0;
-        std::uint64_t oldest = ways_[base].stamp;
+        std::uint64_t oldest = stamps_[base];
         for (std::uint32_t w = 1; w < geom_.ways; ++w) {
-            if (ways_[base + w].stamp < oldest) {
-                oldest = ways_[base + w].stamp;
+            if (stamps_[base + w] < oldest) {
+                oldest = stamps_[base + w];
                 best = w;
             }
         }
@@ -124,79 +88,47 @@ SetAssocCache::victim(std::uint32_t set)
     return 0;
 }
 
-bool
-SetAssocCache::access(std::uint64_t key)
-{
-    std::uint32_t set = setIndex(key);
-    std::uint64_t tag = tagOf(key);
-    const size_t base = static_cast<size_t>(set) * geom_.ways;
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            touch(set, w);
-            ++hits_;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
-}
-
-bool
-SetAssocCache::probe(std::uint64_t key) const
-{
-    std::uint32_t set = setIndex(key);
-    std::uint64_t tag = tagOf(key);
-    const size_t base = static_cast<size_t>(set) * geom_.ways;
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        const Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag)
-            return true;
-    }
-    return false;
-}
-
 void
 SetAssocCache::fill(std::uint64_t key)
 {
-    std::uint32_t set = setIndex(key);
-    std::uint64_t tag = tagOf(key);
-    const size_t base = static_cast<size_t>(set) * geom_.ways;
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            touch(set, w);
-            return;
-        }
+    int w = findWay(key);
+    if (w >= 0) {
+        touch(setIndex(key), static_cast<std::uint32_t>(w));
+        return;
     }
+    fillMissed(key);
+}
+
+void
+SetAssocCache::fillMissed(std::uint64_t key)
+{
+    std::uint64_t tag = tagOf(key);
+    panic_if(tag == emptyTag, "cache '%s': key %#lx collides with the "
+             "invalid-way sentinel tag", name_.c_str(), key);
+    std::uint32_t set = setIndex(key);
     std::uint32_t w = victim(set);
-    Way &way = ways_[base + w];
-    way.valid = true;
-    way.tag = tag;
+    valid_[set] |= 1ull << w;
+    tags_[static_cast<std::size_t>(set) * geom_.ways + w] = tag;
     touch(set, w);
 }
 
 bool
 SetAssocCache::invalidate(std::uint64_t key)
 {
+    int w = findWay(key);
+    if (w < 0)
+        return false;
     std::uint32_t set = setIndex(key);
-    std::uint64_t tag = tagOf(key);
-    const size_t base = static_cast<size_t>(set) * geom_.ways;
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            way.valid = false;
-            return true;
-        }
-    }
-    return false;
+    valid_[set] &= ~(1ull << w);
+    tags_[static_cast<std::size_t>(set) * geom_.ways + w] = emptyTag;
+    return true;
 }
 
 void
 SetAssocCache::flush()
 {
-    for (Way &w : ways_)
-        w.valid = false;
+    std::fill(tags_.begin(), tags_.end(), emptyTag);
+    std::fill(valid_.begin(), valid_.end(), 0);
     std::fill(plruBits_.begin(), plruBits_.end(), 0);
 }
 
@@ -204,9 +136,31 @@ Count
 SetAssocCache::validEntries() const
 {
     Count n = 0;
-    for (const Way &w : ways_)
-        n += w.valid ? 1 : 0;
+    for (std::uint64_t mask : valid_)
+        n += static_cast<Count>(std::popcount(mask));
     return n;
+}
+
+std::uint64_t
+SetAssocCache::stateHash() const
+{
+    std::uint64_t h = fnv1aBasis;
+    for (std::uint32_t s = 0; s < geom_.sets; ++s) {
+        const std::size_t base = static_cast<std::size_t>(s) * geom_.ways;
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            bool valid = (valid_[s] >> w) & 1;
+            h = hashCombine(h, valid ? 1 : 0);
+            if (valid)
+                h = hashCombine(h, tags_[base + w]);
+            h = hashCombine(h, stamps_[base + w]);
+        }
+    }
+    for (std::uint64_t bits : plruBits_)
+        h = hashCombine(h, bits);
+    h = hashCombine(h, clock_);
+    h = hashCombine(h, hits_);
+    h = hashCombine(h, misses_);
+    return h;
 }
 
 } // namespace atscale

@@ -6,11 +6,27 @@
  * TLBs, and the paging-structure caches. Only hit/miss behaviour is
  * modelled — no data storage — which is all the paper's counter-level
  * metrics require.
+ *
+ * The lookup path (access/probe/touch) is defined inline here: these run
+ * once or more per simulated memory reference across every tag array in
+ * the machine, and are the substrate of the fast-path translation layer
+ * (mmu/fastpath.hh), which needs them — plus the direct-way API below —
+ * fully inlinable into the simulation hot loop.
+ *
+ * Storage is struct-of-arrays: tags, recency stamps, and a per-set valid
+ * bitmask live in separate vectors. A tag scan of a 30-way L3 set then
+ * touches 240 B of tags instead of ~720 B of interleaved way records —
+ * the set scans are the dominant memory traffic of the whole simulation
+ * (the L3 alone is ~0.5 M ways). Invalid ways hold a sentinel tag so the
+ * scan is a pure contiguous 64-bit compare loop the compiler can
+ * vectorize; the valid bitmask remains the authority for victim
+ * selection and state digests.
  */
 
 #ifndef ATSCALE_CACHE_SET_ASSOC_CACHE_HH
 #define ATSCALE_CACHE_SET_ASSOC_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,7 +43,7 @@ struct CacheGeometry
 {
     /** Number of sets; must be a power of two (1 = fully associative). */
     std::uint32_t sets = 64;
-    /** Ways per set. */
+    /** Ways per set; at most 64 (the valid mask is one word per set). */
     std::uint32_t ways = 8;
     /** Replacement policy. */
     ReplPolicy policy = ReplPolicy::Lru;
@@ -54,10 +70,40 @@ class SetAssocCache
     bool probe(std::uint64_t key) const;
 
     /**
+     * Hint the host to start loading this key's set. The simulated L2/L3
+     * tag arrays are megabytes, so a lookup's set scan is usually a host
+     * cache miss; callers that know a lookup is coming (the hierarchy
+     * miss path) overlap it with earlier work. `withStamps` also fetches
+     * the set's recency stamps — worthwhile when a victim scan is likely
+     * to follow (LRU arrays on the fill path).
+     */
+    void
+    prefetchSet(std::uint64_t key, bool withStamps = false) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(key)) * geom_.ways;
+        // A 30-way set spans ~4 cache lines; touch both ends of the row.
+        __builtin_prefetch(&tags_[base]);
+        __builtin_prefetch(&tags_[base + geom_.ways - 1]);
+        if (withStamps) {
+            __builtin_prefetch(&stamps_[base]);
+            __builtin_prefetch(&stamps_[base + geom_.ways - 1]);
+        }
+    }
+
+    /**
      * Insert a key (does nothing if already present), evicting the
      * policy's victim if the set is full.
      */
     void fill(std::uint64_t key);
+
+    /**
+     * Insert a key the caller has just proven absent (an access() or
+     * probe() of the same key returned false, with no intervening
+     * operations). Skips fill()'s presence re-scan; behaviour is
+     * otherwise identical.
+     */
+    void fillMissed(std::uint64_t key);
 
     /** Invalidate a key if present; @return true if it was present. */
     bool invalidate(std::uint64_t key);
@@ -85,25 +131,154 @@ class SetAssocCache
     const std::string &name() const { return name_; }
     const CacheGeometry &geometry() const { return geom_; }
 
-  private:
-    struct Way
-    {
-        std::uint64_t tag = 0;
-        std::uint64_t stamp = 0;
-        bool valid = false;
-    };
+    // --- Direct-way API (fast-path translation layer) -------------------
+    //
+    // A fast-path cache entry remembers where a key resides (set, way,
+    // tag) and replays a hit without re-scanning the set — but only after
+    // revalidating against the live array with holdsAt(), so an entry can
+    // never be served after the underlying way was evicted or replaced.
+    // touchHit() and noteMiss() replicate access()'s hit and miss
+    // bookkeeping exactly; this is what makes fast-path replays
+    // indistinguishable from full lookups at the counter level.
 
-    std::uint32_t setIndex(std::uint64_t key) const;
-    std::uint64_t tagOf(std::uint64_t key) const;
+    /** Set index a key maps to. */
+    std::uint32_t setIndexOf(std::uint64_t key) const { return setIndex(key); }
+
+    /** Tag a key carries within its set. */
+    std::uint64_t tagOf(std::uint64_t key) const { return key >> setShift_; }
+
+    /** Way currently holding key, or -1. Does not update any state. */
+    int
+    findWay(std::uint64_t key) const
+    {
+        std::uint32_t set = setIndex(key);
+        std::uint64_t tag = tagOf(key);
+        const std::size_t base = static_cast<std::size_t>(set) * geom_.ways;
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            if (tags_[base + w] == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    /** True iff (set, way) still holds exactly this tag. */
+    bool
+    holdsAt(std::uint32_t set, std::uint32_t way, std::uint64_t tag) const
+    {
+        return tags_[static_cast<std::size_t>(set) * geom_.ways + way] == tag;
+    }
+
+    /** Replay the hit bookkeeping of access() for a validated (set, way). */
+    void
+    touchHit(std::uint32_t set, std::uint32_t way)
+    {
+        touch(set, way);
+        ++hits_;
+    }
+
+    /** Replay the miss bookkeeping of access() (no replacement change). */
+    void noteMiss() { ++misses_; }
+
+    /** Invoke fn(set, way, tag) for every valid entry (diff testing). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (std::uint32_t s = 0; s < geom_.sets; ++s) {
+            const std::size_t base = static_cast<std::size_t>(s) * geom_.ways;
+            for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+                if ((valid_[s] >> w) & 1)
+                    fn(s, w, tags_[base + w]);
+            }
+        }
+    }
+
+    /**
+     * Process-stable digest of the complete microarchitectural state:
+     * contents, per-way recency stamps, PLRU bits, the replacement clock,
+     * and the statistics counters. Two arrays that evolved through the
+     * same sequence of (hit, miss, fill, invalidate) operations hash
+     * equal — the differential suite's definition of "identical state".
+     */
+    std::uint64_t stateHash() const;
+
+  private:
+    /**
+     * Tag stored in invalid ways so lookups are pure tag compares. No
+     * real key produces it: tags are keys shifted right by the set bits,
+     * and keys are page/line numbers of at-most-52-bit addresses, so a
+     * genuine all-ones tag is impossible (fill() enforces this).
+     */
+    static constexpr std::uint64_t emptyTag = ~0ull;
+
+    std::uint32_t
+    setIndex(std::uint64_t key) const
+    {
+        return static_cast<std::uint32_t>(key & (geom_.sets - 1));
+    }
+
     /** Way index of the victim in set s per the replacement policy. */
     std::uint32_t victim(std::uint32_t set);
+
     /** Update replacement metadata for a touch of (set, way). */
-    void touch(std::uint32_t set, std::uint32_t way);
+    void
+    touch(std::uint32_t set, std::uint32_t way)
+    {
+        switch (geom_.policy) {
+          case ReplPolicy::Lru:
+            stamps_[static_cast<std::size_t>(set) * geom_.ways + way] =
+                ++clock_;
+            break;
+          case ReplPolicy::TreePlru:
+            touchPlru(set, way);
+            break;
+          case ReplPolicy::Random:
+            break;
+        }
+    }
+
+    /**
+     * Walk the implicit binary tree from root to this way, flipping each
+     * node to point away from the path taken. Inline: the tree-PLRU L1/L2
+     * data caches touch on every hit.
+     */
+    void
+    touchPlru(std::uint32_t set, std::uint32_t way)
+    {
+        std::uint64_t bits = plruBits_[set];
+        std::uint32_t node = 1; // 1-based heap position in the implicit tree
+        std::uint32_t lo = 0, hi = geom_.ways;
+        while (hi - lo > 1) {
+            std::uint32_t mid = (lo + hi) / 2;
+            bool right = way >= mid;
+            if (right) {
+                bits &= ~(1ull << node);
+                lo = mid;
+            } else {
+                bits |= (1ull << node);
+                hi = mid;
+            }
+            node = node * 2 + (right ? 1 : 0);
+        }
+        plruBits_[set] = bits;
+    }
+
+    /** All-ways-valid mask for one set. */
+    std::uint64_t
+    fullMask() const
+    {
+        return geom_.ways == 64 ? ~0ull : (1ull << geom_.ways) - 1;
+    }
 
     std::string name_;
     CacheGeometry geom_;
     std::uint32_t setShift_;
-    std::vector<Way> ways_;
+    /** Per-way tags (sets × ways, row-major). */
+    std::vector<std::uint64_t> tags_;
+    /** Per-way LRU recency stamps (sets × ways; only LRU reads them). */
+    std::vector<std::uint64_t> stamps_;
+    /** One valid bitmask word per set (bit w = way w holds a tag). */
+    std::vector<std::uint64_t> valid_;
     /** Tree-PLRU bit vectors, one per set (ways rounded to power of two). */
     std::vector<std::uint64_t> plruBits_;
     std::uint64_t clock_ = 0;
@@ -111,6 +286,29 @@ class SetAssocCache
     Count hits_ = 0;
     Count misses_ = 0;
 };
+
+inline bool
+SetAssocCache::access(std::uint64_t key)
+{
+    std::uint32_t set = setIndex(key);
+    std::uint64_t tag = tagOf(key);
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (tags_[base + w] == tag) {
+            touch(set, w);
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+inline bool
+SetAssocCache::probe(std::uint64_t key) const
+{
+    return findWay(key) >= 0;
+}
 
 } // namespace atscale
 

@@ -51,7 +51,9 @@ runExperiment(const RunSpec &spec, const PlatformParams &params,
              "workload '%s' does not support the requested mode",
              spec.workload.c_str());
 
-    Platform platform(params, spec.pageSize, workload->traits(),
+    PlatformParams run_params = params;
+    run_params.mmu.fastPath = params.mmu.fastPath && spec.fastPath;
+    Platform platform(run_params, spec.pageSize, workload->traits(),
                       spec.seed * 0x9e37 + 7);
 
     WorkloadConfig wl_config;

@@ -14,6 +14,10 @@ Platform::Platform(const PlatformParams &params, PageSize backing,
       core(mmu, hierarchy, space, params.core, traits, seed),
       params_(params)
 {
+    // Every structure caching translations observes remaps, so a page
+    // migration can never be served from a stale cached frame.
+    space.addTranslationListener(&mmu);
+    space.addTranslationListener(&core);
 }
 
 void

@@ -12,7 +12,7 @@ std::string
 RunSpec::cacheKey() const
 {
     char buf[384];
-    std::snprintf(buf, sizeof(buf), "%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
+    std::snprintf(buf, sizeof(buf), "v2_%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
                   workload.c_str(),
                   static_cast<unsigned long long>(footprintBytes),
                   pageSizeName(pageSize).c_str(), static_cast<int>(mode),
@@ -20,6 +20,8 @@ RunSpec::cacheKey() const
                   static_cast<unsigned long long>(measureRefs),
                   static_cast<unsigned long long>(seed));
     std::string key = buf;
+    if (!fastPath)
+        key += "_nofp";
     if (!platformTag.empty())
         key += "_p" + platformTag;
     return key;
@@ -31,6 +33,8 @@ RunSpec::fileTag() const
     std::string tag = workload + "_f" + std::to_string(footprintBytes) +
                       "_" + pageSizeName(pageSize) + "_s" +
                       std::to_string(seed);
+    if (!fastPath)
+        tag += "_nofp";
     if (!platformTag.empty())
         tag += "_" + platformTag;
     return tag;
@@ -43,6 +47,8 @@ RunSpec::describe() const
                        pageSizeName(pageSize) +
                        (mode == WorkloadMode::Exec ? " exec" : " model") +
                        " seed=" + std::to_string(seed);
+    if (!fastPath)
+        text += " no-fastpath";
     if (!platformTag.empty())
         text += " platform=" + platformTag;
     return text;
@@ -58,6 +64,7 @@ RunSpec::hash() const
     h = hashCombine(h, warmupRefs);
     h = hashCombine(h, measureRefs);
     h = hashCombine(h, seed);
+    h = hashCombine(h, fastPath ? 1 : 0);
     h = fnv1a(platformTag, hashCombine(h, platformTag.size()));
     return h;
 }

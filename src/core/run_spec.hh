@@ -41,6 +41,14 @@ struct RunSpec
     Count measureRefs = 2'000'000;
     std::uint64_t seed = 1;
     /**
+     * Consult the software translation fast path (mmu/fastpath.hh).
+     * Results are bit-identical either way — that is the fast path's
+     * contract, enforced by the differential suite — so this knob exists
+     * as an escape hatch (--no-fastpath) and for A/B validation, not as
+     * a modelling choice.
+     */
+    bool fastPath = true;
+    /**
      * Distinguishes runs made under non-default PlatformParams. The
      * params themselves are not part of the spec (they are not hashable
      * and rarely vary); any caller that runs the same (workload,
@@ -54,9 +62,13 @@ struct RunSpec
 
     /**
      * Canonical key string encoding every field. This is the on-disk
-     * cache-file stem (with ".run" appended) and the basis of hash();
-     * the format is stable — default-platform keys are unchanged from
-     * the pre-engine cache layout, so existing caches stay valid.
+     * cache-file stem (with ".run" appended) and the basis of hash().
+     * The key carries a result-semantics version prefix ("v2_"): bumped
+     * when the simulation's results change for the same knobs (v2 = the
+     * chunked fetch-ahead frontend), which retires stale cache files
+     * wholesale. fastPath does not alter default keys — fast-path-on is
+     * bit-identical to off — but disabled runs are tagged "_nofp" so A/B
+     * validation sweeps cannot conflate cache entries.
      */
     std::string cacheKey() const;
 

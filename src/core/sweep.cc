@@ -87,6 +87,13 @@ resolveThreads(int requested)
 }
 
 bool
+fastPathDefault()
+{
+    const char *env = std::getenv("ATSCALE_NO_FASTPATH");
+    return !(env && *env && *env != '0');
+}
+
+bool
 extractSweepFlags(int &argc, char **argv, std::string &error)
 {
     error.clear();
@@ -111,6 +118,14 @@ extractSweepFlags(int &argc, char **argv, std::string &error)
         if (arg.rfind("--threads", 0) == 0) {
             if (error.empty())
                 error = "--threads requires =<count>";
+            continue;
+        }
+        if (arg == "--no-fastpath") {
+            // Escape hatch: disable the software translation fast path
+            // for every run this process makes (A/B validation, or
+            // ruling the fast path out while chasing a discrepancy).
+            // Environment-carried for the same reason as --threads.
+            setenv("ATSCALE_NO_FASTPATH", "1", 1);
             continue;
         }
         argv[out++] = argv[i];

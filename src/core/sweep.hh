@@ -57,14 +57,23 @@ std::vector<std::uint64_t> sweepFootprints();
 int resolveThreads(int requested = 0);
 
 /**
- * Extract engine flags (--threads=N) from argv, compacting the remaining
- * arguments in place as extractObsFlags does. --threads wins over the
- * ATSCALE_THREADS environment variable (it is stored back into it, so
- * engines constructed anywhere in the process see it).
+ * Extract engine flags (--threads=N, --no-fastpath) from argv,
+ * compacting the remaining arguments in place as extractObsFlags does.
+ * --threads wins over the ATSCALE_THREADS environment variable (it is
+ * stored back into it, so engines constructed anywhere in the process
+ * see it); --no-fastpath sets ATSCALE_NO_FASTPATH, which
+ * benchx::baseRunConfig and fastPathDefault() consult.
  *
  * @return false with `error` set when a flag is malformed.
  */
 bool extractSweepFlags(int &argc, char **argv, std::string &error);
+
+/**
+ * Default RunSpec::fastPath for this process: true unless the
+ * ATSCALE_NO_FASTPATH environment variable (or --no-fastpath via
+ * extractSweepFlags) disabled it.
+ */
+bool fastPathDefault();
 
 /** One schedulable job: a spec plus the platform to run it on. */
 struct SweepJob

@@ -37,17 +37,43 @@ Core::Core(Mmu &mmu, CacheHierarchy &hierarchy, AddressSpace &space,
 Count
 Core::run(RefSource &source, Count numRefs)
 {
+    // Consume the stream in whole refChunkSize batches: one virtual
+    // fill() per chunk instead of one virtual next() per reference (see
+    // RefSource::fill for the fetch-ahead semantics this models). The
+    // buffer persists across run() calls so fetch boundaries always fall
+    // at the same stream positions no matter how a measurement is
+    // partitioned — a windowed (observed) run consumes the stream
+    // identically to a single-shot run.
+    if (chunkSource_ != &source) {
+        chunkSource_ = &source;
+        chunkLen_ = 0;
+        chunkPos_ = 0;
+    }
     Count done = 0;
-    Ref ref;
     double flushed = static_cast<double>(cycles());
-    while (done < numRefs && source.next(ref)) {
-        executeRef(source, ref);
+    while (done < numRefs) {
+        if (chunkPos_ >= chunkLen_) {
+            chunkLen_ = source.fill(chunk_.data(), refChunkSize);
+            chunkPos_ = 0;
+            if (chunkLen_ == 0)
+                break;
+        }
+        executeRef(source, chunk_[chunkPos_++]);
         ++done;
     }
     // Publish accumulated fractional cycles into the counter bank.
     auto delta = static_cast<Count>(cycleAcc_ - flushed);
     counters_.add(EventId::CpuClkUnhalted, delta);
     return done;
+}
+
+void
+Core::invalidatePage(Addr base, std::uint64_t bytes)
+{
+    for (MicroTlbEntry &e : microTlb_) {
+        if (e.base < base + bytes && base < e.base + e.size)
+            e = MicroTlbEntry{};
+    }
 }
 
 void
@@ -96,12 +122,10 @@ Core::accountWalk(Addr vaddr, const WalkResult &walk, bool isStore,
 PhysAddr
 Core::dataPaddr(Addr vaddr)
 {
-    for (const MicroTlbEntry &e : microTlb_) {
-        if (vaddr - e.base < e.size)
-            return e.frame + (vaddr - e.base);
-    }
+    MicroTlbEntry &e = microTlb_[microTlbIndex(vaddr)];
+    if (vaddr - e.base < e.size)
+        return e.frame + (vaddr - e.base);
     const Translation &t = space_.touch(vaddr);
-    MicroTlbEntry &e = microTlb_[microPos_++ & (microTlb_.size() - 1)];
     e.base = t.pageBase;
     e.size = pageBytes(t.pageSize);
     e.frame = t.frame;

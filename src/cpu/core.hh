@@ -34,18 +34,53 @@ namespace atscale
  * in-flight walks and force re-walks. This is what produces the paper's
  * initiated/completed/retired walk-outcome split (Table VI).
  */
-class Core
+class Core : public TranslationListener
 {
   public:
     Core(Mmu &mmu, CacheHierarchy &hierarchy, AddressSpace &space,
          const CoreParams &params, const WorkloadTraits &traits,
          std::uint64_t seed = 42);
 
+    /** References fetched per RefSource::fill call by run(). */
+    static constexpr Count refChunkSize = 256;
+
     /**
-     * Execute up to numRefs references from the stream.
+     * Execute up to numRefs references from the stream, fetched in
+     * refChunkSize batches.
      * @return references actually executed (less only if the stream ends)
      */
     Count run(RefSource &source, Count numRefs);
+
+    /**
+     * Drop micro-TLB entries overlapping [base, base+bytes). Driven by
+     * address-space remap notifications: without this hook a remapped
+     * page could keep serving its old physical frame from the data-path
+     * micro-cache.
+     */
+    void invalidatePage(Addr base, std::uint64_t bytes);
+
+    /** TranslationListener: a page now maps to a different frame. */
+    void
+    pageRemapped(Addr base, PageSize size) override
+    {
+        invalidatePage(base, pageBytes(size));
+    }
+
+    /**
+     * Diagnostic: report the micro-TLB's cached translation for vaddr,
+     * if any. Lets tests prove the data path cannot serve a stale frame
+     * after a remap; never used on the simulation path.
+     */
+    bool
+    microTlbLookup(Addr vaddr, PhysAddr &paddr) const
+    {
+        const MicroTlbEntry &e = microTlb_[microTlbIndex(vaddr)];
+        if (vaddr - e.base < e.size) {
+            paddr = e.frame + (vaddr - e.base);
+            return true;
+        }
+        return false;
+    }
 
     /** Performance counters accumulated so far. */
     const CounterSet &counters() const { return counters_; }
@@ -135,15 +170,42 @@ class Core
     std::array<Addr, 16> recent_{};
     std::uint32_t recentPos_ = 0;
 
-    /** Tiny translation micro-cache for data-path paddr computation. */
+    /** Fetch-ahead reference buffer (see run()); persists across run()
+     * calls so chunk boundaries are a property of the stream position,
+     * not of how the caller partitions the run. Reset when the source
+     * changes (buffered refs from the old stream are dropped). */
+    std::array<Ref, refChunkSize> chunk_{};
+    RefSource *chunkSource_ = nullptr;
+    Count chunkLen_ = 0;
+    Count chunkPos_ = 0;
+
+    /**
+     * Translation micro-cache for data-path paddr computation,
+     * direct-mapped on the 4 KiB virtual page number. Purely functional
+     * — it produces no counters and models no hardware — so its geometry
+     * is an execution-speed knob: 256 slots keeps the AddressSpace hash
+     * lookup off the per-reference path for hot footprints. Large pages
+     * are cached per-fragment (each slot covers the whole page, so any
+     * slot whose stored range spans the probed vaddr serves it).
+     */
     struct MicroTlbEntry
     {
         Addr base = ~0ull;
         std::uint64_t size = 0;
         PhysAddr frame = 0;
     };
-    std::array<MicroTlbEntry, 8> microTlb_{};
-    std::uint32_t microPos_ = 0;
+    static constexpr std::uint32_t microTlbSlots = 256;
+
+    static std::uint32_t
+    microTlbIndex(Addr vaddr)
+    {
+        // Fibonacci hash of the VPN (same recipe as the MMU fast path).
+        std::uint64_t vpn = vaddr >> pageShift4K;
+        return static_cast<std::uint32_t>(
+            (vpn * 0x9e3779b97f4a7c15ull) >> 32) & (microTlbSlots - 1);
+    }
+
+    std::array<MicroTlbEntry, microTlbSlots> microTlb_{};
 };
 
 } // namespace atscale

@@ -52,6 +52,27 @@ class RefSource
     virtual bool next(Ref &ref) = 0;
 
     /**
+     * Produce up to `max` references into `out`, advancing the stream as
+     * `max` next() calls would; returning fewer than `max` signals
+     * exhaustion. The core consumes references in chunks through this
+     * hook — one virtual call per chunk instead of one per reference —
+     * which models a frontend fetch-ahead window: the stream's cursors
+     * run up to a chunk ahead of the reference currently executing (and
+     * wrongPathAddr() draws near those run-ahead cursors, as a real
+     * frontend's speculation does). Implementations that generate in
+     * internal batches should override this to copy straight out of
+     * their buffers.
+     */
+    virtual Count
+    fill(Ref *out, Count max)
+    {
+        Count n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    /**
      * A plausible wrong-path data address: an address a control-divergent
      * speculative path through the same code might touch. Divergent paths
      * share the program's locality, so implementations draw near their

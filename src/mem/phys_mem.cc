@@ -10,19 +10,27 @@ std::uint64_t
 PhysicalMemory::read64(PhysAddr paddr) const
 {
     panic_if(!isAligned(paddr, 8), "misaligned 64-bit read at %#lx", paddr);
-    auto it = frames_.find(paddr >> pageShift4K);
-    if (it == frames_.end())
-        return 0;
-    return (*it->second)[(paddr & (pageSize4K - 1)) >> 3];
+    const std::uint64_t fpn = paddr >> pageShift4K;
+    if (fpn != lastFpn_) {
+        auto it = frames_.find(fpn);
+        if (it == frames_.end())
+            return 0;
+        lastFpn_ = fpn;
+        lastFrame_ = it->second.get();
+    }
+    return (*lastFrame_)[(paddr & (pageSize4K - 1)) >> 3];
 }
 
 void
 PhysicalMemory::write64(PhysAddr paddr, std::uint64_t value)
 {
     panic_if(!isAligned(paddr, 8), "misaligned 64-bit write at %#lx", paddr);
-    auto &frame = frames_[paddr >> pageShift4K];
+    const std::uint64_t fpn = paddr >> pageShift4K;
+    auto &frame = frames_[fpn];
     if (!frame)
         frame = std::make_unique<Frame>();
+    lastFpn_ = fpn;
+    lastFrame_ = frame.get();
     (*frame)[(paddr & (pageSize4K - 1)) >> 3] = value;
 }
 

@@ -39,12 +39,28 @@ class PhysicalMemory
     std::size_t materializedFrames() const { return frames_.size(); }
 
     /** Drop all backing storage. */
-    void clear() { frames_.clear(); }
+    void
+    clear()
+    {
+        frames_.clear();
+        lastFpn_ = ~0ull;
+        lastFrame_ = nullptr;
+    }
 
   private:
     using Frame = std::array<std::uint64_t, pageSize4K / sizeof(std::uint64_t)>;
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
+
+    // Last-frame memo: page walks read several PTE words from the same
+    // page-table node back to back, so remembering the previous lookup
+    // removes most hash-map traffic. Frame storage is unique_ptr-held
+    // and only ever released by clear(), so the cached pointer is
+    // stable. Only materialized frames are memoized — an "absent" result
+    // could be invalidated by a later write64. Not thread-safe to share
+    // one instance across threads (each Platform owns its own).
+    mutable std::uint64_t lastFpn_ = ~0ull;
+    mutable Frame *lastFrame_ = nullptr;
 };
 
 } // namespace atscale

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The software translation fast path: a small flat table in front of the
+ * TLB complex that turns repeat translations of hot pages into one hash
+ * probe plus an exact counter replay.
+ *
+ * Exactness contract
+ * ------------------
+ * A fast-path hit must leave the simulation in *bit-identical* state to
+ * the full Mmu::translate path: same counter values, same replacement
+ * metadata, same RNG positions. The design guarantees this structurally:
+ *
+ *  - Entries only cache first-level TLB hits, the one translate() outcome
+ *    with no data-dependent side effects beyond counters and recency.
+ *  - Each entry stores the direct (set, way, tag) coordinates of the L1
+ *    TLB entry it shadows and revalidates them against the live array on
+ *    every use (SetAssocCache::holdsAt). Eviction, invalidation, or
+ *    replacement of the TLB entry makes the coordinates stale and the
+ *    request falls back to the slow path — no callback from the TLB is
+ *    needed for correctness.
+ *  - A validated hit replays exactly the bookkeeping lookup() would have
+ *    performed (TlbComplex::tryReplayL1Hit): complex lookup count, probe
+ *    misses for earlier-probed arrays, hit + LRU touch on the hit array.
+ *  - Entries carry no physical frame, so address-space remaps cannot be
+ *    served stale from here; frame staleness is confined to the TLBs and
+ *    the core micro-TLB, both scrubbed by TranslationListener hooks.
+ *
+ * The table's own hit/miss/install/invalidate counts are diagnostic
+ * observability stats and are deliberately excluded from the exactness
+ * contract (they are the only state that differs between fast path on
+ * and off).
+ */
+
+#ifndef ATSCALE_MMU_FASTPATH_HH
+#define ATSCALE_MMU_FASTPATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mmu/tlb_complex.hh"
+
+namespace atscale
+{
+
+/**
+ * Flat, open-addressed, direct-mapped translation cache keyed on the
+ * 4 KiB virtual page number. Large pages are cached per 4 KiB fragment:
+ * several table slots may shadow the same 2 MiB TLB entry, which keeps
+ * the probe a single masked multiply with no page-size loop.
+ */
+class FastTranslationCache
+{
+  public:
+    /** @param slots table size; rounded meaning: must be a power of 2. */
+    explicit FastTranslationCache(std::uint32_t slots = 2048)
+        : mask_(slots - 1), table_(slots)
+    {
+    }
+
+    /**
+     * Probe for vaddr and, when the shadowed L1 TLB entry is still live,
+     * replay the hit into `tlb` and report the page size, exactly as a
+     * full lookup() resolving in the first level would.
+     *
+     * Translation-thrashing streams (footprints far beyond first-level
+     * TLB reach) would pay the probe + install overhead on nearly every
+     * translation and almost never hit. A duty cycle bounds that worst
+     * case: the first sampleSize probes of every windowSize translations
+     * measure the hit rate, and when it is below ~1/8 the rest of the
+     * window bypasses the table entirely (two loads and a branch).
+     * Bypassing is pure execution strategy — probes and installs have no
+     * architectural effect — so the exactness contract is unaffected.
+     *
+     * @return true on a served hit; false means take the slow path.
+     */
+    bool
+    tryHit(Addr vaddr, TlbComplex &tlb, PageSize &size_out)
+    {
+        if (++winPos_ > windowSize) {
+            winPos_ = 1;
+            winHits_ = 0;
+            bypassing_ = false;
+        }
+        if (bypassing_)
+            return false;
+        if (winPos_ == sampleSize + 1 && winHits_ < sampleHitFloor) {
+            bypassing_ = true;
+            ++bypassWindows_;
+            return false;
+        }
+        Slot &slot = table_[index(vaddr)];
+        if (slot.vpn != (vaddr >> pageShift4K)) {
+            ++misses_;
+            return false;
+        }
+        if (!tlb.tryReplayL1Hit(slot.hit)) {
+            // The TLB moved on; retire the shadow so the slot can be
+            // reused by whatever is hot now.
+            slot.vpn = emptyVpn;
+            ++misses_;
+            return false;
+        }
+        size_out = slot.hit.size;
+        winHits_ += winPos_ <= sampleSize;
+        ++hits_;
+        return true;
+    }
+
+    /**
+     * Shadow the L1 TLB entry currently holding vaddr's translation.
+     * Called from the slow path after any outcome that leaves the
+     * translation resident in the first level (L1 hit, L2 refill,
+     * completed walk install). No-op while the duty cycle is bypassing
+     * (installs resume with the next sampling phase).
+     */
+    void
+    install(Addr vaddr, PageSize size, TlbComplex &tlb)
+    {
+        if (bypassing_)
+            return;
+        TlbFastHit hit;
+        if (!tlb.locate(vaddr, size, hit))
+            return;
+        Slot &slot = table_[index(vaddr)];
+        slot.vpn = vaddr >> pageShift4K;
+        slot.hit = hit;
+        ++installs_;
+    }
+
+    /**
+     * Drop every slot shadowing the page at `base` of size `size`. Not
+     * required for correctness (stale slots self-retire), but keeps the
+     * invalidation story precise and the diagnostic counts meaningful.
+     */
+    void
+    invalidatePage(Addr base, PageSize size)
+    {
+        const std::uint64_t lo = base >> pageShift4K;
+        const std::uint64_t hi = lo + (pageBytes(size) >> pageShift4K);
+        for (Slot &slot : table_) {
+            if (slot.vpn >= lo && slot.vpn < hi) {
+                slot.vpn = emptyVpn;
+                ++invalidations_;
+            }
+        }
+    }
+
+    /** Drop everything (TLB flush, fast path disable). */
+    void
+    flush()
+    {
+        for (Slot &slot : table_)
+            slot.vpn = emptyVpn;
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+        installs_ = 0;
+        invalidations_ = 0;
+        bypassWindows_ = 0;
+    }
+
+    Count hits() const { return hits_; }
+    Count misses() const { return misses_; }
+    Count installs() const { return installs_; }
+    Count invalidations() const { return invalidations_; }
+    Count bypassWindows() const { return bypassWindows_; }
+
+  private:
+    /** No 48-bit address space produces this VPN. */
+    static constexpr std::uint64_t emptyVpn = ~0ull;
+
+    /** Duty cycle: translations per adaptation window. */
+    static constexpr Count windowSize = 4096;
+    /** Probes at the head of each window that measure the hit rate. */
+    static constexpr Count sampleSize = 256;
+    /** Sampling-phase hits below which the window's remainder bypasses. */
+    static constexpr Count sampleHitFloor = sampleSize / 8;
+
+    struct Slot
+    {
+        std::uint64_t vpn = emptyVpn;
+        TlbFastHit hit;
+    };
+
+    std::uint32_t
+    index(Addr vaddr) const
+    {
+        // Fibonacci hash of the VPN; adjacent pages land in distinct
+        // slots while still mixing high bits into the index.
+        std::uint64_t vpn = vaddr >> pageShift4K;
+        return static_cast<std::uint32_t>(
+            (vpn * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
+    }
+
+    std::uint32_t mask_;
+    std::vector<Slot> table_;
+    Count hits_ = 0;
+    Count misses_ = 0;
+    Count installs_ = 0;
+    Count invalidations_ = 0;
+    Count bypassWindows_ = 0;
+    /** Position within the current adaptation window (1-based). */
+    Count winPos_ = 0;
+    /** Fast-path hits observed in the window's sampling phase. */
+    Count winHits_ = 0;
+    /** The current window decided the stream is thrashing. */
+    bool bypassing_ = false;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_FASTPATH_HH

@@ -1,17 +1,21 @@
 #include "mmu/mmu.hh"
 
+#include "obs/stats_registry.hh"
+#include "util/hash.hh"
+
 namespace atscale
 {
 
 Mmu::Mmu(AddressSpace &space, PhysicalMemory &mem, CacheHierarchy &hierarchy,
          const MmuParams &params)
     : space_(space), tlb_(params.tlb), pscs_(params.psc),
-      walker_(mem, hierarchy, pscs_, params.walker)
+      walker_(mem, hierarchy, pscs_, params.walker),
+      fastEnabled_(params.fastPath)
 {
 }
 
 MmuResult
-Mmu::translate(Addr vaddr, bool speculative, Cycles walkBudget)
+Mmu::translateSlow(Addr vaddr, bool speculative, Cycles walkBudget)
 {
     MmuResult result;
     TlbLookupResult tlb_result = tlb_.lookup(vaddr);
@@ -20,6 +24,10 @@ Mmu::translate(Addr vaddr, bool speculative, Cycles walkBudget)
 
     if (tlb_result.level != TlbLevel::Miss) {
         result.pageSize = tlb_result.pageSize;
+        // L1 hit, or L2 hit that just refilled L1: either way the
+        // translation is now first-level resident and worth shadowing.
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
         return result;
     }
 
@@ -34,8 +42,25 @@ Mmu::translate(Addr vaddr, bool speculative, Cycles walkBudget)
     if (result.walk.completed && !result.walk.faulted) {
         result.pageSize = result.walk.translation.pageSize;
         tlb_.install(vaddr, result.pageSize);
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
     }
     return result;
+}
+
+void
+Mmu::setFastPath(bool enabled)
+{
+    fastEnabled_ = enabled;
+    if (!enabled)
+        fast_.flush();
+}
+
+void
+Mmu::invalidatePage(Addr base, PageSize size)
+{
+    tlb_.invalidatePage(base, size);
+    fast_.invalidatePage(base, size);
 }
 
 void
@@ -44,6 +69,7 @@ Mmu::resetStats()
     tlb_.resetStats();
     pscs_.resetStats();
     walker_.resetStats();
+    fast_.resetStats();
 }
 
 void
@@ -51,6 +77,13 @@ Mmu::flushAll()
 {
     tlb_.flush();
     pscs_.flush();
+    fast_.flush();
+}
+
+std::uint64_t
+Mmu::stateHash() const
+{
+    return hashCombine(tlb_.stateHash(), pscs_.stateHash());
 }
 
 void
@@ -59,6 +92,22 @@ Mmu::registerStats(StatsRegistry &registry, const std::string &prefix) const
     tlb_.registerStats(registry, prefix + ".tlb");
     pscs_.registerStats(registry, prefix + ".psc");
     walker_.registerStats(registry, prefix + ".walker");
+    registry.addScalar(prefix + ".fastpath.hits", [this] {
+        return static_cast<double>(fast_.hits());
+    }, "translations served by the software fast path (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.misses", [this] {
+        return static_cast<double>(fast_.misses());
+    }, "fast-path probes that fell back to the full path (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.installs", [this] {
+        return static_cast<double>(fast_.installs());
+    }, "fast-path shadow entries installed (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.invalidations", [this] {
+        return static_cast<double>(fast_.invalidations());
+    }, "fast-path entries dropped by page invalidations (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.bypass_windows", [this] {
+        return static_cast<double>(fast_.bypassWindows());
+    }, "adaptation windows that bypassed the table as thrashing "
+       "(diagnostic)");
 }
 
 } // namespace atscale

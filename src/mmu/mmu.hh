@@ -1,13 +1,15 @@
 /**
  * @file
  * The memory management unit facade: TLB complex + paging-structure caches
- * + page-table walker, fronting one address space.
+ * + page-table walker, fronting one address space, with a software fast
+ * path (mmu/fastpath.hh) that short-circuits repeat L1 TLB hits.
  */
 
 #ifndef ATSCALE_MMU_MMU_HH
 #define ATSCALE_MMU_MMU_HH
 
 #include "cache/hierarchy.hh"
+#include "mmu/fastpath.hh"
 #include "mmu/paging_structure_cache.hh"
 #include "mmu/tlb_complex.hh"
 #include "mmu/walker.hh"
@@ -22,6 +24,8 @@ struct MmuParams
     TlbParams tlb;
     PscParams psc;
     WalkerParams walker;
+    /** Enable the software translation fast path (exact; see fastpath.hh). */
+    bool fastPath = true;
 };
 
 /** Result of one translation request. */
@@ -33,7 +37,9 @@ struct MmuResult
     Cycles tlbExtraLatency = 0;
     /** Page size of the translation (valid unless the walk aborted). */
     PageSize pageSize = PageSize::Size4K;
-    /** Walk details when tlbLevel == Miss. */
+    /** Walk details when tlbLevel == Miss; undefined otherwise (the
+     * accounting fields are deliberately left uninitialized on TLB hits —
+     * see WalkResult). */
     WalkResult walk;
 };
 
@@ -42,7 +48,7 @@ struct MmuResult
  * misses (the OS page-fault handler analogue), walks the real page table
  * for every TLB miss, and installs completed translations.
  */
-class Mmu
+class Mmu : public TranslationListener
 {
   public:
     /**
@@ -56,12 +62,30 @@ class Mmu
     /**
      * Translate vaddr.
      *
+     * The hot case — a repeat hit on a first-level-resident page — is
+     * served by the fast path with bit-identical counter and replacement
+     * state to the full lookup (see mmu/fastpath.hh for the contract).
+     * Neither MMU path consumes RNG on a hit, and speculative/walkBudget
+     * only matter on misses, so the short-circuit is safe for wrong-path
+     * requests too.
+     *
      * @param speculative the request is from a speculative (possibly
      *        wrong) path: no demand paging, and aborted walks are normal
      * @param walkBudget cycles after which an initiated walk is squashed
      */
-    MmuResult translate(Addr vaddr, bool speculative = false,
-                        Cycles walkBudget = unlimitedWalkBudget);
+    MmuResult
+    translate(Addr vaddr, bool speculative = false,
+              Cycles walkBudget = unlimitedWalkBudget)
+    {
+        if (fastEnabled_) {
+            MmuResult result;
+            if (fast_.tryHit(vaddr, tlb_, result.pageSize)) {
+                result.tlbLevel = TlbLevel::L1;
+                return result;
+            }
+        }
+        return translateSlow(vaddr, speculative, walkBudget);
+    }
 
     TlbComplex &tlb() { return tlb_; }
     PagingStructureCaches &pscs() { return pscs_; }
@@ -69,21 +93,56 @@ class Mmu
     const TlbComplex &tlb() const { return tlb_; }
     const PagingStructureCaches &pscs() const { return pscs_; }
     const PageWalker &walker() const { return walker_; }
+    FastTranslationCache &fastCache() { return fast_; }
+    const FastTranslationCache &fastCache() const { return fast_; }
+
+    /** Whether the fast path is consulted. */
+    bool fastPathEnabled() const { return fastEnabled_; }
+    /** Enable/disable the fast path at run time (disabling drops it). */
+    void setFastPath(bool enabled);
+
+    /**
+     * Drop any translation state for the page at `base` of size `size`
+     * (TLBs + fast path). The invlpg analogue, driven by address-space
+     * remap notifications.
+     */
+    void invalidatePage(Addr base, PageSize size);
+
+    /** TranslationListener: a page now maps to a different frame. */
+    void
+    pageRemapped(Addr base, PageSize size) override
+    {
+        invalidatePage(base, size);
+    }
 
     /** Reset all statistics (contents retained). */
     void resetStats();
-    /** Flush all translation state (TLBs + PSCs). */
+    /** Flush all translation state (TLBs + PSCs + fast path). */
     void flushAll();
 
-    /** Register TLB/PSC/walker statistics under "<prefix>.". */
+    /** Register TLB/PSC/walker/fast-path statistics under "<prefix>.". */
     void registerStats(StatsRegistry &registry,
                        const std::string &prefix) const;
 
+    /**
+     * Process-stable digest of all exactness-relevant translation state:
+     * TLB contents/recency/stats and PSC contents/recency/stats. The
+     * fast-path table is deliberately excluded — it is a shadow structure
+     * whose diagnostic counters legitimately differ between fast path on
+     * and off.
+     */
+    std::uint64_t stateHash() const;
+
   private:
+    /** The full lookup/demand-page/walk/install path. */
+    MmuResult translateSlow(Addr vaddr, bool speculative, Cycles walkBudget);
+
     AddressSpace &space_;
     TlbComplex tlb_;
     PagingStructureCaches pscs_;
     PageWalker walker_;
+    FastTranslationCache fast_;
+    bool fastEnabled_ = true;
 };
 
 } // namespace atscale

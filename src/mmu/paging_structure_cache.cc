@@ -1,6 +1,7 @@
 #include "mmu/paging_structure_cache.hh"
 
 #include "obs/stats_registry.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -121,6 +122,27 @@ PagingStructureCaches::levelHits(int level) const
 {
     panic_if(level < 1 || level > 3, "PSC level %d out of range", level);
     return arrays_[static_cast<size_t>(level - 1)].hits;
+}
+
+std::uint64_t
+PagingStructureCaches::stateHash() const
+{
+    std::uint64_t h = fnv1aBasis;
+    for (const Array &a : arrays_) {
+        for (const Entry &e : a.entries) {
+            h = hashCombine(h, e.valid ? 1 : 0);
+            if (e.valid) {
+                h = hashCombine(h, e.tag);
+                h = hashCombine(h, e.node);
+            }
+            h = hashCombine(h, e.stamp);
+        }
+        h = hashCombine(h, a.hits);
+    }
+    h = hashCombine(h, clock_);
+    h = hashCombine(h, hits_);
+    h = hashCombine(h, misses_);
+    return h;
 }
 
 void

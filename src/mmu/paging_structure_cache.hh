@@ -92,6 +92,9 @@ class PagingStructureCaches
 
     const PscParams &params() const { return params_; }
 
+    /** Process-stable digest of all arrays' contents + statistics. */
+    std::uint64_t stateHash() const;
+
   private:
     struct Entry
     {

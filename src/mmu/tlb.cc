@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/stats_registry.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -19,19 +20,6 @@ bool
 Tlb::holds(PageSize size) const
 {
     return std::find(sizes_.begin(), sizes_.end(), size) != sizes_.end();
-}
-
-bool
-Tlb::lookup(Addr vaddr, PageSize &size_out)
-{
-    for (PageSize size : sizes_) {
-        if (array_.access(key(vaddr, size))) {
-            size_out = size;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
 }
 
 void
@@ -51,6 +39,12 @@ Tlb::insert(Addr vaddr, PageSize size)
     panic_if(!holds(size), "TLB '%s' cannot hold %s pages",
              array_.name().c_str(), pageSizeName(size).c_str());
     array_.fill(key(vaddr, size));
+}
+
+std::uint64_t
+Tlb::stateHash() const
+{
+    return hashCombine(array_.stateHash(), misses_);
 }
 
 } // namespace atscale

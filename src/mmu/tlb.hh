@@ -40,10 +40,28 @@ class Tlb
      * Look up vaddr; on a hit, returns true and reports the entry's page
      * size through size_out.
      */
-    bool lookup(Addr vaddr, PageSize &size_out);
+    bool
+    lookup(Addr vaddr, PageSize &size_out)
+    {
+        for (PageSize size : sizes_) {
+            if (array_.access(key(vaddr, size))) {
+                size_out = size;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
 
     /** Insert a translation for the page containing vaddr. */
     void insert(Addr vaddr, PageSize size);
+
+    /** Invalidate the entry for the page containing vaddr, if present. */
+    bool
+    invalidate(Addr vaddr, PageSize size)
+    {
+        return array_.invalidate(key(vaddr, size));
+    }
 
     /** True iff this array can hold the given page size. */
     bool holds(PageSize size) const;
@@ -70,11 +88,11 @@ class Tlb
     void registerStats(StatsRegistry &registry,
                        const std::string &prefix) const;
 
-  private:
     /**
      * Key encoding: virtual page number in the low bits (so the set
      * index uses VPN bits), page size tagged in the high bits (VPNs use
-     * at most 36 bits of a 48-bit address space).
+     * at most 36 bits of a 48-bit address space). Public so the
+     * fast-path layer can compute direct-way coordinates.
      */
     static std::uint64_t
     key(Addr vaddr, PageSize size)
@@ -83,6 +101,29 @@ class Tlb
                (vaddr >> pageShift(size));
     }
 
+    // --- Fast-path support (see mmu/fastpath.hh) ------------------------
+
+    /** The underlying tag array, for direct-way validation and replay. */
+    SetAssocCache &array() { return array_; }
+    const SetAssocCache &array() const { return array_; }
+
+    /**
+     * Replay the bookkeeping of a lookup() that missed every supported
+     * page size: one tag-array miss per probed size plus this array's
+     * own miss count. Exactly what lookup() does when it returns false.
+     */
+    void
+    noteLookupMiss()
+    {
+        for (std::size_t i = 0; i < sizes_.size(); ++i)
+            array_.noteMiss();
+        ++misses_;
+    }
+
+    /** Process-stable digest of contents, recency, and statistics. */
+    std::uint64_t stateHash() const;
+
+  private:
     SetAssocCache array_;
     std::vector<PageSize> sizes_;
     Count misses_ = 0;

@@ -1,6 +1,7 @@
 #include "mmu/tlb_complex.hh"
 
 #include "obs/stats_registry.hh"
+#include "util/hash.hh"
 
 namespace atscale
 {
@@ -14,53 +15,35 @@ TlbComplex::TlbComplex(const TlbParams &params)
 {
 }
 
-Tlb &
-TlbComplex::l1For(PageSize size)
-{
-    switch (size) {
-      case PageSize::Size4K:
-        return l1_4k_;
-      case PageSize::Size2M:
-        return l1_2m_;
-      case PageSize::Size1G:
-        return l1_1g_;
-    }
-    return l1_4k_;
-}
-
-TlbLookupResult
-TlbComplex::lookup(Addr vaddr)
-{
-    ++lookups_;
-    TlbLookupResult result;
-
-    // All first-level arrays are probed in parallel in hardware.
-    for (Tlb *tlb : {&l1_4k_, &l1_2m_, &l1_1g_}) {
-        if (tlb->lookup(vaddr, result.pageSize)) {
-            result.level = TlbLevel::L1;
-            return result;
-        }
-    }
-
-    if (l2_.lookup(vaddr, result.pageSize)) {
-        result.level = TlbLevel::L2;
-        result.extraLatency = params_.l2HitExtraLatency;
-        // Refill the first level on the way back.
-        l1For(result.pageSize).insert(vaddr, result.pageSize);
-        return result;
-    }
-
-    ++misses_;
-    result.level = TlbLevel::Miss;
-    return result;
-}
-
 void
 TlbComplex::install(Addr vaddr, PageSize size)
 {
     l1For(size).insert(vaddr, size);
     if (l2_.holds(size))
         l2_.insert(vaddr, size);
+}
+
+void
+TlbComplex::invalidatePage(Addr base, PageSize size)
+{
+    l1For(size).invalidate(base, size);
+    if (l2_.holds(size))
+        l2_.invalidate(base, size);
+}
+
+bool
+TlbComplex::locate(Addr vaddr, PageSize size, TlbFastHit &out)
+{
+    SetAssocCache &array = l1For(size).array();
+    std::uint64_t key = Tlb::key(vaddr, size);
+    int way = array.findWay(key);
+    if (way < 0)
+        return false;
+    out.size = size;
+    out.set = array.setIndexOf(key);
+    out.way = static_cast<std::uint32_t>(way);
+    out.tag = array.tagOf(key);
+    return true;
 }
 
 void
@@ -87,6 +70,18 @@ Count
 TlbComplex::l1Hits() const
 {
     return l1_4k_.hits() + l1_2m_.hits() + l1_1g_.hits();
+}
+
+std::uint64_t
+TlbComplex::stateHash() const
+{
+    std::uint64_t h = l1_4k_.stateHash();
+    h = hashCombine(h, l1_2m_.stateHash());
+    h = hashCombine(h, l1_1g_.stateHash());
+    h = hashCombine(h, l2_.stateHash());
+    h = hashCombine(h, lookups_);
+    h = hashCombine(h, misses_);
+    return h;
 }
 
 void

@@ -45,6 +45,21 @@ struct TlbLookupResult
 };
 
 /**
+ * Direct-way coordinates of a first-level TLB entry, captured when a
+ * translation is resolved through the full lookup path and replayed by
+ * the fast-path layer (mmu/fastpath.hh). `tag` revalidates the way on
+ * every replay, so eviction or replacement of the underlying entry
+ * silently retires the coordinates.
+ */
+struct TlbFastHit
+{
+    PageSize size = PageSize::Size4K;
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    std::uint64_t tag = 0;
+};
+
+/**
  * The full first+second level dTLB complex.
  */
 class TlbComplex
@@ -53,10 +68,41 @@ class TlbComplex
     explicit TlbComplex(const TlbParams &params = {});
 
     /** Look up vaddr; L2 hits refill the appropriate L1 array. */
-    TlbLookupResult lookup(Addr vaddr);
+    TlbLookupResult
+    lookup(Addr vaddr)
+    {
+        ++lookups_;
+        TlbLookupResult result;
+
+        // All first-level arrays are probed in parallel in hardware.
+        for (Tlb *tlb : {&l1_4k_, &l1_2m_, &l1_1g_}) {
+            if (tlb->lookup(vaddr, result.pageSize)) {
+                result.level = TlbLevel::L1;
+                return result;
+            }
+        }
+
+        if (l2_.lookup(vaddr, result.pageSize)) {
+            result.level = TlbLevel::L2;
+            result.extraLatency = params_.l2HitExtraLatency;
+            // Refill the first level on the way back.
+            l1For(result.pageSize).insert(vaddr, result.pageSize);
+            return result;
+        }
+
+        ++misses_;
+        result.level = TlbLevel::Miss;
+        return result;
+    }
 
     /** Install a completed walk's translation into L1 (and L2 if held). */
     void install(Addr vaddr, PageSize size);
+
+    /**
+     * Invalidate any entry covering the page at `base` of size `size` in
+     * both levels (the simulated invlpg, driven by address-space remaps).
+     */
+    void invalidatePage(Addr base, PageSize size);
 
     /** Invalidate everything. */
     void flush();
@@ -78,8 +124,67 @@ class TlbComplex
 
     const TlbParams &params() const { return params_; }
 
+    // --- Fast-path support (see mmu/fastpath.hh) ------------------------
+
+    /**
+     * Capture direct-way coordinates for vaddr's resident L1 entry of
+     * the given page size. @return false when the entry is not (or no
+     * longer) in the first level.
+     */
+    bool locate(Addr vaddr, PageSize size, TlbFastHit &out);
+
+    /**
+     * Validate the coordinates against the live array and, when they
+     * still name the entry they were captured from, replay the exact
+     * bookkeeping of lookup() resolving as an L1 hit there: the
+     * complex-level lookup count, one whole-array probe miss for every
+     * first-level array probed before the hit one (probe order is 4K,
+     * 2M, 1G, as in lookup()), and the hit array's hit count + recency
+     * touch. After a successful replay every counter and every
+     * replacement bit is exactly as if lookup() had run.
+     *
+     * @return false (with no state touched) when the entry has been
+     *         evicted, replaced, or invalidated since it was located.
+     */
+    bool
+    tryReplayL1Hit(const TlbFastHit &hit)
+    {
+        SetAssocCache &array = l1For(hit.size).array();
+        if (!array.holdsAt(hit.set, hit.way, hit.tag))
+            return false;
+        ++lookups_;
+        if (hit.size != PageSize::Size4K) {
+            l1_4k_.noteLookupMiss();
+            if (hit.size == PageSize::Size1G)
+                l1_2m_.noteLookupMiss();
+        }
+        array.touchHit(hit.set, hit.way);
+        return true;
+    }
+
+    /** The first-level array holding the given page size. */
+    Tlb &l1Array(PageSize size) { return l1For(size); }
+    /** The unified second level. */
+    Tlb &l2Array() { return l2_; }
+
+    /** Process-stable digest of both levels' full state + statistics. */
+    std::uint64_t stateHash() const;
+
   private:
-    Tlb &l1For(PageSize size);
+    /** The first-level array for a page size (hot: must stay inline). */
+    Tlb &
+    l1For(PageSize size)
+    {
+        switch (size) {
+          case PageSize::Size4K:
+            return l1_4k_;
+          case PageSize::Size2M:
+            return l1_2m_;
+          case PageSize::Size1G:
+            return l1_1g_;
+        }
+        return l1_4k_;
+    }
 
     TlbParams params_;
     Tlb l1_4k_;

@@ -21,6 +21,9 @@ PageWalker::walk(Addr vaddr, const PageTable &table, Cycles budget)
     ++initiated_;
 
     WalkResult result;
+    result.ptwAccesses = 0;
+    result.loadsAtLevel.fill(0);
+    result.hitLevelAt.fill(-1);
     PscProbeResult start = pscs_.probe(vaddr, table.root());
     result.startLevel = start.startLevel;
     result.cycles = params_.startupCycles;

@@ -37,7 +37,17 @@ struct WalkerParams
 /** No budget: the walk runs to completion. */
 constexpr Cycles unlimitedWalkBudget = std::numeric_limits<Cycles>::max();
 
-/** Everything a single walk did. */
+/**
+ * Everything a single walk did.
+ *
+ * Only the outcome flags and the translation are defined after default
+ * construction; the accounting fields (cycles, ptwAccesses, startLevel,
+ * loadsAtLevel, hitLevelAt) are initialized by PageWalker::walk and are
+ * meaningful only when a walk actually ran (completed, faulted, or
+ * budget-aborted — for MmuResult, tlbLevel == Miss). Leaving them
+ * uninitialized keeps MmuResult construction off the MMU's TLB-hit fast
+ * path, which the translate throughput benchmarks are sensitive to.
+ */
 struct WalkResult
 {
     /** The walk reached a terminal entry (leaf or not-present). */
@@ -47,19 +57,19 @@ struct WalkResult
     /** The translation, valid iff completed && !faulted. */
     Translation translation;
     /** Cycles the walk occupied the walker (capped at the budget). */
-    Cycles cycles = 0;
+    Cycles cycles;
     /** PTE loads issued into the cache hierarchy. */
-    Count ptwAccesses = 0;
+    Count ptwAccesses;
     /** Radix level the walk started at after PSC probing (3 = root). */
-    int startLevel = ptLevels - 1;
+    int startLevel;
     /** PTE loads satisfied at each memory level (page_walker_loads.*). */
-    std::array<Count, numMemLevels> loadsAtLevel{};
+    std::array<Count, numMemLevels> loadsAtLevel;
     /**
      * Cache-hierarchy level (MemLevel as int) that served the PTE load at
      * each radix level, indexed 0 (PT) .. 3 (PML4); -1 where the walk
      * issued no load (skipped by the PSC, or cut short by the budget).
      */
-    std::array<std::int8_t, ptLevels> hitLevelAt{-1, -1, -1, -1};
+    std::array<std::int8_t, ptLevels> hitLevelAt;
 };
 
 /**

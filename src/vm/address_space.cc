@@ -81,9 +81,8 @@ AddressSpace::touch(Addr vaddr)
     fatal_if(!vma, "access to unmapped virtual address %#lx", vaddr);
 
     Addr page_base = alignDown(vaddr, pageBytes(vma->effective));
-    auto it = pages_.find(page_base);
-    if (it != pages_.end())
-        return it->second;
+    if (const Translation *t = pages_.find(page_base))
+        return *t;
 
     std::uint64_t page = pageBytes(vma->effective);
     PhysAddr frame = alloc_.allocate(page);
@@ -95,7 +94,29 @@ AddressSpace::touch(Addr vaddr)
     t.pageSize = vma->effective;
     t.frame = frame;
     t.pageBase = page_base;
-    return pages_.emplace(page_base, t).first->second;
+    return pages_.insert(page_base, t);
+}
+
+const Translation &
+AddressSpace::remapPage(Addr vaddr)
+{
+    const Vma *vma = findVma(vaddr);
+    fatal_if(!vma, "remap of unmapped virtual address %#lx", vaddr);
+
+    Addr page_base = alignDown(vaddr, pageBytes(vma->effective));
+    Translation *found = pages_.find(page_base);
+    fatal_if(!found, "remap of never-populated virtual address %#lx", vaddr);
+
+    Translation &t = *found;
+    PhysAddr frame = alloc_.allocate(pageBytes(vma->effective));
+    table_.remap(page_base, frame, vma->effective);
+    t.frame = frame;
+
+    // TLB-shootdown analogue: everything caching this page's translation
+    // must drop it before the old frame can be reused.
+    for (TranslationListener *listener : listeners_)
+        listener->pageRemapped(page_base, vma->effective);
+    return t;
 }
 
 } // namespace atscale

@@ -14,11 +14,12 @@
 #define ATSCALE_VM_ADDRESS_SPACE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/frame_alloc.hh"
 #include "mem/phys_mem.hh"
+#include "vm/invalidation.hh"
+#include "vm/page_map.hh"
 #include "vm/page_table.hh"
 #include "vm/vma.hh"
 
@@ -55,6 +56,28 @@ class AddressSpace
      * translation. fatal() if vaddr is outside any region.
      */
     const Translation &touch(Addr vaddr);
+
+    /**
+     * Migrate the populated page containing vaddr to a freshly allocated
+     * physical frame (the page-migration / compaction analogue), then
+     * notify every registered TranslationListener so no cached
+     * translation can keep serving the old frame. fatal() if the page
+     * was never touched.
+     *
+     * @return the page's new translation
+     */
+    const Translation &remapPage(Addr vaddr);
+
+    /**
+     * Register a structure caching translation state derived from this
+     * space (TLBs, micro-TLBs, software translation caches). Listeners
+     * are notified on every remapPage().
+     */
+    void
+    addTranslationListener(TranslationListener *listener)
+    {
+        listeners_.push_back(listener);
+    }
 
     /** Functional translation through the page table (no population). */
     Translation translate(Addr vaddr) const { return table_.translate(vaddr); }
@@ -93,7 +116,9 @@ class AddressSpace
     std::uint64_t footprint_ = 0;
     std::uint64_t reserved_ = 0;
     /** Populated pages: effective-page base -> translation. */
-    std::unordered_map<Addr, Translation> pages_;
+    PageMap pages_;
+    /** Structures to notify when a mapping changes. */
+    std::vector<TranslationListener *> listeners_;
 };
 
 } // namespace atscale

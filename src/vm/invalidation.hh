@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Translation invalidation notifications.
+ *
+ * When the OS layer (AddressSpace) changes a virtual-to-physical mapping,
+ * every structure caching derived translation state must drop its copy:
+ * the hardware TLBs and software fast path (via Mmu) and the core's
+ * data-path micro-TLB. This is the simulated analogue of the kernel's
+ * TLB-shootdown path after a page migration or copy-on-write.
+ *
+ * The listener list is the single registry of who caches translations;
+ * adding a new translation-caching structure means implementing this
+ * interface and registering in Platform, which keeps invalidation precise
+ * by construction instead of by convention.
+ */
+
+#ifndef ATSCALE_VM_INVALIDATION_HH
+#define ATSCALE_VM_INVALIDATION_HH
+
+#include "vm/page_size.hh"
+
+namespace atscale
+{
+
+/** A structure that caches translations and must observe remaps. */
+class TranslationListener
+{
+  public:
+    virtual ~TranslationListener() = default;
+
+    /**
+     * The page at `base` (aligned, of size `size`) now maps to a
+     * different physical frame. Drop any cached translation state
+     * covering it.
+     */
+    virtual void pageRemapped(Addr base, PageSize size) = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_INVALIDATION_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Open-addressed page-base → Translation map for the demand-paging hot
+ * path.
+ *
+ * AddressSpace::touch runs once per data reference that misses the core's
+ * micro-TLB, so its page lookup is simulation hot-loop code. A
+ * std::unordered_map spends most of that lookup on a node pointer chase;
+ * this map stores keys and values in flat arrays with linear probing, so
+ * the common hit costs one hash and one or two adjacent key loads.
+ *
+ * The usage pattern it exploits: pages are inserted on first touch and
+ * never erased (remaps update the value in place), keys are page-aligned
+ * virtual bases (so all-ones is a free empty sentinel), and callers never
+ * hold a returned reference across a subsequent insert (growth rehashes).
+ */
+
+#ifndef ATSCALE_VM_PAGE_MAP_HH
+#define ATSCALE_VM_PAGE_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+#include "vm/page_table.hh"
+
+namespace atscale
+{
+
+/**
+ * Flat linear-probing hash map from page base address to Translation.
+ * Insert-only (values are mutable in place); grows at 1/2 load factor.
+ */
+class PageMap
+{
+  public:
+    explicit PageMap(std::size_t initialSlots = 1024)
+        : keys_(initialSlots, emptyKey), vals_(initialSlots),
+          mask_(initialSlots - 1)
+    {
+        panic_if((initialSlots & mask_) != 0,
+                 "PageMap: slot count must be a power of two");
+    }
+
+    /** Value for key, or nullptr. Valid until the next insert(). */
+    Translation *
+    find(Addr key)
+    {
+        for (std::size_t i = index(key);; i = (i + 1) & mask_) {
+            if (keys_[i] == key)
+                return &vals_[i];
+            if (keys_[i] == emptyKey)
+                return nullptr;
+        }
+    }
+
+    const Translation *
+    find(Addr key) const
+    {
+        return const_cast<PageMap *>(this)->find(key);
+    }
+
+    /**
+     * Insert a key the caller has just proven absent via find().
+     * @return the stored value; valid until the next insert()
+     */
+    Translation &
+    insert(Addr key, const Translation &value)
+    {
+        if ((count_ + 1) * 2 > keys_.size())
+            grow();
+        ++count_;
+        std::size_t i = index(key);
+        while (keys_[i] != emptyKey)
+            i = (i + 1) & mask_;
+        keys_[i] = key;
+        vals_[i] = value;
+        return vals_[i];
+    }
+
+    /** Number of stored pages. */
+    std::size_t size() const { return count_; }
+
+  private:
+    /** Page bases are page-aligned, so all-ones can't be a real key. */
+    static constexpr Addr emptyKey = ~0ull;
+
+    std::size_t
+    index(Addr key) const
+    {
+        // Fibonacci hash: page bases share low zero bits, so multiply
+        // first and take high bits.
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> oldKeys(keys_.size() * 2, emptyKey);
+        std::vector<Translation> oldVals(vals_.size() * 2);
+        oldKeys.swap(keys_);
+        oldVals.swap(vals_);
+        mask_ = keys_.size() - 1;
+        for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+            if (oldKeys[i] == emptyKey)
+                continue;
+            std::size_t j = index(oldKeys[i]);
+            while (keys_[j] != emptyKey)
+                j = (j + 1) & mask_;
+            keys_[j] = oldKeys[i];
+            vals_[j] = oldVals[i];
+        }
+    }
+
+    std::vector<Addr> keys_;
+    std::vector<Translation> vals_;
+    std::size_t mask_;
+    std::size_t count_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_VM_PAGE_MAP_HH

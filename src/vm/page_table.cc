@@ -61,6 +61,29 @@ PageTable::map(Addr vaddr, PhysAddr frame, PageSize size)
     mem_.write64(entry_addr, pte.pack());
 }
 
+void
+PageTable::remap(Addr vaddr, PhysAddr frame, PageSize size)
+{
+    std::uint64_t page = pageBytes(size);
+    panic_if(!isAligned(vaddr, page), "unaligned vaddr %#lx for %s page",
+             vaddr, pageSizeName(size).c_str());
+    panic_if(!isAligned(frame, page), "unaligned frame %#lx for %s page",
+             frame, pageSizeName(size).c_str());
+
+    int leaf = leafLevel(size);
+    PhysAddr entry_addr = entryAddr(vaddr, leaf);
+    panic_if(entry_addr == 0, "remap of unmapped vaddr %#lx", vaddr);
+
+    Pte pte = Pte::unpack(mem_.read64(entry_addr));
+    panic_if(!pte.present, "remap of unmapped vaddr %#lx", vaddr);
+    panic_if(pte.pageSize != (size != PageSize::Size4K),
+             "remap of vaddr %#lx with mismatched page size %s", vaddr,
+             pageSizeName(size).c_str());
+
+    pte.addr = frame;
+    mem_.write64(entry_addr, pte.pack());
+}
+
 Translation
 PageTable::translate(Addr vaddr) const
 {

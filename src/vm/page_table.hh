@@ -60,6 +60,12 @@ class PageTable
      */
     void map(Addr vaddr, PhysAddr frame, PageSize size);
 
+    /**
+     * Point an existing leaf mapping at a new frame (page migration).
+     * panic() if vaddr is not mapped at exactly the given page size.
+     */
+    void remap(Addr vaddr, PhysAddr frame, PageSize size);
+
     /** Functional lookup (no timing, no caches). */
     Translation translate(Addr vaddr) const;
 

@@ -131,6 +131,28 @@ GraphModelStream::next(Ref &ref)
     return true;
 }
 
+Count
+GraphModelStream::fill(Ref *out, Count max)
+{
+    // Copy straight out of the internal generation batch instead of one
+    // virtual next() per reference.
+    Count n = 0;
+    while (n < max) {
+        while (pos_ >= batch_.size()) {
+            batch_.clear();
+            pos_ = 0;
+            generate();
+        }
+        Count take = std::min<Count>(max - n, batch_.size() - pos_);
+        std::copy_n(batch_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    take, out + n);
+        pos_ += take;
+        n += take;
+    }
+    refsEmitted_ += n;
+    return n;
+}
+
 void
 GraphModelStream::registerStats(StatsRegistry &registry,
                                 const std::string &prefix) const

@@ -73,6 +73,7 @@ class GraphModelStream : public RefSource
                      const GraphLayout &layout, std::uint64_t seed);
 
     bool next(Ref &ref) override;
+    Count fill(Ref *out, Count max) override;
     Addr wrongPathAddr(Rng &rng) override;
     void registerStats(StatsRegistry &registry,
                        const std::string &prefix) const override;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Randomized differential suite for the software translation fast path.
+ *
+ * The fast path's entire value rests on one claim: enabling it changes
+ * nothing except wall-clock time. This suite runs the same (workload,
+ * seed) simulations twice — fast path on and off — across access
+ * patterns chosen to stress different parts of the translation machinery
+ * (uniform KV lookups, skewed kron graph traversal, pointer chasing) and
+ * demands exact equality of:
+ *
+ *  - every EventId counter (bit-for-bit, not approximately),
+ *  - the final microarchitectural state of the TLB complex and the
+ *    paging-structure caches (contents, recency, replacement metadata,
+ *    statistics — via stateHash()),
+ *  - the final data cache hierarchy state,
+ *  - the exported RunResult JSON, byte for byte.
+ *
+ * Any divergence — a missed counter replay, an extra LRU touch, an RNG
+ * draw on the wrong path — fails loudly here before it can corrupt a
+ * result set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/platform.hh"
+#include "core/run_export.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Workloads spanning the translation-relevant access-pattern space. */
+const char *const kWorkloads[] = {
+    "memcached-uniform", // uniform random over a big hash space
+    "pr-kron",           // skewed (Zipf hub) graph scan
+    "mcf-rand",          // pointer chasing (dependent random reads)
+};
+
+const std::uint64_t kSeeds[] = {1, 7, 1234};
+
+/** Final state of one simulation, everything exactness covers. */
+struct RunState
+{
+    CounterSet counters;
+    std::uint64_t mmuHash = 0;
+    std::uint64_t cacheHash = 0;
+    std::uint64_t footprint = 0;
+    std::string json;
+};
+
+RunState
+simulate(const std::string &workloadName, std::uint64_t seed, bool fastPath)
+{
+    RunSpec spec;
+    spec.workload = workloadName;
+    spec.footprintBytes = 1ull << 24;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 60'000;
+    spec.seed = seed;
+    // Both exported JSONs carry the same spec: fastPath is execution
+    // strategy, not result identity, and the bytes must not differ.
+    spec.fastPath = true;
+
+    std::unique_ptr<Workload> workload = createWorkload(workloadName);
+    PlatformParams params;
+    params.mmu.fastPath = fastPath;
+    Platform platform(params, spec.pageSize, workload->traits(),
+                      spec.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
+    std::unique_ptr<RefSource> stream =
+        workload->instantiate(platform.space, wl_config);
+
+    platform.core.run(*stream, spec.warmupRefs);
+    platform.core.resetCounters();
+    platform.mmu.resetStats();
+    platform.hierarchy.resetStats();
+    platform.core.run(*stream, spec.measureRefs);
+
+    RunState state;
+    state.counters = platform.core.counters();
+    state.mmuHash = platform.mmu.stateHash();
+    state.cacheHash = platform.hierarchy.stateHash();
+    state.footprint = platform.space.footprintBytes();
+
+    RunResult result;
+    result.spec = spec;
+    result.counters = state.counters;
+    result.footprintTouched = platform.space.footprintBytes();
+    result.pageTableBytes = platform.space.pageTable().nodeBytes();
+    std::ostringstream os;
+    writeRunResultJson(os, result);
+    state.json = os.str();
+
+    // The fast path must actually be exercised when enabled, or this
+    // suite silently tests nothing.
+    if (fastPath) {
+        EXPECT_GT(platform.mmu.fastCache().hits(), 0u)
+            << workloadName << " seed " << seed;
+    } else {
+        EXPECT_EQ(platform.mmu.fastCache().hits(), 0u);
+    }
+    return state;
+}
+
+class FastPathDiff
+    : public ::testing::TestWithParam<std::tuple<const char *, std::uint64_t>>
+{
+};
+
+} // namespace
+
+TEST_P(FastPathDiff, OnAndOffAreBitIdentical)
+{
+    const auto [workload, seed] = GetParam();
+    RunState on = simulate(workload, seed, true);
+    RunState off = simulate(workload, seed, false);
+
+    // Every architectural counter, bit for bit.
+    on.counters.forEach([&](EventId id, const char *name, Count value) {
+        EXPECT_EQ(value, off.counters.get(id)) << name;
+    });
+
+    // Final translation-structure and data-cache state (contents,
+    // recency, replacement metadata, statistics).
+    EXPECT_EQ(on.mmuHash, off.mmuHash);
+    EXPECT_EQ(on.cacheHash, off.cacheHash);
+    EXPECT_EQ(on.footprint, off.footprint);
+
+    // The full exported artifact.
+    EXPECT_EQ(on.json, off.json);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, FastPathDiff,
+    ::testing::Combine(::testing::ValuesIn(kWorkloads),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<FastPathDiff::ParamType> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FastPathDiff, RunSpecKnobReachesTheMmu)
+{
+    // The spec-level escape hatch must actually disable the fast path.
+    std::unique_ptr<Workload> workload = createWorkload("bfs-urand");
+    PlatformParams params;
+    params.mmu.fastPath = false;
+    Platform platform(params, PageSize::Size4K, workload->traits(), 11);
+    EXPECT_FALSE(platform.mmu.fastPathEnabled());
+
+    platform.mmu.setFastPath(true);
+    EXPECT_TRUE(platform.mmu.fastPathEnabled());
+}

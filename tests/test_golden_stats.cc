@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden counter snapshots for canonical RunSpecs.
+ *
+ * Six runs — three workloads at two page-size backings — are pinned as
+ * checked-in JSON files (tests/golden/). Any change to the simulation
+ * that moves any counter, derived metric, or footprint of these runs
+ * fails here with a field-level diff, making result drift a reviewed
+ * decision instead of an accident.
+ *
+ * When a drift IS intended (a modelling change, a result-semantics
+ * version bump), regenerate with:
+ *
+ *     ATSCALE_UPDATE_GOLDEN=1 ./test_golden_stats
+ *
+ * and commit the new files together with a cacheKey() version bump in
+ * core/run_spec.cc (stale on-disk run caches must retire with the
+ * goldens).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/run_export.hh"
+
+using namespace atscale;
+
+#ifndef ATSCALE_GOLDEN_DIR
+#error "ATSCALE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace
+{
+
+struct GoldenCase
+{
+    const char *workload;
+    PageSize pageSize;
+};
+
+const GoldenCase kCases[] = {
+    {"bfs-urand", PageSize::Size4K}, {"bfs-urand", PageSize::Size2M},
+    {"pr-kron", PageSize::Size4K},   {"pr-kron", PageSize::Size2M},
+    {"mcf-rand", PageSize::Size4K},  {"mcf-rand", PageSize::Size2M},
+};
+
+RunSpec
+specFor(const GoldenCase &c)
+{
+    RunSpec spec;
+    spec.workload = c.workload;
+    spec.footprintBytes = 1ull << 24;
+    spec.pageSize = c.pageSize;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 60'000;
+    spec.seed = 3;
+    return spec;
+}
+
+std::string
+goldenPath(const RunSpec &spec)
+{
+    return std::string(ATSCALE_GOLDEN_DIR) + "/" + spec.fileTag() + ".json";
+}
+
+std::string
+renderRun(const RunSpec &spec)
+{
+    RunResult result = runExperiment(spec);
+    std::ostringstream os;
+    writeRunResultJson(os, result);
+    return os.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("ATSCALE_UPDATE_GOLDEN");
+    return env && *env && *env != '0';
+}
+
+class GoldenStats : public ::testing::TestWithParam<GoldenCase>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        // Golden runs must come from the simulator, never from a
+        // possibly-stale on-disk run cache.
+        unsetenv("ATSCALE_CACHE_DIR");
+    }
+};
+
+} // namespace
+
+TEST_P(GoldenStats, MatchesCheckedInSnapshot)
+{
+    RunSpec spec = specFor(GetParam());
+    std::string actual = renderRun(spec);
+    std::string path = goldenPath(spec);
+
+    if (updateRequested()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (generate with ATSCALE_UPDATE_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+
+    if (actual == expected)
+        return;
+
+    // Field-level diff: report every drifted line, not just "differs".
+    std::vector<std::string> want = splitLines(expected);
+    std::vector<std::string> got = splitLines(actual);
+    std::size_t n = std::max(want.size(), got.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string &w = i < want.size() ? want[i] : "<missing>";
+        const std::string &g = i < got.size() ? got[i] : "<missing>";
+        EXPECT_EQ(g, w) << path << " line " << (i + 1);
+    }
+    FAIL() << "golden drift in " << path
+           << " — if intended, regenerate with ATSCALE_UPDATE_GOLDEN=1 "
+              "and bump the cacheKey() version";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CanonicalRuns, GoldenStats, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        std::string name = info.param.workload;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_" + pageSizeName(info.param.pageSize);
+    });

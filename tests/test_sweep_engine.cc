@@ -139,19 +139,25 @@ TEST(RunSpec, HashAndCacheKeySeparateDistinctSpecs)
     EXPECT_EQ(RunSpecHash{}(base), static_cast<std::size_t>(base.hash()));
 }
 
-TEST(RunSpec, CacheKeyPreservesPreTagFormat)
+TEST(RunSpec, CacheKeyFormatIsStable)
 {
-    // The platformTag suffix must only appear for non-default platforms;
-    // untagged specs keep the original file-name format so existing
-    // caches stay valid.
+    // The key format is load-bearing: the "v2_" prefix is the result-
+    // semantics version (bumped only when identical knobs produce
+    // different results, retiring stale cache files), the optional
+    // suffixes appear only for non-default knobs, and default-knob keys
+    // must not drift or every cache is silently invalidated.
     RunSpec spec = quickSpec();
     EXPECT_EQ(spec.cacheKey(),
-              "bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
+              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
     EXPECT_EQ(spec.cacheFileName(),
-              "bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
+              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
     spec.platformTag = "stlb128";
     EXPECT_EQ(spec.cacheKey(),
-              "bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
+              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
+    spec.platformTag.clear();
+    spec.fastPath = false;
+    EXPECT_EQ(spec.cacheKey(),
+              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_nofp");
 }
 
 TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial)
