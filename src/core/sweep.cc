@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unistd.h>
 #include <unordered_map>
@@ -18,9 +17,6 @@ namespace atscale
 
 namespace
 {
-
-/** Serializes progress counters and observability file emission. */
-std::mutex engineMutex;
 
 bool
 stderrIsTty()
@@ -158,7 +154,7 @@ SweepEngine::plan(const std::vector<SweepJob> &jobs) const
 void
 SweepEngine::noteRunning()
 {
-    std::lock_guard<std::mutex> lock(engineMutex);
+    MutexLock lock(mu_);
     ++progress_.running;
     if (options_.onProgress)
         options_.onProgress(progress_);
@@ -167,7 +163,7 @@ SweepEngine::noteRunning()
 void
 SweepEngine::noteFinished(bool cached)
 {
-    std::lock_guard<std::mutex> lock(engineMutex);
+    MutexLock lock(mu_);
     if (cached) {
         ++progress_.cached;
     } else {
@@ -201,7 +197,7 @@ SweepEngine::executeJob(const SweepJob &job, RunResult &result)
     ObsSession session(job_obs);
     result = runExperiment(job.spec, job.params, &session);
 
-    std::lock_guard<std::mutex> lock(engineMutex);
+    MutexLock lock(mu_);
     if (!job_obs.jsonOut.empty()) {
         writeRunResultJsonFile(job_obs.jsonOut, result,
                                &session.statsSnapshot(),
@@ -215,9 +211,6 @@ SweepEngine::executeJob(const SweepJob &job, RunResult &result)
 std::vector<RunResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
-    written_.clear();
-    progress_ = SweepProgress{};
-
     // Single-flight: duplicate specs collapse onto the first occurrence.
     std::unordered_map<RunSpec, std::size_t, RunSpecHash> index;
     std::vector<std::size_t> owner(jobs.size());
@@ -228,7 +221,13 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
             uniq.push_back(i);
         owner[i] = it->second;
     }
-    progress_.total = uniq.size();
+
+    {
+        MutexLock lock(mu_);
+        written_.clear();
+        progress_ = SweepProgress{};
+        progress_.total = uniq.size();
+    }
 
     // Check the cache before dispatch. Observed sweeps execute every
     // job: cached entries carry no windows or traces, so serving them
@@ -245,7 +244,8 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
 
     if (!jobs.empty()) {
         inform("sweep: %zu jobs (%zu unique, %zu cached) on %d thread(s)",
-               jobs.size(), uniq.size(), progress_.cached, threads_);
+               jobs.size(), uniq.size(), uniq.size() - pending.size(),
+               threads_);
     }
 
     if (!pending.empty()) {
@@ -289,6 +289,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
         double freq = jobs.empty() ? PlatformParams{}.freqGHz
                                    : jobs.front().params.freqGHz;
         writeRunResultsJsonFile(options_.obs.jsonOut, out, freq);
+        MutexLock lock(mu_);
         written_.push_back(options_.obs.jsonOut);
     }
     return out;

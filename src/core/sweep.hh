@@ -29,6 +29,7 @@
 
 #include "core/overhead.hh"
 #include "obs/session.hh"
+#include "util/thread_annotations.hh"
 
 namespace atscale
 {
@@ -158,23 +159,41 @@ class SweepEngine
                      const std::function<void(std::size_t)> &task);
 
     /** Files written by per-job observability in run(), in write order. */
-    const std::vector<std::string> &writtenOutputs() const
+    std::vector<std::string>
+    writtenOutputs() const ATSCALE_EXCLUDES(mu_)
     {
+        MutexLock lock(mu_);
         return written_;
     }
 
     /** Progress counts of the most recent run(). */
-    const SweepProgress &progress() const { return progress_; }
+    SweepProgress
+    progress() const ATSCALE_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return progress_;
+    }
 
   private:
-    void executeJob(const SweepJob &job, RunResult &result);
-    void noteRunning();
-    void noteFinished(bool cached);
+    void executeJob(const SweepJob &job, RunResult &result)
+        ATSCALE_EXCLUDES(mu_);
+    void noteRunning() ATSCALE_EXCLUDES(mu_);
+    void noteFinished(bool cached) ATSCALE_EXCLUDES(mu_);
 
     SweepOptions options_;
     int threads_ = 1;
-    SweepProgress progress_;
-    std::vector<std::string> written_;
+
+    /**
+     * Serializes the worker threads' shared state: progress counters,
+     * the written-output log, and observability file emission (so
+     * concurrent jobs never interleave writes or "wrote ..." lines).
+     * The job list, single-flight map, and per-job result slots need no
+     * lock — they are built before the pool starts, are read-only (or
+     * index-disjoint) afterwards, and the pool join publishes them.
+     */
+    mutable Mutex mu_;
+    SweepProgress progress_ ATSCALE_GUARDED_BY(mu_);
+    std::vector<std::string> written_ ATSCALE_GUARDED_BY(mu_);
 };
 
 /** One workload's sweep. */

@@ -150,10 +150,10 @@ Core::wrongPathRef(Addr vaddr, Cycles budget)
         break;
       }
       case TlbLevel::Miss:
-        accountWalk(vaddr, t.walk, false, false);
-        walker_busy = t.walk.cycles;
-        if (t.walk.completed && !t.walk.faulted) {
-            hierarchy_.access(t.walk.translation.paddr(vaddr),
+        accountWalk(vaddr, t.walk(), false, false);
+        walker_busy = t.walk().cycles;
+        if (t.walk().completed && !t.walk().faulted) {
+            hierarchy_.access(t.walk().translation.paddr(vaddr),
                               AccessKind::Data);
         }
         break;
@@ -248,17 +248,17 @@ Core::executeRef(RefSource &source, const Ref &ref)
               params_.l2TlbHitExposure);
     } else if (t.tlbLevel == TlbLevel::Miss) {
         pendingClearKill_ = false;
-        bool ok = t.walk.completed && !t.walk.faulted && !squashed;
-        accountWalk(ref.vaddr, t.walk, ref.isStore, ok);
-        stall(static_cast<double>(t.walk.cycles) * walkExposure_);
-        if (!t.walk.completed) {
+        bool ok = t.walk().completed && !t.walk().faulted && !squashed;
+        accountWalk(ref.vaddr, t.walk(), ref.isStore, ok);
+        stall(static_cast<double>(t.walk().cycles) * walkExposure_);
+        if (!t.walk().completed) {
             // The machine clear killed the walk; after the flush the
             // access re-executes and walks again from scratch.
             MmuResult retry = mmu_.translate(ref.vaddr, false);
             if (retry.tlbLevel == TlbLevel::Miss) {
-                accountWalk(ref.vaddr, retry.walk, ref.isStore,
-                            retry.walk.completed && !retry.walk.faulted);
-                stall(static_cast<double>(retry.walk.cycles) *
+                accountWalk(ref.vaddr, retry.walk(), ref.isStore,
+                            retry.walk().completed && !retry.walk().faulted);
+                stall(static_cast<double>(retry.walk().cycles) *
                       walkExposure_);
             }
         }

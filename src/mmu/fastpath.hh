@@ -204,8 +204,10 @@ class FastTranslationCache
     Count invalidations_ = 0;
     Count bypassWindows_ = 0;
     /** Position within the current adaptation window (1-based). */
+    // atscale-lint: allow(R3 duty-cycle cursor, not a statistic)
     Count winPos_ = 0;
     /** Fast-path hits observed in the window's sampling phase. */
+    // atscale-lint: allow(R3 transient window tally, folded into bypassWindows_)
     Count winHits_ = 0;
     /** The current window decided the stream is thrashing. */
     bool bypassing_ = false;

@@ -37,10 +37,10 @@ Mmu::translateSlow(Addr vaddr, bool speculative, Cycles walkBudget)
     if (!speculative && space_.findVma(vaddr))
         space_.touch(vaddr);
 
-    result.walk = walker_.walk(vaddr, space_.pageTable(), walkBudget);
+    result.walk_ = walker_.walk(vaddr, space_.pageTable(), walkBudget);
 
-    if (result.walk.completed && !result.walk.faulted) {
-        result.pageSize = result.walk.translation.pageSize;
+    if (result.walk_.completed && !result.walk_.faulted) {
+        result.pageSize = result.walk_.translation.pageSize;
         tlb_.install(vaddr, result.pageSize);
         if (fastEnabled_)
             fast_.install(vaddr, result.pageSize, tlb_);

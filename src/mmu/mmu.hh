@@ -8,6 +8,8 @@
 #ifndef ATSCALE_MMU_MMU_HH
 #define ATSCALE_MMU_MMU_HH
 
+#include <cassert>
+
 #include "cache/hierarchy.hh"
 #include "mmu/fastpath.hh"
 #include "mmu/paging_structure_cache.hh"
@@ -37,10 +39,48 @@ struct MmuResult
     Cycles tlbExtraLatency = 0;
     /** Page size of the translation (valid unless the walk aborted). */
     PageSize pageSize = PageSize::Size4K;
-    /** Walk details when tlbLevel == Miss; undefined otherwise (the
-     * accounting fields are deliberately left uninitialized on TLB hits —
-     * see WalkResult). */
-    WalkResult walk;
+
+    /**
+     * Walk details; meaningful only when tlbLevel == Miss. On TLB hits
+     * the accounting fields are deliberately left unwritten (fastpath.hh
+     * depends on the hit path doing zero walk bookkeeping), so debug
+     * builds assert here and poison the storage (see poisonWalk) to
+     * catch any unguarded read dynamically; lint rule R4 catches them
+     * statically. Release builds compile down to a plain field access.
+     */
+    const WalkResult &
+    walk() const
+    {
+        assert(tlbLevel == TlbLevel::Miss &&
+               "MmuResult::walk read on a TLB hit (fields are undefined)");
+        return walk_;
+    }
+
+#ifndef NDEBUG
+    MmuResult() { poisonWalk(); }
+
+    /**
+     * Debug-only: fill the walk accounting fields with a recognizable
+     * garbage pattern so a read that slips past the assert (e.g. via
+     * memcpy of the whole struct) shows up as implausible numbers
+     * instead of plausible stale ones.
+     */
+    void
+    poisonWalk()
+    {
+        walk_.cycles = static_cast<Cycles>(0xDEADDEADDEADDEADull);
+        walk_.ptwAccesses = static_cast<Count>(0xDEADDEADDEADDEADull);
+        walk_.startLevel = -0xDEAD;
+        walk_.loadsAtLevel.fill(static_cast<Count>(0xDEADDEADDEADDEADull));
+        walk_.hitLevelAt.fill(-13);
+    }
+#else
+    MmuResult() = default;
+#endif
+
+  private:
+    friend class Mmu;
+    WalkResult walk_;
 };
 
 /**

@@ -26,6 +26,7 @@ StatsRegistry::addScalar(const std::string &name, Getter get,
 {
     fatal_if(name.empty(), "statistic must have a name");
     fatal_if(!get, "statistic '%s' has no getter", name.c_str());
+    MutexLock lock(mu_);
     fatal_if(taken(name), "duplicate statistic '%s'", name.c_str());
     scalars_.push_back({name, std::move(get), desc});
 }
@@ -36,6 +37,7 @@ StatsRegistry::addHistogram(const std::string &name, const Histogram *hist,
 {
     fatal_if(name.empty(), "statistic must have a name");
     fatal_if(!hist, "histogram statistic '%s' is null", name.c_str());
+    MutexLock lock(mu_);
     fatal_if(taken(name), "duplicate statistic '%s'", name.c_str());
     hists_.push_back({name, hist, desc});
 }
@@ -43,6 +45,7 @@ StatsRegistry::addHistogram(const std::string &name, const Histogram *hist,
 std::vector<StatsRegistry::Sample>
 StatsRegistry::snapshot() const
 {
+    MutexLock lock(mu_);
     std::vector<Sample> out;
     out.reserve(scalars_.size() + hists_.size() * 4);
     for (const ScalarEntry &e : scalars_)
@@ -113,6 +116,7 @@ StatsRegistry::dump(std::ostream &os) const
 void
 StatsRegistry::clear()
 {
+    MutexLock lock(mu_);
     scalars_.clear();
     hists_.clear();
 }

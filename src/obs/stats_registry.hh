@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/stats.hh"
+#include "util/thread_annotations.hh"
 
 namespace atscale
 {
@@ -39,14 +40,14 @@ class StatsRegistry
 
     /** Register a scalar statistic. fatal() on duplicate names. */
     void addScalar(const std::string &name, Getter get,
-                   const std::string &desc = "");
+                   const std::string &desc = "") ATSCALE_EXCLUDES(mu_);
 
     /**
      * Register a distribution. The histogram is observed by pointer and
      * expands to <name>.count / .p50 / .p90 / .p99 in dumps/snapshots.
      */
     void addHistogram(const std::string &name, const Histogram *hist,
-                      const std::string &desc = "");
+                      const std::string &desc = "") ATSCALE_EXCLUDES(mu_);
 
     /** One materialized (name, value) pair. */
     struct Sample
@@ -57,17 +58,22 @@ class StatsRegistry
     };
 
     /** Pull every statistic's current value, sorted by name. */
-    std::vector<Sample> snapshot() const;
+    std::vector<Sample> snapshot() const ATSCALE_EXCLUDES(mu_);
 
     /** Render the current values as an indented tree. */
-    void dump(std::ostream &os) const;
+    void dump(std::ostream &os) const ATSCALE_EXCLUDES(mu_);
 
     /** Registered statistics (histograms count once). */
-    std::size_t size() const { return scalars_.size() + hists_.size(); }
+    std::size_t
+    size() const ATSCALE_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return scalars_.size() + hists_.size();
+    }
     bool empty() const { return size() == 0; }
 
     /** Drop all registrations (callbacks may dangle past their source). */
-    void clear();
+    void clear() ATSCALE_EXCLUDES(mu_);
 
   private:
     struct ScalarEntry
@@ -84,10 +90,20 @@ class StatsRegistry
         std::string desc;
     };
 
-    bool taken(const std::string &name) const;
+    bool taken(const std::string &name) const ATSCALE_REQUIRES(mu_);
 
-    std::vector<ScalarEntry> scalars_;
-    std::vector<HistEntry> hists_;
+    /**
+     * Serializes registration against snapshot/dump. A registry is
+     * normally confined to one sweep job's worker thread, but nothing
+     * in the API forces that — components register from wherever the
+     * experiment driver wires them — so the registry locks its own
+     * tables rather than trusting every caller's threading discipline.
+     * Getter callbacks run under the lock during snapshot(); they read
+     * component counters and must not re-enter the registry.
+     */
+    mutable Mutex mu_;
+    std::vector<ScalarEntry> scalars_ ATSCALE_GUARDED_BY(mu_);
+    std::vector<HistEntry> hists_ ATSCALE_GUARDED_BY(mu_);
 };
 
 } // namespace atscale

@@ -35,8 +35,9 @@ namespace
  * one node struct, as in mcf's node_t). */
 struct TracedNodes
 {
-    TracedNodes(TraceSink &sink, Addr base, std::uint64_t n)
-        : sink(&sink), base(base), potential(n, 0), parent(n, 0), depth(n, 0)
+    TracedNodes(TraceSink &trace, Addr region, std::uint64_t n)
+        : sink(&trace), base(region), potential(n, 0), parent(n, 0),
+          depth(n, 0)
     {
     }
 

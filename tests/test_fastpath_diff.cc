@@ -145,12 +145,12 @@ INSTANTIATE_TEST_SUITE_P(
     Workloads, FastPathDiff,
     ::testing::Combine(::testing::ValuesIn(kWorkloads),
                        ::testing::ValuesIn(kSeeds)),
-    [](const ::testing::TestParamInfo<FastPathDiff::ParamType> &info) {
-        std::string name = std::get<0>(info.param);
+    [](const ::testing::TestParamInfo<FastPathDiff::ParamType> &suite_info) {
+        std::string name = std::get<0>(suite_info.param);
         for (char &c : name)
             if (c == '-')
                 c = '_';
-        return name + "_s" + std::to_string(std::get<1>(info.param));
+        return name + "_s" + std::to_string(std::get<1>(suite_info.param));
     });
 
 TEST(FastPathDiff, RunSpecKnobReachesTheMmu)

@@ -148,10 +148,10 @@ TEST_P(GoldenStats, MatchesCheckedInSnapshot)
 
 INSTANTIATE_TEST_SUITE_P(
     CanonicalRuns, GoldenStats, ::testing::ValuesIn(kCases),
-    [](const ::testing::TestParamInfo<GoldenCase> &info) {
-        std::string name = info.param.workload;
+    [](const ::testing::TestParamInfo<GoldenCase> &suite_info) {
+        std::string name = suite_info.param.workload;
         for (char &c : name)
             if (c == '-')
                 c = '_';
-        return name + "_" + pageSizeName(info.param.pageSize);
+        return name + "_" + pageSizeName(suite_info.param.pageSize);
     });

@@ -31,8 +31,8 @@ TEST_F(MmuTest, MissWalksThenInstalls)
 {
     MmuResult first = mmu.translate(base);
     EXPECT_EQ(first.tlbLevel, TlbLevel::Miss);
-    EXPECT_TRUE(first.walk.completed);
-    EXPECT_FALSE(first.walk.faulted);
+    EXPECT_TRUE(first.walk().completed);
+    EXPECT_FALSE(first.walk().faulted);
     EXPECT_EQ(first.pageSize, PageSize::Size4K);
 
     MmuResult second = mmu.translate(base + 0x800);
@@ -50,7 +50,7 @@ TEST_F(MmuTest, DemandPagingHappensOnCorrectPathOnly)
     Addr fresh = base + 10 * pageSize4K;
     MmuResult spec = mmu.translate(fresh, /*speculative=*/true);
     EXPECT_EQ(spec.tlbLevel, TlbLevel::Miss);
-    EXPECT_TRUE(spec.walk.faulted);
+    EXPECT_TRUE(spec.walk().faulted);
     EXPECT_FALSE(space.translate(fresh).valid);
     EXPECT_EQ(mmu.translate(fresh, true).tlbLevel, TlbLevel::Miss);
 }
@@ -59,14 +59,14 @@ TEST_F(MmuTest, SpeculativeToUnmappedRegionIsHarmless)
 {
     MmuResult r = mmu.translate(0x10, /*speculative=*/true);
     EXPECT_EQ(r.tlbLevel, TlbLevel::Miss);
-    EXPECT_TRUE(r.walk.completed);
-    EXPECT_TRUE(r.walk.faulted);
+    EXPECT_TRUE(r.walk().completed);
+    EXPECT_TRUE(r.walk().faulted);
 }
 
 TEST_F(MmuTest, AbortedWalkDoesNotInstall)
 {
     MmuResult aborted = mmu.translate(base, false, /*walkBudget=*/1);
-    EXPECT_FALSE(aborted.walk.completed);
+    EXPECT_FALSE(aborted.walk().completed);
     // Not installed: the next lookup misses again.
     MmuResult retry = mmu.translate(base);
     EXPECT_EQ(retry.tlbLevel, TlbLevel::Miss);
@@ -88,8 +88,8 @@ TEST_F(MmuTest, SpeculativeCompletedWalkInstalls)
     mmu.tlb().flush();
     MmuResult spec = mmu.translate(base, true);
     EXPECT_EQ(spec.tlbLevel, TlbLevel::Miss);
-    EXPECT_TRUE(spec.walk.completed);
-    EXPECT_FALSE(spec.walk.faulted);
+    EXPECT_TRUE(spec.walk().completed);
+    EXPECT_FALSE(spec.walk().faulted);
     EXPECT_EQ(mmu.translate(base).tlbLevel, TlbLevel::L1);
 }
 
@@ -108,7 +108,7 @@ TEST_F(MmuTest, FlushAllForcesFullWalkAgain)
     mmu.flushAll();
     MmuResult r = mmu.translate(base);
     EXPECT_EQ(r.tlbLevel, TlbLevel::Miss);
-    EXPECT_EQ(r.walk.startLevel, 3);
+    EXPECT_EQ(r.walk().startLevel, 3);
 }
 
 TEST_F(MmuTest, SuperpageBackingPropagates)
@@ -122,6 +122,6 @@ TEST_F(MmuTest, SuperpageBackingPropagates)
     MmuResult r = mmu2.translate(b + 12345);
     EXPECT_EQ(r.tlbLevel, TlbLevel::Miss);
     EXPECT_EQ(r.pageSize, PageSize::Size2M);
-    EXPECT_EQ(r.walk.ptwAccesses, 3u);
+    EXPECT_EQ(r.walk().ptwAccesses, 3u);
     EXPECT_EQ(mmu2.translate(b + 99999).tlbLevel, TlbLevel::L1);
 }

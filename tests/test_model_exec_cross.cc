@@ -67,8 +67,8 @@ INSTANTIATE_TEST_SUITE_P(SharedModes, ModelExecCross,
                          ::testing::Values("bfs-urand", "pr-kron",
                                            "cc-urand", "memcached-uniform",
                                            "mcf-rand"),
-                         [](const auto &info) {
-                             std::string name = info.param;
+                         [](const auto &suite_info) {
+                             std::string name = suite_info.param;
                              for (char &c : name)
                                  if (c == '-')
                                      c = '_';

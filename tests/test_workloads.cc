@@ -176,8 +176,8 @@ TEST_P(WorkloadProperty, FootprintScalesRegionSizes)
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadProperty,
                          ::testing::ValuesIn(workloadNames()),
-                         [](const auto &info) {
-                             std::string name = info.param;
+                         [](const auto &suite_info) {
+                             std::string name = suite_info.param;
                              for (char &c : name)
                                  if (c == '-')
                                      c = '_';

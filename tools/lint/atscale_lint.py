@@ -1,0 +1,551 @@
+#!/usr/bin/env python3
+"""atscale-lint: repo-specific invariant checks for the atscale tree.
+
+The repo's correctness story rests on invariants no off-the-shelf tool
+knows about: bitwise determinism of every run (serial == parallel sweep
+output, fastpath-on == fastpath-off counters, golden files), and the
+exactness contract around performance counters (docs/PERF.md). This tool
+enforces the statically checkable parts of those invariants:
+
+  R1  no wall-clock / ambient-randomness calls in src/ — every stochastic
+      or time-like quantity must derive from the seeded Rng / the
+      simulated clock, or results stop being a pure function of RunSpec.
+  R2  no iteration over std::unordered_map / std::unordered_set —
+      iteration order is implementation- and run-dependent, so anything
+      it feeds (output, stats, even victim selection) goes
+      nondeterministic. Iterate a sorted/declared-order container
+      instead.
+  R3  every `Count ..._` counter member of a stats-bearing class (one
+      declaring registerStats() or resetStats()) must be registered with
+      StatsRegistry — a counter that exists but never reaches the
+      registry silently breaks the "every counter-producing path is
+      observable" completeness contract.
+  R4  MmuResult's walk fields are deliberately left unwritten on TLB
+      hits (see mmu/mmu.hh); reads must sit in a branch that established
+      tlbLevel == TlbLevel::Miss.
+  R5  no raw std::mutex (or friends) outside util/thread_annotations.hh
+      — cross-thread state must use the annotated atscale::Mutex so
+      clang's -Wthread-safety can prove the locking discipline.
+
+Findings can be suppressed, one line at a time, with an inline comment
+on the offending line or the line directly above it:
+
+    // atscale-lint: allow(R2 plan() output is resorted before emission)
+
+The reason text is mandatory and is reported alongside the suppression
+count, so the review burden of each escape hatch stays visible.
+
+Engines: with the libclang python bindings installed (python3-clang),
+R2/R5 use the AST for type-accurate detection; everywhere else — and
+whenever libclang is missing or fails to parse — a pure-regex engine
+runs, so the gate can never silently skip. Fixture tests pin
+--engine=regex for determinism across environments.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+SCAN_DIRS = ["src", "bench", "examples", "tests"]
+EXTENSIONS = {".cc", ".hh", ".cpp", ".hpp", ".h"}
+
+# The one file allowed to spell std::mutex: the annotated wrapper itself.
+R5_EXEMPT = os.path.join("src", "util", "thread_annotations.hh")
+
+RULE_SCOPES = {
+    "R1": ["src"],
+    "R2": ["src", "bench", "examples"],
+    "R3": ["src"],
+    "R4": ["src", "bench", "examples", "tests"],
+    "R5": ["src", "bench", "examples", "tests"],
+}
+
+SUPPRESS_RE = re.compile(
+    r"//\s*atscale-lint:\s*allow\(\s*(R[1-5])\s+([^)]+)\)")
+
+# R1: ambient nondeterminism. Each entry: (regex, what it is).
+R1_PATTERNS = [
+    (re.compile(r"\bstd::chrono\b"), "std::chrono (wall/steady clock)"),
+    (re.compile(r"::now\s*\("), "clock ::now()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
+    (re.compile(r"\bstd::clock\s*\("), "std::clock()"),
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::(?:mt19937|minstd_rand|default_random_engine)\b"),
+     "std <random> engine (use atscale::Rng)"),
+]
+
+R5_RE = re.compile(r"\bstd::(?:recursive_|shared_|timed_)?mutex\b")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;]*?>\s+(\w+)")
+WALK_READ_RE = re.compile(r"(?:\.|->)walk(?:\(\)|_\b)")
+MISS_GUARD_RE = re.compile(r"\bMiss\b|\.hit\b|!\s*hit\b")
+R4_LOOKBACK = 30
+
+COUNTER_MEMBER_RE = re.compile(r"^\s*Count\s+(\w+_)\s*(?:=[^;]*)?;")
+CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+(?:ATSCALE_\w+(?:\([^)]*\))?\s+)?(\w+)[^;]*$")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def render(self):
+        tag = " [suppressed: %s]" % self.reason if self.suppressed else ""
+        return "%s:%d: %s: %s%s" % (self.path, self.line, self.rule,
+                                    self.message, tag)
+
+
+@dataclass
+class SourceFile:
+    path: str       # path relative to the scan root
+    raw_lines: list
+    code_lines: list = field(default_factory=list)  # comments/strings blanked
+    suppressions: dict = field(default_factory=dict)  # line no -> {rule: reason}
+
+
+def strip_comments_and_strings(lines):
+    """Blank out comments and string/char literals, preserving line
+    structure so findings keep their line numbers. Good enough for lint:
+    no trigraphs, no raw strings spanning macros."""
+    out = []
+    in_block = False
+    in_raw = None  # raw-string delimiter
+    for line in lines:
+        buf = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_raw is not None:
+                end = line.find(')' + in_raw + '"', i)
+                if end < 0:
+                    i = n
+                else:
+                    i = end + len(in_raw) + 2
+                    in_raw = None
+                continue
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    i = end + 2
+                    in_block = False
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch == 'R' and nxt == '"':
+                m = re.match(r'R"([^(]*)\(', line[i:])
+                if m:
+                    in_raw = m.group(1)
+                    i += m.end()
+                    continue
+            if ch in "\"'":
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == ch:
+                        break
+                    j += 1
+                i = j + 1
+                continue
+            buf.append(ch)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def load_file(root, rel):
+    with open(os.path.join(root, rel), encoding="utf-8",
+              errors="replace") as f:
+        raw = f.read().splitlines()
+    sf = SourceFile(path=rel, raw_lines=raw)
+    sf.code_lines = strip_comments_and_strings(raw)
+    for idx, line in enumerate(raw, start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            rule, reason = m.group(1), m.group(2).strip()
+            # A suppression covers its own line; a comment-only line
+            # covers the next line too.
+            sf.suppressions.setdefault(idx, {})[rule] = reason
+            if line.strip().startswith("//"):
+                sf.suppressions.setdefault(idx + 1, {})[rule] = reason
+    return sf
+
+
+def discover(root, paths):
+    rels = []
+    for top in paths:
+        absd = os.path.join(root, top)
+        if os.path.isfile(absd):
+            rels.append(os.path.relpath(absd, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absd):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in EXTENSIONS:
+                    rels.append(
+                        os.path.relpath(os.path.join(dirpath, name), root))
+    return rels
+
+
+def in_scope(rule, rel):
+    top = rel.split(os.sep, 1)[0]
+    return top in RULE_SCOPES[rule] or not any(
+        rel.startswith(d + os.sep) for d in SCAN_DIRS)
+
+
+class RegexEngine:
+    """Pure-regex implementation of every rule. Always available."""
+
+    name = "regex"
+
+    def check_r1(self, sf):
+        for idx, line in enumerate(sf.code_lines, start=1):
+            for pattern, what in R1_PATTERNS:
+                if pattern.search(line):
+                    yield Finding(sf.path, idx, "R1",
+                                  "nondeterministic source: %s — derive "
+                                  "from the seeded Rng or the simulated "
+                                  "clock" % what)
+
+    def _unordered_names(self, sf):
+        names = set()
+        for line in sf.code_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                names.add(m.group(1))
+        return names
+
+    def check_r2(self, sf):
+        names = self._unordered_names(sf)
+        if not names:
+            return
+        iter_res = [
+            (re.compile(r"for\s*\([^;)]*:\s*(?:\w+\s*(?:\.|->)\s*)?(%s)\s*\)"
+                        % "|".join(map(re.escape, sorted(names)))), "range-for"),
+            (re.compile(r"\b(%s)\s*(?:\.|->)\s*(?:begin|cbegin)\s*\("
+                        % "|".join(map(re.escape, sorted(names)))), "iterator"),
+        ]
+        for idx, line in enumerate(sf.code_lines, start=1):
+            for pattern, how in iter_res:
+                m = pattern.search(line)
+                if m:
+                    yield Finding(sf.path, idx, "R2",
+                                  "%s over unordered container '%s' — "
+                                  "iteration order is nondeterministic; "
+                                  "iterate a sorted or declared-order view"
+                                  % (how, m.group(1)))
+
+    def check_r4(self, sf):
+        for idx, line in enumerate(sf.code_lines, start=1):
+            if not WALK_READ_RE.search(line):
+                continue
+            lo = max(0, idx - R4_LOOKBACK)
+            window = sf.code_lines[lo:idx]
+            if not any(MISS_GUARD_RE.search(w) for w in window):
+                yield Finding(sf.path, idx, "R4",
+                              "MmuResult walk access with no TLB-miss "
+                              "guard in the preceding %d lines — the "
+                              "fields are undefined on TLB hits"
+                              % R4_LOOKBACK)
+
+    def check_r5(self, sf):
+        if sf.path == R5_EXEMPT:
+            return
+        for idx, line in enumerate(sf.code_lines, start=1):
+            if R5_RE.search(line):
+                yield Finding(sf.path, idx, "R5",
+                              "raw std::mutex — use atscale::Mutex from "
+                              "util/thread_annotations.hh so clang's "
+                              "thread-safety analysis covers it")
+
+    # ---- R3 (cross-file) -------------------------------------------------
+
+    def _stats_classes(self, files):
+        """Map class name -> (path, line, [counter members]) for classes
+        declaring registerStats or resetStats."""
+        classes = {}
+        for sf in files:
+            if not in_scope("R3", sf.path):
+                continue
+            stack = []  # (class name or None, brace depth at entry)
+            depth = 0
+            pending = None
+            for idx, line in enumerate(sf.code_lines, start=1):
+                if pending is None:
+                    m = CLASS_RE.match(line)
+                    if m and not line.rstrip().endswith(";"):
+                        pending = m.group(1)
+                for ch in line:
+                    if ch == "{":
+                        depth += 1
+                        if pending is not None:
+                            stack.append((pending, depth, idx))
+                            classes.setdefault(
+                                pending,
+                                {"path": sf.path, "line": idx,
+                                 "counters": [], "has_stats": False})
+                            pending = None
+                    elif ch == "}":
+                        if stack and stack[-1][1] == depth:
+                            stack.pop()
+                        depth -= 1
+                if stack:
+                    cls = classes[stack[-1][0]]
+                    cm = COUNTER_MEMBER_RE.match(line)
+                    if cm:
+                        cls["counters"].append((cm.group(1), idx))
+                    if "registerStats" in line or "resetStats" in line:
+                        cls["has_stats"] = True
+        return {name: info for name, info in classes.items()
+                if info["has_stats"] and info["counters"]}
+
+    def _registration_text(self, files):
+        """Concatenated text of every registerStats implementation body.
+        Brace tracking runs on the comment/string-stripped view, but the
+        collected text is the raw source: the registered stat *name*
+        (a string literal like ".initiated") is evidence of registration
+        just as much as the accessor call reading the counter."""
+        chunks = []
+        for sf in files:
+            text = sf.code_lines
+            for idx, line in enumerate(text):
+                if "registerStats" not in line:
+                    continue
+                depth = 0
+                started = False
+                j = idx
+                body = []
+                while j < len(text):
+                    declaration_end = False
+                    for ch in text[j]:
+                        if ch == "{":
+                            depth += 1
+                            started = True
+                        elif ch == "}":
+                            depth -= 1
+                        elif ch == ";" and depth == 0 and not started:
+                            # `registerStats(...);` with no body: a
+                            # declaration, not registration evidence.
+                            declaration_end = True
+                            break
+                    if declaration_end:
+                        body = []
+                        break
+                    body.append(sf.raw_lines[j])
+                    if started and depth <= 0:
+                        break
+                    j += 1
+                    if j - idx > 200:  # runaway: unbalanced braces
+                        body = []
+                        break
+                chunks.extend(body)
+        return "\n".join(chunks).lower()
+
+    def check_r3(self, files):
+        reg_text = self._registration_text(files)
+        for cls, info in sorted(self._stats_classes(files).items()):
+            for member, line in info["counters"]:
+                accessor = member.rstrip("_").lower()
+                if accessor in reg_text or member.lower() in reg_text:
+                    continue
+                yield Finding(info["path"], line, "R3",
+                              "counter '%s' of stats-bearing class %s is "
+                              "never registered with StatsRegistry — "
+                              "register it (or suppress with a reason if "
+                              "it is internal bookkeeping, not a "
+                              "statistic)" % (member, cls))
+
+
+class ClangEngine(RegexEngine):
+    """AST-backed refinement of R2/R5 when python libclang is available.
+
+    Inherits the regex implementations for R1/R3/R4, which are textual
+    properties anyway (R1: banned identifiers; R4: guard proximity).
+    Any parse failure falls back to the regex rule for that file, so a
+    missing header or version skew can never turn the gate off.
+    """
+
+    name = "libclang"
+
+    def __init__(self, cindex, root):
+        self.cindex = cindex
+        self.root = root
+        self.index = cindex.Index.create()
+        self.args = ["-x", "c++", "-std=c++20",
+                     "-I", os.path.join(root, "src")]
+
+    def _parse(self, sf):
+        return self.index.parse(os.path.join(self.root, sf.path),
+                                args=self.args)
+
+    def _walk(self, cursor, sf_abs):
+        for child in cursor.get_children():
+            if child.location.file and child.location.file.name == sf_abs:
+                yield child
+                yield from self._walk(child, sf_abs)
+
+    def check_r2(self, sf):
+        try:
+            tu = self._parse(sf)
+            sf_abs = os.path.join(self.root, sf.path)
+            kind = self.cindex.CursorKind
+            found = False
+            for cur in self._walk(tu.cursor, sf_abs):
+                if cur.kind != kind.CXX_FOR_RANGE_STMT:
+                    continue
+                children = list(cur.get_children())
+                if not children:
+                    continue
+                range_type = children[-2].type.spelling if len(
+                    children) >= 2 else ""
+                if "unordered_map" in range_type or \
+                        "unordered_set" in range_type:
+                    found = True
+                    yield Finding(sf.path, cur.location.line, "R2",
+                                  "range-for over unordered container "
+                                  "(%s) — iteration order is "
+                                  "nondeterministic" % range_type)
+            # AST found nothing: trust it only if the regex agrees there
+            # is nothing; a parse hiccup silently dropping the loop body
+            # must not hide a finding.
+            if not found:
+                yield from super().check_r2(sf)
+        except Exception:
+            yield from super().check_r2(sf)
+
+    def check_r5(self, sf):
+        if sf.path == R5_EXEMPT:
+            return
+        try:
+            tu = self._parse(sf)
+            sf_abs = os.path.join(self.root, sf.path)
+            kind = self.cindex.CursorKind
+            reported = set()
+            for cur in self._walk(tu.cursor, sf_abs):
+                if cur.kind not in (kind.FIELD_DECL, kind.VAR_DECL):
+                    continue
+                if R5_RE.search(cur.type.spelling or ""):
+                    if cur.location.line not in reported:
+                        reported.add(cur.location.line)
+                        yield Finding(sf.path, cur.location.line, "R5",
+                                      "raw %s member/variable — use "
+                                      "atscale::Mutex" % cur.type.spelling)
+            yield from (f for f in super().check_r5(sf)
+                        if f.line not in reported)
+        except Exception:
+            yield from super().check_r5(sf)
+
+
+def make_engine(requested, root):
+    if requested in ("auto", "libclang"):
+        try:
+            import clang.cindex as cindex  # noqa: deferred, optional
+            cindex.Index.create()
+            return ClangEngine(cindex, root)
+        except Exception:
+            if requested == "libclang":
+                print("atscale-lint: libclang requested but unavailable; "
+                      "falling back to the regex engine", file=sys.stderr)
+    return RegexEngine()
+
+
+def apply_suppressions(findings, files_by_path):
+    for f in findings:
+        sup = files_by_path[f.path].suppressions.get(f.line, {})
+        if f.rule in sup:
+            f.suppressed = True
+            f.reason = sup[f.rule]
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="atscale-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to scan "
+                             "(default: %s)" % " ".join(SCAN_DIRS))
+    parser.add_argument("--root", default=".",
+                        help="repo root (scopes like 'src/' are resolved "
+                             "against it)")
+    parser.add_argument("--engine", choices=["auto", "libclang", "regex"],
+                        default="auto")
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    parser.add_argument("--max-suppressions", type=int, default=None,
+                        help="fail if the repo carries more than N "
+                             "suppressions (CI uses 10)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the summary and failures")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or [d for d in SCAN_DIRS
+                           if os.path.isdir(os.path.join(root, d))]
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    rels = discover(root, paths)
+    files = [load_file(root, rel) for rel in rels]
+    files_by_path = {sf.path: sf for sf in files}
+    engine = make_engine(args.engine, root)
+
+    findings = []
+    per_file_checks = {"R1": "check_r1", "R2": "check_r2",
+                       "R4": "check_r4", "R5": "check_r5"}
+    for sf in files:
+        for rule, method in per_file_checks.items():
+            if rule in rules and in_scope(rule, sf.path):
+                findings.extend(getattr(engine, method)(sf))
+    if "R3" in rules:
+        findings.extend(engine.check_r3(files))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    apply_suppressions(findings, files_by_path)
+
+    unsuppressed = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    if args.json:
+        print(json.dumps([f.__dict__ for f in findings], indent=2))
+    else:
+        for f in findings:
+            if not f.suppressed or not args.quiet:
+                print(f.render())
+        print("atscale-lint (%s engine): %d files, %d finding(s), "
+              "%d suppressed" % (engine.name, len(files),
+                                 len(unsuppressed), len(suppressed)))
+
+    status = 0
+    if unsuppressed:
+        status = 1
+    if args.max_suppressions is not None and \
+            len(suppressed) > args.max_suppressions:
+        print("atscale-lint: %d suppressions exceed the budget of %d — "
+              "fix some findings or raise the budget deliberately"
+              % (len(suppressed), args.max_suppressions), file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+// R1 fixture: ambient wall-clock and randomness in src/. Every line
+// below must be flagged — results would stop being a pure function of
+// the RunSpec seed.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace atscale_fixture
+{
+
+unsigned long long
+seedFromAmbientState()
+{
+    auto t = std::chrono::steady_clock::now();
+    std::random_device entropy;
+    std::srand(42);
+    unsigned long long mixed = static_cast<unsigned long long>(std::rand());
+    return mixed + entropy() +
+           static_cast<unsigned long long>(t.time_since_epoch().count());
+}
+
+} // namespace atscale_fixture

@@ -1,0 +1,32 @@
+// R2 fixture: iterating an unordered container straight into output.
+// The emission order depends on the hash function and load factor, so
+// two runs (or two standard libraries) print different bytes.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace atscale_fixture
+{
+
+struct ResultSink
+{
+    std::unordered_map<std::string, double> byName;
+
+    void
+    emit() const
+    {
+        for (const auto &entry : byName)
+            std::printf("%s %f\n", entry.first.c_str(), entry.second);
+    }
+
+    double
+    sumViaIterators() const
+    {
+        double sum = 0.0;
+        for (auto it = byName.begin(); it != byName.end(); ++it)
+            sum += it->second;
+        return sum;
+    }
+};
+
+} // namespace atscale_fixture

@@ -1,0 +1,37 @@
+// R3 fixture: a stats-bearing class (declares registerStats) with a
+// counter member the registration body never mentions. The orphan
+// counter exists, increments, and is invisible to every snapshot —
+// exactly the completeness violation the exactness contract forbids.
+#include <cstdint>
+#include <string>
+
+namespace atscale_fixture
+{
+
+using Count = std::uint64_t;
+class StatsRegistry;
+
+class LeakyCounters
+{
+  public:
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
+
+    Count probes() const { return probes_; }
+
+  private:
+    Count probes_ = 0;
+    Count orphanDrops_ = 0;
+};
+
+void
+LeakyCounters::registerStats(StatsRegistry &registry,
+                             const std::string &prefix) const
+{
+    // Registers the probe counter but forgets the drop counter.
+    (void)registry;
+    (void)prefix;
+    (void)probes_;
+}
+
+} // namespace atscale_fixture

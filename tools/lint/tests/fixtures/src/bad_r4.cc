@@ -1,0 +1,26 @@
+// R4 fixture: reading MmuResult walk fields with no TLB-miss guard
+// anywhere nearby. On a TLB hit those fields were never written (the
+// fast path does zero walk bookkeeping), so this reads garbage.
+#include <cstdint>
+
+namespace atscale_fixture
+{
+
+struct FakeWalk
+{
+    std::uint64_t cycles = 0;
+};
+
+struct FakeResult
+{
+    const FakeWalk &walk() const { return walk_; }
+    FakeWalk walk_;
+};
+
+std::uint64_t
+chargeWalkCyclesUnconditionally(const FakeResult &result)
+{
+    return result.walk().cycles;
+}
+
+} // namespace atscale_fixture

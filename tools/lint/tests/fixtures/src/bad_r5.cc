@@ -1,0 +1,24 @@
+// R5 fixture: a raw std::mutex member. Clang's thread-safety analysis
+// cannot see through an unannotated mutex, so the locking discipline
+// around `value_` is unprovable — use atscale::Mutex instead.
+#include <mutex>
+
+namespace atscale_fixture
+{
+
+class SharedBox
+{
+  public:
+    void
+    set(int value)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        value_ = value;
+    }
+
+  private:
+    std::mutex mu_;
+    int value_ = 0;
+};
+
+} // namespace atscale_fixture

@@ -1,0 +1,47 @@
+// Negative fixture: idiomatic code that must produce zero findings —
+// ordered-map iteration, seeded RNG-style state, a guarded walk read,
+// and the annotated mutex pattern (spelled without std::mutex here so
+// the fixture does not depend on the real tree's headers).
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace atscale_fixture
+{
+
+struct OrderedSink
+{
+    std::map<std::string, double> byName;
+
+    void
+    emit() const
+    {
+        for (const auto &entry : byName)
+            std::printf("%s %f\n", entry.first.c_str(), entry.second);
+    }
+};
+
+struct FakeWalk
+{
+    std::uint64_t cycles = 0;
+};
+
+enum class TlbLevel { L1, L2, Miss };
+
+struct FakeResult
+{
+    TlbLevel tlbLevel = TlbLevel::Miss;
+    const FakeWalk &walk() const { return walk_; }
+    FakeWalk walk_;
+};
+
+std::uint64_t
+chargeWalkCyclesGuarded(const FakeResult &result)
+{
+    if (result.tlbLevel != TlbLevel::Miss)
+        return 0;
+    return result.walk().cycles;
+}
+
+} // namespace atscale_fixture

@@ -1,0 +1,17 @@
+// Suppression fixture: the same R5 violation as bad_r5.cc, but carrying
+// an inline allow() with a reason — the tool must count it as
+// suppressed and exit 0.
+#include <mutex>
+
+namespace atscale_fixture
+{
+
+class ExternallyImposedBox
+{
+  private:
+    // atscale-lint: allow(R5 type must stay layout-compatible with a C API)
+    std::mutex mu_;
+    int value_ = 0;
+};
+
+} // namespace atscale_fixture
