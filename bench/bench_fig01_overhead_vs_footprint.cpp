@@ -8,6 +8,8 @@
 #include <iostream>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "bench/common.hh"
 #include "core/correlation.hh"
@@ -25,7 +27,8 @@ main(int argc, char **argv)
     initBench(argc, argv);
 
     // --jobs-dry-run: print the expanded job list (workload x footprint
-    // x page size) with each spec's cache status, without executing.
+    // x page size) with each spec's cache status and the planned lane
+    // grouping, without executing.
     bool dry_run = false;
     for (int i = 1; i < argc; ++i)
         dry_run = dry_run || std::string(argv[i]) == "--jobs-dry-run";
@@ -33,8 +36,9 @@ main(int argc, char **argv)
         SweepEngine engine;
         auto jobs = overheadSweepJobs(workloadNames(), footprints(),
                                       baseRunConfig());
+        auto entries = engine.plan(jobs);
         std::size_t cached = 0, duplicates = 0;
-        for (const SweepPlanEntry &entry : engine.plan(jobs)) {
+        for (const SweepPlanEntry &entry : entries) {
             const char *status = entry.duplicate ? "duplicate"
                                  : entry.cached  ? "cached"
                                                  : "pending";
@@ -42,9 +46,37 @@ main(int argc, char **argv)
             cached += entry.cached && !entry.duplicate;
             duplicates += entry.duplicate;
         }
+        // Planned lockstep lane groups: pending jobs sharing a stream
+        // identity execute over one shared generator (empty with
+        // --no-lanes or a fully cached sweep).
+        std::vector<std::pair<std::string, std::vector<std::size_t>>>
+            groups;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].laneGroup.empty())
+                continue;
+            auto it = groups.begin();
+            for (; it != groups.end(); ++it)
+                if (it->first == entries[i].laneGroup)
+                    break;
+            if (it == groups.end())
+                it = groups.emplace(groups.end(), entries[i].laneGroup,
+                                    std::vector<std::size_t>{});
+            it->second.push_back(i);
+        }
+        if (!groups.empty())
+            std::cout << "\nplanned lane groups:\n";
+        for (const auto &[key, members] : groups) {
+            std::cout << "  " << key << "  (" << members.size()
+                      << " lane" << (members.size() == 1 ? "" : "s")
+                      << ")\n";
+            for (std::size_t i : members)
+                std::cout << "    - " << entries[i].spec.describe()
+                          << '\n';
+        }
         std::cout << jobs.size() << " jobs (" << jobs.size() - duplicates
-                  << " unique, " << cached << " cached) on "
-                  << engine.threads() << " thread(s)\n";
+                  << " unique, " << cached << " cached, " << groups.size()
+                  << " lane groups) on " << engine.threads()
+                  << " thread(s)\n";
         return 0;
     }
 

@@ -1,0 +1,329 @@
+#include "core/lane_exec.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "core/run_cache.hh"
+#include "obs/session.hh"
+#include "util/logging.hh"
+#include "util/thread_annotations.hh"
+#include "workloads/registry.hh"
+
+namespace atscale
+{
+
+bool
+lanesDefault()
+{
+    const char *off = std::getenv("ATSCALE_NO_LANES");
+    if (off && *off && *off != '0')
+        return false;
+    const char *on = std::getenv("ATSCALE_LANES");
+    if (on && *on && *on != '0')
+        return true;
+    // Lane groups run one worker thread per lane. On a single-core host
+    // that parallelism has nowhere to go, and interleaving the lanes'
+    // simulated TLB/cache/page-table working sets through one core's
+    // cache is measurably slower than running each lane standalone
+    // (docs/PERF.md §lanes), so lanes default off there.
+    return std::thread::hardware_concurrency() > 1;
+}
+
+namespace
+{
+
+/** Everything one executing lane owns during a lockstep run. */
+struct LaneState
+{
+    const LaneJob *job = nullptr;
+    /** Index into the caller's lane list (results slot). */
+    std::size_t slot = 0;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<LaneRefView> view;
+    bool observing = false;
+    /** Observe cadence in refs (0 = no windowed observation). */
+    Count obsChunk = 0;
+    /** References executed so far (warm-up + measurement). */
+    Count consumed = 0;
+    /** Next observe position in absolute refs (0 = none scheduled). */
+    Count nextObserve = 0;
+    /** Past the warm-up boundary. */
+    bool measuring = false;
+};
+
+/**
+ * Open the measurement window exactly as runExperiment does between its
+ * warm-up and measurement run() calls: counter/stat resets, sampler
+ * baseline, and the first observe position (the standalone windowed loop
+ * observes after every min(chunk, remaining) refs).
+ */
+void
+openMeasurement(LaneState &lane)
+{
+    const RunSpec &spec = lane.job->spec;
+    Platform &platform = *lane.platform;
+    platform.core.resetCounters();
+    platform.mmu.resetStats();
+    platform.hierarchy.resetStats();
+    if (lane.observing)
+        lane.job->obs->beginMeasurement(platform.core.counters());
+    lane.measuring = true;
+    lane.nextObserve =
+        lane.obsChunk > 0
+            ? spec.warmupRefs + std::min(lane.obsChunk, spec.measureRefs)
+            : 0;
+}
+
+/**
+ * Run one lane over its share of the current shared chunk, splitting the
+ * consumption at the warm-up boundary and at observe positions. Core's
+ * cycle publication is invariant to this partitioning, so the splits are
+ * invisible in every counter.
+ */
+void
+consumeChunk(LaneState &lane, Count take)
+{
+    const RunSpec &spec = lane.job->spec;
+    const Count total = spec.warmupRefs + spec.measureRefs;
+    const Count end = lane.consumed + take;
+    while (lane.consumed < end) {
+        if (!lane.measuring && lane.consumed >= spec.warmupRefs)
+            openMeasurement(lane);
+        Count stop = end;
+        if (!lane.measuring)
+            stop = std::min(stop, spec.warmupRefs);
+        else if (lane.nextObserve > 0)
+            stop = std::min(stop, lane.nextObserve);
+        Count ran =
+            lane.platform->core.run(*lane.view, stop - lane.consumed);
+        panic_if(ran != stop - lane.consumed,
+                 "lane fell out of lockstep with the shared stream");
+        lane.consumed = stop;
+        if (lane.measuring && lane.nextObserve == stop) {
+            lane.job->obs->observe(lane.platform->core.counters());
+            lane.nextObserve =
+                stop == total
+                    ? 0
+                    : std::min(stop + lane.obsChunk, total);
+        }
+    }
+}
+
+/**
+ * A reusable generation barrier for the lockstep loop: when the last
+ * lane arrives, the completion hook runs exclusively (it advances the
+ * shared stream), then every lane is released into the next round. The
+ * mutex publishes the hook's writes to every lane, so the shared chunk
+ * and loop state need no atomics of their own.
+ */
+class LaneBarrier
+{
+  public:
+    LaneBarrier(std::size_t parties, std::function<void()> onAllArrived)
+        : parties_(parties), onAllArrived_(std::move(onAllArrived))
+    {
+    }
+
+    void
+    arriveAndWait()
+    {
+        MutexLock lock(mu_);
+        const std::uint64_t round = round_;
+        if (++arrived_ == parties_) {
+            onAllArrived_();
+            arrived_ = 0;
+            ++round_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.waitUntil(mu_, [&]() ATSCALE_REQUIRES(mu_) {
+            return round_ != round;
+        });
+    }
+
+  private:
+    const std::size_t parties_;
+    const std::function<void()> onAllArrived_;
+    Mutex mu_;
+    CondVar cv_;
+    std::size_t arrived_ ATSCALE_GUARDED_BY(mu_) = 0;
+    std::uint64_t round_ ATSCALE_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+std::vector<RunResult>
+runLaneGroup(const std::vector<LaneJob> &lanes, const LaneProbe &probe)
+{
+    panic_if(lanes.empty(), "empty lane group");
+    std::vector<RunResult> results(lanes.size());
+
+    // Per-lane cache pre-pass, mirroring runExperiment: satisfied lanes
+    // drop out of the group; observed lanes always execute (cached
+    // entries carry no windows or traces).
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        results[i].spec = lanes[i].spec;
+        const bool observing = lanes[i].obs && lanes[i].obs->enabled();
+        if (!observing && loadCachedRun(lanes[i].spec, results[i]))
+            continue;
+        live.push_back(i);
+    }
+    if (live.empty())
+        return results;
+
+    const RunSpec &lead = lanes[live.front()].spec;
+    for (std::size_t i : live) {
+        fatal_if(lanes[i].spec.laneGroupKey() != lead.laneGroupKey(),
+                 "lane group mixes reference streams: '%s' vs '%s'",
+                 lanes[i].spec.laneGroupKey().c_str(),
+                 lead.laneGroupKey().c_str());
+    }
+
+    // A group of one (as declared, or after cache dropouts) is exactly a
+    // standalone run; take that path unless a probe needs the platform.
+    if (live.size() == 1 && !probe) {
+        const LaneJob &only = lanes[live.front()];
+        const bool observing = only.obs && only.obs->enabled();
+        results[live.front()] = runExperiment(
+            only.spec, only.params, observing ? only.obs : nullptr);
+        return results;
+    }
+
+    std::vector<LaneState> group(live.size());
+    for (std::size_t k = 0; k < group.size(); ++k) {
+        LaneState &lane = group[k];
+        lane.job = &lanes[live[k]];
+        lane.slot = live[k];
+        const RunSpec &spec = lane.job->spec;
+        lane.workload = createWorkload(spec.workload);
+        fatal_if(!lane.workload->supports(spec.mode),
+                 "workload '%s' does not support the requested mode",
+                 spec.workload.c_str());
+        PlatformParams run_params = lane.job->params;
+        run_params.mmu.fastPath = run_params.mmu.fastPath && spec.fastPath;
+        lane.platform = std::make_unique<Platform>(
+            run_params, spec.pageSize, lane.workload->traits(),
+            spec.seed * 0x9e37 + 7);
+        lane.observing = lane.job->obs && lane.job->obs->enabled();
+        lane.obsChunk = lane.observing ? lane.job->obs->chunkRefs() : 0;
+    }
+
+    // The shared stream lives in the primary (first live) lane's space.
+    // Generators emit base + layout-independent offsets, so which lane
+    // hosts the stream does not affect any lane's rebased addresses.
+    LaneState &primary = group.front();
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = lead.footprintBytes;
+    wl_config.seed = lead.seed;
+    wl_config.mode = lead.mode;
+    std::unique_ptr<RefSource> stream =
+        primary.workload->instantiate(primary.platform->space, wl_config);
+    RefChunkFanout fanout(*stream);
+
+    // Replay the primary's region reservations into every other lane's
+    // space — mapRegion calls are all instantiate() does to a space, and
+    // Vma::size records the raw requested bytes — then derive each
+    // lane's base-to-base remap table.
+    const std::vector<Vma> &home = primary.platform->space.vmas();
+    for (std::size_t k = 0; k < group.size(); ++k) {
+        std::vector<RegionRemap> remaps;
+        remaps.reserve(home.size());
+        for (const Vma &vma : home) {
+            Addr to = k == 0 ? vma.base
+                             : group[k].platform->space.mapRegion(vma.name,
+                                                                  vma.size);
+            remaps.push_back(RegionRemap{vma.base, to, vma.size});
+        }
+        group[k].view =
+            std::make_unique<LaneRefView>(fanout, std::move(remaps));
+    }
+
+    // Per-lane observability, wired as runExperiment wires it. The
+    // shared stream registers into each observing lane's registry; its
+    // end-of-run state equals a standalone stream's (same fill count),
+    // so the materialized workload stats match too.
+    for (LaneState &lane : group) {
+        if (!lane.observing)
+            continue;
+        ObsSession &obs = *lane.job->obs;
+        lane.platform->registerStats(obs.registry());
+        stream->registerStats(obs.registry(), "workload");
+        lane.platform->core.attachTracer(obs.tracer());
+    }
+
+    // Lockstep: advance the shared stream one chunk, run every lane over
+    // it on its own worker thread, repeat. The chunk is generated once
+    // per round, and pinning each lane to one thread keeps that lane's
+    // simulated TLB/cache/page-table state hot in a single host core's
+    // cache — interleaving all K working sets on one core is measurably
+    // slower than standalone runs (docs/PERF.md §lanes). Per-lane state
+    // is thread-private; the only shared state is the chunk buffer and
+    // the loop cursor, both written solely by the barrier's completion
+    // hook while every lane is parked.
+    const Count total = lead.warmupRefs + lead.measureRefs;
+    Count consumed = 0;
+    Count take = 0;
+    auto advanceShared = [&]() {
+        take = 0;
+        if (consumed >= total)
+            return;
+        // advance() returning short (or zero) means the stream is
+        // exhausted; the final round hands out what remains.
+        take = std::min(fanout.advance(), total - consumed);
+        consumed += take;
+    };
+    advanceShared(); // first chunk, before the workers exist
+    LaneBarrier barrier(group.size(), advanceShared);
+    auto laneMain = [&](LaneState &lane) {
+        // `take` is stable between barriers: the completion hook is the
+        // only writer, it runs while every lane is parked inside
+        // arriveAndWait(), and the barrier's mutex publishes the value.
+        while (take > 0) {
+            consumeChunk(lane, take);
+            barrier.arriveAndWait();
+        }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(group.size() - 1);
+    for (std::size_t k = 1; k < group.size(); ++k)
+        workers.emplace_back([&, k] { laneMain(group[k]); });
+    laneMain(group.front());
+    for (std::thread &worker : workers)
+        worker.join();
+
+    // Exhaustion: the standalone driver still opens the measurement
+    // window after a short warm-up and (when windowed) observes once
+    // after the final short measurement run; mirror both.
+    for (LaneState &lane : group) {
+        if (lane.consumed >= total)
+            continue;
+        if (!lane.measuring)
+            openMeasurement(lane);
+        if (lane.obsChunk > 0)
+            lane.job->obs->observe(lane.platform->core.counters());
+    }
+
+    for (LaneState &lane : group) {
+        RunResult &result = results[lane.slot];
+        result.counters = lane.platform->core.counters();
+        result.footprintTouched = lane.platform->space.footprintBytes();
+        result.pageTableBytes =
+            lane.platform->space.pageTable().nodeBytes();
+        if (probe)
+            probe(lane.slot, *lane.platform);
+        if (lane.observing) {
+            lane.job->obs->finishRun();
+            lane.platform->core.attachTracer(nullptr);
+        } else {
+            storeCachedRun(lane.job->spec, result);
+        }
+    }
+    return results;
+}
+
+} // namespace atscale

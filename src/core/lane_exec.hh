@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lockstep multi-lane execution: one reference stream, K platforms.
+ *
+ * The paper's central metric — AT overhead t_4KB - min(t_2MB, t_1GB) —
+ * needs the *same* workload stream simulated under several platform
+ * configurations. A LaneGroup generates that stream once: the primary
+ * lane's workload instance feeds a RefChunkFanout, and every lane — a
+ * full Core+Mmu+CacheHierarchy for one RunSpec — consumes each
+ * refStreamChunk batch (rebased into its own virtual layout, see
+ * LaneRefView) before the stream advances. Generation cost is paid once
+ * and the chunk stays hot in the host cache across all K consumers.
+ *
+ * Exactness is the contract: every lane's counters, microarchitectural
+ * state, and exported JSON are byte-identical to a standalone
+ * runExperiment() of the same spec (enforced by tests/test_lane_exec.cc;
+ * escape hatch: --no-lanes / ATSCALE_NO_LANES). The argument, piece by
+ * piece:
+ *
+ *  - Stream identity. Workload generators emit region base + offset
+ *    where the offset sequence never depends on the base, so the shared
+ *    stream (instantiated in the primary lane's space) carries the same
+ *    offsets every lane's private stream would, and per-region rebasing
+ *    reproduces each lane's absolute addresses exactly.
+ *  - Fetch cadence. Core::run fetches in whole refStreamChunk batches
+ *    and its buffer persists across calls, so a standalone run's fetch
+ *    boundaries fall at chunk multiples — exactly where the fanout
+ *    advances. Wrong-path draws forwarded to the shared generator
+ *    therefore see the same run-ahead cursor state, and use only the
+ *    calling lane's rng (the RefSource::wrongPathAddr contract).
+ *  - Partition invariance. Core publishes whole cycles on every run()
+ *    call boundary such that published totals depend only on the stream
+ *    position, so splitting a lane's execution at chunk/warm-up/observe
+ *    boundaries cannot change any counter.
+ */
+
+#ifndef ATSCALE_CORE_LANE_EXEC_HH
+#define ATSCALE_CORE_LANE_EXEC_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace atscale
+{
+
+/**
+ * One lane of a lockstep group: a spec, the platform parameters to run
+ * it under, and optional per-lane observability (each lane samples,
+ * traces, and registers stats independently, exactly as its standalone
+ * run would).
+ */
+struct LaneJob
+{
+    RunSpec spec;
+    PlatformParams params{};
+    ObsSession *obs = nullptr;
+};
+
+/**
+ * Default for lane execution in this process. Explicit overrides win:
+ * ATSCALE_NO_LANES (or --no-lanes via extractSweepFlags) forces lanes
+ * off, else ATSCALE_LANES (or --lanes) forces them on. With neither
+ * set, lanes are on exactly when the host has more than one core —
+ * each lane runs on its own worker thread, so a single-core host gains
+ * nothing and pays the cache cost of interleaving every lane's working
+ * set through one core (docs/PERF.md §lanes).
+ */
+bool lanesDefault();
+
+/**
+ * Called per executed lane after its measurement window closes but
+ * before the platform is torn down, with the lane's index into the
+ * group's job list. Lets the differential suite hash microarchitectural
+ * state; never used on the production path.
+ */
+using LaneProbe = std::function<void(std::size_t, const Platform &)>;
+
+/**
+ * Execute a group of lanes over one shared reference stream.
+ *
+ * Every lane must share laneGroupKey() (same workload, footprint, mode,
+ * window sizes, seed); page size, fast-path setting, and platform
+ * parameters are free to differ per lane. Results are returned in
+ * declared order. Lanes whose result the on-disk cache already holds are
+ * served from it and drop out of the group (observed lanes always
+ * execute, as in runExperiment); unobserved executed lanes are stored
+ * back to the cache. A group that shrinks to one unobserved, unprobed
+ * lane degenerates to runExperiment().
+ *
+ * @param probe optional per-executed-lane state hook (tests only)
+ */
+std::vector<RunResult> runLaneGroup(const std::vector<LaneJob> &lanes,
+                                    const LaneProbe &probe = {});
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_LANE_EXEC_HH

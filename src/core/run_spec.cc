@@ -54,6 +54,20 @@ RunSpec::describe() const
     return text;
 }
 
+std::string
+RunSpec::laneGroupKey() const
+{
+    char buf[320];
+    std::snprintf(buf, sizeof(buf), "%s_f%llu_m%d_w%llu_n%llu_s%llu",
+                  workload.c_str(),
+                  static_cast<unsigned long long>(footprintBytes),
+                  static_cast<int>(mode),
+                  static_cast<unsigned long long>(warmupRefs),
+                  static_cast<unsigned long long>(measureRefs),
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
 std::uint64_t
 RunSpec::hash() const
 {

@@ -85,6 +85,17 @@ struct RunSpec
     /** One-line human description for progress and dry-run listings. */
     std::string describe() const;
 
+    /**
+     * Key over exactly the fields that select the reference stream
+     * (workload, footprint, mode, window sizes, seed). Specs sharing a
+     * key consume bit-identical streams, so the sweep engine may execute
+     * them as lockstep lanes over one shared generator (core/lane_exec);
+     * platform-side knobs — pageSize, fastPath, platformTag — are
+     * deliberately excluded, which is what makes page-size and
+     * MMU-ablation variants co-schedulable.
+     */
+    std::string laneGroupKey() const;
+
     /** Process-stable value hash over all fields (FNV-1a based). */
     std::uint64_t hash() const;
 };

@@ -8,6 +8,7 @@
 #include <unistd.h>
 #include <unordered_map>
 
+#include "core/lane_exec.hh"
 #include "core/run_cache.hh"
 #include "core/run_export.hh"
 #include "util/logging.hh"
@@ -124,6 +125,20 @@ extractSweepFlags(int &argc, char **argv, std::string &error)
             setenv("ATSCALE_NO_FASTPATH", "1", 1);
             continue;
         }
+        if (arg == "--no-lanes") {
+            // Escape hatch: run every job standalone instead of in
+            // lockstep lane groups (A/B validation of the lane
+            // exactness contract, or isolating a suspect job).
+            setenv("ATSCALE_NO_LANES", "1", 1);
+            continue;
+        }
+        if (arg == "--lanes") {
+            // Force lane groups on even where lanesDefault() would
+            // decline them (a single-core host) — exactness A/B runs
+            // and the differential suite use this.
+            setenv("ATSCALE_LANES", "1", 1);
+            continue;
+        }
         argv[out++] = argv[i];
     }
     argc = out;
@@ -131,7 +146,9 @@ extractSweepFlags(int &argc, char **argv, std::string &error)
 }
 
 SweepEngine::SweepEngine(SweepOptions options)
-    : options_(std::move(options)), threads_(resolveThreads(options_.threads))
+    : options_(std::move(options)),
+      threads_(resolveThreads(options_.threads)),
+      lanes_(options_.lanes && lanesDefault())
 {
 }
 
@@ -146,38 +163,45 @@ SweepEngine::plan(const std::vector<SweepJob> &jobs) const
         entry.spec = job.spec;
         entry.duplicate = !seen.try_emplace(job.spec, entries.size()).second;
         entry.cached = cachedRunExists(job.spec);
+        // Jobs that would execute are grouped exactly as run() groups
+        // them: by stream identity, cached/duplicate entries dropped.
+        if (lanes_ && !entry.duplicate && !entry.cached)
+            entry.laneGroup = job.spec.laneGroupKey();
         entries.push_back(std::move(entry));
     }
     return entries;
 }
 
 void
-SweepEngine::noteRunning()
+SweepEngine::noteRunning(std::size_t jobs)
 {
     MutexLock lock(mu_);
-    ++progress_.running;
+    progress_.running += jobs;
     if (options_.onProgress)
         options_.onProgress(progress_);
 }
 
 void
-SweepEngine::noteFinished(bool cached)
+SweepEngine::noteFinished(bool cached, std::size_t jobs, bool laneShared)
 {
     MutexLock lock(mu_);
     if (cached) {
-        ++progress_.cached;
+        progress_.cached += jobs;
     } else {
-        --progress_.running;
-        ++progress_.completed;
+        progress_.running -= jobs;
+        progress_.completed += jobs;
+        if (laneShared)
+            progress_.laneShared += jobs;
     }
     if (options_.onProgress) {
         options_.onProgress(progress_);
     } else if (stderrIsTty()) {
         std::fprintf(stderr,
-                     "\rsweep: %zu/%zu executed (%zu cached, %zu running) ",
+                     "\rsweep: %zu/%zu executed (%zu cached, "
+                     "%zu lane-shared, %zu running) ",
                      progress_.completed,
                      progress_.total - progress_.cached, progress_.cached,
-                     progress_.running);
+                     progress_.laneShared, progress_.running);
         std::fflush(stderr);
     }
 }
@@ -206,6 +230,52 @@ SweepEngine::executeJob(const SweepJob &job, RunResult &result)
     }
     for (const std::string &path : session.writeOutputs(job.params.freqGHz))
         written_.push_back(path);
+}
+
+void
+SweepEngine::executeLaneUnit(const std::vector<const SweepJob *> &unit,
+                             const std::vector<RunResult *> &results)
+{
+    // Co-scheduled jobs share one reference stream (core/lane_exec.hh);
+    // each lane still gets its own platform and — when observability is
+    // on — its own session with per-job output names, exactly as
+    // executeJob would give it.
+    const bool observing = options_.obs.any();
+    std::vector<LaneJob> lanes;
+    std::vector<ObsOptions> lane_obs;
+    std::vector<std::unique_ptr<ObsSession>> sessions;
+    lanes.reserve(unit.size());
+    for (const SweepJob *job : unit) {
+        LaneJob lane;
+        lane.spec = job->spec;
+        lane.params = job->params;
+        if (observing) {
+            lane_obs.push_back(options_.obs.forJob(job->spec.fileTag()));
+            sessions.push_back(
+                std::make_unique<ObsSession>(lane_obs.back()));
+            lane.obs = sessions.back().get();
+        }
+        lanes.push_back(std::move(lane));
+    }
+
+    std::vector<RunResult> lane_results = runLaneGroup(lanes);
+    for (std::size_t i = 0; i < unit.size(); ++i)
+        *results[i] = std::move(lane_results[i]);
+
+    if (!observing)
+        return;
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < unit.size(); ++i) {
+        if (!lane_obs[i].jsonOut.empty()) {
+            writeRunResultJsonFile(lane_obs[i].jsonOut, *results[i],
+                                   &sessions[i]->statsSnapshot(),
+                                   unit[i]->params.freqGHz);
+            written_.push_back(lane_obs[i].jsonOut);
+        }
+        for (const std::string &path :
+             sessions[i]->writeOutputs(unit[i]->params.freqGHz))
+            written_.push_back(path);
+    }
 }
 
 std::vector<RunResult>
@@ -237,32 +307,71 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
     const bool observing = options_.obs.any();
     for (std::size_t u = 0; u < uniq.size(); ++u) {
         if (!observing && loadCachedRun(jobs[uniq[u]].spec, results[u]))
-            noteFinished(true);
+            noteFinished(true, 1, false);
         else
             pending.push_back(u);
     }
 
-    if (!jobs.empty()) {
-        inform("sweep: %zu jobs (%zu unique, %zu cached) on %d thread(s)",
-               jobs.size(), uniq.size(), uniq.size() - pending.size(),
-               threads_);
+    // Partition the executable jobs into execution units: with lanes
+    // enabled, jobs sharing a stream identity (RunSpec::laneGroupKey)
+    // become one lockstep lane group — the stream is generated once for
+    // all of them — and everything else (or everything, with lanes off)
+    // runs standalone. Declared order is preserved within each group.
+    std::vector<std::vector<std::size_t>> units;
+    if (lanes_) {
+        std::unordered_map<std::string, std::size_t> groups;
+        for (std::size_t u : pending) {
+            auto [it, inserted] = groups.try_emplace(
+                jobs[uniq[u]].spec.laneGroupKey(), units.size());
+            if (inserted)
+                units.emplace_back();
+            units[it->second].push_back(u);
+        }
+    } else {
+        units.reserve(pending.size());
+        for (std::size_t u : pending)
+            units.emplace_back(1, u);
     }
 
-    if (!pending.empty()) {
+    if (!jobs.empty()) {
+        std::size_t lane_shared = 0;
+        for (const std::vector<std::size_t> &unit : units)
+            lane_shared += unit.size() > 1 ? unit.size() : 0;
+        inform("sweep: %zu jobs (%zu unique, %zu cached, %zu lane-shared)"
+               " on %d thread(s)",
+               jobs.size(), uniq.size(), uniq.size() - pending.size(),
+               lane_shared, threads_);
+    }
+
+    if (!units.empty()) {
         std::atomic<std::size_t> next{0};
         auto worker = [&] {
             for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= pending.size())
+                std::size_t w = next.fetch_add(1);
+                if (w >= units.size())
                     return;
-                std::size_t u = pending[i];
-                noteRunning();
-                executeJob(jobs[uniq[u]], results[u]);
-                noteFinished(false);
+                const std::vector<std::size_t> &unit = units[w];
+                noteRunning(unit.size());
+                if (unit.size() == 1) {
+                    std::size_t u = unit.front();
+                    executeJob(jobs[uniq[u]], results[u]);
+                    noteFinished(false, 1, false);
+                } else {
+                    std::vector<const SweepJob *> unit_jobs;
+                    std::vector<RunResult *> unit_results;
+                    unit_jobs.reserve(unit.size());
+                    unit_results.reserve(unit.size());
+                    for (std::size_t u : unit) {
+                        unit_jobs.push_back(&jobs[uniq[u]]);
+                        unit_results.push_back(&results[u]);
+                    }
+                    executeLaneUnit(unit_jobs, unit_results);
+                    noteFinished(false, unit.size(), true);
+                }
             }
         };
         int pool_size = static_cast<int>(
-            std::min<std::size_t>(threads_, pending.size()));
+            std::min<std::size_t>(threads_, units.size()));
         if (pool_size <= 1) {
             worker();
         } else {

@@ -58,12 +58,15 @@ std::vector<std::uint64_t> sweepFootprints();
 int resolveThreads(int requested = 0);
 
 /**
- * Extract engine flags (--threads=N, --no-fastpath) from argv,
- * compacting the remaining arguments in place as extractObsFlags does.
- * --threads wins over the ATSCALE_THREADS environment variable (it is
- * stored back into it, so engines constructed anywhere in the process
- * see it); --no-fastpath sets ATSCALE_NO_FASTPATH, which
- * benchx::baseRunConfig and fastPathDefault() consult.
+ * Extract engine flags (--threads=N, --no-fastpath, --no-lanes,
+ * --lanes) from argv, compacting the remaining arguments in place as
+ * extractObsFlags does. --threads wins over the ATSCALE_THREADS
+ * environment variable (it is stored back into it, so engines
+ * constructed anywhere in the process see it); --no-fastpath sets
+ * ATSCALE_NO_FASTPATH, which benchx::baseRunConfig and
+ * fastPathDefault() consult; --no-lanes / --lanes set ATSCALE_NO_LANES
+ * / ATSCALE_LANES, which lanesDefault() consults (the multi-lane
+ * executor's A/B escape hatch and single-core force-on).
  *
  * @return false with `error` set when a flag is malformed.
  */
@@ -90,6 +93,9 @@ struct SweepProgress
     std::size_t cached = 0;    ///< satisfied from the disk cache
     std::size_t completed = 0; ///< executed to completion (excl. cached)
     std::size_t running = 0;   ///< currently executing
+    /** Of `completed`, jobs that consumed a lane group's shared stream
+     * instead of generating their own (amortization at work). */
+    std::size_t laneShared = 0;
 };
 
 /** Pre-execution view of one declared job (for --jobs-dry-run). */
@@ -98,6 +104,11 @@ struct SweepPlanEntry
     RunSpec spec;
     bool cached = false;    ///< a disk-cache entry already exists
     bool duplicate = false; ///< same spec declared earlier in the list
+    /** Lockstep lane group this job would execute in (its
+     * RunSpec::laneGroupKey()); empty for cached/duplicate entries and
+     * when lane execution is disabled. Groups with one member run
+     * standalone. */
+    std::string laneGroup;
 };
 
 /** Engine configuration. */
@@ -116,6 +127,16 @@ struct SweepOptions
     ObsOptions obs;
     /** Optional progress callback; invoked under the engine's mutex. */
     std::function<void(const SweepProgress &)> onProgress;
+    /**
+     * Execute co-schedulable jobs as lockstep lanes over one shared
+     * reference stream (core/lane_exec.hh). Results are bit-identical
+     * either way — the lane exactness contract — so this knob is an
+     * escape hatch and A/B handle, not a modelling choice. The
+     * effective setting is `lanes && lanesDefault()` — explicit
+     * --no-lanes / --lanes (ATSCALE_NO_LANES / ATSCALE_LANES) overrides
+     * win, and with neither set lanes engage only on multi-core hosts.
+     */
+    bool lanes = true;
 };
 
 /**
@@ -130,6 +151,9 @@ class SweepEngine
 
     /** The resolved worker-thread count. */
     int threads() const { return threads_; }
+
+    /** Whether this engine schedules lockstep lane groups. */
+    bool lanesEnabled() const { return lanes_; }
 
     /**
      * Classify each declared job without executing anything: which specs
@@ -177,11 +201,17 @@ class SweepEngine
   private:
     void executeJob(const SweepJob &job, RunResult &result)
         ATSCALE_EXCLUDES(mu_);
-    void noteRunning() ATSCALE_EXCLUDES(mu_);
-    void noteFinished(bool cached) ATSCALE_EXCLUDES(mu_);
+    /** Execute one lane group (unit.size() >= 2 co-scheduled jobs). */
+    void executeLaneUnit(const std::vector<const SweepJob *> &unit,
+                         const std::vector<RunResult *> &results)
+        ATSCALE_EXCLUDES(mu_);
+    void noteRunning(std::size_t jobs) ATSCALE_EXCLUDES(mu_);
+    void noteFinished(bool cached, std::size_t jobs, bool laneShared)
+        ATSCALE_EXCLUDES(mu_);
 
     SweepOptions options_;
     int threads_ = 1;
+    bool lanes_ = true;
 
     /**
      * Serializes the worker threads' shared state: progress counters,

@@ -35,6 +35,14 @@ Core::Core(Mmu &mmu, CacheHierarchy &hierarchy, AddressSpace &space,
 }
 
 Count
+Core::refillChunk(RefSource &source)
+{
+    chunkLen_ = source.fill(chunk_.data(), refChunkSize);
+    chunkPos_ = 0;
+    return chunkLen_;
+}
+
+Count
 Core::run(RefSource &source, Count numRefs)
 {
     // Consume the stream in whole refChunkSize batches: one virtual
@@ -43,7 +51,8 @@ Core::run(RefSource &source, Count numRefs)
     // buffer persists across run() calls so fetch boundaries always fall
     // at the same stream positions no matter how a measurement is
     // partitioned — a windowed (observed) run consumes the stream
-    // identically to a single-shot run.
+    // identically to a single-shot run, and a lockstep lane run
+    // (core/lane_exec) identically to both.
     if (chunkSource_ != &source) {
         chunkSource_ = &source;
         chunkLen_ = 0;
@@ -52,12 +61,8 @@ Core::run(RefSource &source, Count numRefs)
     Count done = 0;
     double flushed = static_cast<double>(cycles());
     while (done < numRefs) {
-        if (chunkPos_ >= chunkLen_) {
-            chunkLen_ = source.fill(chunk_.data(), refChunkSize);
-            chunkPos_ = 0;
-            if (chunkLen_ == 0)
-                break;
-        }
+        if (chunkPos_ >= chunkLen_ && refillChunk(source) == 0)
+            break;
         executeRef(source, chunk_[chunkPos_++]);
         ++done;
     }

@@ -41,8 +41,11 @@ class Core : public TranslationListener
          const CoreParams &params, const WorkloadTraits &traits,
          std::uint64_t seed = 42);
 
-    /** References fetched per RefSource::fill call by run(). */
-    static constexpr Count refChunkSize = 256;
+    /** References fetched per RefSource::fill call by run(). Aliases the
+     * stream-layer constant so the multi-lane executor's shared-chunk
+     * cadence (cpu/ref_stream.hh) and the core's fetch cadence can never
+     * drift apart. */
+    static constexpr Count refChunkSize = refStreamChunk;
 
     /**
      * Execute up to numRefs references from the stream, fetched in
@@ -112,6 +115,13 @@ class Core : public TranslationListener
     void attachTracer(WalkTracer *tracer) { tracer_ = tracer; }
 
   private:
+    /**
+     * Advance the stream by one fetch chunk into the buffer (the
+     * stream-advance half of run(); consumption is the executeRef loop).
+     * @return references fetched (0 = stream exhausted)
+     */
+    Count refillChunk(RefSource &source);
+
     /** Execute one correct-path reference. */
     void executeRef(RefSource &source, const Ref &ref);
 

@@ -12,9 +12,12 @@
 #ifndef ATSCALE_CPU_REF_STREAM_HH
 #define ATSCALE_CPU_REF_STREAM_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/types.hh"
 
@@ -22,6 +25,15 @@ namespace atscale
 {
 
 class StatsRegistry;
+
+/**
+ * References fetched per RefSource::fill call by the timing core's
+ * fetch-ahead frontend (Core::refChunkSize aliases this). The multi-lane
+ * executor advances shared streams in exactly these units, so a lane's
+ * fetch boundaries land at the same stream positions a standalone run's
+ * would — the foundation of the lane exactness contract.
+ */
+constexpr Count refStreamChunk = 256;
 
 /** One correct-path memory reference. */
 struct Ref
@@ -93,6 +105,163 @@ class RefSource
         (void)registry;
         (void)prefix;
     }
+};
+
+/**
+ * Fan-out buffer over one upstream stream: generates each refStreamChunk
+ * batch exactly once and holds it for any number of LaneRefView consumers
+ * to replay. advance() moves the upstream by one chunk; the lockstep
+ * driver (core/lane_exec) calls it once per chunk and then runs every
+ * lane over the buffered references before advancing again, so the
+ * generator's work — and its host-cache-resident output — is shared by
+ * all lanes.
+ *
+ * At any chunk boundary the upstream's internal cursors equal those of a
+ * standalone stream that was consumed through Core::run (which also
+ * fetches in whole refStreamChunk batches), so wrongPathAddr() draws
+ * forwarded by the views see exactly the cursor state a standalone run
+ * would.
+ */
+class RefChunkFanout
+{
+  public:
+    explicit RefChunkFanout(RefSource &upstream) : upstream_(upstream) {}
+
+    /**
+     * Generate the next chunk from the upstream stream.
+     * @return references buffered (< refStreamChunk only at exhaustion)
+     */
+    Count
+    advance()
+    {
+        len_ = upstream_.fill(chunk_.data(), refStreamChunk);
+        ++sequence_;
+        return len_;
+    }
+
+    /** The current chunk's references. */
+    const Ref *chunk() const { return chunk_.data(); }
+
+    /** References in the current chunk. */
+    Count chunkLen() const { return len_; }
+
+    /** Monotone chunk counter (0 = nothing generated yet). */
+    std::uint64_t sequence() const { return sequence_; }
+
+    /** The shared generator (for wrong-path draws and stats). */
+    RefSource &upstream() const { return upstream_; }
+
+  private:
+    RefSource &upstream_;
+    std::array<Ref, refStreamChunk> chunk_{};
+    Count len_ = 0;
+    std::uint64_t sequence_ = 0;
+};
+
+/**
+ * One region's base-to-base address translation between two lanes'
+ * virtual layouts. AddressSpace::mapRegion aligns each region base to
+ * the lane's effective page size, so lanes backed by different page
+ * sizes place the same regions at different bases; workload generators
+ * only ever emit base + layout-independent offset (and wrongPathAddr
+ * results inside mapped regions), so rebasing by region is exact.
+ */
+struct RegionRemap
+{
+    /** Region base in the stream's home (primary-lane) layout. */
+    Addr from = 0;
+    /** The consuming lane's base for the same region. */
+    Addr to = 0;
+    /** Region span in bytes (identical across lanes). */
+    std::uint64_t size = 0;
+};
+
+/**
+ * One lane's view of a RefChunkFanout: fill() replays the current shared
+ * chunk, rebasing every address from the primary lane's region layout
+ * into this lane's, and wrongPathAddr() forwards to the shared generator
+ * (caller's rng, per the RefSource contract) and rebases its result.
+ * Strictly chunk-granular and lockstep: each buffered chunk may be
+ * filled at most once per view, and only through whole-chunk requests.
+ */
+class LaneRefView : public RefSource
+{
+  public:
+    LaneRefView(RefChunkFanout &fanout, std::vector<RegionRemap> remaps)
+        : fanout_(fanout), remaps_(std::move(remaps))
+    {
+        identity_ = true;
+        for (const RegionRemap &remap : remaps_)
+            identity_ = identity_ && remap.from == remap.to;
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        (void)ref;
+        panic("LaneRefView is chunk-granular; use fill()");
+    }
+
+    Count
+    fill(Ref *out, Count max) override
+    {
+        panic_if(max < fanout_.chunkLen(),
+                 "lane fetch smaller than the lockstep chunk");
+        panic_if(consumedSeq_ == fanout_.sequence(),
+                 "lane overran the lockstep chunk");
+        consumedSeq_ = fanout_.sequence();
+        Count n = fanout_.chunkLen();
+        const Ref *src = fanout_.chunk();
+        if (identity_) {
+            for (Count i = 0; i < n; ++i)
+                out[i] = src[i];
+            return n;
+        }
+        for (Count i = 0; i < n; ++i) {
+            out[i] = src[i];
+            out[i].vaddr = rebase(src[i].vaddr);
+        }
+        return n;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        Addr vaddr = fanout_.upstream().wrongPathAddr(rng);
+        return identity_ ? vaddr : rebase(vaddr);
+    }
+
+    void
+    registerStats(StatsRegistry &registry,
+                  const std::string &prefix) const override
+    {
+        fanout_.upstream().registerStats(registry, prefix);
+    }
+
+  private:
+    Addr
+    rebase(Addr vaddr)
+    {
+        // Streams touch the same region in bursts: check the last
+        // matching region before scanning (regions per workload: 1-4).
+        const RegionRemap &last = remaps_[lastRemap_];
+        if (vaddr - last.from < last.size)
+            return last.to + (vaddr - last.from);
+        for (std::size_t i = 0; i < remaps_.size(); ++i) {
+            if (vaddr - remaps_[i].from < remaps_[i].size) {
+                lastRemap_ = i;
+                return remaps_[i].to + (vaddr - remaps_[i].from);
+            }
+        }
+        panic("lane rebase: address %#lx outside every mapped region",
+              vaddr);
+    }
+
+    RefChunkFanout &fanout_;
+    std::vector<RegionRemap> remaps_;
+    std::size_t lastRemap_ = 0;
+    std::uint64_t consumedSeq_ = 0;
+    bool identity_ = true;
 };
 
 } // namespace atscale

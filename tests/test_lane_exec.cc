@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Differential suite for lockstep multi-lane execution.
+ *
+ * The lane executor's entire value rests on one claim: sharing the
+ * reference stream across platform configurations changes nothing except
+ * wall-clock time. This suite runs the same specs both ways — as a
+ * lockstep lane group and standalone — and demands exact equality of:
+ *
+ *  - every EventId counter (bit-for-bit, not approximately),
+ *  - the final microarchitectural state of the TLB complex, the
+ *    paging-structure caches, and the data cache hierarchy (contents,
+ *    recency, replacement metadata, statistics — via stateHash()),
+ *  - the exported RunResult JSON, byte for byte,
+ *
+ * across 3 workloads x 3 seeds with all three page-size backings as
+ * lanes (the hard case: 4K and 2M layouts place regions at different
+ * virtual bases, so every shared reference is rebased). It further
+ * proves that a cached lane dropping out of a group — including the
+ * primary, which hosts the shared stream — leaves the surviving lanes'
+ * results unchanged, and that the engine's serial and parallel lane
+ * scheduling produce byte-identical sweeps with lanes on or off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/lane_exec.hh"
+#include "core/platform.hh"
+#include "core/run_cache.hh"
+#include "core/run_export.hh"
+#include "core/sweep.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Workloads spanning the translation-relevant access-pattern space,
+ * all with several regions (so rebasing is actually exercised). */
+const char *const kWorkloads[] = {
+    "memcached-uniform", // uniform random over a big hash space
+    "pr-kron",           // skewed (Zipf hub) graph scan
+    "mcf-rand",          // pointer chasing (dependent random reads)
+};
+
+const std::uint64_t kSeeds[] = {1, 7, 1234};
+
+const PageSize kLanes[] = {PageSize::Size4K, PageSize::Size2M,
+                           PageSize::Size1G};
+
+RunSpec
+laneSpec(const std::string &workload, std::uint64_t seed, PageSize size)
+{
+    RunSpec spec;
+    spec.workload = workload;
+    spec.footprintBytes = 1ull << 24;
+    spec.pageSize = size;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 60'000;
+    spec.seed = seed;
+    return spec;
+}
+
+/** Scoped private cache directory (empty name disables the cache). */
+class ScopedCacheDir
+{
+  public:
+    explicit ScopedCacheDir(const std::string &name)
+    {
+        if (!name.empty()) {
+            path_ = ::testing::TempDir() + "/" + name;
+            std::filesystem::remove_all(path_);
+            std::filesystem::create_directories(path_);
+            setenv("ATSCALE_CACHE_DIR", path_.c_str(), 1);
+        } else {
+            unsetenv("ATSCALE_CACHE_DIR");
+        }
+    }
+
+    ~ScopedCacheDir()
+    {
+        unsetenv("ATSCALE_CACHE_DIR");
+        if (!path_.empty())
+            std::filesystem::remove_all(path_);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Final state of one simulation, everything exactness covers. */
+struct RunState
+{
+    CounterSet counters;
+    std::uint64_t mmuHash = 0;
+    std::uint64_t cacheHash = 0;
+    std::uint64_t footprint = 0;
+    std::string json;
+};
+
+std::string
+resultJson(const RunResult &result)
+{
+    std::ostringstream os;
+    writeRunResultJson(os, result);
+    return os.str();
+}
+
+/** One standalone run, driven by hand so the microarchitectural state
+ * can be hashed before teardown (mirrors runExperiment exactly). */
+RunState
+simulateStandalone(const RunSpec &spec)
+{
+    std::unique_ptr<Workload> workload = createWorkload(spec.workload);
+    PlatformParams params;
+    Platform platform(params, spec.pageSize, workload->traits(),
+                      spec.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
+    std::unique_ptr<RefSource> stream =
+        workload->instantiate(platform.space, wl_config);
+
+    platform.core.run(*stream, spec.warmupRefs);
+    platform.core.resetCounters();
+    platform.mmu.resetStats();
+    platform.hierarchy.resetStats();
+    platform.core.run(*stream, spec.measureRefs);
+
+    RunState state;
+    state.counters = platform.core.counters();
+    state.mmuHash = platform.mmu.stateHash();
+    state.cacheHash = platform.hierarchy.stateHash();
+    state.footprint = platform.space.footprintBytes();
+
+    RunResult result;
+    result.spec = spec;
+    result.counters = state.counters;
+    result.footprintTouched = platform.space.footprintBytes();
+    result.pageTableBytes = platform.space.pageTable().nodeBytes();
+    state.json = resultJson(result);
+    return state;
+}
+
+/** The same specs as one lockstep lane group, state hashed per lane. */
+std::vector<RunState>
+simulateLanes(const std::vector<RunSpec> &specs)
+{
+    std::vector<LaneJob> lanes;
+    lanes.reserve(specs.size());
+    for (const RunSpec &spec : specs)
+        lanes.push_back(LaneJob{spec, PlatformParams{}, nullptr});
+
+    std::vector<RunState> states(specs.size());
+    std::vector<RunResult> results = runLaneGroup(
+        lanes, [&](std::size_t lane, const Platform &platform) {
+            states[lane].mmuHash = platform.mmu.stateHash();
+            states[lane].cacheHash = platform.hierarchy.stateHash();
+        });
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        states[i].counters = results[i].counters;
+        states[i].footprint = results[i].footprintTouched;
+        states[i].json = resultJson(results[i]);
+    }
+    return states;
+}
+
+void
+expectIdentical(const RunState &lane, const RunState &standalone,
+                const std::string &label)
+{
+    // Every architectural counter, bit for bit.
+    lane.counters.forEach([&](EventId id, const char *name, Count value) {
+        EXPECT_EQ(value, standalone.counters.get(id))
+            << label << " " << name;
+    });
+
+    // Final translation-structure and data-cache state (contents,
+    // recency, replacement metadata, statistics).
+    EXPECT_EQ(lane.mmuHash, standalone.mmuHash) << label;
+    EXPECT_EQ(lane.cacheHash, standalone.cacheHash) << label;
+    EXPECT_EQ(lane.footprint, standalone.footprint) << label;
+
+    // The full exported artifact.
+    EXPECT_EQ(lane.json, standalone.json) << label;
+}
+
+class LaneExecDiff
+    : public ::testing::TestWithParam<std::tuple<const char *, std::uint64_t>>
+{
+};
+
+} // namespace
+
+TEST(LaneGroupKey, CoversStreamIdentityOnly)
+{
+    const RunSpec base = laneSpec("bfs-urand", 1, PageSize::Size4K);
+    auto key = [&](auto mutate) {
+        RunSpec other = base;
+        mutate(other);
+        return other.laneGroupKey();
+    };
+
+    // Platform-side knobs share a stream (they become lanes).
+    EXPECT_EQ(base.laneGroupKey(),
+              key([](RunSpec &s) { s.pageSize = PageSize::Size1G; }));
+    EXPECT_EQ(base.laneGroupKey(),
+              key([](RunSpec &s) { s.fastPath = false; }));
+    EXPECT_EQ(base.laneGroupKey(),
+              key([](RunSpec &s) { s.platformTag = "stlb4096"; }));
+
+    // Stream-side knobs must separate groups.
+    EXPECT_NE(base.laneGroupKey(),
+              key([](RunSpec &s) { s.workload = "cc-kron"; }));
+    EXPECT_NE(base.laneGroupKey(),
+              key([](RunSpec &s) { s.footprintBytes *= 2; }));
+    EXPECT_NE(base.laneGroupKey(),
+              key([](RunSpec &s) { s.warmupRefs += 1; }));
+    EXPECT_NE(base.laneGroupKey(),
+              key([](RunSpec &s) { s.measureRefs += 1; }));
+    EXPECT_NE(base.laneGroupKey(), key([](RunSpec &s) { s.seed += 1; }));
+}
+
+TEST_P(LaneExecDiff, LanesMatchStandaloneBitForBit)
+{
+    ScopedCacheDir cache(""); // memoization off: every run executes
+    const auto [workload, seed] = GetParam();
+    std::vector<RunSpec> specs;
+    for (PageSize size : kLanes)
+        specs.push_back(laneSpec(workload, seed, size));
+
+    std::vector<RunState> lanes = simulateLanes(specs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        expectIdentical(lanes[i], simulateStandalone(specs[i]),
+                        pageSizeName(specs[i].pageSize));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, LaneExecDiff,
+    ::testing::Combine(::testing::ValuesIn(kWorkloads),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<LaneExecDiff::ParamType> &suite_info) {
+        std::string name = std::get<0>(suite_info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_s" + std::to_string(std::get<1>(suite_info.param));
+    });
+
+TEST(LaneExec, AblationVariantsShareAStream)
+{
+    // Fast-path A/B lanes share a group (laneGroupKey ignores fastPath)
+    // and both must match their standalone runs — which are themselves
+    // bit-identical by the fast-path contract.
+    ScopedCacheDir cache("");
+    RunSpec on = laneSpec("memcached-uniform", 7, PageSize::Size4K);
+    RunSpec off = on;
+    off.fastPath = false;
+
+    std::vector<RunState> lanes = simulateLanes({on, off});
+    RunState standalone_on = simulateStandalone(on);
+    expectIdentical(lanes[0], standalone_on, "fastpath-on");
+
+    // The off lane's JSON carries its own spec; compare dynamics only.
+    lanes[1].counters.forEach([&](EventId id, const char *name,
+                                  Count value) {
+        EXPECT_EQ(value, standalone_on.counters.get(id)) << name;
+    });
+    EXPECT_EQ(lanes[1].cacheHash, standalone_on.cacheHash);
+    EXPECT_EQ(lanes[1].footprint, standalone_on.footprint);
+}
+
+TEST(LaneExec, CachedLaneDropsOutWithoutPerturbingTheRest)
+{
+    std::vector<RunSpec> specs;
+    for (PageSize size : kLanes)
+        specs.push_back(laneSpec("mcf-rand", 42, size));
+
+    // Ground truth: the full cold group, memoization off.
+    ScopedCacheDir off("");
+    std::vector<RunState> cold = simulateLanes(specs);
+
+    // Prime exactly one lane's cache entry, then rerun the group: the
+    // primed lane is served from disk and the survivors execute as a
+    // smaller group. Priming the primary (index 0) also shifts which
+    // lane hosts the shared stream.
+    for (std::size_t primed : {std::size_t{0}, std::size_t{1}}) {
+        ScopedCacheDir cache("lane_dropout_" + std::to_string(primed));
+        RunResult seeded = runExperiment(specs[primed]);
+        ASSERT_TRUE(cachedRunExists(specs[primed]));
+
+        std::vector<LaneJob> lanes;
+        for (const RunSpec &spec : specs)
+            lanes.push_back(LaneJob{spec, PlatformParams{}, nullptr});
+        std::vector<RunResult> rerun = runLaneGroup(lanes);
+
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            cold[i].counters.forEach(
+                [&](EventId id, const char *name, Count value) {
+                    EXPECT_EQ(value, rerun[i].counters.get(id))
+                        << "primed=" << primed << " lane=" << i << " "
+                        << name;
+                });
+            EXPECT_EQ(cold[i].footprint, rerun[i].footprintTouched);
+            EXPECT_EQ(cold[i].json, resultJson(rerun[i]));
+        }
+        (void)seeded;
+    }
+}
+
+TEST(LaneExec, EngineSerialParallelAndNoLanesAgreeByteForByte)
+{
+    // The engine-level guarantee: lane groups scheduled on 1 thread, on
+    // 4 threads, and disabled entirely all emit identical bytes.
+    ScopedCacheDir cache("");
+    unsetenv("ATSCALE_THREADS");
+    unsetenv("ATSCALE_NO_LANES");
+    // Force lanes on regardless of the host's core count — this test is
+    // about exactness, not about lanesDefault()'s scheduling heuristic.
+    setenv("ATSCALE_LANES", "1", 1);
+
+    RunSpec base = laneSpec("memcached-uniform", 3, PageSize::Size4K);
+    auto jobs = overheadSweepJobs({"memcached-uniform", "pr-kron"},
+                                  {1ull << 24, 1ull << 25}, base);
+
+    auto bytes = [](const std::vector<RunResult> &results) {
+        std::ostringstream os;
+        writeRunResultsJson(os, results);
+        return os.str();
+    };
+
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepEngine engine_serial(serial);
+    ASSERT_TRUE(engine_serial.lanesEnabled());
+    std::string serial_bytes = bytes(engine_serial.run(jobs));
+    EXPECT_EQ(engine_serial.progress().laneShared, jobs.size());
+
+    SweepOptions parallel;
+    parallel.threads = 4;
+    SweepEngine engine_parallel(parallel);
+    std::string parallel_bytes = bytes(engine_parallel.run(jobs));
+    EXPECT_EQ(serial_bytes, parallel_bytes);
+
+    SweepOptions nolanes;
+    nolanes.threads = 4;
+    nolanes.lanes = false;
+    SweepEngine engine_nolanes(nolanes);
+    ASSERT_FALSE(engine_nolanes.lanesEnabled());
+    std::string nolanes_bytes = bytes(engine_nolanes.run(jobs));
+    EXPECT_EQ(engine_nolanes.progress().laneShared, 0u);
+    EXPECT_EQ(serial_bytes, nolanes_bytes);
+
+    unsetenv("ATSCALE_LANES");
+}
+
+TEST(LaneExec, EnvironmentOverridesControlTheDefault)
+{
+    // Explicit force-on wins over the core-count heuristic.
+    setenv("ATSCALE_LANES", "1", 1);
+    unsetenv("ATSCALE_NO_LANES");
+    EXPECT_TRUE(lanesDefault());
+    SweepEngine forced;
+    EXPECT_TRUE(forced.lanesEnabled());
+
+    // Explicit off wins over everything, including explicit on.
+    setenv("ATSCALE_NO_LANES", "1", 1);
+    EXPECT_FALSE(lanesDefault());
+    SweepEngine engine;
+    EXPECT_FALSE(engine.lanesEnabled());
+
+    // With neither set, the default follows the host's core count: a
+    // lane group runs one worker thread per lane, so a single-core host
+    // declines (docs/PERF.md §lanes).
+    unsetenv("ATSCALE_NO_LANES");
+    unsetenv("ATSCALE_LANES");
+    EXPECT_EQ(lanesDefault(), std::thread::hardware_concurrency() > 1);
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Record the repo's benchmark numbers as one machine-readable file.
+
+Runs the google-benchmark micro suites (bench_micro_mmu,
+bench_micro_cache) in --quick mode plus cold-cache quick-sweep wall
+timings of the fig01 bench (default lane setting and --no-lanes), and
+writes them as a flat JSON object:
+
+    { "<bench name>": {"ns_per_op": <float>},   # micro benches
+      "<timing name>": {"wall_s": <float>} }    # whole-sweep timings
+
+The checked-in baseline lives at BENCH_05.json in the repo root; CI
+regenerates the file on every run, uploads it as an artifact, and
+--compare soft-warns (exit code stays 0) when a bench regresses more
+than --tolerance (default 15%) against the baseline. The warning is
+deliberately soft: micro-benchmark numbers move with the host, and the
+baseline was recorded on a different machine than CI's runners — the
+artifact trail, not the gate, is the product here.
+
+Usage:
+    tools/bench/record_bench.py --build-dir build --out BENCH_05.json
+    tools/bench/record_bench.py --build-dir build \
+        --out bench_out/BENCH_05.json --compare BENCH_05.json
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+MICRO_BENCHES = ["bench_micro_mmu", "bench_micro_cache"]
+FIG01 = "bench_fig01_overhead_vs_footprint"
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_micro(build_dir, results):
+    """One gbench binary -> {name: {ns_per_op}} entries."""
+    for bench in MICRO_BENCHES:
+        binary = os.path.join(build_dir, "bench", bench)
+        proc = subprocess.run(
+            [binary, "--quick", "--benchmark_format=json"],
+            capture_output=True, text=True, check=True)
+        report = json.loads(proc.stdout)
+        for entry in report["benchmarks"]:
+            scale = TIME_UNIT_NS[entry["time_unit"]]
+            results[entry["name"]] = {
+                "ns_per_op": round(entry["real_time"] * scale, 3)}
+        print("ran %s (%d benchmarks)" % (bench,
+                                          len(report["benchmarks"])))
+
+
+def time_fig01(build_dir, name, extra_args, results):
+    """One cold-cache quick fig01 sweep -> {name: {wall_s}}.
+
+    Cold is guaranteed by pointing ATSCALE_CACHE_DIR at a fresh temp
+    dir; outputs land there too so repeated runs never collide.
+    """
+    binary = os.path.abspath(os.path.join(build_dir, "bench", FIG01))
+    scratch = tempfile.mkdtemp(prefix="record_bench_")
+    env = dict(os.environ)
+    # Ambient engine overrides would silently change what this records.
+    for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
+                 "ATSCALE_NO_FASTPATH"):
+        env.pop(knob, None)
+    env["ATSCALE_QUICK"] = "1"
+    env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
+    env["ATSCALE_OUT_DIR"] = scratch
+    os.makedirs(env["ATSCALE_CACHE_DIR"])
+    try:
+        start = time.monotonic()
+        subprocess.run([binary, "--threads=1", *extra_args], cwd=scratch,
+                       env=env, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL, check=True)
+        wall = time.monotonic() - start
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    results[name] = {"wall_s": round(wall, 2)}
+    print("timed %s: %.2fs" % (name, wall))
+
+
+def metric(entry):
+    for key in ("ns_per_op", "wall_s"):
+        if key in entry:
+            return key, entry[key]
+    return None, None
+
+
+def compare(results, baseline_path, tolerance):
+    """Soft regression check; returns the number of warnings."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    warnings = 0
+    for name, entry in sorted(results.items()):
+        key, new = metric(entry)
+        base_entry = baseline.get(name)
+        if key is None or not isinstance(base_entry, dict):
+            continue
+        old = base_entry.get(key)
+        if not old:
+            continue
+        ratio = new / old
+        if ratio > 1.0 + tolerance:
+            warnings += 1
+            print("WARNING: %s regressed %.0f%% (%s %.3f -> %.3f)"
+                  % (name, (ratio - 1.0) * 100, key, old, new))
+    if warnings:
+        print("%d bench(es) regressed > %.0f%% vs %s (soft warning)"
+              % (warnings, tolerance * 100, baseline_path))
+    else:
+        print("no regressions > %.0f%% vs %s"
+              % (tolerance * 100, baseline_path))
+    return warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="record micro-bench and sweep timings as JSON")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_05.json")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="soft-warn against this baseline file")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative regression threshold "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--skip-sweeps", action="store_true",
+                        help="micro benches only (fast smoke of the "
+                             "harness itself)")
+    args = parser.parse_args()
+
+    results = {}
+    run_micro(args.build_dir, results)
+    if not args.skip_sweeps:
+        # Default lane setting first (what a user gets), then both
+        # forced settings — the trio is the lockstep executor's recorded
+        # cost/benefit on this host (docs/PERF.md section on lanes).
+        time_fig01(args.build_dir, "fig01_quick_cold_threads1", [],
+                   results)
+        time_fig01(args.build_dir, "fig01_quick_cold_threads1_lanes",
+                   ["--lanes"], results)
+        time_fig01(args.build_dir, "fig01_quick_cold_threads1_nolanes",
+                   ["--no-lanes"], results)
+
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s (%d entries)" % (args.out, len(results)))
+
+    if args.compare:
+        compare(results, args.compare, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

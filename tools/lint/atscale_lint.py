@@ -26,6 +26,13 @@ enforces the statically checkable parts of those invariants:
   R5  no raw std::mutex (or friends) outside util/thread_annotations.hh
       — cross-thread state must use the annotated atscale::Mutex so
       clang's -Wthread-safety can prove the locking discipline.
+  R6  no mutable static state in src/cpu or src/mmu — the lockstep lane
+      executor (core/lane_exec.hh) interleaves many Core/Mmu instances
+      in one thread and the sweep engine runs groups concurrently, so a
+      static that carries per-run state couples lanes and breaks the
+      lane exactness contract. Static member functions and
+      static constexpr tables are fine; per-run state must be an
+      instance member.
 
 Findings can be suppressed, one line at a time, with an inline comment
 on the offending line or the line directly above it:
@@ -61,10 +68,11 @@ RULE_SCOPES = {
     "R3": ["src"],
     "R4": ["src", "bench", "examples", "tests"],
     "R5": ["src", "bench", "examples", "tests"],
+    "R6": ["src"],
 }
 
 SUPPRESS_RE = re.compile(
-    r"//\s*atscale-lint:\s*allow\(\s*(R[1-5])\s+([^)]+)\)")
+    r"//\s*atscale-lint:\s*allow\(\s*(R[1-6])\s+([^)]+)\)")
 
 # R1: ambient nondeterminism. Each entry: (regex, what it is).
 R1_PATTERNS = [
@@ -81,6 +89,21 @@ R1_PATTERNS = [
 ]
 
 R5_RE = re.compile(r"\bstd::(?:recursive_|shared_|timed_)?mutex\b")
+
+# R6: directories where mutable statics would couple lockstep lanes.
+R6_DIR_RE = re.compile(r"src/(?:cpu|mmu)/")
+# A static *variable* declaration that is not constexpr/const: optional
+# attributes / inline / thread_local, the static keyword, a type (one or
+# more words, possibly templated), a declarator name, an optional
+# initializer, and the terminating semicolon on the same line. Function
+# declarations never match (the parameter list's parentheses fall where
+# this expects the initializer or the semicolon).
+R6_STATIC_RE = re.compile(
+    r"^\s*(?:\[\[[^\]]*\]\]\s*)?(?:inline\s+|thread_local\s+)*static\s+"
+    r"(?:inline\s+|thread_local\s+)*(?!constexpr\b|const\b)"
+    r"(?:struct\s+|class\s+)?[A-Za-z_][\w:]*(?:<[^;()]*>)?"
+    r"(?:\s+[A-Za-z_][\w:]*(?:<[^;()]*>)?)*"
+    r"[\s*&]+([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\}|\[[^;]*\])?\s*;")
 
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set)\s*<[^;]*?>\s+(\w+)")
@@ -275,6 +298,21 @@ class RegexEngine:
                               "raw std::mutex — use atscale::Mutex from "
                               "util/thread_annotations.hh so clang's "
                               "thread-safety analysis covers it")
+
+    def check_r6(self, sf):
+        rel = sf.path.replace(os.sep, "/")
+        if rel.startswith("src/") and not R6_DIR_RE.match(rel):
+            return
+        for idx, line in enumerate(sf.code_lines, start=1):
+            m = R6_STATIC_RE.match(line)
+            if m:
+                yield Finding(sf.path, idx, "R6",
+                              "mutable static '%s' in the lane-shared "
+                              "hot path — lockstep lane groups interleave "
+                              "many Core/Mmu instances in one thread, so "
+                              "per-run state must be an instance member "
+                              "(static constexpr and static member "
+                              "functions are fine)" % m.group(1))
 
     # ---- R3 (cross-file) -------------------------------------------------
 
@@ -488,7 +526,7 @@ def main(argv=None):
                              "against it)")
     parser.add_argument("--engine", choices=["auto", "libclang", "regex"],
                         default="auto")
-    parser.add_argument("--rules", default="R1,R2,R3,R4,R5",
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6",
                         help="comma-separated subset of rules to run")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as JSON")
@@ -511,7 +549,8 @@ def main(argv=None):
 
     findings = []
     per_file_checks = {"R1": "check_r1", "R2": "check_r2",
-                       "R4": "check_r4", "R5": "check_r5"}
+                       "R4": "check_r4", "R5": "check_r5",
+                       "R6": "check_r6"}
     for sf in files:
         for rule, method in per_file_checks.items():
             if rule in rules and in_scope(rule, sf.path):

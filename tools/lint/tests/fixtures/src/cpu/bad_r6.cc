@@ -1,0 +1,42 @@
+// R6 fixture: mutable static state in the simulated-CPU layer. The
+// lockstep lane executor interleaves many Core instances in one thread,
+// so a function-local or class-level static that carries per-run state
+// couples lanes and breaks the lane exactness contract.
+
+namespace atscale_fixture
+{
+
+using Count = unsigned long long;
+
+class LeakyPredictor
+{
+  public:
+    Count
+    predict(Count vpn)
+    {
+        // Function-local mutable static: shared across every lane that
+        // calls predict(), so lane B sees lane A's history.
+        static Count lastVpn = 0;
+        Count guess = lastVpn + 1;
+        lastVpn = vpn;
+        return guess;
+    }
+
+  private:
+    // Class-level mutable static: one counter for all instances.
+    static Count calls_;
+
+    // Fine: compile-time table, identical for every lane.
+    static constexpr Count tableSize = 64;
+
+    // Fine: a static member *function* holds no state.
+    static Count
+    hash(Count vpn)
+    {
+        return vpn * 0x9e3779b97f4a7c15ull >> 32;
+    }
+};
+
+Count LeakyPredictor::calls_ = 0;
+
+} // namespace atscale_fixture

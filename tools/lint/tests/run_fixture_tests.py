@@ -67,6 +67,7 @@ def main():
         "bad_r3.cc": ("R3", 1),  # the orphan counter
         "bad_r4.cc": ("R4", 1),  # the unguarded walk read
         "bad_r5.cc": ("R5", 2),  # member + lock_guard<std::mutex>
+        "bad_r6.cc": ("R6", 2),  # function-local + class-level static
     }
     for fixture, (rule, min_lines) in sorted(expectations.items()):
         got = grouped.get(fixture, [])
