@@ -5,15 +5,30 @@
 #include <sys/ioctl.h>
 #include <sys/syscall.h>
 #include <unistd.h>
+#endif
 
 #include <cerrno>
+#include <climits>
 #include <cstring>
-#endif
+#include <fstream>
 
 #include "util/logging.hh"
 
 namespace atscale
 {
+
+std::uint64_t
+scaledCounterValue(std::uint64_t value, std::uint64_t enabled,
+                   std::uint64_t running)
+{
+    if (running == 0)
+        return 0;
+    if (running >= enabled)
+        return value;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(value) *
+        (static_cast<double>(enabled) / static_cast<double>(running)));
+}
 
 #ifdef __linux__
 
@@ -41,6 +56,8 @@ rawEvent(std::uint64_t event, std::uint64_t umask)
     return event | (umask << 8);
 }
 
+// Every EventId must appear here and in event.cc's name table — a
+// silently unmapped event reads as zero (atscale-lint rule R7).
 const EventEncoding encodings[] = {
     {EventId::CpuClkUnhalted, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
     {EventId::InstRetired, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
@@ -83,7 +100,7 @@ findEncoding(EventId id)
 }
 
 int
-openCounter(std::uint32_t type, std::uint64_t config)
+realOpen(std::uint32_t type, std::uint64_t config, int groupFd)
 {
     perf_event_attr attr;
     std::memset(&attr, 0, sizeof(attr));
@@ -95,30 +112,143 @@ openCounter(std::uint32_t type, std::uint64_t config)
     attr.exclude_hv = 1;
     attr.read_format =
         PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
-    return static_cast<int>(
-        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+    int fd = static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, groupFd, 0));
+    return fd >= 0 ? fd : -errno;
+}
+
+int
+realClose(int fd)
+{
+    return ::close(fd) == 0 ? 0 : -errno;
+}
+
+int
+realControl(int fd, CounterCtl ctl)
+{
+    unsigned long request = PERF_EVENT_IOC_RESET;
+    switch (ctl) {
+      case CounterCtl::Reset:
+        request = PERF_EVENT_IOC_RESET;
+        break;
+      case CounterCtl::Enable:
+        request = PERF_EVENT_IOC_ENABLE;
+        break;
+      case CounterCtl::Disable:
+        request = PERF_EVENT_IOC_DISABLE;
+        break;
+    }
+    return ioctl(fd, request, 0) == 0 ? 0 : -errno;
+}
+
+int
+realRead(int fd, CounterReadSample &out)
+{
+    struct
+    {
+        std::uint64_t value;
+        std::uint64_t enabled;
+        std::uint64_t running;
+    } data{};
+    ssize_t n = ::read(fd, &data, sizeof(data));
+    if (n < 0)
+        return -errno;
+    if (n != static_cast<ssize_t>(sizeof(data)))
+        return -EIO;
+    out.value = data.value;
+    out.enabled = data.enabled;
+    out.running = data.running;
+    return 0;
 }
 
 } // namespace
 
+const PerfCounterOps &
+realPerfCounterOps()
+{
+    static const PerfCounterOps ops{realOpen, realClose, realControl,
+                                    realRead};
+    return ops;
+}
+
+#else // !__linux__
+
+namespace
+{
+
+struct EventEncoding
+{
+    EventId id;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+const EventEncoding *
+findEncoding(EventId)
+{
+    return nullptr;
+}
+
+} // namespace
+
+const PerfCounterOps &
+realPerfCounterOps()
+{
+    static const PerfCounterOps ops{
+        [](std::uint32_t, std::uint64_t, int) { return -ENOSYS; },
+        [](int) { return -ENOSYS; },
+        [](int, CounterCtl) { return -ENOSYS; },
+        [](int, CounterReadSample &) { return -ENOSYS; },
+    };
+    return ops;
+}
+
+#endif // __linux__
+
+LinuxPerfBackend::LinuxPerfBackend(const PerfCounterOps *ops)
+    : ops_(ops ? *ops : realPerfCounterOps())
+{
+}
+
+LinuxPerfBackend::~LinuxPerfBackend()
+{
+    close();
+}
+
 bool
 LinuxPerfBackend::available()
 {
-    int fd = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+#ifdef __linux__
+    const PerfCounterOps &ops = realPerfCounterOps();
+    int fd = ops.open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
     if (fd < 0)
         return false;
-    ::close(fd);
+    ops.close(fd);
     return true;
+#else
+    return false;
+#endif
+}
+
+int
+LinuxPerfBackend::perfParanoidLevel()
+{
+    std::ifstream proc("/proc/sys/kernel/perf_event_paranoid");
+    int level = INT_MIN;
+    if (proc)
+        proc >> level;
+    return proc ? level : INT_MIN;
 }
 
 std::vector<EventId>
 LinuxPerfBackend::open(const std::vector<EventId> &events)
 {
+    close();
     for (EventId id : events) {
         const EventEncoding *enc = findEncoding(id);
         if (!enc)
             continue;
-        int fd = openCounter(enc->type, enc->config);
+        int fd = ops_.open(enc->type, enc->config, -1);
         if (fd < 0)
             continue;
         fds_.push_back(fd);
@@ -127,12 +257,62 @@ LinuxPerfBackend::open(const std::vector<EventId> &events)
     return openedIds_;
 }
 
+bool
+LinuxPerfBackend::openGroup(const std::vector<EventId> &events)
+{
+    close();
+    grouped_ = true;
+    for (EventId id : events) {
+        const EventEncoding *enc = findEncoding(id);
+        int fd = enc ? ops_.open(enc->type, enc->config,
+                                 fds_.empty() ? -1 : fds_.front())
+                     : -ENOENT;
+        if (fd < 0) {
+            // Partial-open failure: roll the whole group back so no fd
+            // leaks and the backend is observably empty.
+            close();
+            return false;
+        }
+        fds_.push_back(fd);
+        openedIds_.push_back(id);
+    }
+    return !fds_.empty();
+}
+
+std::vector<EventProbe>
+LinuxPerfBackend::probeEvents(const std::vector<EventId> &events,
+                              const PerfCounterOps *opsOverride)
+{
+    const PerfCounterOps &ops =
+        opsOverride ? *opsOverride : realPerfCounterOps();
+    std::vector<EventProbe> probes;
+    probes.reserve(events.size());
+    for (EventId id : events) {
+        EventProbe probe;
+        probe.id = id;
+        const EventEncoding *enc = findEncoding(id);
+        if (!enc) {
+            probe.error = ENOENT;
+        } else {
+            int fd = ops.open(enc->type, enc->config, -1);
+            if (fd < 0) {
+                probe.error = -fd;
+            } else {
+                probe.available = true;
+                ops.close(fd);
+            }
+        }
+        probes.push_back(probe);
+    }
+    return probes;
+}
+
 void
 LinuxPerfBackend::start()
 {
     for (int fd : fds_) {
-        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
-        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+        ops_.control(fd, CounterCtl::Reset);
+        ops_.control(fd, CounterCtl::Enable);
     }
 }
 
@@ -140,31 +320,24 @@ void
 LinuxPerfBackend::stop()
 {
     for (int fd : fds_)
-        ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+        ops_.control(fd, CounterCtl::Disable);
 }
 
 CounterSet
 LinuxPerfBackend::read() const
 {
+    constexpr int maxEintrRetries = 64;
     CounterSet counters;
     for (size_t i = 0; i < fds_.size(); ++i) {
-        struct
-        {
-            std::uint64_t value;
-            std::uint64_t enabled;
-            std::uint64_t running;
-        } data{};
-        if (::read(fds_[i], &data, sizeof(data)) != sizeof(data))
+        CounterReadSample sample;
+        int rc = ops_.read(fds_[i], sample);
+        for (int retry = 0; rc == -EINTR && retry < maxEintrRetries; ++retry)
+            rc = ops_.read(fds_[i], sample);
+        if (rc != 0)
             continue;
-        std::uint64_t value = data.value;
-        if (data.running && data.running < data.enabled) {
-            // Multiplex scaling.
-            value = static_cast<std::uint64_t>(
-                static_cast<double>(value) *
-                (static_cast<double>(data.enabled) /
-                 static_cast<double>(data.running)));
-        }
-        counters.add(openedIds_[i], value);
+        counters.add(openedIds_[i],
+                     scaledCounterValue(sample.value, sample.enabled,
+                                        sample.running));
     }
     return counters;
 }
@@ -173,51 +346,10 @@ void
 LinuxPerfBackend::close()
 {
     for (int fd : fds_)
-        ::close(fd);
+        ops_.close(fd);
     fds_.clear();
     openedIds_.clear();
-}
-
-#else // !__linux__
-
-bool
-LinuxPerfBackend::available()
-{
-    return false;
-}
-
-std::vector<EventId>
-LinuxPerfBackend::open(const std::vector<EventId> &)
-{
-    return {};
-}
-
-void
-LinuxPerfBackend::start()
-{
-}
-
-void
-LinuxPerfBackend::stop()
-{
-}
-
-CounterSet
-LinuxPerfBackend::read() const
-{
-    return {};
-}
-
-void
-LinuxPerfBackend::close()
-{
-}
-
-#endif // __linux__
-
-LinuxPerfBackend::~LinuxPerfBackend()
-{
-    close();
+    grouped_ = false;
 }
 
 } // namespace atscale

@@ -13,11 +13,19 @@
  * Everything degrades gracefully: on non-Linux builds, in containers
  * without perf access, or on CPUs without the raw events, the backend
  * reports unavailable events and the caller falls back to the simulator.
+ * probeEvents() and perfParanoidLevel() turn "gracefully absent" into a
+ * diagnosable report (src/validate uses both).
+ *
+ * All kernel interaction goes through an injectable PerfCounterOps
+ * surface so the fd-lifetime and scaling logic is unit-testable with a
+ * fake-fd shim (tests/test_linux_backend.cc) — no PMU required.
  */
 
 #ifndef ATSCALE_PERF_LINUX_BACKEND_HH
 #define ATSCALE_PERF_LINUX_BACKEND_HH
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "perf/counter_set.hh"
@@ -26,12 +34,74 @@ namespace atscale
 {
 
 /**
+ * Multiplex scaling: extrapolate a counter that the kernel scheduled on
+ * a PMC for only part of the measurement window (time_running <
+ * time_enabled). Pure, so the edge cases are unit-testable:
+ *  - running == 0: the counter never got a PMC; there is no information
+ *    to extrapolate from, so the scaled value is 0 (not infinity).
+ *  - running >= enabled: fully scheduled; the raw value stands.
+ *  - otherwise: value * enabled / running (linear extrapolation).
+ */
+std::uint64_t scaledCounterValue(std::uint64_t value, std::uint64_t enabled,
+                                 std::uint64_t running);
+
+/** Counter control requests, abstracted from the Linux ioctl numbers. */
+enum class CounterCtl : std::uint8_t
+{
+    Reset,
+    Enable,
+    Disable,
+};
+
+/** One counter read: raw value plus the kernel's scheduling times. */
+struct CounterReadSample
+{
+    std::uint64_t value = 0;
+    std::uint64_t enabled = 0;
+    std::uint64_t running = 0;
+};
+
+/**
+ * The syscall surface the backend drives. The default instance wraps
+ * perf_event_open/ioctl/read/close (or returns -ENOSYS off Linux);
+ * tests inject fakes to exercise fd lifetime, partial-open rollback,
+ * EINTR retry, and multiplex scaling without any PMU. Every function
+ * returns >= 0 on success and a negative errno on failure.
+ */
+struct PerfCounterOps
+{
+    /** Open a counter; returns an fd or -errno. */
+    std::function<int(std::uint32_t type, std::uint64_t config, int groupFd)>
+        open;
+    /** Close an fd. */
+    std::function<int(int fd)> close;
+    /** Reset / enable / disable an open counter. */
+    std::function<int(int fd, CounterCtl ctl)> control;
+    /** Read one sample; may return -EINTR (the backend retries). */
+    std::function<int(int fd, CounterReadSample &out)> read;
+};
+
+/** The real syscall implementation (-ENOSYS everywhere off Linux). */
+const PerfCounterOps &realPerfCounterOps();
+
+/** Availability of one event on this machine, with the failing errno. */
+struct EventProbe
+{
+    EventId id{};
+    bool available = false;
+    /** 0 when available; otherwise the (positive) errno, or ENOENT when
+     * the event has no encoding for this backend at all. */
+    int error = 0;
+};
+
+/**
  * A set of opened perf file descriptors, one per requested EventId.
  */
 class LinuxPerfBackend
 {
   public:
-    LinuxPerfBackend() = default;
+    /** @param ops syscall surface override for tests (null = real). */
+    explicit LinuxPerfBackend(const PerfCounterOps *ops = nullptr);
     ~LinuxPerfBackend();
 
     LinuxPerfBackend(const LinuxPerfBackend &) = delete;
@@ -41,10 +111,40 @@ class LinuxPerfBackend
     static bool available();
 
     /**
-     * Try to open counters for the given events on the calling thread.
+     * The kernel's perf_event_paranoid setting, or INT_MIN when it
+     * cannot be read (non-Linux, /proc unmounted). Level <= 2 suffices
+     * for this backend: counters exclude kernel and hypervisor.
+     */
+    static int perfParanoidLevel();
+
+    /**
+     * Try to open each event independently (no group leader); events
+     * without an encoding or refused by the kernel are skipped. This is
+     * the best-effort mode: callers that want to measure whatever the
+     * machine exposes. Any previously opened counters are closed first.
      * @return the subset that opened successfully
      */
     std::vector<EventId> open(const std::vector<EventId> &events);
+
+    /**
+     * Open all events as one scheduling group (first opened fd is the
+     * leader), all-or-nothing: if any event fails to open, every fd
+     * opened so far is closed again and the backend is left empty.
+     * Grouped counters are scheduled together, so their ratios are
+     * consistent — the right mode when deriving Eq-1 terms from a
+     * machine with enough PMCs. Any previously opened counters are
+     * closed first.
+     * @return true when every event opened
+     */
+    bool openGroup(const std::vector<EventId> &events);
+
+    /**
+     * Probe which of the requested events this machine can open, one
+     * open/close round-trip each, without leaving anything open.
+     */
+    static std::vector<EventProbe>
+    probeEvents(const std::vector<EventId> &events,
+                const PerfCounterOps *ops = nullptr);
 
     /** Zero and enable all opened counters. */
     void start();
@@ -54,19 +154,25 @@ class LinuxPerfBackend
 
     /**
      * Read all opened counters (multiplex-scaled) into a CounterSet.
-     * Unopened events read as zero.
+     * Interrupted reads are retried (EINTR); unopened events and reads
+     * that keep failing read as zero.
      */
     CounterSet read() const;
 
     /** Events successfully opened. */
     const std::vector<EventId> &opened() const { return openedIds_; }
 
+    /** True when the open counters form one scheduling group. */
+    bool grouped() const { return grouped_; }
+
     /** Close everything. */
     void close();
 
   private:
+    PerfCounterOps ops_;
     std::vector<int> fds_;
     std::vector<EventId> openedIds_;
+    bool grouped_ = false;
 };
 
 } // namespace atscale

@@ -1,0 +1,314 @@
+#include "validate/divergence.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+
+#include "obs/json.hh"
+#include "perf/derived.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** One comparable component: name, evaluator, required events. */
+struct ComponentSpec
+{
+    const char *name;
+    double (*eval)(const CounterSet &);
+    std::initializer_list<EventId> required;
+};
+
+double
+evalIpc(const CounterSet &c)
+{
+    const double cycles =
+        static_cast<double>(c.get(EventId::CpuClkUnhalted));
+    if (cycles <= 0)
+        return 0;
+    return static_cast<double>(c.get(EventId::InstRetired)) / cycles;
+}
+
+double
+evalWcpi(const CounterSet &c)
+{
+    // Walk cycles / instruction straight from the counters — more
+    // robust than multiplying the four Eq-1 terms when a multiplexed
+    // ratio is noisy, and algebraically the same quantity.
+    return proxyMetrics(c).walkCyclesPerInstr;
+}
+
+double
+evalAccessesPerInstr(const CounterSet &c)
+{
+    return wcpiTerms(c).accessesPerInstr;
+}
+
+double
+evalMissPerKiloInstr(const CounterSet &c)
+{
+    return proxyMetrics(c).tlbMissesPerKiloInstr;
+}
+
+double
+evalMissPerAccess(const CounterSet &c)
+{
+    return wcpiTerms(c).tlbMissesPerAccess;
+}
+
+double
+evalPtwPerWalk(const CounterSet &c)
+{
+    return wcpiTerms(c).ptwAccessesPerWalk;
+}
+
+double
+evalCyclesPerPtw(const CounterSet &c)
+{
+    return wcpiTerms(c).walkCyclesPerPtwAccess;
+}
+
+double
+evalPscHitFraction(const CounterSet &c)
+{
+    // A radix walk needs 4 PTW accesses with a cold MMU cache; fewer
+    // per walk means the paging-structure caches skipped upper levels.
+    const double perWalk = wcpiTerms(c).ptwAccessesPerWalk;
+    return 1.0 - std::clamp(perWalk / 4.0, 0.0, 1.0);
+}
+
+double
+evalWalkCycleFraction(const CounterSet &c)
+{
+    return proxyMetrics(c).walkCycleFraction;
+}
+
+constexpr EventId kCycles = EventId::CpuClkUnhalted;
+constexpr EventId kInstr = EventId::InstRetired;
+constexpr EventId kLoads = EventId::MemUopsRetiredAllLoads;
+constexpr EventId kStores = EventId::MemUopsRetiredAllStores;
+constexpr EventId kWalkL = EventId::DtlbLoadMissesMissCausesAWalk;
+constexpr EventId kWalkS = EventId::DtlbStoreMissesMissCausesAWalk;
+constexpr EventId kDurL = EventId::DtlbLoadMissesWalkDuration;
+constexpr EventId kDurS = EventId::DtlbStoreMissesWalkDuration;
+constexpr EventId kPwl1 = EventId::PageWalkerLoadsDtlbL1;
+constexpr EventId kPwl2 = EventId::PageWalkerLoadsDtlbL2;
+constexpr EventId kPwl3 = EventId::PageWalkerLoadsDtlbL3;
+constexpr EventId kPwlM = EventId::PageWalkerLoadsDtlbMemory;
+
+const ComponentSpec componentSpecs[] = {
+    {"ipc", evalIpc, {kCycles, kInstr}},
+    {"wcpi", evalWcpi, {kDurL, kDurS, kInstr}},
+    {"accesses_per_instr", evalAccessesPerInstr, {kLoads, kStores, kInstr}},
+    {"dtlb_miss_per_kilo_instr", evalMissPerKiloInstr,
+     {kWalkL, kWalkS, kInstr}},
+    {"tlb_miss_per_access", evalMissPerAccess,
+     {kWalkL, kWalkS, kLoads, kStores}},
+    {"ptw_accesses_per_walk", evalPtwPerWalk,
+     {kPwl1, kPwl2, kPwl3, kPwlM, kWalkL, kWalkS}},
+    {"walk_cycles_per_ptw_access", evalCyclesPerPtw,
+     {kDurL, kDurS, kPwl1, kPwl2, kPwl3, kPwlM}},
+    {"psc_hit_fraction", evalPscHitFraction,
+     {kPwl1, kPwl2, kPwl3, kPwlM, kWalkL, kWalkS}},
+    {"walk_cycle_fraction", evalWalkCycleFraction, {kDurL, kDurS, kCycles}},
+};
+
+double
+relativeError(double simulated, double measured)
+{
+    const double scale =
+        std::max(std::fabs(simulated), std::fabs(measured));
+    if (scale < 1e-12)
+        return 0;
+    return std::fabs(measured - simulated) / scale;
+}
+
+void
+writeCounters(JsonWriter &json, const std::string &key,
+              const CounterSet &counters)
+{
+    json.key(key).beginObject();
+    counters.forEach([&](EventId, const char *name, Count value) {
+        json.kv(name, static_cast<std::uint64_t>(value));
+    });
+    json.endObject();
+}
+
+} // namespace
+
+bool
+DivergenceReport::allAgree() const
+{
+    for (const ValidationPoint &point : points)
+        if (!point.agrees)
+            return false;
+    return true;
+}
+
+std::vector<ComponentDelta>
+compareCounters(const CounterSet &simulated, const CounterSet &measured,
+                const std::vector<EventId> &measuredEvents, double tolerance)
+{
+    std::array<bool, numEvents> have{};
+    for (EventId id : measuredEvents)
+        have[static_cast<std::size_t>(id)] = true;
+
+    std::vector<ComponentDelta> deltas;
+    deltas.reserve(std::size(componentSpecs));
+    for (const ComponentSpec &spec : componentSpecs) {
+        ComponentDelta delta;
+        delta.name = spec.name;
+        delta.simulated = spec.eval(simulated);
+        delta.measured = spec.eval(measured);
+        delta.relError = relativeError(delta.simulated, delta.measured);
+        delta.measurable = true;
+        for (EventId id : spec.required)
+            delta.measurable =
+                delta.measurable && have[static_cast<std::size_t>(id)];
+        delta.within = delta.measurable && delta.relError <= tolerance;
+        deltas.push_back(std::move(delta));
+    }
+    return deltas;
+}
+
+void
+finalizeReport(DivergenceReport &report)
+{
+    std::vector<std::pair<std::string, double>> worst;
+    for (ValidationPoint &point : report.points) {
+        point.agrees = true;
+        for (const ComponentDelta &delta : point.components) {
+            if (!delta.measurable)
+                continue;
+            point.agrees = point.agrees && delta.within;
+            bool found = false;
+            for (auto &entry : worst) {
+                if (entry.first == delta.name) {
+                    entry.second = std::max(entry.second, delta.relError);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                worst.emplace_back(delta.name, delta.relError);
+        }
+    }
+    std::sort(worst.begin(), worst.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second ||
+                         (a.second == b.second && a.first < b.first);
+              });
+    report.maxRelError = std::move(worst);
+}
+
+void
+writeDivergenceJson(const DivergenceReport &report, std::ostream &os,
+                    bool pretty)
+{
+    JsonWriter json(os, pretty);
+    json.beginObject();
+    json.kv("schema", "atscale-validation-v1");
+    json.kv("status", report.status);
+    json.kv("reason", report.reason);
+    json.kv("perf_event_paranoid", report.paranoidLevel);
+    json.kv("tolerance", report.tolerance);
+
+    json.key("events").beginArray();
+    for (const EventProbe &probe : report.probes) {
+        json.beginObject();
+        json.kv("event", eventName(probe.id));
+        json.kv("available", probe.available);
+        json.kv("errno", probe.error);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("points").beginArray();
+    for (const ValidationPoint &point : report.points) {
+        json.beginObject();
+        json.kv("workload", point.workload);
+        json.kv("footprint_bytes",
+                static_cast<std::uint64_t>(point.footprintBytes));
+        json.kv("page_size", pageSizeName(point.pageSize));
+        json.kv("refs_replayed",
+                static_cast<std::uint64_t>(point.refsReplayed));
+        json.kv("truncated", point.truncated);
+        json.kv("agrees", point.agrees);
+        json.key("components").beginArray();
+        for (const ComponentDelta &delta : point.components) {
+            json.beginObject();
+            json.kv("name", delta.name);
+            json.kv("simulated", delta.simulated);
+            json.kv("measured", delta.measured);
+            json.kv("rel_error", delta.relError);
+            json.kv("measurable", delta.measurable);
+            json.kv("within_tolerance", delta.within);
+            json.endObject();
+        }
+        json.endArray();
+        writeCounters(json, "simulated_counters", point.simulated);
+        writeCounters(json, "measured_counters", point.measured);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("max_rel_error").beginObject();
+    for (const auto &entry : report.maxRelError)
+        json.kv(entry.first, entry.second);
+    json.endObject();
+
+    json.kv("all_agree", report.allAgree());
+    json.endObject();
+}
+
+void
+writeDivergenceFile(const DivergenceReport &report, const std::string &path)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot write divergence report to %s", path.c_str());
+    writeDivergenceJson(report, os);
+    os << "\n";
+}
+
+void
+printDivergenceTable(const DivergenceReport &report, std::ostream &os)
+{
+    if (report.status != "ok") {
+        os << "validation: " << report.status << " — " << report.reason
+           << "\n";
+        int unavailable = 0;
+        for (const EventProbe &probe : report.probes)
+            if (!probe.available)
+                ++unavailable;
+        if (!report.probes.empty())
+            os << "  events unavailable: " << unavailable << "/"
+               << report.probes.size() << "\n";
+        return;
+    }
+
+    TablePrinter table("measured vs simulated WCPI components");
+    table.header({"workload", "footprint", "pages", "component", "sim",
+                  "meas", "rel_err", "verdict"});
+    for (const ValidationPoint &point : report.points) {
+        for (const ComponentDelta &delta : point.components) {
+            const char *verdict = !delta.measurable ? "unmeasured"
+                                  : delta.within    ? "agree"
+                                                    : "DIVERGES";
+            table.rowv(point.workload, fmtBytes(point.footprintBytes),
+                       pageSizeName(point.pageSize), delta.name,
+                       fmtDouble(delta.simulated, 4),
+                       fmtDouble(delta.measured, 4),
+                       fmtDouble(delta.relError, 3), verdict);
+        }
+    }
+    table.print(os);
+}
+
+} // namespace atscale

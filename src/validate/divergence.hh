@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Measured-vs-simulated divergence analysis for the Eq-1 WCPI
+ * decomposition.
+ *
+ * Both sides of the validation loop produce a CounterSet in the same
+ * event vocabulary (src/perf/event.hh); the derived-metric layer is
+ * shared by construction. This module turns a (simulated, measured)
+ * counter pair into per-component relative errors — the Eq-1 terms,
+ * the Table-V proxies, IPC, and a PSC hit fraction — and aggregates
+ * them into a DivergenceReport with one machine-readable "status"
+ * field. A report is produced in every environment: on counter-less
+ * containers it carries status "skipped_no_pmu" plus the per-event
+ * probe diagnosis instead of silently doing nothing.
+ */
+
+#ifndef ATSCALE_VALIDATE_DIVERGENCE_HH
+#define ATSCALE_VALIDATE_DIVERGENCE_HH
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/linux_backend.hh"
+#include "vm/page_size.hh"
+
+namespace atscale
+{
+
+/** One derived component compared across the two counter sources. */
+struct ComponentDelta
+{
+    /** Component name (e.g. "tlb_miss_per_access"). */
+    std::string name;
+    double simulated = 0;
+    double measured = 0;
+    /** |measured - simulated| / max(|simulated|, |measured|); 0 when
+     * both sides are ~0. */
+    double relError = 0;
+    /** Measurable and relError <= tolerance. */
+    bool within = false;
+    /** Every hardware event this component needs was actually counted;
+     * when false the hardware cannot confirm or refute this component
+     * and relError is not evidence of anything. */
+    bool measurable = false;
+};
+
+/** One workload x footprint x page-size validation point. */
+struct ValidationPoint
+{
+    std::string workload;
+    std::uint64_t footprintBytes = 0;
+    PageSize pageSize = PageSize::Size4K;
+    CounterSet simulated;
+    CounterSet measured;
+    /** References replayed natively in the measured window. */
+    Count refsReplayed = 0;
+    /** The native replay recycled host pages (footprint under-mapped). */
+    bool truncated = false;
+    std::vector<ComponentDelta> components;
+    /** Every measurable component is within tolerance. */
+    bool agrees = true;
+};
+
+/** The whole validation run, in one report. */
+struct DivergenceReport
+{
+    /** Machine-readable outcome: "ok" or "skipped_no_pmu". */
+    std::string status = "skipped_no_pmu";
+    /** Human-readable diagnosis when skipped. */
+    std::string reason;
+    /** /proc/sys/kernel/perf_event_paranoid, INT_MIN when unreadable. */
+    int paranoidLevel = 0;
+    /** Relative-error tolerance applied per component. */
+    double tolerance = 0;
+    /** Per-event availability on this machine. */
+    std::vector<EventProbe> probes;
+    std::vector<ValidationPoint> points;
+    /** Worst relative error per component across all points, sorted
+     * descending (only components measurable somewhere appear). */
+    std::vector<std::pair<std::string, double>> maxRelError;
+
+    /** Every point agrees (vacuously true with no points). */
+    bool allAgree() const;
+};
+
+/**
+ * Compare one simulated/measured counter pair across all divergence
+ * components. `measuredEvents` is the set the backend actually opened;
+ * components needing an unopened event come back measurable == false.
+ */
+std::vector<ComponentDelta>
+compareCounters(const CounterSet &simulated, const CounterSet &measured,
+                const std::vector<EventId> &measuredEvents,
+                double tolerance);
+
+/** Fill report.maxRelError and point/report agreement flags. */
+void finalizeReport(DivergenceReport &report);
+
+/** Emit the report as JSON (schema "atscale-validation-v1"). */
+void writeDivergenceJson(const DivergenceReport &report, std::ostream &os,
+                         bool pretty = true);
+
+/** Write the JSON report to a file; fatal() when unwritable. */
+void writeDivergenceFile(const DivergenceReport &report,
+                         const std::string &path);
+
+/** Render the human-readable divergence table. */
+void printDivergenceTable(const DivergenceReport &report, std::ostream &os);
+
+} // namespace atscale
+
+#endif // ATSCALE_VALIDATE_DIVERGENCE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Native-execution driver: replay an exec-mode workload's reference
+ * stream against real host memory while hardware counters run.
+ *
+ * This is the measured half of the validation loop (docs/VALIDATION.md).
+ * The exec-mode workloads trace a real algorithm's accesses at simulated
+ * virtual addresses; here those addresses are rebound, page by page, to
+ * a host allocation of the same page-granular footprint, and the trace
+ * is replayed as actual loads and stores. The host's MMU then sees the
+ * same access pattern the simulator models, and a LinuxPerfBackend
+ * around the replay window yields the measured counter vector that
+ * src/validate/divergence.hh compares against the simulated one.
+ *
+ * What is faithful: the page-level reuse/locality structure, the
+ * load/store mix, the working-set size. What is deliberately not: the
+ * replay loop's own instruction stream (a tight array walk, not the
+ * original algorithm), so instruction-normalized components diverge by
+ * construction — the divergence report states this rather than hiding
+ * it (see docs/VALIDATION.md, "known-divergent assumptions").
+ */
+
+#ifndef ATSCALE_VALIDATE_NATIVE_DRIVER_HH
+#define ATSCALE_VALIDATE_NATIVE_DRIVER_HH
+
+#include <string>
+
+#include "perf/linux_backend.hh"
+#include "vm/page_size.hh"
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** One native replay's knobs (the measured twin of a RunSpec). */
+struct NativeRunOptions
+{
+    std::string workload = "mcf-rand";
+    std::uint64_t footprintBytes = 64ull << 20;
+    /** Simulated-side backing; on the host it is an madvise hint. */
+    PageSize pageSize = PageSize::Size4K;
+    Count warmupRefs = 200'000;
+    Count measureRefs = 1'000'000;
+    std::uint64_t seed = 1;
+    /** Host-allocation safety cap; beyond it pages are recycled. */
+    std::uint64_t maxHostBytes = 2ull << 30;
+};
+
+/** What one native replay produced. */
+struct NativeRunResult
+{
+    /** Measured counters (multiplex-scaled); zero when not measured. */
+    CounterSet counters;
+    /** References replayed in the measured window. */
+    Count refsReplayed = 0;
+    /** Host bytes backing the replay (distinct pages x 4 KiB). */
+    std::uint64_t hostBytesMapped = 0;
+    /** Distinct simulated pages the trace touched. */
+    std::uint64_t distinctPages = 0;
+    /** The host page pool hit maxHostBytes and recycled slots. */
+    bool truncated = false;
+    /** Counters were actually collected (backend had open events). */
+    bool measured = false;
+    /** Load-byte checksum (defeats dead-code elimination; ignore). */
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Instantiate `options.workload` in exec mode at the requested
+ * footprint, rebind its traced reference stream to host memory, warm
+ * up, and replay the measurement window between backend.start() and
+ * backend.stop(). The caller opens the backend's events beforehand;
+ * with nothing open the replay still runs (result.measured == false),
+ * which is what the unit tests and counter-less CI exercise.
+ */
+NativeRunResult runNativeWorkload(const NativeRunOptions &options,
+                                  LinuxPerfBackend &backend);
+
+} // namespace atscale
+
+#endif // ATSCALE_VALIDATE_NATIVE_DRIVER_HH

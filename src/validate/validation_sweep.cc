@@ -1,0 +1,185 @@
+#include "validate/validation_sweep.hh"
+
+#include <climits>
+#include <cstring>
+#include <sstream>
+
+#include "core/run_cache.hh"
+#include "core/sweep.hh"
+#include "validate/native_driver.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** The measured twin of a simulated spec (distinct cache namespace). */
+RunSpec
+hardwareSpec(const RunSpec &spec)
+{
+    RunSpec hw = spec;
+    hw.platformTag = "hw";
+    return hw;
+}
+
+std::string
+skipReason(int paranoidLevel, const std::vector<EventProbe> &probes)
+{
+    std::ostringstream os;
+    os << "perf_event_open unusable";
+    if (paranoidLevel == INT_MIN)
+        os << " (perf_event_paranoid unreadable; non-Linux or /proc "
+              "unmounted)";
+    else
+        os << " (perf_event_paranoid=" << paranoidLevel
+           << "; <= 2 suffices for this backend, so a refusal at that "
+              "level means no PMU is exposed — container or VM)";
+    int unavailable = 0;
+    int firstErrno = 0;
+    for (const EventProbe &probe : probes) {
+        if (probe.available)
+            continue;
+        ++unavailable;
+        if (firstErrno == 0)
+            firstErrno = probe.error;
+    }
+    if (!probes.empty()) {
+        os << "; " << unavailable << "/" << probes.size()
+           << " events unavailable";
+        if (firstErrno != 0)
+            os << " (first error: " << std::strerror(firstErrno) << ")";
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::vector<EventId>
+validationEvents()
+{
+    return {
+        EventId::CpuClkUnhalted,
+        EventId::InstRetired,
+        EventId::MemUopsRetiredAllLoads,
+        EventId::MemUopsRetiredAllStores,
+        EventId::DtlbLoadMissesMissCausesAWalk,
+        EventId::DtlbStoreMissesMissCausesAWalk,
+        EventId::DtlbLoadMissesWalkCompleted,
+        EventId::DtlbStoreMissesWalkCompleted,
+        EventId::DtlbLoadMissesWalkDuration,
+        EventId::DtlbStoreMissesWalkDuration,
+        EventId::PageWalkerLoadsDtlbL1,
+        EventId::PageWalkerLoadsDtlbL2,
+        EventId::PageWalkerLoadsDtlbL3,
+        EventId::PageWalkerLoadsDtlbMemory,
+    };
+}
+
+DivergenceReport
+runValidationSweep(const ValidationOptions &options)
+{
+    DivergenceReport report;
+    report.tolerance = options.tolerance;
+    report.paranoidLevel = LinuxPerfBackend::perfParanoidLevel();
+
+    if (options.forceNoPmu) {
+        report.status = "skipped_no_pmu";
+        report.reason = "PMU measurement disabled by request "
+                        "(--force-no-pmu)";
+        finalizeReport(report);
+        return report;
+    }
+
+    report.probes = LinuxPerfBackend::probeEvents(validationEvents());
+    if (!LinuxPerfBackend::available()) {
+        report.status = "skipped_no_pmu";
+        report.reason = skipReason(report.paranoidLevel, report.probes);
+        finalizeReport(report);
+        return report;
+    }
+
+    // Declare the simulated side as one engine sweep: exec mode, so the
+    // simulator consumes exactly the trace the native replay does.
+    std::vector<RunSpec> specs;
+    for (const std::string &workload : options.workloads) {
+        for (std::uint64_t footprint : options.footprints) {
+            for (PageSize pageSize : options.pageSizes) {
+                RunSpec spec;
+                spec.workload = workload;
+                spec.footprintBytes = footprint;
+                spec.pageSize = pageSize;
+                spec.mode = WorkloadMode::Exec;
+                spec.warmupRefs = options.warmupRefs;
+                spec.measureRefs = options.measureRefs;
+                spec.seed = options.seed;
+                specs.push_back(spec);
+            }
+        }
+    }
+
+    SweepOptions sweepOptions;
+    sweepOptions.threads = options.threads;
+    SweepEngine engine(sweepOptions);
+    std::vector<RunResult> simulated = engine.run(specs);
+
+    // The measured side runs serially: concurrent replays would fight
+    // for the same PMCs and for memory bandwidth, polluting each other's
+    // counters.
+    std::vector<EventId> probedAvailable;
+    for (const EventProbe &probe : report.probes)
+        if (probe.available)
+            probedAvailable.push_back(probe.id);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ValidationPoint point;
+        point.workload = specs[i].workload;
+        point.footprintBytes = specs[i].footprintBytes;
+        point.pageSize = specs[i].pageSize;
+        point.simulated = simulated[i].counters;
+
+        const RunSpec hwSpec = hardwareSpec(specs[i]);
+        std::vector<EventId> measuredEvents;
+        RunResult cached;
+        if (loadCachedRun(hwSpec, cached)) {
+            // A prior run on this machine; the probe set stands in for
+            // the exact opened set (same machine, same events).
+            point.measured = cached.counters;
+            point.refsReplayed = specs[i].measureRefs;
+            measuredEvents = probedAvailable;
+        } else {
+            LinuxPerfBackend backend;
+            measuredEvents = backend.open(validationEvents());
+            NativeRunOptions native;
+            native.workload = specs[i].workload;
+            native.footprintBytes = specs[i].footprintBytes;
+            native.pageSize = specs[i].pageSize;
+            native.warmupRefs = specs[i].warmupRefs;
+            native.measureRefs = specs[i].measureRefs;
+            native.seed = specs[i].seed;
+            native.maxHostBytes = options.maxHostBytes;
+            NativeRunResult run = runNativeWorkload(native, backend);
+            point.measured = run.counters;
+            point.refsReplayed = run.refsReplayed;
+            point.truncated = run.truncated;
+            if (run.measured) {
+                RunResult hwResult;
+                hwResult.spec = hwSpec;
+                hwResult.counters = run.counters;
+                hwResult.footprintTouched = run.hostBytesMapped;
+                storeCachedRun(hwSpec, hwResult);
+            }
+        }
+
+        point.components = compareCounters(point.simulated, point.measured,
+                                           measuredEvents,
+                                           options.tolerance);
+        report.points.push_back(std::move(point));
+    }
+
+    report.status = "ok";
+    finalizeReport(report);
+    return report;
+}
+
+} // namespace atscale

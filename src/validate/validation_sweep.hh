@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ValidationSweep: pair simulated and measured runs over matched
+ * (workload, footprint, page size) points and produce one
+ * DivergenceReport.
+ *
+ * The simulated side goes through the regular SweepEngine — exec-mode
+ * RunSpecs, disk-cached like any other run. The measured side replays
+ * the same exec traces natively (src/validate/native_driver.hh) under
+ * LinuxPerfBackend, and its counter vectors are cached too, under the
+ * same RunSpec keyed with platformTag "hw", so repeated validation runs
+ * on the same machine only pay for the PMU windows once.
+ *
+ * On machines without usable counters (containers, perf_event_paranoid
+ * lockdown, non-Linux) the sweep short-circuits into a skip report that
+ * still carries the per-event probe diagnosis — CI's counter-less leg
+ * asserts exactly this shape.
+ */
+
+#ifndef ATSCALE_VALIDATE_VALIDATION_SWEEP_HH
+#define ATSCALE_VALIDATE_VALIDATION_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "validate/divergence.hh"
+
+namespace atscale
+{
+
+/** Knobs of one validation sweep. */
+struct ValidationOptions
+{
+    /** Exec-capable workloads: one per paper suite (SPEC, cloud, GAP,
+     * PARSEC). */
+    std::vector<std::string> workloads = {
+        "mcf-rand",
+        "memcached-uniform",
+        "cc-urand",
+        "streamcluster-rand",
+    };
+    /** Footprints small enough to replay on a host (native side maps
+     * real memory). */
+    std::vector<std::uint64_t> footprints = {64ull << 20, 256ull << 20};
+    std::vector<PageSize> pageSizes = {PageSize::Size4K, PageSize::Size2M};
+    Count warmupRefs = 200'000;
+    Count measureRefs = 1'000'000;
+    std::uint64_t seed = 1;
+    /** Per-component relative-error tolerance. The loose default
+     * reflects that the native replay shares the access pattern, not
+     * the instruction stream (docs/VALIDATION.md). */
+    double tolerance = 0.5;
+    /** Simulated-side worker threads (0 = resolveThreads()). */
+    int threads = 0;
+    /** Skip PMU measurement even when available (CI's no-PMU leg). */
+    bool forceNoPmu = false;
+    /** Host-memory cap for the native replay, per point. */
+    std::uint64_t maxHostBytes = 2ull << 30;
+};
+
+/** The events a validation run asks the PMU for (Eq-1 vocabulary). */
+std::vector<EventId> validationEvents();
+
+/**
+ * Run the full sweep: simulate every point, measure every point (when
+ * the PMU allows), compare, and return the finalized report. Never
+ * throws on missing counters — that is a report status, not an error.
+ */
+DivergenceReport runValidationSweep(const ValidationOptions &options);
+
+} // namespace atscale
+
+#endif // ATSCALE_VALIDATE_VALIDATION_SWEEP_HH

@@ -7,9 +7,65 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <climits>
+#include <vector>
+
 #include "perf/linux_backend.hh"
 
 using namespace atscale;
+
+namespace
+{
+
+/**
+ * A fake kernel for the PerfCounterOps surface: hands out fds, records
+ * every close, and can be told to refuse opens or interrupt reads.
+ */
+struct FakeKernel
+{
+    int nextFd = 100;
+    int opens = 0;
+    /** Opens with index >= failFrom (0-based) are refused. */
+    int failFrom = INT_MAX;
+    int failErrno = EACCES;
+    /** reads to serve -EINTR before succeeding. */
+    int eintrBeforeSuccess = 0;
+    CounterReadSample sample{1000, 0, 0};
+    std::vector<int> openFds;
+    std::vector<int> closedFds;
+    std::vector<int> groupFds;
+
+    PerfCounterOps
+    ops()
+    {
+        PerfCounterOps o;
+        o.open = [this](std::uint32_t, std::uint64_t, int groupFd) {
+            if (opens++ >= failFrom)
+                return -failErrno;
+            groupFds.push_back(groupFd);
+            int fd = nextFd++;
+            openFds.push_back(fd);
+            return fd;
+        };
+        o.close = [this](int fd) {
+            closedFds.push_back(fd);
+            return 0;
+        };
+        o.control = [](int, CounterCtl) { return 0; };
+        o.read = [this](int, CounterReadSample &out) {
+            if (eintrBeforeSuccess > 0) {
+                --eintrBeforeSuccess;
+                return -EINTR;
+            }
+            out = sample;
+            return 0;
+        };
+        return o;
+    }
+};
+
+} // namespace
 
 TEST(LinuxPerf, AvailabilityProbeDoesNotCrash)
 {
@@ -67,3 +123,124 @@ TEST(LinuxPerf, StopWithoutOpenIsSafe)
     EXPECT_EQ(counters.get(EventId::CpuClkUnhalted), 0u);
     backend.close();
 }
+
+TEST(LinuxPerf, ParanoidLevelProbeDoesNotCrash)
+{
+    // INT_MIN (unreadable) or any integer; the call must be safe.
+    (void)LinuxPerfBackend::perfParanoidLevel();
+}
+
+// The fake-fd tests drive open/close/read through the encodings table,
+// which only exists on Linux builds.
+#ifdef __linux__
+
+TEST(LinuxPerfFake, GroupOpenRollbackClosesEveryFd)
+{
+    FakeKernel kernel;
+    kernel.failFrom = 2; // third event's open is refused
+    PerfCounterOps ops = kernel.ops();
+    LinuxPerfBackend backend(&ops);
+
+    bool ok = backend.openGroup({EventId::CpuClkUnhalted,
+                                 EventId::InstRetired,
+                                 EventId::DtlbLoadMissesMissCausesAWalk});
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(backend.opened().empty());
+    // The two fds that did open were both closed again (no leak).
+    EXPECT_EQ(kernel.openFds.size(), 2u);
+    EXPECT_EQ(kernel.closedFds, kernel.openFds);
+}
+
+TEST(LinuxPerfFake, GroupOpenLinksFollowersToLeader)
+{
+    FakeKernel kernel;
+    PerfCounterOps ops = kernel.ops();
+    LinuxPerfBackend backend(&ops);
+
+    ASSERT_TRUE(backend.openGroup({EventId::CpuClkUnhalted,
+                                   EventId::InstRetired}));
+    EXPECT_TRUE(backend.grouped());
+    ASSERT_EQ(kernel.groupFds.size(), 2u);
+    EXPECT_EQ(kernel.groupFds[0], -1);               // leader
+    EXPECT_EQ(kernel.groupFds[1], kernel.openFds[0]); // follower -> leader
+    backend.close();
+    EXPECT_EQ(kernel.closedFds, kernel.openFds);
+    EXPECT_FALSE(backend.grouped());
+}
+
+TEST(LinuxPerfFake, BestEffortOpenSkipsRefusedEvents)
+{
+    FakeKernel kernel;
+    kernel.failFrom = 1; // only the first event opens
+    PerfCounterOps ops = kernel.ops();
+    LinuxPerfBackend backend(&ops);
+
+    std::vector<EventId> opened =
+        backend.open({EventId::CpuClkUnhalted, EventId::InstRetired,
+                      EventId::DtlbLoadMissesMissCausesAWalk});
+    ASSERT_EQ(opened.size(), 1u);
+    EXPECT_EQ(opened[0], EventId::CpuClkUnhalted);
+    EXPECT_FALSE(backend.grouped());
+    backend.close();
+    EXPECT_EQ(kernel.closedFds, kernel.openFds);
+}
+
+TEST(LinuxPerfFake, ReadRetriesThroughEintr)
+{
+    FakeKernel kernel;
+    kernel.eintrBeforeSuccess = 3;
+    kernel.sample = {4242, 1000, 1000};
+    PerfCounterOps ops = kernel.ops();
+    LinuxPerfBackend backend(&ops);
+
+    ASSERT_FALSE(backend.open({EventId::InstRetired}).empty());
+    CounterSet counters = backend.read();
+    EXPECT_EQ(counters.get(EventId::InstRetired), 4242u);
+}
+
+TEST(LinuxPerfFake, ReadAppliesMultiplexScaling)
+{
+    FakeKernel kernel;
+    // Scheduled on a PMC for half the window: value extrapolates 2x.
+    kernel.sample = {500, 1000, 500};
+    PerfCounterOps ops = kernel.ops();
+    LinuxPerfBackend backend(&ops);
+
+    ASSERT_FALSE(backend.open({EventId::CpuClkUnhalted}).empty());
+    CounterSet counters = backend.read();
+    EXPECT_EQ(counters.get(EventId::CpuClkUnhalted), 1000u);
+}
+
+TEST(LinuxPerfFake, ReopenClosesPreviousFds)
+{
+    FakeKernel kernel;
+    PerfCounterOps ops = kernel.ops();
+    LinuxPerfBackend backend(&ops);
+
+    ASSERT_FALSE(backend.open({EventId::CpuClkUnhalted}).empty());
+    ASSERT_FALSE(backend.open({EventId::InstRetired}).empty());
+    ASSERT_EQ(kernel.closedFds.size(), 1u);
+    EXPECT_EQ(kernel.closedFds[0], kernel.openFds[0]);
+    backend.close();
+    EXPECT_EQ(kernel.closedFds, kernel.openFds);
+}
+
+TEST(LinuxPerfFake, ProbeEventsReportsErrnoAndLeavesNothingOpen)
+{
+    FakeKernel kernel;
+    kernel.failFrom = 1;
+    kernel.failErrno = EACCES;
+    PerfCounterOps ops = kernel.ops();
+
+    std::vector<EventProbe> probes = LinuxPerfBackend::probeEvents(
+        {EventId::CpuClkUnhalted, EventId::InstRetired}, &ops);
+    ASSERT_EQ(probes.size(), 2u);
+    EXPECT_TRUE(probes[0].available);
+    EXPECT_EQ(probes[0].error, 0);
+    EXPECT_FALSE(probes[1].available);
+    EXPECT_EQ(probes[1].error, EACCES);
+    // The probe round-trips: the one fd it opened was closed again.
+    EXPECT_EQ(kernel.closedFds, kernel.openFds);
+}
+
+#endif // __linux__

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the pure counter arithmetic the validation loop leans
+ * on: multiplex scaling (time_enabled / time_running extrapolation) and
+ * the Eq-1 WCPI decomposition on hand-computed counter vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/derived.hh"
+#include "perf/linux_backend.hh"
+
+using namespace atscale;
+
+TEST(MultiplexScaling, ZeroRunningReadsAsZero)
+{
+    // Never scheduled on a PMC: no information, not infinity.
+    EXPECT_EQ(scaledCounterValue(12345, 1'000'000, 0), 0u);
+}
+
+TEST(MultiplexScaling, FullyScheduledIsIdentity)
+{
+    EXPECT_EQ(scaledCounterValue(777, 1'000'000, 1'000'000), 777u);
+    // running > enabled (clock-granularity skew) must not shrink it.
+    EXPECT_EQ(scaledCounterValue(777, 1'000'000, 1'000'001), 777u);
+}
+
+TEST(MultiplexScaling, HalfScheduledExtrapolatesDouble)
+{
+    EXPECT_EQ(scaledCounterValue(500, 1'000'000, 500'000), 1000u);
+}
+
+TEST(MultiplexScaling, QuarterScheduledExtrapolatesFourfold)
+{
+    EXPECT_EQ(scaledCounterValue(250, 2'000'000, 500'000), 1000u);
+}
+
+TEST(MultiplexScaling, ZeroValueStaysZero)
+{
+    EXPECT_EQ(scaledCounterValue(0, 1'000'000, 10), 0u);
+}
+
+namespace
+{
+
+/**
+ * A hand-computed counter vector with clean ratios:
+ *   2,000,000 instr, 1,000,000 cycles burned,
+ *   500,000 accesses (400k loads + 100k stores)   -> 0.25 acc/instr
+ *   10,000 walks (8k load + 2k store)             -> 0.02 miss/acc
+ *   30,000 PTW accesses (10k+12k+5k+3k)           -> 3 ptw/walk
+ *   240,000 walk cycles (200k load + 40k store)   -> 8 cyc/ptw
+ *   => WCPI = 0.25 * 0.02 * 3 * 8 = 0.12
+ */
+CounterSet
+handComputedCounters()
+{
+    CounterSet c;
+    c.add(EventId::InstRetired, 2'000'000);
+    c.add(EventId::CpuClkUnhalted, 1'000'000);
+    c.add(EventId::MemUopsRetiredAllLoads, 400'000);
+    c.add(EventId::MemUopsRetiredAllStores, 100'000);
+    c.add(EventId::DtlbLoadMissesMissCausesAWalk, 8'000);
+    c.add(EventId::DtlbStoreMissesMissCausesAWalk, 2'000);
+    c.add(EventId::DtlbLoadMissesWalkCompleted, 6'000);
+    c.add(EventId::DtlbStoreMissesWalkCompleted, 1'500);
+    c.add(EventId::MemUopsRetiredStlbMissLoads, 5'000);
+    c.add(EventId::MemUopsRetiredStlbMissStores, 1'000);
+    c.add(EventId::DtlbLoadMissesWalkDuration, 200'000);
+    c.add(EventId::DtlbStoreMissesWalkDuration, 40'000);
+    c.add(EventId::PageWalkerLoadsDtlbL1, 10'000);
+    c.add(EventId::PageWalkerLoadsDtlbL2, 12'000);
+    c.add(EventId::PageWalkerLoadsDtlbL3, 5'000);
+    c.add(EventId::PageWalkerLoadsDtlbMemory, 3'000);
+    return c;
+}
+
+} // namespace
+
+TEST(Eq1Decomposition, TermsMatchHandComputation)
+{
+    WcpiTerms terms = wcpiTerms(handComputedCounters());
+    EXPECT_DOUBLE_EQ(terms.accessesPerInstr, 0.25);
+    EXPECT_DOUBLE_EQ(terms.tlbMissesPerAccess, 0.02);
+    EXPECT_DOUBLE_EQ(terms.ptwAccessesPerWalk, 3.0);
+    EXPECT_DOUBLE_EQ(terms.walkCyclesPerPtwAccess, 8.0);
+    EXPECT_DOUBLE_EQ(terms.wcpi(), 0.12);
+}
+
+TEST(Eq1Decomposition, ProductEqualsDirectWalkCyclesPerInstr)
+{
+    // Eq-1's defining identity: the four-term product telescopes into
+    // walk cycles / instruction, the quantity proxyMetrics reads
+    // directly off the counters.
+    CounterSet c = handComputedCounters();
+    EXPECT_DOUBLE_EQ(wcpiTerms(c).wcpi(),
+                     proxyMetrics(c).walkCyclesPerInstr);
+}
+
+TEST(Eq1Decomposition, ProxyMetricsMatchHandComputation)
+{
+    ProxyMetrics proxy = proxyMetrics(handComputedCounters());
+    EXPECT_DOUBLE_EQ(proxy.tlbMissesPerKiloAccess, 20.0);
+    EXPECT_DOUBLE_EQ(proxy.tlbMissesPerKiloInstr, 5.0);
+    EXPECT_DOUBLE_EQ(proxy.walkCycleFraction, 0.24);
+    EXPECT_DOUBLE_EQ(proxy.walkCyclesPerAccess, 0.48);
+    EXPECT_DOUBLE_EQ(proxy.walkCyclesPerInstr, 0.12);
+}
+
+TEST(Eq1Decomposition, WalkOutcomesMatchHandComputation)
+{
+    WalkOutcomes outcomes = walkOutcomes(handComputedCounters());
+    EXPECT_EQ(outcomes.initiated, 10'000u);
+    EXPECT_EQ(outcomes.completed, 7'500u);
+    EXPECT_EQ(outcomes.retired, 6'000u);
+    EXPECT_EQ(outcomes.aborted, 2'500u);
+    EXPECT_EQ(outcomes.wrongPath, 1'500u);
+    EXPECT_DOUBLE_EQ(outcomes.abortedFraction(), 0.25);
+    EXPECT_DOUBLE_EQ(outcomes.wrongPathFraction(), 0.15);
+    EXPECT_DOUBLE_EQ(outcomes.nonRetiredFraction(), 0.40);
+}
+
+TEST(Eq1Decomposition, PteLocationsMatchHandComputation)
+{
+    PteLocations loc = pteLocations(handComputedCounters());
+    EXPECT_DOUBLE_EQ(loc.l1, 10'000.0 / 30'000.0);
+    EXPECT_DOUBLE_EQ(loc.l2, 12'000.0 / 30'000.0);
+    EXPECT_DOUBLE_EQ(loc.l3, 5'000.0 / 30'000.0);
+    EXPECT_DOUBLE_EQ(loc.memory, 3'000.0 / 30'000.0);
+}
+
+TEST(Eq1Decomposition, EmptyCountersYieldZerosNotNans)
+{
+    CounterSet empty;
+    WcpiTerms terms = wcpiTerms(empty);
+    EXPECT_EQ(terms.accessesPerInstr, 0.0);
+    EXPECT_EQ(terms.tlbMissesPerAccess, 0.0);
+    EXPECT_EQ(terms.ptwAccessesPerWalk, 0.0);
+    EXPECT_EQ(terms.walkCyclesPerPtwAccess, 0.0);
+    EXPECT_EQ(terms.wcpi(), 0.0);
+    ProxyMetrics proxy = proxyMetrics(empty);
+    EXPECT_EQ(proxy.walkCycleFraction, 0.0);
+}

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the validation subsystem: divergence comparison on
+ * hand-built counter sets, report JSON shape, the native replay driver
+ * (PMU-less path), and the forced-skip sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "validate/divergence.hh"
+#include "validate/native_driver.hh"
+#include "validate/validation_sweep.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+CounterSet
+plausibleCounters(double scale)
+{
+    CounterSet c;
+    auto n = [scale](double v) { return static_cast<Count>(v * scale); };
+    c.add(EventId::InstRetired, n(2'000'000));
+    c.add(EventId::CpuClkUnhalted, n(1'000'000));
+    c.add(EventId::MemUopsRetiredAllLoads, n(400'000));
+    c.add(EventId::MemUopsRetiredAllStores, n(100'000));
+    c.add(EventId::DtlbLoadMissesMissCausesAWalk, n(8'000));
+    c.add(EventId::DtlbStoreMissesMissCausesAWalk, n(2'000));
+    c.add(EventId::DtlbLoadMissesWalkDuration, n(200'000));
+    c.add(EventId::DtlbStoreMissesWalkDuration, n(40'000));
+    c.add(EventId::PageWalkerLoadsDtlbL1, n(10'000));
+    c.add(EventId::PageWalkerLoadsDtlbL2, n(12'000));
+    c.add(EventId::PageWalkerLoadsDtlbL3, n(5'000));
+    c.add(EventId::PageWalkerLoadsDtlbMemory, n(3'000));
+    return c;
+}
+
+const ComponentDelta *
+findComponent(const std::vector<ComponentDelta> &deltas,
+              const std::string &name)
+{
+    for (const ComponentDelta &delta : deltas)
+        if (delta.name == name)
+            return &delta;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Divergence, IdenticalCountersAgreeEverywhere)
+{
+    CounterSet c = plausibleCounters(1.0);
+    std::vector<ComponentDelta> deltas =
+        compareCounters(c, c, validationEvents(), 0.05);
+    ASSERT_FALSE(deltas.empty());
+    for (const ComponentDelta &delta : deltas) {
+        EXPECT_TRUE(delta.measurable) << delta.name;
+        EXPECT_TRUE(delta.within) << delta.name;
+        EXPECT_DOUBLE_EQ(delta.relError, 0.0) << delta.name;
+    }
+}
+
+TEST(Divergence, UniformScalingPreservesRatios)
+{
+    // All Eq-1 components are ratios: a uniformly 3x-hotter measured
+    // run must still agree on every component.
+    std::vector<ComponentDelta> deltas = compareCounters(
+        plausibleCounters(1.0), plausibleCounters(3.0),
+        validationEvents(), 0.01);
+    for (const ComponentDelta &delta : deltas)
+        EXPECT_LE(delta.relError, 0.01) << delta.name;
+}
+
+TEST(Divergence, PerturbedWalkCyclesDiverge)
+{
+    CounterSet sim = plausibleCounters(1.0);
+    CounterSet meas = plausibleCounters(1.0);
+    // Hardware refutes the walk-latency assumption by 2x.
+    meas.add(EventId::DtlbLoadMissesWalkDuration, 200'000);
+    std::vector<ComponentDelta> deltas =
+        compareCounters(sim, meas, validationEvents(), 0.10);
+    const ComponentDelta *wcpi = findComponent(deltas, "wcpi");
+    ASSERT_NE(wcpi, nullptr);
+    EXPECT_TRUE(wcpi->measurable);
+    EXPECT_FALSE(wcpi->within);
+    EXPECT_GT(wcpi->relError, 0.4);
+    // The access mix was untouched: that component still agrees.
+    const ComponentDelta *acc = findComponent(deltas, "accesses_per_instr");
+    ASSERT_NE(acc, nullptr);
+    EXPECT_TRUE(acc->within);
+}
+
+TEST(Divergence, MissingEventsMakeComponentsUnmeasurable)
+{
+    CounterSet c = plausibleCounters(1.0);
+    // Only cycles + instructions opened: IPC is measurable, the
+    // walk-based components are not — and unmeasurable never counts as
+    // divergence.
+    std::vector<ComponentDelta> deltas = compareCounters(
+        c, c, {EventId::CpuClkUnhalted, EventId::InstRetired}, 0.05);
+    const ComponentDelta *ipc = findComponent(deltas, "ipc");
+    ASSERT_NE(ipc, nullptr);
+    EXPECT_TRUE(ipc->measurable);
+    const ComponentDelta *wcpi = findComponent(deltas, "wcpi");
+    ASSERT_NE(wcpi, nullptr);
+    EXPECT_FALSE(wcpi->measurable);
+    EXPECT_FALSE(wcpi->within);
+}
+
+TEST(Divergence, FinalizeAggregatesWorstErrorAndAgreement)
+{
+    DivergenceReport report;
+    report.status = "ok";
+    report.tolerance = 0.10;
+    ValidationPoint good;
+    good.workload = "a";
+    good.components = compareCounters(plausibleCounters(1.0),
+                                      plausibleCounters(1.0),
+                                      validationEvents(), 0.10);
+    ValidationPoint bad;
+    bad.workload = "b";
+    CounterSet meas = plausibleCounters(1.0);
+    meas.add(EventId::DtlbLoadMissesWalkDuration, 200'000);
+    bad.components = compareCounters(plausibleCounters(1.0), meas,
+                                     validationEvents(), 0.10);
+    report.points.push_back(good);
+    report.points.push_back(bad);
+    finalizeReport(report);
+
+    EXPECT_TRUE(report.points[0].agrees);
+    EXPECT_FALSE(report.points[1].agrees);
+    EXPECT_FALSE(report.allAgree());
+    ASSERT_FALSE(report.maxRelError.empty());
+    // Sorted descending: the worst component leads.
+    for (std::size_t i = 1; i < report.maxRelError.size(); ++i)
+        EXPECT_GE(report.maxRelError[i - 1].second,
+                  report.maxRelError[i].second);
+    EXPECT_GT(report.maxRelError.front().second, 0.1);
+}
+
+TEST(Divergence, JsonCarriesMachineReadableStatus)
+{
+    DivergenceReport report;
+    report.status = "skipped_no_pmu";
+    report.reason = "no PMU in this environment";
+    finalizeReport(report);
+    std::ostringstream os;
+    writeDivergenceJson(report, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"status\": \"skipped_no_pmu\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"schema\": \"atscale-validation-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"reason\""), std::string::npos);
+}
+
+TEST(Divergence, OkReportJsonCarriesPointsAndCounters)
+{
+    DivergenceReport report;
+    report.status = "ok";
+    report.tolerance = 0.5;
+    ValidationPoint point;
+    point.workload = "mcf-rand";
+    point.footprintBytes = 64ull << 20;
+    point.simulated = plausibleCounters(1.0);
+    point.measured = plausibleCounters(1.0);
+    point.components = compareCounters(point.simulated, point.measured,
+                                       validationEvents(), 0.5);
+    report.points.push_back(point);
+    finalizeReport(report);
+    std::ostringstream os;
+    writeDivergenceJson(report, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"workload\": \"mcf-rand\""), std::string::npos);
+    EXPECT_NE(json.find("\"simulated_counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"measured_counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"max_rel_error\""), std::string::npos);
+    EXPECT_NE(json.find("\"all_agree\": true"), std::string::npos);
+}
+
+TEST(NativeDriver, ReplaysWithoutPmu)
+{
+    // No events opened: the replay must still run (counter-less CI) and
+    // report an honest measured=false.
+    NativeRunOptions options;
+    options.workload = "mcf-rand";
+    options.footprintBytes = 8ull << 20;
+    options.warmupRefs = 20'000;
+    options.measureRefs = 50'000;
+    LinuxPerfBackend backend;
+    backend.close();
+    NativeRunResult result = runNativeWorkload(options, backend);
+    EXPECT_FALSE(result.measured);
+    EXPECT_EQ(result.refsReplayed, options.measureRefs);
+    EXPECT_GT(result.hostBytesMapped, 0u);
+    EXPECT_GT(result.distinctPages, 0u);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_NE(result.checksum, 0u);
+}
+
+TEST(NativeDriver, HostCapTruncatesDeterministically)
+{
+    NativeRunOptions options;
+    options.workload = "cc-urand";
+    options.footprintBytes = 16ull << 20;
+    options.warmupRefs = 10'000;
+    options.measureRefs = 30'000;
+    options.maxHostBytes = 64ull << 10; // 16 slots: force recycling
+    LinuxPerfBackend backend;
+    backend.close();
+    NativeRunResult result = runNativeWorkload(options, backend);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_LE(result.hostBytesMapped, options.maxHostBytes);
+    EXPECT_GT(result.distinctPages,
+              result.hostBytesMapped / pageBytes(PageSize::Size4K));
+}
+
+TEST(ValidationSweep, ForcedSkipProducesDiagnosableReport)
+{
+    ValidationOptions options;
+    options.forceNoPmu = true;
+    DivergenceReport report = runValidationSweep(options);
+    EXPECT_EQ(report.status, "skipped_no_pmu");
+    EXPECT_FALSE(report.reason.empty());
+    EXPECT_TRUE(report.points.empty());
+    EXPECT_TRUE(report.allAgree());
+}
+
+TEST(ValidationSweep, EventListCoversEq1Vocabulary)
+{
+    std::vector<EventId> events = validationEvents();
+    auto contains = [&](EventId id) {
+        for (EventId e : events)
+            if (e == id)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(contains(EventId::CpuClkUnhalted));
+    EXPECT_TRUE(contains(EventId::InstRetired));
+    EXPECT_TRUE(contains(EventId::DtlbLoadMissesWalkDuration));
+    EXPECT_TRUE(contains(EventId::PageWalkerLoadsDtlbMemory));
+    EXPECT_TRUE(contains(EventId::MemUopsRetiredAllStores));
+}

@@ -7,7 +7,16 @@ timings of the fig01 bench (default lane setting and --no-lanes), and
 writes them as a flat JSON object:
 
     { "<bench name>": {"ns_per_op": <float>},   # micro benches
-      "<timing name>": {"wall_s": <float>} }    # whole-sweep timings
+      "<timing name>": {"wall_s": <float>},     # whole-sweep timings
+      "validate_status": {"status": <str>},     # divergence report
+      "validate_max_rel_err_<comp>": {"rel_err": <float>} }
+
+The validate_* entries summarize the hardware-validation divergence
+report (tools/validate, docs/VALIDATION.md): the report status plus the
+worst per-component relative error between measured and simulated WCPI
+decompositions. On counter-less hosts only the status entry appears
+("skipped_no_pmu"), so the comparison gate naturally skips the error
+metrics there.
 
 The checked-in baseline lives at BENCH_05.json in the repo root; CI
 regenerates the file on every run, uploads it as an artifact, and
@@ -83,8 +92,46 @@ def time_fig01(build_dir, name, extra_args, results):
     print("timed %s: %.2fs" % (name, wall))
 
 
+def record_validation(build_dir, results):
+    """Quick validation run -> status + max relative error per component.
+
+    Degrades with the harness: a missing binary records nothing, a
+    counter-less host records only the skip status. Runs against a
+    fresh cache so the recorded divergence is always freshly measured.
+    """
+    binary = os.path.abspath(
+        os.path.join(build_dir, "tools", "validate", "validate_harness"))
+    if not os.path.exists(binary):
+        print("skipping validation record: %s not built" % binary)
+        return
+    scratch = tempfile.mkdtemp(prefix="record_validate_")
+    report_path = os.path.join(scratch, "divergence_report.json")
+    env = dict(os.environ)
+    env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
+    os.makedirs(env["ATSCALE_CACHE_DIR"])
+    try:
+        proc = subprocess.run(
+            [binary, "--quick", "--report=%s" % report_path],
+            cwd=scratch, env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print("skipping validation record: harness exited %d"
+                  % proc.returncode)
+            return
+        with open(report_path) as fh:
+            report = json.load(fh)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    results["validate_status"] = {"status": report.get("status", "unknown")}
+    for component, rel_err in report.get("max_rel_error", {}).items():
+        results["validate_max_rel_err_%s" % component] = {
+            "rel_err": round(rel_err, 4)}
+    print("recorded validation: status=%s, %d component(s)"
+          % (report.get("status"), len(report.get("max_rel_error", {}))))
+
+
 def metric(entry):
-    for key in ("ns_per_op", "wall_s"):
+    for key in ("ns_per_op", "wall_s", "rel_err"):
         if key in entry:
             return key, entry[key]
     return None, None
@@ -144,6 +191,7 @@ def main():
                    ["--lanes"], results)
         time_fig01(args.build_dir, "fig01_quick_cold_threads1_nolanes",
                    ["--no-lanes"], results)
+        record_validation(args.build_dir, results)
 
     out_dir = os.path.dirname(os.path.abspath(args.out))
     os.makedirs(out_dir, exist_ok=True)

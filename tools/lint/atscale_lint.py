@@ -33,6 +33,12 @@ enforces the statically checkable parts of those invariants:
       lane exactness contract. Static member functions and
       static constexpr tables are fine; per-run state must be an
       instance member.
+  R7  every EventId enum member must appear in the perf backend's
+      encodings[] table and be covered by the pretty-name map (the
+      names array sized by numEvents) — an event missing from the
+      encodings table silently reads as zero on real hardware, and a
+      short name table turns eventName() into a panic. Cross-file, like
+      R3: the enum, the table, and the map live in different files.
 
 Findings can be suppressed, one line at a time, with an inline comment
 on the offending line or the line directly above it:
@@ -69,10 +75,11 @@ RULE_SCOPES = {
     "R4": ["src", "bench", "examples", "tests"],
     "R5": ["src", "bench", "examples", "tests"],
     "R6": ["src"],
+    "R7": ["src"],
 }
 
 SUPPRESS_RE = re.compile(
-    r"//\s*atscale-lint:\s*allow\(\s*(R[1-6])\s+([^)]+)\)")
+    r"//\s*atscale-lint:\s*allow\(\s*(R[1-7])\s+([^)]+)\)")
 
 # R1: ambient nondeterminism. Each entry: (regex, what it is).
 R1_PATTERNS = [
@@ -112,6 +119,13 @@ MISS_GUARD_RE = re.compile(r"\bMiss\b|\.hit\b|!\s*hit\b")
 R4_LOOKBACK = 30
 
 COUNTER_MEMBER_RE = re.compile(r"^\s*Count\s+(\w+_)\s*(?:=[^;]*)?;")
+
+# R7: the event vocabulary and its two per-event tables.
+EVENT_ENUM_RE = re.compile(r"\benum\s+class\s+EventId\b")
+ENCODINGS_START_RE = re.compile(r"\bencodings\s*\[\s*\]\s*=")
+NAMES_START_RE = re.compile(r"\bnumEvents\s*>\s*names\s*=")
+EVENT_REF_RE = re.compile(r"\bEventId::(\w+)")
+STRING_LITERAL_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+(?:ATSCALE_\w+(?:\([^)]*\))?\s+)?(\w+)[^;]*$")
 
 
@@ -411,6 +425,83 @@ class RegexEngine:
                               "it is internal bookkeeping, not a "
                               "statistic)" % (member, cls))
 
+    # ---- R7 (cross-file) -------------------------------------------------
+
+    def _event_enum_members(self, files):
+        """(member, path, line) for every EventId member bar NumEvents."""
+        members = []
+        for sf in files:
+            if not in_scope("R7", sf.path):
+                continue
+            in_enum = False
+            in_body = False
+            for idx, line in enumerate(sf.code_lines, start=1):
+                if not in_enum:
+                    if EVENT_ENUM_RE.search(line):
+                        in_enum = True
+                        in_body = "{" in line
+                    continue
+                if not in_body:
+                    in_body = "{" in line
+                    continue
+                if "}" in line:
+                    # One EventId enum per tree: the first body wins.
+                    return members
+                head = line.split("=", 1)[0].split(",", 1)[0].strip()
+                m = re.fullmatch(r"[A-Za-z_]\w*", head)
+                if m and head != "NumEvents":
+                    members.append((head, sf.path, idx))
+        return members
+
+    def _table_span(self, files, start_re):
+        """(path, start line, body lines 0-based span) of the first table
+        opened by start_re and closed by '};', or None."""
+        for sf in files:
+            if not in_scope("R7", sf.path):
+                continue
+            for idx, line in enumerate(sf.code_lines, start=1):
+                if not start_re.search(line):
+                    continue
+                for end in range(idx - 1, len(sf.code_lines)):
+                    if "};" in sf.code_lines[end]:
+                        return sf, idx, (idx - 1, end + 1)
+        return None
+
+    def check_r7(self, files):
+        members = self._event_enum_members(files)
+        if not members:
+            return
+
+        encodings = self._table_span(files, ENCODINGS_START_RE)
+        if encodings is not None:
+            sf, _, (lo, hi) = encodings
+            mapped = set()
+            for line in sf.code_lines[lo:hi]:
+                for m in EVENT_REF_RE.finditer(line):
+                    mapped.add(m.group(1))
+            for member, path, line in members:
+                if member not in mapped:
+                    yield Finding(path, line, "R7",
+                                  "EventId::%s has no entry in the perf "
+                                  "backend's encodings[] table — the "
+                                  "event silently reads as zero on real "
+                                  "hardware; add an encoding (or an "
+                                  "explicit suppression naming why it is "
+                                  "simulator-only)" % member)
+
+        names = self._table_span(files, NAMES_START_RE)
+        if names is not None:
+            sf, start, (lo, hi) = names
+            literals = 0
+            for raw in sf.raw_lines[lo:hi]:
+                literals += len(STRING_LITERAL_RE.findall(raw))
+            if literals != len(members):
+                yield Finding(sf.path, start, "R7",
+                              "pretty-name map holds %d name(s) for %d "
+                              "EventId member(s) — every event needs a "
+                              "name or eventName() panics past the end"
+                              % (literals, len(members)))
+
 
 class ClangEngine(RegexEngine):
     """AST-backed refinement of R2/R5 when python libclang is available.
@@ -526,7 +617,7 @@ def main(argv=None):
                              "against it)")
     parser.add_argument("--engine", choices=["auto", "libclang", "regex"],
                         default="auto")
-    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6",
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6,R7",
                         help="comma-separated subset of rules to run")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as JSON")
@@ -557,6 +648,8 @@ def main(argv=None):
                 findings.extend(getattr(engine, method)(sf))
     if "R3" in rules:
         findings.extend(engine.check_r3(files))
+    if "R7" in rules:
+        findings.extend(engine.check_r7(files))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     apply_suppressions(findings, files_by_path)

@@ -1,0 +1,38 @@
+// R7 fixture: an EventId vocabulary whose per-event tables are
+// incomplete. WalkCycles has no encodings[] entry (on real hardware it
+// would silently read as zero), and the pretty-name map holds two names
+// for three events (eventName() would panic past the end).
+#include <array>
+#include <cstdint>
+
+namespace atscale_fixture
+{
+
+enum class EventId : std::uint8_t
+{
+    CyclesTotal = 0,
+    InstrTotal,
+    WalkCycles,
+    NumEvents,
+};
+
+constexpr int numEvents = static_cast<int>(EventId::NumEvents);
+
+struct EventEncoding
+{
+    EventId id;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+const EventEncoding encodings[] = {
+    {EventId::CyclesTotal, 0, 0},
+    {EventId::InstrTotal, 0, 1},
+};
+
+const std::array<const char *, numEvents> names = {
+    "cycles_total",
+    "instr_total",
+};
+
+} // namespace atscale_fixture

@@ -68,6 +68,7 @@ def main():
         "bad_r4.cc": ("R4", 1),  # the unguarded walk read
         "bad_r5.cc": ("R5", 2),  # member + lock_guard<std::mutex>
         "bad_r6.cc": ("R6", 2),  # function-local + class-level static
+        "bad_r7.cc": ("R7", 2),  # unmapped event + short name table
     }
     for fixture, (rule, min_lines) in sorted(expectations.items()):
         got = grouped.get(fixture, [])

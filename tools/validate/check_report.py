@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Drive the validation harness and check the divergence report shape.
+
+This is the `ctest -L validate` entry point. It runs validate_harness
+with the given extra arguments, then asserts the report is well-formed:
+
+- the harness exits 0 (graceful degradation included),
+- the report parses as JSON and carries the machine-readable "status"
+  field with a known value ("ok" or "skipped_no_pmu"),
+- an "ok" report has points with per-component comparisons,
+- a skipped report has a non-empty diagnostic "reason".
+
+With --expect-status the status must match exactly — CI's counter-less
+leg passes --expect-status=skipped_no_pmu via --force-no-pmu to prove
+the no-PMU path never rots.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+KNOWN_STATUSES = {"ok", "skipped_no_pmu"}
+
+
+def fail(message):
+    print(f"check_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(report, expect_status):
+    status = report.get("status")
+    if status not in KNOWN_STATUSES:
+        fail(f'bad "status": {status!r} (known: {sorted(KNOWN_STATUSES)})')
+    if expect_status and status != expect_status:
+        fail(f'expected status {expect_status!r}, got {status!r}')
+    if report.get("schema") != "atscale-validation-v1":
+        fail(f'bad "schema": {report.get("schema")!r}')
+
+    if status == "ok":
+        points = report.get("points")
+        if not points:
+            fail('status "ok" but no validation points')
+        for point in points:
+            for key in ("workload", "footprint_bytes", "page_size",
+                        "components", "agrees"):
+                if key not in point:
+                    fail(f"point missing {key!r}: {point.get('workload')}")
+            if not point["components"]:
+                fail(f"point has no components: {point['workload']}")
+            for comp in point["components"]:
+                for key in ("name", "simulated", "measured", "rel_error",
+                            "measurable", "within_tolerance"):
+                    if key not in comp:
+                        fail(f"component missing {key!r}")
+    else:
+        if not report.get("reason"):
+            fail("skip report carries no diagnostic reason")
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--harness", required=True,
+                        help="path to the validate_harness binary")
+    parser.add_argument("--report", required=True,
+                        help="where the harness should write the report")
+    parser.add_argument("--expect-status", default=None,
+                        choices=sorted(KNOWN_STATUSES),
+                        help="require this exact report status")
+    parser.add_argument("extra", nargs="*",
+                        help="extra harness arguments (after --)")
+    args = parser.parse_args()
+
+    cmd = [args.harness, f"--report={args.report}"] + args.extra
+    print("check_report: running:", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        fail(f"harness exited {proc.returncode}")
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as exc:
+        fail(f"cannot read report {args.report}: {exc}")
+
+    status = check_report(report, args.expect_status)
+    print(f"check_report: OK (status={status}, "
+          f"points={len(report.get('points', []))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+// Validation harness: measured vs simulated WCPI divergence report.
+//
+// Runs the exec-mode validation workloads through the simulator and —
+// when the machine exposes a usable PMU — natively under
+// LinuxPerfBackend, compares the Eq-1 WCPI decompositions per
+// workload x footprint x page size, prints the human table, and writes
+// the JSON divergence report. On counter-less machines it writes a
+// skip report (status "skipped_no_pmu") and exits 0: graceful
+// degradation is part of the contract, asserted by ctest -L validate.
+//
+// Flags:
+//   --quick               reduced point set and windows (ATSCALE_QUICK=1
+//                         implies this)
+//   --workloads=a,b       override the workload list
+//   --footprints-mib=N,M  override the footprint list (MiB)
+//   --page-sizes=4k,2m    override the page-size list (4k/2m/1g)
+//   --tolerance=X         per-component relative-error tolerance
+//   --report=PATH         JSON report path (default divergence_report.json)
+//   --force-no-pmu        skip PMU measurement even when available
+//   --fail-on-divergence  exit 1 when a measurable component diverges
+//   --threads=N           simulated-side sweep threads (core/sweep.hh)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "core/sweep.hh"
+#include "validate/validation_sweep.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+void
+ensureCacheDir()
+{
+    const char *dir = std::getenv("ATSCALE_CACHE_DIR");
+    std::string path = dir && *dir ? dir : "atscale_cache";
+    ::mkdir(path.c_str(), 0755);
+    setenv("ATSCALE_CACHE_DIR", path.c_str(), 0);
+}
+
+bool
+quickEnv()
+{
+    const char *q = std::getenv("ATSCALE_QUICK");
+    return q && *q && *q != '0';
+}
+
+[[noreturn]] void
+usageError(const char *argv0, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (comma > start)
+            items.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return items;
+}
+
+bool
+parsePageSize(const std::string &name, PageSize &out)
+{
+    if (name == "4k" || name == "4K") {
+        out = PageSize::Size4K;
+    } else if (name == "2m" || name == "2M") {
+        out = PageSize::Size2M;
+    } else if (name == "1g" || name == "1G") {
+        out = PageSize::Size1G;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ensureCacheDir();
+    std::string error;
+    if (!extractSweepFlags(argc, argv, error))
+        usageError(argv[0], error);
+
+    ValidationOptions options;
+    options.threads = resolveThreads();
+    std::string reportPath = "divergence_report.json";
+    bool quick = quickEnv();
+    bool failOnDivergence = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--force-no-pmu") {
+            options.forceNoPmu = true;
+        } else if (arg == "--fail-on-divergence") {
+            failOnDivergence = true;
+        } else if (arg.rfind("--report=", 0) == 0) {
+            reportPath = value("--report=");
+            if (reportPath.empty())
+                usageError(argv[0], "--report needs a path");
+        } else if (arg.rfind("--workloads=", 0) == 0) {
+            options.workloads = splitList(value("--workloads="));
+            if (options.workloads.empty())
+                usageError(argv[0], "--workloads needs a list");
+        } else if (arg.rfind("--footprints-mib=", 0) == 0) {
+            options.footprints.clear();
+            for (const std::string &item :
+                 splitList(value("--footprints-mib="))) {
+                char *end = nullptr;
+                unsigned long long mib = std::strtoull(item.c_str(), &end, 10);
+                if (!end || *end || mib == 0)
+                    usageError(argv[0],
+                               "--footprints-mib: bad value '" + item + "'");
+                options.footprints.push_back(
+                    static_cast<std::uint64_t>(mib) << 20);
+            }
+            if (options.footprints.empty())
+                usageError(argv[0], "--footprints-mib needs a list");
+        } else if (arg.rfind("--page-sizes=", 0) == 0) {
+            options.pageSizes.clear();
+            for (const std::string &item :
+                 splitList(value("--page-sizes="))) {
+                PageSize size;
+                if (!parsePageSize(item, size))
+                    usageError(argv[0],
+                               "--page-sizes: bad value '" + item + "'");
+                options.pageSizes.push_back(size);
+            }
+            if (options.pageSizes.empty())
+                usageError(argv[0], "--page-sizes needs a list");
+        } else if (arg.rfind("--tolerance=", 0) == 0) {
+            char *end = nullptr;
+            options.tolerance = std::strtod(arg.c_str() + 12, &end);
+            if (!end || *end || options.tolerance <= 0)
+                usageError(argv[0], "--tolerance: bad value");
+        } else {
+            usageError(argv[0], "unknown argument '" + arg + "'");
+        }
+    }
+
+    if (quick) {
+        // One small point per workload: CI-speed, still end-to-end.
+        options.footprints = {32ull << 20};
+        options.pageSizes = {PageSize::Size4K};
+        options.warmupRefs = 100'000;
+        options.measureRefs = 300'000;
+    }
+
+    DivergenceReport report = runValidationSweep(options);
+    printDivergenceTable(report, std::cout);
+    writeDivergenceFile(report, reportPath);
+    std::cout << "wrote " << reportPath << "\n";
+
+    if (failOnDivergence && report.status == "ok" && !report.allAgree())
+        return 1;
+    return 0;
+}
