@@ -11,6 +11,9 @@
  *  - ATSCALE_NO_FASTPATH=1  disable the software translation fast path
  *                        (--no-fastpath; results are bit-identical, see
  *                        docs/PERF.md)
+ *  - ATSCALE_SCHEME=NAME translation scheme for every run (--scheme=;
+ *                        radix, hashed, cache_tlb, no_vm — see
+ *                        docs/TRANSLATION_SCHEMES.md)
  */
 
 #ifndef ATSCALE_BENCH_COMMON_HH
@@ -42,8 +45,8 @@ ensureCacheDir()
 
 /**
  * Standard bench start-up: make the cache shareable and consume the
- * sweep-engine flags (--threads=N, --no-fastpath; see core/sweep.hh).
- * Malformed flags
+ * sweep-engine flags (--threads=N, --no-fastpath, --scheme=NAME; see
+ * core/sweep.hh). Malformed flags
  * print the error and exit(2); the remaining argv is compacted in place
  * for the bench's own parsing. Call first in every bench main().
  */
@@ -66,7 +69,10 @@ quick()
     return q && *q && *q != '0';
 }
 
-/** Measurement window sizes, quick-aware; honours --no-fastpath. */
+/**
+ * Measurement window sizes, quick-aware; honours --no-fastpath and
+ * --scheme=.
+ */
 inline RunConfig
 baseRunConfig()
 {
@@ -74,6 +80,7 @@ baseRunConfig()
     config.warmupRefs = quick() ? 150'000 : 400'000;
     config.measureRefs = quick() ? 400'000 : 1'200'000;
     config.fastPath = fastPathDefault();
+    config.scheme = schemeDefault();
     return config;
 }
 

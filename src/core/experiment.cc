@@ -53,6 +53,7 @@ runExperiment(const RunSpec &spec, const PlatformParams &params,
 
     PlatformParams run_params = params;
     run_params.mmu.fastPath = params.mmu.fastPath && spec.fastPath;
+    run_params.mmu.scheme = spec.scheme;
     Platform platform(run_params, spec.pageSize, workload->traits(),
                       spec.seed * 0x9e37 + 7);
 

@@ -206,6 +206,7 @@ runLaneGroup(const std::vector<LaneJob> &lanes, const LaneProbe &probe)
                  spec.workload.c_str());
         PlatformParams run_params = lane.job->params;
         run_params.mmu.fastPath = run_params.mmu.fastPath && spec.fastPath;
+        run_params.mmu.scheme = spec.scheme;
         lane.platform = std::make_unique<Platform>(
             run_params, spec.pageSize, lane.workload->traits(),
             spec.seed * 0x9e37 + 7);

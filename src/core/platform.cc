@@ -10,7 +10,7 @@ Platform::Platform(const PlatformParams &params, PageSize backing,
     : alloc(params.dramBytes),
       space(mem, alloc, backing),
       hierarchy(params.hierarchy),
-      mmu(space, mem, hierarchy, params.mmu),
+      mmu(space, mem, hierarchy, params.mmu, &alloc),
       core(mmu, hierarchy, space, params.core, traits, seed),
       params_(params)
 {

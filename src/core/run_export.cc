@@ -34,6 +34,10 @@ writeRunResultBody(JsonWriter &json, const RunResult &result,
     json.kv("warmup_refs", spec.warmupRefs);
     json.kv("measure_refs", spec.measureRefs);
     json.kv("seed", spec.seed);
+    // Only non-default schemes are emitted, so radix exports stay
+    // byte-identical to the pre-seam format (golden suite contract).
+    if (spec.scheme != "radix")
+        json.kv("scheme", spec.scheme);
     json.endObject();
 
     json.kv("footprint_touched", result.footprintTouched);

@@ -12,7 +12,7 @@ std::string
 RunSpec::cacheKey() const
 {
     char buf[384];
-    std::snprintf(buf, sizeof(buf), "v2_%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
+    std::snprintf(buf, sizeof(buf), "v3_%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
                   workload.c_str(),
                   static_cast<unsigned long long>(footprintBytes),
                   pageSizeName(pageSize).c_str(), static_cast<int>(mode),
@@ -22,6 +22,8 @@ RunSpec::cacheKey() const
     std::string key = buf;
     if (!fastPath)
         key += "_nofp";
+    if (scheme != "radix")
+        key += "_sch" + scheme;
     if (!platformTag.empty())
         key += "_p" + platformTag;
     return key;
@@ -35,6 +37,8 @@ RunSpec::fileTag() const
                       std::to_string(seed);
     if (!fastPath)
         tag += "_nofp";
+    if (scheme != "radix")
+        tag += "_" + scheme;
     if (!platformTag.empty())
         tag += "_" + platformTag;
     return tag;
@@ -49,6 +53,8 @@ RunSpec::describe() const
                        " seed=" + std::to_string(seed);
     if (!fastPath)
         text += " no-fastpath";
+    if (scheme != "radix")
+        text += " scheme=" + scheme;
     if (!platformTag.empty())
         text += " platform=" + platformTag;
     return text;
@@ -79,6 +85,7 @@ RunSpec::hash() const
     h = hashCombine(h, measureRefs);
     h = hashCombine(h, seed);
     h = hashCombine(h, fastPath ? 1 : 0);
+    h = fnv1a(scheme, hashCombine(h, scheme.size()));
     h = fnv1a(platformTag, hashCombine(h, platformTag.size()));
     return h;
 }

@@ -49,6 +49,14 @@ struct RunSpec
      */
     bool fastPath = true;
     /**
+     * Translation scheme the MMU runs (mmu/scheme/registry.hh):
+     * "radix" (default), "hashed", "cache_tlb", or "no_vm". A platform-
+     * side knob like pageSize: it never changes the reference stream,
+     * so scheme variants of one spec co-schedule as lockstep lanes —
+     * the scheme-comparison sweeps ride the lane engine for free.
+     */
+    std::string scheme = "radix";
+    /**
      * Distinguishes runs made under non-default PlatformParams. The
      * params themselves are not part of the spec (they are not hashable
      * and rarely vary); any caller that runs the same (workload,
@@ -63,12 +71,14 @@ struct RunSpec
     /**
      * Canonical key string encoding every field. This is the on-disk
      * cache-file stem (with ".run" appended) and the basis of hash().
-     * The key carries a result-semantics version prefix ("v2_"): bumped
+     * The key carries a result-semantics version prefix ("v3_"): bumped
      * when the simulation's results change for the same knobs (v2 = the
-     * chunked fetch-ahead frontend), which retires stale cache files
-     * wholesale. fastPath does not alter default keys — fast-path-on is
-     * bit-identical to off — but disabled runs are tagged "_nofp" so A/B
-     * validation sweeps cannot conflate cache entries.
+     * chunked fetch-ahead frontend, v3 = the translation-scheme seam),
+     * which retires stale cache files wholesale. fastPath does not alter
+     * default keys — fast-path-on is bit-identical to off — but disabled
+     * runs are tagged "_nofp" so A/B validation sweeps cannot conflate
+     * cache entries; likewise non-radix schemes are tagged
+     * "_sch<name>" while the default radix key stays untagged.
      */
     std::string cacheKey() const;
 
@@ -90,9 +100,9 @@ struct RunSpec
      * (workload, footprint, mode, window sizes, seed). Specs sharing a
      * key consume bit-identical streams, so the sweep engine may execute
      * them as lockstep lanes over one shared generator (core/lane_exec);
-     * platform-side knobs — pageSize, fastPath, platformTag — are
-     * deliberately excluded, which is what makes page-size and
-     * MMU-ablation variants co-schedulable.
+     * platform-side knobs — pageSize, fastPath, scheme, platformTag —
+     * are deliberately excluded, which is what makes page-size,
+     * MMU-ablation, and translation-scheme variants co-schedulable.
      */
     std::string laneGroupKey() const;
 

@@ -11,6 +11,7 @@
 #include "core/lane_exec.hh"
 #include "core/run_cache.hh"
 #include "core/run_export.hh"
+#include "mmu/scheme/registry.hh"
 #include "util/logging.hh"
 
 namespace atscale
@@ -90,14 +91,44 @@ fastPathDefault()
     return !(env && *env && *env != '0');
 }
 
+std::string
+schemeDefault()
+{
+    const char *env = std::getenv("ATSCALE_SCHEME");
+    if (env && *env)
+        return env;
+    return "radix";
+}
+
 bool
 extractSweepFlags(int &argc, char **argv, std::string &error)
 {
     error.clear();
     const std::string prefix = "--threads=";
+    const std::string scheme_prefix = "--scheme=";
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg.compare(0, scheme_prefix.size(), scheme_prefix) == 0) {
+            std::string name = arg.substr(scheme_prefix.size());
+            if (!isTranslationScheme(name)) {
+                if (error.empty())
+                    error = "--scheme: unknown translation scheme '" + name +
+                            "' (known: " + schemeNameList() + ")";
+                continue;
+            }
+            // Environment-carried for the same reason as --threads:
+            // every RunSpec this process builds via schemeDefault()
+            // picks up the request.
+            setenv("ATSCALE_SCHEME", name.c_str(), 1);
+            continue;
+        }
+        if (arg.rfind("--scheme", 0) == 0) {
+            if (error.empty())
+                error = "--scheme requires =<name> (known: " +
+                        schemeNameList() + ")";
+            continue;
+        }
         if (arg.compare(0, prefix.size(), prefix) == 0) {
             char *end = nullptr;
             long value = std::strtol(arg.c_str() + prefix.size(), &end, 10);
@@ -460,6 +491,32 @@ overheadSweepJobs(const std::vector<std::string> &workloads,
                 spec.workload = workload;
                 spec.footprintBytes = footprint;
                 spec.pageSize = size;
+                jobs.push_back(SweepJob{std::move(spec), params});
+            }
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepJob>
+schemeSweepJobs(const std::vector<std::string> &workloads,
+                const std::vector<std::uint64_t> &footprints,
+                const std::vector<std::string> &schemes,
+                const RunSpec &base, const PlatformParams &params)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size() * footprints.size() * schemes.size());
+    for (const std::string &workload : workloads) {
+        for (std::uint64_t footprint : footprints) {
+            for (const std::string &scheme : schemes) {
+                fatal_if(!isTranslationScheme(scheme),
+                         "schemeSweepJobs: unknown translation scheme '%s' "
+                         "(known: %s)",
+                         scheme.c_str(), schemeNameList().c_str());
+                RunSpec spec = base;
+                spec.workload = workload;
+                spec.footprintBytes = footprint;
+                spec.scheme = scheme;
                 jobs.push_back(SweepJob{std::move(spec), params});
             }
         }

@@ -59,14 +59,16 @@ int resolveThreads(int requested = 0);
 
 /**
  * Extract engine flags (--threads=N, --no-fastpath, --no-lanes,
- * --lanes) from argv, compacting the remaining arguments in place as
- * extractObsFlags does. --threads wins over the ATSCALE_THREADS
- * environment variable (it is stored back into it, so engines
- * constructed anywhere in the process see it); --no-fastpath sets
- * ATSCALE_NO_FASTPATH, which benchx::baseRunConfig and
+ * --lanes, --scheme=NAME) from argv, compacting the remaining arguments
+ * in place as extractObsFlags does. --threads wins over the
+ * ATSCALE_THREADS environment variable (it is stored back into it, so
+ * engines constructed anywhere in the process see it); --no-fastpath
+ * sets ATSCALE_NO_FASTPATH, which benchx::baseRunConfig and
  * fastPathDefault() consult; --no-lanes / --lanes set ATSCALE_NO_LANES
  * / ATSCALE_LANES, which lanesDefault() consults (the multi-lane
- * executor's A/B escape hatch and single-core force-on).
+ * executor's A/B escape hatch and single-core force-on); --scheme sets
+ * ATSCALE_SCHEME (validated against the scheme registry), which
+ * schemeDefault() consults.
  *
  * @return false with `error` set when a flag is malformed.
  */
@@ -78,6 +80,13 @@ bool extractSweepFlags(int &argc, char **argv, std::string &error);
  * extractSweepFlags) disabled it.
  */
 bool fastPathDefault();
+
+/**
+ * Default RunSpec::scheme for this process: "radix" unless the
+ * ATSCALE_SCHEME environment variable (or --scheme= via
+ * extractSweepFlags) selected another registered translation scheme.
+ */
+std::string schemeDefault();
 
 /** One schedulable job: a spec plus the platform to run it on. */
 struct SweepJob
@@ -244,6 +253,21 @@ overheadSweepJobs(const std::vector<std::string> &workloads,
                   const std::vector<std::uint64_t> &footprints,
                   const RunSpec &base = {},
                   const PlatformParams &params = {});
+
+/**
+ * Expand the scheme-comparison job list: for every workload x footprint
+ * point, one run per translation scheme (ROADMAP item 2's payoff).
+ * Declared order is workload-major, then footprint, then scheme in the
+ * given order. Schemes do not enter laneGroupKey(), so the K scheme
+ * variants of one point share a stream identity and execute as one
+ * lockstep lane group — one generated reference stream fanned across
+ * all schemes.
+ */
+std::vector<SweepJob>
+schemeSweepJobs(const std::vector<std::string> &workloads,
+                const std::vector<std::uint64_t> &footprints,
+                const std::vector<std::string> &schemes,
+                const RunSpec &base = {}, const PlatformParams &params = {});
 
 /**
  * Sweep one workload across footprints through the engine.

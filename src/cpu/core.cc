@@ -141,7 +141,9 @@ Cycles
 Core::wrongPathRef(Addr vaddr, Cycles budget)
 {
     MmuResult t = mmu_.translate(vaddr, true, budget);
-    Cycles walker_busy = 0;
+    // Per-access software-translation cost (no_vm scheme) occupies the
+    // wrong-path slot just like walker time; 0 for hardware schemes.
+    Cycles walker_busy = t.schemeExtraCycles;
 
     switch (t.tlbLevel) {
       case TlbLevel::L1:
@@ -246,6 +248,11 @@ Core::executeRef(RefSource &source, const Ref &ref)
         budget = 10 + rng_.below(50);
 
     MmuResult t = mmu_.translate(ref.vaddr, false, budget);
+    // Software-translation cost charged outside the TLB/walk terms
+    // (no_vm scheme); the branch is never taken for hardware schemes,
+    // keeping the radix path bit-identical to the pre-seam core.
+    if (t.schemeExtraCycles != 0)
+        stall(static_cast<double>(t.schemeExtraCycles));
     if (t.tlbLevel == TlbLevel::L2) {
         counters_.add(ref.isStore ? EventId::DtlbStoreMissesStlbHit
                                   : EventId::DtlbLoadMissesStlbHit);

@@ -1,113 +1,30 @@
 #include "mmu/mmu.hh"
 
-#include "obs/stats_registry.hh"
-#include "util/hash.hh"
+#include "mmu/scheme/registry.hh"
+#include "util/logging.hh"
 
 namespace atscale
 {
 
 Mmu::Mmu(AddressSpace &space, PhysicalMemory &mem, CacheHierarchy &hierarchy,
-         const MmuParams &params)
-    : space_(space), tlb_(params.tlb), pscs_(params.psc),
-      walker_(mem, hierarchy, pscs_, params.walker),
-      fastEnabled_(params.fastPath)
+         const MmuParams &params, FrameAllocator *alloc)
+    : scheme_(makeTranslationScheme(space, mem, hierarchy, alloc, params))
 {
+    // Devirtualize the default scheme: RadixScheme is final, so calls
+    // through this pointer inline the TLB-hit fast path exactly as the
+    // pre-seam MMU did.
+    if (params.scheme == "radix")
+        radix_ = static_cast<RadixScheme *>(scheme_.get());
 }
 
-MmuResult
-Mmu::translateSlow(Addr vaddr, bool speculative, Cycles walkBudget)
+RadixScheme &
+Mmu::radixOrFatal() const
 {
-    MmuResult result;
-    TlbLookupResult tlb_result = tlb_.lookup(vaddr);
-    result.tlbLevel = tlb_result.level;
-    result.tlbExtraLatency = tlb_result.extraLatency;
-
-    if (tlb_result.level != TlbLevel::Miss) {
-        result.pageSize = tlb_result.pageSize;
-        // L1 hit, or L2 hit that just refilled L1: either way the
-        // translation is now first-level resident and worth shadowing.
-        if (fastEnabled_)
-            fast_.install(vaddr, result.pageSize, tlb_);
-        return result;
-    }
-
-    // Correct-path misses to not-yet-populated pages take the OS demand
-    // paging path first, so the hardware walk below finds a present leaf.
-    // Speculative requests must not page anything in.
-    if (!speculative && space_.findVma(vaddr))
-        space_.touch(vaddr);
-
-    result.walk_ = walker_.walk(vaddr, space_.pageTable(), walkBudget);
-
-    if (result.walk_.completed && !result.walk_.faulted) {
-        result.pageSize = result.walk_.translation.pageSize;
-        tlb_.install(vaddr, result.pageSize);
-        if (fastEnabled_)
-            fast_.install(vaddr, result.pageSize, tlb_);
-    }
-    return result;
-}
-
-void
-Mmu::setFastPath(bool enabled)
-{
-    fastEnabled_ = enabled;
-    if (!enabled)
-        fast_.flush();
-}
-
-void
-Mmu::invalidatePage(Addr base, PageSize size)
-{
-    tlb_.invalidatePage(base, size);
-    fast_.invalidatePage(base, size);
-}
-
-void
-Mmu::resetStats()
-{
-    tlb_.resetStats();
-    pscs_.resetStats();
-    walker_.resetStats();
-    fast_.resetStats();
-}
-
-void
-Mmu::flushAll()
-{
-    tlb_.flush();
-    pscs_.flush();
-    fast_.flush();
-}
-
-std::uint64_t
-Mmu::stateHash() const
-{
-    return hashCombine(tlb_.stateHash(), pscs_.stateHash());
-}
-
-void
-Mmu::registerStats(StatsRegistry &registry, const std::string &prefix) const
-{
-    tlb_.registerStats(registry, prefix + ".tlb");
-    pscs_.registerStats(registry, prefix + ".psc");
-    walker_.registerStats(registry, prefix + ".walker");
-    registry.addScalar(prefix + ".fastpath.hits", [this] {
-        return static_cast<double>(fast_.hits());
-    }, "translations served by the software fast path (diagnostic)");
-    registry.addScalar(prefix + ".fastpath.misses", [this] {
-        return static_cast<double>(fast_.misses());
-    }, "fast-path probes that fell back to the full path (diagnostic)");
-    registry.addScalar(prefix + ".fastpath.installs", [this] {
-        return static_cast<double>(fast_.installs());
-    }, "fast-path shadow entries installed (diagnostic)");
-    registry.addScalar(prefix + ".fastpath.invalidations", [this] {
-        return static_cast<double>(fast_.invalidations());
-    }, "fast-path entries dropped by page invalidations (diagnostic)");
-    registry.addScalar(prefix + ".fastpath.bypass_windows", [this] {
-        return static_cast<double>(fast_.bypassWindows());
-    }, "adaptation windows that bypassed the table as thrashing "
-       "(diagnostic)");
+    fatal_if(radix_ == nullptr,
+             "radix-only MMU accessor used while translation scheme '%s' "
+             "is active",
+             scheme_->name());
+    return *radix_;
 }
 
 } // namespace atscale

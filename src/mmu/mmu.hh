@@ -1,92 +1,33 @@
 /**
  * @file
- * The memory management unit facade: TLB complex + paging-structure caches
- * + page-table walker, fronting one address space, with a software fast
- * path (mmu/fastpath.hh) that short-circuits repeat L1 TLB hits.
+ * The memory management unit facade: one TranslationScheme (radix by
+ * default — TLB complex + paging-structure caches + page-table walker
+ * with the software fast path) behind a stable seam, selected by
+ * MmuParams::scheme through mmu/scheme/registry.hh. The facade owns the
+ * TranslationListener invalidation plumbing and keeps the radix hot
+ * path devirtualized so the fast-path PR's throughput survives the
+ * seam.
  */
 
 #ifndef ATSCALE_MMU_MMU_HH
 #define ATSCALE_MMU_MMU_HH
 
-#include <cassert>
+#include <memory>
 
-#include "cache/hierarchy.hh"
-#include "mmu/fastpath.hh"
-#include "mmu/paging_structure_cache.hh"
-#include "mmu/tlb_complex.hh"
-#include "mmu/walker.hh"
+#include "mmu/scheme/radix_scheme.hh"
+#include "mmu/scheme/translation_scheme.hh"
 #include "vm/address_space.hh"
 
 namespace atscale
 {
 
-/** MMU configuration. */
-struct MmuParams
-{
-    TlbParams tlb;
-    PscParams psc;
-    WalkerParams walker;
-    /** Enable the software translation fast path (exact; see fastpath.hh). */
-    bool fastPath = true;
-};
-
-/** Result of one translation request. */
-struct MmuResult
-{
-    /** Where the TLB lookup was satisfied (Miss => a walk happened). */
-    TlbLevel tlbLevel = TlbLevel::Miss;
-    /** Extra cycles on the TLB lookup path (L2 TLB hits). */
-    Cycles tlbExtraLatency = 0;
-    /** Page size of the translation (valid unless the walk aborted). */
-    PageSize pageSize = PageSize::Size4K;
-
-    /**
-     * Walk details; meaningful only when tlbLevel == Miss. On TLB hits
-     * the accounting fields are deliberately left unwritten (fastpath.hh
-     * depends on the hit path doing zero walk bookkeeping), so debug
-     * builds assert here and poison the storage (see poisonWalk) to
-     * catch any unguarded read dynamically; lint rule R4 catches them
-     * statically. Release builds compile down to a plain field access.
-     */
-    const WalkResult &
-    walk() const
-    {
-        assert(tlbLevel == TlbLevel::Miss &&
-               "MmuResult::walk read on a TLB hit (fields are undefined)");
-        return walk_;
-    }
-
-#ifndef NDEBUG
-    MmuResult() { poisonWalk(); }
-
-    /**
-     * Debug-only: fill the walk accounting fields with a recognizable
-     * garbage pattern so a read that slips past the assert (e.g. via
-     * memcpy of the whole struct) shows up as implausible numbers
-     * instead of plausible stale ones.
-     */
-    void
-    poisonWalk()
-    {
-        walk_.cycles = static_cast<Cycles>(0xDEADDEADDEADDEADull);
-        walk_.ptwAccesses = static_cast<Count>(0xDEADDEADDEADDEADull);
-        walk_.startLevel = -0xDEAD;
-        walk_.loadsAtLevel.fill(static_cast<Count>(0xDEADDEADDEADDEADull));
-        walk_.hitLevelAt.fill(-13);
-    }
-#else
-    MmuResult() = default;
-#endif
-
-  private:
-    friend class Mmu;
-    WalkResult walk_;
-};
+class FrameAllocator;
 
 /**
- * The per-core MMU. Demand-populates the address space on correct-path
- * misses (the OS page-fault handler analogue), walks the real page table
- * for every TLB miss, and installs completed translations.
+ * The per-core MMU: a thin facade over the active translation scheme.
+ * For the default radix scheme the facade dispatches through a concrete
+ * (final) pointer, so the TLB-hit fast path inlines exactly as before
+ * the scheme seam existed.
  */
 class Mmu : public TranslationListener
 {
@@ -95,19 +36,15 @@ class Mmu : public TranslationListener
      * @param space the address space being translated
      * @param mem physical memory (PTE storage)
      * @param hierarchy cache hierarchy shared with data accesses
+     * @param alloc frame allocator for schemes that allocate simulated
+     *        physical storage (hashed tables, park lines); the radix
+     *        and no_vm schemes never touch it
      */
     Mmu(AddressSpace &space, PhysicalMemory &mem, CacheHierarchy &hierarchy,
-        const MmuParams &params = {});
+        const MmuParams &params = {}, FrameAllocator *alloc = nullptr);
 
     /**
-     * Translate vaddr.
-     *
-     * The hot case — a repeat hit on a first-level-resident page — is
-     * served by the fast path with bit-identical counter and replacement
-     * state to the full lookup (see mmu/fastpath.hh for the contract).
-     * Neither MMU path consumes RNG on a hit, and speculative/walkBudget
-     * only matter on misses, so the short-circuit is safe for wrong-path
-     * requests too.
+     * Translate vaddr through the active scheme.
      *
      * @param speculative the request is from a speculative (possibly
      *        wrong) path: no demand paging, and aborted walks are normal
@@ -117,36 +54,49 @@ class Mmu : public TranslationListener
     translate(Addr vaddr, bool speculative = false,
               Cycles walkBudget = unlimitedWalkBudget)
     {
-        if (fastEnabled_) {
-            MmuResult result;
-            if (fast_.tryHit(vaddr, tlb_, result.pageSize)) {
-                result.tlbLevel = TlbLevel::L1;
-                return result;
-            }
-        }
-        return translateSlow(vaddr, speculative, walkBudget);
+        if (radix_)
+            return radix_->translate(vaddr, speculative, walkBudget);
+        return scheme_->translate(vaddr, speculative, walkBudget);
     }
 
-    TlbComplex &tlb() { return tlb_; }
-    PagingStructureCaches &pscs() { return pscs_; }
-    PageWalker &walker() { return walker_; }
-    const TlbComplex &tlb() const { return tlb_; }
-    const PagingStructureCaches &pscs() const { return pscs_; }
-    const PageWalker &walker() const { return walker_; }
-    FastTranslationCache &fastCache() { return fast_; }
-    const FastTranslationCache &fastCache() const { return fast_; }
-
-    /** Whether the fast path is consulted. */
-    bool fastPathEnabled() const { return fastEnabled_; }
-    /** Enable/disable the fast path at run time (disabling drops it). */
-    void setFastPath(bool enabled);
+    /** The active translation scheme. */
+    TranslationScheme &scheme() { return *scheme_; }
+    const TranslationScheme &scheme() const { return *scheme_; }
+    /** Registry name of the active scheme. */
+    const char *schemeName() const { return scheme_->name(); }
 
     /**
-     * Drop any translation state for the page at `base` of size `size`
-     * (TLBs + fast path). The invlpg analogue, driven by address-space
-     * remap notifications.
+     * Radix-component accessors. fatal() when a non-radix scheme is
+     * active — callers poking TLB/PSC/walker internals are asserting
+     * radix structure that other schemes do not have.
      */
-    void invalidatePage(Addr base, PageSize size);
+    TlbComplex &tlb() { return radixOrFatal().tlb(); }
+    PagingStructureCaches &pscs() { return radixOrFatal().pscs(); }
+    PageWalker &walker() { return radixOrFatal().walker(); }
+    const TlbComplex &tlb() const { return radixOrFatal().tlb(); }
+    const PagingStructureCaches &pscs() const { return radixOrFatal().pscs(); }
+    const PageWalker &walker() const { return radixOrFatal().walker(); }
+    FastTranslationCache &fastCache() { return radixOrFatal().fastCache(); }
+    const FastTranslationCache &
+    fastCache() const
+    {
+        return radixOrFatal().fastCache();
+    }
+
+    /** Whether the scheme's fast path is consulted. */
+    bool fastPathEnabled() const { return scheme_->fastPathEnabled(); }
+    /** Enable/disable the fast path (a no-op for schemes without one). */
+    void setFastPath(bool enabled) { scheme_->setFastPath(enabled); }
+
+    /**
+     * Drop any translation state for the page at `base` of size `size`.
+     * The invlpg analogue, driven by address-space remap notifications.
+     */
+    void
+    invalidatePage(Addr base, PageSize size)
+    {
+        scheme_->invalidatePage(base, size);
+    }
 
     /** TranslationListener: a page now maps to a different frame. */
     void
@@ -156,33 +106,29 @@ class Mmu : public TranslationListener
     }
 
     /** Reset all statistics (contents retained). */
-    void resetStats();
-    /** Flush all translation state (TLBs + PSCs + fast path). */
-    void flushAll();
+    void resetStats() { scheme_->resetStats(); }
+    /** Flush all cached translation state. */
+    void flushAll() { scheme_->flushAll(); }
 
-    /** Register TLB/PSC/walker/fast-path statistics under "<prefix>.". */
-    void registerStats(StatsRegistry &registry,
-                       const std::string &prefix) const;
+    /** Register the scheme's statistics under "<prefix>.". */
+    void
+    registerStats(StatsRegistry &registry, const std::string &prefix) const
+    {
+        scheme_->registerStats(registry, prefix);
+    }
 
     /**
-     * Process-stable digest of all exactness-relevant translation state:
-     * TLB contents/recency/stats and PSC contents/recency/stats. The
-     * fast-path table is deliberately excluded — it is a shadow structure
-     * whose diagnostic counters legitimately differ between fast path on
-     * and off.
+     * Process-stable digest of all exactness-relevant translation state
+     * (scheme-defined; see TranslationScheme::stateHash).
      */
-    std::uint64_t stateHash() const;
+    std::uint64_t stateHash() const { return scheme_->stateHash(); }
 
   private:
-    /** The full lookup/demand-page/walk/install path. */
-    MmuResult translateSlow(Addr vaddr, bool speculative, Cycles walkBudget);
+    RadixScheme &radixOrFatal() const;
 
-    AddressSpace &space_;
-    TlbComplex tlb_;
-    PagingStructureCaches pscs_;
-    PageWalker walker_;
-    FastTranslationCache fast_;
-    bool fastEnabled_ = true;
+    std::unique_ptr<TranslationScheme> scheme_;
+    /** Non-null iff the radix scheme is active (devirtualized path). */
+    RadixScheme *radix_ = nullptr;
 };
 
 } // namespace atscale

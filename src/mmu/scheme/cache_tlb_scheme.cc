@@ -1,0 +1,206 @@
+#include "mmu/scheme/cache_tlb_scheme.hh"
+
+#include <algorithm>
+
+#include "obs/stats_registry.hh"
+#include "util/bitfield.hh"
+#include "util/hash.hh"
+
+namespace atscale
+{
+
+namespace
+{
+constexpr std::uint64_t parkLineBytes = 64;
+} // namespace
+
+CacheTlbScheme::CacheTlbScheme(AddressSpace &space, PhysicalMemory &mem,
+                               CacheHierarchy &hierarchy,
+                               FrameAllocator &alloc,
+                               const MmuParams &params)
+    : space_(space), hierarchy_(hierarchy), params_(params.cacheTlb),
+      tlb_(params.tlb), pscs_(params.psc),
+      walker_(mem, hierarchy, pscs_, params.walker),
+      fastEnabled_(params.fastPath)
+{
+    std::uint64_t lines = 1ull << ceilLog2(
+        std::max<std::uint64_t>(params_.parkLines, 1));
+    parkBase_ = alloc.allocate(lines * parkLineBytes);
+    parkMask_ = static_cast<std::size_t>(lines - 1);
+    park_.resize(lines);
+}
+
+PhysAddr
+CacheTlbScheme::parkLineAddr(std::size_t idx) const
+{
+    return parkBase_ + static_cast<PhysAddr>(idx) * parkLineBytes;
+}
+
+MmuResult
+CacheTlbScheme::translateSlow(Addr vaddr, bool speculative,
+                              Cycles walkBudget)
+{
+    MmuResult result;
+    TlbLookupResult tlb_result = tlb_.lookup(vaddr);
+    result.tlbLevel = tlb_result.level;
+    result.tlbExtraLatency = tlb_result.extraLatency;
+
+    if (tlb_result.level != TlbLevel::Miss) {
+        result.pageSize = tlb_result.pageSize;
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+        return result;
+    }
+
+    if (!speculative && space_.findVma(vaddr))
+        space_.touch(vaddr);
+
+    // Probe the parked-entry line through the data hierarchy. A parked
+    // translation only counts if its line is still cache-resident: a
+    // probe answered by DRAM is no faster than a walk, so (as in
+    // Victima) entries that decayed out of the cache are dead.
+    std::uint64_t vpn = vaddr >> pageShift4K;
+    std::size_t idx = parkIndex(vpn);
+    MemAccessResult probe =
+        hierarchy_.access(parkLineAddr(idx), AccessKind::PtwLoad);
+    Cycles spent = probe.latency + params_.probeExtraCycles;
+
+    WalkResult &walk = walkSlot(result);
+    const ParkSlot &slot = park_[idx];
+    if (slot.vpn == vpn && probe.level != MemLevel::Memory) {
+        ++parkHits_;
+        walk.completed = true;
+        walk.faulted = false;
+        walk.translation = slot.translation;
+        walk.cycles = std::min(spent, walkBudget);
+        walk.ptwAccesses = 1;
+        walk.startLevel = 0;
+        walk.loadsAtLevel.fill(0);
+        ++walk.loadsAtLevel[static_cast<int>(probe.level)];
+        walk.hitLevelAt.fill(-1);
+        walk.hitLevelAt[0] = static_cast<std::int8_t>(probe.level);
+
+        result.pageSize = walk.translation.pageSize;
+        tlb_.install(vaddr, result.pageSize);
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+        return result;
+    }
+
+    ++parkMisses_;
+    Cycles remaining = walkBudget > spent ? walkBudget - spent : 0;
+    walk = walker_.walk(vaddr, space_.pageTable(), remaining);
+    walk.cycles += spent;
+    walk.ptwAccesses += 1;
+    walk.loadsAtLevel[static_cast<int>(probe.level)] += 1;
+
+    if (walk.completed && !walk.faulted) {
+        result.pageSize = walk.translation.pageSize;
+        tlb_.install(vaddr, result.pageSize);
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+        // Park the fresh translation: write the line (modeled as one
+        // extra hierarchy touch, deliberately not charged to this walk
+        // — the fill happens off the translation's critical path).
+        ParkSlot &fill = park_[idx];
+        if (fill.vpn != ~0ull && fill.vpn != vpn)
+            ++parkConflicts_;
+        fill.vpn = vpn;
+        fill.translation = walk.translation;
+        ++parkInstalls_;
+        hierarchy_.access(parkLineAddr(idx), AccessKind::PtwLoad);
+    }
+    return result;
+}
+
+void
+CacheTlbScheme::setFastPath(bool enabled)
+{
+    fastEnabled_ = enabled;
+    if (!enabled)
+        fast_.flush();
+}
+
+void
+CacheTlbScheme::invalidatePage(Addr base, PageSize size)
+{
+    tlb_.invalidatePage(base, size);
+    fast_.invalidatePage(base, size);
+    // Parked entries index by 4 KiB VPN, so drop every covered slot.
+    for (Addr page = base; page < base + pageBytes(size);
+         page += pageSize4K) {
+        std::uint64_t vpn = page >> pageShift4K;
+        ParkSlot &slot = park_[parkIndex(vpn)];
+        if (slot.vpn == vpn) {
+            slot.vpn = ~0ull;
+            slot.translation = Translation{};
+        }
+    }
+}
+
+void
+CacheTlbScheme::resetStats()
+{
+    tlb_.resetStats();
+    pscs_.resetStats();
+    walker_.resetStats();
+    fast_.resetStats();
+    parkHits_ = 0;
+    parkMisses_ = 0;
+    parkInstalls_ = 0;
+    parkConflicts_ = 0;
+}
+
+void
+CacheTlbScheme::flushAll()
+{
+    tlb_.flush();
+    pscs_.flush();
+    fast_.flush();
+    for (ParkSlot &slot : park_) {
+        slot.vpn = ~0ull;
+        slot.translation = Translation{};
+    }
+}
+
+std::uint64_t
+CacheTlbScheme::stateHash() const
+{
+    std::uint64_t h = hashCombine(tlb_.stateHash(), pscs_.stateHash());
+    for (const ParkSlot &slot : park_) {
+        if (slot.vpn != ~0ull) {
+            h = hashCombine(h, slot.vpn);
+            h = hashCombine(h, slot.translation.frame);
+        }
+    }
+    return h;
+}
+
+void
+CacheTlbScheme::registerStats(StatsRegistry &registry,
+                              const std::string &prefix) const
+{
+    tlb_.registerStats(registry, prefix + ".tlb");
+    pscs_.registerStats(registry, prefix + ".psc");
+    walker_.registerStats(registry, prefix + ".walker");
+    registry.addScalar(prefix + ".park.hits", [this] {
+        return static_cast<double>(parkHits_);
+    }, "park probes that found the entry still cache-resident");
+    registry.addScalar(prefix + ".park.misses", [this] {
+        return static_cast<double>(parkMisses_);
+    }, "park probes that missed (wrong VPN, empty, or served by DRAM)");
+    registry.addScalar(prefix + ".park.installs", [this] {
+        return static_cast<double>(parkInstalls_);
+    }, "translations parked after completed walks");
+    registry.addScalar(prefix + ".park.conflicts", [this] {
+        return static_cast<double>(parkConflicts_);
+    }, "installs that evicted a different VPN's parked entry");
+    registry.addScalar(prefix + ".fastpath.hits", [this] {
+        return static_cast<double>(fast_.hits());
+    }, "translations served by the software fast path (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.misses", [this] {
+        return static_cast<double>(fast_.misses());
+    }, "fast-path probes that fell back to the full path (diagnostic)");
+}
+
+} // namespace atscale

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The cache-parked TLB translation scheme (Victima-style, Kanellopoulos
+ * et al., PAPERS.md): translations evicted from / missing in the TLB
+ * complex are parked in ordinary data cache lines, so a TLB miss first
+ * probes one cache line through the shared hierarchy before falling
+ * back to the full radix walk. The park region is real simulated
+ * physical memory, so parked entries compete with data for L2/L3
+ * capacity exactly as Victima's modified cache would.
+ *
+ * Eq-1 mapping: a park hit is a 1-access walk (ptwAccesses = 1, load
+ * counted at the level that served the probe); a park miss charges the
+ * probe on top of the radix walk it triggers, so walkCyclesPerPtwAccess
+ * reflects the probe's cost honestly.
+ */
+
+#ifndef ATSCALE_MMU_SCHEME_CACHE_TLB_SCHEME_HH
+#define ATSCALE_MMU_SCHEME_CACHE_TLB_SCHEME_HH
+
+#include <vector>
+
+#include "mmu/fastpath.hh"
+#include "mmu/scheme/translation_scheme.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+/**
+ * Radix translation with a cache-parked second-chance TLB: the full
+ * radix kit (TLB complex + PSCs + walker + fast path) plus a
+ * direct-mapped park table of per-4KiB-VPN translations living in
+ * allocated physical cache lines.
+ */
+class CacheTlbScheme final : public TranslationScheme
+{
+  public:
+    CacheTlbScheme(AddressSpace &space, PhysicalMemory &mem,
+                   CacheHierarchy &hierarchy, FrameAllocator &alloc,
+                   const MmuParams &params);
+
+    MmuResult
+    translate(Addr vaddr, bool speculative, Cycles walkBudget) override
+    {
+        if (fastEnabled_) {
+            MmuResult result;
+            if (fast_.tryHit(vaddr, tlb_, result.pageSize)) {
+                result.tlbLevel = TlbLevel::L1;
+                return result;
+            }
+        }
+        return translateSlow(vaddr, speculative, walkBudget);
+    }
+
+    const char *name() const override { return "cache_tlb"; }
+
+    bool fastPathEnabled() const override { return fastEnabled_; }
+    void setFastPath(bool enabled) override;
+
+    void invalidatePage(Addr base, PageSize size) override;
+    void resetStats() override;
+    void flushAll() override;
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const override;
+    std::uint64_t stateHash() const override;
+
+    /** Park probes that found the entry still cache-resident. */
+    Count parkHits() const { return parkHits_; }
+    /** Park probes that missed (wrong VPN, empty, or fell to DRAM). */
+    Count parkMisses() const { return parkMisses_; }
+    /** Translations parked after completed walks. */
+    Count parkInstalls() const { return parkInstalls_; }
+    /** Installs that evicted a different VPN's parked entry. */
+    Count parkConflicts() const { return parkConflicts_; }
+    /** Park lines in the table. */
+    std::uint64_t parkLines() const { return park_.size(); }
+
+    const TlbComplex &tlb() const { return tlb_; }
+
+  private:
+    /** One parked translation; vpn ~0 = empty. */
+    struct ParkSlot
+    {
+        std::uint64_t vpn = ~0ull;
+        Translation translation;
+    };
+
+    MmuResult translateSlow(Addr vaddr, bool speculative, Cycles walkBudget);
+
+    std::size_t
+    parkIndex(std::uint64_t vpn) const
+    {
+        return static_cast<std::size_t>(
+            (vpn * 0x9e3779b97f4a7c15ull) >> 32) & parkMask_;
+    }
+
+    PhysAddr parkLineAddr(std::size_t idx) const;
+
+    AddressSpace &space_;
+    CacheHierarchy &hierarchy_;
+    CacheTlbSchemeParams params_;
+    TlbComplex tlb_;
+    PagingStructureCaches pscs_;
+    PageWalker walker_;
+    FastTranslationCache fast_;
+    bool fastEnabled_ = true;
+
+    PhysAddr parkBase_;
+    std::size_t parkMask_;
+    std::vector<ParkSlot> park_;
+
+    Count parkHits_ = 0;
+    Count parkMisses_ = 0;
+    Count parkInstalls_ = 0;
+    Count parkConflicts_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_SCHEME_CACHE_TLB_SCHEME_HH

@@ -1,0 +1,208 @@
+#include "mmu/scheme/hashed_scheme.hh"
+
+#include <algorithm>
+
+#include "obs/stats_registry.hh"
+#include "util/hash.hh"
+
+namespace atscale
+{
+
+HashedScheme::HashedScheme(AddressSpace &space, PhysicalMemory &mem,
+                           CacheHierarchy &hierarchy, FrameAllocator &alloc,
+                           const MmuParams &params)
+    : space_(space), mem_(mem), alloc_(alloc), hierarchy_(hierarchy),
+      params_(params.hashed), tlb_(params.tlb),
+      fastEnabled_(params.fastPath)
+{
+}
+
+void
+HashedScheme::ensureTable()
+{
+    if (table_)
+        return;
+    std::uint64_t capacity = params_.capacityPages;
+    if (capacity == 0)
+        capacity = std::max<std::uint64_t>(
+            space_.reservedBytes() >> pageShift4K, 1024);
+    table_ = std::make_unique<HashedPageTable>(mem_, alloc_, capacity);
+}
+
+void
+HashedScheme::syncMapping(Addr vaddr)
+{
+    Addr base = vaddr & ~(pageSize4K - 1);
+    Translation t = space_.translate(base);
+    if (!t.valid)
+        return;
+    PhysAddr existing;
+    if (table_->lookup(base, existing))
+        return;
+    table_->map(base, t.paddr(base));
+    ++mappingsMirrored_;
+}
+
+MmuResult
+HashedScheme::translateSlow(Addr vaddr, bool speculative, Cycles walkBudget)
+{
+    MmuResult result;
+    TlbLookupResult tlb_result = tlb_.lookup(vaddr);
+    result.tlbLevel = tlb_result.level;
+    result.tlbExtraLatency = tlb_result.extraLatency;
+
+    if (tlb_result.level != TlbLevel::Miss) {
+        result.pageSize = tlb_result.pageSize;
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+        return result;
+    }
+
+    // Demand paging stays the radix table's job; the inverted table
+    // mirrors the resulting 4 KiB mapping before the timed walk so the
+    // hash walk finds what the page-fault handler just created.
+    if (!speculative && space_.findVma(vaddr))
+        space_.touch(vaddr);
+    ensureTable();
+    syncMapping(vaddr);
+
+    ++walksInitiated_;
+    WalkResult &walk = walkSlot(result);
+    walk.startLevel = 0;
+    walk.hitLevelAt.fill(-1);
+    if (walkBudget <= params_.startupCycles) {
+        // Squashed before the hash unit issued anything.
+        ++walksAborted_;
+        walk.completed = false;
+        walk.faulted = false;
+        walk.translation = Translation{};
+        walk.cycles = walkBudget;
+        walk.ptwAccesses = 0;
+        walk.loadsAtLevel.fill(0);
+        walkCycles_ += walk.cycles;
+        return result;
+    }
+
+    HashedWalkResult hashed =
+        table_->walk(vaddr, hierarchy_, params_.perStepCycles,
+                     walkBudget - params_.startupCycles);
+
+    walk.completed = !hashed.aborted;
+    walk.faulted = walk.completed && !hashed.found;
+    walk.cycles = std::min(params_.startupCycles + hashed.cycles, walkBudget);
+    walk.ptwAccesses = hashed.accesses;
+    walk.loadsAtLevel = hashed.loadsAtLevel;
+    walk.hitLevelAt[0] = hashed.firstLoadLevel;
+    walk.translation = Translation{};
+    if (hashed.accesses > 1)
+        collisionSpills_ += hashed.accesses - 1;
+    if (hashed.aborted)
+        ++walksAborted_;
+    else
+        ++walksCompleted_;
+    walkCycles_ += walk.cycles;
+
+    if (walk.completed && !walk.faulted) {
+        walk.translation.valid = true;
+        walk.translation.pageSize = PageSize::Size4K;
+        walk.translation.frame = hashed.frame;
+        walk.translation.pageBase = vaddr & ~(pageSize4K - 1);
+        result.pageSize = PageSize::Size4K;
+        tlb_.install(vaddr, result.pageSize);
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+    }
+    return result;
+}
+
+void
+HashedScheme::setFastPath(bool enabled)
+{
+    fastEnabled_ = enabled;
+    if (!enabled)
+        fast_.flush();
+}
+
+void
+HashedScheme::invalidatePage(Addr base, PageSize size)
+{
+    tlb_.invalidatePage(base, size);
+    fast_.invalidatePage(base, size);
+    if (!table_)
+        return;
+    // The listener fires after the radix table was updated, so refresh
+    // every mirrored 4 KiB chunk of the remapped page in place (an
+    // inverted table cannot erase without tombstones).
+    for (Addr page = base; page < base + pageBytes(size);
+         page += pageSize4K) {
+        Translation t = space_.translate(page);
+        if (t.valid)
+            table_->remap(page, t.paddr(page));
+    }
+}
+
+void
+HashedScheme::resetStats()
+{
+    tlb_.resetStats();
+    fast_.resetStats();
+    walksInitiated_ = 0;
+    walksCompleted_ = 0;
+    walksAborted_ = 0;
+    collisionSpills_ = 0;
+    mappingsMirrored_ = 0;
+    walkCycles_ = 0;
+}
+
+void
+HashedScheme::flushAll()
+{
+    tlb_.flush();
+    fast_.flush();
+}
+
+std::uint64_t
+HashedScheme::stateHash() const
+{
+    std::uint64_t h = tlb_.stateHash();
+    h = hashCombine(h, table_ ? table_->size() : 0);
+    h = hashCombine(h, walksInitiated_);
+    h = hashCombine(h, walkCycles_);
+    return h;
+}
+
+void
+HashedScheme::registerStats(StatsRegistry &registry,
+                            const std::string &prefix) const
+{
+    tlb_.registerStats(registry, prefix + ".tlb");
+    registry.addScalar(prefix + ".hashed.walks_initiated", [this] {
+        return static_cast<double>(walksInitiated_);
+    }, "hashed walks started on TLB misses");
+    registry.addScalar(prefix + ".hashed.walks_completed", [this] {
+        return static_cast<double>(walksCompleted_);
+    }, "hashed walks that reached a terminal bucket entry");
+    registry.addScalar(prefix + ".hashed.walks_aborted", [this] {
+        return static_cast<double>(walksAborted_);
+    }, "hashed walks squashed by their cycle budget");
+    registry.addScalar(prefix + ".hashed.collision_spills", [this] {
+        return static_cast<double>(collisionSpills_);
+    }, "bucket-line loads beyond the first per walk (collision chains)");
+    registry.addScalar(prefix + ".hashed.mappings_mirrored", [this] {
+        return static_cast<double>(mappingsMirrored_);
+    }, "4 KiB mappings mirrored from the radix table on demand");
+    registry.addScalar(prefix + ".hashed.walk_cycles", [this] {
+        return static_cast<double>(walkCycles_);
+    }, "total cycles across all hashed walks");
+    registry.addScalar(prefix + ".hashed.table_bytes", [this] {
+        return static_cast<double>(table_ ? table_->tableBytes() : 0);
+    }, "physical bytes occupied by the inverted table");
+    registry.addScalar(prefix + ".fastpath.hits", [this] {
+        return static_cast<double>(fast_.hits());
+    }, "translations served by the software fast path (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.misses", [this] {
+        return static_cast<double>(fast_.misses());
+    }, "fast-path probes that fell back to the full path (diagnostic)");
+}
+
+} // namespace atscale

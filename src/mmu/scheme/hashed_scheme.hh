@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The hashed (inverted) page-table translation scheme — the paper's
+ * Discussion alternative that avoids the radix tree's log-M walk
+ * overhead. Promotes vm/hashed_page_table.hh into a full scheme: the
+ * same TLB complex and software fast path front it (so the TLB side of
+ * Eq-1 is directly comparable with radix), but every TLB miss is served
+ * by hashing the VPN and loading bucket lines through the shared
+ * hierarchy — ~1 access independent of footprint, at the cost of the
+ * radix tree's spatial PTE clustering and MMU-cache skipping.
+ *
+ * Eq-1 mapping: walks report through a synthesized WalkResult with
+ * startLevel 0 (no PSC skipping exists) and hitLevelAt[0] = the level
+ * that served the first bucket load; collision spills appear as extra
+ * ptwAccesses, so walkCyclesPerPtwAccess stays meaningful.
+ */
+
+#ifndef ATSCALE_MMU_SCHEME_HASHED_SCHEME_HH
+#define ATSCALE_MMU_SCHEME_HASHED_SCHEME_HH
+
+#include <memory>
+
+#include "mmu/fastpath.hh"
+#include "mmu/scheme/translation_scheme.hh"
+#include "vm/address_space.hh"
+#include "vm/hashed_page_table.hh"
+
+namespace atscale
+{
+
+/**
+ * Hashed page-table translation: TLB complex + fast path in front, an
+ * open-addressing inverted table in simulated physical memory behind.
+ *
+ * The hashed table mirrors the address space's radix table lazily, one
+ * 4 KiB mapping at a time on first miss (an inverted page table is
+ * always 4 KiB-granular), so demand paging and remapPage stay the
+ * radix table's job and both formats describe the same memory.
+ */
+class HashedScheme final : public TranslationScheme
+{
+  public:
+    HashedScheme(AddressSpace &space, PhysicalMemory &mem,
+                 CacheHierarchy &hierarchy, FrameAllocator &alloc,
+                 const MmuParams &params);
+
+    MmuResult
+    translate(Addr vaddr, bool speculative, Cycles walkBudget) override
+    {
+        if (fastEnabled_) {
+            MmuResult result;
+            if (fast_.tryHit(vaddr, tlb_, result.pageSize)) {
+                result.tlbLevel = TlbLevel::L1;
+                return result;
+            }
+        }
+        return translateSlow(vaddr, speculative, walkBudget);
+    }
+
+    const char *name() const override { return "hashed"; }
+
+    bool fastPathEnabled() const override { return fastEnabled_; }
+    void setFastPath(bool enabled) override;
+
+    void invalidatePage(Addr base, PageSize size) override;
+    void resetStats() override;
+    void flushAll() override;
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const override;
+    std::uint64_t stateHash() const override;
+
+    /** The inverted table; nullptr until the first miss builds it. */
+    const HashedPageTable *table() const { return table_.get(); }
+    const TlbComplex &tlb() const { return tlb_; }
+
+    /** Hashed walks started. */
+    Count walksInitiated() const { return walksInitiated_; }
+    /** Hashed walks cut short by their budget. */
+    Count walksAborted() const { return walksAborted_; }
+    /** Bucket loads beyond the first per walk (collision chains). */
+    Count collisionSpills() const { return collisionSpills_; }
+
+  private:
+    MmuResult translateSlow(Addr vaddr, bool speculative, Cycles walkBudget);
+
+    /** Build the table on first use (capacity from params or space). */
+    void ensureTable();
+    /** Mirror vaddr's 4 KiB mapping from the radix table, if present. */
+    void syncMapping(Addr vaddr);
+
+    AddressSpace &space_;
+    PhysicalMemory &mem_;
+    FrameAllocator &alloc_;
+    CacheHierarchy &hierarchy_;
+    HashedSchemeParams params_;
+    TlbComplex tlb_;
+    FastTranslationCache fast_;
+    bool fastEnabled_ = true;
+    std::unique_ptr<HashedPageTable> table_;
+
+    Count walksInitiated_ = 0;
+    Count walksCompleted_ = 0;
+    Count walksAborted_ = 0;
+    Count collisionSpills_ = 0;
+    Count mappingsMirrored_ = 0;
+    Cycles walkCycles_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_SCHEME_HASHED_SCHEME_HH

@@ -1,0 +1,31 @@
+#include "mmu/scheme/no_vm_scheme.hh"
+
+#include "obs/stats_registry.hh"
+#include "util/hash.hh"
+
+namespace atscale
+{
+
+std::uint64_t
+NoVmScheme::stateHash() const
+{
+    // No cached translation state exists; digest the knob and the
+    // access count so lane-vs-standalone comparisons still bite.
+    return hashCombine(fnv1a("no_vm"), accesses_ * 0x9e3779b97f4a7c15ull +
+                                           params_.perAccessCycles);
+}
+
+void
+NoVmScheme::registerStats(StatsRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".software.accesses", [this] {
+        return static_cast<double>(accesses_);
+    }, "accesses charged the fixed software-translation cost");
+    registry.addScalar(prefix + ".software.cycles_charged", [this] {
+        return static_cast<double>(accesses_ * params_.perAccessCycles);
+    }, "total software-translation cycles charged (outside Eq-1 walk "
+       "terms; appears in CPI, not WCPI)");
+}
+
+} // namespace atscale

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The no-virtual-memory baseline scheme (Zagieboylo et al., *The Cost
+ * of Software-Based Memory Management Without Virtual Memory*,
+ * PAPERS.md): no TLBs, no walker, no translation hardware at all. Every
+ * access is charged a fixed software-translation cost — the bounds
+ * check / base-offset arithmetic a software-managed single-address-
+ * space system pays instead of address translation.
+ *
+ * Eq-1 mapping: tlbMissesPerAccess is identically zero (every request
+ * reports as an L1 "hit"), so the walk-side WCPI terms vanish; the
+ * per-access software cost is returned as MmuResult::schemeExtraCycles
+ * and charged by the core as stall cycles, visible in CPI and in this
+ * scheme's `.software.*` stats rather than in the walk decomposition.
+ */
+
+#ifndef ATSCALE_MMU_SCHEME_NO_VM_SCHEME_HH
+#define ATSCALE_MMU_SCHEME_NO_VM_SCHEME_HH
+
+#include "mmu/scheme/translation_scheme.hh"
+
+namespace atscale
+{
+
+/** Software-managed translation-free baseline. */
+class NoVmScheme final : public TranslationScheme
+{
+  public:
+    explicit NoVmScheme(const MmuParams &params) : params_(params.noVm) {}
+
+    MmuResult
+    translate(Addr vaddr, bool speculative, Cycles walkBudget) override
+    {
+        (void)vaddr;
+        (void)speculative;
+        (void)walkBudget;
+        ++accesses_;
+        MmuResult result;
+        // L1 "hit": zero TLB/walk events reach the counters, exactly as
+        // hardware with no translation machinery would report.
+        result.tlbLevel = TlbLevel::L1;
+        result.schemeExtraCycles = params_.perAccessCycles;
+        return result;
+    }
+
+    const char *name() const override { return "no_vm"; }
+
+    /** Nothing caches translations, so nothing needs dropping. */
+    void invalidatePage(Addr base, PageSize size) override
+    {
+        (void)base;
+        (void)size;
+    }
+
+    void resetStats() override { accesses_ = 0; }
+    void flushAll() override {}
+
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const override;
+
+    std::uint64_t stateHash() const override;
+
+    /** Accesses charged the software-translation cost. */
+    Count accesses() const { return accesses_; }
+
+  private:
+    NoVmSchemeParams params_;
+    Count accesses_ = 0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_SCHEME_NO_VM_SCHEME_HH

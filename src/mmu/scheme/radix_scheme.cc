@@ -1,0 +1,115 @@
+#include "mmu/scheme/radix_scheme.hh"
+
+#include "obs/stats_registry.hh"
+#include "util/hash.hh"
+
+namespace atscale
+{
+
+RadixScheme::RadixScheme(AddressSpace &space, PhysicalMemory &mem,
+                         CacheHierarchy &hierarchy, const MmuParams &params)
+    : space_(space), tlb_(params.tlb), pscs_(params.psc),
+      walker_(mem, hierarchy, pscs_, params.walker),
+      fastEnabled_(params.fastPath)
+{
+}
+
+MmuResult
+RadixScheme::translateSlow(Addr vaddr, bool speculative, Cycles walkBudget)
+{
+    MmuResult result;
+    TlbLookupResult tlb_result = tlb_.lookup(vaddr);
+    result.tlbLevel = tlb_result.level;
+    result.tlbExtraLatency = tlb_result.extraLatency;
+
+    if (tlb_result.level != TlbLevel::Miss) {
+        result.pageSize = tlb_result.pageSize;
+        // L1 hit, or L2 hit that just refilled L1: either way the
+        // translation is now first-level resident and worth shadowing.
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+        return result;
+    }
+
+    // Correct-path misses to not-yet-populated pages take the OS demand
+    // paging path first, so the hardware walk below finds a present leaf.
+    // Speculative requests must not page anything in.
+    if (!speculative && space_.findVma(vaddr))
+        space_.touch(vaddr);
+
+    WalkResult &walk = walkSlot(result);
+    walk = walker_.walk(vaddr, space_.pageTable(), walkBudget);
+
+    if (walk.completed && !walk.faulted) {
+        result.pageSize = walk.translation.pageSize;
+        tlb_.install(vaddr, result.pageSize);
+        if (fastEnabled_)
+            fast_.install(vaddr, result.pageSize, tlb_);
+    }
+    return result;
+}
+
+void
+RadixScheme::setFastPath(bool enabled)
+{
+    fastEnabled_ = enabled;
+    if (!enabled)
+        fast_.flush();
+}
+
+void
+RadixScheme::invalidatePage(Addr base, PageSize size)
+{
+    tlb_.invalidatePage(base, size);
+    fast_.invalidatePage(base, size);
+}
+
+void
+RadixScheme::resetStats()
+{
+    tlb_.resetStats();
+    pscs_.resetStats();
+    walker_.resetStats();
+    fast_.resetStats();
+}
+
+void
+RadixScheme::flushAll()
+{
+    tlb_.flush();
+    pscs_.flush();
+    fast_.flush();
+}
+
+std::uint64_t
+RadixScheme::stateHash() const
+{
+    return hashCombine(tlb_.stateHash(), pscs_.stateHash());
+}
+
+void
+RadixScheme::registerStats(StatsRegistry &registry,
+                           const std::string &prefix) const
+{
+    tlb_.registerStats(registry, prefix + ".tlb");
+    pscs_.registerStats(registry, prefix + ".psc");
+    walker_.registerStats(registry, prefix + ".walker");
+    registry.addScalar(prefix + ".fastpath.hits", [this] {
+        return static_cast<double>(fast_.hits());
+    }, "translations served by the software fast path (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.misses", [this] {
+        return static_cast<double>(fast_.misses());
+    }, "fast-path probes that fell back to the full path (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.installs", [this] {
+        return static_cast<double>(fast_.installs());
+    }, "fast-path shadow entries installed (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.invalidations", [this] {
+        return static_cast<double>(fast_.invalidations());
+    }, "fast-path entries dropped by page invalidations (diagnostic)");
+    registry.addScalar(prefix + ".fastpath.bypass_windows", [this] {
+        return static_cast<double>(fast_.bypassWindows());
+    }, "adaptation windows that bypassed the table as thrashing "
+       "(diagnostic)");
+}
+
+} // namespace atscale

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The radix translation scheme: the paper's Haswell model — TLB complex
+ * + paging-structure caches + hardware page-table walker, with the
+ * software fast path (mmu/fastpath.hh) short-circuiting repeat L1 TLB
+ * hits. This is the pre-seam MMU moved behind TranslationScheme,
+ * bit-for-bit: the golden and differential suites
+ * (tests/test_golden_stats.cc, tests/test_scheme_diff.cc) pin its
+ * counters, state hash, and JSON output to the pre-refactor values.
+ */
+
+#ifndef ATSCALE_MMU_SCHEME_RADIX_SCHEME_HH
+#define ATSCALE_MMU_SCHEME_RADIX_SCHEME_HH
+
+#include "mmu/fastpath.hh"
+#include "mmu/scheme/translation_scheme.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+/**
+ * Radix-walk translation. Demand-populates the address space on
+ * correct-path misses (the OS page-fault handler analogue), walks the
+ * real page table for every TLB miss, and installs completed
+ * translations.
+ */
+class RadixScheme final : public TranslationScheme
+{
+  public:
+    /**
+     * @param space the address space being translated
+     * @param mem physical memory (PTE storage)
+     * @param hierarchy cache hierarchy shared with data accesses
+     */
+    RadixScheme(AddressSpace &space, PhysicalMemory &mem,
+                CacheHierarchy &hierarchy, const MmuParams &params);
+
+    /**
+     * The hot case — a repeat hit on a first-level-resident page — is
+     * served by the fast path with bit-identical counter and replacement
+     * state to the full lookup (see mmu/fastpath.hh for the contract).
+     * Neither path consumes RNG on a hit, and speculative/walkBudget
+     * only matter on misses, so the short-circuit is safe for wrong-path
+     * requests too. Inline (and the class final) so the MMU facade's
+     * devirtualized radix dispatch keeps the fast-path PR's throughput.
+     */
+    MmuResult
+    translate(Addr vaddr, bool speculative, Cycles walkBudget) override
+    {
+        if (fastEnabled_) {
+            MmuResult result;
+            if (fast_.tryHit(vaddr, tlb_, result.pageSize)) {
+                result.tlbLevel = TlbLevel::L1;
+                return result;
+            }
+        }
+        return translateSlow(vaddr, speculative, walkBudget);
+    }
+
+    const char *name() const override { return "radix"; }
+
+    TlbComplex &tlb() { return tlb_; }
+    PagingStructureCaches &pscs() { return pscs_; }
+    PageWalker &walker() { return walker_; }
+    const TlbComplex &tlb() const { return tlb_; }
+    const PagingStructureCaches &pscs() const { return pscs_; }
+    const PageWalker &walker() const { return walker_; }
+    FastTranslationCache &fastCache() { return fast_; }
+    const FastTranslationCache &fastCache() const { return fast_; }
+
+    /** Whether the fast path is consulted. */
+    bool fastPathEnabled() const override { return fastEnabled_; }
+    /** Enable/disable the fast path at run time (disabling drops it). */
+    void setFastPath(bool enabled) override;
+
+    void invalidatePage(Addr base, PageSize size) override;
+    void resetStats() override;
+    void flushAll() override;
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const override;
+
+    /**
+     * Digest of TLB contents/recency/stats and PSC contents/recency/
+     * stats. The fast-path table is deliberately excluded — it is a
+     * shadow structure whose diagnostic counters legitimately differ
+     * between fast path on and off.
+     */
+    std::uint64_t stateHash() const override;
+
+  private:
+    /** The full lookup/demand-page/walk/install path. */
+    MmuResult translateSlow(Addr vaddr, bool speculative, Cycles walkBudget);
+
+    AddressSpace &space_;
+    TlbComplex tlb_;
+    PagingStructureCaches pscs_;
+    PageWalker walker_;
+    FastTranslationCache fast_;
+    bool fastEnabled_ = true;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_SCHEME_RADIX_SCHEME_HH

@@ -1,0 +1,83 @@
+#include "mmu/scheme/registry.hh"
+
+#include "mmu/scheme/cache_tlb_scheme.hh"
+#include "mmu/scheme/hashed_scheme.hh"
+#include "mmu/scheme/no_vm_scheme.hh"
+#include "mmu/scheme/radix_scheme.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/**
+ * The closed scheme-name vocabulary (lint R8: every TranslationScheme
+ * subclass must appear in this table and in makeTranslationScheme).
+ */
+constexpr const char *kSchemeNames[] = {
+    "radix",     // RadixScheme
+    "hashed",    // HashedScheme
+    "cache_tlb", // CacheTlbScheme
+    "no_vm",     // NoVmScheme
+};
+
+} // namespace
+
+const std::vector<std::string> &
+schemeNames()
+{
+    static const std::vector<std::string> names(std::begin(kSchemeNames),
+                                                std::end(kSchemeNames));
+    return names;
+}
+
+bool
+isTranslationScheme(const std::string &name)
+{
+    for (const char *known : kSchemeNames)
+        if (name == known)
+            return true;
+    return false;
+}
+
+std::string
+schemeNameList()
+{
+    std::string list;
+    for (const char *known : kSchemeNames) {
+        if (!list.empty())
+            list += ", ";
+        list += known;
+    }
+    return list;
+}
+
+std::unique_ptr<TranslationScheme>
+makeTranslationScheme(AddressSpace &space, PhysicalMemory &mem,
+                      CacheHierarchy &hierarchy, FrameAllocator *alloc,
+                      const MmuParams &params)
+{
+    const std::string &name = params.scheme;
+    if (name == "radix")
+        return std::make_unique<RadixScheme>(space, mem, hierarchy, params);
+    if (name == "hashed") {
+        fatal_if(alloc == nullptr, "translation scheme 'hashed' needs a "
+                 "frame allocator for its table storage");
+        return std::make_unique<HashedScheme>(space, mem, hierarchy, *alloc,
+                                              params);
+    }
+    if (name == "cache_tlb") {
+        fatal_if(alloc == nullptr, "translation scheme 'cache_tlb' needs a "
+                 "frame allocator for its park lines");
+        return std::make_unique<CacheTlbScheme>(space, mem, hierarchy,
+                                                *alloc, params);
+    }
+    if (name == "no_vm")
+        return std::make_unique<NoVmScheme>(params);
+    fatal("unknown translation scheme '%s' (known: %s)", name.c_str(),
+          schemeNameList().c_str());
+}
+
+} // namespace atscale

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The translation-scheme registry: name -> scheme construction, plus
+ * the closed name vocabulary. Every TranslationScheme subclass must be
+ * constructible here and listed in kSchemeNames (lint rule R8 enforces
+ * both, mirroring R7's closed event vocabulary).
+ */
+
+#ifndef ATSCALE_MMU_SCHEME_REGISTRY_HH
+#define ATSCALE_MMU_SCHEME_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmu/scheme/translation_scheme.hh"
+
+namespace atscale
+{
+
+class AddressSpace;
+class PhysicalMemory;
+class CacheHierarchy;
+class FrameAllocator;
+
+/** All registered scheme names, in declared (stable) order. */
+const std::vector<std::string> &schemeNames();
+
+/** Whether `name` names a registered scheme. */
+bool isTranslationScheme(const std::string &name);
+
+/** Comma-separated scheme names for error messages and --help text. */
+std::string schemeNameList();
+
+/**
+ * Construct the scheme params.scheme names. fatal() on an unknown name,
+ * and on schemes that need physical storage (hashed, cache_tlb) when no
+ * frame allocator is supplied.
+ *
+ * @param alloc frame allocator for schemes that allocate simulated
+ *        physical storage; may be nullptr for schemes that do not
+ */
+std::unique_ptr<TranslationScheme>
+makeTranslationScheme(AddressSpace &space, PhysicalMemory &mem,
+                      CacheHierarchy &hierarchy, FrameAllocator *alloc,
+                      const MmuParams &params);
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_SCHEME_REGISTRY_HH

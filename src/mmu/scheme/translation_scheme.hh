@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The translation-scheme seam: one interface every translation
+ * architecture implements, so radix walking, hashed page tables,
+ * cache-parked TLB entries, and a no-virtual-memory baseline all run in
+ * the same sweeps over the same reference streams (ROADMAP item 2).
+ *
+ * A scheme owns every structure between "the core asked for vaddr" and
+ * "here is a timed translation": TLBs, walkers, software caches, or
+ * nothing at all. The MMU facade (mmu/mmu.hh) holds exactly one scheme
+ * and forwards the TranslationListener invalidation plumbing to it.
+ *
+ * Schemes are constructed by name through the registry
+ * (mmu/scheme/registry.hh); lint rule R8 enforces that every subclass is
+ * reachable from the registry and registers its statistics.
+ */
+
+#ifndef ATSCALE_MMU_SCHEME_TRANSLATION_SCHEME_HH
+#define ATSCALE_MMU_SCHEME_TRANSLATION_SCHEME_HH
+
+#include <cassert>
+#include <string>
+
+#include "mmu/paging_structure_cache.hh"
+#include "mmu/tlb_complex.hh"
+#include "mmu/walker.hh"
+#include "vm/page_size.hh"
+
+namespace atscale
+{
+
+class StatsRegistry;
+
+/** `hashed` scheme knobs (mmu/scheme/hashed_scheme.hh). */
+struct HashedSchemeParams
+{
+    /** Fixed walker cycles per bucket-line load (hash unit FSM). */
+    Cycles perStepCycles = 2;
+    /** Fixed cycles to start a hashed walk (hash + arbitration). */
+    Cycles startupCycles = 5;
+    /**
+     * Table capacity in 4 KiB mappings; 0 sizes the table from the
+     * address space's reserved bytes at first use.
+     */
+    std::uint64_t capacityPages = 0;
+};
+
+/** `cache_tlb` scheme knobs (mmu/scheme/cache_tlb_scheme.hh). */
+struct CacheTlbSchemeParams
+{
+    /**
+     * Cache lines reserved for parked translations (rounded up to a
+     * power of two). Each line holds one parked 4 KiB-VPN entry.
+     */
+    std::uint64_t parkLines = 1ull << 16;
+    /** Fixed cycles per park probe beyond the data-hierarchy latency. */
+    Cycles probeExtraCycles = 2;
+};
+
+/** `no_vm` scheme knobs (mmu/scheme/no_vm_scheme.hh). */
+struct NoVmSchemeParams
+{
+    /** Fixed software-translation cycles charged per memory access. */
+    Cycles perAccessCycles = 4;
+};
+
+/** MMU configuration. */
+struct MmuParams
+{
+    TlbParams tlb;
+    PscParams psc;
+    WalkerParams walker;
+    /** Enable the software translation fast path (exact; see fastpath.hh). */
+    bool fastPath = true;
+    /** Translation scheme name (see mmu/scheme/registry.hh). */
+    std::string scheme = "radix";
+    HashedSchemeParams hashed;
+    CacheTlbSchemeParams cacheTlb;
+    NoVmSchemeParams noVm;
+};
+
+/** Result of one translation request. */
+struct MmuResult
+{
+    /** Where the TLB lookup was satisfied (Miss => a walk happened). */
+    TlbLevel tlbLevel = TlbLevel::Miss;
+    /** Extra cycles on the TLB lookup path (L2 TLB hits). */
+    Cycles tlbExtraLatency = 0;
+    /** Page size of the translation (valid unless the walk aborted). */
+    PageSize pageSize = PageSize::Size4K;
+    /**
+     * Cycles the scheme charges outside the TLB/walk accounting — the
+     * per-access software cost of schemes with no translation hardware
+     * (no_vm). Always 0 for hardware schemes, so the radix path is
+     * bit-identical to the pre-seam MMU.
+     */
+    Cycles schemeExtraCycles = 0;
+
+    /**
+     * Walk details; meaningful only when tlbLevel == Miss. On TLB hits
+     * the accounting fields are deliberately left unwritten (fastpath.hh
+     * depends on the hit path doing zero walk bookkeeping), so debug
+     * builds assert here and poison the storage (see poisonWalk) to
+     * catch any unguarded read dynamically; lint rule R4 catches them
+     * statically. Release builds compile down to a plain field access.
+     */
+    const WalkResult &
+    walk() const
+    {
+        assert(tlbLevel == TlbLevel::Miss &&
+               "MmuResult::walk read on a TLB hit (fields are undefined)");
+        return walk_;
+    }
+
+#ifndef NDEBUG
+    MmuResult() { poisonWalk(); }
+
+    /**
+     * Debug-only: fill the walk accounting fields with a recognizable
+     * garbage pattern so a read that slips past the assert (e.g. via
+     * memcpy of the whole struct) shows up as implausible numbers
+     * instead of plausible stale ones.
+     */
+    void
+    poisonWalk()
+    {
+        walk_.cycles = static_cast<Cycles>(0xDEADDEADDEADDEADull);
+        walk_.ptwAccesses = static_cast<Count>(0xDEADDEADDEADDEADull);
+        walk_.startLevel = -0xDEAD;
+        walk_.loadsAtLevel.fill(static_cast<Count>(0xDEADDEADDEADDEADull));
+        walk_.hitLevelAt.fill(-13);
+    }
+#else
+    MmuResult() = default;
+#endif
+
+  private:
+    friend class TranslationScheme;
+    WalkResult walk_;
+};
+
+/**
+ * One translation architecture behind the MMU facade.
+ *
+ * Contract (docs/TRANSLATION_SCHEMES.md spells out the details):
+ *  - translate() is the only timed entry point. It must be a pure
+ *    function of the scheme's own state — no RNG, no wall clock (lint
+ *    R1) — so runs stay bit-reproducible and lane-exact.
+ *  - Walk accounting is reported through the standard WalkResult so the
+ *    Eq-1 WCPI decomposition stays comparable across schemes; schemes
+ *    with no radix walk synthesize one (see hashed_scheme.cc).
+ *  - invalidatePage() must drop or refresh every cached translation
+ *    covering the page — the remapPage exactness rules from the fast
+ *    path PR apply to every scheme.
+ *  - registerStats() must register every counter the scheme keeps
+ *    (lint R3/R8) so the observability layer sees all schemes alike.
+ */
+class TranslationScheme
+{
+  public:
+    virtual ~TranslationScheme() = default;
+
+    /**
+     * Translate vaddr.
+     *
+     * @param speculative the request is from a speculative (possibly
+     *        wrong) path: no demand paging, and aborted walks are normal
+     * @param walkBudget cycles after which an initiated walk is squashed
+     */
+    virtual MmuResult translate(Addr vaddr, bool speculative,
+                                Cycles walkBudget) = 0;
+
+    /** Registry name of this scheme ("radix", "hashed", ...). */
+    virtual const char *name() const = 0;
+
+    /** Whether a software fast path is consulted (radix-family only). */
+    virtual bool fastPathEnabled() const { return false; }
+    /** Enable/disable the fast path; a no-op for schemes without one. */
+    virtual void setFastPath(bool enabled) { (void)enabled; }
+
+    /**
+     * Drop any translation state for the page at `base` of size `size`.
+     * The invlpg analogue, driven by address-space remap notifications.
+     */
+    virtual void invalidatePage(Addr base, PageSize size) = 0;
+
+    /** Reset all statistics (cached contents retained). */
+    virtual void resetStats() = 0;
+    /** Flush all cached translation state. */
+    virtual void flushAll() = 0;
+
+    /** Register every scheme statistic under "<prefix>.". */
+    virtual void registerStats(StatsRegistry &registry,
+                               const std::string &prefix) const = 0;
+
+    /**
+     * Process-stable digest of all exactness-relevant translation state
+     * (used by the differential/lane suites to compare end states).
+     */
+    virtual std::uint64_t stateHash() const = 0;
+
+  protected:
+    /**
+     * Writable access to the walk slot for scheme implementations.
+     * Callers populate it only on the miss path, mirroring the
+     * MmuResult::walk() read-side contract.
+     */
+    static WalkResult &
+    walkSlot(MmuResult &result)
+    {
+        assert(result.tlbLevel == TlbLevel::Miss &&
+               "walk slot is populated only for TLB misses");
+        return result.walk_;
+    }
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_MMU_SCHEME_TRANSLATION_SCHEME_HH

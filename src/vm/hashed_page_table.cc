@@ -58,6 +58,27 @@ HashedPageTable::map(Addr vaddr, PhysAddr frame)
 }
 
 bool
+HashedPageTable::remap(Addr vaddr, PhysAddr frame)
+{
+    std::uint64_t vpn = vaddr >> pageShift4K;
+    std::uint64_t bucket = bucketOf(vpn);
+    for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
+        std::uint64_t b = (bucket + probe) & (buckets_ - 1);
+        for (int slot = 0; slot < entriesPerBucket; ++slot) {
+            PhysAddr addr = entryAddr(b, slot);
+            std::uint64_t tag = mem_.read64(addr);
+            if (tag == 0)
+                return false;
+            if (tag == vpn + 1) {
+                mem_.write64(addr + 8, frame);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
 HashedPageTable::lookup(Addr vaddr, PhysAddr &frame) const
 {
     std::uint64_t vpn = vaddr >> pageShift4K;
@@ -80,19 +101,28 @@ HashedPageTable::lookup(Addr vaddr, PhysAddr &frame) const
 
 HashedWalkResult
 HashedPageTable::walk(Addr vaddr, CacheHierarchy &hierarchy,
-                      Cycles perStepCycles) const
+                      Cycles perStepCycles, Cycles budget) const
 {
     std::uint64_t vpn = vaddr >> pageShift4K;
     std::uint64_t bucket = bucketOf(vpn);
 
     HashedWalkResult result;
     for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
+        if (result.cycles >= budget) {
+            result.aborted = true;
+            result.cycles = budget;
+            return result;
+        }
         std::uint64_t b = (bucket + probe) & (buckets_ - 1);
         // One cache-line load covers the whole bucket.
         MemAccessResult mem_access =
             hierarchy.access(entryAddr(b, 0), AccessKind::PtwLoad);
         ++result.accesses;
         result.cycles += mem_access.latency + perStepCycles;
+        ++result.loadsAtLevel[static_cast<int>(mem_access.level)];
+        if (result.firstLoadLevel < 0)
+            result.firstLoadLevel =
+                static_cast<std::int8_t>(mem_access.level);
 
         for (int slot = 0; slot < entriesPerBucket; ++slot) {
             std::uint64_t tag = mem_.read64(entryAddr(b, slot));

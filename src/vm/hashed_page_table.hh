@@ -18,7 +18,9 @@
 #ifndef ATSCALE_VM_HASHED_PAGE_TABLE_HH
 #define ATSCALE_VM_HASHED_PAGE_TABLE_HH
 
+#include <array>
 #include <cstdint>
+#include <limits>
 
 #include "cache/hierarchy.hh"
 #include "mem/frame_alloc.hh"
@@ -32,10 +34,16 @@ namespace atscale
 struct HashedWalkResult
 {
     bool found = false;
+    /** The walk was cut short by its cycle budget before terminating. */
+    bool aborted = false;
     PhysAddr frame = 0;
     /** Bucket-line loads performed (1 + collision spills). */
     Count accesses = 0;
     Cycles cycles = 0;
+    /** Bucket loads satisfied at each memory level (Eq-1 accounting). */
+    std::array<Count, numMemLevels> loadsAtLevel{};
+    /** MemLevel (as int) that served the first bucket load; -1 if none. */
+    std::int8_t firstLoadLevel = -1;
 };
 
 /**
@@ -56,6 +64,15 @@ class HashedPageTable
     /** Insert a VPN -> frame mapping. fatal() when the table is full. */
     void map(Addr vaddr, PhysAddr frame);
 
+    /**
+     * Point an existing mapping at a new frame (the remapPage
+     * analogue; an inverted page table updates in place, it cannot
+     * erase without tombstones).
+     *
+     * @return false when vaddr's page was never mapped
+     */
+    bool remap(Addr vaddr, PhysAddr frame);
+
     /** Functional lookup (no timing). */
     bool lookup(Addr vaddr, PhysAddr &frame) const;
 
@@ -63,10 +80,16 @@ class HashedPageTable
      * Hardware walk: hash the VPN and load bucket lines through the
      * shared hierarchy until the entry (or an empty slot) is found.
      *
+     * The budget is checked before each bucket load: once the cycles
+     * consumed reach it, the walk aborts (found stays false) without
+     * issuing further loads, mirroring PageWalker's squash semantics.
+     *
      * @param perStepCycles fixed walker cycles per bucket load
+     * @param budget abort the walk once this many cycles are consumed
      */
-    HashedWalkResult walk(Addr vaddr, CacheHierarchy &hierarchy,
-                          Cycles perStepCycles = 2) const;
+    HashedWalkResult
+    walk(Addr vaddr, CacheHierarchy &hierarchy, Cycles perStepCycles = 2,
+         Cycles budget = std::numeric_limits<Cycles>::max()) const;
 
     /** Mappings stored. */
     Count size() const { return size_; }

@@ -97,6 +97,103 @@ TEST_F(HashedPtTest, FullTableIsFatal)
         "full");
 }
 
+TEST_F(HashedPtTest, RemapRepointsAnExistingMapping)
+{
+    HashedPageTable table(mem, alloc, 1024);
+    table.map(0x5000, 0xaaa000);
+    ASSERT_TRUE(table.remap(0x5000, 0xbbb000));
+    PhysAddr frame = 0;
+    ASSERT_TRUE(table.lookup(0x5000, frame));
+    EXPECT_EQ(frame, 0xbbb000u);
+    EXPECT_EQ(table.size(), 1u) << "remap updates in place, no growth";
+
+    // Remapping a page that was never mapped reports failure and
+    // inserts nothing.
+    EXPECT_FALSE(table.remap(0x9000, 0xccc000));
+    EXPECT_FALSE(table.lookup(0x9000, frame));
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST_F(HashedPtTest, RemapFindsEntriesDeepInCollisionChains)
+{
+    // A near-full tiny table forces long probe chains; remap must chase
+    // them exactly as lookup does.
+    HashedPageTable table(mem, alloc, 64);
+    const std::uint64_t n = 48;
+    for (std::uint64_t p = 0; p < n; ++p)
+        table.map(p << pageShift4K, p << pageShift4K);
+    for (std::uint64_t p = 0; p < n; ++p)
+        ASSERT_TRUE(table.remap(p << pageShift4K, (p + 500) << pageShift4K))
+            << p;
+    for (std::uint64_t p = 0; p < n; ++p) {
+        PhysAddr frame = 0;
+        ASSERT_TRUE(table.lookup(p << pageShift4K, frame)) << p;
+        EXPECT_EQ(frame, (p + 500) << pageShift4K);
+    }
+}
+
+TEST_F(HashedPtTest, CollisionChainsShowUpInWalkAccessCounts)
+{
+    // Same near-full table: some walks must spill past their home
+    // bucket, and the per-walk access count reports exactly how far.
+    HashedPageTable table(mem, alloc, 64);
+    CacheHierarchy hierarchy;
+    const std::uint64_t n = 48;
+    for (std::uint64_t p = 0; p < n; ++p)
+        table.map(p << pageShift4K, p << pageShift4K);
+
+    Count total = 0, spilled = 0;
+    for (std::uint64_t p = 0; p < n; ++p) {
+        HashedWalkResult r = table.walk(p << pageShift4K, hierarchy);
+        ASSERT_TRUE(r.found);
+        total += r.accesses;
+        if (r.accesses > 1)
+            ++spilled;
+    }
+    EXPECT_GT(spilled, 0u) << "a near-full table must chain somewhere";
+    EXPECT_GT(total, n) << "chained walks load more than one line";
+}
+
+TEST_F(HashedPtTest, WalkAccountsEveryLoadByMemoryLevel)
+{
+    HashedPageTable table(mem, alloc, 1024);
+    CacheHierarchy hierarchy;
+    table.map(0x7000, 0x3000);
+
+    HashedWalkResult r = table.walk(0x7000, hierarchy);
+    ASSERT_TRUE(r.found);
+    Count by_level = 0;
+    for (Count c : r.loadsAtLevel)
+        by_level += c;
+    EXPECT_EQ(by_level, r.accesses) << "every load has a service level";
+    ASSERT_GE(r.firstLoadLevel, 0);
+    EXPECT_GT(r.loadsAtLevel[r.firstLoadLevel], 0u);
+
+    // A repeat walk hits the just-loaded bucket line in cache.
+    HashedWalkResult warm = table.walk(0x7000, hierarchy);
+    EXPECT_EQ(warm.firstLoadLevel, static_cast<int>(MemLevel::L1));
+}
+
+TEST_F(HashedPtTest, WalkBudgetAbortsBeforeTheNextLoad)
+{
+    HashedPageTable table(mem, alloc, 256);
+    CacheHierarchy hierarchy;
+    table.map(0x4000, 0x8000);
+
+    // Zero budget: squashed before the first bucket load.
+    HashedWalkResult squashed = table.walk(0x4000, hierarchy, 2, 0);
+    EXPECT_TRUE(squashed.aborted);
+    EXPECT_FALSE(squashed.found);
+    EXPECT_EQ(squashed.accesses, 0u);
+    EXPECT_EQ(squashed.cycles, 0u);
+
+    // A generous budget changes nothing about the result.
+    HashedWalkResult full = table.walk(0x4000, hierarchy);
+    EXPECT_FALSE(full.aborted);
+    ASSERT_TRUE(full.found);
+    EXPECT_EQ(full.frame, 0x8000u);
+}
+
 TEST_F(HashedPtTest, WalkLengthIsFootprintIndependent)
 {
     // The headline property vs the radix tree: walks stay ~1 access no

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Behavioral unit tests for the pluggable translation schemes: the
+ * registry's closed vocabulary, the MMU facade's radix-only accessor
+ * guard, and each non-radix backend's cost model and invalidation
+ * semantics (hashed table mirroring/remap, cache-parked TLB probe
+ * behavior, no_vm's fixed software charge). The radix scheme itself is
+ * covered by test_mmu.cc (unchanged through the seam) and the byte-
+ * identity suites (test_scheme_diff.cc, test_golden_stats.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/experiment.hh"
+#include "mmu/mmu.hh"
+#include "mmu/scheme/cache_tlb_scheme.hh"
+#include "mmu/scheme/hashed_scheme.hh"
+#include "mmu/scheme/no_vm_scheme.hh"
+#include "mmu/scheme/registry.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** The shared simulation substrate every scheme is constructed over. */
+class SchemeTest : public ::testing::Test
+{
+  protected:
+    SchemeTest() : alloc(1ull << 34), space(mem, alloc, PageSize::Size4K)
+    {
+        base = space.mapRegion("data", 64ull << 20);
+    }
+
+    MmuParams
+    paramsFor(const std::string &scheme)
+    {
+        MmuParams params;
+        params.scheme = scheme;
+        return params;
+    }
+
+    PhysicalMemory mem;
+    FrameAllocator alloc;
+    CacheHierarchy hierarchy;
+    AddressSpace space;
+    Addr base = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- registry
+
+TEST(SchemeRegistry, VocabularyIsClosedAndOrdered)
+{
+    const std::vector<std::string> &names = schemeNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "radix");
+    EXPECT_EQ(names[1], "hashed");
+    EXPECT_EQ(names[2], "cache_tlb");
+    EXPECT_EQ(names[3], "no_vm");
+
+    for (const std::string &name : names)
+        EXPECT_TRUE(isTranslationScheme(name)) << name;
+    EXPECT_FALSE(isTranslationScheme("bogus"));
+    EXPECT_FALSE(isTranslationScheme(""));
+    EXPECT_FALSE(isTranslationScheme("Radix")) << "names are exact";
+
+    EXPECT_EQ(schemeNameList(), "radix, hashed, cache_tlb, no_vm");
+}
+
+TEST_F(SchemeTest, UnknownSchemeNameIsFatal)
+{
+    MmuParams params = paramsFor("bogus");
+    EXPECT_DEATH(Mmu(space, mem, hierarchy, params, &alloc),
+                 "unknown translation scheme");
+}
+
+TEST_F(SchemeTest, StorageBackedSchemesRequireAnAllocator)
+{
+    // hashed and cache_tlb allocate simulated physical storage; handing
+    // them no allocator is a construction error, not a silent fallback.
+    EXPECT_DEATH(Mmu(space, mem, hierarchy, paramsFor("hashed")),
+                 "frame allocator");
+    EXPECT_DEATH(Mmu(space, mem, hierarchy, paramsFor("cache_tlb")),
+                 "frame allocator");
+    // radix and no_vm never touch it.
+    Mmu radix(space, mem, hierarchy, paramsFor("radix"));
+    Mmu no_vm(space, mem, hierarchy, paramsFor("no_vm"));
+    EXPECT_STREQ(radix.schemeName(), "radix");
+    EXPECT_STREQ(no_vm.schemeName(), "no_vm");
+}
+
+// ------------------------------------------------------------------ facade
+
+TEST_F(SchemeTest, FacadeReportsTheActiveScheme)
+{
+    for (const std::string &name : schemeNames()) {
+        Mmu mmu(space, mem, hierarchy, paramsFor(name), &alloc);
+        EXPECT_STREQ(mmu.schemeName(), name.c_str());
+        EXPECT_STREQ(mmu.scheme().name(), name.c_str());
+    }
+}
+
+TEST_F(SchemeTest, RadixOnlyAccessorsAreFatalUnderOtherSchemes)
+{
+    Mmu mmu(space, mem, hierarchy, paramsFor("no_vm"));
+    EXPECT_DEATH(mmu.tlb(), "radix-only");
+    EXPECT_DEATH(mmu.walker(), "radix-only");
+    EXPECT_DEATH(mmu.pscs(), "radix-only");
+
+    // Under the default scheme they work exactly as before the seam.
+    Mmu radix(space, mem, hierarchy);
+    radix.translate(base);
+    EXPECT_GT(radix.tlb().lookups(), 0u);
+}
+
+TEST_F(SchemeTest, FastPathKnobIsANoOpForSchemesWithoutOne)
+{
+    Mmu mmu(space, mem, hierarchy, paramsFor("no_vm"));
+    EXPECT_FALSE(mmu.fastPathEnabled());
+    mmu.setFastPath(true);
+    EXPECT_FALSE(mmu.fastPathEnabled()) << "no_vm has no fast path";
+
+    Mmu hashed(space, mem, hierarchy, paramsFor("hashed"), &alloc);
+    EXPECT_TRUE(hashed.fastPathEnabled());
+    hashed.setFastPath(false);
+    EXPECT_FALSE(hashed.fastPathEnabled());
+}
+
+// ------------------------------------------------------------------- no_vm
+
+TEST_F(SchemeTest, NoVmChargesAFixedSoftwareCostAndNothingElse)
+{
+    MmuParams params = paramsFor("no_vm");
+    params.noVm.perAccessCycles = 7;
+    NoVmScheme scheme(params);
+
+    Count ptw_before = hierarchy.kindCount(AccessKind::PtwLoad);
+    for (int i = 0; i < 5; ++i) {
+        MmuResult r = scheme.translate(base + i * pageSize4K, false,
+                                       unlimitedWalkBudget);
+        // Reports as an L1 hit: zero TLB/walk events reach the counters.
+        EXPECT_EQ(r.tlbLevel, TlbLevel::L1);
+        EXPECT_EQ(r.tlbExtraLatency, 0u);
+        EXPECT_EQ(r.schemeExtraCycles, 7u);
+    }
+    EXPECT_EQ(scheme.accesses(), 5u);
+    // No translation hardware: nothing touches the cache hierarchy.
+    EXPECT_EQ(hierarchy.kindCount(AccessKind::PtwLoad), ptw_before);
+
+    std::uint64_t busy = scheme.stateHash();
+    scheme.resetStats();
+    EXPECT_EQ(scheme.accesses(), 0u);
+    EXPECT_NE(busy, scheme.stateHash()) << "hash covers the access count";
+}
+
+TEST(NoVmExperiment, WalkSideCountersVanishAndTheCostShowsInCycles)
+{
+    // End to end: a no_vm run reports zero TLB-miss/walk events (the
+    // Eq-1 walk terms vanish) while the per-access software cost is
+    // charged as core stall cycles.
+    unsetenv("ATSCALE_CACHE_DIR");
+    RunSpec spec;
+    spec.workload = "bfs-urand";
+    spec.footprintBytes = 1ull << 23;
+    spec.warmupRefs = 5'000;
+    spec.measureRefs = 20'000;
+    spec.seed = 5;
+    spec.scheme = "no_vm";
+
+    RunResult charged = runExperiment(spec);
+    const EventId walk_side[] = {
+        EventId::MemUopsRetiredStlbMissLoads,
+        EventId::MemUopsRetiredStlbMissStores,
+        EventId::DtlbLoadMissesMissCausesAWalk,
+        EventId::DtlbStoreMissesMissCausesAWalk,
+        EventId::DtlbLoadMissesWalkCompleted,
+        EventId::DtlbStoreMissesWalkCompleted,
+        EventId::DtlbLoadMissesWalkDuration,
+        EventId::DtlbStoreMissesWalkDuration,
+        EventId::DtlbLoadMissesStlbHit,
+        EventId::DtlbStoreMissesStlbHit,
+        EventId::PageWalkerLoadsDtlbL1,
+        EventId::PageWalkerLoadsDtlbL2,
+        EventId::PageWalkerLoadsDtlbL3,
+        EventId::PageWalkerLoadsDtlbMemory,
+    };
+    for (EventId id : walk_side)
+        EXPECT_EQ(charged.counters.get(id), 0u) << eventName(id);
+
+    // Same run with the software charge zeroed: every counter matches
+    // except the cycle count, which must drop.
+    PlatformParams free_params;
+    free_params.mmu.noVm.perAccessCycles = 0;
+    RunSpec free_spec = spec;
+    free_spec.platformTag = "novm0";
+    RunResult free_run = runExperiment(free_spec, free_params);
+    EXPECT_EQ(charged.instructions(), free_run.instructions());
+    EXPECT_GT(charged.cycles(), free_run.cycles());
+}
+
+// ------------------------------------------------------------------ hashed
+
+TEST_F(SchemeTest, HashedMissMirrorsTheMappingAndWalksTheTable)
+{
+    HashedScheme scheme(space, mem, hierarchy, alloc, paramsFor("hashed"));
+    EXPECT_EQ(scheme.table(), nullptr) << "table is built lazily";
+
+    MmuResult first = scheme.translate(base, false, unlimitedWalkBudget);
+    EXPECT_EQ(first.tlbLevel, TlbLevel::Miss);
+    ASSERT_TRUE(first.walk().completed);
+    EXPECT_FALSE(first.walk().faulted);
+    EXPECT_EQ(first.pageSize, PageSize::Size4K);
+    EXPECT_GE(first.walk().ptwAccesses, 1u);
+    // Eq-1 synthesis: no PSC skipping exists, the walk "starts" at the
+    // leaf and the first bucket load's service level is recorded.
+    EXPECT_EQ(first.walk().startLevel, 0);
+    EXPECT_GE(first.walk().hitLevelAt[0], 0);
+    EXPECT_EQ(first.walk().translation.frame, space.translate(base).frame);
+
+    ASSERT_NE(scheme.table(), nullptr);
+    EXPECT_EQ(scheme.walksInitiated(), 1u);
+    EXPECT_GE(scheme.table()->size(), 1u);
+
+    // Install happened: the next access to the page is a TLB hit.
+    MmuResult second = scheme.translate(base + 0x40, false,
+                                        unlimitedWalkBudget);
+    EXPECT_EQ(second.tlbLevel, TlbLevel::L1);
+}
+
+TEST_F(SchemeTest, HashedWalkBudgetAborts)
+{
+    MmuParams params = paramsFor("hashed");
+    HashedScheme scheme(space, mem, hierarchy, alloc, params);
+
+    // A budget the hash unit's startup alone exhausts: squashed before
+    // any bucket load, exactly like a squashed radix walk.
+    MmuResult squashed = scheme.translate(base, false,
+                                          params.hashed.startupCycles);
+    EXPECT_EQ(squashed.tlbLevel, TlbLevel::Miss);
+    EXPECT_FALSE(squashed.walk().completed);
+    EXPECT_FALSE(squashed.walk().faulted);
+    EXPECT_EQ(squashed.walk().ptwAccesses, 0u);
+    EXPECT_LE(squashed.walk().cycles, params.hashed.startupCycles);
+    EXPECT_EQ(scheme.walksAborted(), 1u);
+
+    // Aborted walks must not install: the retry misses and completes.
+    MmuResult retry = scheme.translate(base, false, unlimitedWalkBudget);
+    EXPECT_EQ(retry.tlbLevel, TlbLevel::Miss);
+    EXPECT_TRUE(retry.walk().completed);
+}
+
+TEST_F(SchemeTest, HashedSpeculativeMissDoesNotDemandPage)
+{
+    HashedScheme scheme(space, mem, hierarchy, alloc, paramsFor("hashed"));
+    Addr fresh = base + 100 * pageSize4K;
+    MmuResult spec = scheme.translate(fresh, true, unlimitedWalkBudget);
+    EXPECT_EQ(spec.tlbLevel, TlbLevel::Miss);
+    EXPECT_TRUE(spec.walk().faulted) << "nothing mapped, nothing found";
+    EXPECT_FALSE(space.translate(fresh).valid);
+}
+
+TEST_F(SchemeTest, HashedRemapPageRefreshesTheMirroredMapping)
+{
+    // The satellite case: AddressSpace::remapPage migrates a page the
+    // inverted table has already mirrored. The listener chain (space ->
+    // Mmu -> scheme) must refresh the mirrored entry in place, or the
+    // hash walk keeps serving the dead frame.
+    MmuParams params = paramsFor("hashed");
+    params.fastPath = false; // exercise the timed path on every access
+    Mmu mmu(space, mem, hierarchy, params, &alloc);
+    space.addTranslationListener(&mmu);
+
+    MmuResult before = mmu.translate(base);
+    ASSERT_TRUE(before.walk().completed);
+    PhysAddr old_frame = before.walk().translation.frame;
+
+    Translation moved = space.remapPage(base);
+    ASSERT_NE(moved.frame, old_frame);
+
+    // TLB entry dropped, mirrored entry repointed: the re-walk finds
+    // the new frame.
+    MmuResult after = mmu.translate(base);
+    EXPECT_EQ(after.tlbLevel, TlbLevel::Miss);
+    ASSERT_TRUE(after.walk().completed);
+    EXPECT_EQ(after.walk().translation.frame, moved.frame);
+}
+
+// --------------------------------------------------------------- cache_tlb
+
+namespace
+{
+
+/** cache_tlb with a tiny TLB so parked entries outlive TLB residency. */
+MmuParams
+tinyTlbCacheTlbParams()
+{
+    MmuParams params;
+    params.scheme = "cache_tlb";
+    params.fastPath = false;
+    params.tlb.l1_4k = {1, 2, ReplPolicy::Lru}; // 2 entries
+    params.tlb.l2 = {1, 2, ReplPolicy::Lru};    // 2 entries
+    params.cacheTlb.parkLines = 1u << 10;
+    return params;
+}
+
+} // namespace
+
+TEST_F(SchemeTest, CacheTlbParksWalkedTranslationsAndHitsThem)
+{
+    MmuParams params = tinyTlbCacheTlbParams();
+    CacheTlbScheme scheme(space, mem, hierarchy, alloc, params);
+
+    // Touch enough pages to evict page 0 from the 2+2-entry TLB complex
+    // while its parked line stays cache-resident.
+    const int pages = 16;
+    for (int p = 0; p < pages; ++p)
+        scheme.translate(base + p * pageSize4K, false, unlimitedWalkBudget);
+    EXPECT_EQ(scheme.parkInstalls(), static_cast<Count>(pages));
+    EXPECT_EQ(scheme.parkMisses(), static_cast<Count>(pages));
+
+    // Revisit page 0: TLB miss, but the park probe resolves it in one
+    // access — the Victima second chance.
+    Count hits_before = scheme.parkHits();
+    MmuResult revisit =
+        scheme.translate(base, false, unlimitedWalkBudget);
+    EXPECT_EQ(revisit.tlbLevel, TlbLevel::Miss);
+    ASSERT_TRUE(revisit.walk().completed);
+    EXPECT_EQ(scheme.parkHits(), hits_before + 1);
+    EXPECT_EQ(revisit.walk().ptwAccesses, 1u) << "park hit = 1-access walk";
+    EXPECT_EQ(revisit.walk().startLevel, 0);
+    EXPECT_EQ(revisit.walk().translation.frame, space.translate(base).frame);
+}
+
+TEST_F(SchemeTest, CacheTlbParkMissChargesTheProbeOnTopOfTheWalk)
+{
+    MmuParams params = tinyTlbCacheTlbParams();
+    CacheTlbScheme scheme(space, mem, hierarchy, alloc, params);
+
+    MmuResult cold = scheme.translate(base, false, unlimitedWalkBudget);
+    ASSERT_TRUE(cold.walk().completed);
+    EXPECT_EQ(scheme.parkMisses(), 1u);
+    // The probe is accounted inside the walk: at least the probe access
+    // plus the radix walk's loads.
+    EXPECT_GE(cold.walk().ptwAccesses, 2u);
+}
+
+TEST_F(SchemeTest, CacheTlbInvalidatePageDropsTheParkedEntry)
+{
+    MmuParams params = tinyTlbCacheTlbParams();
+    CacheTlbScheme scheme(space, mem, hierarchy, alloc, params);
+
+    for (int p = 0; p < 16; ++p)
+        scheme.translate(base + p * pageSize4K, false, unlimitedWalkBudget);
+    std::uint64_t parked = scheme.stateHash();
+
+    scheme.invalidatePage(base, PageSize::Size4K);
+    EXPECT_NE(scheme.stateHash(), parked) << "park slot dropped";
+
+    // The revisit can no longer be served by the park.
+    Count hits_before = scheme.parkHits();
+    Count misses_before = scheme.parkMisses();
+    scheme.translate(base, false, unlimitedWalkBudget);
+    EXPECT_EQ(scheme.parkHits(), hits_before);
+    EXPECT_EQ(scheme.parkMisses(), misses_before + 1);
+}
+
+TEST_F(SchemeTest, CacheTlbSingleLineParkCountsConflicts)
+{
+    MmuParams params = tinyTlbCacheTlbParams();
+    params.cacheTlb.parkLines = 1; // every VPN collides on one slot
+    CacheTlbScheme scheme(space, mem, hierarchy, alloc, params);
+    EXPECT_EQ(scheme.parkLines(), 1u);
+
+    scheme.translate(base, false, unlimitedWalkBudget);
+    EXPECT_EQ(scheme.parkConflicts(), 0u);
+    scheme.translate(base + pageSize4K, false, unlimitedWalkBudget);
+    EXPECT_EQ(scheme.parkConflicts(), 1u) << "second install evicts first";
+}
+
+TEST_F(SchemeTest, CacheTlbFlushAllEmptiesThePark)
+{
+    MmuParams params = tinyTlbCacheTlbParams();
+    CacheTlbScheme scheme(space, mem, hierarchy, alloc, params);
+    for (int p = 0; p < 8; ++p)
+        scheme.translate(base + p * pageSize4K, false, unlimitedWalkBudget);
+
+    scheme.flushAll();
+    Count hits_before = scheme.parkHits();
+    scheme.translate(base, false, unlimitedWalkBudget);
+    EXPECT_EQ(scheme.parkHits(), hits_before) << "no parked entry survives";
+}

@@ -104,6 +104,7 @@ TEST(RunSpec, EqualityCoversEveryField)
     EXPECT_TRUE(differs([](RunSpec &s) { s.warmupRefs += 1; }));
     EXPECT_TRUE(differs([](RunSpec &s) { s.measureRefs += 1; }));
     EXPECT_TRUE(differs([](RunSpec &s) { s.seed += 1; }));
+    EXPECT_TRUE(differs([](RunSpec &s) { s.scheme = "hashed"; }));
     EXPECT_TRUE(differs([](RunSpec &s) { s.platformTag = "stlb4096"; }));
 }
 
@@ -119,6 +120,7 @@ TEST(RunSpec, HashAndCacheKeySeparateDistinctSpecs)
              [](RunSpec &s) { s.warmupRefs += 1; },
              [](RunSpec &s) { s.measureRefs += 1; },
              [](RunSpec &s) { s.seed = 99; },
+             [](RunSpec &s) { s.scheme = "cache_tlb"; },
              [](RunSpec &s) { s.platformTag = "pscoff"; }}) {
         RunSpec other = base;
         mutate(other);
@@ -141,23 +143,28 @@ TEST(RunSpec, HashAndCacheKeySeparateDistinctSpecs)
 
 TEST(RunSpec, CacheKeyFormatIsStable)
 {
-    // The key format is load-bearing: the "v2_" prefix is the result-
+    // The key format is load-bearing: the "v3_" prefix is the result-
     // semantics version (bumped only when identical knobs produce
-    // different results, retiring stale cache files), the optional
-    // suffixes appear only for non-default knobs, and default-knob keys
-    // must not drift or every cache is silently invalidated.
+    // different results, retiring stale cache files; v3 = the
+    // translation-scheme seam), the optional suffixes appear only for
+    // non-default knobs, and default-knob keys must not drift or every
+    // cache is silently invalidated.
     RunSpec spec = quickSpec();
     EXPECT_EQ(spec.cacheKey(),
-              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
+              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
     EXPECT_EQ(spec.cacheFileName(),
-              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
+              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
     spec.platformTag = "stlb128";
     EXPECT_EQ(spec.cacheKey(),
-              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
+              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
     spec.platformTag.clear();
     spec.fastPath = false;
     EXPECT_EQ(spec.cacheKey(),
-              "v2_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_nofp");
+              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_nofp");
+    spec.fastPath = true;
+    spec.scheme = "no_vm";
+    EXPECT_EQ(spec.cacheKey(),
+              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_schno_vm");
 }
 
 TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial)

@@ -8,6 +8,8 @@ writes them as a flat JSON object:
 
     { "<bench name>": {"ns_per_op": <float>},   # micro benches
       "<timing name>": {"wall_s": <float>},     # whole-sweep timings
+      "scheme_<name>": {"cpi": <float>,         # per-scheme means from
+                        "wcpi": <float>},       #   bench_scheme_compare
       "validate_status": {"status": <str>},     # divergence report
       "validate_max_rel_err_<comp>": {"rel_err": <float>} }
 
@@ -18,7 +20,13 @@ decompositions. On counter-less hosts only the status entry appears
 ("skipped_no_pmu"), so the comparison gate naturally skips the error
 metrics there.
 
-The checked-in baseline lives at BENCH_05.json in the repo root; CI
+The scheme_* entries record the mean CPI and Eq-1 WCPI per translation
+scheme (radix, hashed, cache_tlb, no_vm) from a quick
+bench_scheme_compare sweep — simulated model outputs, not host timings,
+so they are exactly reproducible and any drift flags a behavioural
+change in a scheme backend rather than runner noise.
+
+The checked-in baseline lives at BENCH_07.json in the repo root; CI
 regenerates the file on every run, uploads it as an artifact, and
 --compare soft-warns (exit code stays 0) when a bench regresses more
 than --tolerance (default 15%) against the baseline. The warning is
@@ -27,9 +35,9 @@ baseline was recorded on a different machine than CI's runners — the
 artifact trail, not the gate, is the product here.
 
 Usage:
-    tools/bench/record_bench.py --build-dir build --out BENCH_05.json
+    tools/bench/record_bench.py --build-dir build --out BENCH_07.json
     tools/bench/record_bench.py --build-dir build \
-        --out bench_out/BENCH_05.json --compare BENCH_05.json
+        --out bench_out/BENCH_07.json --compare BENCH_07.json
 """
 
 import argparse
@@ -43,6 +51,7 @@ import time
 
 MICRO_BENCHES = ["bench_micro_mmu", "bench_micro_cache"]
 FIG01 = "bench_fig01_overhead_vs_footprint"
+SCHEME_COMPARE = "bench_scheme_compare"
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -74,7 +83,7 @@ def time_fig01(build_dir, name, extra_args, results):
     env = dict(os.environ)
     # Ambient engine overrides would silently change what this records.
     for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
-                 "ATSCALE_NO_FASTPATH"):
+                 "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME"):
         env.pop(knob, None)
     env["ATSCALE_QUICK"] = "1"
     env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
@@ -90,6 +99,53 @@ def time_fig01(build_dir, name, extra_args, results):
         shutil.rmtree(scratch, ignore_errors=True)
     results[name] = {"wall_s": round(wall, 2)}
     print("timed %s: %.2fs" % (name, wall))
+
+
+def record_scheme_compare(build_dir, results):
+    """Quick scheme sweep -> one {scheme_<name>: {cpi, wcpi}} row per
+    translation scheme.
+
+    Parses the `[scheme-summary] <scheme> cpi=<v> wcpi=<v>` lines that
+    bench_scheme_compare prints for exactly this purpose. The numbers
+    are simulated-model means (deterministic for a given tree), so the
+    --compare gate turns into a cheap behavioural-drift alarm for the
+    scheme backends. Runs against a fresh cache, with lane grouping
+    forced on so the lockstep path is the one recorded.
+    """
+    binary = os.path.abspath(os.path.join(build_dir, "bench",
+                                          SCHEME_COMPARE))
+    if not os.path.exists(binary):
+        print("skipping scheme record: %s not built" % binary)
+        return
+    scratch = tempfile.mkdtemp(prefix="record_scheme_")
+    env = dict(os.environ)
+    for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
+                 "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME"):
+        env.pop(knob, None)
+    env["ATSCALE_QUICK"] = "1"
+    env["ATSCALE_LANES"] = "1"
+    env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
+    env["ATSCALE_OUT_DIR"] = scratch
+    os.makedirs(env["ATSCALE_CACHE_DIR"])
+    try:
+        proc = subprocess.run([binary, "--threads=1"], cwd=scratch,
+                              env=env, capture_output=True, text=True,
+                              check=True)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    rows = 0
+    for line in proc.stdout.splitlines():
+        if not line.startswith("[scheme-summary]"):
+            continue
+        _, scheme, cpi_kv, wcpi_kv = line.split()
+        results["scheme_%s" % scheme] = {
+            "cpi": float(cpi_kv.split("=", 1)[1]),
+            "wcpi": float(wcpi_kv.split("=", 1)[1])}
+        rows += 1
+    if rows == 0:
+        raise RuntimeError(
+            "bench_scheme_compare printed no [scheme-summary] lines")
+    print("recorded scheme compare: %d scheme(s)" % rows)
 
 
 def record_validation(build_dir, results):
@@ -131,7 +187,7 @@ def record_validation(build_dir, results):
 
 
 def metric(entry):
-    for key in ("ns_per_op", "wall_s", "rel_err"):
+    for key in ("ns_per_op", "wall_s", "cpi", "rel_err"):
         if key in entry:
             return key, entry[key]
     return None, None
@@ -168,7 +224,7 @@ def main():
     parser = argparse.ArgumentParser(
         description="record micro-bench and sweep timings as JSON")
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_05.json")
+    parser.add_argument("--out", default="BENCH_07.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="soft-warn against this baseline file")
     parser.add_argument("--tolerance", type=float, default=0.15,
@@ -191,6 +247,7 @@ def main():
                    ["--lanes"], results)
         time_fig01(args.build_dir, "fig01_quick_cold_threads1_nolanes",
                    ["--no-lanes"], results)
+        record_scheme_compare(args.build_dir, results)
         record_validation(args.build_dir, results)
 
     out_dir = os.path.dirname(os.path.abspath(args.out))

@@ -39,6 +39,13 @@ enforces the statically checkable parts of those invariants:
       encodings table silently reads as zero on real hardware, and a
       short name table turns eventName() into a panic. Cross-file, like
       R3: the enum, the table, and the map live in different files.
+  R8  every TranslationScheme subclass must be constructible through the
+      scheme registry (mmu/scheme/registry.cc) and must declare
+      registerStats — a scheme outside the registry can never be
+      selected by a sweep (dead modelling code), and one without
+      registerStats is invisible to the observability layer, breaking
+      the "all schemes alike" contract of docs/TRANSLATION_SCHEMES.md.
+      Cross-file, like R7: the subclass and the factory live apart.
 
 Findings can be suppressed, one line at a time, with an inline comment
 on the offending line or the line directly above it:
@@ -76,10 +83,11 @@ RULE_SCOPES = {
     "R5": ["src", "bench", "examples", "tests"],
     "R6": ["src"],
     "R7": ["src"],
+    "R8": ["src"],
 }
 
 SUPPRESS_RE = re.compile(
-    r"//\s*atscale-lint:\s*allow\(\s*(R[1-7])\s+([^)]+)\)")
+    r"//\s*atscale-lint:\s*allow\(\s*(R[1-8])\s+([^)]+)\)")
 
 # R1: ambient nondeterminism. Each entry: (regex, what it is).
 R1_PATTERNS = [
@@ -119,6 +127,12 @@ MISS_GUARD_RE = re.compile(r"\bMiss\b|\.hit\b|!\s*hit\b")
 R4_LOOKBACK = 30
 
 COUNTER_MEMBER_RE = re.compile(r"^\s*Count\s+(\w+_)\s*(?:=[^;]*)?;")
+
+# R8: the translation-scheme seam and its registry.
+SCHEME_SUBCLASS_RE = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*(?:public\s+)?TranslationScheme\b")
+SCHEME_FACTORY_RE = re.compile(r"\bmakeTranslationScheme\b")
+REGISTER_STATS_RE = re.compile(r"\bregisterStats\s*\(")
 
 # R7: the event vocabulary and its two per-event tables.
 EVENT_ENUM_RE = re.compile(r"\benum\s+class\s+EventId\b")
@@ -502,6 +516,64 @@ class RegexEngine:
                               "name or eventName() panics past the end"
                               % (literals, len(members)))
 
+    # ---- R8 (cross-file) -------------------------------------------------
+
+    def _scheme_subclasses(self, files):
+        """(class name, SourceFile, line) per TranslationScheme subclass."""
+        subclasses = []
+        for sf in files:
+            if not in_scope("R8", sf.path):
+                continue
+            for idx, line in enumerate(sf.code_lines, start=1):
+                m = SCHEME_SUBCLASS_RE.search(line)
+                if m:
+                    subclasses.append((m.group(1), sf, idx))
+        return subclasses
+
+    def check_r8(self, files):
+        subclasses = self._scheme_subclasses(files)
+        if not subclasses:
+            return
+
+        # The registry's reach: every file that spells the factory name
+        # (the registry itself plus its callers) — a subclass never
+        # mentioned there cannot be constructed by name.
+        factory_text = ""
+        for sf in files:
+            if not in_scope("R8", sf.path):
+                continue
+            if any(SCHEME_FACTORY_RE.search(l) for l in sf.code_lines):
+                factory_text += "\n".join(sf.code_lines) + "\n"
+
+        for cls, sf, line in subclasses:
+            if not re.search(r"\b%s\b" % re.escape(cls), factory_text):
+                yield Finding(sf.path, line, "R8",
+                              "TranslationScheme subclass '%s' is not "
+                              "constructible through the scheme registry "
+                              "(mmu/scheme/registry.cc) — add it to "
+                              "kSchemeNames and makeTranslationScheme, or "
+                              "no sweep can ever select it" % cls)
+
+        # registerStats: scan the subclass's declaration span (its decl
+        # line up to the next subclass in the same file, or EOF).
+        by_file = {}
+        for cls, sf, line in subclasses:
+            by_file.setdefault(sf.path, []).append((line, cls, sf))
+        for path in sorted(by_file):
+            spans = sorted(by_file[path])
+            for i, (line, cls, sf) in enumerate(spans):
+                end = (spans[i + 1][0] - 1 if i + 1 < len(spans)
+                       else len(sf.code_lines))
+                body = sf.code_lines[line - 1:end]
+                if not any(REGISTER_STATS_RE.search(l) for l in body):
+                    yield Finding(sf.path, line, "R8",
+                                  "TranslationScheme subclass '%s' "
+                                  "declares no registerStats — schemes "
+                                  "without it are invisible to the "
+                                  "observability layer (every scheme "
+                                  "must register every statistic it "
+                                  "keeps)" % cls)
+
 
 class ClangEngine(RegexEngine):
     """AST-backed refinement of R2/R5 when python libclang is available.
@@ -617,7 +689,7 @@ def main(argv=None):
                              "against it)")
     parser.add_argument("--engine", choices=["auto", "libclang", "regex"],
                         default="auto")
-    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6,R7",
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6,R7,R8",
                         help="comma-separated subset of rules to run")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as JSON")
@@ -650,6 +722,8 @@ def main(argv=None):
         findings.extend(engine.check_r3(files))
     if "R7" in rules:
         findings.extend(engine.check_r7(files))
+    if "R8" in rules:
+        findings.extend(engine.check_r8(files))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     apply_suppressions(findings, files_by_path)

@@ -1,0 +1,30 @@
+// R8 fixture: TranslationScheme subclasses that break the seam's
+// contract. OrphanScheme registers its stats but is never mentioned in
+// any makeTranslationScheme factory text (no sweep can select it);
+// SilentScheme is also unregistered AND declares no registerStats (the
+// observability layer would never see it).
+namespace atscale_fixture
+{
+
+class StatsRegistry;
+
+class TranslationScheme
+{
+  public:
+    virtual ~TranslationScheme() = default;
+};
+
+class OrphanScheme final : public TranslationScheme
+{
+  public:
+    const char *name() const { return "orphan"; }
+    void registerStats(StatsRegistry &registry) const;
+};
+
+class SilentScheme final : public TranslationScheme
+{
+  public:
+    const char *name() const { return "silent"; }
+};
+
+} // namespace atscale_fixture

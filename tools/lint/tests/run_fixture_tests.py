@@ -69,6 +69,7 @@ def main():
         "bad_r5.cc": ("R5", 2),  # member + lock_guard<std::mutex>
         "bad_r6.cc": ("R6", 2),  # function-local + class-level static
         "bad_r7.cc": ("R7", 2),  # unmapped event + short name table
+        "bad_r8.cc": ("R8", 2),  # two unregistered schemes (one silent)
     }
     for fixture, (rule, min_lines) in sorted(expectations.items()):
         got = grouped.get(fixture, [])
