@@ -24,13 +24,14 @@ memLevelName(MemLevel level)
     return "?";
 }
 
-CacheHierarchy::CacheHierarchy(const HierarchyParams &params)
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               SharedLlc *shared)
     : params_(params),
       lineShift_(static_cast<std::uint32_t>(floorLog2(params.lineBytes))),
       l1_("L1D", params.l1, 11),
       l2_("L2", params.l2, 22),
-      l3_("L3", params.l3, 33),
-      dram_(params.dram)
+      ownLlc_(shared ? nullptr : std::make_unique<SharedLlc>(params)),
+      llc_(shared ? shared : ownLlc_.get())
 {
     panic_if(!isPowerOf2(params_.lineBytes), "line size must be power of 2");
 }
@@ -40,10 +41,11 @@ CacheHierarchy::accessMiss(PhysAddr paddr, std::uint64_t line,
                            AccessKind kind)
 {
     auto &kcounts = counts_[static_cast<size_t>(kind)];
+    SetAssocCache &l3 = llc_->l3();
 
     // Overlap the (almost always host-cold) L3 set row with the L2 scan;
     // stamps included because an L3 miss immediately LRU-victim-scans.
-    l3_.prefetchSet(line, true);
+    l3.prefetchSet(line, true);
 
     // Every fill below follows a just-observed miss of the same line in
     // that array, so the presence re-scan of fill() can be skipped.
@@ -52,15 +54,15 @@ CacheHierarchy::accessMiss(PhysAddr paddr, std::uint64_t line,
         result.level = MemLevel::L2;
         result.latency = params_.l2Latency;
         l1_.fillMissed(line);
-    } else if (l3_.access(line)) {
+    } else if (l3.access(line)) {
         result.level = MemLevel::L3;
         result.latency = params_.l3Latency;
         l2_.fillMissed(line);
         l1_.fillMissed(line);
     } else {
         result.level = MemLevel::Memory;
-        result.latency = params_.l3Latency + dram_.access(paddr);
-        l3_.fillMissed(line);
+        result.latency = params_.l3Latency + llc_->dram().access(paddr);
+        l3.fillMissed(line);
         l2_.fillMissed(line);
         l1_.fillMissed(line);
     }
@@ -84,8 +86,8 @@ CacheHierarchy::resetStats()
         kind.fill(0);
     l1_.resetStats();
     l2_.resetStats();
-    l3_.resetStats();
-    dram_.reset();
+    if (ownLlc_)
+        ownLlc_->resetStats();
 }
 
 void
@@ -93,7 +95,8 @@ CacheHierarchy::flush()
 {
     l1_.flush();
     l2_.flush();
-    l3_.flush();
+    if (ownLlc_)
+        ownLlc_->flush();
     resetStats();
 }
 
@@ -102,7 +105,7 @@ CacheHierarchy::stateHash() const
 {
     std::uint64_t h = l1_.stateHash();
     h = hashCombine(h, l2_.stateHash());
-    h = hashCombine(h, l3_.stateHash());
+    h = hashCombine(h, llc_->l3().stateHash());
     for (const auto &kind : counts_)
         for (Count c : kind)
             h = hashCombine(h, c);

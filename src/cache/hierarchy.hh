@@ -14,10 +14,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cache/set_assoc_cache.hh"
 #include "mem/dram.hh"
+#include "util/thread_annotations.hh"
 #include "util/types.hh"
 
 namespace atscale
@@ -73,14 +75,68 @@ struct HierarchyParams
 };
 
 /**
+ * The shared tail of a cache hierarchy: one L3 plus DRAM. A private
+ * hierarchy owns its own instance; a multi-core SharedSystem constructs
+ * one and hands it to every core's CacheHierarchy, which is what makes
+ * PTE lines and data lines from different cores contend for the same
+ * L3 sets (the Patil shared-hierarchy effect, PAPERS.md).
+ *
+ * cross-core: shared by every core of a SharedSystem without a lock.
+ * The multi-core interleave is serial by contract (one core steps at a
+ * time, docs/MULTICORE.md), so no concurrent access can exist; the
+ * lockstep lane executor never shares a hierarchy between lanes.
+ */
+class ATSCALE_SHARED_ACROSS_CORES SharedLlc
+{
+  public:
+    explicit SharedLlc(const HierarchyParams &params)
+        : l3_("L3", params.l3, 33), dram_(params.dram)
+    {
+    }
+
+    SetAssocCache &l3() { return l3_; }
+    const SetAssocCache &l3() const { return l3_; }
+    Dram &dram() { return dram_; }
+    const Dram &dram() const { return dram_; }
+
+    /** Reset statistics (contents retained). */
+    void
+    resetStats()
+    {
+        l3_.resetStats();
+        dram_.reset();
+    }
+
+    /** Invalidate contents and statistics. */
+    void
+    flush()
+    {
+        l3_.flush();
+        dram_.reset();
+    }
+
+  private:
+    SetAssocCache l3_;
+    Dram dram_;
+};
+
+/**
  * Latency- and tag-only model of L1D/L2/L3 + DRAM. Misses at each level
  * fill that level (non-inclusive, write-allocate, writes modelled as
- * reads for tag purposes).
+ * reads for tag purposes). L1/L2 are always private; the L3+DRAM tail
+ * is owned by default, or borrowed from a SharedSystem-owned SharedLlc
+ * so several cores' hierarchies converge on one last-level cache.
  */
 class CacheHierarchy
 {
   public:
-    explicit CacheHierarchy(const HierarchyParams &params = {});
+    /**
+     * @param shared borrow this L3+DRAM tail instead of owning one
+     *               (nullptr = private hierarchy, identical behaviour
+     *               to the pre-SharedLlc design)
+     */
+    explicit CacheHierarchy(const HierarchyParams &params = {},
+                            SharedLlc *shared = nullptr);
 
     /**
      * Perform one physical access and return where it hit and latency.
@@ -113,9 +169,12 @@ class CacheHierarchy
     /** Total accesses of a kind. */
     Count kindCount(AccessKind kind) const;
 
-    /** Reset statistics (contents retained). */
+    /** Reset statistics (contents retained). The L3/DRAM tail is reset
+     * only when owned; a borrowed SharedLlc is reset once by its owner
+     * (resetting it per-core would tear another core's stats). */
     void resetStats();
-    /** Invalidate all cache contents and statistics. */
+    /** Invalidate all cache contents and statistics (same ownership
+     * rule as resetStats for the shared tail). */
     void flush();
 
     /** Register per-kind, per-level access counts under "<prefix>.". */
@@ -123,7 +182,12 @@ class CacheHierarchy
                        const std::string &prefix) const;
 
     const HierarchyParams &params() const { return params_; }
-    const Dram &dram() const { return dram_; }
+    const Dram &dram() const { return llc_->dram(); }
+
+    /** The L3+DRAM tail this hierarchy probes (owned or borrowed). */
+    SharedLlc &llc() { return *llc_; }
+    /** Whether the tail is owned (private) or borrowed (shared). */
+    bool ownsLlc() const { return ownLlc_ != nullptr; }
 
     /** Process-stable digest of cache contents, recency, and counts. */
     std::uint64_t stateHash() const;
@@ -137,8 +201,12 @@ class CacheHierarchy
     std::uint32_t lineShift_;
     SetAssocCache l1_;
     SetAssocCache l2_;
-    SetAssocCache l3_;
-    Dram dram_;
+    /** Owned tail for a private hierarchy; null when borrowing. */
+    std::unique_ptr<SharedLlc> ownLlc_;
+    /** The probed tail, owned or borrowed.
+     * cross-core: points at a SharedSystem's SharedLlc when shared;
+     * safe lock-free because the multi-core interleave is serial. */
+    SharedLlc *llc_;
     std::array<std::array<Count, numMemLevels>, 2> counts_{};
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/multicore.hh"
 #include "core/run_cache.hh"
 #include "obs/session.hh"
 #include "util/logging.hh"
@@ -45,6 +46,16 @@ runExperiment(const RunSpec &spec, const PlatformParams &params,
     // unobserved replays of the same spec.
     if (!observing && loadCachedRun(spec, result))
         return result;
+
+    // Multi-core specs run on a SharedSystem (core/multicore.hh); the
+    // aggregate result flows through the same cache and export paths as
+    // a single-core run.
+    if (spec.cores > 1) {
+        result = runMulticoreExperiment(spec, params, obs).aggregate;
+        if (!observing)
+            storeCachedRun(spec, result);
+        return result;
+    }
 
     std::unique_ptr<Workload> workload = createWorkload(spec.workload);
     fatal_if(!workload->supports(spec.mode),

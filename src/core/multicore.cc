@@ -1,0 +1,98 @@
+#include "core/multicore.hh"
+
+#include <memory>
+#include <string>
+
+#include "obs/session.hh"
+#include "sys/shared_system.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace atscale
+{
+
+MulticoreRunResult
+runMulticoreExperiment(const RunSpec &spec, const PlatformParams &params,
+                       ObsSession *obs)
+{
+    const bool observing = obs && obs->enabled();
+
+    MulticoreRunResult result;
+    result.aggregate.spec = spec;
+
+    std::unique_ptr<Workload> workload = createWorkload(spec.workload);
+    fatal_if(!workload->supports(spec.mode),
+             "workload '%s' does not support the requested mode",
+             spec.workload.c_str());
+
+    SharedSystemParams sys_params;
+    sys_params.hierarchy = params.hierarchy;
+    sys_params.mmu = params.mmu;
+    sys_params.mmu.fastPath = params.mmu.fastPath && spec.fastPath;
+    sys_params.mmu.scheme = spec.scheme;
+    sys_params.core = params.core;
+    sys_params.freqGHz = params.freqGHz;
+    sys_params.dramBytes = params.dramBytes;
+    sys_params.cores = spec.cores;
+
+    // Same platform seed recipe as runExperiment: core 0 of the shared
+    // system is seeded exactly like the private platform's core.
+    SharedSystem sys(sys_params, spec.pageSize, workload->traits(),
+                     spec.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
+    wl_config.tenantMix = spec.tenantMix;
+    std::vector<std::unique_ptr<RefSource>> tenants =
+        workload->instantiateTenants(sys.space(), wl_config, sys.cores());
+    std::vector<RefSource *> streams;
+    streams.reserve(tenants.size());
+    for (const auto &tenant : tenants)
+        streams.push_back(tenant.get());
+
+    if (observing) {
+        sys.registerStats(obs->registry(), "platform");
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+            tenants[t]->registerStats(
+                obs->registry(), "workload.tenant" + std::to_string(t));
+        }
+        sys.core(0).attachTracer(obs->tracer());
+    }
+
+    // Warm-up: populate pages, fill TLBs/caches (the paper's dry run).
+    sys.run(streams, spec.warmupRefs);
+
+    // Measurement window.
+    sys.resetStats();
+    if (observing)
+        obs->beginMeasurement(sys.core(0).counters());
+
+    sys.run(streams, spec.measureRefs);
+
+    result.perTenant.resize(sys.cores());
+    for (std::uint32_t k = 0; k < sys.cores(); ++k) {
+        TenantResult &tenant = result.perTenant[k];
+        tenant.counters = sys.core(k).counters();
+        tenant.shootdownsInitiated = sys.shootdownsInitiated(k);
+        tenant.shootdownsReceived = sys.shootdownsReceived(k);
+        tenant.shootdownCycles = sys.shootdownCycles(k);
+        result.aggregate.counters += tenant.counters;
+    }
+    result.aggregate.footprintTouched = sys.space().footprintBytes();
+    result.aggregate.pageTableBytes = sys.space().pageTable().nodeBytes();
+    result.stateHash = sys.stateHash();
+
+    if (observing) {
+        // One aggregate window for the sampler (the baseline above was
+        // the zeroed post-reset snapshot), then materialize registry
+        // values before the system is torn down.
+        obs->observe(result.aggregate.counters);
+        obs->finishRun();
+        sys.core(0).attachTracer(nullptr);
+    }
+    return result;
+}
+
+} // namespace atscale

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The multi-core experiment driver: one RunSpec with cores > 1 executed
+ * on a SharedSystem (src/sys) — K cores with private L1/L2 over one
+ * shared L3, one tenant reference stream per core, inter-core TLB
+ * shootdowns — with per-tenant counter windows and an aggregate
+ * RunResult compatible with every single-core consumer.
+ *
+ * Mirrors runExperiment()'s structure exactly (warm-up, stat reset,
+ * measurement window), which is what makes a cores=1 spec through this
+ * path bit-identical to the classic private-Platform path
+ * (tests/test_multicore_diff.cc).
+ */
+
+#ifndef ATSCALE_CORE_MULTICORE_HH
+#define ATSCALE_CORE_MULTICORE_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/run_spec.hh"
+#include "perf/counter_set.hh"
+
+namespace atscale
+{
+
+class ObsSession;
+
+/** One tenant's (= one core's) measurement-window slice. */
+struct TenantResult
+{
+    /** Counter deltas over the measurement window, this core only. */
+    CounterSet counters;
+    Count shootdownsInitiated = 0;
+    Count shootdownsReceived = 0;
+    /** Stall cycles the shootdown cost model charged to this core. */
+    Count shootdownCycles = 0;
+
+    Count cycles() const { return counters.get(EventId::CpuClkUnhalted); }
+    Count instructions() const
+    {
+        return counters.get(EventId::InstRetired);
+    }
+    double
+    cpi() const
+    {
+        auto instr = static_cast<double>(instructions());
+        return instr > 0 ? static_cast<double>(cycles()) / instr : 0.0;
+    }
+};
+
+/** Everything measured in one multi-core run. */
+struct MulticoreRunResult
+{
+    /**
+     * Spec + counters summed across cores + shared footprint, shaped
+     * exactly like a single-core RunResult so sweeps, exports, and the
+     * run cache consume multi-core runs unchanged. The summed CPI is
+     * system cycles-per-instruction (cores run concurrently, so wall
+     * time is cycles of the longest core, not the sum; use perTenant
+     * for per-core time).
+     */
+    RunResult aggregate;
+    /** One slice per core, index = core = tenant. */
+    std::vector<TenantResult> perTenant;
+    /** Digest over every core's MMU + cache + shootdown state at the
+     * end of the measurement window (determinism proofs). */
+    std::uint64_t stateHash = 0;
+};
+
+/**
+ * Run one multi-core experiment on a fresh SharedSystem. Accepts
+ * spec.cores == 1 (the degenerate case the differential suite pins);
+ * runExperiment() delegates every cores > 1 spec here, so callers that
+ * need only the aggregate can keep calling runExperiment().
+ *
+ * Observability: component stats register per core
+ * ("platform.core<k>.*") plus per-tenant workload stats
+ * ("workload.tenant<k>.*"); the walk tracer attaches to core 0; the
+ * window sampler sees the whole measurement as one aggregate window
+ * (per-quantum sampling across cores is not modelled).
+ *
+ * This function never touches the run cache — runExperiment() owns
+ * memoization of the aggregate.
+ */
+MulticoreRunResult runMulticoreExperiment(const RunSpec &spec,
+                                          const PlatformParams &params = {},
+                                          ObsSession *obs = nullptr);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_MULTICORE_HH

@@ -38,6 +38,12 @@ writeRunResultBody(JsonWriter &json, const RunResult &result,
     // byte-identical to the pre-seam format (golden suite contract).
     if (spec.scheme != "radix")
         json.kv("scheme", spec.scheme);
+    // Same contract for the multi-core fields: single-core exports are
+    // byte-identical to the pre-SharedSystem format.
+    if (spec.cores != 1)
+        json.kv("cores", static_cast<std::uint64_t>(spec.cores));
+    if (!spec.tenantMix.empty())
+        json.kv("tenant_mix", spec.tenantMix);
     json.endObject();
 
     json.kv("footprint_touched", result.footprintTouched);

@@ -8,11 +8,29 @@
 namespace atscale
 {
 
+namespace
+{
+
+/** Filesystem-safe form of a tenant-mix list ("zipfian,scan" ->
+ * "zipfian-scan"); keys and file tags must not contain commas. */
+std::string
+sanitizedMixTag(const std::string &mix)
+{
+    std::string tag = mix;
+    for (char &c : tag) {
+        if (c == ',')
+            c = '-';
+    }
+    return tag;
+}
+
+} // namespace
+
 std::string
 RunSpec::cacheKey() const
 {
     char buf[384];
-    std::snprintf(buf, sizeof(buf), "v3_%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
+    std::snprintf(buf, sizeof(buf), "v4_%s_f%llu_%s_m%d_w%llu_n%llu_s%llu",
                   workload.c_str(),
                   static_cast<unsigned long long>(footprintBytes),
                   pageSizeName(pageSize).c_str(), static_cast<int>(mode),
@@ -24,6 +42,10 @@ RunSpec::cacheKey() const
         key += "_nofp";
     if (scheme != "radix")
         key += "_sch" + scheme;
+    if (cores != 1)
+        key += "_c" + std::to_string(cores);
+    if (!tenantMix.empty())
+        key += "_t" + sanitizedMixTag(tenantMix);
     if (!platformTag.empty())
         key += "_p" + platformTag;
     return key;
@@ -39,6 +61,10 @@ RunSpec::fileTag() const
         tag += "_nofp";
     if (scheme != "radix")
         tag += "_" + scheme;
+    if (cores != 1)
+        tag += "_c" + std::to_string(cores);
+    if (!tenantMix.empty())
+        tag += "_" + sanitizedMixTag(tenantMix);
     if (!platformTag.empty())
         tag += "_" + platformTag;
     return tag;
@@ -55,6 +81,10 @@ RunSpec::describe() const
         text += " no-fastpath";
     if (scheme != "radix")
         text += " scheme=" + scheme;
+    if (cores != 1)
+        text += " cores=" + std::to_string(cores);
+    if (!tenantMix.empty())
+        text += " mix=" + tenantMix;
     if (!platformTag.empty())
         text += " platform=" + platformTag;
     return text;
@@ -71,7 +101,14 @@ RunSpec::laneGroupKey() const
                   static_cast<unsigned long long>(warmupRefs),
                   static_cast<unsigned long long>(measureRefs),
                   static_cast<unsigned long long>(seed));
-    return buf;
+    std::string key = buf;
+    // Multi-core runs consume per-tenant streams, not the shared single
+    // stream lanes replay; keep their stream identity distinct.
+    if (cores != 1)
+        key += "_c" + std::to_string(cores);
+    if (!tenantMix.empty())
+        key += "_t" + sanitizedMixTag(tenantMix);
+    return key;
 }
 
 std::uint64_t
@@ -86,6 +123,8 @@ RunSpec::hash() const
     h = hashCombine(h, seed);
     h = hashCombine(h, fastPath ? 1 : 0);
     h = fnv1a(scheme, hashCombine(h, scheme.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(cores));
+    h = fnv1a(tenantMix, hashCombine(h, tenantMix.size()));
     h = fnv1a(platformTag, hashCombine(h, platformTag.size()));
     return h;
 }

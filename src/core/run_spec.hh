@@ -57,6 +57,23 @@ struct RunSpec
      */
     std::string scheme = "radix";
     /**
+     * Simulated cores. 1 (default) runs the classic private single-core
+     * Platform; >1 runs a SharedSystem (src/sys) of this many cores with
+     * private L1/L2 over one shared L3, one tenant stream per core, and
+     * inter-core TLB shootdowns (docs/MULTICORE.md). Included in
+     * laneGroupKey: a multi-core run consumes per-tenant streams, not
+     * the shared single stream lockstep lanes replay, so cores>1 specs
+     * never co-schedule with single-core ones.
+     */
+    std::uint32_t cores = 1;
+    /**
+     * Per-tenant key-mix list for multi-tenant workloads, passed
+     * through to WorkloadConfig::tenantMix ("zipfian,scan,churn",
+     * cycled across tenants). Empty = workload default. Only
+     * meaningful with cores > 1 on a multi-tenant workload.
+     */
+    std::string tenantMix;
+    /**
      * Distinguishes runs made under non-default PlatformParams. The
      * params themselves are not part of the spec (they are not hashable
      * and rarely vary); any caller that runs the same (workload,
@@ -71,14 +88,17 @@ struct RunSpec
     /**
      * Canonical key string encoding every field. This is the on-disk
      * cache-file stem (with ".run" appended) and the basis of hash().
-     * The key carries a result-semantics version prefix ("v3_"): bumped
+     * The key carries a result-semantics version prefix ("v4_"): bumped
      * when the simulation's results change for the same knobs (v2 = the
-     * chunked fetch-ahead frontend, v3 = the translation-scheme seam),
-     * which retires stale cache files wholesale. fastPath does not alter
-     * default keys — fast-path-on is bit-identical to off — but disabled
-     * runs are tagged "_nofp" so A/B validation sweeps cannot conflate
-     * cache entries; likewise non-radix schemes are tagged
-     * "_sch<name>" while the default radix key stays untagged.
+     * chunked fetch-ahead frontend, v3 = the translation-scheme seam,
+     * v4 = the multi-core shared system), which retires stale cache
+     * files wholesale. fastPath does not alter default keys —
+     * fast-path-on is bit-identical to off — but disabled runs are
+     * tagged "_nofp" so A/B validation sweeps cannot conflate cache
+     * entries; likewise non-radix schemes are tagged "_sch<name>",
+     * multi-core runs "_c<cores>", and non-default tenant mixes
+     * "_t<mix>", while the default single-core radix key stays
+     * untagged.
      */
     std::string cacheKey() const;
 
@@ -97,12 +117,16 @@ struct RunSpec
 
     /**
      * Key over exactly the fields that select the reference stream
-     * (workload, footprint, mode, window sizes, seed). Specs sharing a
-     * key consume bit-identical streams, so the sweep engine may execute
-     * them as lockstep lanes over one shared generator (core/lane_exec);
-     * platform-side knobs — pageSize, fastPath, scheme, platformTag —
-     * are deliberately excluded, which is what makes page-size,
-     * MMU-ablation, and translation-scheme variants co-schedulable.
+     * (workload, footprint, mode, window sizes, seed, cores, tenant
+     * mix). Specs sharing a key consume bit-identical streams, so the
+     * sweep engine may execute them as lockstep lanes over one shared
+     * generator (core/lane_exec); platform-side knobs — pageSize,
+     * fastPath, scheme, platformTag — are deliberately excluded, which
+     * is what makes page-size, MMU-ablation, and translation-scheme
+     * variants co-schedulable. cores/tenantMix are included (they
+     * change the streams), but the engine still runs every cores>1
+     * spec standalone — the lane executor replays one shared stream,
+     * and a multi-core run consumes K per-tenant streams.
      */
     std::string laneGroupKey() const;
 

@@ -352,6 +352,14 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
     if (lanes_) {
         std::unordered_map<std::string, std::size_t> groups;
         for (std::size_t u : pending) {
+            // Multi-core specs always run standalone: the lane executor
+            // replays one shared stream through per-lane platforms,
+            // while a SharedSystem consumes K per-tenant streams (and
+            // is itself already a serial K-core interleave).
+            if (jobs[uniq[u]].spec.cores > 1) {
+                units.emplace_back(1, u);
+                continue;
+            }
             auto [it, inserted] = groups.try_emplace(
                 jobs[uniq[u]].spec.laneGroupKey(), units.size());
             if (inserted)

@@ -85,6 +85,21 @@ class Core : public TranslationListener
         return false;
     }
 
+    /**
+     * Charge whole stall cycles from outside the reference loop — the
+     * TLB-shootdown IPI cost a SharedSystem lands on a parked core.
+     * Adds to the cycle accumulator only (not to the per-reference
+     * stall pressure, which models data-path memory stalls); the charge
+     * is published into CpuClkUnhalted at the next run() boundary, so a
+     * trailing run(stream, 0) flushes charges that arrive after a
+     * core's final quantum.
+     */
+    void
+    chargeCycles(Cycles cycles)
+    {
+        cycleAcc_ += static_cast<double>(cycles);
+    }
+
     /** Performance counters accumulated so far. */
     const CounterSet &counters() const { return counters_; }
 

@@ -101,6 +101,25 @@ PagingStructureCaches::fill(Addr vaddr, int level, PhysAddr node)
 }
 
 void
+PagingStructureCaches::invalidatePage(Addr base, PageSize size)
+{
+    if (!params_.enabled)
+        return;
+    // INVLPG semantics: drop every paging-structure entry whose reach
+    // covers the invalidated page (SDM vol. 3, 4.10.4.1). The arrays
+    // are tiny and fully associative, so a sweep per level is fine.
+    for (int entry_level = 1; entry_level <= 3; ++entry_level) {
+        Array &array = arrays_[static_cast<size_t>(entry_level - 1)];
+        std::uint64_t lo = tagFor(base, entry_level);
+        std::uint64_t hi = tagFor(base + pageBytes(size) - 1, entry_level);
+        for (Entry &e : array.entries) {
+            if (e.valid && e.tag >= lo && e.tag <= hi)
+                e.valid = false;
+        }
+    }
+}
+
+void
 PagingStructureCaches::flush()
 {
     for (Array &a : arrays_)

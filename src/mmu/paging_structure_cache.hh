@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/types.hh"
+#include "vm/page_size.hh"
 
 namespace atscale
 {
@@ -73,6 +74,14 @@ class PagingStructureCaches
      * are cached in the TLBs, not here.
      */
     void fill(Addr vaddr, int level, PhysAddr node);
+
+    /**
+     * Drop every entry whose reach covers the page at `base` of the
+     * given size — the INVLPG analogue for the paging-structure caches
+     * (x86 invalidates PSC entries for the linear address along with
+     * the TLB entry).
+     */
+    void invalidatePage(Addr base, PageSize size);
 
     /** Invalidate everything. */
     void flush();

@@ -61,6 +61,7 @@ void
 RadixScheme::invalidatePage(Addr base, PageSize size)
 {
     tlb_.invalidatePage(base, size);
+    pscs_.invalidatePage(base, size);
     fast_.invalidatePage(base, size);
 }
 

@@ -1,0 +1,176 @@
+#include "sys/shared_system.hh"
+
+#include <algorithm>
+
+#include "obs/stats_registry.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+SharedSystem::CoreNode::CoreNode(SharedSystem &sys,
+                                 const SharedSystemParams &params,
+                                 const WorkloadTraits &traits,
+                                 std::uint64_t seed)
+    : hierarchy(params.hierarchy, &sys.llc_),
+      mmu(sys.space_, sys.mem_, hierarchy, params.mmu, &sys.alloc_),
+      core(mmu, hierarchy, sys.space_, params.core, traits, seed)
+{
+}
+
+SharedSystem::SharedSystem(const SharedSystemParams &params, PageSize backing,
+                           const WorkloadTraits &traits, std::uint64_t seed)
+    : params_(params), alloc_(params.dramBytes),
+      space_(mem_, alloc_, backing), llc_(params.hierarchy)
+{
+    fatal_if(params.cores == 0, "a shared system needs at least one core");
+    nodes_.reserve(params.cores);
+    for (std::uint32_t k = 0; k < params.cores; ++k) {
+        // Core 0 gets the caller's seed exactly so a K=1 system runs
+        // the same speculation sequence as a private Platform.
+        nodes_.push_back(std::make_unique<CoreNode>(
+            *this, params, traits, seed + k * 0x9e3779b9ull));
+        // Per-core listener order mirrors Platform: MMU before core.
+        space_.addTranslationListener(&nodes_.back()->mmu);
+        space_.addTranslationListener(&nodes_.back()->core);
+    }
+    // The shootdown coordinator observes last: by the time the cost is
+    // charged, every core's cached translation state is already gone.
+    space_.addTranslationListener(this);
+
+    shootdownsInitiated_.assign(params.cores, 0);
+    shootdownsReceived_.assign(params.cores, 0);
+    shootdownCycles_.assign(params.cores, 0);
+}
+
+SharedSystem::~SharedSystem()
+{
+    space_.removeTranslationListener(this);
+}
+
+Count
+SharedSystem::run(const std::vector<RefSource *> &streams, Count refsPerCore)
+{
+    panic_if(streams.size() != nodes_.size(),
+             "need one reference stream per core (%zu streams, %zu cores)",
+             streams.size(), nodes_.size());
+    std::vector<Count> left(nodes_.size(), refsPerCore);
+    Count core0 = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t k = 0; k < nodes_.size(); ++k) {
+            if (left[k] == 0)
+                continue;
+            activeCore_ = static_cast<std::uint32_t>(k);
+            Count want = std::min<Count>(Core::refChunkSize, left[k]);
+            Count ran = nodes_[k]->core.run(*streams[k], want);
+            if (k == 0)
+                core0 += ran;
+            // A short quantum means the stream ended: park this core
+            // (the other tenants keep running their full shares).
+            left[k] = ran < want ? 0 : left[k] - want;
+            if (left[k] > 0)
+                progress = true;
+        }
+    }
+    // Publish shootdown charges that landed on a core after its final
+    // quantum. Zero-length runs flush the integer cycle residue and are
+    // exact no-ops otherwise, so K=1 stays bit-identical.
+    for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        activeCore_ = static_cast<std::uint32_t>(k);
+        nodes_[k]->core.run(*streams[k], 0);
+    }
+    activeCore_ = 0;
+    return core0;
+}
+
+void
+SharedSystem::resetStats()
+{
+    for (auto &node : nodes_) {
+        node->core.resetCounters();
+        node->mmu.resetStats();
+        node->hierarchy.resetStats(); // private L1/L2 only (tail borrowed)
+    }
+    llc_.resetStats();
+    std::fill(shootdownsInitiated_.begin(), shootdownsInitiated_.end(), 0);
+    std::fill(shootdownsReceived_.begin(), shootdownsReceived_.end(), 0);
+    std::fill(shootdownCycles_.begin(), shootdownCycles_.end(), 0);
+}
+
+void
+SharedSystem::pageRemapped(Addr base, PageSize size)
+{
+    (void)base;
+    (void)size;
+    // A single core has no remote TLBs: no IPIs, no charge. This is
+    // load-bearing for the K=1 differential suite — a lone core must
+    // count exactly what a private Platform counts.
+    if (nodes_.size() == 1)
+        return;
+    const std::uint32_t from = activeCore_;
+    ++shootdownsInitiated_[from];
+    const Cycles initiator_cost = params_.shootdownInitiatorCycles +
+                                  params_.shootdownIpiCycles;
+    shootdownCycles_[from] += initiator_cost;
+    nodes_[from]->core.chargeCycles(initiator_cost);
+    for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        if (k == from)
+            continue;
+        ++shootdownsReceived_[k];
+        shootdownCycles_[k] += params_.shootdownIpiCycles;
+        nodes_[k]->core.chargeCycles(params_.shootdownIpiCycles);
+    }
+}
+
+void
+SharedSystem::registerStats(StatsRegistry &registry,
+                            const std::string &prefix) const
+{
+    for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        std::string base = prefix + ".core" + std::to_string(k);
+        nodes_[k]->mmu.registerStats(registry, base + ".mmu");
+        nodes_[k]->hierarchy.registerStats(registry, base + ".cache");
+        registry.addScalar(base + ".shootdowns_initiated", [this, k] {
+            return static_cast<double>(shootdownsInitiated_[k]);
+        }, "remaps this core's stream triggered");
+        registry.addScalar(base + ".shootdowns_received", [this, k] {
+            return static_cast<double>(shootdownsReceived_[k]);
+        }, "shootdown IPIs landed on this core");
+        registry.addScalar(base + ".shootdown_cycles", [this, k] {
+            return static_cast<double>(shootdownCycles_[k]);
+        }, "stall cycles charged by the shootdown model");
+    }
+    registry.addScalar(prefix + ".shootdowns_total", [this] {
+        Count total = 0;
+        for (Count c : shootdownsInitiated_)
+            total += c;
+        return static_cast<double>(total);
+    }, "remap-triggered shootdowns across all cores");
+    registry.addScalar(prefix + ".vm.footprint_bytes", [this] {
+        return static_cast<double>(space_.footprintBytes());
+    }, "data bytes populated (pages touched x page size)");
+    registry.addScalar(prefix + ".vm.page_table_bytes", [this] {
+        return static_cast<double>(space_.pageTable().nodeBytes());
+    }, "bytes of page-table nodes built");
+}
+
+std::uint64_t
+SharedSystem::stateHash() const
+{
+    std::uint64_t h = 0;
+    for (const auto &node : nodes_) {
+        h = hashCombine(h, node->mmu.stateHash());
+        h = hashCombine(h, node->hierarchy.stateHash());
+    }
+    for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        h = hashCombine(h, shootdownsInitiated_[k]);
+        h = hashCombine(h, shootdownsReceived_[k]);
+        h = hashCombine(h, shootdownCycles_[k]);
+    }
+    return h;
+}
+
+} // namespace atscale

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Multi-core shared-hierarchy simulation: K Core+Mmu pairs with private
+ * L1/L2 caches converging on one SharedLlc (L3 + DRAM), one shared
+ * AddressSpace, and inter-core TLB shootdowns on page remaps.
+ *
+ * This is the shared-hierarchy translation-contention setup of Patil,
+ * "TLB and Pagewalk Performance in Multicore Architectures with Large
+ * Die-Stacked DRAM Cache" (PAPERS.md): page-walker loads from different
+ * cores contend for the same L3 sets as each other's data, and a remap
+ * initiated while one core runs stalls every other core with an IPI.
+ *
+ * Determinism contract (docs/MULTICORE.md): cores step strictly
+ * round-robin, one refChunkSize quantum at a time, on the calling
+ * thread. No simulation state is ever touched concurrently, the
+ * interleave is a pure function of the per-tenant streams, and a K=1
+ * system is bit-for-bit identical to a private single-core Platform
+ * (proven by tests/test_multicore_diff.cc).
+ */
+
+#ifndef ATSCALE_SYS_SHARED_SYSTEM_HH
+#define ATSCALE_SYS_SHARED_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "mmu/mmu.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+class StatsRegistry;
+
+/**
+ * Shared-machine configuration. The single-machine fields mirror
+ * PlatformParams (core/platform.hh) so a SweepEngine PlatformParams can
+ * be transcribed 1:1; they are duplicated rather than included because
+ * src/sys sits below src/core in the link graph.
+ */
+struct SharedSystemParams
+{
+    HierarchyParams hierarchy;
+    MmuParams mmu;
+    CoreParams core;
+    /** Core frequency, for converting cycles to seconds. */
+    double freqGHz = 2.5;
+    /** Simulated DRAM capacity (2 sockets x 384 GiB). */
+    std::uint64_t dramBytes = 768ull << 30;
+
+    /** Number of simulated cores (1 = degenerate single-core). */
+    std::uint32_t cores = 1;
+
+    /**
+     * TLB-shootdown cost model (docs/MULTICORE.md): on a remap with
+     * K > 1 cores, every remote core is charged `shootdownIpiCycles`
+     * (interrupt entry, TLB invalidation, exit) and the initiating core
+     * is charged `shootdownInitiatorCycles` (building the IPI multicast)
+     * plus one `shootdownIpiCycles` round-trip waiting for the last
+     * acknowledgement — the remotes invalidate in parallel. A K=1
+     * system charges nothing: there is no remote TLB to shoot down.
+     */
+    Cycles shootdownIpiCycles = 120;
+    Cycles shootdownInitiatorCycles = 40;
+};
+
+/**
+ * One simulated multi-core machine: K cores with private L1/L2 and
+ * per-core MMUs over one shared L3+DRAM, one physical memory, and one
+ * address space (the multi-tenant "one store" layout — tenants map
+ * distinct regions of the same space).
+ *
+ * cross-core: every core's CacheHierarchy points at llc_, and every
+ * remap fans out to every core's Mmu + micro-TLB through the shared
+ * space's TranslationListener list. Safe lock-free because run() steps
+ * exactly one core at a time on one thread (see file header).
+ */
+class ATSCALE_SHARED_ACROSS_CORES SharedSystem : public TranslationListener
+{
+  public:
+    /**
+     * @param backing page size requested for all workload data regions
+     * @param traits workload character for the timing cores
+     * @param seed core 0 gets exactly this seed (single-core identity);
+     *             core k gets seed + k * 0x9e3779b9
+     */
+    SharedSystem(const SharedSystemParams &params, PageSize backing,
+                 const WorkloadTraits &traits, std::uint64_t seed = 42);
+    ~SharedSystem() override;
+
+    SharedSystem(const SharedSystem &) = delete;
+    SharedSystem &operator=(const SharedSystem &) = delete;
+
+    std::uint32_t cores() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    AddressSpace &space() { return space_; }
+    const AddressSpace &space() const { return space_; }
+    SharedLlc &llc() { return llc_; }
+
+    Core &core(std::uint32_t k) { return nodes_[k]->core; }
+    Mmu &mmu(std::uint32_t k) { return nodes_[k]->mmu; }
+    CacheHierarchy &hierarchy(std::uint32_t k)
+    {
+        return nodes_[k]->hierarchy;
+    }
+    const Core &core(std::uint32_t k) const { return nodes_[k]->core; }
+    const Mmu &mmu(std::uint32_t k) const { return nodes_[k]->mmu; }
+    const CacheHierarchy &hierarchy(std::uint32_t k) const
+    {
+        return nodes_[k]->hierarchy;
+    }
+
+    /**
+     * Deterministic round-robin interleave: step cores 0..K-1 in turn,
+     * each by one Core::refChunkSize quantum of its own stream, until
+     * every core has executed refsPerCore references (or its stream
+     * ended). A final zero-length run() per core publishes shootdown
+     * cycles that landed after a core's last quantum, so counters are
+     * complete when this returns. Core::run is partition-invariant, so
+     * for K=1 this is bit-identical to one core.run(stream, refsPerCore)
+     * call.
+     *
+     * @param streams one reference stream per core (tenant streams)
+     * @return references executed by core 0
+     */
+    Count run(const std::vector<RefSource *> &streams, Count refsPerCore);
+
+    /**
+     * Open a measurement window: reset every core's counters, every
+     * MMU's and hierarchy's statistics, the shared L3/DRAM statistics,
+     * and the shootdown counts (microarchitectural contents retained),
+     * exactly as runExperiment does between warm-up and measurement.
+     */
+    void resetStats();
+
+    /**
+     * TranslationListener: a page was remapped. The per-core MMUs and
+     * micro-TLBs have already invalidated themselves (they registered
+     * before this coordinator); this hook only charges the IPI cost
+     * model and counts the shootdown. The initiator is the core whose
+     * quantum is currently running (activeCore).
+     */
+    void pageRemapped(Addr base, PageSize size) override;
+
+    /** Core whose quantum run() is currently stepping (0 outside run).
+     * Exposed for tests that trigger remaps outside run(). */
+    std::uint32_t activeCore() const { return activeCore_; }
+    void setActiveCore(std::uint32_t k) { activeCore_ = k; }
+
+    /** Shootdowns this core initiated (its stream remapped a page). */
+    Count shootdownsInitiated(std::uint32_t k) const
+    {
+        return shootdownsInitiated_[k];
+    }
+    /** Shootdown IPIs this core received from other cores. */
+    Count shootdownsReceived(std::uint32_t k) const
+    {
+        return shootdownsReceived_[k];
+    }
+    /** Stall cycles the shootdown model charged to this core. */
+    Count shootdownCycles(std::uint32_t k) const
+    {
+        return shootdownCycles_[k];
+    }
+
+    /**
+     * Register per-core component statistics under
+     * "<prefix>.core<k>.{mmu,cache,shootdowns_*}" plus shared
+     * address-space and total-shootdown scalars under "<prefix>.".
+     */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix = "system") const;
+
+    /** Process-stable digest over every core's MMU + hierarchy state
+     * (the shared L3 is folded in through each hierarchy's hash). */
+    std::uint64_t stateHash() const;
+
+    const SharedSystemParams &params() const { return params_; }
+
+  private:
+    /** One core's private slice of the machine. Heap-allocated so the
+     * components keep stable addresses as the node list is built. */
+    struct CoreNode
+    {
+        CoreNode(SharedSystem &sys, const SharedSystemParams &params,
+                 const WorkloadTraits &traits, std::uint64_t seed);
+
+        CacheHierarchy hierarchy;
+        Mmu mmu;
+        Core core;
+    };
+
+    SharedSystemParams params_;
+    PhysicalMemory mem_;
+    FrameAllocator alloc_;
+    AddressSpace space_;
+    /** cross-core: the one L3+DRAM tail every node's hierarchy probes;
+     * serial interleave, so lock-free by contract. */
+    SharedLlc llc_;
+    std::vector<std::unique_ptr<CoreNode>> nodes_;
+
+    std::uint32_t activeCore_ = 0;
+
+    // Shootdown statistics, one slot per core. Registered with the
+    // stats registry in registerStats; vectors rather than Count
+    // members because the core count is a runtime parameter.
+    std::vector<Count> shootdownsInitiated_;
+    std::vector<Count> shootdownsReceived_;
+    std::vector<Count> shootdownCycles_;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_SYS_SHARED_SYSTEM_HH

@@ -77,6 +77,17 @@
 #define ATSCALE_NO_THREAD_SAFETY_ANALYSIS \
     ATSCALE_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/**
+ * Marks a class as a cross-core shared structure in the multi-core
+ * simulation (one instance reachable from several simulated cores, e.g.
+ * a shared L3 or the shootdown coordinator). Compiles to nothing; the
+ * marker exists for lint rule R9, which requires every class that *is*
+ * or *holds* such a structure to either guard it with the annotated
+ * Mutex above or carry a `cross-core:` comment documenting why
+ * lock-free access is safe (docs/MULTICORE.md, docs/STATIC_ANALYSIS.md).
+ */
+#define ATSCALE_SHARED_ACROSS_CORES
+
 namespace atscale
 {
 

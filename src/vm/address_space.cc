@@ -97,6 +97,14 @@ AddressSpace::touch(Addr vaddr)
     return pages_.insert(page_base, t);
 }
 
+void
+AddressSpace::removeTranslationListener(TranslationListener *listener)
+{
+    listeners_.erase(
+        std::remove(listeners_.begin(), listeners_.end(), listener),
+        listeners_.end());
+}
+
 const Translation &
 AddressSpace::remapPage(Addr vaddr)
 {

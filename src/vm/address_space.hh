@@ -79,6 +79,14 @@ class AddressSpace
         listeners_.push_back(listener);
     }
 
+    /**
+     * Unregister a listener. Remaining listeners keep their relative
+     * notification order; re-adding appends at the end. Unknown
+     * listeners are ignored (tear-down paths may race destruction
+     * order). Must not be called from inside a pageRemapped callback.
+     */
+    void removeTranslationListener(TranslationListener *listener);
+
     /** Functional translation through the page table (no population). */
     Translation translate(Addr vaddr) const { return table_.translate(vaddr); }
 

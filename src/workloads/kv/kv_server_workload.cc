@@ -1,0 +1,263 @@
+#include "workloads/kv/kv_server_workload.hh"
+
+#include <algorithm>
+
+#include "obs/stats_registry.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** One tenant's key-mix flavour. */
+enum class TenantMix
+{
+    Zipfian,
+    Scan,
+    Churn,
+};
+
+TenantMix
+parseMix(const std::string &name)
+{
+    if (name == "zipfian")
+        return TenantMix::Zipfian;
+    if (name == "scan")
+        return TenantMix::Scan;
+    if (name == "churn")
+        return TenantMix::Churn;
+    fatal("unknown kvserver tenant mix '%s' (zipfian, scan, churn)",
+          name.c_str());
+}
+
+/** Split "a,b,c" into its entries; an empty string yields the default. */
+std::vector<std::string>
+splitMixList(std::string list)
+{
+    if (list.empty())
+        list = KvServerWorkload::defaultMix;
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * One tenant's request stream against the shared store. Generates in
+ * request batches like the memcached model stream; the compaction
+ * cadence lives in fill() so remaps land at fetch-chunk boundaries
+ * (see the file header of kv_server_workload.hh for why that is safe).
+ */
+class KvTenantStream : public RefSource
+{
+  public:
+    KvTenantStream(TenantMix mix, AddressSpace &space, Addr buckets,
+                   std::uint64_t numBuckets, Addr slab, std::uint64_t items,
+                   Addr scratch, std::uint64_t seed)
+        : mix_(mix), space_(space), buckets_(buckets),
+          numBuckets_(numBuckets), slab_(slab), items_(items),
+          scratch_(scratch), rng_(seed),
+          compactPeriod_(mix == TenantMix::Churn ? 4 : 32)
+    {
+        batch_.reserve(32);
+        // Decorrelate tenants' slab cursors so churn tenants do not
+        // write the same slots in lockstep.
+        slabCursor_ = rng_.below(std::max<std::uint64_t>(items_, 1));
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        while (pos_ >= batch_.size()) {
+            batch_.clear();
+            pos_ = 0;
+            generate();
+        }
+        ref = batch_[pos_++];
+        return true;
+    }
+
+    Count
+    fill(Ref *out, Count max) override
+    {
+        // Slab-compaction analogue: migrate an item page this stream
+        // emitted during the previous fill — executed, hence populated
+        // — on a deterministic fill-count cadence. Under a SharedSystem
+        // this fans out as an inter-core TLB shootdown.
+        ++fills_;
+        if (victim_ != 0 && fills_ % compactPeriod_ == 0) {
+            space_.remapPage(victim_);
+            ++compactions_;
+            victim_ = 0;
+        }
+        Count n = RefSource::fill(out, max);
+        for (Count i = 0; i < n; ++i) {
+            if (out[i].vaddr - slab_ < items_ * KvServerWorkload::itemBytes) {
+                victim_ = out[i].vaddr;
+                break;
+            }
+        }
+        return n;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        if (rng.chance(0.4))
+            return buckets_ + rng.below(numBuckets_) * 8;
+        return itemAddr(rng.below(std::max<std::uint64_t>(items_, 1)));
+    }
+
+    void
+    registerStats(StatsRegistry &registry,
+                  const std::string &prefix) const override
+    {
+        registry.addScalar(prefix + ".requests", [this] {
+            return static_cast<double>(requests_);
+        }, "client requests generated");
+        registry.addScalar(prefix + ".compactions", [this] {
+            return static_cast<double>(compactions_);
+        }, "slab pages migrated (shootdown triggers)");
+    }
+
+  private:
+    void
+    push(Addr a, std::uint32_t gap, bool store = false)
+    {
+        batch_.push_back({a, gap, store});
+    }
+
+    Addr
+    itemAddr(std::uint64_t slot) const
+    {
+        return slab_ + slot * KvServerWorkload::itemBytes;
+    }
+
+    void
+    generate()
+    {
+        // Request parsing on the tenant's private connection buffers.
+        for (int i = 0; i < 6; ++i)
+            push(scratch_ + ((scratchPos_ + i * 64) & (scratchBytes - 1)), 6);
+        scratchPos_ = (scratchPos_ + 512) & (scratchBytes - 1);
+        ++requests_;
+
+        std::uint64_t n = std::max<std::uint64_t>(items_, 1);
+        switch (mix_) {
+          case TenantMix::Zipfian: {
+            // Skewed GET: hot-key bucket probe, short chain, payload.
+            std::uint64_t slot = rng_.zipf(n, 0.99);
+            push(buckets_ + (slot % numBuckets_) * 8, 20);
+            push(itemAddr(slot), 3);
+            while (rng_.chance(0.25)) {
+                slot = rng_.zipf(n, 0.99);
+                push(itemAddr(slot), 2);
+            }
+            // A small SET fraction updates the hot value in place.
+            push(itemAddr(slot) + 64, 30, rng_.chance(0.05));
+            break;
+          }
+          case TenantMix::Scan: {
+            // Range read: one bucket probe then a sequential sweep of
+            // item slots (the slab is layout-ordered).
+            push(buckets_ + (scanPos_ % numBuckets_) * 8, 16);
+            for (int i = 0; i < 16; ++i)
+                push(itemAddr((scanPos_ + i) % n), 2);
+            scanPos_ = (scanPos_ + 16 + rng_.below(4)) % n;
+            break;
+          }
+          case TenantMix::Churn: {
+            // Insert/evict: allocate at the cursor, write the item,
+            // relink the bucket, advance the eviction clock.
+            slabCursor_ = (slabCursor_ + 1) % n;
+            push(itemAddr(slabCursor_), 12, true);
+            push(itemAddr(slabCursor_) + 64, 2, true);
+            push(buckets_ + rng_.below(numBuckets_) * 8, 2, true);
+            push(itemAddr((slabCursor_ + 1) % n), 2);
+            break;
+          }
+        }
+    }
+
+    static constexpr std::uint64_t scratchBytes = 1 << 20;
+
+    TenantMix mix_;
+    AddressSpace &space_;
+    Addr buckets_;
+    std::uint64_t numBuckets_;
+    Addr slab_;
+    std::uint64_t items_;
+    Addr scratch_;
+    Rng rng_;
+    /** fill() calls between slab compactions (remap triggers). */
+    std::uint64_t compactPeriod_;
+    std::uint64_t slabCursor_ = 0;
+    std::uint64_t scanPos_ = 0;
+    std::uint64_t scratchPos_ = 0;
+    std::uint64_t fills_ = 0;
+    /** Slab address from the previous fill, next compaction victim. */
+    Addr victim_ = 0;
+    Count requests_ = 0;
+    Count compactions_ = 0;
+    std::vector<Ref> batch_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+WorkloadTraits
+KvServerWorkload::traits() const
+{
+    // Branchy protocol/request code like memcached; mixed-tenant chains
+    // give little memory-level parallelism.
+    return {0.18, 0.014, 0.40, 0.6};
+}
+
+std::vector<std::unique_ptr<RefSource>>
+KvServerWorkload::instantiateTenants(AddressSpace &space,
+                                     const WorkloadConfig &config,
+                                     std::uint32_t tenants)
+{
+    fatal_if(config.mode != WorkloadMode::Model,
+             "kvserver-mix only supports model mode");
+    fatal_if(tenants == 0, "kvserver-mix needs at least one tenant");
+
+    // One store for everyone: footprint = slab + bucket heads (the
+    // per-tenant connection buffers are noise-sized).
+    std::uint64_t items = std::max<std::uint64_t>(
+        config.footprintBytes / (itemBytes + 8), 1024);
+    std::uint64_t buckets = items;
+    Addr bucket_base = space.mapRegion("buckets", buckets * 8);
+    Addr slab_base = space.mapRegion("slab", items * itemBytes);
+
+    std::vector<std::string> mixes = splitMixList(config.tenantMix);
+    std::vector<std::unique_ptr<RefSource>> streams;
+    streams.reserve(tenants);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        Addr scratch = space.mapRegion(
+            "conn-buffers" + std::to_string(t), 1 << 20);
+        streams.push_back(std::make_unique<KvTenantStream>(
+            parseMix(mixes[t % mixes.size()]), space, bucket_base, buckets,
+            slab_base, items, scratch,
+            (config.seed ^ 0x77) + t * 0x9e3779b9ull));
+    }
+    return streams;
+}
+
+std::unique_ptr<RefSource>
+KvServerWorkload::instantiate(AddressSpace &space,
+                              const WorkloadConfig &config)
+{
+    auto streams = instantiateTenants(space, config, 1);
+    return std::move(streams.front());
+}
+
+} // namespace atscale

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The kvserver-mix workload: one KV store shared by N client tenants
+ * with per-tenant key mixes — the ROADMAP's north-star multi-tenant
+ * scenario, built for the multi-core SharedSystem (docs/MULTICORE.md).
+ *
+ * All tenants hit ONE store (one bucket array + one item slab in one
+ * address space); each tenant adds only a private connection-buffer
+ * region. Three key mixes, cycled over WorkloadConfig::tenantMix:
+ *
+ *  - zipfian: skewed GETs (hot keys), the classic cache-friendly tail
+ *  - scan:    scan-heavy range reads sweeping the slab sequentially
+ *  - churn:   insert/evict-heavy writes advancing the slab cursor
+ *
+ * Every tenant's refill path also triggers the store's slab-compaction
+ * analogue: on a deterministic per-stream cadence, an item page the
+ * tenant recently touched is migrated via AddressSpace::remapPage —
+ * which under a multi-core system fans out as an inter-core TLB
+ * shootdown. Churn tenants compact an order of magnitude more often
+ * than read-mostly ones. Remaps fire only at fill() boundaries, on
+ * pages emitted by the *previous* fill, so the page is guaranteed
+ * already executed (hence populated) no matter how the core partitions
+ * its run.
+ */
+
+#ifndef ATSCALE_WORKLOADS_KV_KV_SERVER_WORKLOAD_HH
+#define ATSCALE_WORKLOADS_KV_KV_SERVER_WORKLOAD_HH
+
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+/** Multi-tenant KV server + mixed-key client drivers. */
+class KvServerWorkload : public Workload
+{
+  public:
+    std::string program() const override { return "kvserver"; }
+    std::string generator() const override { return "mix"; }
+    WorkloadTraits traits() const override;
+    bool
+    supports(WorkloadMode mode) const override
+    {
+        return mode == WorkloadMode::Model;
+    }
+
+    std::unique_ptr<RefSource>
+    instantiate(AddressSpace &space, const WorkloadConfig &config) override;
+
+    std::vector<std::unique_ptr<RefSource>>
+    instantiateTenants(AddressSpace &space, const WorkloadConfig &config,
+                       std::uint32_t tenants) override;
+
+    /** Item slot size in bytes. */
+    static constexpr std::uint32_t itemBytes = 128;
+    /** Default per-tenant mix cycle when config.tenantMix is empty. */
+    static constexpr const char *defaultMix = "zipfian,scan,churn";
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_WORKLOADS_KV_KV_SERVER_WORKLOAD_HH

@@ -10,6 +10,7 @@
 
 #include "util/logging.hh"
 #include "workloads/graph/graph_workload.hh"
+#include "workloads/kv/kv_server_workload.hh"
 #include "workloads/kv/memcached_workload.hh"
 #include "workloads/mcf/mcf_workload.hh"
 #include "workloads/sc/streamcluster_workload.hh"
@@ -22,9 +23,9 @@ workloadNames()
 {
     return {
         "bc-kron",        "bc-urand", "bfs-kron", "bfs-urand",
-        "cc-kron",        "cc-urand", "mcf-rand", "memcached-uniform",
-        "pr-kron",        "pr-urand", "streamcluster-rand",
-        "tc-kron",        "tc-urand",
+        "cc-kron",        "cc-urand", "kvserver-mix", "mcf-rand",
+        "memcached-uniform", "pr-kron", "pr-urand",
+        "streamcluster-rand", "tc-kron", "tc-urand",
     };
 }
 
@@ -55,6 +56,8 @@ createWorkload(const std::string &name)
         return graph(GraphKernel::Tc, GraphKind::Urand);
     if (name == "tc-kron")
         return graph(GraphKernel::Tc, GraphKind::Kron);
+    if (name == "kvserver-mix")
+        return std::make_unique<KvServerWorkload>();
     if (name == "mcf-rand")
         return std::make_unique<McfWorkload>();
     if (name == "memcached-uniform")

@@ -1,0 +1,23 @@
+#include "workloads/workload.hh"
+
+namespace atscale
+{
+
+std::vector<std::unique_ptr<RefSource>>
+Workload::instantiateTenants(AddressSpace &space,
+                             const WorkloadConfig &config,
+                             std::uint32_t tenants)
+{
+    std::vector<std::unique_ptr<RefSource>> streams;
+    streams.reserve(tenants);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        WorkloadConfig tenant = config;
+        // Tenant 0 keeps the caller's seed untouched: a 1-tenant
+        // instantiation must be indistinguishable from instantiate().
+        tenant.seed = config.seed + t * 0x9e3779b9ull;
+        streams.push_back(instantiate(space, tenant));
+    }
+    return streams;
+}
+
+} // namespace atscale

@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cpu/core_params.hh"
 #include "cpu/ref_stream.hh"
@@ -48,6 +49,13 @@ struct WorkloadConfig
     /** Instance seed (graph topology, key sequence, ...). */
     std::uint64_t seed = 1;
     WorkloadMode mode = WorkloadMode::Model;
+    /**
+     * Comma-separated per-tenant key-mix list for multi-tenant
+     * instantiation ("zipfian,scan,churn"), cycled across tenants.
+     * Empty = the workload's default mix. Single-tenant workloads
+     * ignore it.
+     */
+    std::string tenantMix;
 };
 
 /**
@@ -83,6 +91,21 @@ class Workload
      */
     virtual std::unique_ptr<RefSource>
     instantiate(AddressSpace &space, const WorkloadConfig &config) = 0;
+
+    /**
+     * Multi-tenant instantiation for the multi-core runner: reserve
+     * regions and return one reference stream per tenant (tenant k
+     * drives simulated core k). The default treats tenants as
+     * independent instances in one space: tenant 0 is exactly
+     * instantiate(space, config) — which is what makes a 1-tenant
+     * shared system bit-identical to the single-core path — and tenants
+     * 1..N-1 are instances with decorrelated seeds mapping their own
+     * regions. Multi-tenant workloads (kvserver-mix) override this to
+     * share one store across all tenants and honour config.tenantMix.
+     */
+    virtual std::vector<std::unique_ptr<RefSource>>
+    instantiateTenants(AddressSpace &space, const WorkloadConfig &config,
+                       std::uint32_t tenants);
 };
 
 } // namespace atscale

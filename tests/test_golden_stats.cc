@@ -2,11 +2,12 @@
  * @file
  * Golden counter snapshots for canonical RunSpecs.
  *
- * Six runs — three workloads at two page-size backings — are pinned as
- * checked-in JSON files (tests/golden/). Any change to the simulation
- * that moves any counter, derived metric, or footprint of these runs
- * fails here with a field-level diff, making result drift a reviewed
- * decision instead of an accident.
+ * Eight runs — three workloads at two page-size backings, plus two
+ * 4-core shared-hierarchy KV-server mixes — are pinned as checked-in
+ * JSON files (tests/golden/). Any change to the simulation that moves
+ * any counter, derived metric, or footprint of these runs fails here
+ * with a field-level diff, making result drift a reviewed decision
+ * instead of an accident.
  *
  * When a drift IS intended (a modelling change, a result-semantics
  * version bump), regenerate with:
@@ -41,12 +42,22 @@ struct GoldenCase
 {
     const char *workload;
     PageSize pageSize;
+    /** 1 = the classic private-hierarchy path; >1 = SharedSystem. */
+    std::uint32_t cores = 1;
+    /** Tenant key-mix list for multi-core kvserver cases. */
+    const char *tenantMix = "";
+    /** Suffix distinguishing multi-core case names ("" = none). */
+    const char *nameTag = "";
 };
 
 const GoldenCase kCases[] = {
     {"bfs-urand", PageSize::Size4K}, {"bfs-urand", PageSize::Size2M},
     {"pr-kron", PageSize::Size4K},   {"pr-kron", PageSize::Size2M},
     {"mcf-rand", PageSize::Size4K},  {"mcf-rand", PageSize::Size2M},
+    // Multi-core shared-hierarchy pins: four zipfian tenants (read-heavy
+    // contention) and four churn tenants (remap/shootdown-heavy).
+    {"kvserver-mix", PageSize::Size4K, 4, "zipfian", "zipf4"},
+    {"kvserver-mix", PageSize::Size4K, 4, "churn", "churn4"},
 };
 
 RunSpec
@@ -59,6 +70,8 @@ specFor(const GoldenCase &c)
     spec.warmupRefs = 20'000;
     spec.measureRefs = 60'000;
     spec.seed = 3;
+    spec.cores = c.cores;
+    spec.tenantMix = c.tenantMix;
     return spec;
 }
 
@@ -153,5 +166,8 @@ INSTANTIATE_TEST_SUITE_P(
         for (char &c : name)
             if (c == '-')
                 c = '_';
-        return name + "_" + pageSizeName(suite_info.param.pageSize);
+        name += "_" + pageSizeName(suite_info.param.pageSize);
+        if (*suite_info.param.nameTag)
+            name += std::string("_") + suite_info.param.nameTag;
+        return name;
     });

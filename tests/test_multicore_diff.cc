@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Differential + determinism battery for the shared-hierarchy
+ * multi-core simulation (src/sys/shared_system.hh).
+ *
+ * The SharedSystem's value rests on two claims, each proven here
+ * bit-for-bit rather than approximately:
+ *
+ *  (A) K=1 degenerates exactly: a one-core SharedSystem — shared-L3
+ *      plumbing, listener fan-out, round-robin quanta, trailing
+ *      shootdown flushes and all — is byte-identical to the classic
+ *      private-hierarchy Platform on every EventId counter, the MMU and
+ *      cache-hierarchy state hashes, and the exported RunResult JSON,
+ *      across 3 workloads x 3 seeds x all translation schemes.
+ *
+ *  (B) K>1 is deterministic: repeated 4-core runs produce identical
+ *      per-tenant counters, shootdown counts, state hashes, and export
+ *      bytes, and a sweep containing multi-core specs emits the same
+ *      bytes on 1 thread, on 4 threads, and with lanes on or off (the
+ *      engine must run multi-core specs standalone — they consume
+ *      per-tenant streams, not the lanes' shared stream).
+ *
+ * Plus the headline acceptance run: a 4-core kvserver mix where every
+ * tenant makes progress and slab compactions raise nonzero inter-core
+ * TLB shootdowns on every core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/multicore.hh"
+#include "core/platform.hh"
+#include "core/run_export.hh"
+#include "core/sweep.hh"
+#include "mmu/scheme/registry.hh"
+#include "perf/derived.hh"
+#include "sys/shared_system.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Workloads spanning the translation-relevant access-pattern space. */
+const char *const kWorkloads[] = {
+    "memcached-uniform", // uniform random over a big hash space
+    "pr-kron",           // skewed (Zipf hub) graph scan
+    "kvserver-mix",      // the multi-tenant KV store (remaps included)
+};
+
+const std::uint64_t kSeeds[] = {1, 7, 1234};
+
+RunSpec
+diffSpec(const std::string &workload, std::uint64_t seed,
+         const std::string &scheme)
+{
+    RunSpec spec;
+    spec.workload = workload;
+    spec.footprintBytes = 1ull << 24;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 60'000;
+    spec.seed = seed;
+    spec.scheme = scheme;
+    return spec;
+}
+
+/** The headline configuration: 4 tenants on one KV store. */
+RunSpec
+fourCoreKvSpec(const std::string &mix)
+{
+    RunSpec spec;
+    spec.workload = "kvserver-mix";
+    spec.footprintBytes = 1ull << 24;
+    spec.warmupRefs = 10'000;
+    spec.measureRefs = 40'000;
+    spec.seed = 7;
+    spec.cores = 4;
+    spec.tenantMix = mix;
+    return spec;
+}
+
+/** Scoped private cache directory (empty name disables the cache). */
+class ScopedCacheDir
+{
+  public:
+    explicit ScopedCacheDir(const std::string &name)
+    {
+        if (!name.empty()) {
+            path_ = ::testing::TempDir() + "/" + name;
+            std::filesystem::remove_all(path_);
+            std::filesystem::create_directories(path_);
+            setenv("ATSCALE_CACHE_DIR", path_.c_str(), 1);
+        } else {
+            unsetenv("ATSCALE_CACHE_DIR");
+        }
+    }
+
+    ~ScopedCacheDir()
+    {
+        unsetenv("ATSCALE_CACHE_DIR");
+        if (!path_.empty())
+            std::filesystem::remove_all(path_);
+    }
+
+  private:
+    std::string path_;
+};
+
+/** Final state of one simulation, everything exactness covers. */
+struct RunState
+{
+    CounterSet counters;
+    std::uint64_t mmuHash = 0;
+    std::uint64_t cacheHash = 0;
+    std::uint64_t footprint = 0;
+    std::string json;
+};
+
+std::string
+resultJson(const RunResult &result)
+{
+    std::ostringstream os;
+    writeRunResultJson(os, result);
+    return os.str();
+}
+
+/** The classic private-hierarchy path, driven by hand so the
+ * microarchitectural state can be hashed before teardown (mirrors
+ * runExperiment exactly). */
+RunState
+simulatePrivate(const RunSpec &spec)
+{
+    std::unique_ptr<Workload> workload = createWorkload(spec.workload);
+    PlatformParams params;
+    params.mmu.fastPath = params.mmu.fastPath && spec.fastPath;
+    params.mmu.scheme = spec.scheme;
+    Platform platform(params, spec.pageSize, workload->traits(),
+                      spec.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
+    std::unique_ptr<RefSource> stream =
+        workload->instantiate(platform.space, wl_config);
+
+    platform.core.run(*stream, spec.warmupRefs);
+    platform.core.resetCounters();
+    platform.mmu.resetStats();
+    platform.hierarchy.resetStats();
+    platform.core.run(*stream, spec.measureRefs);
+
+    RunState state;
+    state.counters = platform.core.counters();
+    state.mmuHash = platform.mmu.stateHash();
+    state.cacheHash = platform.hierarchy.stateHash();
+    state.footprint = platform.space.footprintBytes();
+
+    RunResult result;
+    result.spec = spec;
+    result.counters = state.counters;
+    result.footprintTouched = platform.space.footprintBytes();
+    result.pageTableBytes = platform.space.pageTable().nodeBytes();
+    state.json = resultJson(result);
+    return state;
+}
+
+/** The same spec on a SharedSystem, state hashed per core before
+ * teardown (mirrors runMulticoreExperiment exactly). */
+RunState
+simulateShared(const RunSpec &spec)
+{
+    std::unique_ptr<Workload> workload = createWorkload(spec.workload);
+    SharedSystemParams params;
+    params.mmu.fastPath = params.mmu.fastPath && spec.fastPath;
+    params.mmu.scheme = spec.scheme;
+    params.cores = spec.cores;
+    SharedSystem sys(params, spec.pageSize, workload->traits(),
+                     spec.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
+    wl_config.tenantMix = spec.tenantMix;
+    std::vector<std::unique_ptr<RefSource>> tenants =
+        workload->instantiateTenants(sys.space(), wl_config, sys.cores());
+    std::vector<RefSource *> streams;
+    for (const auto &tenant : tenants)
+        streams.push_back(tenant.get());
+
+    sys.run(streams, spec.warmupRefs);
+    sys.resetStats();
+    sys.run(streams, spec.measureRefs);
+
+    RunState state;
+    state.counters = sys.core(0).counters();
+    state.mmuHash = sys.mmu(0).stateHash();
+    state.cacheHash = sys.hierarchy(0).stateHash();
+    state.footprint = sys.space().footprintBytes();
+
+    RunResult result;
+    result.spec = spec;
+    result.counters = state.counters;
+    result.footprintTouched = sys.space().footprintBytes();
+    result.pageTableBytes = sys.space().pageTable().nodeBytes();
+    state.json = resultJson(result);
+    return state;
+}
+
+void
+expectIdentical(const RunState &shared, const RunState &priv,
+                const std::string &label)
+{
+    // Every architectural counter, bit for bit.
+    shared.counters.forEach([&](EventId id, const char *name, Count value) {
+        EXPECT_EQ(value, priv.counters.get(id)) << label << " " << name;
+    });
+
+    // Final translation-structure and data-cache state (contents,
+    // recency, replacement metadata, statistics).
+    EXPECT_EQ(shared.mmuHash, priv.mmuHash) << label;
+    EXPECT_EQ(shared.cacheHash, priv.cacheHash) << label;
+    EXPECT_EQ(shared.footprint, priv.footprint) << label;
+
+    // The full exported artifact.
+    EXPECT_EQ(shared.json, priv.json) << label;
+}
+
+class MulticoreDiff
+    : public ::testing::TestWithParam<std::tuple<const char *, std::uint64_t>>
+{
+};
+
+} // namespace
+
+// (A) One-core SharedSystem == private Platform, all schemes.
+TEST_P(MulticoreDiff, SingleCoreDegeneratesBitForBit)
+{
+    ScopedCacheDir cache(""); // memoization off: every run executes
+    const auto [workload, seed] = GetParam();
+    for (const std::string &scheme : schemeNames()) {
+        RunSpec spec = diffSpec(workload, seed, scheme);
+        expectIdentical(simulateShared(spec), simulatePrivate(spec),
+                        scheme);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MulticoreDiff,
+    ::testing::Combine(::testing::ValuesIn(kWorkloads),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<MulticoreDiff::ParamType> &suite_info) {
+        std::string name = std::get<0>(suite_info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_s" + std::to_string(std::get<1>(suite_info.param));
+    });
+
+// (A) The public entry points agree: runExperiment's private path and
+// runMulticoreExperiment's K=1 path emit the same bytes.
+TEST(MulticoreDiff, RunnerEntryPointsAgreeAtOneCore)
+{
+    ScopedCacheDir cache("");
+    RunSpec spec = diffSpec("memcached-uniform", 7, "radix");
+    RunResult priv = runExperiment(spec);
+    MulticoreRunResult shared = runMulticoreExperiment(spec);
+    ASSERT_EQ(shared.perTenant.size(), 1u);
+    EXPECT_EQ(resultJson(priv), resultJson(shared.aggregate));
+    priv.counters.forEach([&](EventId id, const char *name, Count value) {
+        EXPECT_EQ(value, shared.aggregate.counters.get(id)) << name;
+        EXPECT_EQ(value, shared.perTenant[0].counters.get(id)) << name;
+    });
+    // One core means no one to shoot down.
+    EXPECT_EQ(shared.perTenant[0].shootdownsInitiated, 0u);
+    EXPECT_EQ(shared.perTenant[0].shootdownsReceived, 0u);
+    EXPECT_EQ(shared.perTenant[0].shootdownCycles, 0u);
+}
+
+// (B) Repeated K=4 runs are byte-identical, per tenant and in aggregate.
+TEST(MulticoreDiff, FourCoreRepeatedRunsAreByteIdentical)
+{
+    ScopedCacheDir cache("");
+    RunSpec spec = fourCoreKvSpec("zipfian,scan,churn,zipfian");
+    MulticoreRunResult a = runMulticoreExperiment(spec);
+    MulticoreRunResult b = runMulticoreExperiment(spec);
+
+    ASSERT_EQ(a.perTenant.size(), 4u);
+    ASSERT_EQ(b.perTenant.size(), 4u);
+    EXPECT_EQ(a.stateHash, b.stateHash);
+    EXPECT_EQ(resultJson(a.aggregate), resultJson(b.aggregate));
+    for (std::size_t k = 0; k < 4; ++k) {
+        a.perTenant[k].counters.forEach(
+            [&](EventId id, const char *name, Count value) {
+                EXPECT_EQ(value, b.perTenant[k].counters.get(id))
+                    << "core " << k << " " << name;
+            });
+        EXPECT_EQ(a.perTenant[k].shootdownsInitiated,
+                  b.perTenant[k].shootdownsInitiated) << k;
+        EXPECT_EQ(a.perTenant[k].shootdownsReceived,
+                  b.perTenant[k].shootdownsReceived) << k;
+        EXPECT_EQ(a.perTenant[k].shootdownCycles,
+                  b.perTenant[k].shootdownCycles) << k;
+    }
+}
+
+// (B) The engine emits identical bytes for a sweep with multi-core
+// specs on 1 thread, 4 threads, and with lanes forced on or off — the
+// lane partition must run cores>1 specs standalone in every mode.
+TEST(MulticoreDiff, SweepThreadsAndLanesDoNotPerturbMulticoreRuns)
+{
+    ScopedCacheDir cache("");
+    unsetenv("ATSCALE_THREADS");
+    unsetenv("ATSCALE_NO_LANES");
+    setenv("ATSCALE_LANES", "1", 1);
+
+    std::vector<SweepJob> jobs;
+    for (std::uint32_t cores : {1u, 2u, 4u}) {
+        RunSpec spec = fourCoreKvSpec("zipfian,churn");
+        spec.cores = cores;
+        spec.measureRefs = 20'000;
+        jobs.push_back(SweepJob{spec, PlatformParams{}});
+    }
+    // A single-core lane-friendly spec rides along so the lane grouping
+    // machinery is actually active next to the standalone units.
+    jobs.push_back(SweepJob{diffSpec("pr-kron", 3, "radix"),
+                            PlatformParams{}});
+
+    auto bytes = [](const std::vector<RunResult> &results) {
+        std::ostringstream os;
+        writeRunResultsJson(os, results);
+        return os.str();
+    };
+
+    SweepOptions serial;
+    serial.threads = 1;
+    std::string serial_bytes = bytes(SweepEngine(serial).run(jobs));
+
+    SweepOptions parallel;
+    parallel.threads = 4;
+    std::string parallel_bytes = bytes(SweepEngine(parallel).run(jobs));
+    EXPECT_EQ(serial_bytes, parallel_bytes);
+
+    SweepOptions nolanes;
+    nolanes.threads = 4;
+    nolanes.lanes = false;
+    std::string nolanes_bytes = bytes(SweepEngine(nolanes).run(jobs));
+    EXPECT_EQ(serial_bytes, nolanes_bytes);
+
+    unsetenv("ATSCALE_LANES");
+}
+
+// The headline acceptance run: 4 tenants on one store, every core makes
+// progress, per-tenant WCPI is well-formed, and the slab compactions
+// raise inter-core shootdowns on every core.
+TEST(Multicore, FourCoreKvServerRaisesShootdownsOnEveryCore)
+{
+    ScopedCacheDir cache("");
+    RunSpec spec = fourCoreKvSpec("zipfian,scan,churn,zipfian");
+    MulticoreRunResult result = runMulticoreExperiment(spec);
+
+    ASSERT_EQ(result.perTenant.size(), 4u);
+    Count initiated = 0, received = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+        const TenantResult &tenant = result.perTenant[k];
+        EXPECT_GT(tenant.instructions(), 0u) << "core " << k;
+        EXPECT_GT(tenant.cycles(), 0u) << "core " << k;
+        EXPECT_GT(tenant.cpi(), 0.0) << "core " << k;
+        WcpiTerms wcpi = wcpiTerms(tenant.counters);
+        EXPECT_GE(wcpi.wcpi(), 0.0) << "core " << k;
+        // Everyone gets interrupted: any other core's compaction lands
+        // here as an IPI with a nonzero stall charge.
+        EXPECT_GT(tenant.shootdownsReceived, 0u) << "core " << k;
+        EXPECT_GT(tenant.shootdownCycles, 0u) << "core " << k;
+        initiated += tenant.shootdownsInitiated;
+        received += tenant.shootdownsReceived;
+    }
+    // Each shootdown reaches K-1 = 3 remote cores.
+    EXPECT_GT(initiated, 0u);
+    EXPECT_EQ(received, initiated * 3);
+
+    // The aggregate rolls up all four tenants.
+    Count instr = 0;
+    for (const TenantResult &tenant : result.perTenant)
+        instr += tenant.instructions();
+    EXPECT_EQ(result.aggregate.instructions(), instr);
+}

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Inter-core TLB shootdowns: a page remap initiated while core A runs
+ * must drop every other core's cached translation state — L1/L2 TLB,
+ * paging-structure caches, fast-path shadow, and data-path micro-TLB —
+ * and charge the IPI cost model to the right cores' cycle counters and
+ * shootdown statistics.
+ *
+ * Also pins the TranslationListener registration contract the fan-out
+ * rides on: notification order is registration order, removal preserves
+ * the relative order of the survivors, re-adding appends at the end,
+ * and removing an unknown listener is a no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+#include "sys/shared_system.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Endless stream of loads cycling through a fixed set of addresses. */
+class FixedRefSource : public RefSource
+{
+  public:
+    explicit FixedRefSource(std::vector<Addr> addrs)
+        : addrs_(std::move(addrs))
+    {
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        ref.vaddr = addrs_[pos_++ % addrs_.size()];
+        ref.instGap = 3;
+        ref.isStore = false;
+        return true;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        return addrs_[rng.below(addrs_.size())];
+    }
+
+  private:
+    std::vector<Addr> addrs_;
+    std::size_t pos_ = 0;
+};
+
+WorkloadTraits
+quietTraits()
+{
+    // No branches, no mispredictions: every translation is correct-path,
+    // which keeps the assertions below about specific pages airtight.
+    WorkloadTraits traits;
+    traits.branchesPerInstr = 0.0;
+    traits.mispredictRate = 0.0;
+    return traits;
+}
+
+/** A K-core system with every core's translation state warmed on the
+ * same page (each core ran a stream over vaddr). */
+struct WarmSystem
+{
+    explicit WarmSystem(std::uint32_t cores)
+    {
+        SharedSystemParams params;
+        params.cores = cores;
+        sys = std::make_unique<SharedSystem>(params, PageSize::Size4K,
+                                             quietTraits(), 5);
+        base = sys->space().mapRegion("data", 1ull << 20);
+        vaddr = base + 0x3000;
+        for (std::uint32_t k = 0; k < cores; ++k)
+            streams.emplace_back(
+                std::make_unique<FixedRefSource>(std::vector<Addr>{vaddr}));
+        std::vector<RefSource *> raw;
+        for (auto &s : streams)
+            raw.push_back(s.get());
+        sys->run(raw, 64);
+    }
+
+    std::vector<RefSource *>
+    raw()
+    {
+        std::vector<RefSource *> out;
+        for (auto &s : streams)
+            out.push_back(s.get());
+        return out;
+    }
+
+    std::unique_ptr<SharedSystem> sys;
+    std::vector<std::unique_ptr<FixedRefSource>> streams;
+    Addr base = 0;
+    Addr vaddr = 0;
+};
+
+/** Listener that records its name on every notification. */
+class RecordingListener : public TranslationListener
+{
+  public:
+    RecordingListener(std::string name, std::vector<std::string> &log)
+        : name_(std::move(name)), log_(log)
+    {
+    }
+
+    void
+    pageRemapped(Addr, PageSize) override
+    {
+        log_.push_back(name_);
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::string> &log_;
+};
+
+} // namespace
+
+TEST(Shootdown, RemapDropsEveryRemoteCoresTranslationState)
+{
+    WarmSystem warm(3);
+    SharedSystem &sys = *warm.sys;
+
+    // Every core's TLB, fast-path shadow, and micro-TLB hold the page.
+    for (std::uint32_t k = 0; k < 3; ++k) {
+        EXPECT_EQ(sys.mmu(k).translate(warm.vaddr).tlbLevel, TlbLevel::L1)
+            << "core " << k;
+        PhysAddr cached = 0;
+        EXPECT_TRUE(sys.core(k).microTlbLookup(warm.vaddr, cached))
+            << "core " << k;
+        EXPECT_GT(sys.mmu(k).fastCache().hits(), 0u) << "core " << k;
+    }
+    // And the paging-structure caches hold the page's walk path.
+    PhysAddr cr3 = sys.space().pageTable().root();
+    EXPECT_LT(sys.mmu(0).pscs().probe(warm.vaddr, cr3).startLevel,
+              ptLevels - 1);
+
+    // Core 1 initiates the remap (compaction on its stream).
+    sys.setActiveCore(1);
+    sys.space().remapPage(warm.vaddr);
+    sys.setActiveCore(0);
+
+    for (std::uint32_t k = 0; k < 3; ++k) {
+        // The next translation must walk again: no TLB level hit.
+        EXPECT_EQ(sys.mmu(k).translate(warm.vaddr).tlbLevel, TlbLevel::Miss)
+            << "core " << k;
+        // The fast-path shadow dropped its line.
+        EXPECT_GT(sys.mmu(k).fastCache().invalidations(), 0u)
+            << "core " << k;
+        // The data-path micro-TLB cannot serve the stale frame.
+        PhysAddr stale = 0;
+        EXPECT_FALSE(sys.core(k).microTlbLookup(warm.vaddr, stale))
+            << "core " << k;
+    }
+
+    // INVLPG semantics: the PSC entries covering the page are gone too
+    // (the translate() calls above each re-walked and refilled, so
+    // probe on a core that has not re-walked is checked via a fresh
+    // system below — here we pin the direct invalidation hook).
+    sys.mmu(0).pscs().invalidatePage(warm.vaddr, PageSize::Size4K);
+    EXPECT_EQ(sys.mmu(0).pscs().probe(warm.vaddr, cr3).startLevel,
+              ptLevels - 1);
+}
+
+TEST(Shootdown, PscEntriesCoveringThePageAreInvalidated)
+{
+    WarmSystem warm(2);
+    SharedSystem &sys = *warm.sys;
+    PhysAddr cr3 = sys.space().pageTable().root();
+
+    // Warmed: the remote core's PSC enters the walk below the root.
+    ASSERT_LT(sys.mmu(1).pscs().probe(warm.vaddr, cr3).startLevel,
+              ptLevels - 1);
+
+    sys.setActiveCore(0);
+    sys.space().remapPage(warm.vaddr);
+    sys.setActiveCore(0);
+
+    // After the shootdown the remote walk restarts from the root.
+    EXPECT_EQ(sys.mmu(1).pscs().probe(warm.vaddr, cr3).startLevel,
+              ptLevels - 1);
+}
+
+TEST(Shootdown, IpiChargesLandOnTheRightCores)
+{
+    WarmSystem warm(3);
+    SharedSystem &sys = *warm.sys;
+    const SharedSystemParams &params = sys.params();
+
+    std::vector<Count> before;
+    for (std::uint32_t k = 0; k < 3; ++k)
+        before.push_back(
+            sys.core(k).counters().get(EventId::CpuClkUnhalted));
+
+    // Core 1 initiates one shootdown while parked (outside run()).
+    sys.setActiveCore(1);
+    sys.space().remapPage(warm.vaddr);
+    sys.setActiveCore(0);
+
+    EXPECT_EQ(sys.shootdownsInitiated(1), 1u);
+    EXPECT_EQ(sys.shootdownsReceived(1), 0u);
+    EXPECT_EQ(sys.shootdownsInitiated(0), 0u);
+    EXPECT_EQ(sys.shootdownsReceived(0), 1u);
+    EXPECT_EQ(sys.shootdownsReceived(2), 1u);
+
+    const Count initiator_cost = params.shootdownInitiatorCycles +
+                                 params.shootdownIpiCycles;
+    EXPECT_EQ(sys.shootdownCycles(1), initiator_cost);
+    EXPECT_EQ(sys.shootdownCycles(0), params.shootdownIpiCycles);
+    EXPECT_EQ(sys.shootdownCycles(2), params.shootdownIpiCycles);
+
+    // Charges are published at the next run() boundary; a zero-length
+    // run flushes them without executing any references.
+    sys.run(warm.raw(), 0);
+    EXPECT_EQ(sys.core(1).counters().get(EventId::CpuClkUnhalted),
+              before[1] + initiator_cost);
+    EXPECT_EQ(sys.core(0).counters().get(EventId::CpuClkUnhalted),
+              before[0] + params.shootdownIpiCycles);
+    EXPECT_EQ(sys.core(2).counters().get(EventId::CpuClkUnhalted),
+              before[2] + params.shootdownIpiCycles);
+    // No instructions retired by the flush itself.
+    EXPECT_EQ(sys.shootdownsInitiated(1), 1u);
+}
+
+TEST(Shootdown, SingleCoreSystemChargesNothing)
+{
+    WarmSystem warm(1);
+    SharedSystem &sys = *warm.sys;
+    Count before = sys.core(0).counters().get(EventId::CpuClkUnhalted);
+
+    sys.space().remapPage(warm.vaddr);
+    sys.run(warm.raw(), 0);
+
+    EXPECT_EQ(sys.shootdownsInitiated(0), 0u);
+    EXPECT_EQ(sys.shootdownsReceived(0), 0u);
+    EXPECT_EQ(sys.shootdownCycles(0), 0u);
+    EXPECT_EQ(sys.core(0).counters().get(EventId::CpuClkUnhalted), before);
+}
+
+TEST(Shootdown, ResetStatsClearsShootdownCounts)
+{
+    WarmSystem warm(2);
+    SharedSystem &sys = *warm.sys;
+    sys.setActiveCore(0);
+    sys.space().remapPage(warm.vaddr);
+    ASSERT_EQ(sys.shootdownsInitiated(0), 1u);
+
+    sys.resetStats();
+    EXPECT_EQ(sys.shootdownsInitiated(0), 0u);
+    EXPECT_EQ(sys.shootdownsReceived(1), 0u);
+    EXPECT_EQ(sys.shootdownCycles(1), 0u);
+}
+
+TEST(Shootdown, StatsRegistryExportsShootdownCounters)
+{
+    WarmSystem warm(2);
+    SharedSystem &sys = *warm.sys;
+    sys.setActiveCore(0);
+    sys.space().remapPage(warm.vaddr);
+
+    StatsRegistry registry;
+    sys.registerStats(registry, "system");
+    double initiated = -1, received = -1, total = -1;
+    for (const StatsRegistry::Sample &s : registry.snapshot()) {
+        if (s.name == "system.core0.shootdowns_initiated")
+            initiated = s.value;
+        if (s.name == "system.core1.shootdowns_received")
+            received = s.value;
+        if (s.name == "system.shootdowns_total")
+            total = s.value;
+    }
+    EXPECT_EQ(initiated, 1.0);
+    EXPECT_EQ(received, 1.0);
+    EXPECT_EQ(total, 1.0);
+}
+
+TEST(ListenerRegistration, NotificationFollowsRegistrationOrder)
+{
+    PhysicalMemory mem;
+    FrameAllocator alloc(1ull << 30);
+    AddressSpace space(mem, alloc, PageSize::Size4K);
+    Addr base = space.mapRegion("data", 1ull << 20);
+    space.touch(base);
+
+    std::vector<std::string> log;
+    RecordingListener a("A", log), b("B", log), c("C", log);
+    space.addTranslationListener(&a);
+    space.addTranslationListener(&b);
+    space.addTranslationListener(&c);
+
+    space.remapPage(base);
+    EXPECT_EQ(log, (std::vector<std::string>{"A", "B", "C"}));
+
+    // Removal preserves the survivors' relative order.
+    log.clear();
+    space.removeTranslationListener(&b);
+    space.remapPage(base);
+    EXPECT_EQ(log, (std::vector<std::string>{"A", "C"}));
+
+    // Re-adding appends at the end.
+    log.clear();
+    space.addTranslationListener(&b);
+    space.remapPage(base);
+    EXPECT_EQ(log, (std::vector<std::string>{"A", "C", "B"}));
+
+    // Removing a listener that was never registered is a no-op.
+    log.clear();
+    RecordingListener stranger("X", log);
+    space.removeTranslationListener(&stranger);
+    space.remapPage(base);
+    EXPECT_EQ(log, (std::vector<std::string>{"A", "C", "B"}));
+
+    space.removeTranslationListener(&a);
+    space.removeTranslationListener(&b);
+    space.removeTranslationListener(&c);
+}

@@ -143,28 +143,37 @@ TEST(RunSpec, HashAndCacheKeySeparateDistinctSpecs)
 
 TEST(RunSpec, CacheKeyFormatIsStable)
 {
-    // The key format is load-bearing: the "v3_" prefix is the result-
+    // The key format is load-bearing: the "v4_" prefix is the result-
     // semantics version (bumped only when identical knobs produce
     // different results, retiring stale cache files; v3 = the
-    // translation-scheme seam), the optional suffixes appear only for
-    // non-default knobs, and default-knob keys must not drift or every
-    // cache is silently invalidated.
+    // translation-scheme seam, v4 = the shared-hierarchy multi-core
+    // fields), the optional suffixes appear only for non-default knobs,
+    // and default-knob keys must not drift or every cache is silently
+    // invalidated.
     RunSpec spec = quickSpec();
     EXPECT_EQ(spec.cacheKey(),
-              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1");
     EXPECT_EQ(spec.cacheFileName(),
-              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1.run");
     spec.platformTag = "stlb128";
     EXPECT_EQ(spec.cacheKey(),
-              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_pstlb128");
     spec.platformTag.clear();
     spec.fastPath = false;
     EXPECT_EQ(spec.cacheKey(),
-              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_nofp");
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_nofp");
     spec.fastPath = true;
     spec.scheme = "no_vm";
     EXPECT_EQ(spec.cacheKey(),
-              "v3_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_schno_vm");
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_schno_vm");
+    spec.scheme = "radix";
+    spec.cores = 4;
+    EXPECT_EQ(spec.cacheKey(),
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_c4");
+    spec.tenantMix = "zipfian,churn";
+    EXPECT_EQ(spec.cacheKey(),
+              "v4_bfs-urand_f268435456_4K_m0_w20000_n50000_s1_c4"
+              "_tzipfian-churn");
 }
 
 TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial)

@@ -13,12 +13,12 @@
 
 using namespace atscale;
 
-TEST(Registry, ThirteenWorkloads)
+TEST(Registry, FourteenWorkloads)
 {
     auto names = workloadNames();
-    EXPECT_EQ(names.size(), 13u);
+    EXPECT_EQ(names.size(), 14u);
     std::set<std::string> unique(names.begin(), names.end());
-    EXPECT_EQ(unique.size(), 13u);
+    EXPECT_EQ(unique.size(), 14u);
 }
 
 TEST(Registry, NamesRoundTripThroughFactories)

@@ -10,6 +10,9 @@ writes them as a flat JSON object:
       "<timing name>": {"wall_s": <float>},     # whole-sweep timings
       "scheme_<name>": {"cpi": <float>,         # per-scheme means from
                         "wcpi": <float>},       #   bench_scheme_compare
+      "multicore_<point>": {"cpi": <float>,     # per-point aggregates
+                            "wcpi": <float>,    #   from bench_multicore
+                            "shootdowns": <int>},
       "validate_status": {"status": <str>},     # divergence report
       "validate_max_rel_err_<comp>": {"rel_err": <float>} }
 
@@ -26,7 +29,13 @@ bench_scheme_compare sweep — simulated model outputs, not host timings,
 so they are exactly reproducible and any drift flags a behavioural
 change in a scheme backend rather than runner noise.
 
-The checked-in baseline lives at BENCH_07.json in the repo root; CI
+The multicore_* entries do the same for the shared-hierarchy sweep
+(bench_multicore): per (cores, page size, scheme) point the aggregate
+CPI/WCPI and the number of remap-triggered TLB shootdowns — also pure
+simulation outputs, so drift means the multi-core interleave or the
+shootdown cost model changed behaviour.
+
+The checked-in baseline lives at BENCH_08.json in the repo root; CI
 regenerates the file on every run, uploads it as an artifact, and
 --compare soft-warns (exit code stays 0) when a bench regresses more
 than --tolerance (default 15%) against the baseline. The warning is
@@ -35,9 +44,9 @@ baseline was recorded on a different machine than CI's runners — the
 artifact trail, not the gate, is the product here.
 
 Usage:
-    tools/bench/record_bench.py --build-dir build --out BENCH_07.json
+    tools/bench/record_bench.py --build-dir build --out BENCH_08.json
     tools/bench/record_bench.py --build-dir build \
-        --out bench_out/BENCH_07.json --compare BENCH_07.json
+        --out bench_out/BENCH_08.json --compare BENCH_08.json
 """
 
 import argparse
@@ -52,6 +61,7 @@ import time
 MICRO_BENCHES = ["bench_micro_mmu", "bench_micro_cache"]
 FIG01 = "bench_fig01_overhead_vs_footprint"
 SCHEME_COMPARE = "bench_scheme_compare"
+MULTICORE = "bench_multicore"
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -148,6 +158,50 @@ def record_scheme_compare(build_dir, results):
     print("recorded scheme compare: %d scheme(s)" % rows)
 
 
+def record_multicore(build_dir, results):
+    """Quick shared-hierarchy sweep -> one {multicore_<point>: {cpi,
+    wcpi, shootdowns}} row per (cores, page size, scheme) point.
+
+    Parses the `[multicore-summary] <point> cpi=<v> wcpi=<v>
+    shootdowns=<n>` lines that bench_multicore prints for exactly this
+    purpose. Deterministic simulation outputs: drift flags a change in
+    the multi-core interleave or the shootdown cost model.
+    """
+    binary = os.path.abspath(os.path.join(build_dir, "bench", MULTICORE))
+    if not os.path.exists(binary):
+        print("skipping multicore record: %s not built" % binary)
+        return
+    scratch = tempfile.mkdtemp(prefix="record_multicore_")
+    env = dict(os.environ)
+    for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
+                 "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME"):
+        env.pop(knob, None)
+    env["ATSCALE_QUICK"] = "1"
+    env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
+    env["ATSCALE_OUT_DIR"] = scratch
+    os.makedirs(env["ATSCALE_CACHE_DIR"])
+    try:
+        proc = subprocess.run([binary, "--threads=1"], cwd=scratch,
+                              env=env, capture_output=True, text=True,
+                              check=True)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    rows = 0
+    for line in proc.stdout.splitlines():
+        if not line.startswith("[multicore-summary]"):
+            continue
+        _, point, cpi_kv, wcpi_kv, sd_kv = line.split()
+        results["multicore_%s" % point] = {
+            "cpi": float(cpi_kv.split("=", 1)[1]),
+            "wcpi": float(wcpi_kv.split("=", 1)[1]),
+            "shootdowns": int(sd_kv.split("=", 1)[1])}
+        rows += 1
+    if rows == 0:
+        raise RuntimeError(
+            "bench_multicore printed no [multicore-summary] lines")
+    print("recorded multicore sweep: %d point(s)" % rows)
+
+
 def record_validation(build_dir, results):
     """Quick validation run -> status + max relative error per component.
 
@@ -224,7 +278,7 @@ def main():
     parser = argparse.ArgumentParser(
         description="record micro-bench and sweep timings as JSON")
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_07.json")
+    parser.add_argument("--out", default="BENCH_08.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="soft-warn against this baseline file")
     parser.add_argument("--tolerance", type=float, default=0.15,
@@ -248,6 +302,7 @@ def main():
         time_fig01(args.build_dir, "fig01_quick_cold_threads1_nolanes",
                    ["--no-lanes"], results)
         record_scheme_compare(args.build_dir, results)
+        record_multicore(args.build_dir, results)
         record_validation(args.build_dir, results)
 
     out_dir = os.path.dirname(os.path.abspath(args.out))

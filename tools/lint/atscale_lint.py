@@ -46,6 +46,15 @@ enforces the statically checkable parts of those invariants:
       registerStats is invisible to the observability layer, breaking
       the "all schemes alike" contract of docs/TRANSLATION_SCHEMES.md.
       Cross-file, like R7: the subclass and the factory live apart.
+  R9  every class marked ATSCALE_SHARED_ACROSS_CORES — and every class
+      holding a member of a marked type — must either guard the shared
+      state with the annotated atscale::Mutex or carry a `cross-core:`
+      comment documenting why lock-free access is safe (the SharedSystem
+      interleave steps one core at a time on one thread,
+      docs/MULTICORE.md). Cross-core structure with neither is a data
+      race waiting for the first concurrent caller, and TSan can only
+      catch it at runtime on a racing schedule. Cross-file, like R8:
+      the marker macro and the holders live apart.
 
 Findings can be suppressed, one line at a time, with an inline comment
 on the offending line or the line directly above it:
@@ -84,10 +93,11 @@ RULE_SCOPES = {
     "R6": ["src"],
     "R7": ["src"],
     "R8": ["src"],
+    "R9": ["src"],
 }
 
 SUPPRESS_RE = re.compile(
-    r"//\s*atscale-lint:\s*allow\(\s*(R[1-8])\s+([^)]+)\)")
+    r"//\s*atscale-lint:\s*allow\(\s*(R[1-9])\s+([^)]+)\)")
 
 # R1: ambient nondeterminism. Each entry: (regex, what it is).
 R1_PATTERNS = [
@@ -133,6 +143,19 @@ SCHEME_SUBCLASS_RE = re.compile(
     r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*(?:public\s+)?TranslationScheme\b")
 SCHEME_FACTORY_RE = re.compile(r"\bmakeTranslationScheme\b")
 REGISTER_STATS_RE = re.compile(r"\bregisterStats\s*\(")
+
+# R9: the cross-core sharing contract (docs/MULTICORE.md). A class
+# marked with the ATSCALE_SHARED_ACROSS_CORES macro — or holding a
+# member of a marked type — must show its safety evidence: an
+# atscale::Mutex member, or a `cross-core:` comment explaining the
+# lock-freedom. The comment evidence lives in comments, so it is
+# matched against raw_lines; the Mutex evidence against code_lines.
+SHARED_MARK_RE = re.compile(
+    r"\b(?:class|struct)\s+ATSCALE_SHARED_ACROSS_CORES\s+(\w+)\b")
+MUTEX_EVIDENCE_RE = re.compile(r"\bMutex\b")
+CROSS_CORE_DOC_RE = re.compile(r"\bcross-core:")
+# How far above a class declaration its doc comment may sit.
+R9_DOC_LOOKBACK = 20
 
 # R7: the event vocabulary and its two per-event tables.
 EVENT_ENUM_RE = re.compile(r"\benum\s+class\s+EventId\b")
@@ -574,6 +597,73 @@ class RegexEngine:
                                   "must register every statistic it "
                                   "keeps)" % cls)
 
+    # ---- R9 (cross-file) -------------------------------------------------
+
+    def _class_spans(self, sf):
+        """(name, decl line, end line) per class/struct declared in sf.
+
+        A span runs to the next declaration in the same file (or EOF) —
+        the same flat approximation check_r8 uses, good enough because
+        a member and its doc comment are always adjacent.
+        """
+        decls = []
+        for idx, line in enumerate(sf.code_lines, start=1):
+            m = CLASS_RE.match(line)
+            if m:
+                decls.append((idx, m.group(1)))
+        spans = []
+        for i, (line, name) in enumerate(decls):
+            end = (decls[i + 1][0] - 1 if i + 1 < len(decls)
+                   else len(sf.code_lines))
+            spans.append((name, line, end))
+        return spans
+
+    def check_r9(self, files):
+        marked = set()
+        for sf in files:
+            if not in_scope("R9", sf.path):
+                continue
+            for line in sf.code_lines:
+                m = SHARED_MARK_RE.search(line)
+                if m:
+                    marked.add(m.group(1))
+        if not marked:
+            return
+
+        # A member declaration of a marked type: the type name, an
+        # optional pointer/reference/wrapper tail, a trailing-underscore
+        # member name (repo convention), and the terminating semicolon.
+        member_re = re.compile(
+            r"\b(?:%s)\b[^();]*[\s*&>](\w+_)\s*(?:=[^;]*|\{[^;]*\})?;"
+            % "|".join(sorted(re.escape(m) for m in marked)))
+
+        for sf in files:
+            if not in_scope("R9", sf.path):
+                continue
+            for name, decl, end in self._class_spans(sf):
+                is_marked = name in marked
+                holds = any(member_re.search(l)
+                            for l in sf.code_lines[decl - 1:end])
+                if not (is_marked or holds):
+                    continue
+                lo = max(0, decl - 1 - R9_DOC_LOOKBACK)
+                if any(MUTEX_EVIDENCE_RE.search(l)
+                       for l in sf.code_lines[lo:end]):
+                    continue
+                if any(CROSS_CORE_DOC_RE.search(l)
+                       for l in sf.raw_lines[lo:end]):
+                    continue
+                what = ("is marked ATSCALE_SHARED_ACROSS_CORES"
+                        if is_marked
+                        else "holds a member of a marked shared type")
+                yield Finding(sf.path, decl, "R9",
+                              "class '%s' %s but shows no safety "
+                              "evidence — guard the shared state with "
+                              "an annotated atscale::Mutex or document "
+                              "the lock-freedom with a `cross-core:` "
+                              "comment (docs/MULTICORE.md)"
+                              % (name, what))
+
 
 class ClangEngine(RegexEngine):
     """AST-backed refinement of R2/R5 when python libclang is available.
@@ -689,7 +779,7 @@ def main(argv=None):
                              "against it)")
     parser.add_argument("--engine", choices=["auto", "libclang", "regex"],
                         default="auto")
-    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6,R7,R8",
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6,R7,R8,R9",
                         help="comma-separated subset of rules to run")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as JSON")
@@ -724,6 +814,8 @@ def main(argv=None):
         findings.extend(engine.check_r7(files))
     if "R8" in rules:
         findings.extend(engine.check_r8(files))
+    if "R9" in rules:
+        findings.extend(engine.check_r9(files))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     apply_suppressions(findings, files_by_path)

@@ -1,0 +1,29 @@
+// R9 fixture: cross-core shared structures without safety evidence.
+// BareSharedTable is marked ATSCALE_SHARED_ACROSS_CORES but carries
+// neither an annotated Mutex nor the documenting comment the rule
+// demands; SilentHolder embeds a pointer to the marked type and is
+// equally silent about why lock-free access would be safe.
+#define ATSCALE_SHARED_ACROSS_CORES
+
+namespace atscale_fixture
+{
+
+class ATSCALE_SHARED_ACROSS_CORES BareSharedTable
+{
+  public:
+    void touch() { ++hits_; }
+
+  private:
+    unsigned long hits_ = 0;
+};
+
+class SilentHolder
+{
+  public:
+    void step();
+
+  private:
+    BareSharedTable *table_ = nullptr;
+};
+
+} // namespace atscale_fixture

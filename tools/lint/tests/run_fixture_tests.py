@@ -70,6 +70,7 @@ def main():
         "bad_r6.cc": ("R6", 2),  # function-local + class-level static
         "bad_r7.cc": ("R7", 2),  # unmapped event + short name table
         "bad_r8.cc": ("R8", 2),  # two unregistered schemes (one silent)
+        "bad_r9.cc": ("R9", 2),  # marked class + undocumented holder
     }
     for fixture, (rule, min_lines) in sorted(expectations.items()):
         got = grouped.get(fixture, [])
