@@ -107,6 +107,18 @@ runExperiment(const RunSpec &spec, const PlatformParams &params,
         }
     }
 
+#ifndef NDEBUG
+    // The conservation contract (docs/OBSERVABILITY.md): the whole
+    // measurement window must be attributed across Eq-1 components —
+    // this is what makes the golden suite's pinned counters trustworthy
+    // as a decomposition, not just as bytes.
+    {
+        const CycleLedger &ledger = platform.core.ledger();
+        ledger.verify(ledger.total(), platform.core.cycles(),
+                      "runExperiment");
+    }
+#endif
+
     result.counters = platform.core.counters();
     result.footprintTouched = platform.space.footprintBytes();
     result.pageTableBytes = platform.space.pageTable().nodeBytes();

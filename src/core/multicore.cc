@@ -79,6 +79,24 @@ runMulticoreExperiment(const RunSpec &spec, const PlatformParams &params,
         tenant.shootdownsReceived = sys.shootdownsReceived(k);
         tenant.shootdownCycles = sys.shootdownCycles(k);
         result.aggregate.counters += tenant.counters;
+#ifndef NDEBUG
+        // Per-tenant leg of the conservation contract
+        // (docs/OBSERVABILITY.md): each tenant's published cycles must
+        // be fully attributed in its core's ledger, and the coherence
+        // component must match the shootdown cycles the SharedSystem
+        // accounted against the same core — both sum the same integer
+        // charges, so the doubles are exactly equal.
+        const CycleLedger &ledger = sys.core(k).ledger();
+        CycleLedger::Report report = ledger.check(
+            ledger.total(), tenant.counters.get(EventId::CpuClkUnhalted));
+        fatal_if(!report.ok, "tenant %u: %s", k, report.message.c_str());
+        fatal_if(ledger.component(CycleComponent::ShootdownIpi) !=
+                     static_cast<double>(tenant.shootdownCycles),
+                 "tenant %u: ledger shootdown_ipi component (%f) diverges "
+                 "from the SharedSystem's shootdown-cycle account (%llu)",
+                 k, ledger.component(CycleComponent::ShootdownIpi),
+                 static_cast<unsigned long long>(tenant.shootdownCycles));
+#endif
     }
     result.aggregate.footprintTouched = sys.space().footprintBytes();
     result.aggregate.pageTableBytes = sys.space().pageTable().nodeBytes();

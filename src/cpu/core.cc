@@ -69,6 +69,12 @@ Core::run(RefSource &source, Count numRefs)
     // Publish accumulated fractional cycles into the counter bank.
     auto delta = static_cast<Count>(cycleAcc_ - flushed);
     counters_.add(EventId::CpuClkUnhalted, delta);
+#ifndef NDEBUG
+    // Every cycle in the accumulator must be attributed to exactly one
+    // Eq-1 component, and the published counter must trail by < 1 cycle.
+    ledger_.verify(cycleAcc_, counters_.get(EventId::CpuClkUnhalted),
+                   "Core::run");
+#endif
     return done;
 }
 
@@ -82,10 +88,13 @@ Core::invalidatePage(Addr base, std::uint64_t bytes)
 }
 
 void
-Core::stall(double cycles)
+Core::stall([[maybe_unused]] CycleComponent component, double cycles)
 {
     cycleAcc_ += cycles;
     refStall_ += cycles;
+#ifndef NDEBUG
+    ledger_.charge(component, cycles);
+#endif
 }
 
 void
@@ -204,6 +213,10 @@ Core::executeRef(RefSource &source, const Ref &ref)
     const Count instr = ref.instGap + 1;
     counters_.add(EventId::InstRetired, instr);
     cycleAcc_ += static_cast<double>(instr) * params_.baseCpi;
+#ifndef NDEBUG
+    ledger_.charge(CycleComponent::BaseExec,
+                   static_cast<double>(instr) * params_.baseCpi);
+#endif
     instsSinceMiss_ += instr;
     refStall_ = 0.0;
 
@@ -216,7 +229,8 @@ Core::executeRef(RefSource &source, const Ref &ref)
         for (Count b = 0; b < branches; ++b) {
             if (rng_.chance(traits_.mispredictRate)) {
                 counters_.add(EventId::BrMispRetiredAllBranches);
-                stall(static_cast<double>(params_.mispredictPenalty));
+                stall(CycleComponent::BranchMispredict,
+                      static_cast<double>(params_.mispredictPenalty));
                 wrongPathEpisode(source);
             }
         }
@@ -226,7 +240,8 @@ Core::executeRef(RefSource &source, const Ref &ref)
                      static_cast<double>(instr);
     if (p_clear > 0.0 && rng_.chance(std::min(p_clear, 0.1))) {
         counters_.add(EventId::MachineClearsCount);
-        stall(static_cast<double>(params_.machineClearPenalty));
+        stall(CycleComponent::MachineClear,
+              static_cast<double>(params_.machineClearPenalty));
         pendingClearKill_ = true;
         // The flush discards a ROB's worth of issued-but-unretired work;
         // walks that complete for those instructions will never produce
@@ -251,18 +266,22 @@ Core::executeRef(RefSource &source, const Ref &ref)
     // Software-translation cost charged outside the TLB/walk terms
     // (no_vm scheme); the branch is never taken for hardware schemes,
     // keeping the radix path bit-identical to the pre-seam core.
-    if (t.schemeExtraCycles != 0)
-        stall(static_cast<double>(t.schemeExtraCycles));
+    if (t.schemeExtraCycles != 0) {
+        stall(CycleComponent::SchemeSoftware,
+              static_cast<double>(t.schemeExtraCycles));
+    }
     if (t.tlbLevel == TlbLevel::L2) {
         counters_.add(ref.isStore ? EventId::DtlbStoreMissesStlbHit
                                   : EventId::DtlbLoadMissesStlbHit);
-        stall(static_cast<double>(t.tlbExtraLatency) *
+        stall(CycleComponent::L2TlbHit,
+              static_cast<double>(t.tlbExtraLatency) *
               params_.l2TlbHitExposure);
     } else if (t.tlbLevel == TlbLevel::Miss) {
         pendingClearKill_ = false;
         bool ok = t.walk().completed && !t.walk().faulted && !squashed;
         accountWalk(ref.vaddr, t.walk(), ref.isStore, ok);
-        stall(static_cast<double>(t.walk().cycles) * walkExposure_);
+        stall(CycleComponent::PageWalk,
+              static_cast<double>(t.walk().cycles) * walkExposure_);
         if (!t.walk().completed) {
             // The machine clear killed the walk; after the flush the
             // access re-executes and walks again from scratch.
@@ -270,7 +289,8 @@ Core::executeRef(RefSource &source, const Ref &ref)
             if (retry.tlbLevel == TlbLevel::Miss) {
                 accountWalk(ref.vaddr, retry.walk(), ref.isStore,
                             retry.walk().completed && !retry.walk().faulted);
-                stall(static_cast<double>(retry.walk().cycles) *
+                stall(CycleComponent::PageWalk,
+                      static_cast<double>(retry.walk().cycles) *
                       walkExposure_);
             }
         }
@@ -286,7 +306,8 @@ Core::executeRef(RefSource &source, const Ref &ref)
         instsSinceMiss_ = 0;
         double mlp = 1.0 + traits_.mlpHint *
                      std::min(windowMisses_ - 1.0, params_.maxMlp - 1.0);
-        stall(static_cast<double>(mem.latency) *
+        stall(CycleComponent::DataStall,
+              static_cast<double>(mem.latency) *
               params_.dataExposure[static_cast<size_t>(mem.level)] / mlp);
     }
 

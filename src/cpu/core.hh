@@ -14,6 +14,7 @@
 #include "cpu/core_params.hh"
 #include "cpu/ref_stream.hh"
 #include "mmu/mmu.hh"
+#include "obs/ledger.hh"
 #include "obs/walk_trace.hh"
 #include "perf/counter_set.hh"
 #include "util/random.hh"
@@ -98,6 +99,10 @@ class Core : public TranslationListener
     chargeCycles(Cycles cycles)
     {
         cycleAcc_ += static_cast<double>(cycles);
+#ifndef NDEBUG
+        ledger_.charge(CycleComponent::ShootdownIpi,
+                       static_cast<double>(cycles));
+#endif
     }
 
     /** Performance counters accumulated so far. */
@@ -116,7 +121,20 @@ class Core : public TranslationListener
     {
         counters_.reset();
         cycleAcc_ = 0.0;
+#ifndef NDEBUG
+        ledger_.reset();
+#endif
     }
+
+#ifndef NDEBUG
+    /**
+     * Debug builds only: the per-component cycle ledger, for the
+     * conservation cross-checks in core/multicore.cc and the diff
+     * suites. Release builds compile the ledger hooks out entirely
+     * (docs/OBSERVABILITY.md, "The conservation contract").
+     */
+    const CycleLedger &ledger() const { return ledger_; }
+#endif
 
     const CoreParams &params() const { return params_; }
     const WorkloadTraits &traits() const { return traits_; }
@@ -147,8 +165,9 @@ class Core : public TranslationListener
      * @return cycles the walker was busy */
     Cycles wrongPathRef(Addr vaddr, Cycles budget);
 
-    /** Charge stall cycles and update stall pressure. */
-    void stall(double cycles);
+    /** Charge stall cycles to an Eq-1 component and update the
+     * per-reference stall pressure. */
+    void stall(CycleComponent component, double cycles);
 
     /** Physical address of a correct-path access (via the micro-cache). */
     PhysAddr dataPaddr(Addr vaddr);
@@ -173,11 +192,19 @@ class Core : public TranslationListener
     CounterSet counters_;
     /** Cycle accumulator (fractional stalls), flushed into counters_. */
     double cycleAcc_ = 0.0;
-    /** Stall cycles charged by the current reference. */
+#ifndef NDEBUG
+    /** Debug twin of cycleAcc_, split by Eq-1 component; verified at
+     * every publication boundary in run(). */
+    CycleLedger ledger_;
+#endif
+    /** Stall cycles charged by the current reference.
+     * eq1: model-state — feeds the stall-pressure EWMA, not a cycle
+     * count of its own (every addition is mirrored into cycleAcc_). */
     double refStall_ = 0.0;
     /** Fractional-branch carry for stochastic-rounding branch counts. */
     double branchCarry_ = 0.0;
-    /** EWMA of stall cycles per instruction (stall pressure). */
+    /** EWMA of stall cycles per instruction (stall pressure).
+     * eq1: model-state — speculation-depth input, never published. */
     double stallEwma_ = 0.0;
     /** Instructions since the last data cache miss (MLP window). */
     std::uint64_t instsSinceMiss_ = 0;

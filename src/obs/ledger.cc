@@ -1,0 +1,84 @@
+#include "obs/ledger.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+const char *
+cycleComponentName(CycleComponent component)
+{
+    switch (component) {
+      case CycleComponent::BaseExec: return "base_exec";
+      case CycleComponent::BranchMispredict: return "branch_mispredict";
+      case CycleComponent::MachineClear: return "machine_clear";
+      case CycleComponent::L2TlbHit: return "l2_tlb_hit";
+      case CycleComponent::PageWalk: return "page_walk";
+      case CycleComponent::DataStall: return "data_stall";
+      case CycleComponent::SchemeSoftware: return "scheme_software";
+      case CycleComponent::ShootdownIpi: return "shootdown_ipi";
+    }
+    return "?";
+}
+
+const char *
+cycleComponentEq1Role(CycleComponent component)
+{
+    switch (component) {
+      case CycleComponent::BaseExec: return "base";
+      case CycleComponent::BranchMispredict: return "base";
+      case CycleComponent::MachineClear: return "base";
+      case CycleComponent::L2TlbHit: return "tlb";
+      case CycleComponent::PageWalk: return "walk";
+      case CycleComponent::DataStall: return "memory";
+      case CycleComponent::SchemeSoftware: return "software";
+      case CycleComponent::ShootdownIpi: return "coherence";
+    }
+    return "?";
+}
+
+CycleLedger::Report
+CycleLedger::check(double accumulator, Count published) const
+{
+    Report report;
+    // Exact equality on purpose: the ledger mirrors the accumulator
+    // addition-for-addition, so the doubles are bitwise equal unless a
+    // charge went around the ledger (or through it twice).
+    if (total_ != accumulator) {
+        std::ostringstream os;
+        os << "cycle ledger broken: components sum to " << total_
+           << " but the accumulator holds " << accumulator
+           << " (orphan charge of " << (accumulator - total_)
+           << " cycles bypassed the Eq-1 decomposition); components:";
+        for (std::size_t i = 0; i < numCycleComponents; ++i) {
+            os << " " << cycleComponentName(static_cast<CycleComponent>(i))
+               << "=" << components_[i];
+        }
+        report.ok = false;
+        report.message = os.str();
+        return report;
+    }
+    double residue = accumulator - static_cast<double>(published);
+    if (residue < 0.0 || residue >= 1.0) {
+        std::ostringstream os;
+        os << "cycle publication broken: accumulator " << accumulator
+           << " vs published " << published << " leaves a residue of "
+           << residue << " (must be in [0, 1) after a flush)";
+        report.ok = false;
+        report.message = os.str();
+    }
+    return report;
+}
+
+void
+CycleLedger::verify(double accumulator, Count published,
+                    const char *who) const
+{
+    Report report = check(accumulator, published);
+    fatal_if(!report.ok, "%s: %s", who, report.message.c_str());
+}
+
+} // namespace atscale

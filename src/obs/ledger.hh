@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Debug-build cycle-conservation ledger: every cycle the timing core
+ * charges is tagged with the Eq-1 component it belongs to, and at each
+ * publication boundary the tagged components must sum — exactly, in
+ * floating point — to the core's cycle accumulator. A charge that
+ * bypasses the decomposition (the runtime twin of lint rule R10,
+ * docs/STATIC_ANALYSIS.md) trips the check the first time it runs.
+ *
+ * The class itself compiles in every build type so its arithmetic is
+ * unit-testable under the default RelWithDebInfo tier-1 configuration;
+ * only the hot-path hooks inside Core (cpu/core.hh) and the end-of-run
+ * verification are `#ifndef NDEBUG`, which is what keeps release
+ * benches byte-identical with the ledger compiled out.
+ */
+
+#ifndef ATSCALE_OBS_LEDGER_HH
+#define ATSCALE_OBS_LEDGER_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/types.hh"
+
+namespace atscale
+{
+
+/**
+ * The closed vocabulary of places a simulated cycle can come from.
+ * One enumerator per charge site family in the timing core; adding a
+ * new way to charge cycles means adding its component here, mapping its
+ * Eq-1 role below, and charging through the ledger — rule R10 rejects
+ * the shortcut of bumping the accumulator directly.
+ */
+enum class CycleComponent : unsigned char
+{
+    /** instr x baseCpi issue cycles. */
+    BaseExec,
+    /** Branch-mispredict resolution penalty. */
+    BranchMispredict,
+    /** Machine-clear flush penalty. */
+    MachineClear,
+    /** Exposed latency of an L2 TLB hit (Eq-1 TLB term). */
+    L2TlbHit,
+    /** Exposed page-walk cycles, including post-clear re-walks
+     * (Eq-1 walk term — the WCPI numerator's cycle source). */
+    PageWalk,
+    /** MLP-discounted data-cache miss stalls. */
+    DataStall,
+    /** Software-translation cost outside the TLB/walk terms
+     * (TranslationScheme::schemeExtraCycles — the no_vm scheme). */
+    SchemeSoftware,
+    /** TLB-shootdown IPI cost landed by a SharedSystem remap. */
+    ShootdownIpi,
+};
+
+constexpr std::size_t numCycleComponents = 8;
+
+/** Stable lower-case name, for messages and reports. */
+const char *cycleComponentName(CycleComponent component);
+
+/**
+ * Which Eq-1 term of the paper's decomposition the component feeds:
+ * "base" (non-translation execution), "tlb", "walk", "software"
+ * (translation cost outside the hardware terms), "memory"
+ * (non-translation stalls), or "coherence" (shootdown traffic).
+ * The lint's R10 component map (tools/lint/atscale_lint.py) mirrors
+ * this table; the fixture self-test keeps the two from drifting.
+ */
+const char *cycleComponentEq1Role(CycleComponent component);
+
+/**
+ * Per-core cycle ledger. charge() must mirror every addition into the
+ * core's cycle accumulator with the identical value in the identical
+ * order — double addition is deterministic, so the running totals then
+ * stay bitwise equal and check() can demand exact equality rather than
+ * a tolerance (a tolerance would let small orphan charges hide).
+ */
+class CycleLedger
+{
+  public:
+    /** Attribute `cycles` to `component`. */
+    void
+    charge(CycleComponent component, double cycles)
+    {
+        components_[static_cast<std::size_t>(component)] += cycles;
+        total_ += cycles;
+    }
+
+    /** Forget everything (mirrors Core::resetCounters). */
+    void
+    reset()
+    {
+        components_.fill(0.0);
+        total_ = 0.0;
+    }
+
+    /** Sum of all charges since the last reset. */
+    double total() const { return total_; }
+
+    /** Charges attributed to one component since the last reset. */
+    double
+    component(CycleComponent component) const
+    {
+        return components_[static_cast<std::size_t>(component)];
+    }
+
+    /** Outcome of a conservation check, testable without death tests. */
+    struct Report
+    {
+        bool ok = true;
+        std::string message;
+    };
+
+    /**
+     * Verify conservation against the core's accounting state:
+     * (a) the tagged components sum exactly to `accumulator` (any
+     * difference is an orphan or double charge), and (b) the published
+     * counter trails the accumulator by less than one cycle (the
+     * truncation residue of Core::run's flush; more means a publication
+     * bypassed the accumulator, negative means it over-published).
+     * @param accumulator the core's fractional cycle accumulator
+     * @param published   cycles published into CpuClkUnhalted
+     */
+    Report check(double accumulator, Count published) const;
+
+    /** check(), fatal on failure; `who` names the call site. */
+    void verify(double accumulator, Count published, const char *who) const;
+
+  private:
+    std::array<double, numCycleComponents> components_{};
+    double total_ = 0.0;
+};
+
+} // namespace atscale
+
+#endif // ATSCALE_OBS_LEDGER_HH

@@ -29,6 +29,7 @@
 
 #include "core/platform.hh"
 #include "core/run_export.hh"
+#include "obs/ledger.hh"
 #include "workloads/registry.hh"
 
 using namespace atscale;
@@ -86,6 +87,18 @@ simulate(const std::string &workloadName, std::uint64_t seed, bool fastPath)
     platform.mmu.resetStats();
     platform.hierarchy.resetStats();
     platform.core.run(*stream, spec.measureRefs);
+
+#ifndef NDEBUG
+    // Debug builds: the measurement window's cycles must be fully
+    // attributed across Eq-1 components (docs/OBSERVABILITY.md) —
+    // fast path on or off must not perturb the decomposition.
+    {
+        const CycleLedger &ledger = platform.core.ledger();
+        CycleLedger::Report report =
+            ledger.check(ledger.total(), platform.core.cycles());
+        EXPECT_TRUE(report.ok) << report.message;
+    }
+#endif
 
     RunState state;
     state.counters = platform.core.counters();

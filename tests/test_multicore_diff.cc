@@ -40,6 +40,7 @@
 #include "core/run_export.hh"
 #include "core/sweep.hh"
 #include "mmu/scheme/registry.hh"
+#include "obs/ledger.hh"
 #include "perf/derived.hh"
 #include "sys/shared_system.hh"
 #include "workloads/registry.hh"
@@ -200,6 +201,21 @@ simulateShared(const RunSpec &spec)
     sys.run(streams, spec.warmupRefs);
     sys.resetStats();
     sys.run(streams, spec.measureRefs);
+
+#ifndef NDEBUG
+    // Debug builds: every core's measurement cycles must be fully
+    // attributed, and the coherence component must equal the system's
+    // own per-core shootdown account (docs/OBSERVABILITY.md).
+    for (std::uint32_t k = 0; k < sys.cores(); ++k) {
+        const CycleLedger &ledger = sys.core(k).ledger();
+        CycleLedger::Report report =
+            ledger.check(ledger.total(), sys.core(k).cycles());
+        EXPECT_TRUE(report.ok) << "core " << k << ": " << report.message;
+        EXPECT_EQ(ledger.component(CycleComponent::ShootdownIpi),
+                  static_cast<double>(sys.shootdownCycles(k)))
+            << "core " << k;
+    }
+#endif
 
     RunState state;
     state.counters = sys.core(0).counters();

@@ -108,3 +108,90 @@ TEST(PscDeathTest, BadLevels)
     EXPECT_DEATH(pscs.fill(0, 4, 0x1000), "bad level");
     EXPECT_DEATH(pscs.levelHits(0), "out of range");
 }
+
+TEST(PscInvalidate, UnmappedPageIsANoOp)
+{
+    // INVLPG for an address no cached structure covers must change
+    // nothing — not even replacement state (bitwise, via stateHash).
+    PagingStructureCaches pscs;
+    Addr va = 0x7f8000200000ull;
+    pscs.fill(va, 3, 0xaaaa000);
+    pscs.fill(va, 2, 0xbbbb000);
+    pscs.fill(va, 1, 0xcccc000);
+    std::uint64_t before = pscs.stateHash();
+
+    // A different PML4 region: every tag differs at every level.
+    pscs.invalidatePage(0x123400000000ull, PageSize::Size4K);
+    EXPECT_EQ(pscs.stateHash(), before);
+    EXPECT_EQ(pscs.probe(va, cr3).startLevel, 0);
+}
+
+TEST(PscInvalidate, FourKPageDropsOnlyTheCoveringEntries)
+{
+    PagingStructureCaches pscs;
+    Addr va = 0x7f8000200000ull;
+    pscs.fill(va, 1, 0xcccc000);
+    pscs.fill(va + pageSize2M, 1, 0xdddd000); // sibling 2 MiB region
+    pscs.fill(va, 2, 0xbbbb000);              // shared PDPTE
+
+    pscs.invalidatePage(va, PageSize::Size4K);
+    // The PDE and PDPTE covering va are gone: full walk.
+    EXPECT_EQ(pscs.probe(va, cr3).startLevel, 3);
+    // The sibling's PDE tag differs and must survive the INVLPG.
+    EXPECT_EQ(pscs.probe(va + pageSize2M, cr3).startLevel, 0);
+}
+
+TEST(PscInvalidate, HugepageSpansEveryCoveredPde)
+{
+    // Invalidating a 2 MiB mapping must drop the PDE entry for that
+    // region (its reach is exactly the page) while PDEs of neighbouring
+    // regions keep their fills — the hugepage-backed VPN edge case: a
+    // single INVLPG covers 512 leaf VPNs' worth of PDE reach.
+    PagingStructureCaches pscs;
+    Addr huge = 0x7f8000200000ull & ~(pageSize2M - 1);
+    pscs.fill(huge, 1, 0x1111000);
+    pscs.fill(huge + pageSize2M, 1, 0x2222000);
+
+    pscs.invalidatePage(huge, PageSize::Size2M);
+    EXPECT_EQ(pscs.probe(huge, cr3).startLevel, 3);
+    EXPECT_EQ(pscs.probe(huge + 0x1000, cr3).startLevel, 3);
+
+    // The neighbour was outside the invalidated reach. Its PDPTE-level
+    // prefix is shared, so refill it before probing deeper levels.
+    EXPECT_EQ(pscs.probe(huge + pageSize2M, cr3).startLevel, 0);
+
+    // A 1 GiB invalidation sweeps every PDE in the region, neighbours
+    // included, plus the PDPTE entry itself.
+    pscs.fill(huge, 2, 0xbbbb000);
+    pscs.invalidatePage(huge & ~(pageSize1G - 1), PageSize::Size1G);
+    EXPECT_EQ(pscs.probe(huge + pageSize2M, cr3).startLevel, 3);
+}
+
+TEST(PscInvalidate, DoubleInvalidationIsIdempotent)
+{
+    // Shootdown storms deliver the same INVLPG to a core more than once
+    // (initiator + forwarded IPI). The second pass must be a byte-level
+    // no-op, so replaying the storm cannot perturb determinism.
+    Addr va = 0x7f8000200000ull;
+
+    PagingStructureCaches once;
+    once.fill(va, 1, 0xcccc000);
+    once.fill(va, 2, 0xbbbb000);
+    once.invalidatePage(va, PageSize::Size4K);
+
+    PagingStructureCaches twice;
+    twice.fill(va, 1, 0xcccc000);
+    twice.fill(va, 2, 0xbbbb000);
+    twice.invalidatePage(va, PageSize::Size4K);
+    twice.invalidatePage(va, PageSize::Size4K);
+
+    EXPECT_EQ(once.stateHash(), twice.stateHash());
+    EXPECT_EQ(twice.probe(va, cr3).startLevel, 3);
+
+    // Invalidate-refill-invalidate under the storm: the refill lands in
+    // the invalidated slot and the second INVLPG drops it again.
+    twice.fill(va, 1, 0x9999000);
+    EXPECT_EQ(twice.probe(va, cr3).startLevel, 0);
+    twice.invalidatePage(va, PageSize::Size4K);
+    EXPECT_EQ(twice.probe(va, cr3).startLevel, 3);
+}

@@ -55,6 +55,31 @@ enforces the statically checkable parts of those invariants:
       race waiting for the first concurrent caller, and TSan can only
       catch it at runtime on a racing schedule. Cross-file, like R8:
       the marker macro and the holders live apart.
+  R10 cycle conservation (src/cpu, src/mmu, src/sys, src/cache): every
+      `+=` into a cycle/stall accumulator member must flow into the
+      Eq-1 decomposition — by being registered with StatsRegistry (by
+      name or through a one-line accessor), by publishing into an Eq-1
+      counter event through at most one local alias, or by carrying an
+      explicit `eq1: model-state` annotation for quantities that feed
+      the model rather than the accounting. An orphan charge is exactly
+      the bug the runtime CycleLedger (src/obs/ledger.hh) catches
+      dynamically; this rule catches it statically. Cross-file: the
+      charge, the declaration, and the registration usually live apart.
+  R11 determinism hazards (same scope): (a) pointer-keyed maps/sets —
+      iteration order is address order, different every run; (b) float
+      accumulation inside merge/combine/aggregate/reduce paths, whose
+      result depends on merge order; (c) structs mixing initialized
+      members with silently uninitialized scalars (the MmuResult shape)
+      unless the gap is documented as deliberate ("uninitialized" /
+      "meaningful only" in the doc comment).
+  R12 scheme-contract conformance (src/mmu/scheme): a TranslationScheme
+      backend charges extra cost only through MmuResult fields it owns
+      (schemeExtraCycles, tlbExtraLatency) and the walkSlot()-provided
+      WalkResult; it never touches counters/EventId/chargeCycles, and
+      it mutates platform state only through the documented seams
+      (space_.translate/findVma/touch/pageTable/reservedBytes,
+      hierarchy_.access, alloc.allocate, mem_.read64) — see
+      docs/TRANSLATION_SCHEMES.md.
 
 Findings can be suppressed, one line at a time, with an inline comment
 on the offending line or the line directly above it:
@@ -62,13 +87,21 @@ on the offending line or the line directly above it:
     // atscale-lint: allow(R2 plan() output is resorted before emission)
 
 The reason text is mandatory and is reported alongside the suppression
-count, so the review burden of each escape hatch stays visible.
+count, so the review burden of each escape hatch stays visible. The
+budget is enforced per rule as well as globally: `--max-suppressions
+"2,R3=2"` allows at most two suppressions total, all of them R3.
 
 Engines: with the libclang python bindings installed (python3-clang),
-R2/R5 use the AST for type-accurate detection; everywhere else — and
-whenever libclang is missing or fails to parse — a pure-regex engine
-runs, so the gate can never silently skip. Fixture tests pin
---engine=regex for determinism across environments.
+an AST engine handles R1/R2/R4/R5/R6 with real lexical/type/guard
+information and builds R10's charge-flow graph from AST nodes
+(compound assignments, publication calls, alias initializers) instead
+of regexes, falling back to the regex engine per file on parse errors
+so the gate can never silently skip. `--engine=libclang` *requires*
+the bindings and exits 2 when they are missing (CI uses this so the
+AST engine cannot silently degrade); `--engine=auto` prefers them but
+falls back. Fixture tests pin --engine=regex for determinism across
+environments and separately assert, where libclang is importable,
+that both engines agree on the fixture corpus.
 """
 
 import argparse
@@ -94,10 +127,22 @@ RULE_SCOPES = {
     "R7": ["src"],
     "R8": ["src"],
     "R9": ["src"],
+    "R10": ["src"],
+    "R11": ["src"],
+    "R12": ["src"],
+}
+
+# Rules whose src/ scope is a subset of subdirectories. Paths outside
+# src/ (fixtures scanned as explicit files) still follow the RULE_SCOPES
+# top-dir check; under src/, these narrow the reach further.
+RULE_SUBDIRS = {
+    "R10": ("src/cpu/", "src/mmu/", "src/sys/", "src/cache/"),
+    "R11": ("src/cpu/", "src/mmu/", "src/sys/", "src/cache/"),
+    "R12": ("src/mmu/scheme/",),
 }
 
 SUPPRESS_RE = re.compile(
-    r"//\s*atscale-lint:\s*allow\(\s*(R[1-9])\s+([^)]+)\)")
+    r"//\s*atscale-lint:\s*allow\(\s*(R\d+)\s+([^)]+)\)")
 
 # R1: ambient nondeterminism. Each entry: (regex, what it is).
 R1_PATTERNS = [
@@ -164,6 +209,95 @@ NAMES_START_RE = re.compile(r"\bnumEvents\s*>\s*names\s*=")
 EVENT_REF_RE = re.compile(r"\bEventId::(\w+)")
 STRING_LITERAL_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+(?:ATSCALE_\w+(?:\([^)]*\))?\s+)?(\w+)[^;]*$")
+
+# ---- R10: the cycle-conservation flow graph -----------------------------
+#
+# A charge site is `member_ += expr` (optionally subscripted) where the
+# member's name says it holds cycles or stalls. Evidence that the charge
+# reaches the Eq-1 decomposition, in order of directness:
+#   1. the member (or its underscore-stripped accessor name) appears in
+#      some registerStats body (R3's registration text, reused);
+#   2. the member reaches a one-line accessor `name() { return member; }`
+#      whose name appears in a registerStats body;
+#   3. the member flows — directly or through one local alias — into
+#      counters_.add(EventId::<Eq-1 event>, ...);
+#   4. the declaration carries an `eq1: model-state` annotation in its
+#      doc comment, marking it as model input rather than accounting.
+R10_CHARGE_RE = re.compile(
+    r"\b([A-Za-z]\w*_)\s*(?:\[[^\]]*\]\s*)?\+=")
+R10_ACCUM_NAME_RE = re.compile(r"(?i)(?:cycle|stall)")
+R10_ALIAS_RE = re.compile(
+    r"\b(?:auto|double|float|Cycles|Count)\s+(\w+)\s*=\s*([^;]*);")
+R10_COUNTER_ADD_RE = re.compile(
+    r"\bcounters_\s*(?:\.|->)\s*add\s*\(\s*EventId::(\w+)\s*,\s*([^;]*)\)")
+R10_ACCESSOR_RE_TMPL = (
+    r"\b(\w+)\s*\(\)\s*(?:const\s*)?(?:noexcept\s*)?\{\s*return\s+%s\b")
+R10_EQ1_EVENTS = {
+    "CpuClkUnhalted",               # the total every component sums to
+    "DtlbLoadMissesWalkDuration",   # walk component
+    "DtlbStoreMissesWalkDuration",
+}
+R10_MODEL_STATE_RE = re.compile(r"eq1:\s*model-state")
+R10_DOC_LOOKBACK = 6
+
+# Mirror of src/obs/ledger.cc's component/role tables, for the fixture
+# harness's drift check: the static rule and the runtime ledger must
+# agree on the Eq-1 component vocabulary.
+R10_LEDGER_COMPONENTS = {
+    "base_exec": "base",
+    "branch_mispredict": "base",
+    "machine_clear": "base",
+    "l2_tlb_hit": "tlb",
+    "page_walk": "walk",
+    "data_stall": "memory",
+    "scheme_software": "software",
+    "shootdown_ipi": "coherence",
+}
+
+# ---- R11: determinism hazards -------------------------------------------
+R11_PTR_KEY_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*(?:<[^<>]*>)?\s*\*")
+R11_MERGE_DEF_RE = re.compile(
+    r"^[^=;(]*\b(\w*(?i:merge|combine|aggregate|reduce)\w*)\s*\(")
+R11_FLOAT_LOCAL_RE = re.compile(r"^\s*(?:double|float)\s+(\w+)\s*[={]")
+R11_SCALAR_MEMBER_RE = re.compile(
+    r"^\s*(?:bool|int|long|unsigned(?:\s+long)?|float|double|char|"
+    r"Cycles|Count|Addr|PhysAddr|VirtAddr|std::size_t|size_t|"
+    r"std::u?int(?:8|16|32|64)_t|u?int(?:8|16|32|64)_t)\s+"
+    r"(\w+)\s*(=[^;]*|\{[^;]*\})?\s*;")
+R11_STRUCT_RE = re.compile(r"^\s*struct\s+(\w+)\s*(?:final\s*)?$|"
+                           r"^\s*struct\s+(\w+)\s*(?:final\s*)?\{")
+R11_DOC_EVIDENCE_RE = re.compile(
+    r"(?i)uninitialized|meaningful only|deliberately")
+R11_DOC_LOOKBACK = 12
+
+# ---- R12: the translation-scheme contract -------------------------------
+#
+# The seam file itself (walkSlot's definition, poisonWalk) is the
+# contract, not a client of it.
+R12_EXEMPT = "src/mmu/scheme/translation_scheme.hh"
+R12_BANNED_RE = re.compile(
+    r"\b(?:chargeCycles|CounterSet|counters_)\b|\bEventId::")
+# Platform receivers a backend may touch, and the documented methods
+# (docs/TRANSLATION_SCHEMES.md "What a backend may touch").
+R12_SEAM_METHODS = {
+    "space_": {"translate", "findVma", "touch", "pageTable",
+               "reservedBytes"},
+    "hierarchy_": {"access"},
+    "mem_": {"read64"},
+    "alloc": {"allocate"},
+}
+R12_RECEIVER_RE = re.compile(
+    r"\b(space_|hierarchy_|mem_|alloc)\s*(?:\.|->)\s*(\w+)\s*\(")
+# Accounting writes: x.cycles / x->cycles must target the walkSlot()'s
+# WalkResult; result.schemeExtraCycles / result.tlbExtraLatency must
+# target an MmuResult.
+R12_CYCLES_WRITE_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*cycles\s*(?:\+=|-=|=(?!=))")
+R12_MMU_FIELD_WRITE_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*(schemeExtraCycles|tlbExtraLatency)\s*"
+    r"(?:\+=|-=|=(?!=))")
 
 
 @dataclass
@@ -281,9 +415,19 @@ def discover(root, paths):
 
 
 def in_scope(rule, rel):
-    top = rel.split(os.sep, 1)[0]
-    return top in RULE_SCOPES[rule] or not any(
-        rel.startswith(d + os.sep) for d in SCAN_DIRS)
+    norm = rel.replace(os.sep, "/")
+    top = norm.split("/", 1)[0]
+    if not any(norm.startswith(d + "/") for d in SCAN_DIRS):
+        # Explicit file argument outside the scan tree (fixture runs):
+        # every rule applies, so fixtures can exercise any rule from any
+        # staging path.
+        return True
+    if top not in RULE_SCOPES[rule]:
+        return False
+    subdirs = RULE_SUBDIRS.get(rule)
+    if subdirs and top == "src":
+        return any(norm.startswith(s) for s in subdirs)
+    return True
 
 
 class RegexEngine:
@@ -664,14 +808,290 @@ class RegexEngine:
                               "comment (docs/MULTICORE.md)"
                               % (name, what))
 
+    # ---- R10 (cross-file) ------------------------------------------------
+
+    def _r10_charge_sites(self, files):
+        """[(member, SourceFile, line)] for every `member_ += ...` into a
+        cycle/stall-named accumulator, in R10 scope."""
+        sites = []
+        for sf in files:
+            if not in_scope("R10", sf.path):
+                continue
+            for idx, line in enumerate(sf.code_lines, start=1):
+                for m in R10_CHARGE_RE.finditer(line):
+                    member = m.group(1)
+                    if R10_ACCUM_NAME_RE.search(member):
+                        sites.append((member, sf, idx))
+        return sites
+
+    def _r10_publication_evidence(self, files):
+        """Members that reach an Eq-1 counter event: directly as an
+        argument of counters_.add(EventId::<eq1>, ...), or through one
+        local alias whose initializer reads the member."""
+        published = set()
+        for sf in files:
+            if not in_scope("R10", sf.path):
+                continue
+            aliases = {}  # alias name -> initializer text
+            for line in sf.code_lines:
+                for m in R10_ALIAS_RE.finditer(line):
+                    aliases[m.group(1)] = m.group(2)
+            for line in sf.code_lines:
+                for m in R10_COUNTER_ADD_RE.finditer(line):
+                    if m.group(1) not in R10_EQ1_EVENTS:
+                        continue
+                    args = m.group(2)
+                    for ident in re.findall(r"[A-Za-z_]\w*", args):
+                        published.add(ident)
+                        init = aliases.get(ident, "")
+                        for src in re.findall(r"[A-Za-z_]\w*", init):
+                            published.add(src)
+        return published
+
+    def _r10_annotated_members(self, files):
+        """Members whose declaration sits under an `eq1: model-state`
+        annotation (the declaration and the charge may be in different
+        files, so the annotation set is collected tree-wide)."""
+        annotated = set()
+        decl_re = re.compile(r"\b([A-Za-z]\w*_)\s*(?:=[^;]*|\{[^;]*\})?;")
+        for sf in files:
+            if not in_scope("R10", sf.path):
+                continue
+            marks = [idx for idx, raw in enumerate(sf.raw_lines)
+                     if R10_MODEL_STATE_RE.search(raw)]
+            if not marks:
+                continue
+            for mark in marks:
+                hi = min(len(sf.code_lines), mark + 1 + R10_DOC_LOOKBACK)
+                for line in sf.code_lines[mark:hi]:
+                    if "(" in line:
+                        continue
+                    for m in decl_re.finditer(line):
+                        annotated.add(m.group(1))
+        return annotated
+
+    def _r10_accessor_registered(self, files, member, reg_text):
+        """True when a one-line accessor returning the member is itself
+        named in a registerStats body."""
+        acc_re = re.compile(R10_ACCESSOR_RE_TMPL % re.escape(member))
+        for sf in files:
+            if not in_scope("R10", sf.path):
+                continue
+            for line in sf.code_lines:
+                m = acc_re.search(line)
+                if m and m.group(1).lower() in reg_text:
+                    return True
+        return False
+
+    def check_r10(self, files):
+        sites = self._r10_charge_sites(files)
+        if not sites:
+            return
+        reg_text = self._registration_text(files)
+        published = self._r10_publication_evidence(files)
+        annotated = self._r10_annotated_members(files)
+        verdicts = {}  # member -> bool (conserved)
+        for member, sf, line in sites:
+            if member not in verdicts:
+                ok = (member.lower() in reg_text
+                      or member.rstrip("_").lower() in reg_text
+                      or member in published
+                      or member in annotated
+                      or self._r10_accessor_registered(files, member,
+                                                       reg_text))
+                verdicts[member] = ok
+            if not verdicts[member]:
+                yield Finding(sf.path, line, "R10",
+                              "orphan cycle charge: '%s' accumulates "
+                              "cycles but never reaches the Eq-1 "
+                              "decomposition — register it with "
+                              "StatsRegistry, publish it into an Eq-1 "
+                              "counter event, or annotate the "
+                              "declaration `eq1: model-state` if it "
+                              "feeds the model rather than the "
+                              "accounting (src/obs/ledger.hh catches "
+                              "the runtime half of this)" % member)
+
+    # ---- R11 (per-file) --------------------------------------------------
+
+    def _brace_span(self, sf, start_idx):
+        """0-based line index of the '}' matching the first '{' at or
+        after start_idx, or None on imbalance."""
+        depth = 0
+        seen = False
+        for j in range(start_idx, min(len(sf.code_lines), start_idx + 400)):
+            for ch in sf.code_lines[j]:
+                if ch == "{":
+                    depth += 1
+                    seen = True
+                elif ch == "}":
+                    depth -= 1
+                    if seen and depth == 0:
+                        return j
+        return None
+
+    def _r11_merge_spans(self, sf):
+        """(name, start 0-based, end 0-based) of every function
+        *definition* whose name says merge/combine/aggregate/reduce."""
+        spans = []
+        for idx, line in enumerate(sf.code_lines):
+            m = R11_MERGE_DEF_RE.search(line)
+            if not m:
+                continue
+            # A definition has '{' before ';' after the parameter list;
+            # a call or declaration hits ';' first.
+            tail = line[m.end():]
+            is_def = None
+            for j in range(idx, min(len(sf.code_lines), idx + 6)):
+                probe = tail if j == idx else sf.code_lines[j]
+                for ch in probe:
+                    if ch == "{":
+                        is_def = True
+                        break
+                    if ch == ";":
+                        is_def = False
+                        break
+                if is_def is not None:
+                    break
+            if not is_def:
+                continue
+            end = self._brace_span(sf, idx)
+            if end is not None:
+                spans.append((m.group(1), idx, end))
+        return spans
+
+    def check_r11(self, sf):
+        # (a) pointer-keyed associative containers.
+        for idx, line in enumerate(sf.code_lines, start=1):
+            if R11_PTR_KEY_RE.search(line):
+                yield Finding(sf.path, idx, "R11",
+                              "pointer-keyed associative container — "
+                              "iteration order is address order, "
+                              "different every run; key by a stable id "
+                              "(VPN, index) instead")
+
+        # (b) float accumulation inside merge-shaped functions.
+        for name, start, end in self._r11_merge_spans(sf):
+            locals_ = set()
+            for line in sf.code_lines[start:end + 1]:
+                m = R11_FLOAT_LOCAL_RE.match(line)
+                if m:
+                    locals_.add(m.group(1))
+            if not locals_:
+                continue
+            acc_re = re.compile(r"\b(%s)\s*\+=" % "|".join(
+                sorted(re.escape(l) for l in locals_)))
+            for off, line in enumerate(sf.code_lines[start:end + 1]):
+                m = acc_re.search(line)
+                if m:
+                    yield Finding(sf.path, start + off + 1, "R11",
+                                  "order-dependent float accumulation "
+                                  "into '%s' inside merge path '%s' — "
+                                  "float addition does not commute "
+                                  "bitwise; accumulate integers or fix "
+                                  "the merge order" % (m.group(1), name))
+
+        # (c) MmuResult-shaped structs: initialized members next to
+        # silently uninitialized scalars, with no doc-comment evidence
+        # that the gap is deliberate.
+        for idx, line in enumerate(sf.code_lines):
+            m = R11_STRUCT_RE.match(line)
+            if not m:
+                continue
+            name = m.group(1) or m.group(2)
+            end = self._brace_span(sf, idx)
+            if end is None:
+                continue
+            initialized = []
+            uninitialized = []
+            for off, member_line in enumerate(sf.code_lines[idx:end + 1]):
+                mm = R11_SCALAR_MEMBER_RE.match(member_line)
+                if not mm or "(" in member_line:
+                    continue
+                (initialized if mm.group(2) else
+                 uninitialized).append((mm.group(1), idx + off + 1))
+            if not initialized or not uninitialized:
+                continue
+            lo = max(0, idx - R11_DOC_LOOKBACK)
+            if any(R11_DOC_EVIDENCE_RE.search(raw)
+                   for raw in sf.raw_lines[lo:end + 1]):
+                continue
+            for member, line_no in uninitialized:
+                yield Finding(sf.path, line_no, "R11",
+                              "struct %s mixes initialized members with "
+                              "uninitialized scalar '%s' — reading it "
+                              "before assignment is nondeterministic; "
+                              "initialize it, or document the gap as "
+                              "deliberate in the struct's doc comment "
+                              "(see WalkResult in mmu/walker.hh)"
+                              % (name, member))
+
+    # ---- R12 (per-file) --------------------------------------------------
+
+    def check_r12(self, sf):
+        norm = sf.path.replace(os.sep, "/")
+        if norm == R12_EXEMPT:
+            return
+
+        text = "\n".join(sf.code_lines)
+        walk_lvalues = set(re.findall(r"\bWalkResult\s*&?\s*(\w+)", text))
+        mmu_lvalues = set(re.findall(r"\bMmuResult\s*&?\s*(\w+)", text))
+
+        for idx, line in enumerate(sf.code_lines, start=1):
+            if R12_BANNED_RE.search(line):
+                yield Finding(sf.path, idx, "R12",
+                              "scheme backend touches the counter "
+                              "machinery directly — extra cost flows "
+                              "only through MmuResult.schemeExtraCycles/"
+                              "tlbExtraLatency and the walkSlot() "
+                              "WalkResult; the Core does the publishing "
+                              "(docs/TRANSLATION_SCHEMES.md)")
+            for m in R12_RECEIVER_RE.finditer(line):
+                receiver, method = m.group(1), m.group(2)
+                if method not in R12_SEAM_METHODS.get(receiver, set()):
+                    yield Finding(sf.path, idx, "R12",
+                                  "undocumented platform seam: "
+                                  "%s.%s() — backends mutate platform "
+                                  "state only through the documented "
+                                  "seams (%s)"
+                                  % (receiver, method, ", ".join(
+                                      "%s.%s" % (r, mm)
+                                      for r in sorted(R12_SEAM_METHODS)
+                                      for mm in sorted(
+                                          R12_SEAM_METHODS[r]))))
+            for m in R12_CYCLES_WRITE_RE.finditer(line):
+                if m.group(1) not in walk_lvalues:
+                    yield Finding(sf.path, idx, "R12",
+                                  "walk-cost write through '%s', which "
+                                  "is not a walkSlot()-derived "
+                                  "WalkResult — the slot is the only "
+                                  "sanctioned channel for walk cycles "
+                                  "(TranslationScheme::walkSlot)"
+                                  % m.group(1))
+            for m in R12_MMU_FIELD_WRITE_RE.finditer(line):
+                if m.group(1) not in mmu_lvalues:
+                    yield Finding(sf.path, idx, "R12",
+                                  "%s write through '%s', which is not "
+                                  "an MmuResult — scheme cost fields "
+                                  "live on the result the MMU hands in"
+                                  % (m.group(2), m.group(1)))
+
 
 class ClangEngine(RegexEngine):
-    """AST-backed refinement of R2/R5 when python libclang is available.
+    """AST-backed engine when python libclang is available.
 
-    Inherits the regex implementations for R1/R3/R4, which are textual
-    properties anyway (R1: banned identifiers; R4: guard proximity).
-    Any parse failure falls back to the regex rule for that file, so a
-    missing header or version skew can never turn the gate off.
+    R2/R5 use type spellings; R4 replaces the 30-line guard lookback
+    with real if-statement ancestry; R6 reads storage class off the
+    VAR_DECL instead of pattern-matching the declaration line; R10
+    builds the charge-flow graph from AST nodes (compound assignments
+    for charges, call expressions for publications, VAR_DECL
+    initializers for aliases); R11's merge-path check types the
+    accumulation target through the AST. Detection is a superset
+    discipline: wherever the AST pass finds nothing — including any
+    parse failure — the regex rule runs for that file, so a missing
+    header or version skew can never turn the gate off. R1/R3/R7/R8/R9
+    stay textual (banned identifiers and cross-file naming contracts
+    are lexical properties; the AST adds nothing).
     """
 
     name = "libclang"
@@ -692,6 +1112,26 @@ class ClangEngine(RegexEngine):
             if child.location.file and child.location.file.name == sf_abs:
                 yield child
                 yield from self._walk(child, sf_abs)
+
+    def _walk_with_parents(self, cursor, sf_abs, parents=None, out=None):
+        """Like _walk, but also builds a child -> parent map (cursors
+        are not hashable across equal instances, so key by the triple
+        (kind, line, column) of the child)."""
+        if parents is None:
+            parents = {}
+            out = []
+        for child in cursor.get_children():
+            if child.location.file and child.location.file.name == sf_abs:
+                key = (child.kind, child.location.line,
+                       child.location.column)
+                parents.setdefault(key, cursor)
+                out.append(child)
+                self._walk_with_parents(child, sf_abs, parents, out)
+        return out, parents
+
+    @staticmethod
+    def _tokens(cur):
+        return [t.spelling for t in cur.get_tokens()]
 
     def check_r2(self, sf):
         try:
@@ -744,6 +1184,239 @@ class ClangEngine(RegexEngine):
         except Exception:
             yield from super().check_r5(sf)
 
+    def check_r4(self, sf):
+        """Real guard analysis: a walk-field read is fine iff some
+        enclosing if-statement's condition established the TLB-miss
+        state (mentions Miss or a hit test)."""
+        try:
+            tu = self._parse(sf)
+            sf_abs = os.path.join(self.root, sf.path)
+            kind = self.cindex.CursorKind
+            nodes, parents = self._walk_with_parents(tu.cursor, sf_abs)
+
+            def guarded(cur):
+                key = (cur.kind, cur.location.line, cur.location.column)
+                seen = 0
+                while key in parents and seen < 64:
+                    parent = parents[key]
+                    if parent.kind == kind.IF_STMT:
+                        children = list(parent.get_children())
+                        if children:
+                            cond = " ".join(self._tokens(children[0]))
+                            if MISS_GUARD_RE.search(cond):
+                                return True
+                    key = (parent.kind, parent.location.line,
+                           parent.location.column)
+                    seen += 1
+                return False
+
+            sites = []
+            for cur in nodes:
+                if cur.kind not in (kind.MEMBER_REF_EXPR, kind.CALL_EXPR):
+                    continue
+                if cur.spelling not in ("walk", "walk_"):
+                    continue
+                # Only reads through an object (x.walk() / x->walk_),
+                # matching the regex rule's reach.
+                line = (sf.code_lines[cur.location.line - 1]
+                        if cur.location.line <= len(sf.code_lines) else "")
+                if not WALK_READ_RE.search(line):
+                    continue
+                sites.append(cur)
+
+            if not sites:
+                yield from super().check_r4(sf)
+                return
+            reported = set()
+            for cur in sites:
+                if guarded(cur) or cur.location.line in reported:
+                    continue
+                reported.add(cur.location.line)
+                yield Finding(sf.path, cur.location.line, "R4",
+                              "MmuResult walk access outside any branch "
+                              "that established TlbLevel::Miss — the "
+                              "fields are undefined on TLB hits")
+        except Exception:
+            yield from super().check_r4(sf)
+
+    def check_r6(self, sf):
+        """Storage class off the AST: a VAR_DECL with static storage
+        that is neither const-qualified nor constexpr is lane-coupling
+        state, wherever the declaration line wrapped to."""
+        rel = sf.path.replace(os.sep, "/")
+        if rel.startswith("src/") and not R6_DIR_RE.match(rel):
+            return
+        try:
+            tu = self._parse(sf)
+            sf_abs = os.path.join(self.root, sf.path)
+            kind = self.cindex.CursorKind
+            storage = self.cindex.StorageClass
+            statics = []
+            for cur in self._walk(tu.cursor, sf_abs):
+                if cur.kind != kind.VAR_DECL:
+                    continue
+                if cur.storage_class != storage.STATIC:
+                    continue
+                statics.append(cur)
+            if not statics:
+                yield from super().check_r6(sf)
+                return
+            for cur in statics:
+                toks = self._tokens(cur)
+                if "constexpr" in toks or "constinit" in toks:
+                    continue
+                if cur.type.is_const_qualified() or \
+                        "const" in (cur.type.spelling or ""):
+                    continue
+                yield Finding(sf.path, cur.location.line, "R6",
+                              "mutable static '%s' in the lane-shared "
+                              "hot path — lockstep lane groups "
+                              "interleave many Core/Mmu instances in "
+                              "one thread, so per-run state must be an "
+                              "instance member (static constexpr and "
+                              "static member functions are fine)"
+                              % cur.spelling)
+        except Exception:
+            yield from super().check_r6(sf)
+
+    def _r10_charge_sites(self, files):
+        """AST charge discovery: compound `+=` assignments whose
+        left-hand side resolves to a cycle/stall-named member. Falls
+        back to the regex harvest when the AST pass comes up empty
+        (parse trouble must not blank the rule)."""
+        try:
+            kind = self.cindex.CursorKind
+            sites = []
+            for sf in files:
+                if not in_scope("R10", sf.path):
+                    continue
+                tu = self._parse(sf)
+                sf_abs = os.path.join(self.root, sf.path)
+                for cur in self._walk(tu.cursor, sf_abs):
+                    if cur.kind != kind.COMPOUND_ASSIGNMENT_OPERATOR:
+                        continue
+                    toks = self._tokens(cur)
+                    if "+=" not in toks:
+                        continue
+                    children = list(cur.get_children())
+                    if not children:
+                        continue
+                    member = self._lhs_member_name(children[0], kind)
+                    if member and member.endswith("_") and \
+                            R10_ACCUM_NAME_RE.search(member):
+                        sites.append((member, sf, cur.location.line))
+            if sites:
+                return sites
+        except Exception:
+            pass
+        return super()._r10_charge_sites(files)
+
+    def _lhs_member_name(self, cur, kind):
+        """Name of the member an assignment LHS ultimately targets:
+        the last member/decl reference in the LHS subtree that is not a
+        subscript index."""
+        if cur.kind in (kind.MEMBER_REF_EXPR, kind.DECL_REF_EXPR):
+            return cur.spelling
+        name = None
+        for child in cur.get_children():
+            got = self._lhs_member_name(child, kind)
+            if got:
+                name = got
+                if cur.kind == kind.ARRAY_SUBSCRIPT_EXPR:
+                    # arr[i]: the first child is the array, the second
+                    # the index — keep the first hit only.
+                    break
+        return name
+
+    def _r10_publication_evidence(self, files):
+        """AST publication discovery, unioned with the regex harvest:
+        call expressions named `add` whose tokens reference an Eq-1
+        EventId contribute their argument identifiers, and VAR_DECL
+        initializers supply the alias edges."""
+        published = set(RegexEngine._r10_publication_evidence(self, files))
+        try:
+            kind = self.cindex.CursorKind
+            for sf in files:
+                if not in_scope("R10", sf.path):
+                    continue
+                tu = self._parse(sf)
+                sf_abs = os.path.join(self.root, sf.path)
+                aliases = {}
+                calls = []
+                for cur in self._walk(tu.cursor, sf_abs):
+                    if cur.kind == kind.VAR_DECL:
+                        toks = self._tokens(cur)
+                        if "=" in toks:
+                            init = toks[toks.index("=") + 1:]
+                            aliases[cur.spelling] = set(
+                                t for t in init
+                                if re.fullmatch(r"[A-Za-z_]\w*", t))
+                    elif cur.kind == kind.CALL_EXPR and \
+                            cur.spelling == "add":
+                        calls.append(cur)
+                for cur in calls:
+                    text = "".join(self._tokens(cur))
+                    m = re.search(r"EventId::(\w+)", text)
+                    if not m or m.group(1) not in R10_EQ1_EVENTS:
+                        continue
+                    for ident in re.findall(r"[A-Za-z_]\w*", text):
+                        published.add(ident)
+                        published.update(aliases.get(ident, ()))
+        except Exception:
+            pass
+        return published
+
+    def check_r11(self, sf):
+        """AST refinement for the merge-path sub-rule: the accumulation
+        target's *type* comes from the AST, so an integer accumulator
+        with a float-looking name cannot trip it. The pointer-key and
+        mixed-init-struct sub-rules stay textual (a type spelling is a
+        string either way). Falls back wholesale on parse failure."""
+        try:
+            tu = self._parse(sf)
+            sf_abs = os.path.join(self.root, sf.path)
+            kind = self.cindex.CursorKind
+            spans = self._r11_merge_spans(sf)
+            ast_findings = []
+            engaged = False
+            if spans:
+                for cur in self._walk(tu.cursor, sf_abs):
+                    if cur.kind != kind.COMPOUND_ASSIGNMENT_OPERATOR:
+                        continue
+                    line = cur.location.line
+                    span = next(((n, s, e) for n, s, e in spans
+                                 if s + 1 <= line <= e + 1), None)
+                    if span is None:
+                        continue
+                    engaged = True
+                    if "+=" not in self._tokens(cur):
+                        continue
+                    children = list(cur.get_children())
+                    if not children:
+                        continue
+                    lhs = children[0]
+                    type_name = (lhs.type.spelling or "").replace(
+                        "const ", "")
+                    if type_name in ("double", "float"):
+                        ast_findings.append(Finding(
+                            sf.path, line, "R11",
+                            "order-dependent float accumulation into "
+                            "'%s' inside merge path '%s' — float "
+                            "addition does not commute bitwise; "
+                            "accumulate integers or fix the merge "
+                            "order" % (lhs.spelling or "<expr>",
+                                       span[0])))
+            if engaged:
+                # Textual sub-rules (a) and (c), AST sub-rule (b).
+                for f in super().check_r11(sf):
+                    if "merge path" not in f.message:
+                        yield f
+                yield from ast_findings
+            else:
+                yield from super().check_r11(sf)
+        except Exception:
+            yield from super().check_r11(sf)
+
 
 def make_engine(requested, root):
     if requested in ("auto", "libclang"):
@@ -751,11 +1424,40 @@ def make_engine(requested, root):
             import clang.cindex as cindex  # noqa: deferred, optional
             cindex.Index.create()
             return ClangEngine(cindex, root)
-        except Exception:
+        except Exception as exc:
             if requested == "libclang":
-                print("atscale-lint: libclang requested but unavailable; "
-                      "falling back to the regex engine", file=sys.stderr)
+                # The caller demanded the AST engine (CI does): a silent
+                # regex fallback would let the stronger analysis rot
+                # unnoticed, so refuse loudly instead.
+                print("atscale-lint: --engine=libclang requires the "
+                      "python clang bindings (python3-clang), which "
+                      "failed to load: %s — install them or pass "
+                      "--engine=auto/regex" % exc, file=sys.stderr)
+                sys.exit(2)
     return RegexEngine()
+
+
+def parse_suppression_budget(spec):
+    """Parse a --max-suppressions spec: a bare total ("10"), per-rule
+    caps ("R3=2,R10=0"), or both ("2,R3=2"). A per-rule cap bounds that
+    rule's suppressions; rules without a cap fall under the total only.
+    Returns (total or None, {rule: cap})."""
+    total = None
+    per_rule = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" in token:
+            rule, _, count = token.partition("=")
+            rule = rule.strip().upper()
+            if not re.fullmatch(r"R\d+", rule):
+                raise ValueError("bad rule name %r in --max-suppressions"
+                                 % rule)
+            per_rule[rule] = int(count)
+        else:
+            total = int(token)
+    return total, per_rule
 
 
 def apply_suppressions(findings, files_by_path):
@@ -779,13 +1481,20 @@ def main(argv=None):
                              "against it)")
     parser.add_argument("--engine", choices=["auto", "libclang", "regex"],
                         default="auto")
-    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6,R7,R8,R9",
+    parser.add_argument("--rules",
+                        default="R1,R2,R3,R4,R5,R6,R7,R8,R9,R10,R11,R12",
                         help="comma-separated subset of rules to run")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as JSON")
-    parser.add_argument("--max-suppressions", type=int, default=None,
-                        help="fail if the repo carries more than N "
-                             "suppressions (CI uses 10)")
+    parser.add_argument("--max-suppressions", default=None,
+                        help="suppression budget: a total (\"10\"), "
+                             "per-rule caps (\"R3=2,R10=0\"), or both "
+                             "(\"2,R3=2\"); exceeding any bound fails "
+                             "the run (CI uses \"2,R3=2\")")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write a JSON report (engine, counts, "
+                             "findings) to PATH — CI uploads it as the "
+                             "lint artifact")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the summary and failures")
     args = parser.parse_args(argv)
@@ -793,7 +1502,13 @@ def main(argv=None):
     root = os.path.abspath(args.root)
     paths = args.paths or [d for d in SCAN_DIRS
                            if os.path.isdir(os.path.join(root, d))]
-    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    try:
+        budget_total, budget_per_rule = parse_suppression_budget(
+            args.max_suppressions) if args.max_suppressions is not None \
+            else (None, {})
+    except ValueError as exc:
+        parser.error(str(exc))
 
     rels = discover(root, paths)
     files = [load_file(root, rel) for rel in rels]
@@ -803,19 +1518,17 @@ def main(argv=None):
     findings = []
     per_file_checks = {"R1": "check_r1", "R2": "check_r2",
                        "R4": "check_r4", "R5": "check_r5",
-                       "R6": "check_r6"}
+                       "R6": "check_r6", "R11": "check_r11",
+                       "R12": "check_r12"}
     for sf in files:
         for rule, method in per_file_checks.items():
             if rule in rules and in_scope(rule, sf.path):
                 findings.extend(getattr(engine, method)(sf))
-    if "R3" in rules:
-        findings.extend(engine.check_r3(files))
-    if "R7" in rules:
-        findings.extend(engine.check_r7(files))
-    if "R8" in rules:
-        findings.extend(engine.check_r8(files))
-    if "R9" in rules:
-        findings.extend(engine.check_r9(files))
+    for rule, method in (("R3", "check_r3"), ("R7", "check_r7"),
+                         ("R8", "check_r8"), ("R9", "check_r9"),
+                         ("R10", "check_r10")):
+        if rule in rules:
+            findings.extend(getattr(engine, method)(files))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     apply_suppressions(findings, files_by_path)
@@ -836,12 +1549,34 @@ def main(argv=None):
     status = 0
     if unsuppressed:
         status = 1
-    if args.max_suppressions is not None and \
-            len(suppressed) > args.max_suppressions:
+    if budget_total is not None and len(suppressed) > budget_total:
         print("atscale-lint: %d suppressions exceed the budget of %d — "
               "fix some findings or raise the budget deliberately"
-              % (len(suppressed), args.max_suppressions), file=sys.stderr)
+              % (len(suppressed), budget_total), file=sys.stderr)
         status = 1
+    for rule in sorted(budget_per_rule):
+        count = sum(1 for f in suppressed if f.rule == rule)
+        if count > budget_per_rule[rule]:
+            print("atscale-lint: %d %s suppression(s) exceed that "
+                  "rule's budget of %d" % (count, rule,
+                                           budget_per_rule[rule]),
+                  file=sys.stderr)
+            status = 1
+
+    if args.report is not None:
+        report = {
+            "engine": engine.name,
+            "files": len(files),
+            "rules": rules,
+            "unsuppressed": len(unsuppressed),
+            "suppressed": len(suppressed),
+            "budget": {"total": budget_total, "per_rule": budget_per_rule},
+            "status": status,
+            "findings": [f.__dict__ for f in findings],
+        }
+        with open(args.report, "w", encoding="utf-8") as out:
+            json.dump(report, out, indent=2)
+            out.write("\n")
     return status
 
 

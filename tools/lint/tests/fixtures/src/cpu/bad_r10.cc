@@ -1,0 +1,33 @@
+// R10 fixture: cycle charges that bypass the Eq-1 decomposition. The
+// class registers stats, but busyCycles_ and idleStallCycles_ are
+// accumulated and never reach a registered counter, an Eq-1 counter
+// publication, or an `eq1: model-state` annotation — orphan charges,
+// the static twin of the runtime CycleLedger assertion.
+namespace atscale_fixture
+{
+
+class StatsRegistry;
+
+class OrphanTimer
+{
+  public:
+    void
+    tick(double cycles)
+    {
+        busyCycles_ += cycles;
+        idleStallCycles_ += cycles * 0.5;
+    }
+
+    void
+    registerStats(StatsRegistry &registry, const char *prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
+
+  private:
+    double busyCycles_ = 0.0;
+    double idleStallCycles_ = 0.0;
+};
+
+} // namespace atscale_fixture

@@ -1,0 +1,38 @@
+// R11 fixture: three determinism hazards. (a) a pointer-keyed map
+// iterates in address order, different every run; (b) float
+// accumulation in a merge path depends on merge order; (c) a
+// result-shaped struct mixes initialized flags with silently
+// uninitialized accounting scalars.
+#include <map>
+
+namespace atscale_fixture
+{
+
+class Region;
+
+class RegionStats
+{
+  public:
+    void account(Region *region, double weight);
+
+  private:
+    std::map<Region *, double> weights_;
+};
+
+struct PartialResult
+{
+    bool valid = false;
+    double cycles;
+    long accesses;
+};
+
+double
+mergeWindows(const double *values, int count)
+{
+    double sum = 0.0;
+    for (int i = 0; i < count; ++i)
+        sum += values[i];
+    return sum;
+}
+
+} // namespace atscale_fixture

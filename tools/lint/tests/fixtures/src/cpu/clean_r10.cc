@@ -1,0 +1,51 @@
+// R10 clean: every cycle accumulator flows into the decomposition —
+// walkCycles_ is registered by name in registerStats, execCycles_ is
+// published into an Eq-1 counter through a one-hop alias, and
+// pressureStall_ carries the `eq1: model-state` annotation.
+namespace atscale_fixture
+{
+
+class StatsRegistry;
+enum class EventId { CpuClkUnhalted };
+struct FixtureCounters
+{
+    void add(EventId id, double v);
+};
+
+class LedgeredTimer
+{
+  public:
+    void
+    tick(double cycles)
+    {
+        walkCycles_ += cycles;
+        execCycles_ += cycles;
+        pressureStall_ += cycles * 0.01;
+    }
+
+    void
+    publish()
+    {
+        double delta = execCycles_;
+        counters_.add(EventId::CpuClkUnhalted, delta);
+    }
+
+    void
+    registerStats(StatsRegistry &registry, const char *prefix)
+    {
+        registerScalar(registry, prefix, ".walk_cycles", walkCycles_);
+    }
+
+  private:
+    void registerScalar(StatsRegistry &registry, const char *prefix,
+                        const char *name, double value);
+
+    FixtureCounters counters_;
+    double walkCycles_ = 0.0;
+    double execCycles_ = 0.0;
+    /** Stall-pressure EWMA input.
+     * eq1: model-state — feeds the speculation model, never published. */
+    double pressureStall_ = 0.0;
+};
+
+} // namespace atscale_fixture

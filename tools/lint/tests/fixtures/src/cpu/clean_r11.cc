@@ -1,0 +1,40 @@
+// R11 clean: a value-keyed map (stable iteration order), an integer
+// merge accumulator (order-independent), and a result struct whose
+// uninitialized fields are documented as deliberate.
+#include <cstdint>
+#include <map>
+
+namespace atscale_fixture
+{
+
+class ValueStats
+{
+  public:
+    void account(std::uint64_t vpn, double weight);
+
+  private:
+    std::map<std::uint64_t, double> weights_;
+};
+
+/**
+ * Mixed initialization, documented: the accounting fields are
+ * deliberately left uninitialized and are meaningful only when valid
+ * is set — the WalkResult pattern (mmu/walker.hh).
+ */
+struct DocumentedResult
+{
+    bool valid = false;
+    double cycles;
+    long accesses;
+};
+
+long
+mergeCounts(const long *values, int count)
+{
+    long sum = 0;
+    for (int i = 0; i < count; ++i)
+        sum += values[i];
+    return sum;
+}
+
+} // namespace atscale_fixture

@@ -1,0 +1,25 @@
+// R10 suppressed: a deliberate orphan charge with an in-place reason —
+// the accumulator feeds a debug probe, not the Eq-1 accounting, and the
+// suppression makes that reviewable at the charge site.
+namespace atscale_fixture
+{
+
+class StatsRegistry;
+
+class SuppressedTimer
+{
+  public:
+    void
+    tick(double cycles)
+    {
+        // atscale-lint: allow(R10 probe-tool scratch accumulator, not Eq-1 accounting)
+        probeCycles_ += cycles;
+    }
+
+    void registerStats(StatsRegistry &registry, const char *prefix);
+
+  private:
+    double probeCycles_ = 0.0;
+};
+
+} // namespace atscale_fixture

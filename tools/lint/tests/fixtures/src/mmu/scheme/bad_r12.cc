@@ -1,0 +1,40 @@
+// R12 fixture: a translation backend that violates the scheme seam —
+// it mutates platform state through an undocumented AddressSpace call,
+// charges walk cycles into storage it owns instead of the walkSlot,
+// and publishes counters directly instead of letting the Core do it.
+namespace atscale_fixture
+{
+
+struct WalkOut
+{
+    unsigned long cycles = 0;
+};
+
+class RogueScheme
+{
+  public:
+    void
+    translate(unsigned long vaddr)
+    {
+        space_.remapPage(vaddr);
+        scratch_.cycles += 40;
+        publishCycles(40);
+    }
+
+    void chargeCycles(unsigned long cycles);
+
+  private:
+    void
+    publishCycles(unsigned long cycles)
+    {
+        chargeCycles(cycles);
+    }
+
+    struct Space
+    {
+        void remapPage(unsigned long);
+    } space_;
+    WalkOut scratch_;
+};
+
+} // namespace atscale_fixture

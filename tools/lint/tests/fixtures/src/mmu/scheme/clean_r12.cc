@@ -1,0 +1,46 @@
+// R12 clean: a backend that stays inside the seam — platform state is
+// touched only through documented calls, walk cost goes through the
+// walkSlot()-provided WalkResult, and extra scheme cost through the
+// MmuResult fields the contract sanctions.
+namespace atscale_fixture
+{
+
+struct WalkResult
+{
+    unsigned long cycles = 0;
+};
+
+struct MmuResult
+{
+    unsigned long schemeExtraCycles = 0;
+    unsigned long tlbExtraLatency = 0;
+};
+
+class SeamScheme
+{
+  public:
+    void
+    translate(unsigned long vaddr, MmuResult &result)
+    {
+        space_.touch(vaddr);
+        hierarchy_.access(vaddr);
+        WalkResult &walk = walkSlot(result);
+        walk.cycles += 40;
+        result.schemeExtraCycles = 2;
+        result.tlbExtraLatency = 1;
+    }
+
+  private:
+    static WalkResult &walkSlot(MmuResult &result);
+
+    struct Space
+    {
+        void touch(unsigned long);
+    } space_;
+    struct Hierarchy
+    {
+        void access(unsigned long);
+    } hierarchy_;
+};
+
+} // namespace atscale_fixture

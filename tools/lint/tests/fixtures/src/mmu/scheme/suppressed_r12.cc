@@ -1,0 +1,24 @@
+// R12 suppressed: an out-of-seam call with an in-place justification —
+// a read-only diagnostics probe that mutates nothing, documented where
+// the contract is bent.
+namespace atscale_fixture
+{
+
+class ProbeScheme
+{
+  public:
+    void
+    probe(unsigned long vaddr)
+    {
+        // atscale-lint: allow(R12 read-only diagnostics probe, mutates no platform state)
+        space_.dumpStats(vaddr);
+    }
+
+  private:
+    struct Space
+    {
+        void dumpStats(unsigned long);
+    } space_;
+};
+
+} // namespace atscale_fixture

@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
 """Self-test for atscale-lint: runs the tool over the checked-in
 fixtures and asserts the exact findings each rule must produce, that the
-clean fixture produces nothing, that suppressions are honoured, and that
-the suppression budget is enforced. Registered as a ctest (label: lint)
-so `ctest` alone exercises the tool.
+clean fixtures produce nothing, that suppressions are honoured (globally
+and per rule), and that the suppression budget is enforced. Registered
+as a ctest (label: lint) so `ctest` alone exercises the tool.
 
 Runs with --engine=regex: the fixtures are self-contained snippets and
-the regex engine is the one guaranteed present everywhere; the libclang
-engine is exercised opportunistically in CI where python3-clang exists.
+the regex engine is the one guaranteed present everywhere. Where the
+python clang bindings are importable (CI installs python3-clang), the
+suite additionally runs the libclang engine over the same corpus and
+asserts both engines report the identical (file, rule, line) set — the
+divergence self-test that keeps the two implementations honest. It also
+checks that the R10 rule's Eq-1 component vocabulary has not drifted
+from the runtime ledger's (src/obs/ledger.cc).
 """
 
 import json
 import os
+import re
 import subprocess
 import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 TOOL = os.path.join(HERE, os.pardir, "atscale_lint.py")
 FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir, os.pardir))
 
 failures = []
 passes = []
@@ -32,9 +39,9 @@ def check(name, condition, detail=""):
         print("FAIL %s %s" % (name, detail))
 
 
-def run_lint(*extra):
+def run_lint(*extra, engine="regex"):
     proc = subprocess.run(
-        [sys.executable, TOOL, "--root", FIXTURES, "--engine", "regex",
+        [sys.executable, TOOL, "--root", FIXTURES, "--engine", engine,
          "--json", *extra],
         capture_output=True, text=True)
     try:
@@ -43,6 +50,15 @@ def run_lint(*extra):
         print("unparseable tool output:\n%s\n%s" % (proc.stdout, proc.stderr))
         sys.exit(2)
     return proc.returncode, findings
+
+
+def libclang_available():
+    try:
+        import clang.cindex  # noqa: optional, CI-only
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
 
 
 def by_file(findings):
@@ -71,6 +87,9 @@ def main():
         "bad_r7.cc": ("R7", 2),  # unmapped event + short name table
         "bad_r8.cc": ("R8", 2),  # two unregistered schemes (one silent)
         "bad_r9.cc": ("R9", 2),  # marked class + undocumented holder
+        "bad_r10.cc": ("R10", 2),  # two orphan cycle charges
+        "bad_r11.cc": ("R11", 4),  # ptr map + 2 uninit scalars + float merge
+        "bad_r12.cc": ("R12", 4),  # rogue seam + scratch cycles + 2 charges
     }
     for fixture, (rule, min_lines) in sorted(expectations.items()):
         got = grouped.get(fixture, [])
@@ -83,9 +102,11 @@ def main():
         check("%s findings are unsuppressed" % fixture,
               all(not f["suppressed"] for f in got))
 
-    clean = grouped.get("good_clean.cc", [])
-    check("good_clean.cc produces no findings", not clean,
-          "got %s" % [(f["rule"], f["line"]) for f in clean])
+    for clean_name in ("good_clean.cc", "clean_r10.cc", "clean_r11.cc",
+                       "clean_r12.cc"):
+        clean = grouped.get(clean_name, [])
+        check("%s produces no findings" % clean_name, not clean,
+              "got %s" % [(f["rule"], f["line"]) for f in clean])
 
     sup = grouped.get("suppressed_ok.cc", [])
     check("suppressed_ok.cc finding is counted", len(sup) == 1,
@@ -94,6 +115,16 @@ def main():
           all(f["suppressed"] for f in sup))
     check("suppression reason is reported",
           all("layout-compatible" in f["reason"] for f in sup))
+
+    for sup_name, rule in (("suppressed_r10.cc", "R10"),
+                           ("suppressed_r11.cc", "R11"),
+                           ("suppressed_r12.cc", "R12")):
+        got = grouped.get(sup_name, [])
+        check("%s finding is counted and suppressed" % sup_name,
+              len(got) == 1 and got[0]["suppressed"]
+              and got[0]["rule"] == rule,
+              "got %s" % [(f["rule"], f["line"], f["suppressed"])
+                          for f in got])
 
     # The suppression budget: generous budget passes the suppressed
     # fixture through, zero budget rejects it.
@@ -106,6 +137,17 @@ def main():
     check("suppression budget of 0 is enforced", code_over == 1,
           "exit=%d" % code_over)
 
+    # Per-rule budgets: a generous total with a zero cap on the specific
+    # rule still rejects, and a per-rule allowance admits exactly it.
+    code_rule_over, _ = run_lint("--rules", "R5", "--max-suppressions",
+                                 "5,R5=0", "src/suppressed_ok.cc")
+    check("per-rule budget of 0 is enforced", code_rule_over == 1,
+          "exit=%d" % code_rule_over)
+    code_rule_ok, _ = run_lint("--rules", "R5", "--max-suppressions",
+                               "1,R5=1", "src/suppressed_ok.cc")
+    check("per-rule allowance admits the suppression", code_rule_ok == 0,
+          "exit=%d" % code_rule_ok)
+
     # Rule scoping: R1 only applies under src/ of the scanned root, so
     # scanning the fixture root's bench/-less tree via an explicit path
     # keeps non-src files quiet. (bad_r1 lives in src/, so restricting
@@ -114,6 +156,63 @@ def main():
     files_r1 = {os.path.basename(f["path"]) for f in findings_r1}
     check("R1 findings confined to the R1 fixture",
           files_r1 == {"bad_r1.cc"}, "files=%s" % sorted(files_r1))
+
+    # New-rule scoping: R10-R12 reach only their src/ subdirectories, so
+    # the top-level fixtures (bad_r1..r9 etc.) stay quiet under them.
+    _, findings_new = run_lint("--rules", "R10,R11,R12")
+    out_of_scope = {f["path"] for f in findings_new
+                    if not f["path"].replace(os.sep, "/").startswith(
+                        ("src/cpu/", "src/mmu/", "src/sys/", "src/cache/"))}
+    check("R10-R12 findings confined to their subdirectory scopes",
+          not out_of_scope, "paths=%s" % sorted(out_of_scope))
+
+    # Vocabulary drift: the static rule and the runtime ledger must
+    # agree on the Eq-1 component table, or R10's notion of "reaches the
+    # decomposition" quietly diverges from what the ledger asserts.
+    sys.path.insert(0, os.path.dirname(TOOL))
+    import atscale_lint
+    ledger_cc = os.path.join(REPO, "src", "obs", "ledger.cc")
+    if os.path.exists(ledger_cc):
+        with open(ledger_cc, encoding="utf-8") as f:
+            text = f.read()
+        case_re = re.compile(r"case CycleComponent::(\w+):\s*return\s*"
+                             r'"([\w?]+)";')
+
+        def switch_table(function_name):
+            start = text.find(function_name + "(CycleComponent")
+            end = text.find("\n}", start)
+            return dict(case_re.findall(text[start:end]))
+
+        names = switch_table("cycleComponentName")
+        roles = switch_table("cycleComponentEq1Role")
+        ledger_table = {names[comp]: roles[comp] for comp in names
+                        if comp in roles}
+        check("R10's Eq-1 component table matches the runtime ledger",
+              ledger_table == atscale_lint.R10_LEDGER_COMPONENTS,
+              "ledger.cc=%s lint=%s" % (
+                  sorted(ledger_table.items()),
+                  sorted(atscale_lint.R10_LEDGER_COMPONENTS.items())))
+    else:
+        check("src/obs/ledger.cc exists for the drift check", False,
+              "missing %s" % ledger_cc)
+
+    # Engine divergence self-test: where the clang bindings exist, both
+    # engines must report the identical (file, rule, line) set over the
+    # fixture corpus. Skipped (not silently passed) where they do not.
+    if libclang_available():
+        _, regex_findings = run_lint()
+        _, clang_findings = run_lint(engine="libclang")
+        as_keys = lambda fs: {  # noqa: E731
+            (f["path"], f["rule"], f["line"]) for f in fs}
+        missing = as_keys(regex_findings) - as_keys(clang_findings)
+        extra = as_keys(clang_findings) - as_keys(regex_findings)
+        check("regex and libclang engines agree on the fixtures",
+              not missing and not extra,
+              "regex-only=%s libclang-only=%s" % (sorted(missing),
+                                                  sorted(extra)))
+    else:
+        print("skip engine-agreement check (python clang bindings "
+              "unavailable; CI runs it)")
 
     print("%d check(s), %d failure(s)" % (len(passes) + len(failures),
                                           len(failures)))
