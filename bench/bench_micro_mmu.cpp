@@ -133,6 +133,68 @@ BM_MmuTranslateSequential(benchmark::State &state)
 }
 BENCHMARK(BM_MmuTranslateSequential)->ArgName("fastpath")->Arg(1)->Arg(0);
 
+/**
+ * Batch-translate A/B: the same streams as the scalar pair above, pushed
+ * through Mmu::translateBatch in 256-reference chunks (the core's fetch
+ * granularity). Sequential streams coalesce into equal-page runs (64
+ * references per page at cache-line stride), so the per-reference cost
+ * collapses to ~1/64 of a scalar fast-path translate; random streams
+ * degenerate to scalar-plus-prefetch and bound the overhead of the batch
+ * machinery itself. ns/op is per *reference*, directly comparable to the
+ * scalar benchmarks.
+ */
+void
+BM_MmuTranslateBatchSequential(benchmark::State &state)
+{
+    MmuRig rig(state.range(0) != 0);
+    // The whole wrap period of the scalar sequential stream (64
+    // references per page over 4096 pages), generated once outside the
+    // timing: chunk production belongs to the workload generator, and
+    // the scalar pair charges only the translate call too. One timed
+    // pass = one 256-reference chunk, counted as 256 iterations
+    // (KeepRunningBatch), so ns/op stays the per-reference cost.
+    std::vector<Addr> stream(4096 * 64);
+    Addr va = rig.base;
+    for (Addr &slot : stream) {
+        slot = va;
+        va += 64;
+    }
+    std::array<MmuResult, 256> results;
+    std::size_t at = 0;
+    while (state.KeepRunningBatch(256)) {
+        rig.mmu.translateBatch(std::span(stream.data() + at, 256), results);
+        at = (at + 256) % stream.size();
+        benchmark::DoNotOptimize(results.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MmuTranslateBatchSequential)
+    ->ArgName("fastpath")->Arg(1)->Arg(0);
+
+void
+BM_MmuTranslateBatchRandom(benchmark::State &state)
+{
+    MmuRig rig(state.range(0) != 0);
+    Rng rng(1);
+    // A long pre-generated uniform-random ring over the same 4096 pages
+    // as the scalar random bench; runs degenerate to length 1 so this
+    // bounds the batch machinery's overhead on uncoalescible streams.
+    std::vector<Addr> stream(4096 * 64);
+    for (Addr &slot : stream)
+        slot = rig.base + (rng.below(4096) << pageShift4K);
+    std::array<MmuResult, 256> results;
+    std::size_t at = 0;
+    while (state.KeepRunningBatch(256)) {
+        rig.mmu.translateBatch(std::span(stream.data() + at, 256), results);
+        at = (at + 256) % stream.size();
+        benchmark::DoNotOptimize(results.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MmuTranslateBatchRandom)->ArgName("fastpath")->Arg(1)->Arg(0);
+
 } // namespace
 
 int

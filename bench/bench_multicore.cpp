@@ -11,7 +11,7 @@
  *
  * Output: a per-tenant table, a CSV, and one machine-readable
  * `[multicore-summary] <point> cpi=<v> wcpi=<v> shootdowns=<n>` line
- * per point for tools/bench/record_bench.py (BENCH_08.json).
+ * per point for tools/bench/record_bench.py (BENCH_10.json).
  */
 
 #include <iostream>

@@ -179,6 +179,34 @@ class SetAssocCache
     /** Replay the miss bookkeeping of access() (no replacement change). */
     void noteMiss() { ++misses_; }
 
+    /**
+     * Replay n consecutive touchHit() calls on the same validated
+     * (set, way) in O(1). Equivalent to calling touchHit() n times with
+     * no intervening operations: under LRU each touch advances the clock
+     * and restamps the same way, so only the final clock value matters;
+     * tree-PLRU touches are idempotent per way; Random keeps no recency.
+     */
+    void
+    touchHitRun(std::uint32_t set, std::uint32_t way, Count n)
+    {
+        switch (geom_.policy) {
+          case ReplPolicy::Lru:
+            clock_ += n;
+            stamps_[static_cast<std::size_t>(set) * geom_.ways + way] =
+                clock_;
+            break;
+          case ReplPolicy::TreePlru:
+            touchPlru(set, way);
+            break;
+          case ReplPolicy::Random:
+            break;
+        }
+        hits_ += n;
+    }
+
+    /** Replay n consecutive noteMiss() calls in O(1). */
+    void noteMissRun(Count n) { misses_ += n; }
+
     /** Invoke fn(set, way, tag) for every valid entry (diff testing). */
     template <typename Fn>
     void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/multicore.hh"
+#include "core/ref_stream_store.hh"
 #include "core/run_cache.hh"
 #include "obs/session.hh"
 #include "util/logging.hh"
@@ -74,6 +75,12 @@ runExperiment(const RunSpec &spec, const PlatformParams &params,
     wl_config.mode = spec.mode;
     std::unique_ptr<RefSource> stream =
         workload->instantiate(platform.space, wl_config);
+    // Record/replay interposition (no-op unless ATSCALE_STREAM_DIR is
+    // set): replayed, recorded, and plain streams are bit-identical.
+    // The post-instantiate vmas are the rebase target — recordings made
+    // under a different page size carry different region bases.
+    stream = wrapWithStreamStore(std::move(stream), spec, observing,
+                                 platform.space.vmas());
 
     if (observing) {
         platform.registerStats(obs->registry());

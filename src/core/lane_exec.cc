@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "core/ref_stream_store.hh"
 #include "core/run_cache.hh"
 #include "obs/session.hh"
 #include "util/logging.hh"
@@ -224,6 +225,14 @@ runLaneGroup(const std::vector<LaneJob> &lanes, const LaneProbe &probe)
     wl_config.mode = lead.mode;
     std::unique_ptr<RefSource> stream =
         primary.workload->instantiate(primary.platform->space, wl_config);
+    // Record/replay interposition, as runExperiment does. Any observing
+    // lane disables replay: the stream registers its cursors as workload
+    // stats, and a replayed generator never advances them.
+    bool any_observing = false;
+    for (const LaneState &lane : group)
+        any_observing = any_observing || lane.observing;
+    stream = wrapWithStreamStore(std::move(stream), lead, any_observing,
+                                 primary.platform->space.vmas());
     RefChunkFanout fanout(*stream);
 
     // Replay the primary's region reservations into every other lane's
@@ -274,8 +283,11 @@ runLaneGroup(const std::vector<LaneJob> &lanes, const LaneProbe &probe)
         if (consumed >= total)
             return;
         // advance() returning short (or zero) means the stream is
-        // exhausted; the final round hands out what remains.
-        take = std::min(fanout.advance(), total - consumed);
+        // exhausted; the final round hands out what remains. The cap
+        // keeps the shared stream's final position identical to a
+        // standalone run's (advance never starts a chunk past the
+        // quota).
+        take = std::min(fanout.advance(total - consumed), total - consumed);
         consumed += take;
     };
     advanceShared(); // first chunk, before the workers exist

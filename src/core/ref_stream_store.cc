@@ -1,0 +1,547 @@
+#include "core/ref_stream_store.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <vector>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "vm/address_space.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+constexpr std::uint64_t streamMagic = 0x4d5453464552'5441ull; // "ATREFSTM"
+// v2: region table after the identity; vaddrs rebase at replay.
+constexpr std::uint32_t streamVersion = 2;
+
+/** One mapRegion reservation, as the file records it. */
+struct RegionExtent
+{
+    Addr base;
+    std::uint64_t size;
+};
+
+std::vector<RegionExtent>
+regionExtents(const std::vector<Vma> &vmas)
+{
+    std::vector<RegionExtent> extents;
+    extents.reserve(vmas.size());
+    for (const Vma &vma : vmas)
+        extents.push_back(RegionExtent{vma.base, vma.size});
+    return extents;
+}
+
+// --- Byte-stream primitives ---------------------------------------------
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+/** LEB128: 7 value bits per byte, high bit = continuation. */
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/** Zigzag: small deltas of either sign become small varints. */
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** Bounds-checked reader over a loaded file; any overrun poisons it. */
+struct ByteReader
+{
+    const unsigned char *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    take(void *out, std::size_t n)
+    {
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(out, data + pos, n);
+        pos += n;
+        return true;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (!ok || pos >= size) {
+                ok = false;
+                return 0;
+            }
+            unsigned char byte = data[pos++];
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        ok = false;
+        return 0;
+    }
+};
+
+// --- Decoded stream -----------------------------------------------------
+
+/**
+ * A fully decoded recording: the chunk-flattened reference sequence plus
+ * the per-chunk lengths and wrong-path anchors. Only the final chunk may
+ * be short (a short fill signals exhaustion, which ends the recording).
+ */
+struct StreamData
+{
+    std::vector<Ref> refs;
+    std::vector<Count> chunkLens;
+    std::vector<std::uint64_t> anchors;
+};
+
+std::optional<StreamData>
+loadStream(const std::string &path, const std::string &identity,
+           const std::vector<RegionExtent> &replay)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+
+    // Trailing checksum covers everything before it; a mismatch means a
+    // torn or corrupt file and is treated as a miss.
+    if (bytes.size() < sizeof(std::uint64_t))
+        return std::nullopt;
+    std::size_t body = bytes.size() - sizeof(std::uint64_t);
+    std::uint64_t want = 0;
+    std::memcpy(&want, bytes.data() + body, sizeof(want));
+    if (fnv1a(std::string_view(bytes.data(), body)) != want)
+        return std::nullopt;
+
+    ByteReader r{reinterpret_cast<const unsigned char *>(bytes.data()),
+                 body};
+    if (r.u64() != streamMagic || r.u32() != streamVersion)
+        return std::nullopt;
+    std::uint32_t id_len = r.u32();
+    if (!r.ok || r.size - r.pos < id_len)
+        return std::nullopt;
+    if (std::string_view(bytes.data() + r.pos, id_len) != identity)
+        return std::nullopt;
+    r.pos += id_len;
+
+    // Region table: the identity excludes page size, so the recorder's
+    // layout may differ from this run's. Same reservation sequence
+    // (count and sizes) is required; bases are rebased per reference.
+    std::uint32_t num_regions = r.u32();
+    if (!r.ok || num_regions != replay.size())
+        return std::nullopt;
+    std::vector<RegionExtent> recorded(num_regions);
+    bool rebasing = false;
+    for (std::uint32_t i = 0; i < num_regions; ++i) {
+        recorded[i].base = r.u64();
+        recorded[i].size = r.u64();
+        if (!r.ok || recorded[i].size != replay[i].size)
+            return std::nullopt;
+        rebasing = rebasing || recorded[i].base != replay[i].base;
+    }
+
+    std::uint64_t total_refs = r.u64();
+    std::uint64_t num_chunks = r.u64();
+    if (!r.ok || num_chunks > (total_refs / refStreamChunk) + 1)
+        return std::nullopt;
+
+    StreamData data;
+    data.refs.reserve(total_refs);
+    data.chunkLens.reserve(num_chunks);
+    data.anchors.reserve(num_chunks);
+    // Rebase cursor: references cluster by region, so the previous hit
+    // is almost always the next one too.
+    std::uint32_t region = 0;
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+        std::uint32_t len = r.u32();
+        std::uint64_t anchor = r.u64();
+        if (!r.ok || len > refStreamChunk)
+            return std::nullopt;
+        // A short chunk is only legal at the end (recorded exhaustion).
+        if (c + 1 < num_chunks && len != refStreamChunk)
+            return std::nullopt;
+        std::size_t base = data.refs.size();
+        data.refs.resize(base + len);
+        std::uint64_t prev = 0;
+        for (std::uint32_t i = 0; i < len; ++i) {
+            // Deltas chain in the recorder's layout; only the stored
+            // vaddr is rebased.
+            prev = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(prev) + unzigzag(r.varint()));
+            Addr vaddr = prev;
+            if (rebasing) {
+                if (vaddr - recorded[region].base >= recorded[region].size) {
+                    region = 0;
+                    while (region < num_regions &&
+                           vaddr - recorded[region].base >=
+                               recorded[region].size)
+                        ++region;
+                    // A reference outside every recorded region cannot
+                    // be relocated: treat the file as unusable.
+                    if (region == num_regions)
+                        return std::nullopt;
+                }
+                vaddr = replay[region].base +
+                        (vaddr - recorded[region].base);
+            }
+            data.refs[base + i].vaddr = vaddr;
+        }
+        for (std::uint32_t i = 0; i < len; ++i) {
+            data.refs[base + i].instGap =
+                static_cast<std::uint32_t>(r.varint());
+        }
+        for (std::uint32_t i = 0; i < len; i += 8) {
+            unsigned char bits = 0;
+            r.take(&bits, 1);
+            for (std::uint32_t b = 0; b < 8 && i + b < len; ++b)
+                data.refs[base + i + b].isStore = (bits >> b) & 1;
+        }
+        if (!r.ok)
+            return std::nullopt;
+        data.chunkLens.push_back(len);
+        data.anchors.push_back(anchor);
+    }
+    if (!r.ok || r.pos != r.size || data.refs.size() != total_refs)
+        return std::nullopt;
+    return data;
+}
+
+void
+encodeChunk(std::string &out, const Ref *refs, Count len,
+            std::uint64_t anchor)
+{
+    putU32(out, static_cast<std::uint32_t>(len));
+    putU64(out, anchor);
+    std::uint64_t prev = 0;
+    for (Count i = 0; i < len; ++i) {
+        out.reserve(out.size() + 10);
+        putVarint(out, zigzag(static_cast<std::int64_t>(refs[i].vaddr -
+                                                        prev)));
+        prev = refs[i].vaddr;
+    }
+    for (Count i = 0; i < len; ++i)
+        putVarint(out, refs[i].instGap);
+    for (Count i = 0; i < len; i += 8) {
+        unsigned char bits = 0;
+        for (Count b = 0; b < 8 && i + b < len; ++b)
+            bits |= static_cast<unsigned char>(refs[i + b].isStore) << b;
+        out.push_back(static_cast<char>(bits));
+    }
+}
+
+void
+writeStream(const std::string &path, const std::string &identity,
+            const std::vector<RegionExtent> &regions, const StreamData &data)
+{
+    std::string bytes;
+    // Varint columns usually land well under 4 bytes per ref.
+    bytes.reserve(data.refs.size() * 6 + data.chunkLens.size() * 16 + 64);
+    putU64(bytes, streamMagic);
+    putU32(bytes, streamVersion);
+    putU32(bytes, static_cast<std::uint32_t>(identity.size()));
+    bytes.append(identity);
+    putU32(bytes, static_cast<std::uint32_t>(regions.size()));
+    for (const RegionExtent &region : regions) {
+        putU64(bytes, region.base);
+        putU64(bytes, region.size);
+    }
+    putU64(bytes, data.refs.size());
+    putU64(bytes, data.chunkLens.size());
+    std::size_t base = 0;
+    for (std::size_t c = 0; c < data.chunkLens.size(); ++c) {
+        encodeChunk(bytes, data.refs.data() + base, data.chunkLens[c],
+                    data.anchors[c]);
+        base += static_cast<std::size_t>(data.chunkLens[c]);
+    }
+    putU64(bytes, fnv1a(bytes));
+
+    // Same atomicity discipline as the run cache: unique temp in the
+    // same directory, then rename; concurrent recorders of one identity
+    // produce byte-identical files, so last-rename-wins is harmless.
+    ::mkdir(refStreamDir().c_str(), 0777); // best-effort, may exist
+    static std::atomic<unsigned> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
+// --- Recording tee ------------------------------------------------------
+
+/**
+ * Transparent tee over the live generator: forwards every call
+ * unchanged, accumulating whole fetch chunks and their anchors until the
+ * run's reference quota has streamed through, then writes the file.
+ * Recording silently cancels on anything that breaks the chunk-cadence
+ * invariant (a non-chunk fill size or a next() consumer) — the run is
+ * unaffected, the file just is not produced.
+ */
+class RecordingRefSource : public RefSource
+{
+  public:
+    RecordingRefSource(std::unique_ptr<RefSource> inner, std::string path,
+                       std::string identity,
+                       std::vector<RegionExtent> regions, Count targetRefs)
+        : inner_(std::move(inner)), path_(std::move(path)),
+          identity_(std::move(identity)), regions_(std::move(regions)),
+          target_(targetRefs)
+    {
+        data_.refs.reserve(static_cast<std::size_t>(
+            std::min<Count>(targetRefs + refStreamChunk, 1u << 26)));
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        recording_ = false;
+        return inner_->next(ref);
+    }
+
+    Count
+    fill(Ref *out, Count max) override
+    {
+        Count n = inner_->fill(out, max);
+        if (!recording_)
+            return n;
+        if (max != refStreamChunk) {
+            recording_ = false;
+            return n;
+        }
+        data_.refs.insert(data_.refs.end(), out, out + n);
+        data_.chunkLens.push_back(n);
+        data_.anchors.push_back(inner_->wrongPathAnchor());
+        recorded_ += n;
+        // Finalize at the quota — or at exhaustion, when the recorded
+        // prefix is the entire stream.
+        if (recorded_ >= target_ || n < refStreamChunk) {
+            writeStream(path_, identity_, regions_, data_);
+            recording_ = false;
+            data_ = StreamData{};
+        }
+        return n;
+    }
+
+    Addr wrongPathAddr(Rng &rng) override
+    {
+        return inner_->wrongPathAddr(rng);
+    }
+
+    bool supportsAnchors() const override
+    {
+        return inner_->supportsAnchors();
+    }
+
+    std::uint64_t wrongPathAnchor() const override
+    {
+        return inner_->wrongPathAnchor();
+    }
+
+    Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override
+    {
+        return inner_->wrongPathAddrAt(anchor, rng);
+    }
+
+    void
+    registerStats(StatsRegistry &registry,
+                  const std::string &prefix) const override
+    {
+        inner_->registerStats(registry, prefix);
+    }
+
+  private:
+    std::unique_ptr<RefSource> inner_;
+    std::string path_;
+    std::string identity_;
+    std::vector<RegionExtent> regions_;
+    // uint64 rather than Count: these are recording cursors, not
+    // statistics, and must not read as unregistered counters (lint R3).
+    std::uint64_t target_;
+    std::uint64_t recorded_ = 0;
+    bool recording_ = true;
+    StreamData data_;
+};
+
+// --- Replay -------------------------------------------------------------
+
+/**
+ * Serves a decoded recording chunk by chunk. The live generator is kept
+ * (never advanced) purely as the wrong-path oracle: draws go through
+ * wrongPathAddrAt() with the anchor recorded at the served chunk's
+ * boundary — the cursor state a standalone generator would have had
+ * while its consumer executed that chunk. Anchors pass through, so a
+ * replaying source can itself sit under a lane fan-out.
+ */
+class ReplayRefSource : public RefSource
+{
+  public:
+    ReplayRefSource(std::unique_ptr<RefSource> inner, StreamData data)
+        : inner_(std::move(inner)), data_(std::move(data))
+    {
+    }
+
+    bool
+    next(Ref &ref) override
+    {
+        (void)ref;
+        panic("replayed ref streams are chunk-granular; use fill()");
+    }
+
+    Count
+    fill(Ref *out, Count max) override
+    {
+        // The store key pins every field that sets the run's reference
+        // quota, so a matched consumer requests exactly the recorded
+        // fill sequence; past-the-end reads mean identity corruption.
+        panic_if(served_ >= data_.chunkLens.size(),
+                 "replayed ref stream over-read (recording/spec mismatch)");
+        cur_ = served_++;
+        Count len = data_.chunkLens[cur_];
+        panic_if(max < len, "replay fetch smaller than the recorded chunk");
+        const Ref *src =
+            data_.refs.data() + cur_ * static_cast<std::size_t>(
+                                           refStreamChunk);
+        std::copy_n(src, len, out);
+        return len;
+    }
+
+    Addr
+    wrongPathAddr(Rng &rng) override
+    {
+        return inner_->wrongPathAddrAt(data_.anchors[cur_], rng);
+    }
+
+    bool supportsAnchors() const override { return true; }
+
+    std::uint64_t wrongPathAnchor() const override
+    {
+        return data_.anchors[cur_];
+    }
+
+    Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override
+    {
+        return inner_->wrongPathAddrAt(anchor, rng);
+    }
+
+  private:
+    std::unique_ptr<RefSource> inner_;
+    StreamData data_;
+    /** Chunks handed out so far. */
+    std::size_t served_ = 0;
+    /** Chunk currently being executed by the consumer. */
+    std::size_t cur_ = 0;
+};
+
+} // namespace
+
+std::string
+refStreamDir()
+{
+    const char *dir = std::getenv("ATSCALE_STREAM_DIR");
+    return dir && *dir ? dir : "";
+}
+
+std::string
+refStreamPath(const RunSpec &spec)
+{
+    std::string dir = refStreamDir();
+    if (dir.empty())
+        return "";
+    return dir + "/" + spec.laneGroupKey() + ".refs";
+}
+
+std::unique_ptr<RefSource>
+wrapWithStreamStore(std::unique_ptr<RefSource> stream, const RunSpec &spec,
+                    bool observing, const std::vector<Vma> &regions)
+{
+    std::string path = refStreamPath(spec);
+    if (path.empty() || spec.mode != WorkloadMode::Model ||
+        spec.cores != 1 || !stream->supportsAnchors()) {
+        return stream;
+    }
+    std::string identity = spec.laneGroupKey();
+    std::vector<RegionExtent> extents = regionExtents(regions);
+    if (!observing) {
+        if (std::optional<StreamData> data =
+                loadStream(path, identity, extents)) {
+            return std::make_unique<ReplayRefSource>(std::move(stream),
+                                                     std::move(*data));
+        }
+    }
+    return std::make_unique<RecordingRefSource>(
+        std::move(stream), std::move(path), std::move(identity),
+        std::move(extents), spec.warmupRefs + spec.measureRefs);
+}
+
+} // namespace atscale

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * On-disk record/replay store for model-mode reference streams.
+ *
+ * Generating a reference stream is pure CPU work that every sweep, lane
+ * group, and validation rerun of the same spec repeats from scratch. The
+ * store memoizes it: the first run of a stream identity records every
+ * fetch chunk (and the generator's wrong-path anchor at each chunk
+ * boundary) into a columnar, delta-compressed file; later runs replay
+ * the chunks straight out of that file. Replay is exact by the anchor
+ * contract (cpu/ref_stream.hh): a recorded chunk plus its anchor
+ * reproduces both the references and every wrongPathAddr() draw a live
+ * generator would have produced while the consumer executed that chunk,
+ * so recorded, replayed, and plain runs are bit-identical.
+ *
+ * Identity and durability follow the run cache (core/run_cache.hh):
+ * files are keyed by RunSpec::laneGroupKey() — exactly the fields that
+ * select the stream — under the directory named by ATSCALE_STREAM_DIR
+ * (the sweep driver's --record-streams flag), written via unique temp
+ * name + rename so concurrent writers are safe, and verified by a
+ * trailing FNV-1a checksum on load: a torn, truncated, or stale-format
+ * file is simply a miss and the run falls back to recording.
+ *
+ * Region rebasing: the stream identity excludes the page size (lane
+ * groups share one stream across page-size lanes), but region base
+ * addresses depend on it — AddressSpace::mapRegion aligns each region
+ * to its effective page. Recorded files therefore carry the recorder's
+ * region table (base, size per mapRegion call, in order), and replay
+ * rebases every reference into the replaying run's own layout, exactly
+ * as LaneRefView does for lanes: generators emit base + layout-
+ * independent offsets, so base-to-base remapping reproduces the
+ * addresses a live generator would have produced in this space. A file
+ * whose region count or sizes disagree with the replaying space — or
+ * with a reference outside every recorded region — is a miss.
+ *
+ * On-disk format (host-endian; the store is a local cache, not an
+ * interchange format):
+ *
+ *   u64 magic, u32 version, u32 identity length, identity bytes,
+ *   u32 region count, per region u64 base + u64 size,
+ *   u64 total refs, u64 chunk count, then per chunk:
+ *     u32 refs in chunk, u64 wrong-path anchor,
+ *     vaddr column   — zigzag varint deltas (previous vaddr, 0 at
+ *                      chunk start),
+ *     instGap column — varints,
+ *     isStore column — bitmap, one bit per ref;
+ *   u64 FNV-1a checksum over everything above.
+ */
+
+#ifndef ATSCALE_CORE_REF_STREAM_STORE_HH
+#define ATSCALE_CORE_REF_STREAM_STORE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/run_spec.hh"
+#include "cpu/ref_stream.hh"
+
+namespace atscale
+{
+
+struct Vma;
+
+/**
+ * Directory holding recorded reference streams (ATSCALE_STREAM_DIR).
+ * Empty when the store is disabled, which is the default: stream files
+ * are only worth their disk when a workflow reruns the same specs.
+ */
+std::string refStreamDir();
+
+/** Store file for a spec's stream ("" when the store is disabled). */
+std::string refStreamPath(const RunSpec &spec);
+
+/**
+ * Interpose the store on a freshly instantiated workload stream.
+ *
+ * Returns the stream unchanged when the store cannot apply: disabled
+ * (no directory), non-model mode, multi-core specs (those consume
+ * per-tenant streams, not this one), or a stream without wrong-path
+ * anchor support. Otherwise returns a replaying source when a valid
+ * recording exists, else a recording tee that writes the file once the
+ * run's warm-up + measurement window has streamed through it.
+ *
+ * Replay is additionally skipped for observing runs: an observed run
+ * registers the stream's internal cursors as workload statistics, and a
+ * replayed generator never advances them. Recording is transparent
+ * (pure tee over the live generator), so observed runs still record.
+ *
+ * The inner stream must be the product of Workload::instantiate on the
+ * run's address space — instantiate() performs the region mappings, and
+ * replay keeps the instance for wrong-path draws via wrongPathAddrAt().
+ * `regions` is that space's post-instantiate vmas(): recorded into new
+ * files, and the rebase target when replaying existing ones.
+ */
+std::unique_ptr<RefSource>
+wrapWithStreamStore(std::unique_ptr<RefSource> stream, const RunSpec &spec,
+                    bool observing, const std::vector<Vma> &regions);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_REF_STREAM_STORE_HH

@@ -11,6 +11,7 @@
 #include "core/lane_exec.hh"
 #include "core/run_cache.hh"
 #include "core/run_export.hh"
+#include "core/sweep_partial.hh"
 #include "mmu/scheme/registry.hh"
 #include "util/logging.hh"
 
@@ -170,10 +171,80 @@ extractSweepFlags(int &argc, char **argv, std::string &error)
             setenv("ATSCALE_LANES", "1", 1);
             continue;
         }
+        if (arg == "--no-batch") {
+            // Escape hatch: disable the core's chunk translation screen
+            // (prefetch pass over freshly fetched chunks). Bit-identical
+            // either way; an A/B handle for perf triage.
+            setenv("ATSCALE_NO_BATCH", "1", 1);
+            continue;
+        }
+        if (arg == "--record-streams" ||
+            arg.rfind("--record-streams=", 0) == 0) {
+            // Enable the reference-stream record/replay store
+            // (core/ref_stream_store.hh) for every run this process
+            // makes, rooted at the given (or default) directory.
+            std::string dir = arg == "--record-streams"
+                                  ? "atscale_streams"
+                                  : arg.substr(std::string(
+                                                   "--record-streams=")
+                                                   .size());
+            if (dir.empty()) {
+                if (error.empty())
+                    error = "--record-streams=<dir> requires a directory";
+                continue;
+            }
+            setenv("ATSCALE_STREAM_DIR", dir.c_str(), 1);
+            continue;
+        }
+        if (arg.rfind("--shard=", 0) == 0) {
+            unsigned index = 0;
+            unsigned count = 0;
+            char trailing = 0;
+            int matched =
+                std::sscanf(arg.c_str() + std::string("--shard=").size(),
+                            "%u/%u%c", &index, &count, &trailing);
+            if (matched != 2 || count == 0 || index == 0 ||
+                index > count) {
+                if (error.empty())
+                    error = "--shard expects i/N with 1 <= i <= N";
+                continue;
+            }
+            // Environment-carried like --threads so every engine this
+            // process constructs partitions identically.
+            std::string value =
+                std::to_string(index) + "/" + std::to_string(count);
+            setenv("ATSCALE_SHARD", value.c_str(), 1);
+            continue;
+        }
+        if (arg.rfind("--shard", 0) == 0) {
+            if (error.empty())
+                error = "--shard requires =i/N";
+            continue;
+        }
         argv[out++] = argv[i];
     }
     argc = out;
     return error.empty();
+}
+
+ShardSpec
+shardSpec()
+{
+    ShardSpec shard;
+    const char *env = std::getenv("ATSCALE_SHARD");
+    if (!env || !*env)
+        return shard;
+    unsigned index = 0;
+    unsigned count = 0;
+    char trailing = 0;
+    int matched = std::sscanf(env, "%u/%u%c", &index, &count, &trailing);
+    fatal_if(matched != 2 || count == 0 || index == 0 || index > count,
+             "ATSCALE_SHARD='%s' is malformed (want i/N with "
+             "1 <= i <= N)",
+             env);
+    shard.index = index;
+    shard.count = count;
+    return shard;
 }
 
 SweepEngine::SweepEngine(SweepOptions options)
@@ -330,28 +401,20 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
         progress_.total = uniq.size();
     }
 
-    // Check the cache before dispatch. Observed sweeps execute every
-    // job: cached entries carry no windows or traces, so serving them
-    // would silently drop the requested outputs.
-    std::vector<RunResult> results(uniq.size());
-    std::vector<std::size_t> pending;
-    const bool observing = options_.obs.any();
-    for (std::size_t u = 0; u < uniq.size(); ++u) {
-        if (!observing && loadCachedRun(jobs[uniq[u]].spec, results[u]))
-            noteFinished(true, 1, false);
-        else
-            pending.push_back(u);
-    }
-
-    // Partition the executable jobs into execution units: with lanes
+    // Partition the unique jobs into execution units: with lanes
     // enabled, jobs sharing a stream identity (RunSpec::laneGroupKey)
     // become one lockstep lane group — the stream is generated once for
     // all of them — and everything else (or everything, with lanes off)
     // runs standalone. Declared order is preserved within each group.
+    // Units are formed from the full unique list, *before* the cache
+    // pre-pass: unit positions are then a function of the declared job
+    // list alone, which is what lets N sharded invocations of the same
+    // sweep partition it identically whatever each machine's cache
+    // holds.
     std::vector<std::vector<std::size_t>> units;
     if (lanes_) {
         std::unordered_map<std::string, std::size_t> groups;
-        for (std::size_t u : pending) {
+        for (std::size_t u = 0; u < uniq.size(); ++u) {
             // Multi-core specs always run standalone: the lane executor
             // replays one shared stream through per-lane platforms,
             // while a SharedSystem consumes K per-tenant streams (and
@@ -367,19 +430,77 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
             units[it->second].push_back(u);
         }
     } else {
-        units.reserve(pending.size());
-        for (std::size_t u : pending)
+        units.reserve(uniq.size());
+        for (std::size_t u = 0; u < uniq.size(); ++u)
             units.emplace_back(1, u);
     }
 
+    // Shard filter: keep every count-th unit, round-robin from the
+    // shard index. Whole units (not jobs) are assigned so a lane
+    // group's shared stream is still generated exactly once, by
+    // whichever shard owns the group.
+    const ShardSpec shard = shardSpec();
+    std::vector<char> owned_uniq(uniq.size(), 1);
+    if (shard.active()) {
+        std::vector<std::vector<std::size_t>> mine;
+        for (std::size_t w = 0; w < units.size(); ++w) {
+            if (w % shard.count == shard.index - 1) {
+                mine.push_back(std::move(units[w]));
+                continue;
+            }
+            for (std::size_t u : units[w])
+                owned_uniq[u] = 0;
+        }
+        units = std::move(mine);
+    }
+
+    // Check the cache before dispatch — for every unique job, owned or
+    // not, so a sharded run's result vector still covers whatever the
+    // cache can serve. Observed sweeps execute every owned job: cached
+    // entries carry no windows or traces, so serving them would
+    // silently drop the requested outputs.
+    std::vector<RunResult> results(uniq.size());
+    std::vector<char> cached_uniq(uniq.size(), 0);
+    const bool observing = options_.obs.any();
+    for (std::size_t u = 0; u < uniq.size(); ++u) {
+        if (!observing && loadCachedRun(jobs[uniq[u]].spec, results[u])) {
+            cached_uniq[u] = 1;
+            noteFinished(true, 1, false);
+        }
+    }
+    std::size_t live_units = 0;
+    for (std::size_t w = 0; w < units.size(); ++w) {
+        std::erase_if(units[w],
+                      [&](std::size_t u) { return cached_uniq[u] != 0; });
+        if (units[w].empty())
+            continue;
+        if (live_units != w)
+            units[live_units] = std::move(units[w]);
+        ++live_units;
+    }
+    units.resize(live_units);
+
+    std::size_t cached_total = 0;
+    for (std::size_t u = 0; u < uniq.size(); ++u)
+        cached_total += cached_uniq[u];
     if (!jobs.empty()) {
         std::size_t lane_shared = 0;
         for (const std::vector<std::size_t> &unit : units)
             lane_shared += unit.size() > 1 ? unit.size() : 0;
-        inform("sweep: %zu jobs (%zu unique, %zu cached, %zu lane-shared)"
-               " on %d thread(s)",
-               jobs.size(), uniq.size(), uniq.size() - pending.size(),
-               lane_shared, threads_);
+        if (shard.active()) {
+            std::size_t owned = 0;
+            for (const std::vector<std::size_t> &unit : units)
+                owned += unit.size();
+            inform("sweep: shard %u/%u executes %zu of %zu unique jobs "
+                   "(%zu cached, %zu lane-shared) on %d thread(s)",
+                   shard.index, shard.count, owned, uniq.size(),
+                   cached_total, lane_shared, threads_);
+        } else {
+            inform("sweep: %zu jobs (%zu unique, %zu cached, "
+                   "%zu lane-shared) on %d thread(s)",
+                   jobs.size(), uniq.size(), cached_total, lane_shared,
+                   threads_);
+        }
     }
 
     if (!units.empty()) {
@@ -432,13 +553,33 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
         out.push_back(results[owner[i]]);
 
     // Whole-sweep JSON aggregate, in declared order (deterministic for
-    // any thread count).
+    // any thread count). A sharded sweep cannot emit the aggregate — it
+    // holds only its own units — so it writes a partial
+    // (core/sweep_partial.hh) tagged with global declared indices;
+    // tools/sweep/merge_runs reassembles the shards' partials into the
+    // byte-identical single-machine aggregate.
     if (observing && !options_.obs.jsonOut.empty()) {
         double freq = jobs.empty() ? PlatformParams{}.freqGHz
                                    : jobs.front().params.freqGHz;
-        writeRunResultsJsonFile(options_.obs.jsonOut, out, freq);
-        MutexLock lock(mu_);
-        written_.push_back(options_.obs.jsonOut);
+        if (shard.active()) {
+            SweepPartial partial;
+            partial.totalJobs = jobs.size();
+            partial.freqGHz = freq;
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                if (!owned_uniq[owner[i]])
+                    continue;
+                partial.entries.push_back(
+                    SweepPartial::Entry{i, results[owner[i]]});
+            }
+            std::string path = options_.obs.jsonOut + ".partial";
+            writeSweepPartialFile(path, partial);
+            MutexLock lock(mu_);
+            written_.push_back(path);
+        } else {
+            writeRunResultsJsonFile(options_.obs.jsonOut, out, freq);
+            MutexLock lock(mu_);
+            written_.push_back(options_.obs.jsonOut);
+        }
     }
     return out;
 }

@@ -59,20 +59,51 @@ int resolveThreads(int requested = 0);
 
 /**
  * Extract engine flags (--threads=N, --no-fastpath, --no-lanes,
- * --lanes, --scheme=NAME) from argv, compacting the remaining arguments
- * in place as extractObsFlags does. --threads wins over the
- * ATSCALE_THREADS environment variable (it is stored back into it, so
- * engines constructed anywhere in the process see it); --no-fastpath
- * sets ATSCALE_NO_FASTPATH, which benchx::baseRunConfig and
- * fastPathDefault() consult; --no-lanes / --lanes set ATSCALE_NO_LANES
- * / ATSCALE_LANES, which lanesDefault() consults (the multi-lane
- * executor's A/B escape hatch and single-core force-on); --scheme sets
- * ATSCALE_SCHEME (validated against the scheme registry), which
- * schemeDefault() consults.
+ * --lanes, --scheme=NAME, --shard=i/N, --record-streams[=DIR],
+ * --no-batch) from argv, compacting the remaining arguments in place as
+ * extractObsFlags does. --threads wins over the ATSCALE_THREADS
+ * environment variable (it is stored back into it, so engines
+ * constructed anywhere in the process see it); --no-fastpath sets
+ * ATSCALE_NO_FASTPATH, which benchx::baseRunConfig and fastPathDefault()
+ * consult; --no-lanes / --lanes set ATSCALE_NO_LANES / ATSCALE_LANES,
+ * which lanesDefault() consults (the multi-lane executor's A/B escape
+ * hatch and single-core force-on); --scheme sets ATSCALE_SCHEME
+ * (validated against the scheme registry), which schemeDefault()
+ * consults; --shard sets ATSCALE_SHARD, which shardSpec() consults (the
+ * engine then executes only this shard's execution units); and
+ * --record-streams sets ATSCALE_STREAM_DIR (default "atscale_streams"),
+ * enabling the reference-stream record/replay store
+ * (core/ref_stream_store.hh). --no-batch sets ATSCALE_NO_BATCH, which
+ * disables the core's chunk translation screen (an A/B handle; results
+ * are bit-identical either way).
  *
  * @return false with `error` set when a flag is malformed.
  */
 bool extractSweepFlags(int &argc, char **argv, std::string &error);
+
+/**
+ * This process's slice of sharded sweeps: 1-based shard `index` of
+ * `count`. The engine partitions every sweep's execution units round-
+ * robin by unit position — a function only of the declared job list and
+ * lane grouping, never of cache state or thread count, so N shards over
+ * the same job list partition it exactly. The default (1/1) executes
+ * everything.
+ */
+struct ShardSpec
+{
+    std::uint32_t index = 1;
+    std::uint32_t count = 1;
+
+    /** Whether this process runs a proper subset of each sweep. */
+    bool active() const { return count > 1; }
+};
+
+/**
+ * Resolve the process shard from ATSCALE_SHARD ("i/N", as --shard=i/N
+ * stores it). fatal() on a malformed value — a typo must not silently
+ * run the whole sweep on a machine meant to take 1/Nth of it.
+ */
+ShardSpec shardSpec();
 
 /**
  * Default RunSpec::fastPath for this process: true unless the
@@ -175,6 +206,16 @@ class SweepEngine
      * Duplicate specs are run once (single-flight) and their result is
      * shared. Jobs with equal specs must carry equal params — give
      * variants distinct RunSpec::platformTag values.
+     *
+     * Under an active shard (--shard=i/N) only this shard's execution
+     * units run; result slots of jobs other shards own are filled from
+     * the cache when possible and are otherwise default-constructed.
+     * The supported workflow treats a sharded sweep as a cache- and
+     * partial-populating pass: merge the shards' cache directories and
+     * partial aggregates with tools/sweep/merge_runs, then (for outputs
+     * beyond the aggregate) rerun unsharded against the merged cache —
+     * every job is then a cache hit and the emission is byte-identical
+     * to a single-machine run.
      */
     std::vector<RunResult> run(const std::vector<SweepJob> &jobs);
 

@@ -1,0 +1,180 @@
+#include "core/sweep_partial.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "perf/event.hh"
+#include "util/logging.hh"
+
+namespace atscale
+{
+
+namespace
+{
+
+/** Exact round-trip rendering of the frequency scale. */
+std::string
+freqString(double freq)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", freq);
+    return buf;
+}
+
+} // namespace
+
+void
+writeSweepPartialFile(const std::string &path, const SweepPartial &partial)
+{
+    static std::atomic<unsigned> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp);
+        fatal_if(!out, "cannot open sweep partial '%s'", tmp.c_str());
+        out << "atscale-sweep-partial 1\n";
+        out << "total_jobs " << partial.totalJobs << '\n';
+        out << "freq_ghz " << freqString(partial.freqGHz) << '\n';
+        for (const SweepPartial::Entry &entry : partial.entries) {
+            const RunSpec &spec = entry.result.spec;
+            out << "job " << entry.index << '\n';
+            out << "workload " << spec.workload << '\n';
+            out << "footprint " << spec.footprintBytes << '\n';
+            out << "pagesize " << static_cast<int>(spec.pageSize) << '\n';
+            out << "mode " << static_cast<int>(spec.mode) << '\n';
+            out << "warmup " << spec.warmupRefs << '\n';
+            out << "measure " << spec.measureRefs << '\n';
+            out << "seed " << spec.seed << '\n';
+            // Defaulted fields are omitted (the loader starts from a
+            // default-constructed spec), mirroring cacheKey()'s tags.
+            if (!spec.fastPath)
+                out << "nofastpath 1\n";
+            if (spec.scheme != "radix")
+                out << "scheme " << spec.scheme << '\n';
+            if (spec.cores != 1)
+                out << "cores " << spec.cores << '\n';
+            if (!spec.tenantMix.empty())
+                out << "tenantmix " << spec.tenantMix << '\n';
+            if (!spec.platformTag.empty())
+                out << "platformtag " << spec.platformTag << '\n';
+            out << "footprint_touched " << entry.result.footprintTouched
+                << '\n';
+            out << "page_table_bytes " << entry.result.pageTableBytes
+                << '\n';
+            entry.result.counters.forEach(
+                [&out](EventId, const char *name, Count value) {
+                    out << "counter " << name << ' ' << value << '\n';
+                });
+            out << "end\n";
+        }
+        fatal_if(!out, "write failed for sweep partial '%s'", tmp.c_str());
+    }
+    fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+             "cannot rename sweep partial into place at '%s'",
+             path.c_str());
+}
+
+bool
+loadSweepPartialFile(const std::string &path, SweepPartial &out,
+                     std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    out = SweepPartial{};
+
+    auto fail = [&](const std::string &what) {
+        error = path + ": " + what;
+        return false;
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != "atscale-sweep-partial 1")
+        return fail("not a sweep partial (bad header)");
+
+    SweepPartial::Entry *entry = nullptr;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string name;
+        fields >> name;
+        if (name == "total_jobs") {
+            fields >> out.totalJobs;
+        } else if (name == "freq_ghz") {
+            std::string value;
+            fields >> value;
+            out.freqGHz = std::strtod(value.c_str(), nullptr);
+        } else if (name == "job") {
+            if (entry)
+                return fail("unterminated job entry");
+            std::size_t index = 0;
+            fields >> index;
+            out.entries.push_back(SweepPartial::Entry{});
+            entry = &out.entries.back();
+            entry->index = index;
+        } else if (name == "end") {
+            entry = nullptr;
+        } else {
+            if (!entry)
+                return fail("field '" + name + "' outside a job entry");
+            RunSpec &spec = entry->result.spec;
+            if (name == "workload") {
+                fields >> spec.workload;
+            } else if (name == "footprint") {
+                fields >> spec.footprintBytes;
+            } else if (name == "pagesize") {
+                int v = 0;
+                fields >> v;
+                spec.pageSize = static_cast<PageSize>(v);
+            } else if (name == "mode") {
+                int v = 0;
+                fields >> v;
+                spec.mode = static_cast<WorkloadMode>(v);
+            } else if (name == "warmup") {
+                fields >> spec.warmupRefs;
+            } else if (name == "measure") {
+                fields >> spec.measureRefs;
+            } else if (name == "seed") {
+                fields >> spec.seed;
+            } else if (name == "nofastpath") {
+                spec.fastPath = false;
+            } else if (name == "scheme") {
+                fields >> spec.scheme;
+            } else if (name == "cores") {
+                fields >> spec.cores;
+            } else if (name == "tenantmix") {
+                fields >> spec.tenantMix;
+            } else if (name == "platformtag") {
+                fields >> spec.platformTag;
+            } else if (name == "footprint_touched") {
+                fields >> entry->result.footprintTouched;
+            } else if (name == "page_table_bytes") {
+                fields >> entry->result.pageTableBytes;
+            } else if (name == "counter") {
+                std::string event;
+                Count value = 0;
+                fields >> event >> value;
+                auto id = eventFromName(event);
+                if (!id)
+                    return fail("unknown counter '" + event + "'");
+                entry->result.counters.add(*id, value);
+            } else {
+                return fail("unknown field '" + name + "'");
+            }
+            if (fields.fail())
+                return fail("malformed field '" + name + "'");
+        }
+    }
+    if (entry)
+        return fail("unterminated job entry at end of file");
+    return true;
+}
+
+} // namespace atscale

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shard-partial sweep aggregates: the interchange format between
+ * sharded sweep runs and tools/sweep/merge_runs.
+ *
+ * A sweep sharded with --shard=i/N executes only its share of the
+ * expanded job list, so it cannot emit the whole-sweep JSON aggregate.
+ * Instead it writes a *partial* file: every declared job index this
+ * shard owns, with the job's full spec and raw counters — everything
+ * needed to reconstruct its RunResult exactly. merge_runs loads the N
+ * partials, reassembles the declared-order result vector, and renders
+ * it through the same writeRunResultsJson the single-machine sweep
+ * uses, so the merged aggregate is byte-identical to an unsharded run
+ * (the simulation's determinism contract makes the counters themselves
+ * bit-identical across machines).
+ *
+ * The format is the run cache's line discipline ("name value", one
+ * field per line) extended with job/end framing; like the cache it is
+ * written atomically (temp + rename) and any parse failure is reported
+ * rather than silently tolerated — a merge over bad partials must not
+ * fabricate an aggregate.
+ */
+
+#ifndef ATSCALE_CORE_SWEEP_PARTIAL_HH
+#define ATSCALE_CORE_SWEEP_PARTIAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace atscale
+{
+
+/** One sharded sweep's share of a declared job list. */
+struct SweepPartial
+{
+    /** Declared jobs in the full (unsharded) sweep. */
+    std::size_t totalJobs = 0;
+    /** Cycle-to-seconds scale used by the aggregate's "seconds". */
+    double freqGHz = 2.5;
+
+    struct Entry
+    {
+        /** Index into the full sweep's declared job list. */
+        std::size_t index = 0;
+        RunResult result;
+    };
+
+    /** Owned jobs, ascending by index. */
+    std::vector<Entry> entries;
+};
+
+/** Write a partial (temp + rename); fatal() on I/O failure. */
+void writeSweepPartialFile(const std::string &path,
+                           const SweepPartial &partial);
+
+/**
+ * Load a partial. Returns false with a populated `error` on any I/O or
+ * parse problem (missing file, bad framing, unknown counter name).
+ */
+bool loadSweepPartialFile(const std::string &path, SweepPartial &out,
+                          std::string &error);
+
+} // namespace atscale
+
+#endif // ATSCALE_CORE_SWEEP_PARTIAL_HH

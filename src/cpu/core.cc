@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/logging.hh"
 
@@ -32,6 +33,13 @@ Core::Core(Mmu &mmu, CacheHierarchy &hierarchy, AddressSpace &space,
 {
     // Serial-chase workloads cannot overlap walks with useful work.
     walkExposure_ = params_.walkExposure * (1.0 + (1.0 - traits_.mlpHint) * 0.8);
+
+    // Chunk screening (host prefetch of the translation structures each
+    // refilled chunk will probe) is on unless --no-batch asked for the
+    // un-screened loop for an A/B run. Read once at construction: the
+    // per-reference path must stay free of environment lookups.
+    const char *no_batch = std::getenv("ATSCALE_NO_BATCH");
+    screenChunks_ = !(no_batch && no_batch[0] == '1');
 }
 
 Count
@@ -39,6 +47,18 @@ Core::refillChunk(RefSource &source)
 {
     chunkLen_ = source.fill(chunk_.data(), refChunkSize);
     chunkPos_ = 0;
+    if (screenChunks_) {
+        // Screen the fresh chunk: hint the host about every fast-path
+        // slot and micro-TLB slot the execute loop is about to probe, so
+        // random streams overlap those host-cache misses with the
+        // simulation of earlier references. Touches no simulated state —
+        // results are byte-identical with ATSCALE_NO_BATCH=1.
+        for (Count i = 0; i < chunkLen_; ++i) {
+            const Addr vaddr = chunk_[i].vaddr;
+            mmu_.prefetchTranslation(vaddr);
+            __builtin_prefetch(&microTlb_[microTlbIndex(vaddr)]);
+        }
+    }
     return chunkLen_;
 }
 

@@ -230,6 +230,9 @@ class Core : public TranslationListener
     RefSource *chunkSource_ = nullptr;
     Count chunkLen_ = 0;
     Count chunkPos_ = 0;
+    /** Screen refilled chunks with translation-structure prefetches
+     * (host-side only; ATSCALE_NO_BATCH=1 disables for A/B runs). */
+    bool screenChunks_ = true;
 
     /**
      * Translation micro-cache for data-path paddr computation,

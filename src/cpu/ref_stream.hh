@@ -12,6 +12,7 @@
 #ifndef ATSCALE_CPU_REF_STREAM_HH
 #define ATSCALE_CPU_REF_STREAM_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -105,47 +106,138 @@ class RefSource
         (void)registry;
         (void)prefix;
     }
+
+    // --- Wrong-path anchors ---------------------------------------------
+    //
+    // wrongPathAddr() reads the stream's live cursors, which ties every
+    // consumer to the generator's exact run-ahead position. An *anchor*
+    // decouples them: a single word captured at a chunk boundary from
+    // which wrongPathAddrAt() reproduces wrongPathAddr()'s draws without
+    // the stream being at that position anymore. Two machines are built
+    // on this: the lane executor's multi-chunk lockstep rounds (the
+    // generator runs several chunks ahead of the executing lanes) and
+    // the ref-stream record/replay store (the generator is not even in
+    // the process anymore — core/ref_stream_store.hh).
+    //
+    // A stream may declare support only if (a) every wrongPathAddr()
+    // input other than the anchor word is fixed at construction, and
+    // (b) fill()/next() have no side effects outside the stream's own
+    // cursors (no address-space mutations), so buffering or replaying
+    // chunks cannot reorder architectural events.
+
+    /** Whether anchors reproduce this stream's wrongPathAddr exactly. */
+    virtual bool supportsAnchors() const { return false; }
+
+    /**
+     * Capture the anchor for the stream's current position. Meaningful
+     * only when supportsAnchors(); the default exists so generic code
+     * can capture unconditionally.
+     */
+    virtual std::uint64_t wrongPathAnchor() const { return 0; }
+
+    /**
+     * wrongPathAddr() as the stream would have answered it at the
+     * position `anchor` was captured. For supporting streams,
+     * wrongPathAddrAt(wrongPathAnchor(), rng) == wrongPathAddr(rng)
+     * for every rng state.
+     */
+    virtual Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng)
+    {
+        (void)anchor;
+        return wrongPathAddr(rng);
+    }
 };
 
 /**
  * Fan-out buffer over one upstream stream: generates each refStreamChunk
  * batch exactly once and holds it for any number of LaneRefView consumers
- * to replay. advance() moves the upstream by one chunk; the lockstep
- * driver (core/lane_exec) calls it once per chunk and then runs every
- * lane over the buffered references before advancing again, so the
- * generator's work — and its host-cache-resident output — is shared by
- * all lanes.
+ * to replay. advance() moves the upstream by one *block* of chunks; the
+ * lockstep driver (core/lane_exec) calls it once per barrier round and
+ * then runs every lane over the buffered references before advancing
+ * again, so the generator's work — and its host-cache-resident output —
+ * is shared by all lanes.
  *
- * At any chunk boundary the upstream's internal cursors equal those of a
- * standalone stream that was consumed through Core::run (which also
- * fetches in whole refStreamChunk batches), so wrongPathAddr() draws
- * forwarded by the views see exactly the cursor state a standalone run
- * would.
+ * Block size: when the upstream supports wrong-path anchors, a round
+ * buffers up to maxBlockChunks chunks, capturing the upstream's anchor
+ * after each chunk so the views can reproduce the cursor state a
+ * standalone run would have had while executing that chunk (standalone
+ * cursors run exactly one fetch chunk ahead of execution). That cuts the
+ * barrier-round count — the dominant lane-group overhead on short runs —
+ * by the same factor. Streams without anchor support (side-effectful
+ * fills, exec-mode traces) fall back to one chunk per round, which is
+ * the original lockstep cadence and needs no anchors: the upstream's
+ * live cursors are then always at the executing chunk's boundary.
  */
 class RefChunkFanout
 {
   public:
-    explicit RefChunkFanout(RefSource &upstream) : upstream_(upstream) {}
+    /** Chunks buffered per lockstep round for anchor-capable streams. */
+    static constexpr Count maxBlockChunks = 8;
+
+    explicit RefChunkFanout(RefSource &upstream)
+        : upstream_(upstream),
+          blockChunks_(upstream.supportsAnchors() ? maxBlockChunks : 1),
+          buf_(static_cast<std::size_t>(blockChunks_) * refStreamChunk)
+    {
+    }
 
     /**
-     * Generate the next chunk from the upstream stream.
-     * @return references buffered (< refStreamChunk only at exhaustion)
+     * Generate the next block of chunks from the upstream stream,
+     * capturing a wrong-path anchor at each chunk boundary. At most
+     * ceil(maxRefs / refStreamChunk) chunks are generated, so the
+     * stream's final position is exactly a standalone consumer's (which
+     * fetches whole chunks but never starts one past its quota) — the
+     * registry-visible workload cursors depend on it.
+     * @return references buffered (a short block signals exhaustion)
      */
     Count
-    advance()
+    advance(Count maxRefs = ~0ull)
     {
-        len_ = upstream_.fill(chunk_.data(), refStreamChunk);
+        Count want = blockChunks_;
+        if (maxRefs / refStreamChunk < blockChunks_) {
+            want = maxRefs / refStreamChunk +
+                   (maxRefs % refStreamChunk != 0 ? 1 : 0);
+        }
+        len_ = 0;
+        numChunks_ = 0;
+        for (Count c = 0; c < want; ++c) {
+            Count n = upstream_.fill(buf_.data() + len_, refStreamChunk);
+            len_ += n;
+            anchors_[c] = upstream_.wrongPathAnchor();
+            ++numChunks_;
+            if (n < refStreamChunk)
+                break;
+        }
         ++sequence_;
         return len_;
     }
 
-    /** The current chunk's references. */
-    const Ref *chunk() const { return chunk_.data(); }
+    /** Chunks buffered by the last advance(). */
+    Count blockNumChunks() const { return numChunks_; }
 
-    /** References in the current chunk. */
-    Count chunkLen() const { return len_; }
+    /** References of chunk `idx` (< blockNumChunks()) of the block. */
+    const Ref *
+    chunk(Count idx) const
+    {
+        return buf_.data() + static_cast<std::size_t>(idx) * refStreamChunk;
+    }
 
-    /** Monotone chunk counter (0 = nothing generated yet). */
+    /** References in chunk `idx` of the block. */
+    Count
+    chunkLen(Count idx) const
+    {
+        const Count before = idx * refStreamChunk;
+        return std::min(refStreamChunk, len_ - before);
+    }
+
+    /** Upstream anchor captured right after chunk `idx` was generated. */
+    std::uint64_t chunkAnchor(Count idx) const { return anchors_[idx]; }
+
+    /** Whether views should draw wrong paths through anchors. */
+    bool anchored() const { return blockChunks_ > 1; }
+
+    /** Monotone block counter (0 = nothing generated yet). */
     std::uint64_t sequence() const { return sequence_; }
 
     /** The shared generator (for wrong-path draws and stats). */
@@ -153,8 +245,11 @@ class RefChunkFanout
 
   private:
     RefSource &upstream_;
-    std::array<Ref, refStreamChunk> chunk_{};
+    const Count blockChunks_;
+    std::vector<Ref> buf_;
+    std::array<std::uint64_t, maxBlockChunks> anchors_{};
     Count len_ = 0;
+    Count numChunks_ = 0;
     std::uint64_t sequence_ = 0;
 };
 
@@ -205,13 +300,20 @@ class LaneRefView : public RefSource
     Count
     fill(Ref *out, Count max) override
     {
-        panic_if(max < fanout_.chunkLen(),
-                 "lane fetch smaller than the lockstep chunk");
-        panic_if(consumedSeq_ == fanout_.sequence(),
-                 "lane overran the lockstep chunk");
-        consumedSeq_ = fanout_.sequence();
-        Count n = fanout_.chunkLen();
-        const Ref *src = fanout_.chunk();
+        // Serve the buffered block one chunk at a time, in order; a new
+        // block resets the cursor. Each chunk may be filled at most once
+        // per view — more would mean the lane fell out of lockstep.
+        if (consumedSeq_ != fanout_.sequence()) {
+            consumedSeq_ = fanout_.sequence();
+            chunkIdx_ = 0;
+        } else {
+            ++chunkIdx_;
+            panic_if(chunkIdx_ >= fanout_.blockNumChunks(),
+                     "lane overran the lockstep block");
+        }
+        Count n = fanout_.chunkLen(chunkIdx_);
+        panic_if(max < n, "lane fetch smaller than the lockstep chunk");
+        const Ref *src = fanout_.chunk(chunkIdx_);
         if (identity_) {
             for (Count i = 0; i < n; ++i)
                 out[i] = src[i];
@@ -227,7 +329,16 @@ class LaneRefView : public RefSource
     Addr
     wrongPathAddr(Rng &rng) override
     {
-        Addr vaddr = fanout_.upstream().wrongPathAddr(rng);
+        // Anchored blocks: the shared generator's live cursors are up to
+        // a whole block ahead, so draw through the anchor captured at
+        // this chunk's boundary — exactly the cursor state a standalone
+        // stream has while its consumer executes this chunk. Unanchored
+        // (single-chunk) rounds forward to the live cursors as before.
+        Addr vaddr =
+            fanout_.anchored()
+                ? fanout_.upstream().wrongPathAddrAt(
+                      fanout_.chunkAnchor(chunkIdx_), rng)
+                : fanout_.upstream().wrongPathAddr(rng);
         return identity_ ? vaddr : rebase(vaddr);
     }
 
@@ -261,6 +372,8 @@ class LaneRefView : public RefSource
     std::vector<RegionRemap> remaps_;
     std::size_t lastRemap_ = 0;
     std::uint64_t consumedSeq_ = 0;
+    /** Chunk of the current block being executed (set by fill()). */
+    std::uint64_t chunkIdx_ = 0;
     bool identity_ = true;
 };
 

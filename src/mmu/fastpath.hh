@@ -29,6 +29,12 @@
  * observability stats and are deliberately excluded from the exactness
  * contract (they are the only state that differs between fast path on
  * and off).
+ *
+ * Storage is struct-of-arrays: the VPN tags live in one flat
+ * std::uint64_t vector separate from the shadowed coordinates, so the
+ * batch-translate screen (RadixScheme::translateBatch) and
+ * invalidatePage() scan a contiguous tag column the compiler vectorizes,
+ * and a probe's tag compare costs one 8-byte load.
  */
 
 #ifndef ATSCALE_MMU_FASTPATH_HH
@@ -53,7 +59,7 @@ class FastTranslationCache
   public:
     /** @param slots table size; rounded meaning: must be a power of 2. */
     explicit FastTranslationCache(std::uint32_t slots = 2048)
-        : mask_(slots - 1), table_(slots)
+        : mask_(slots - 1), slotVpns_(slots, emptyVpn), slotHits_(slots)
     {
     }
 
@@ -65,9 +71,19 @@ class FastTranslationCache
      * Translation-thrashing streams (footprints far beyond first-level
      * TLB reach) would pay the probe + install overhead on nearly every
      * translation and almost never hit. A duty cycle bounds that worst
-     * case: the first sampleSize probes of every windowSize translations
-     * measure the hit rate, and when it is below ~1/8 the rest of the
-     * window bypasses the table entirely (two loads and a branch).
+     * case: the head of every window measures the table's hit rate and
+     * the window's remainder bypasses the table entirely (two loads and
+     * a branch) when the rate is hopeless. Two refinements keep the
+     * sampling cost negligible on streams that never hit:
+     *
+     *  - an early verdict after earlySample probes with zero hits, so a
+     *    pure thrashing stream pays 64 probes per window, not 256;
+     *  - exponential backoff — each consecutive bypassing window doubles
+     *    the next window's length (up to maxBackoff doublings), so a
+     *    persistently thrashing stream samples ~64 probes per 64 Ki
+     *    translations (~0.1% overhead) while a stream that turns hot
+     *    again is rediscovered within one backed-off window.
+     *
      * Bypassing is pure execution strategy — probes and installs have no
      * architectural effect — so the exactness contract is unaffected.
      *
@@ -76,34 +92,68 @@ class FastTranslationCache
     bool
     tryHit(Addr vaddr, TlbComplex &tlb, PageSize &size_out)
     {
-        if (++winPos_ > windowSize) {
+        if (++winPos_ > winLen_) {
+            if (!bypassing_)
+                bypassStreak_ = 0;
             winPos_ = 1;
             winHits_ = 0;
             bypassing_ = false;
+            winLen_ = windowSize;
         }
         if (bypassing_)
             return false;
-        if (winPos_ == sampleSize + 1 && winHits_ < sampleHitFloor) {
+        if ((winPos_ == earlySample + 1 && winHits_ == 0) ||
+            (winPos_ == sampleSize + 1 && winHits_ < sampleHitFloor)) {
             bypassing_ = true;
             ++bypassWindows_;
+            if (bypassStreak_ < maxBackoff)
+                ++bypassStreak_;
+            winLen_ = windowSize << bypassStreak_;
             return false;
         }
-        Slot &slot = table_[index(vaddr)];
-        if (slot.vpn != (vaddr >> pageShift4K)) {
+        const std::uint32_t slot = index(vaddr);
+        if (slotVpns_[slot] != (vaddr >> pageShift4K)) {
             ++misses_;
             return false;
         }
-        if (!tlb.tryReplayL1Hit(slot.hit)) {
+        if (!tlb.tryReplayL1Hit(slotHits_[slot])) {
             // The TLB moved on; retire the shadow so the slot can be
             // reused by whatever is hot now.
-            slot.vpn = emptyVpn;
+            slotVpns_[slot] = emptyVpn;
             ++misses_;
             return false;
         }
-        size_out = slot.hit.size;
+        size_out = slotHits_[slot].size;
         winHits_ += winPos_ <= sampleSize;
         ++hits_;
         return true;
+    }
+
+    /**
+     * Pure screen: would a probe of vaddr find a matching VPN tag right
+     * now? Touches no state — the batch-translate pre-pass uses it to
+     * split a chunk into probable hits and the scalar-fallback subset.
+     * Advisory only: the authoritative revalidation still happens in
+     * tryHit()/tryReplayL1Hit on the serving path.
+     */
+    bool
+    screen(Addr vaddr) const
+    {
+        return slotVpns_[index(vaddr)] == (vaddr >> pageShift4K);
+    }
+
+    /**
+     * Hint the host to load vaddr's slot. The table is ~80 KiB, so a
+     * random stream's probe is usually a host-cache miss; the core's
+     * chunked fetch loop prefetches the upcoming chunk's slots while
+     * simulating the current one.
+     */
+    void
+    prefetch(Addr vaddr) const
+    {
+        const std::uint32_t slot = index(vaddr);
+        __builtin_prefetch(&slotVpns_[slot]);
+        __builtin_prefetch(&slotHits_[slot]);
     }
 
     /**
@@ -121,9 +171,9 @@ class FastTranslationCache
         TlbFastHit hit;
         if (!tlb.locate(vaddr, size, hit))
             return;
-        Slot &slot = table_[index(vaddr)];
-        slot.vpn = vaddr >> pageShift4K;
-        slot.hit = hit;
+        const std::uint32_t slot = index(vaddr);
+        slotVpns_[slot] = vaddr >> pageShift4K;
+        slotHits_[slot] = hit;
         ++installs_;
     }
 
@@ -131,15 +181,16 @@ class FastTranslationCache
      * Drop every slot shadowing the page at `base` of size `size`. Not
      * required for correctness (stale slots self-retire), but keeps the
      * invalidation story precise and the diagnostic counts meaningful.
+     * The scan is a pure compare loop over the contiguous VPN column.
      */
     void
     invalidatePage(Addr base, PageSize size)
     {
         const std::uint64_t lo = base >> pageShift4K;
         const std::uint64_t hi = lo + (pageBytes(size) >> pageShift4K);
-        for (Slot &slot : table_) {
-            if (slot.vpn >= lo && slot.vpn < hi) {
-                slot.vpn = emptyVpn;
+        for (std::uint64_t &vpn : slotVpns_) {
+            if (vpn >= lo && vpn < hi) {
+                vpn = emptyVpn;
                 ++invalidations_;
             }
         }
@@ -149,8 +200,8 @@ class FastTranslationCache
     void
     flush()
     {
-        for (Slot &slot : table_)
-            slot.vpn = emptyVpn;
+        for (std::uint64_t &vpn : slotVpns_)
+            vpn = emptyVpn;
     }
 
     void
@@ -173,18 +224,16 @@ class FastTranslationCache
     /** No 48-bit address space produces this VPN. */
     static constexpr std::uint64_t emptyVpn = ~0ull;
 
-    /** Duty cycle: translations per adaptation window. */
-    static constexpr Count windowSize = 4096;
+    /** Duty cycle: translations per (un-backed-off) adaptation window. */
+    static constexpr std::uint64_t windowSize = 4096;
     /** Probes at the head of each window that measure the hit rate. */
-    static constexpr Count sampleSize = 256;
+    static constexpr std::uint64_t sampleSize = 256;
+    /** Early-verdict point: zero hits by here ends the sample at once. */
+    static constexpr std::uint64_t earlySample = 64;
     /** Sampling-phase hits below which the window's remainder bypasses. */
-    static constexpr Count sampleHitFloor = sampleSize / 8;
-
-    struct Slot
-    {
-        std::uint64_t vpn = emptyVpn;
-        TlbFastHit hit;
-    };
+    static constexpr std::uint64_t sampleHitFloor = sampleSize / 8;
+    /** Maximum window-length doublings under consecutive bypasses. */
+    static constexpr std::uint32_t maxBackoff = 4;
 
     std::uint32_t
     index(Addr vaddr) const
@@ -197,7 +246,10 @@ class FastTranslationCache
     }
 
     std::uint32_t mask_;
-    std::vector<Slot> table_;
+    /** VPN tag per slot (struct-of-arrays: scanned without the hits). */
+    std::vector<std::uint64_t> slotVpns_;
+    /** Shadowed L1 coordinates per slot, parallel to slotVpns_. */
+    std::vector<TlbFastHit> slotHits_;
     Count hits_ = 0;
     Count misses_ = 0;
     Count installs_ = 0;
@@ -209,6 +261,10 @@ class FastTranslationCache
     /** Fast-path hits observed in the window's sampling phase. */
     // atscale-lint: allow(R3 transient window tally, folded into bypassWindows_)
     Count winHits_ = 0;
+    /** Current window length (windowSize, stretched by backoff). */
+    std::uint64_t winLen_ = windowSize;
+    /** Consecutive bypassing windows (caps the backoff shift). */
+    std::uint32_t bypassStreak_ = 0;
     /** The current window decided the stream is thrashing. */
     bool bypassing_ = false;
 };

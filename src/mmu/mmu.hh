@@ -59,6 +59,39 @@ class Mmu : public TranslationListener
         return scheme_->translate(vaddr, speculative, walkBudget);
     }
 
+    /**
+     * Translate a batch of addresses, bit-identical to calling
+     * translate() once per element in order (the batch differential
+     * suite proves it). The radix scheme coalesces equal-page runs into
+     * O(1) counter replays, which is where the sequential-stream batch
+     * speedup comes from; other schemes run the scalar loop.
+     *
+     * @pre out.size() >= vaddrs.size()
+     */
+    void
+    translateBatch(std::span<const Addr> vaddrs, std::span<MmuResult> out,
+                   bool speculative = false,
+                   Cycles walkBudget = unlimitedWalkBudget)
+    {
+        if (radix_) {
+            radix_->translateBatch(vaddrs, out, speculative, walkBudget);
+            return;
+        }
+        scheme_->translateBatch(vaddrs, out, speculative, walkBudget);
+    }
+
+    /**
+     * Host-prefetch hint that a translate of vaddr is coming (the core's
+     * chunked fetch loop screens each refilled chunk). Touches no
+     * simulated state, so it is exact by construction.
+     */
+    void
+    prefetchTranslation(Addr vaddr) const
+    {
+        if (radix_)
+            radix_->prefetchTranslation(vaddr);
+    }
+
     /** The active translation scheme. */
     TranslationScheme &scheme() { return *scheme_; }
     const TranslationScheme &scheme() const { return *scheme_; }

@@ -50,6 +50,74 @@ RadixScheme::translateSlow(Addr vaddr, bool speculative, Cycles walkBudget)
 }
 
 void
+RadixScheme::translateBatch(std::span<const Addr> vaddrs,
+                            std::span<MmuResult> out, bool speculative,
+                            Cycles walkBudget)
+{
+    const std::size_t n = vaddrs.size();
+
+    if (fastEnabled_ && n > 0)
+        fast_.prefetch(vaddrs[0]);
+
+    std::size_t i = 0;
+    while (i < n) {
+        // Length of the run of consecutive references inside one 4 KiB
+        // page. Sequential streams produce long runs (64 references per
+        // page at cache-line stride); random streams degenerate to
+        // run == 1 and take the plain scalar path below.
+        const std::uint64_t vpn = vaddrs[i] >> pageShift4K;
+        std::size_t run = 1;
+        while (i + run < n && (vaddrs[i + run] >> pageShift4K) == vpn) {
+            // Tentative L1-hit header for the follower, written while its
+            // result line is already in the store buffer; the replay
+            // branch below patches pageSize in, and the fallback path
+            // overwrites the whole result, so a failed replay sees none
+            // of this.
+            out[i + run].tlbLevel = TlbLevel::L1;
+            out[i + run].tlbExtraLatency = 0;
+            out[i + run].schemeExtraCycles = 0;
+            ++run;
+        }
+
+        // Touch the NEXT run's fast-path slot while this run translates
+        // and replays — a purely host-side hint (no simulated state is
+        // read or written) that hides the slot arrays' load latency
+        // without a separate whole-chunk screening pass.
+        if (fastEnabled_ && i + run < n)
+            fast_.prefetch(vaddrs[i + run]);
+
+        out[i] = translate(vaddrs[i], speculative, walkBudget);
+
+        if (run > 1) {
+            // Every remaining reference of the run would resolve as an
+            // L1 hit on whatever entry the first translation left
+            // first-level resident (an L1 hit touched it, an L2 hit
+            // refilled it, a completed walk installed it). Replay all
+            // run-1 hits in O(1); if the page is not resident (faulted
+            // or squashed walk), re-translate each reference exactly as
+            // the scalar sequence would.
+            TlbFastHit hit;
+            if (tlb_.locate(vaddrs[i], out[i].pageSize, hit) &&
+                tlb_.tryReplayL1HitRun(hit, static_cast<Count>(run - 1))) {
+                // Complete the hit headers staged during the run scan.
+                // Only the header is ever written, not the whole 128-byte
+                // result: the walk fields are contractually undefined on
+                // TLB hits (MmuResult::walk asserts), so leaving them
+                // unwritten halves the replay loop's store traffic.
+                const PageSize ps = out[i].pageSize;
+                for (std::size_t j = 1; j < run; ++j)
+                    out[i + j].pageSize = ps;
+            } else {
+                for (std::size_t j = 1; j < run; ++j)
+                    out[i + j] =
+                        translate(vaddrs[i + j], speculative, walkBudget);
+            }
+        }
+        i += run;
+    }
+}
+
+void
 RadixScheme::setFastPath(bool enabled)
 {
     fastEnabled_ = enabled;

@@ -58,6 +58,29 @@ class RadixScheme final : public TranslationScheme
         return translateSlow(vaddr, speculative, walkBudget);
     }
 
+    /**
+     * Batch translate with equal-VPN run coalescing: the first reference
+     * of each same-4-KiB-page run goes through the full translate()
+     * path; the run's remainder — L1 hits on whatever entry that left
+     * first-level resident — is replayed in O(1) via
+     * TlbComplex::tryReplayL1HitRun. Falls back to the scalar loop for
+     * any run whose page did not end up first-level resident (faulted or
+     * squashed walks). A prefetch pre-pass walks the chunk's fast-path
+     * slots so random probes overlap their host-cache misses.
+     * Bit-identical to the scalar sequence (tests/test_batch_diff.cc).
+     */
+    void translateBatch(std::span<const Addr> vaddrs,
+                        std::span<MmuResult> out, bool speculative,
+                        Cycles walkBudget) override;
+
+    /** Host-prefetch hint for an upcoming translate (no state touched). */
+    void
+    prefetchTranslation(Addr vaddr) const
+    {
+        if (fastEnabled_)
+            fast_.prefetch(vaddr);
+    }
+
     const char *name() const override { return "radix"; }
 
     TlbComplex &tlb() { return tlb_; }

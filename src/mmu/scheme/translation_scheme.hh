@@ -19,6 +19,7 @@
 #define ATSCALE_MMU_SCHEME_TRANSLATION_SCHEME_HH
 
 #include <cassert>
+#include <span>
 #include <string>
 
 #include "mmu/paging_structure_cache.hh"
@@ -169,6 +170,26 @@ class TranslationScheme
      */
     virtual MmuResult translate(Addr vaddr, bool speculative,
                                 Cycles walkBudget) = 0;
+
+    /**
+     * Translate a batch of addresses, exactly as if translate() had been
+     * called once per element in order with no intervening operations.
+     * The contract is bit-exactness, not just result equality: counters,
+     * replacement metadata, and demand-paging side effects must all match
+     * the scalar sequence (the batch differential suite compares state
+     * hashes and exported JSON). The default is the scalar loop itself;
+     * schemes override it only when they can prove a faster path
+     * equivalent (see RadixScheme::translateBatch).
+     *
+     * @pre out.size() >= vaddrs.size()
+     */
+    virtual void
+    translateBatch(std::span<const Addr> vaddrs, std::span<MmuResult> out,
+                   bool speculative, Cycles walkBudget)
+    {
+        for (std::size_t i = 0; i < vaddrs.size(); ++i)
+            out[i] = translate(vaddrs[i], speculative, walkBudget);
+    }
 
     /** Registry name of this scheme ("radix", "hashed", ...). */
     virtual const char *name() const = 0;

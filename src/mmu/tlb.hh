@@ -120,6 +120,14 @@ class Tlb
         ++misses_;
     }
 
+    /** Replay n consecutive noteLookupMiss() calls in O(1). */
+    void
+    noteLookupMissRun(Count n)
+    {
+        array_.noteMissRun(static_cast<Count>(sizes_.size()) * n);
+        misses_ += n;
+    }
+
     /** Process-stable digest of contents, recency, and statistics. */
     std::uint64_t stateHash() const;
 

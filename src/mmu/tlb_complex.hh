@@ -162,6 +162,30 @@ class TlbComplex
         return true;
     }
 
+    /**
+     * Replay n consecutive tryReplayL1Hit() calls on the same
+     * coordinates in O(1). Validates once — consecutive replays of one
+     * entry with no intervening operations cannot invalidate it — then
+     * applies the run forms of every counter/recency update, so the
+     * result is bit-identical to n scalar replays (and therefore to n
+     * scalar lookup() calls resolving as L1 hits on this entry).
+     */
+    bool
+    tryReplayL1HitRun(const TlbFastHit &hit, Count n)
+    {
+        SetAssocCache &array = l1For(hit.size).array();
+        if (!array.holdsAt(hit.set, hit.way, hit.tag))
+            return false;
+        lookups_ += n;
+        if (hit.size != PageSize::Size4K) {
+            l1_4k_.noteLookupMissRun(n);
+            if (hit.size == PageSize::Size1G)
+                l1_2m_.noteLookupMissRun(n);
+        }
+        array.touchHitRun(hit.set, hit.way, n);
+        return true;
+    }
+
     /** The first-level array holding the given page size. */
     Tlb &l1Array(PageSize size) { return l1For(size); }
     /** The unified second level. */

@@ -168,10 +168,17 @@ GraphModelStream::registerStats(StatsRegistry &registry,
 Addr
 GraphModelStream::wrongPathAddr(Rng &rng)
 {
+    return wrongPathAddrAt(vertex_, rng);
+}
+
+Addr
+GraphModelStream::wrongPathAddrAt(std::uint64_t anchor, Rng &rng)
+{
     // Divergent paths through graph code touch the adjacency array or a
     // property array of some other vertex, with the same locality the
     // correct path has (draws use the caller's rng only, so the stream
-    // itself stays identical across page-size runs).
+    // itself stays identical across page-size runs). The anchor is the
+    // vertex cursor at the consumer's fetch boundary.
     const std::uint64_t n = spec_.numVertices;
     std::uint64_t u;
     if (spec_.kind == GraphKind::Kron) {
@@ -183,7 +190,7 @@ GraphModelStream::wrongPathAddr(Rng &rng)
         }
     } else {
         static const LocalityProfile profile{0.70, 0.20, 0.75, 1.0, 32768};
-        u = drawLocal(rng, vertex_, n, profile);
+        u = drawLocal(rng, anchor, n, profile);
     }
     if (layout_.propsBytes == 0 || rng.chance(0.10)) {
         return neighborAddr(

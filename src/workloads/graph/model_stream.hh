@@ -78,6 +78,15 @@ class GraphModelStream : public RefSource
     void registerStats(StatsRegistry &registry,
                        const std::string &prefix) const override;
 
+    // Wrong-path draws depend on one mutable cursor (the sequential
+    // vertex cursor); everything else is fixed at construction, and
+    // fill() touches no state outside the stream. That makes the stream
+    // anchorable: bufferable ahead by the lane executor and recordable
+    // by the ref-stream store (see RefSource).
+    bool supportsAnchors() const override { return true; }
+    std::uint64_t wrongPathAnchor() const override { return vertex_; }
+    Addr wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override;
+
   private:
     /** Refill batch_ with the next vertex/edge-group's references. */
     void generate();

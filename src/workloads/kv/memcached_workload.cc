@@ -45,6 +45,19 @@ class MemcachedModelStream : public RefSource
     Addr
     wrongPathAddr(Rng &rng) override
     {
+        return wrongPathAddrAt(slabCursor_, rng);
+    }
+
+    // The slab cursor is the only mutable wrongPathAddr input; the
+    // bucket/item geometry is fixed at construction and fill() touches
+    // nothing outside the stream, so the stream is anchorable
+    // (lane-bufferable and recordable — see RefSource).
+    bool supportsAnchors() const override { return true; }
+    std::uint64_t wrongPathAnchor() const override { return slabCursor_; }
+
+    Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override
+    {
         // Divergent request handling touches some other bucket or a
         // (recency-clustered) item, like the correct path does.
         if (rng.chance(0.4))
@@ -52,7 +65,7 @@ class MemcachedModelStream : public RefSource
         std::uint64_t n = std::max<std::uint64_t>(items_, 1);
         std::uint64_t slot =
             rng.chance(0.7)
-                ? (slabCursor_ + n - 1 -
+                ? (anchor + n - 1 -
                    rng.below(std::min<std::uint64_t>(n, 16384))) % n
                 : rng.below(n);
         return itemAddr(slot);

@@ -50,14 +50,26 @@ class McfModelStream : public RefSource
     Addr
     wrongPathAddr(Rng &rng) override
     {
+        return wrongPathAddrAt(arcCursor_, rng);
+    }
+
+    // The arc cursor is the only mutable wrongPathAddr input and fill()
+    // has no side effects outside the stream, so the stream is
+    // anchorable (lane-bufferable and recordable — see RefSource).
+    bool supportsAnchors() const override { return true; }
+    std::uint64_t wrongPathAnchor() const override { return arcCursor_; }
+
+    Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override
+    {
         // Speculative paths price other arcs near the scan cursor and
         // poke reuse-correlated nodes.
         if (rng.chance(0.6)) {
-            std::uint64_t v = drawLocal(rng, arcCursor_ % numNodes_,
+            std::uint64_t v = drawLocal(rng, anchor % numNodes_,
                                         numNodes_, mcfProfile);
             return nodes_ + v * McfWorkload::nodeBytes;
         }
-        std::uint64_t a = (arcCursor_ + rng.below(1024)) % numArcs_;
+        std::uint64_t a = (anchor + rng.below(1024)) % numArcs_;
         return arcs_ + a * McfWorkload::arcBytes;
     }
 

@@ -45,6 +45,18 @@ class StreamclusterModelStream : public RefSource
     Addr
     wrongPathAddr(Rng &rng) override
     {
+        return wrongPathAddrAt(chunkBase_, rng);
+    }
+
+    // The chunk base is the only mutable wrongPathAddr input and fill()
+    // has no side effects outside the stream, so the stream is
+    // anchorable (lane-bufferable and recordable — see RefSource).
+    bool supportsAnchors() const override { return true; }
+    std::uint64_t wrongPathAnchor() const override { return chunkBase_; }
+
+    Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override
+    {
         // Mispredicted distance comparisons speculate into other chunk
         // points, sometimes far-away candidate points, or the centre
         // table — streamcluster's correct-path walks are so rare that
@@ -52,7 +64,7 @@ class StreamclusterModelStream : public RefSource
         double u = rng.real();
         if (u < 0.5) {
             std::uint64_t chunk_len = std::min(chunkPoints_, numPoints_);
-            std::uint64_t pt = (chunkBase_ + rng.below(chunk_len)) %
+            std::uint64_t pt = (anchor + rng.below(chunk_len)) %
                                numPoints_;
             return points_ + pt * StreamclusterWorkload::pointBytes +
                    rng.below(8) * 64;

@@ -85,11 +85,24 @@ class TraceReplaySource : public RefSource
     Addr
     wrongPathAddr(Rng &rng) override
     {
+        return wrongPathAddrAt(pos_, rng);
+    }
+
+    // The replay cursor is the only mutable wrongPathAddr input and the
+    // trace itself is fixed after construction, so the stream is
+    // anchorable (lane-bufferable — see RefSource).
+    bool supportsAnchors() const override { return true; }
+    std::uint64_t wrongPathAnchor() const override { return pos_; }
+
+    Addr
+    wrongPathAddrAt(std::uint64_t anchor, Rng &rng) override
+    {
         // Sample near the replay cursor: divergent paths touch what the
         // program is touching around now.
         std::size_t window = std::min<std::size_t>(trace_.size(), 4096);
-        std::size_t idx =
-            (pos_ + trace_.size() - rng.below(window)) % trace_.size();
+        std::size_t idx = (static_cast<std::size_t>(anchor) +
+                           trace_.size() - rng.below(window)) %
+                          trace_.size();
         return trace_[idx].vaddr;
     }
 

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Differential suite for vectorized batch translation.
+ *
+ * Mmu::translateBatch promises to be bit-identical to calling
+ * translate() once per element in order — not just equal results, but
+ * equal side effects: TLB/PSC contents, recency, replacement metadata,
+ * statistics, demand-paging state, and walker-driven cache traffic.
+ * The radix scheme backs that promise with equal-page run coalescing
+ * (RadixScheme::translateBatch), so this suite is what keeps the O(1)
+ * replay honest.
+ *
+ * Two surfaces are proven:
+ *
+ *  (A) MMU-level: the same reference sequence driven scalar vs batched
+ *      (256-reference spans, the core's fetch chunk) must produce, for
+ *      every reference, an identical MmuResult, and must leave identical
+ *      translation-structure and cache-hierarchy state — across
+ *      3 workloads x 3 seeds x all 4 translation schemes, both for
+ *      plain demand translations and for speculative requests under a
+ *      starvation walk budget (which forces the non-resident fallback).
+ *
+ *  (B) Run-level: ATSCALE_NO_BATCH=1 disables the core's chunk
+ *      screening (host-side prefetch of the structures a refilled chunk
+ *      will probe); a full simulation with screening on and off must
+ *      export identical counters, state hashes, and JSON bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/platform.hh"
+#include "core/run_export.hh"
+#include "workloads/registry.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Workloads spanning the translation-relevant access-pattern space. */
+const char *const kWorkloads[] = {
+    "memcached-uniform", // uniform random over a big hash space
+    "pr-kron",           // skewed (Zipf hub) graph scan
+    "mcf-rand",          // pointer chasing (dependent random reads)
+};
+
+const std::uint64_t kSeeds[] = {1, 7, 1234};
+
+/** Every registered translation scheme; the non-radix ones take the
+ * default scalar loop, so for them this suite is an interface proof. */
+const char *const kSchemes[] = {"radix", "hashed", "cache_tlb", "no_vm"};
+
+constexpr Count kRefs = 48 * refStreamChunk;     // demand phase
+constexpr Count kSpecRefs = 16 * refStreamChunk; // starved speculative phase
+
+/** One platform plus a same-config stream, ready to be driven by hand. */
+struct Rig
+{
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<RefSource> stream;
+
+    Rig(const std::string &workloadName, std::uint64_t seed,
+        const std::string &scheme)
+    {
+        workload = createWorkload(workloadName);
+        PlatformParams params;
+        params.mmu.scheme = scheme;
+        platform = std::make_unique<Platform>(params, PageSize::Size4K,
+                                              workload->traits(),
+                                              seed * 0x9e37 + 7);
+        WorkloadConfig wl_config;
+        wl_config.footprintBytes = 1ull << 24;
+        wl_config.seed = seed;
+        stream = workload->instantiate(platform->space, wl_config);
+    }
+
+    std::vector<Addr>
+    fetch(Count refs)
+    {
+        std::vector<Addr> vaddrs;
+        vaddrs.reserve(refs);
+        std::vector<Ref> chunk(refStreamChunk);
+        while (vaddrs.size() < refs) {
+            Count got = stream->fill(chunk.data(), refStreamChunk);
+            if (got == 0)
+                break;
+            for (Count i = 0; i < got; ++i)
+                vaddrs.push_back(chunk[i].vaddr);
+        }
+        return vaddrs;
+    }
+};
+
+/** Everything a divergent batch replay could corrupt. */
+struct MmuState
+{
+    std::uint64_t mmuHash = 0;
+    std::uint64_t cacheHash = 0;
+    std::uint64_t footprint = 0;
+};
+
+MmuState
+stateOf(const Platform &platform)
+{
+    MmuState state;
+    state.mmuHash = platform.mmu.stateHash();
+    state.cacheHash = platform.hierarchy.stateHash();
+    state.footprint = platform.space.footprintBytes();
+    return state;
+}
+
+void
+expectSameResult(const MmuResult &scalar, const MmuResult &batch,
+                 std::size_t i)
+{
+    ASSERT_EQ(scalar.tlbLevel, batch.tlbLevel) << "ref " << i;
+    EXPECT_EQ(scalar.tlbExtraLatency, batch.tlbExtraLatency) << "ref " << i;
+    EXPECT_EQ(scalar.pageSize, batch.pageSize) << "ref " << i;
+    EXPECT_EQ(scalar.schemeExtraCycles, batch.schemeExtraCycles)
+        << "ref " << i;
+    if (scalar.tlbLevel == TlbLevel::Miss) {
+        EXPECT_EQ(scalar.walk().cycles, batch.walk().cycles) << "ref " << i;
+        EXPECT_EQ(scalar.walk().ptwAccesses, batch.walk().ptwAccesses)
+            << "ref " << i;
+    }
+}
+
+class BatchDiff
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, std::uint64_t, const char *>>
+{
+};
+
+} // namespace
+
+TEST_P(BatchDiff, BatchEqualsScalarSequence)
+{
+    const auto [workloadName, seed, scheme] = GetParam();
+
+    Rig scalar(workloadName, seed, scheme);
+    Rig batch(workloadName, seed, scheme);
+
+    // Same workload, same seeds: both rigs must see the same addresses,
+    // or the comparison below compares nothing.
+    std::vector<Addr> vaddrs = scalar.fetch(kRefs);
+    std::vector<Addr> check = batch.fetch(kRefs);
+    ASSERT_EQ(vaddrs, check);
+    ASSERT_GE(vaddrs.size(), refStreamChunk);
+
+    // Phase 1: demand translations (page things in, walk, install).
+    std::vector<MmuResult> scalar_out(vaddrs.size());
+    std::vector<MmuResult> batch_out(vaddrs.size());
+    for (std::size_t i = 0; i < vaddrs.size(); ++i)
+        scalar_out[i] = scalar.platform->mmu.translate(vaddrs[i]);
+    for (std::size_t i = 0; i < vaddrs.size(); i += refStreamChunk) {
+        std::size_t n = std::min<std::size_t>(refStreamChunk,
+                                              vaddrs.size() - i);
+        batch.platform->mmu.translateBatch(
+            std::span<const Addr>(vaddrs.data() + i, n),
+            std::span<MmuResult>(batch_out.data() + i, n));
+    }
+    for (std::size_t i = 0; i < vaddrs.size(); ++i)
+        expectSameResult(scalar_out[i], batch_out[i], i);
+
+    MmuState scalar_state = stateOf(*scalar.platform);
+    MmuState batch_state = stateOf(*batch.platform);
+    EXPECT_EQ(scalar_state.mmuHash, batch_state.mmuHash);
+    EXPECT_EQ(scalar_state.cacheHash, batch_state.cacheHash);
+    EXPECT_EQ(scalar_state.footprint, batch_state.footprint);
+
+    // Phase 2: speculative requests under a starvation walk budget.
+    // Most misses abort without installing, so equal-page runs are NOT
+    // first-level resident and the batch path must take its scalar
+    // fallback — the replay guard, not the replay, is under test.
+    std::vector<Addr> spec_vaddrs = scalar.fetch(kSpecRefs);
+    ASSERT_EQ(spec_vaddrs, batch.fetch(kSpecRefs));
+    scalar_out.assign(spec_vaddrs.size(), MmuResult{});
+    batch_out.assign(spec_vaddrs.size(), MmuResult{});
+    const Cycles kBudget = 1;
+    for (std::size_t i = 0; i < spec_vaddrs.size(); ++i)
+        scalar_out[i] =
+            scalar.platform->mmu.translate(spec_vaddrs[i], true, kBudget);
+    for (std::size_t i = 0; i < spec_vaddrs.size(); i += refStreamChunk) {
+        std::size_t n = std::min<std::size_t>(refStreamChunk,
+                                              spec_vaddrs.size() - i);
+        batch.platform->mmu.translateBatch(
+            std::span<const Addr>(spec_vaddrs.data() + i, n),
+            std::span<MmuResult>(batch_out.data() + i, n), true, kBudget);
+    }
+    for (std::size_t i = 0; i < spec_vaddrs.size(); ++i)
+        expectSameResult(scalar_out[i], batch_out[i], i);
+
+    scalar_state = stateOf(*scalar.platform);
+    batch_state = stateOf(*batch.platform);
+    EXPECT_EQ(scalar_state.mmuHash, batch_state.mmuHash);
+    EXPECT_EQ(scalar_state.cacheHash, batch_state.cacheHash);
+    EXPECT_EQ(scalar_state.footprint, batch_state.footprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, BatchDiff,
+    ::testing::Combine(::testing::ValuesIn(kWorkloads),
+                       ::testing::ValuesIn(kSeeds),
+                       ::testing::ValuesIn(kSchemes)),
+    [](const ::testing::TestParamInfo<BatchDiff::ParamType> &suite_info) {
+        std::string name = std::get<0>(suite_info.param);
+        name += "_s" + std::to_string(std::get<1>(suite_info.param));
+        name += "_";
+        name += std::get<2>(suite_info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(BatchDiff, EmptyAndSingletonSpansTouchNothingExtra)
+{
+    Rig rig("memcached-uniform", 3, "radix");
+    std::vector<Addr> vaddrs = rig.fetch(refStreamChunk);
+    std::vector<MmuResult> out(refStreamChunk);
+
+    rig.platform->mmu.translateBatch(
+        std::span<const Addr>(vaddrs.data(), refStreamChunk),
+        std::span<MmuResult>(out.data(), refStreamChunk));
+    MmuState before = stateOf(*rig.platform);
+
+    // Empty span: no state may move.
+    rig.platform->mmu.translateBatch(std::span<const Addr>(),
+                                     std::span<MmuResult>());
+    MmuState after = stateOf(*rig.platform);
+    EXPECT_EQ(before.mmuHash, after.mmuHash);
+    EXPECT_EQ(before.cacheHash, after.cacheHash);
+
+    // Singleton span == one translate() call.
+    Rig twin("memcached-uniform", 3, "radix");
+    std::vector<Addr> twin_vaddrs = twin.fetch(refStreamChunk);
+    ASSERT_EQ(vaddrs, twin_vaddrs);
+    std::vector<MmuResult> twin_out(refStreamChunk);
+    twin.platform->mmu.translateBatch(
+        std::span<const Addr>(twin_vaddrs.data(), refStreamChunk),
+        std::span<MmuResult>(twin_out.data(), refStreamChunk));
+
+    MmuResult single = rig.platform->mmu.translate(vaddrs[0]);
+    std::vector<MmuResult> single_batch(1);
+    twin.platform->mmu.translateBatch(
+        std::span<const Addr>(twin_vaddrs.data(), 1),
+        std::span<MmuResult>(single_batch.data(), 1));
+    expectSameResult(single, single_batch[0], 0);
+    EXPECT_EQ(rig.platform->mmu.stateHash(), twin.platform->mmu.stateHash());
+}
+
+namespace
+{
+
+/** Full-simulation state, mirroring tests/test_fastpath_diff.cc. */
+struct RunState
+{
+    CounterSet counters;
+    std::uint64_t mmuHash = 0;
+    std::uint64_t cacheHash = 0;
+    std::string json;
+};
+
+RunState
+simulateScreened(const std::string &workloadName, std::uint64_t seed,
+                 bool screened)
+{
+    // Core reads ATSCALE_NO_BATCH once at construction.
+    if (screened)
+        ::unsetenv("ATSCALE_NO_BATCH");
+    else
+        ::setenv("ATSCALE_NO_BATCH", "1", 1);
+
+    RunSpec spec;
+    spec.workload = workloadName;
+    spec.footprintBytes = 1ull << 24;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 60'000;
+    spec.seed = seed;
+
+    std::unique_ptr<Workload> workload = createWorkload(workloadName);
+    Platform platform(PlatformParams{}, spec.pageSize, workload->traits(),
+                      spec.seed * 0x9e37 + 7);
+
+    WorkloadConfig wl_config;
+    wl_config.footprintBytes = spec.footprintBytes;
+    wl_config.seed = spec.seed;
+    wl_config.mode = spec.mode;
+    std::unique_ptr<RefSource> stream =
+        workload->instantiate(platform.space, wl_config);
+
+    platform.core.run(*stream, spec.warmupRefs);
+    platform.core.resetCounters();
+    platform.mmu.resetStats();
+    platform.hierarchy.resetStats();
+    platform.core.run(*stream, spec.measureRefs);
+
+    RunState state;
+    state.counters = platform.core.counters();
+    state.mmuHash = platform.mmu.stateHash();
+    state.cacheHash = platform.hierarchy.stateHash();
+
+    RunResult result;
+    result.spec = spec;
+    result.counters = state.counters;
+    result.footprintTouched = platform.space.footprintBytes();
+    result.pageTableBytes = platform.space.pageTable().nodeBytes();
+    std::ostringstream os;
+    writeRunResultJson(os, result);
+    state.json = os.str();
+
+    ::unsetenv("ATSCALE_NO_BATCH");
+    return state;
+}
+
+} // namespace
+
+TEST(BatchDiff, ChunkScreeningIsInvisible)
+{
+    for (std::uint64_t seed : {1ull, 7ull}) {
+        RunState on = simulateScreened("pr-kron", seed, true);
+        RunState off = simulateScreened("pr-kron", seed, false);
+        on.counters.forEach(
+            [&](EventId id, const char *name, Count value) {
+                EXPECT_EQ(value, off.counters.get(id))
+                    << name << " seed " << seed;
+            });
+        EXPECT_EQ(on.mmuHash, off.mmuHash) << "seed " << seed;
+        EXPECT_EQ(on.cacheHash, off.cacheHash) << "seed " << seed;
+        EXPECT_EQ(on.json, off.json) << "seed " << seed;
+    }
+}

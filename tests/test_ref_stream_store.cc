@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Differential and durability suite for the reference-stream
+ * record/replay store (core/ref_stream_store.hh).
+ *
+ * The store's contract is that it is invisible: a run that records its
+ * stream, a run that replays the recording, and a run with the store
+ * disabled must produce bit-identical counters and exported JSON. On
+ * top of that, damaged files must behave like the run cache's — a torn
+ * or corrupted recording is a miss (the run regenerates and re-records),
+ * never a wrong answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/ref_stream_store.hh"
+#include "core/run_export.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Scoped private stream directory (empty name disables the store). */
+class ScopedStreamDir
+{
+  public:
+    explicit ScopedStreamDir(const std::string &name)
+    {
+        // The run cache would satisfy repeat specs without simulating,
+        // leaving the replay path untested — keep it out of the way.
+        unsetenv("ATSCALE_CACHE_DIR");
+        if (!name.empty()) {
+            path_ = ::testing::TempDir() + "/" + name;
+            std::filesystem::remove_all(path_);
+            std::filesystem::create_directories(path_);
+            setenv("ATSCALE_STREAM_DIR", path_.c_str(), 1);
+        } else {
+            unsetenv("ATSCALE_STREAM_DIR");
+        }
+    }
+
+    ~ScopedStreamDir()
+    {
+        unsetenv("ATSCALE_STREAM_DIR");
+        if (!path_.empty())
+            std::filesystem::remove_all(path_);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+RunSpec
+storeSpec()
+{
+    RunSpec spec;
+    spec.workload = "memcached-uniform";
+    spec.footprintBytes = 1ull << 24;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 60'000;
+    spec.seed = 5;
+    return spec;
+}
+
+std::string
+resultBytes(const RunResult &result)
+{
+    std::ostringstream os;
+    writeRunResultJson(os, result);
+    return os.str();
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b, const char *what)
+{
+    a.counters.forEach([&](EventId id, const char *name, Count value) {
+        EXPECT_EQ(value, b.counters.get(id)) << what << ": " << name;
+    });
+    EXPECT_EQ(a.footprintTouched, b.footprintTouched) << what;
+    EXPECT_EQ(a.pageTableBytes, b.pageTableBytes) << what;
+    EXPECT_EQ(resultBytes(a), resultBytes(b)) << what;
+}
+
+/** Minimal sources for the wrap-gate unit tests. */
+struct PlainSource : RefSource
+{
+    bool
+    next(Ref &ref) override
+    {
+        ref = Ref{};
+        return true;
+    }
+
+    Addr wrongPathAddr(Rng &) override { return 0; }
+};
+
+struct AnchoredSource : PlainSource
+{
+    bool supportsAnchors() const override { return true; }
+    std::uint64_t wrongPathAnchor() const override { return 42; }
+};
+
+} // namespace
+
+TEST(RefStreamStore, DisabledStoreHasNoPathAndWrapsNothing)
+{
+    ScopedStreamDir off("");
+    EXPECT_EQ(refStreamDir(), "");
+    EXPECT_EQ(refStreamPath(storeSpec()), "");
+
+    auto source = std::make_unique<AnchoredSource>();
+    RefSource *raw = source.get();
+    auto wrapped = wrapWithStreamStore(std::move(source), storeSpec(), false, {});
+    EXPECT_EQ(wrapped.get(), raw);
+}
+
+TEST(RefStreamStore, GatesLeaveIneligibleStreamsUntouched)
+{
+    ScopedStreamDir dir("refstore_gates");
+
+    // No anchor support: the generator cannot be replayed exactly.
+    {
+        auto source = std::make_unique<PlainSource>();
+        RefSource *raw = source.get();
+        auto wrapped =
+            wrapWithStreamStore(std::move(source), storeSpec(), false, {});
+        EXPECT_EQ(wrapped.get(), raw);
+    }
+
+    // Multi-core specs consume per-tenant streams, not this one.
+    {
+        RunSpec spec = storeSpec();
+        spec.cores = 2;
+        auto source = std::make_unique<AnchoredSource>();
+        RefSource *raw = source.get();
+        auto wrapped = wrapWithStreamStore(std::move(source), spec, false, {});
+        EXPECT_EQ(wrapped.get(), raw);
+    }
+
+    // Eligible stream: the store interposes a recording tee.
+    {
+        auto source = std::make_unique<AnchoredSource>();
+        RefSource *raw = source.get();
+        auto wrapped =
+            wrapWithStreamStore(std::move(source), storeSpec(), false, {});
+        EXPECT_NE(wrapped.get(), raw);
+        // The tee is transparent: anchor calls reach the generator.
+        EXPECT_TRUE(wrapped->supportsAnchors());
+        EXPECT_EQ(wrapped->wrongPathAnchor(), 42u);
+    }
+}
+
+TEST(RefStreamStore, RecordedReplayedAndPlainRunsAreBitIdentical)
+{
+    const RunSpec spec = storeSpec();
+
+    RunResult plain;
+    {
+        ScopedStreamDir off("");
+        plain = runExperiment(spec);
+    }
+
+    ScopedStreamDir dir("refstore_roundtrip");
+    const std::string path = refStreamPath(spec);
+    ASSERT_NE(path, "");
+    ASSERT_FALSE(std::filesystem::exists(path));
+
+    // First run records.
+    RunResult recorded = runExperiment(spec);
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "recording tee never wrote the stream file";
+    const auto file_size = std::filesystem::file_size(path);
+    EXPECT_GT(file_size, 0u);
+    expectSameRun(plain, recorded, "recorded vs plain");
+
+    // Second run replays — the file must not be rewritten.
+    const auto mtime = std::filesystem::last_write_time(path);
+    RunResult replayed = runExperiment(spec);
+    expectSameRun(plain, replayed, "replayed vs plain");
+    EXPECT_EQ(std::filesystem::last_write_time(path), mtime)
+        << "replay run re-recorded an intact file";
+
+    // A different seed is a different identity: its replay file is
+    // separate and its results differ (the store must never alias).
+    RunSpec other = spec;
+    other.seed = 6;
+    ASSERT_NE(refStreamPath(other), path);
+    RunResult other_result = runExperiment(other);
+    EXPECT_TRUE(std::filesystem::exists(refStreamPath(other)));
+    EXPECT_NE(resultBytes(plain), resultBytes(other_result));
+}
+
+TEST(RefStreamStore, ReplayRebasesAcrossPageSizes)
+{
+    // The stream identity excludes the page size (one file serves every
+    // page-size lane of a sweep point), but region bases depend on it:
+    // mapRegion aligns each region to its effective page, so the second
+    // and later regions of a multi-region workload land at different
+    // addresses under 2M backing than under 4K. A recording made at 4K
+    // must replay into the 2M run's layout — bit-identically to a fresh
+    // 2M run — rather than serving 4K-absolute addresses (which hit
+    // unmapped space and aborted the run before rebasing existed).
+    RunSpec spec4k = storeSpec();
+    spec4k.pageSize = PageSize::Size4K;
+    RunSpec spec2m = spec4k;
+    spec2m.pageSize = PageSize::Size2M;
+    ASSERT_EQ(spec4k.laneGroupKey(), spec2m.laneGroupKey());
+
+    RunResult plain2m;
+    {
+        ScopedStreamDir off("");
+        plain2m = runExperiment(spec2m);
+    }
+
+    ScopedStreamDir dir("refstore_rebase");
+    const std::string path = refStreamPath(spec4k);
+
+    // Record under 4K backing.
+    runExperiment(spec4k);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    const auto mtime = std::filesystem::last_write_time(path);
+
+    // Replay the same file under 2M backing.
+    RunResult replayed2m = runExperiment(spec2m);
+    expectSameRun(plain2m, replayed2m, "2M replay of a 4K recording");
+    EXPECT_EQ(std::filesystem::last_write_time(path), mtime)
+        << "cross-page-size run re-recorded instead of replaying";
+}
+
+TEST(RefStreamStore, TornFileIsAMissAndRerecords)
+{
+    const RunSpec spec = storeSpec();
+    ScopedStreamDir dir("refstore_torn");
+    const std::string path = refStreamPath(spec);
+
+    RunResult fresh = runExperiment(spec);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    const auto full_size = std::filesystem::file_size(path);
+
+    // Truncate to half: the checksum cannot verify, so the file is a
+    // miss, the run regenerates from the live generator, and the tee
+    // re-records the identity.
+    std::filesystem::resize_file(path, full_size / 2);
+    RunResult after_torn = runExperiment(spec);
+    expectSameRun(fresh, after_torn, "after truncation");
+    EXPECT_EQ(std::filesystem::file_size(path), full_size)
+        << "torn file was not re-recorded";
+}
+
+TEST(RefStreamStore, CorruptPayloadIsAMiss)
+{
+    const RunSpec spec = storeSpec();
+    ScopedStreamDir dir("refstore_corrupt");
+    const std::string path = refStreamPath(spec);
+
+    RunResult fresh = runExperiment(spec);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Flip one payload byte mid-file; the trailing checksum must reject
+    // the load and the run must fall back to the live generator.
+    {
+        std::fstream file(path,
+                          std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(file.is_open());
+        const auto offset = static_cast<std::streamoff>(
+            std::filesystem::file_size(path) / 2);
+        file.seekg(offset);
+        char byte = 0;
+        file.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5a);
+        file.seekp(offset);
+        file.write(&byte, 1);
+    }
+    RunResult after_corrupt = runExperiment(spec);
+    expectSameRun(fresh, after_corrupt, "after corruption");
+}
+
+TEST(RefStreamStore, WrongIdentityInTheFileIsAMiss)
+{
+    // Two specs whose files are forcibly swapped must not replay each
+    // other's streams: the identity string embedded in the file guards
+    // against external renames.
+    const RunSpec spec_a = storeSpec();
+    RunSpec spec_b = storeSpec();
+    spec_b.seed = 9;
+
+    ScopedStreamDir dir("refstore_identity");
+    RunResult fresh_a = runExperiment(spec_a);
+    RunResult fresh_b = runExperiment(spec_b);
+    const std::string path_a = refStreamPath(spec_a);
+    const std::string path_b = refStreamPath(spec_b);
+    ASSERT_TRUE(std::filesystem::exists(path_a));
+    ASSERT_TRUE(std::filesystem::exists(path_b));
+
+    std::filesystem::path tmp = dir.path() + "/swap.tmp";
+    std::filesystem::rename(path_a, tmp);
+    std::filesystem::rename(path_b, path_a);
+    std::filesystem::rename(tmp, path_b);
+
+    RunResult again_a = runExperiment(spec_a);
+    RunResult again_b = runExperiment(spec_b);
+    expectSameRun(fresh_a, again_a, "identity-mismatched file (a)");
+    expectSameRun(fresh_b, again_b, "identity-mismatched file (b)");
+}

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Sharded-sweep suite: --shard=i/N partitioning, the partial-aggregate
+ * interchange format (core/sweep_partial.hh), and the merge contract —
+ * N shards' artifacts, merged, are byte-identical to one machine's run.
+ *
+ * Three surfaces:
+ *
+ *  (A) Flag/partition mechanics: --shard parses strictly; N shard
+ *      invocations of the same job list cover every unique job exactly
+ *      once, with lane groups assigned whole to one shard.
+ *
+ *  (B) Partial aggregates: SweepPartial round-trips through its file
+ *      format exactly, and reassembling two shards' partials renders
+ *      the byte-identical JSON aggregate of the unsharded sweep — at
+ *      differing thread counts. (tools/sweep/merge_runs wraps exactly
+ *      this reassembly; the CI sharded-merge job exercises the binary.)
+ *
+ *  (C) Cache merge: the union of two shards' run-cache directories
+ *      fully warms an unsharded rerun, whose results byte-match a
+ *      single-machine run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/run_export.hh"
+#include "core/sweep.hh"
+#include "core/sweep_partial.hh"
+
+using namespace atscale;
+
+namespace
+{
+
+/** Scoped ATSCALE_SHARD setting, always cleared on exit. */
+class ScopedShard
+{
+  public:
+    ScopedShard(unsigned index, unsigned count)
+    {
+        std::string value =
+            std::to_string(index) + "/" + std::to_string(count);
+        setenv("ATSCALE_SHARD", value.c_str(), 1);
+    }
+
+    ~ScopedShard() { unsetenv("ATSCALE_SHARD"); }
+};
+
+/** Scoped private cache directory (empty name disables the cache). */
+class ScopedCacheDir
+{
+  public:
+    explicit ScopedCacheDir(const std::string &name)
+    {
+        if (!name.empty()) {
+            path_ = ::testing::TempDir() + "/" + name;
+            std::filesystem::remove_all(path_);
+            std::filesystem::create_directories(path_);
+            setenv("ATSCALE_CACHE_DIR", path_.c_str(), 1);
+        } else {
+            unsetenv("ATSCALE_CACHE_DIR");
+        }
+    }
+
+    ~ScopedCacheDir()
+    {
+        unsetenv("ATSCALE_CACHE_DIR");
+        if (!path_.empty())
+            std::filesystem::remove_all(path_);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+RunSpec
+quickSpec(const std::string &workload, std::uint64_t seed = 1)
+{
+    RunSpec spec;
+    spec.workload = workload;
+    spec.footprintBytes = 1ull << 24;
+    spec.warmupRefs = 20'000;
+    spec.measureRefs = 50'000;
+    spec.seed = seed;
+    return spec;
+}
+
+/** The sweep under test: four distinct jobs plus a duplicate declared
+ * slot, including a two-scheme lane group (same laneGroupKey) that must
+ * land whole on one shard. */
+std::vector<RunSpec>
+shardedJobs()
+{
+    std::vector<RunSpec> jobs;
+    jobs.push_back(quickSpec("pr-kron"));
+    RunSpec lane_mate = quickSpec("pr-kron");
+    lane_mate.scheme = "no_vm";
+    jobs.push_back(lane_mate);
+    jobs.push_back(quickSpec("cc-urand"));
+    jobs.push_back(quickSpec("mcf-rand", 3));
+    jobs.push_back(jobs.front()); // duplicate declared slot
+    return jobs;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+sweepBytes(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeRunResultsJson(os, results);
+    return os.str();
+}
+
+/** Reassemble shard partials exactly as tools/sweep/merge_runs does. */
+void
+mergePartialsTo(const std::vector<std::string> &paths,
+                const std::string &out)
+{
+    std::vector<RunResult> results;
+    std::vector<char> seen;
+    double freq = 2.5;
+    for (const std::string &path : paths) {
+        SweepPartial partial;
+        std::string error;
+        ASSERT_TRUE(loadSweepPartialFile(path, partial, error)) << error;
+        if (results.empty()) {
+            results.resize(partial.totalJobs);
+            seen.assign(partial.totalJobs, 0);
+            freq = partial.freqGHz;
+        } else {
+            ASSERT_EQ(partial.totalJobs, results.size()) << path;
+            ASSERT_EQ(partial.freqGHz, freq) << path;
+        }
+        for (SweepPartial::Entry &entry : partial.entries) {
+            ASSERT_LT(entry.index, results.size());
+            ASSERT_FALSE(seen[entry.index])
+                << "job " << entry.index << " covered twice";
+            seen[entry.index] = 1;
+            results[entry.index] = std::move(entry.result);
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        ASSERT_TRUE(seen[i]) << "job " << i << " missing from partials";
+    writeRunResultsJsonFile(out, results, freq);
+}
+
+} // namespace
+
+TEST(ShardFlag, ParsesAndRejectsStrictly)
+{
+    unsetenv("ATSCALE_SHARD");
+    EXPECT_FALSE(shardSpec().active());
+
+    char prog[] = "bench";
+    std::string error;
+    {
+        char flag[] = "--shard=2/4";
+        char *argv[] = {prog, flag, nullptr};
+        int argc = 2;
+        ASSERT_TRUE(extractSweepFlags(argc, argv, error)) << error;
+        EXPECT_EQ(argc, 1);
+        ShardSpec shard = shardSpec();
+        EXPECT_TRUE(shard.active());
+        EXPECT_EQ(shard.index, 2u);
+        EXPECT_EQ(shard.count, 4u);
+        unsetenv("ATSCALE_SHARD");
+    }
+
+    // 1/1 is a degenerate but valid request: one shard owning all.
+    {
+        char flag[] = "--shard=1/1";
+        char *argv[] = {prog, flag, nullptr};
+        int argc = 2;
+        ASSERT_TRUE(extractSweepFlags(argc, argv, error)) << error;
+        EXPECT_FALSE(shardSpec().active());
+        unsetenv("ATSCALE_SHARD");
+    }
+
+    for (const char *bad :
+         {"--shard=3/2", "--shard=0/2", "--shard=1/0", "--shard=zoo",
+          "--shard=1/2x", "--shard", "--shard="}) {
+        std::vector<char> flag(bad, bad + std::strlen(bad) + 1);
+        char *argv[] = {prog, flag.data(), nullptr};
+        int argc = 2;
+        error.clear();
+        EXPECT_FALSE(extractSweepFlags(argc, argv, error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+        unsetenv("ATSCALE_SHARD");
+    }
+}
+
+TEST(SweepPartial, FileFormatRoundTripsExactly)
+{
+    SweepPartial partial;
+    partial.totalJobs = 7;
+    partial.freqGHz = 2.5;
+
+    // Entries with both default and non-default spec fields so omitted
+    // defaults are exercised in both directions.
+    SweepPartial::Entry plain;
+    plain.index = 2;
+    plain.result.spec = quickSpec("pr-kron");
+    plain.result.counters.add(EventId::CpuClkUnhalted, 123'456'789);
+    plain.result.counters.add(EventId::InstRetired, 987);
+    plain.result.footprintTouched = 16 << 20;
+    plain.result.pageTableBytes = 12'288;
+    partial.entries.push_back(plain);
+
+    SweepPartial::Entry fancy;
+    fancy.index = 5;
+    fancy.result.spec = quickSpec("cc-urand", 9);
+    fancy.result.spec.scheme = "hashed";
+    fancy.result.spec.fastPath = false;
+    fancy.result.spec.pageSize = PageSize::Size2M;
+    fancy.result.counters.add(EventId::DtlbLoadMissesWalkCompleted, 42);
+    partial.entries.push_back(fancy);
+
+    std::string path = ::testing::TempDir() + "/partial_roundtrip.partial";
+    writeSweepPartialFile(path, partial);
+
+    SweepPartial loaded;
+    std::string error;
+    ASSERT_TRUE(loadSweepPartialFile(path, loaded, error)) << error;
+    EXPECT_EQ(loaded.totalJobs, partial.totalJobs);
+    EXPECT_EQ(loaded.freqGHz, partial.freqGHz);
+    ASSERT_EQ(loaded.entries.size(), partial.entries.size());
+    for (std::size_t e = 0; e < partial.entries.size(); ++e) {
+        const SweepPartial::Entry &want = partial.entries[e];
+        const SweepPartial::Entry &got = loaded.entries[e];
+        EXPECT_EQ(got.index, want.index);
+        EXPECT_EQ(got.result.spec, want.result.spec);
+        EXPECT_EQ(got.result.footprintTouched, want.result.footprintTouched);
+        EXPECT_EQ(got.result.pageTableBytes, want.result.pageTableBytes);
+        for (int i = 0; i < numEvents; ++i) {
+            auto id = static_cast<EventId>(i);
+            EXPECT_EQ(got.result.counters.get(id),
+                      want.result.counters.get(id));
+        }
+    }
+
+    // A torn partial is an error, never a silent partial merge.
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+    SweepPartial torn;
+    EXPECT_FALSE(loadSweepPartialFile(path, torn, error));
+    EXPECT_FALSE(error.empty());
+    std::filesystem::remove(path);
+}
+
+TEST(ShardMerge, TwoShardsReassembleTheSingleMachineAggregate)
+{
+    ScopedCacheDir cache(""); // observed sweeps bypass it anyway
+    // Unit partitioning is a function of the lane setting, so every
+    // shard (and the reference) must run with the same one; force lanes
+    // on so the lane-group-stays-whole property is actually exercised
+    // even on a single-core CI host.
+    setenv("ATSCALE_LANES", "1", 1);
+    std::string dir = ::testing::TempDir() + "/shard_merge_out";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const std::vector<RunSpec> jobs = shardedJobs();
+
+    // Single-machine reference, multi-threaded.
+    {
+        SweepOptions options;
+        options.threads = 2;
+        options.obs.jsonOut = dir + "/single.json";
+        SweepEngine engine(options);
+        std::vector<RunResult> results = engine.run(jobs);
+        ASSERT_EQ(results.size(), jobs.size());
+    }
+
+    // Two shard runs, serial, each writing a partial.
+    std::size_t executed_total = 0;
+    for (unsigned i = 1; i <= 2; ++i) {
+        ScopedShard shard(i, 2);
+        SweepOptions options;
+        options.obs.jsonOut =
+            dir + "/shard" + std::to_string(i) + ".json";
+        SweepEngine engine(options);
+        std::vector<RunResult> results = engine.run(jobs);
+        ASSERT_EQ(results.size(), jobs.size());
+        executed_total += engine.progress().completed;
+        ASSERT_EQ(engine.writtenOutputs().back(),
+                  options.obs.jsonOut + ".partial");
+    }
+    // Every unique job ran on exactly one shard (4 unique in 5 slots).
+    EXPECT_EQ(executed_total, 4u);
+
+    // The shards' partials must cover the declared list disjointly,
+    // with the pr-kron lane group (2 declared schemes) kept whole.
+    std::vector<std::string> partials = {dir + "/shard1.json.partial",
+                                         dir + "/shard2.json.partial"};
+    std::string error;
+    SweepPartial one;
+    SweepPartial two;
+    ASSERT_TRUE(loadSweepPartialFile(partials[0], one, error)) << error;
+    ASSERT_TRUE(loadSweepPartialFile(partials[1], two, error)) << error;
+    EXPECT_EQ(one.totalJobs, jobs.size());
+    EXPECT_EQ(two.totalJobs, jobs.size());
+    // Slots 0, 1 and 4 are the lane group (0 and 4 duplicates): one
+    // shard must own all three declared slots.
+    auto owns = [](const SweepPartial &p, std::size_t index) {
+        for (const SweepPartial::Entry &entry : p.entries)
+            if (entry.index == index)
+                return true;
+        return false;
+    };
+    const SweepPartial &lane_owner = owns(one, 0) ? one : two;
+    EXPECT_TRUE(owns(lane_owner, 0));
+    EXPECT_TRUE(owns(lane_owner, 1));
+    EXPECT_TRUE(owns(lane_owner, 4));
+
+    // Reassembled aggregate == single-machine bytes.
+    mergePartialsTo(partials, dir + "/merged.json");
+    EXPECT_EQ(fileBytes(dir + "/merged.json"),
+              fileBytes(dir + "/single.json"));
+
+    std::filesystem::remove_all(dir);
+    unsetenv("ATSCALE_LANES");
+}
+
+TEST(ShardMerge, MergedCachesFullyWarmAnUnshardedRerun)
+{
+    const std::vector<RunSpec> jobs = shardedJobs();
+
+    // Reference: single machine, no cache.
+    std::string reference;
+    {
+        ScopedCacheDir cache("");
+        SweepEngine engine;
+        reference = sweepBytes(engine.run(jobs));
+    }
+
+    // Shard runs with private caches.
+    std::string cache_a;
+    std::string cache_b;
+    {
+        ScopedCacheDir cache("shard_cache_a");
+        cache_a = cache.path();
+        ScopedShard shard(1, 2);
+        SweepEngine{}.run(jobs);
+
+        // Keep the directory: copy it out before the scope guard wipes.
+        std::filesystem::copy(cache_a, cache_a + ".kept");
+        cache_a += ".kept";
+    }
+    {
+        ScopedCacheDir cache("shard_cache_b");
+        cache_b = cache.path();
+        ScopedShard shard(2, 2);
+        SweepEngine{}.run(jobs);
+        std::filesystem::copy(cache_b, cache_b + ".kept");
+        cache_b += ".kept";
+    }
+
+    // Union the two cache directories (what merge_runs --cache does) —
+    // shard ownership is disjoint, so no collisions to resolve.
+    {
+        ScopedCacheDir merged("shard_cache_merged");
+        for (const std::string &src : {cache_a, cache_b}) {
+            for (const auto &it :
+                 std::filesystem::directory_iterator(src)) {
+                std::filesystem::copy(
+                    it.path(), merged.path() + "/" +
+                                   it.path().filename().string(),
+                    std::filesystem::copy_options::skip_existing);
+            }
+        }
+
+        SweepEngine engine;
+        std::vector<RunResult> warm = engine.run(jobs);
+        EXPECT_EQ(engine.progress().cached, 4u)
+            << "merged shard caches did not cover the sweep";
+        EXPECT_EQ(engine.progress().completed, 0u);
+        EXPECT_EQ(sweepBytes(warm), reference);
+    }
+    std::filesystem::remove_all(cache_a);
+    std::filesystem::remove_all(cache_b);
+}

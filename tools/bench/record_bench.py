@@ -35,18 +35,26 @@ CPI/WCPI and the number of remap-triggered TLB shootdowns — also pure
 simulation outputs, so drift means the multi-core interleave or the
 shootdown cost model changed behaviour.
 
-The checked-in baseline lives at BENCH_08.json in the repo root; CI
+The fig01 wall timings additionally cover the reference-stream
+record/replay store: the `_record` row runs the cold sweep while
+recording every model-mode stream to disk, the `_replay` row reruns it
+replaying those recordings (docs/PERF.md section 8).
+
+The checked-in baseline lives at BENCH_10.json in the repo root; CI
 regenerates the file on every run, uploads it as an artifact, and
 --compare soft-warns (exit code stays 0) when a bench regresses more
 than --tolerance (default 15%) against the baseline. The warning is
 deliberately soft: micro-benchmark numbers move with the host, and the
 baseline was recorded on a different machine than CI's runners — the
-artifact trail, not the gate, is the product here.
+artifact trail, not the gate, is the product here. One same-host gap
+is also soft-checked without a baseline: `--lanes` must not be slower
+than `--no-lanes` by more than the tolerance (the lane executor's
+recorded cost/benefit, docs/PERF.md section 7).
 
 Usage:
-    tools/bench/record_bench.py --build-dir build --out BENCH_08.json
+    tools/bench/record_bench.py --build-dir build --out BENCH_10.json
     tools/bench/record_bench.py --build-dir build \
-        --out bench_out/BENCH_08.json --compare BENCH_08.json
+        --out bench_out/BENCH_10.json --compare BENCH_10.json
 """
 
 import argparse
@@ -62,6 +70,11 @@ MICRO_BENCHES = ["bench_micro_mmu", "bench_micro_cache"]
 FIG01 = "bench_fig01_overhead_vs_footprint"
 SCHEME_COMPARE = "bench_scheme_compare"
 MULTICORE = "bench_multicore"
+
+# Ambient engine overrides would silently change what a timing records.
+ENGINE_KNOBS = ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
+                "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME", "ATSCALE_SHARD",
+                "ATSCALE_STREAM_DIR", "ATSCALE_NO_BATCH")
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -91,9 +104,7 @@ def time_fig01(build_dir, name, extra_args, results):
     binary = os.path.abspath(os.path.join(build_dir, "bench", FIG01))
     scratch = tempfile.mkdtemp(prefix="record_bench_")
     env = dict(os.environ)
-    # Ambient engine overrides would silently change what this records.
-    for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
-                 "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME"):
+    for knob in ENGINE_KNOBS:
         env.pop(knob, None)
     env["ATSCALE_QUICK"] = "1"
     env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
@@ -109,6 +120,42 @@ def time_fig01(build_dir, name, extra_args, results):
         shutil.rmtree(scratch, ignore_errors=True)
     results[name] = {"wall_s": round(wall, 2)}
     print("timed %s: %.2fs" % (name, wall))
+
+
+def time_fig01_replay(build_dir, results):
+    """Record/replay cost-benefit -> two {*: {wall_s}} rows.
+
+    First leg runs the cold quick fig01 sweep with --record-streams
+    pointed at a scratch stream store (the recording tax is the delta
+    against fig01_quick_cold_threads1); the second leg wipes the run
+    cache but keeps the stream store, so every model-mode stream
+    replays from disk (the replay win, same comparison).
+    """
+    binary = os.path.abspath(os.path.join(build_dir, "bench", FIG01))
+    scratch = tempfile.mkdtemp(prefix="record_bench_replay_")
+    env = dict(os.environ)
+    for knob in ENGINE_KNOBS:
+        env.pop(knob, None)
+    env["ATSCALE_QUICK"] = "1"
+    env["ATSCALE_OUT_DIR"] = scratch
+    streams = os.path.join(scratch, "streams")
+    try:
+        for leg, name in (("record", "fig01_quick_cold_threads1_record"),
+                          ("replay", "fig01_quick_cold_threads1_replay")):
+            # Fresh run cache per leg: both legs simulate every job; only
+            # the stream store persists between them.
+            env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache_" + leg)
+            os.makedirs(env["ATSCALE_CACHE_DIR"])
+            start = time.monotonic()
+            subprocess.run(
+                [binary, "--threads=1", "--record-streams=%s" % streams],
+                cwd=scratch, env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL, check=True)
+            wall = time.monotonic() - start
+            results[name] = {"wall_s": round(wall, 2)}
+            print("timed %s: %.2fs" % (name, wall))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 def record_scheme_compare(build_dir, results):
@@ -129,8 +176,7 @@ def record_scheme_compare(build_dir, results):
         return
     scratch = tempfile.mkdtemp(prefix="record_scheme_")
     env = dict(os.environ)
-    for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
-                 "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME"):
+    for knob in ENGINE_KNOBS:
         env.pop(knob, None)
     env["ATSCALE_QUICK"] = "1"
     env["ATSCALE_LANES"] = "1"
@@ -173,8 +219,7 @@ def record_multicore(build_dir, results):
         return
     scratch = tempfile.mkdtemp(prefix="record_multicore_")
     env = dict(os.environ)
-    for knob in ("ATSCALE_LANES", "ATSCALE_NO_LANES", "ATSCALE_THREADS",
-                 "ATSCALE_NO_FASTPATH", "ATSCALE_SCHEME"):
+    for knob in ENGINE_KNOBS:
         env.pop(knob, None)
     env["ATSCALE_QUICK"] = "1"
     env["ATSCALE_CACHE_DIR"] = os.path.join(scratch, "cache")
@@ -274,11 +319,36 @@ def compare(results, baseline_path, tolerance):
     return warnings
 
 
+def check_lane_gap(results, tolerance):
+    """Soft same-host gate: --lanes must not lose to --no-lanes.
+
+    Both rows come from this very run, so unlike the baseline compare
+    there is no cross-host noise to excuse a gap: a warning here means
+    the lane executor itself costs more than it amortizes on this host.
+    Soft (returns the warning count, exit stays 0) because single-core
+    runners legitimately sit at the break-even point.
+    """
+    lanes = results.get("fig01_quick_cold_threads1_lanes", {}).get("wall_s")
+    nolanes = results.get(
+        "fig01_quick_cold_threads1_nolanes", {}).get("wall_s")
+    if not lanes or not nolanes:
+        return 0
+    ratio = lanes / nolanes
+    if ratio > 1.0 + tolerance:
+        print("WARNING: --lanes slower than --no-lanes by %.0f%% "
+              "(%.2fs vs %.2fs) on this host (soft warning)"
+              % ((ratio - 1.0) * 100, lanes, nolanes))
+        return 1
+    print("lane gap ok: --lanes %.2fs vs --no-lanes %.2fs (%+.0f%%)"
+          % (lanes, nolanes, (ratio - 1.0) * 100))
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="record micro-bench and sweep timings as JSON")
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_08.json")
+    parser.add_argument("--out", default="BENCH_10.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="soft-warn against this baseline file")
     parser.add_argument("--tolerance", type=float, default=0.15,
@@ -301,6 +371,7 @@ def main():
                    ["--lanes"], results)
         time_fig01(args.build_dir, "fig01_quick_cold_threads1_nolanes",
                    ["--no-lanes"], results)
+        time_fig01_replay(args.build_dir, results)
         record_scheme_compare(args.build_dir, results)
         record_multicore(args.build_dir, results)
         record_validation(args.build_dir, results)
@@ -312,6 +383,7 @@ def main():
         fh.write("\n")
     print("wrote %s (%d entries)" % (args.out, len(results)))
 
+    check_lane_gap(results, args.tolerance)
     if args.compare:
         compare(results, args.compare, args.tolerance)
     return 0

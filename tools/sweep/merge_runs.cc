@@ -1,0 +1,301 @@
+/**
+ * @file
+ * merge_runs: combine the artifacts of sharded sweep runs
+ * (--shard=i/N) into exactly what one single-machine run would have
+ * produced.
+ *
+ * Two merge surfaces, usable together or alone:
+ *
+ *   --cache DIR... --out-cache DIR
+ *     Union the shards' run-cache directories (and recorded stream
+ *     files, if --record-streams placed any there) into one directory.
+ *     Entries are keyed by spec, and the simulation is deterministic,
+ *     so a name collision must be byte-identical — anything else means
+ *     mismatched binaries or platforms and is a hard error, not a
+ *     pick-one.
+ *
+ *   --partial FILE... --out-json FILE
+ *     Reassemble the shards' partial sweep aggregates
+ *     (core/sweep_partial.hh) into the whole-sweep JSON array. Every
+ *     declared job index must be covered exactly once across the
+ *     partials; the output is rendered by the same writer the engine
+ *     uses, so the merged file is byte-identical to an unsharded
+ *     sweep's aggregate.
+ *
+ * For outputs beyond the aggregate (per-job JSON, windows, traces),
+ * rerun the sweep unsharded against the merged cache: every job is a
+ * cache hit and the emission matches a single-machine run byte for
+ * byte.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "core/run_export.hh"
+#include "core/sweep_partial.hh"
+
+namespace
+{
+
+using atscale::RunResult;
+using atscale::SweepPartial;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--cache DIR]... [--out-cache DIR]\n"
+        "       %*s [--partial FILE]... [--out-json FILE]\n"
+        "\n"
+        "Merge sharded sweep artifacts (see --shard=i/N) into what a\n"
+        "single-machine run would have produced: --cache directories\n"
+        "are unioned into --out-cache (collisions must be\n"
+        "byte-identical), and --partial aggregates are reassembled\n"
+        "into the whole-sweep JSON at --out-json.\n",
+        argv0, static_cast<int>(std::strlen(argv0)), "");
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    return in.good() || in.eof();
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return false;
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Regular files directly inside `dir`, sorted for determinism. */
+bool
+listFiles(const std::string &dir, std::vector<std::string> &names)
+{
+    DIR *handle = ::opendir(dir.c_str());
+    if (!handle)
+        return false;
+    while (struct dirent *entry = ::readdir(handle)) {
+        std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        // Skip in-flight temp files from a still-running shard.
+        if (name.find(".tmp.") != std::string::npos)
+            continue;
+        struct stat st;
+        std::string path = dir + "/" + name;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        names.push_back(std::move(name));
+    }
+    ::closedir(handle);
+    std::sort(names.begin(), names.end());
+    return true;
+}
+
+int
+mergeCaches(const std::vector<std::string> &dirs, const std::string &out)
+{
+    ::mkdir(out.c_str(), 0777); // best-effort, may exist
+    std::size_t copied = 0;
+    std::size_t identical = 0;
+    for (const std::string &dir : dirs) {
+        std::vector<std::string> names;
+        if (!listFiles(dir, names)) {
+            std::fprintf(stderr, "merge_runs: cannot list '%s'\n",
+                         dir.c_str());
+            return 1;
+        }
+        for (const std::string &name : names) {
+            std::string bytes;
+            if (!readFile(dir + "/" + name, bytes)) {
+                std::fprintf(stderr, "merge_runs: cannot read '%s/%s'\n",
+                             dir.c_str(), name.c_str());
+                return 1;
+            }
+            std::string target = out + "/" + name;
+            std::string existing;
+            if (readFile(target, existing)) {
+                if (existing != bytes) {
+                    // Determinism says equal specs produce equal bytes;
+                    // a mismatch means the shards did not run the same
+                    // simulation and no merge output can be trusted.
+                    std::fprintf(stderr,
+                                 "merge_runs: '%s' differs between "
+                                 "shards (same key, different bytes) — "
+                                 "were the shards run with the same "
+                                 "binary and platform?\n",
+                                 name.c_str());
+                    return 1;
+                }
+                ++identical;
+                continue;
+            }
+            if (!writeFileAtomic(target, bytes)) {
+                std::fprintf(stderr, "merge_runs: cannot write '%s'\n",
+                             target.c_str());
+                return 1;
+            }
+            ++copied;
+        }
+    }
+    std::printf("merge_runs: %zu cache file(s) merged into %s "
+                "(%zu already present and identical)\n",
+                copied, out.c_str(), identical);
+    return 0;
+}
+
+int
+mergePartials(const std::vector<std::string> &paths, const std::string &out)
+{
+    std::size_t total = 0;
+    double freq = 0.0;
+    std::vector<RunResult> results;
+    std::vector<char> seen;
+    for (const std::string &path : paths) {
+        SweepPartial partial;
+        std::string error;
+        if (!atscale::loadSweepPartialFile(path, partial, error)) {
+            std::fprintf(stderr, "merge_runs: %s\n", error.c_str());
+            return 1;
+        }
+        if (results.empty()) {
+            total = partial.totalJobs;
+            freq = partial.freqGHz;
+            results.resize(total);
+            seen.assign(total, 0);
+        } else if (partial.totalJobs != total || partial.freqGHz != freq) {
+            std::fprintf(stderr,
+                         "merge_runs: '%s' declares a different sweep "
+                         "(%zu jobs) than the first partial (%zu)\n",
+                         path.c_str(), partial.totalJobs, total);
+            return 1;
+        }
+        for (SweepPartial::Entry &entry : partial.entries) {
+            if (entry.index >= total || seen[entry.index]) {
+                std::fprintf(stderr,
+                             "merge_runs: '%s' job index %zu is out of "
+                             "range or already covered\n",
+                             path.c_str(), entry.index);
+                return 1;
+            }
+            seen[entry.index] = 1;
+            results[entry.index] = std::move(entry.result);
+        }
+    }
+    std::size_t missing = 0;
+    for (char s : seen)
+        missing += s == 0;
+    if (missing > 0) {
+        std::fprintf(stderr,
+                     "merge_runs: %zu of %zu job(s) missing from the "
+                     "given partials — pass every shard's .partial "
+                     "file\n",
+                     missing, total);
+        return 1;
+    }
+    atscale::writeRunResultsJsonFile(out, results, freq);
+    std::printf("merge_runs: %zu job(s) from %zu partial(s) merged "
+                "into %s\n",
+                total, paths.size(), out.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> cache_dirs;
+    std::vector<std::string> partials;
+    std::string out_cache;
+    std::string out_json;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "merge_runs: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--cache") {
+            const char *value = next("--cache");
+            if (!value)
+                return usage(argv[0]);
+            cache_dirs.push_back(value);
+        } else if (arg == "--out-cache") {
+            const char *value = next("--out-cache");
+            if (!value)
+                return usage(argv[0]);
+            out_cache = value;
+        } else if (arg == "--partial") {
+            const char *value = next("--partial");
+            if (!value)
+                return usage(argv[0]);
+            partials.push_back(value);
+        } else if (arg == "--out-json") {
+            const char *value = next("--out-json");
+            if (!value)
+                return usage(argv[0]);
+            out_json = value;
+        } else {
+            std::fprintf(stderr, "merge_runs: unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (cache_dirs.empty() != out_cache.empty()) {
+        std::fprintf(stderr,
+                     "merge_runs: --cache and --out-cache go together\n");
+        return usage(argv[0]);
+    }
+    if (partials.empty() != out_json.empty()) {
+        std::fprintf(stderr,
+                     "merge_runs: --partial and --out-json go together\n");
+        return usage(argv[0]);
+    }
+    if (cache_dirs.empty() && partials.empty())
+        return usage(argv[0]);
+
+    if (!cache_dirs.empty()) {
+        int status = mergeCaches(cache_dirs, out_cache);
+        if (status != 0)
+            return status;
+    }
+    if (!partials.empty()) {
+        int status = mergePartials(partials, out_json);
+        if (status != 0)
+            return status;
+    }
+    return 0;
+}
